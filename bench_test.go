@@ -1,0 +1,209 @@
+package traffic
+
+// Benchmarks regenerating every table and figure of the paper, plus
+// per-packet microbenchmarks of the algorithms. Each BenchmarkTableN /
+// BenchmarkFigureN runs the corresponding experiment driver (the same code
+// cmd/experiments uses) at a reduced scale and reports the headline numbers
+// as benchmark metrics, so `go test -bench .` regenerates the whole
+// evaluation.
+//
+// Paper-scale runs: `go run ./cmd/experiments -full`.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchOpts keeps per-iteration cost low; shapes (who wins, by what factor)
+// are already verified by the experiments package's tests.
+func benchOpts() experiments.Options {
+	return experiments.Options{Scale: 0.02, Runs: 1, Intervals: 4, Seed: 1}
+}
+
+func BenchmarkTable1CoreComparison(b *testing.B) {
+	var sh, smp float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table1(0, 0, 0, 0, 0)
+		sh = res.Rows[0].RelativeError
+		smp = res.Rows[2].RelativeError
+	}
+	b.ReportMetric(sh*100, "S&H-relerr-%")
+	b.ReportMetric(smp*100, "sampling-relerr-%")
+}
+
+func BenchmarkTable2DeviceComparison(b *testing.B) {
+	var longLived float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		longLived = res.LongLivedPct
+	}
+	b.ReportMetric(longLived, "longlived-%")
+}
+
+func BenchmarkTable3TraceStats(b *testing.B) {
+	var flows float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		flows = res.Stats[1].Flows["5-tuple"].Avg
+	}
+	b.ReportMetric(flows, "MAG-5tuple-flows")
+}
+
+func BenchmarkFigure6FlowSizeCDF(b *testing.B) {
+	var top10 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		top10 = res.Series[0].TopShare(10)
+	}
+	b.ReportMetric(top10, "MAG-top10%-traffic-%")
+}
+
+func BenchmarkTable4SampleAndHold(b *testing.B) {
+	var basicErr, preserveErr float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		basicErr = res.Rows[2].Cells[0].AvgErrorPct
+		preserveErr = res.Rows[3].Cells[0].AvgErrorPct
+	}
+	b.ReportMetric(basicErr, "basic-err-%ofT")
+	b.ReportMetric(preserveErr, "preserve-err-%ofT")
+}
+
+func BenchmarkFigure7FilterDepth(b *testing.B) {
+	var parallel, conservative float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(res.Depths) - 1
+		parallel = res.Series["parallel"][last]
+		conservative = res.Series["conservative update"][last]
+	}
+	b.ReportMetric(parallel, "parallel-d4-FP-%")
+	b.ReportMetric(conservative, "conservative-d4-FP-%")
+}
+
+func benchmarkDeviceTable(b *testing.B, def string) {
+	var shErr, nfErr float64
+	for i := 0; i < b.N; i++ {
+		o := benchOpts()
+		o.Intervals = 8
+		res, err := experiments.CompareDevices(def, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		shErr = res.Results["sample-and-hold"][0].AvgErrorPct
+		nfErr = res.Results["sampled-netflow"][0].AvgErrorPct
+	}
+	b.ReportMetric(shErr, "S&H-vlarge-err-%")
+	b.ReportMetric(nfErr, "netflow-vlarge-err-%")
+}
+
+func BenchmarkTable5Devices5Tuple(b *testing.B) { benchmarkDeviceTable(b, "5-tuple") }
+func BenchmarkTable6DevicesDstIP(b *testing.B)  { benchmarkDeviceTable(b, "dstIP") }
+func BenchmarkTable7DevicesASPair(b *testing.B) { benchmarkDeviceTable(b, "ASpair") }
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchOpts()
+		o.Intervals = 3
+		if _, err := experiments.Ablations(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Per-packet microbenchmarks of the public API ----
+
+func benchPackets(b *testing.B, alg Algorithm) {
+	b.Helper()
+	key := FlowKey{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key.Lo = uint64(i % 50000)
+		alg.Process(key, 1000)
+	}
+}
+
+func BenchmarkSampleAndHoldPerPacket(b *testing.B) {
+	alg, err := NewSampleAndHold(SampleAndHoldConfig{
+		Entries: 4096, Threshold: 1 << 20, Oversampling: 4, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPackets(b, alg)
+}
+
+func BenchmarkMultistageFilterPerPacket(b *testing.B) {
+	alg, err := NewMultistageFilter(MultistageConfig{
+		Stages: 4, Buckets: 4096, Entries: 3584, Threshold: 1 << 30,
+		Conservative: true, Shield: true, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPackets(b, alg)
+}
+
+func BenchmarkSampledNetFlowPerPacket(b *testing.B) {
+	alg, err := NewSampledNetFlow(NetFlowConfig{SamplingRate: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPackets(b, alg)
+}
+
+func BenchmarkOrdinarySamplingPerPacket(b *testing.B) {
+	alg, err := NewOrdinarySampling(OrdinarySamplingConfig{
+		Entries: 4096, Probability: 1.0 / 16, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPackets(b, alg)
+}
+
+func BenchmarkDeviceEndToEnd(b *testing.B) {
+	cfg, err := Preset("COS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg = cfg.Scaled(0.05).WithIntervals(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		alg, err := NewMultistageFilter(MultistageConfig{
+			Stages: 4, Buckets: 256, Entries: 128,
+			Threshold:    uint64(0.001 * cfg.Capacity()),
+			Conservative: true, Shield: true, Preserve: true, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dev := NewDevice(alg, FiveTuple, NewAdaptor(MultistageAdaptation()))
+		src, err := NewGenerator(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := Replay(src, dev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(n), "packets/op")
+	}
+}

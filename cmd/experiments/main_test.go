@@ -1,0 +1,25 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func tinyOpts() experiments.Options {
+	return experiments.Options{Scale: 0.02, Runs: 1, Intervals: 3, Seed: 1}
+}
+
+func TestRunOneCheapExperiments(t *testing.T) {
+	for _, name := range []string{"table1", "table2", "table3", "figure6", "adapt", "sketches"} {
+		if err := runOne(name, tinyOpts()); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunOneUnknown(t *testing.T) {
+	if err := runOne("bogus", tinyOpts()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,274 @@
+// Command hhdevice runs a complete traffic measurement device over a trace
+// and prints the heavy hitters it identifies per measurement interval —
+// the tool a network operator would run at a vantage point.
+//
+// Usage:
+//
+//	hhdevice -alg msf -def dstIP -threshold 0.001 mag.trace
+//	hhdevice -alg sh -preset MAG -scale 0.05 -adapt -entries 512 -top 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/core/device"
+	"repro/internal/core/multistage"
+	"repro/internal/core/sampleandhold"
+	"repro/internal/flow"
+	"repro/internal/netflow"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		algName   = flag.String("alg", "msf", "algorithm: sh, msf, netflow")
+		defName   = flag.String("def", "5-tuple", "flow definition: 5-tuple, dstIP, ASpair")
+		threshold = flag.Float64("threshold", 0.001, "large-flow threshold as a fraction of link capacity")
+		entries   = flag.Int("entries", 1024, "flow memory entries")
+		stages    = flag.Int("stages", 4, "filter stages (msf)")
+		buckets   = flag.Int("buckets", 1024, "counters per stage (msf)")
+		oversamp  = flag.Float64("oversampling", 4, "oversampling factor (sh)")
+		rate      = flag.Int("rate", 16, "sampling rate 1-in-x (netflow)")
+		adaptive  = flag.Bool("adapt", false, "enable dynamic threshold adaptation (Figure 5)")
+		export    = flag.String("export", "", "export reports as NetFlow v5 over UDP to this address")
+		shards    = flag.Int("shards", 1, "shard the device across this many parallel lanes")
+		top       = flag.Int("top", 10, "heavy hitters to print per interval")
+		seed      = flag.Int64("seed", 1, "algorithm seed")
+
+		preset    = flag.String("preset", "", "run on a synthetic preset instead of a file")
+		scale     = flag.Float64("scale", 0.05, "scale factor for -preset")
+		intervals = flag.Int("intervals", 6, "intervals for -preset")
+	)
+	flag.Parse()
+	if err := run(*algName, *defName, *threshold, *entries, *stages, *buckets,
+		*oversamp, *rate, *adaptive, *export, *shards, *top, *seed, *preset, *scale, *intervals, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "hhdevice:", err)
+		os.Exit(1)
+	}
+}
+
+func openSource(preset string, scale float64, intervals int, seed int64, args []string) (trace.Source, func() error, error) {
+	if preset != "" {
+		cfg, err := trace.Preset(preset)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.Seed = seed
+		if scale != 1 {
+			cfg = cfg.Scaled(scale)
+		}
+		if intervals > 0 {
+			cfg = cfg.WithIntervals(intervals)
+		}
+		g, err := trace.NewGenerator(cfg)
+		return g, func() error { return nil }, err
+	}
+	if len(args) != 1 {
+		return nil, nil, fmt.Errorf("need exactly one trace file or -preset")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	if strings.HasSuffix(args[0], ".pcap") {
+		// Pcap captures carry no measurement metadata; assume an OC-3 link
+		// with 5-second intervals covering the whole capture.
+		meta := trace.Meta{
+			Name:            args[0],
+			LinkBytesPerSec: 155.52e6 / 8,
+			Interval:        5 * time.Second,
+			Intervals:       12,
+		}
+		if intervals > 0 {
+			meta.Intervals = intervals
+		}
+		r, err := trace.NewPcapSource(f, meta)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return r, f.Close, nil
+	}
+	r, err := trace.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return r, f.Close, nil
+}
+
+func run(algName, defName string, threshold float64, entries, stages, buckets int,
+	oversamp float64, rate int, adaptive bool, export string, shards, top int, seed int64,
+	preset string, scale float64, intervals int, args []string) error {
+
+	def := flow.DefinitionByName(defName)
+	if def == nil {
+		return fmt.Errorf("unknown flow definition %q", defName)
+	}
+	src, closeSrc, err := openSource(preset, scale, intervals, seed, args)
+	if err != nil {
+		return err
+	}
+	defer closeSrc()
+	meta := src.Meta()
+	thBytes := uint64(threshold * meta.Capacity())
+	if thBytes < 1 {
+		thBytes = 1
+	}
+
+	mkAlg := func(algSeed int64) (core.Algorithm, *adapt.Adaptor, error) {
+		var (
+			alg     core.Algorithm
+			adaptor *adapt.Adaptor
+			err     error
+		)
+		switch algName {
+		case "sh":
+			alg, err = sampleandhold.New(sampleandhold.Config{
+				Entries:      entries,
+				Threshold:    thBytes,
+				Oversampling: oversamp,
+				Preserve:     true,
+				EarlyRemoval: 0.15,
+				Seed:         algSeed,
+			})
+			if adaptive {
+				adaptor = adapt.New(adapt.SampleAndHoldDefaults())
+			}
+		case "msf":
+			alg, err = multistage.New(multistage.Config{
+				Stages:       stages,
+				Buckets:      buckets,
+				Entries:      entries,
+				Threshold:    thBytes,
+				Conservative: true,
+				Shield:       true,
+				Preserve:     true,
+				Seed:         algSeed,
+			})
+			if adaptive {
+				adaptor = adapt.New(adapt.MultistageDefaults())
+			}
+		case "netflow":
+			alg, err = netflow.New(netflow.Config{SamplingRate: rate})
+		default:
+			err = fmt.Errorf("unknown algorithm %q (want sh, msf, netflow)", algName)
+		}
+		return alg, adaptor, err
+	}
+	if shards > 1 {
+		return runSharded(mkAlg, def, src, meta, thBytes, threshold, export, shards, top)
+	}
+	alg, adaptor, err := mkAlg(seed)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("device: %s, flows by %s, threshold %d bytes (%.4f%% of capacity), %d entries\n",
+		alg.Name(), def.Name(), thBytes, threshold*100, alg.Capacity())
+
+	var exporter *netflow.UDPExporter
+	if export != "" {
+		exporter, err = netflow.DialUDPExporter(export, netflow.NewExporter(def))
+		if err != nil {
+			return err
+		}
+		defer exporter.Close()
+	}
+
+	dev := device.New(alg, def, adaptor)
+	dev.KeepReports = false
+	dev.OnReport = func(r device.IntervalReport) {
+		fmt.Printf("interval %d: threshold %d bytes, %d/%d entries used, %d flows reported\n",
+			r.Interval, r.Threshold, r.EntriesUsed, alg.Capacity(), len(r.Estimates))
+		n := top
+		if n > len(r.Estimates) {
+			n = len(r.Estimates)
+		}
+		for _, e := range r.Estimates[:n] {
+			exactMark := ""
+			if e.Exact {
+				exactMark = " (exact)"
+			}
+			fmt.Printf("  %12d bytes%s  %s\n", e.Bytes, exactMark, def.Format(e.Key))
+		}
+		if exporter != nil {
+			uptime := time.Duration(r.Interval+1) * meta.Interval
+			if err := exporter.Send(exporter.Export(r.Estimates, uptime)); err != nil {
+				fmt.Fprintf(os.Stderr, "export: %v\n", err)
+			}
+		}
+	}
+	n, err := trace.Replay(src, dev)
+	if err != nil {
+		return err
+	}
+	mem := alg.Mem()
+	fmt.Printf("processed %d packets, %.2f memory references/packet\n", n, mem.PerPacket())
+	if exporter != nil {
+		fmt.Printf("exported %d v5 packets, %d bytes to %s\n", exporter.PacketsSent, exporter.BytesSent, export)
+	}
+	return nil
+}
+
+// runSharded drives the trace through an RSS-style pipeline of independent
+// per-shard algorithm instances (threshold adaptation is per shard and
+// therefore disabled here; use a single lane for adaptive runs).
+func runSharded(mkAlg func(int64) (core.Algorithm, *adapt.Adaptor, error), def flow.Definition,
+	src trace.Source, meta trace.Meta, thBytes uint64, threshold float64,
+	export string, shards, top int) error {
+
+	pipe, err := pipeline.New(pipeline.Config{
+		Shards:     shards,
+		QueueDepth: 1024,
+		NewAlgorithm: func(shard int) (core.Algorithm, error) {
+			alg, _, err := mkAlg(int64(shard) + 1)
+			return alg, err
+		},
+		Definition: def,
+	})
+	if err != nil {
+		return err
+	}
+	defer pipe.Close()
+
+	var exporter *netflow.UDPExporter
+	if export != "" {
+		exporter, err = netflow.DialUDPExporter(export, netflow.NewExporter(def))
+		if err != nil {
+			return err
+		}
+		defer exporter.Close()
+	}
+	fmt.Printf("sharded device: %d lanes, flows by %s, threshold %d bytes (%.4f%% of capacity)\n",
+		shards, def.Name(), thBytes, threshold*100)
+	n, err := trace.Replay(src, pipe)
+	if err != nil {
+		return err
+	}
+	for _, r := range pipe.Reports() {
+		fmt.Printf("interval %d: %d flows reported (per shard: %v)\n", r.Interval, len(r.Estimates), r.PerShard)
+		limit := top
+		if limit > len(r.Estimates) {
+			limit = len(r.Estimates)
+		}
+		for _, e := range r.Estimates[:limit] {
+			fmt.Printf("  %12d bytes  %s\n", e.Bytes, def.Format(e.Key))
+		}
+		if exporter != nil {
+			uptime := time.Duration(r.Interval+1) * meta.Interval
+			if err := exporter.Send(exporter.Export(r.Estimates, uptime)); err != nil {
+				fmt.Fprintf(os.Stderr, "export: %v\n", err)
+			}
+		}
+	}
+	fmt.Printf("processed %d packets across %d lanes\n", n, shards)
+	return nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunAlgorithmsOnPreset(t *testing.T) {
+	for _, alg := range []string{"sh", "msf", "netflow"} {
+		if err := run(alg, "5-tuple", 0.001, 64, 2, 128, 4, 16, true, "", 1, 3, 1,
+			"COS", 0.05, 2, nil); err != nil {
+			t.Errorf("%s: %v", alg, err)
+		}
+	}
+}
+
+func TestRunDefinitions(t *testing.T) {
+	for _, def := range []string{"dstIP", "ASpair"} {
+		if err := run("msf", def, 0.001, 64, 2, 128, 4, 16, false, "", 1, 1, 1,
+			"MAG", 0.01, 1, nil); err != nil {
+			t.Errorf("%s: %v", def, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", "5-tuple", 0.001, 64, 2, 128, 4, 16, false, "", 1, 1, 1, "COS", 0.05, 1, nil); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	if err := run("msf", "bogus", 0.001, 64, 2, 128, 4, 16, false, "", 1, 1, 1, "COS", 0.05, 1, nil); err == nil {
+		t.Error("bad definition accepted")
+	}
+	if err := run("msf", "5-tuple", 0.001, 64, 2, 128, 4, 16, false, "", 1, 1, 1, "", 1, 1, nil); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run("msf", "5-tuple", 0.001, 64, 2, 128, 4, 16, false, "", 1, 1, 1, "", 1, 1,
+		[]string{filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,88 @@
+// Command hwcheck evaluates the line-rate feasibility of measurement
+// designs across link speeds, following the paper's Section 8 analysis:
+// per-packet memory time versus worst-case packet inter-arrival time at
+// each speed, for sample and hold (one memory reference), serially-accessed
+// multistage filters (network processors) and parallel pipelined filters
+// (the paper's OC-192 chip design).
+//
+// Usage:
+//
+//	hwcheck [-stages 4] [-sram 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/hw"
+)
+
+func main() {
+	var (
+		stages = flag.Int("stages", 4, "filter stages")
+		sram   = flag.Float64("sram", 0, "SRAM access time in ns (0 = paper's 5 ns)")
+	)
+	flag.Parse()
+	if err := run(*stages, *sram); err != nil {
+		fmt.Fprintln(os.Stderr, "hwcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(stages int, sram float64) error {
+	links := []struct {
+		name string
+		bps  float64
+	}{
+		{"OC-3", hw.OC3Bps},
+		{"OC-12", hw.OC12Bps},
+		{"OC-48", hw.OC48Bps},
+		{"OC-192", hw.OC192Bps},
+	}
+	designs := []struct {
+		name string
+		cfg  hw.DesignConfig
+	}{
+		{"sample-and-hold (1 ref/pkt)", hw.DesignConfig{Stages: 0}},
+		{fmt.Sprintf("msf %d stages, serial (netproc)", stages), hw.DesignConfig{Stages: stages}},
+		{fmt.Sprintf("msf %d stages, parallel chip", stages), hw.DesignConfig{Stages: stages, ParallelStages: true, Pipelined: true}},
+	}
+	fmt.Printf("line-rate feasibility for %d-byte packets (SRAM %g ns)\n\n",
+		hw.MinPacketBytes, nonzero(sram, 5))
+	fmt.Printf("%-34s", "design \\ link")
+	for _, l := range links {
+		fmt.Printf(" %16s", l.name)
+	}
+	fmt.Println()
+	for _, d := range designs {
+		fmt.Printf("%-34s", d.name)
+		for _, l := range links {
+			cfg := d.cfg
+			cfg.LinkBps = l.bps
+			cfg.SRAMAccessNs = sram
+			f, err := hw.Check(cfg)
+			if err != nil {
+				return err
+			}
+			cell := fmt.Sprintf("ok %4.0fns/%4.0fns", f.MemoryNs, f.PacketNs)
+			if !f.Feasible {
+				cell = fmt.Sprintf("NO %4.0fns/%4.0fns", f.MemoryNs, f.PacketNs)
+			}
+			fmt.Printf(" %16s", cell)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nreference chip (Section 8): %d stages x %d counters, %d entries, ~%dk transistors, OC-192\n",
+		hw.ChipStages, hw.ChipCountersPerStep, hw.ChipFlowEntries, hw.ChipTransistors/1000)
+	camLoad := hw.ExpectedCamLoad(hw.ChipFlowEntries, hw.ChipCountersPerStep)
+	fmt.Printf("hash-table flow memory at chip load: expect ~%.0f colliding entries in the CAM\n", camLoad)
+	return nil
+}
+
+func nonzero(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRun(t *testing.T) {
+	if err := run(4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(1, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonzero(t *testing.T) {
+	if nonzero(0, 5) != 5 || nonzero(3, 5) != 3 {
+		t.Error("nonzero helper wrong")
+	}
+}

@@ -1,0 +1,116 @@
+// Command nfcollector is a NetFlow v5 collection station: it listens on
+// UDP, decodes export packets from measurement devices (cmd/hhdevice
+// -export, or any v5 exporter), tracks sequence gaps, and periodically
+// prints the top flows by reported bytes.
+//
+// Usage:
+//
+//	nfcollector -listen :2055 -top 10 -every 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/netflow"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:2055", "UDP listen address")
+		top    = flag.Int("top", 10, "flows to print per summary")
+		every  = flag.Duration("every", 5*time.Second, "summary period")
+	)
+	flag.Parse()
+	if err := run(*listen, *top, *every); err != nil {
+		fmt.Fprintln(os.Stderr, "nfcollector:", err)
+		os.Exit(1)
+	}
+}
+
+type agg struct {
+	mu    sync.Mutex
+	bytes map[netflow.V5Record]uint64 // keyed by addressing fields (Bytes zeroed)
+}
+
+func (a *agg) add(p *netflow.V5Packet) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, r := range p.Records {
+		key := r
+		key.Bytes, key.Packets = 0, 0
+		a.bytes[key] += uint64(r.Bytes)
+	}
+}
+
+func (a *agg) top(n int) []struct {
+	rec   netflow.V5Record
+	bytes uint64
+} {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]struct {
+		rec   netflow.V5Record
+		bytes uint64
+	}, 0, len(a.bytes))
+	for r, b := range a.bytes {
+		out = append(out, struct {
+			rec   netflow.V5Record
+			bytes uint64
+		}{r, b})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].bytes > out[j].bytes })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func run(listen string, top int, every time.Duration) error {
+	a := &agg{bytes: make(map[netflow.V5Record]uint64)}
+	srv, addr, stop, err := netflow.ListenAndServe(listen, func(_ net.Addr, p *netflow.V5Packet) {
+		a.add(p)
+	})
+	if err != nil {
+		return err
+	}
+	defer stop()
+	fmt.Printf("collecting NetFlow v5 on %s (summary every %v)\n", addr, every)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			st := srv.Stats()
+			fmt.Printf("\n[%s] %s\n", time.Now().Format("15:04:05"), st)
+			for _, e := range a.top(top) {
+				fmt.Printf("  %12d bytes  %s\n", e.bytes, describe(e.rec))
+			}
+		case <-sig:
+			fmt.Printf("\nfinal: %s\n", srv.Stats())
+			return nil
+		}
+	}
+}
+
+func describe(r netflow.V5Record) string {
+	switch {
+	case r.SrcAS != 0 || r.DstAS != 0:
+		return fmt.Sprintf("AS%d -> AS%d", r.SrcAS, r.DstAS)
+	case r.SrcIP == 0 && r.SrcPort == 0 && r.DstPort == 0:
+		return flow.IPString(r.DstIP)
+	default:
+		return fmt.Sprintf("%s:%d -> %s:%d proto %d",
+			flow.IPString(r.SrcIP), r.SrcPort, flow.IPString(r.DstIP), r.DstPort, r.Proto)
+	}
+}

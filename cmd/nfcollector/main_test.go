@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/netflow"
+)
+
+func TestDescribe(t *testing.T) {
+	tests := []struct {
+		rec  netflow.V5Record
+		want string
+	}{
+		{netflow.V5Record{SrcAS: 1, DstAS: 2}, "AS1 -> AS2"},
+		{netflow.V5Record{DstIP: 0x01020304}, "1.2.3.4"},
+		{netflow.V5Record{SrcIP: 0x01000001, DstIP: 0x01000002, SrcPort: 5, DstPort: 80, Proto: 6},
+			"1.0.0.1:5 -> 1.0.0.2:80 proto 6"},
+	}
+	for _, tt := range tests {
+		if got := describe(tt.rec); got != tt.want {
+			t.Errorf("describe(%+v) = %q, want %q", tt.rec, got, tt.want)
+		}
+	}
+}
+
+func TestAggTop(t *testing.T) {
+	a := &agg{bytes: map[netflow.V5Record]uint64{}}
+	a.add(&netflow.V5Packet{Records: []netflow.V5Record{
+		{DstIP: 1, Bytes: 100},
+		{DstIP: 2, Bytes: 300},
+		{DstIP: 1, Bytes: 50},
+	}})
+	top := a.top(1)
+	if len(top) != 1 || top[0].bytes != 300 {
+		t.Errorf("top = %+v", top)
+	}
+	if got := a.top(10); len(got) != 2 {
+		t.Errorf("all = %+v", got)
+	}
+	// Aggregation across packets for the same key.
+	if a.bytes[netflow.V5Record{DstIP: 1}] != 150 {
+		t.Error("aggregation by key failed")
+	}
+}

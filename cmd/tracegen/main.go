@@ -1,0 +1,98 @@
+// Command tracegen generates synthetic traffic traces calibrated to the
+// paper's Table 3 and writes them to this library's compact binary format
+// or to a pcap file readable by standard tools.
+//
+// Usage:
+//
+//	tracegen -preset MAG -scale 0.05 -intervals 18 -o mag.trace
+//	tracegen -preset COS -scale 0.1 -pcap -o cos.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/pcap"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		preset    = flag.String("preset", "MAG", "trace preset: MAG+, MAG, IND, COS")
+		scale     = flag.Float64("scale", 0.05, "scale factor (1 = paper scale)")
+		intervals = flag.Int("intervals", 0, "override number of measurement intervals")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		out       = flag.String("o", "", "output file (required)")
+		asPcap    = flag.Bool("pcap", false, "write a pcap capture instead of the native format")
+	)
+	flag.Parse()
+	if err := run(*preset, *scale, *intervals, *seed, *out, *asPcap); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(preset string, scale float64, intervals int, seed int64, out string, asPcap bool) error {
+	if out == "" {
+		return fmt.Errorf("missing -o output file")
+	}
+	cfg, err := trace.Preset(preset)
+	if err != nil {
+		return err
+	}
+	cfg.Seed = seed
+	if scale != 1 {
+		cfg = cfg.Scaled(scale)
+	}
+	if intervals > 0 {
+		cfg = cfg.WithIntervals(intervals)
+	}
+	g, err := trace.NewGenerator(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var n int
+	if asPcap {
+		n, err = writePcap(f, g)
+	} else {
+		n, err = trace.WriteAll(f, g)
+	}
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d packets (%s, %d intervals of %v, %.1f MB/interval target) to %s\n",
+		n, cfg.Name, cfg.Intervals, cfg.Interval, cfg.BytesPerInterval/1e6, out)
+	return nil
+}
+
+func writePcap(f *os.File, src trace.Source) (int, error) {
+	w, err := pcap.NewWriter(f)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		p, err := src.Next()
+		if err == io.EOF {
+			return n, w.Flush()
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := w.WritePacket(&p); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

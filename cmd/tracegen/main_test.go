@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRunNativeFormat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.trace")
+	if err := run("COS", 0.05, 2, 1, out, false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Meta().Intervals != 2 {
+		t.Errorf("intervals = %d", r.Meta().Intervals)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Errorf("no packets: %v", err)
+	}
+}
+
+func TestRunPcapFormat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.pcap")
+	if err := run("COS", 0.05, 1, 1, out, true); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() < 24 {
+		t.Error("pcap output implausibly small")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("COS", 0.05, 1, 1, "", false); err == nil {
+		t.Error("missing output accepted")
+	}
+	if err := run("NOPE", 0.05, 1, 1, filepath.Join(t.TempDir(), "x"), false); err == nil {
+		t.Error("bad preset accepted")
+	}
+	if err := run("COS", 0.05, 1, 1, "/nonexistent/dir/x.trace", false); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

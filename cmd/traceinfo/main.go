@@ -1,0 +1,88 @@
+// Command traceinfo prints Table 3-style statistics for traces: active
+// flows per measurement interval under each flow definition, and traffic
+// volume per interval.
+//
+// Usage:
+//
+//	traceinfo mag.trace [more.trace ...]
+//	traceinfo -preset COS -scale 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		preset    = flag.String("preset", "", "summarize a synthetic preset instead of files")
+		scale     = flag.Float64("scale", 0.05, "scale factor for -preset")
+		intervals = flag.Int("intervals", 0, "override intervals for -preset")
+		seed      = flag.Int64("seed", 1, "generator seed for -preset")
+	)
+	flag.Parse()
+	if err := run(*preset, *scale, *intervals, *seed, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "traceinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(preset string, scale float64, intervals int, seed int64, files []string) error {
+	if preset == "" && len(files) == 0 {
+		return fmt.Errorf("need trace files or -preset")
+	}
+	if preset != "" {
+		cfg, err := trace.Preset(preset)
+		if err != nil {
+			return err
+		}
+		cfg.Seed = seed
+		if scale != 1 {
+			cfg = cfg.Scaled(scale)
+		}
+		if intervals > 0 {
+			cfg = cfg.WithIntervals(intervals)
+		}
+		g, err := trace.NewGenerator(cfg)
+		if err != nil {
+			return err
+		}
+		return summarize(g)
+	}
+	for _, name := range files {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		r, err := trace.NewReader(f)
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := summarize(r); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		f.Close()
+	}
+	return nil
+}
+
+func summarize(src trace.Source) error {
+	meta := src.Meta()
+	st, err := trace.CollectStats(src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d intervals of %v, link %.1f Mbit/s (%.0f MB/interval capacity)\n",
+		meta.Name, meta.Intervals, meta.Interval,
+		meta.LinkBytesPerSec*8/1e6, meta.Capacity()/1e6)
+	fmt.Printf("  packets: %d\n", st.Packets)
+	fmt.Printf("  %s\n", st.String())
+	util := st.MBytes.Avg * 1e6 / meta.Capacity() * 100
+	fmt.Printf("  utilization: %.1f%%\n", util)
+	return nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/trace"
+)
+
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	meta := trace.Meta{Name: "t", LinkBytesPerSec: 1e6, Interval: time.Second, Intervals: 1}
+	pkts := []flow.Packet{{Time: 0, Size: 100, SrcIP: 1, DstIP: 2, Proto: 6}}
+	if _, err := trace.WriteAll(f, trace.NewSliceSource(meta, pkts)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFile(t *testing.T) {
+	if err := run("", 1, 0, 1, []string{writeTestTrace(t)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPreset(t *testing.T) {
+	if err := run("COS", 0.05, 1, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 1, 0, 1, nil); err == nil {
+		t.Error("no input accepted")
+	}
+	if err := run("NOPE", 1, 0, 1, nil); err == nil {
+		t.Error("bad preset accepted")
+	}
+	if err := run("", 1, 0, 1, []string{"/nonexistent"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Not a trace file.
+	bad := filepath.Join(t.TempDir(), "bad")
+	if err := os.WriteFile(bad, bytes.Repeat([]byte{0}, 64), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 1, 0, 1, []string{bad}); err == nil {
+		t.Error("garbage file accepted")
+	}
+}

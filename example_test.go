@@ -1,0 +1,71 @@
+package traffic_test
+
+import (
+	"fmt"
+	"time"
+
+	traffic "repro"
+)
+
+// ExampleNewMultistageFilter identifies the one large flow in a tiny
+// hand-built trace; the mouse flow never reaches the threshold.
+func ExampleNewMultistageFilter() {
+	meta := traffic.TraceMeta{
+		Name:            "example",
+		LinkBytesPerSec: 1e6,
+		Interval:        time.Second,
+		Intervals:       1,
+	}
+	var pkts []traffic.Packet
+	for i := 0; i < 100; i++ {
+		pkts = append(pkts, traffic.Packet{
+			Time: time.Duration(i) * time.Millisecond, Size: 1000,
+			SrcIP: 1, DstIP: 2, DstPort: 80, Proto: 6, // the elephant
+		})
+	}
+	pkts = append(pkts, traffic.Packet{
+		Time: 500 * time.Millisecond, Size: 40,
+		SrcIP: 9, DstIP: 2, DstPort: 80, Proto: 6, // a mouse
+	})
+
+	alg, err := traffic.NewMultistageFilter(traffic.MultistageConfig{
+		Stages: 2, Buckets: 64, Entries: 16,
+		Threshold:    10000,
+		Conservative: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	dev := traffic.NewDevice(alg, traffic.FiveTuple, nil)
+	if _, err := traffic.Replay(traffic.NewSliceSource(meta, pkts), dev); err != nil {
+		panic(err)
+	}
+	for _, e := range dev.Reports()[0].Estimates {
+		fmt.Printf("%s: at least %d bytes\n", traffic.FiveTuple.Format(e.Key), e.Bytes)
+	}
+	// Output:
+	// 0.0.0.1:0 -> 0.0.0.2:80 proto 6: at least 91000 bytes
+}
+
+// ExampleBillInterval bills a report with threshold accounting: the flow
+// above 1% of capacity pays by usage, everything else is covered by the
+// flat fee.
+func ExampleBillInterval() {
+	ests := []traffic.Estimate{
+		{Key: traffic.FlowKey{Lo: 1}, Bytes: 50000, Exact: true},
+		{Key: traffic.FlowKey{Lo: 2}, Bytes: 800},
+	}
+	bill, err := traffic.BillInterval(0, ests, 1e6, traffic.AccountingParams{
+		Z:               0.01,
+		PerByte:         0.0001,
+		FlatPerInterval: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("usage charges: %d\n", len(bill.Usage))
+	fmt.Printf("total: $%.2f\n", bill.Total())
+	// Output:
+	// usage charges: 1
+	// total: $6.00
+}

@@ -1,0 +1,170 @@
+// DoS detection: use destination-IP flows to spot a distributed attack the
+// moment it starts.
+//
+// The paper motivates the destination-IP flow definition for exactly this:
+// a (distributed) denial of service attack shows up as a sudden large
+// "flow" to one destination, regardless of how many sources participate.
+// The example injects an attack into background traffic halfway through the
+// trace and shows that a multistage filter flags the victim in the very
+// first interval of the attack with an accurate byte count, while Sampled
+// NetFlow's 1-in-16 estimate for the same interval is noisy — the paper's
+// point (v), "faster detection of new large flows".
+//
+//	go run ./examples/dos-detection
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	traffic "repro"
+)
+
+const (
+	intervals   = 6
+	attackStart = 3 // interval in which the attack begins
+	victimIP    = 0xC0A80001
+	attackMBps  = 2.0 // attack volume: 2 MB per interval
+)
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
+	// Background traffic: the scaled COS preset.
+	cfg, err := traffic.Preset("COS")
+	if err != nil {
+		return err
+	}
+	cfg = cfg.Scaled(0.1).WithIntervals(intervals)
+	bg, err := traffic.NewGenerator(cfg)
+	if err != nil {
+		return err
+	}
+
+	// Merge an attack on top: hundreds of sources, small packets, one
+	// victim, starting at interval 3.
+	pkts := mergeAttack(bg, cfg)
+
+	// Device: destination-IP flows, multistage filter with a fixed
+	// threshold at 0.02% of capacity — an operator's "large aggregate"
+	// alarm level.
+	threshold := uint64(0.0002 * cfg.Capacity())
+	msf, err := traffic.NewMultistageFilter(traffic.MultistageConfig{
+		Stages:       4,
+		Buckets:      1024,
+		Entries:      256,
+		Threshold:    threshold,
+		Conservative: true,
+		Shield:       true,
+		Preserve:     true,
+		Seed:         2,
+	})
+	if err != nil {
+		return err
+	}
+	msfDev := traffic.NewDevice(msf, traffic.DstIP, nil)
+
+	// Baseline: Sampled NetFlow at 1 in 16.
+	nf, err := traffic.NewSampledNetFlow(traffic.NetFlowConfig{SamplingRate: 16})
+	if err != nil {
+		return err
+	}
+	nfDev := traffic.NewDevice(nf, traffic.DstIP, nil)
+
+	for _, dev := range []*traffic.Device{msfDev, nfDev} {
+		if _, err := traffic.Replay(traffic.NewSliceSource(cfg.Meta, pkts), dev); err != nil {
+			return err
+		}
+	}
+
+	victim := traffic.DstIP.Key(&traffic.Packet{DstIP: victimIP})
+	truth := exactPerInterval(cfg, pkts, victim)
+
+	fmt.Fprintf(out, "attack: ~%.1f MB/interval to %s from interval %d on (threshold %d bytes)\n\n",
+		attackMBps, traffic.DstIP.Format(victim), attackStart, threshold)
+	fmt.Fprintf(out, "%-9s %12s %14s %14s\n", "interval", "true bytes", "msf estimate", "netflow est")
+	for i := 0; i < intervals; i++ {
+		msfEst, msfOK := msfDev.Reports()[i].Estimate(victim)
+		nfEst, nfOK := nfDev.Reports()[i].Estimate(victim)
+		fmt.Fprintf(out, "%-9d %12d %14s %14s\n", i, truth[i], mark(msfEst, msfOK), mark(nfEst, nfOK))
+	}
+
+	// The verdict: detection interval and first-interval accuracy.
+	fmt.Fprintln(out)
+	if est, ok := msfDev.Reports()[attackStart].Estimate(victim); ok {
+		errPct := 100 * (float64(truth[attackStart]) - float64(est)) / float64(truth[attackStart])
+		fmt.Fprintf(out, "multistage filter flags the victim in interval %d with %.1f%% undercount (provable lower bound)\n",
+			attackStart, errPct)
+	} else {
+		fmt.Fprintln(out, "multistage filter missed the attack — should not happen (no false negatives)")
+	}
+	if est, ok := nfDev.Reports()[attackStart].Estimate(victim); ok {
+		errPct := 100 * (float64(est) - float64(truth[attackStart])) / float64(truth[attackStart])
+		fmt.Fprintf(out, "sampled NetFlow's renormalized estimate is off by %+.1f%% (can over- or undershoot)\n", errPct)
+	}
+	return nil
+}
+
+func mark(est uint64, ok bool) string {
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%d", est)
+}
+
+// mergeAttack collects the background trace and injects the attack packets,
+// keeping global time order.
+func mergeAttack(bg traffic.Source, cfg traffic.GenConfig) []traffic.Packet {
+	var pkts []traffic.Packet
+	for {
+		p, err := bg.Next()
+		if err != nil {
+			break
+		}
+		pkts = append(pkts, p)
+	}
+	rng := rand.New(rand.NewSource(99))
+	const attackPacketSize = 60 // SYN-flood style packets
+	attackBytes := attackMBps * 1e6
+	perInterval := int(attackBytes / attackPacketSize)
+	for iv := attackStart; iv < cfg.Intervals; iv++ {
+		base := time.Duration(iv) * cfg.Interval
+		for i := 0; i < perInterval; i++ {
+			pkts = append(pkts, traffic.Packet{
+				Time:    base + time.Duration(rng.Int63n(int64(cfg.Interval))),
+				Size:    60,
+				SrcIP:   rng.Uint32(), // spoofed / distributed sources
+				DstIP:   victimIP,
+				SrcPort: uint16(rng.Intn(65536)),
+				DstPort: 80,
+				Proto:   6,
+			})
+		}
+	}
+	sort.Slice(pkts, func(i, j int) bool { return pkts[i].Time < pkts[j].Time })
+	return pkts
+}
+
+// exactPerInterval computes the victim's true per-interval traffic.
+func exactPerInterval(cfg traffic.GenConfig, pkts []traffic.Packet, victim traffic.FlowKey) []uint64 {
+	truth := make([]uint64, cfg.Intervals)
+	for i := range pkts {
+		if traffic.DstIP.Key(&pkts[i]) == victim {
+			iv := int(pkts[i].Time / cfg.Interval)
+			if iv >= cfg.Intervals {
+				iv = cfg.Intervals - 1
+			}
+			truth[iv] += uint64(pkts[i].Size)
+		}
+	}
+	return truth
+}

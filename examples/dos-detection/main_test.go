@@ -1,0 +1,21 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "multistage filter flags the victim in interval 3") {
+		t.Errorf("attack not detected in its first interval:\n%s", s)
+	}
+	if strings.Contains(s, "should not happen") {
+		t.Error("false negative reported")
+	}
+}

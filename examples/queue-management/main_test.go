@@ -1,0 +1,21 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if strings.Contains(s, "WARNING") {
+		t.Errorf("penalizing did not improve fairness:\n%s", s)
+	}
+	if !strings.Contains(s, "detector flagged") {
+		t.Error("detector summary missing")
+	}
+}

@@ -1,0 +1,125 @@
+// Threshold accounting: bill the heavy hitters by usage and everyone else
+// by duration, as the paper proposes (Section 1.2), and demonstrate the
+// lower-bound billing guarantee.
+//
+// Flows above z of the link capacity are charged per byte from the
+// measurement device's estimates; the rest pay a flat per-interval fee.
+// Because sample-and-hold estimates are provable lower bounds, no customer
+// is ever charged for more than they sent — the property that makes these
+// algorithms usable for billing where Sampled NetFlow's renormalized
+// estimates are not (the paper's point iii).
+//
+//	go run ./examples/threshold-accounting
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	traffic "repro"
+)
+
+const zThreshold = 0.002 // usage-based pricing above 0.2% of capacity
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer) error {
+	cfg, err := traffic.Preset("IND")
+	if err != nil {
+		return err
+	}
+	cfg = cfg.Scaled(0.1).WithIntervals(4)
+	cfg.HasAS = true // bill by customer AS pair
+	capacity := cfg.Capacity()
+
+	// Sample and hold with preserved entries: after a flow's first
+	// interval, its usage is metered exactly.
+	alg, err := traffic.NewSampleAndHold(traffic.SampleAndHoldConfig{
+		Entries:      512,
+		Threshold:    uint64(zThreshold * capacity),
+		Oversampling: 20, // high oversampling: miss probability e^-20
+		Preserve:     true,
+		Seed:         7,
+	})
+	if err != nil {
+		return err
+	}
+	dev := traffic.NewDevice(alg, traffic.ASPair, nil)
+
+	// Oracle for the no-overcharge check.
+	oracle := traffic.NewExactCounter(traffic.ASPair)
+	var truths []map[traffic.FlowKey]uint64
+	src, err := traffic.NewGenerator(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := traffic.Replay(src, tee{dev, oracle, &truths}); err != nil {
+		return err
+	}
+
+	tariff := traffic.AccountingParams{
+		Z:               zThreshold,
+		PerByte:         2e-8, // $0.02 per GB
+		FlatPerInterval: 0.05,
+	}
+	ledger := traffic.NewLedger()
+	overcharged := 0
+	for _, r := range dev.Reports() {
+		bill, err := traffic.BillInterval(r.Interval, r.Estimates, capacity, tariff)
+		if err != nil {
+			return err
+		}
+		ledger.Add(bill)
+		fmt.Fprintf(out, "interval %d: %d usage-billed customers, usage $%.4f + flat $%.2f\n",
+			r.Interval, len(bill.Usage), bill.UsageTotal, bill.Flat)
+		for _, c := range bill.Usage[:min(3, len(bill.Usage))] {
+			truth := truths[r.Interval][c.Key]
+			mark := ""
+			if c.Exact {
+				mark = " (metered exactly)"
+			}
+			if c.Bytes > truth {
+				overcharged++
+			}
+			fmt.Fprintf(out, "    %-22s billed %9d bytes, sent %9d  $%.5f%s\n",
+				traffic.ASPair.Format(c.Key), c.Bytes, truth, c.Amount, mark)
+		}
+	}
+	fmt.Fprintf(out, "\ntotal revenue: $%.4f across %d intervals\n", ledger.Revenue, len(ledger.Bills))
+	if overcharged == 0 {
+		fmt.Fprintln(out, "no customer was billed above their true usage (lower-bound guarantee held)")
+	} else {
+		fmt.Fprintf(out, "OVERCHARGED %d customers — the lower-bound guarantee was violated!\n", overcharged)
+	}
+	return nil
+}
+
+type tee struct {
+	dev    *traffic.Device
+	oracle *traffic.ExactCounter
+	truths *[]map[traffic.FlowKey]uint64
+}
+
+func (t tee) Packet(p *traffic.Packet) {
+	t.oracle.Packet(p)
+	t.dev.Packet(p)
+}
+
+func (t tee) EndInterval(i int) {
+	*t.truths = append(*t.truths, t.oracle.Snapshot())
+	t.oracle.Reset()
+	t.dev.EndInterval(i)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "lower-bound guarantee held") {
+		t.Errorf("no-overcharge guarantee violated:\n%s", s)
+	}
+	if !strings.Contains(s, "metered exactly") {
+		t.Error("no exactly-metered customers after the first interval")
+	}
+}

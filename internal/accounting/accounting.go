@@ -1,0 +1,124 @@
+// Package accounting implements the threshold accounting scheme the paper
+// proposes (Section 1.2): flows above z% of the link capacity are charged
+// by usage, while the remaining traffic is charged a flat, duration-based
+// fee. Varying z from 0 to 100 moves continuously between pure usage-based
+// and pure duration-based pricing.
+//
+// Because sample-and-hold and multistage-filter estimates are provable
+// lower bounds on a flow's traffic, usage charges computed from them never
+// overcharge a customer — the property (Section 5.2, point iii) that makes
+// the paper's algorithms suitable for billing where Sampled NetFlow is not.
+package accounting
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+)
+
+// Params sets the tariff.
+type Params struct {
+	// Z is the threshold as a fraction of link capacity per interval;
+	// flows with at least Z*C estimated bytes are charged by usage.
+	Z float64
+	// PerByte is the usage price per byte for flows above the threshold.
+	PerByte float64
+	// FlatPerInterval is the duration-based fee charged once per interval
+	// for all remaining traffic.
+	FlatPerInterval float64
+}
+
+// Validate checks the tariff.
+func (p Params) Validate() error {
+	if p.Z < 0 || p.Z > 1 {
+		return fmt.Errorf("accounting: Z = %g outside [0, 1]", p.Z)
+	}
+	if p.PerByte < 0 || p.FlatPerInterval < 0 {
+		return fmt.Errorf("accounting: negative prices (%g, %g)", p.PerByte, p.FlatPerInterval)
+	}
+	return nil
+}
+
+// Charge is one usage-based charge.
+type Charge struct {
+	Key flow.Key
+	// Bytes is the billed traffic (the device's lower-bound estimate).
+	Bytes uint64
+	// Amount is Bytes * PerByte.
+	Amount float64
+	// Exact marks charges computed from exactly-measured flows.
+	Exact bool
+}
+
+// IntervalBill is the bill for one measurement interval.
+type IntervalBill struct {
+	Interval int
+	// Usage lists per-flow charges for flows above the threshold, largest
+	// first.
+	Usage []Charge
+	// UsageTotal is the sum of usage charges.
+	UsageTotal float64
+	// Flat is the duration-based component.
+	Flat float64
+}
+
+// Total returns the complete charge for the interval.
+func (b IntervalBill) Total() float64 { return b.UsageTotal + b.Flat }
+
+// BillInterval produces the bill for one interval from a measurement
+// device's report. capacity is the link capacity in bytes per interval.
+func BillInterval(interval int, ests []core.Estimate, capacity float64, p Params) (IntervalBill, error) {
+	if err := p.Validate(); err != nil {
+		return IntervalBill{}, err
+	}
+	bill := IntervalBill{Interval: interval, Flat: p.FlatPerInterval}
+	threshold := p.Z * capacity
+	for _, e := range ests {
+		if float64(e.Bytes) < threshold {
+			continue
+		}
+		c := Charge{
+			Key:    e.Key,
+			Bytes:  e.Bytes,
+			Amount: float64(e.Bytes) * p.PerByte,
+			Exact:  e.Exact,
+		}
+		bill.Usage = append(bill.Usage, c)
+		bill.UsageTotal += c.Amount
+	}
+	sort.Slice(bill.Usage, func(i, j int) bool {
+		if bill.Usage[i].Bytes != bill.Usage[j].Bytes {
+			return bill.Usage[i].Bytes > bill.Usage[j].Bytes
+		}
+		if bill.Usage[i].Key.Hi != bill.Usage[j].Key.Hi {
+			return bill.Usage[i].Key.Hi > bill.Usage[j].Key.Hi
+		}
+		return bill.Usage[i].Key.Lo > bill.Usage[j].Key.Lo
+	})
+	return bill, nil
+}
+
+// Ledger accumulates bills across intervals and per-flow usage totals.
+type Ledger struct {
+	Bills []IntervalBill
+	// ByFlow accumulates usage-billed bytes per flow across intervals.
+	ByFlow map[flow.Key]uint64
+	// Revenue is the cumulative total.
+	Revenue float64
+}
+
+// NewLedger creates an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{ByFlow: make(map[flow.Key]uint64)}
+}
+
+// Add records a bill.
+func (l *Ledger) Add(b IntervalBill) {
+	l.Bills = append(l.Bills, b)
+	for _, c := range b.Usage {
+		l.ByFlow[c.Key] += c.Bytes
+	}
+	l.Revenue += b.Total()
+}

@@ -1,0 +1,141 @@
+package accounting
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+)
+
+func key(i uint64) flow.Key { return flow.Key{Lo: i} }
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{Z: 0.01, PerByte: 1e-9, FlatPerInterval: 0.01}).Validate(); err != nil {
+		t.Errorf("good params rejected: %v", err)
+	}
+	bad := []Params{
+		{Z: -0.1},
+		{Z: 1.5},
+		{Z: 0.5, PerByte: -1},
+		{Z: 0.5, FlatPerInterval: -1},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestBillIntervalThresholdSplit(t *testing.T) {
+	const capacity = 1e9
+	p := Params{Z: 0.001, PerByte: 1e-6, FlatPerInterval: 5}
+	ests := []core.Estimate{
+		{Key: key(1), Bytes: 2e6, Exact: true}, // above 0.1% of C: usage-billed
+		{Key: key(2), Bytes: 1e6},              // exactly at threshold: billed
+		{Key: key(3), Bytes: 999999},           // below: flat
+	}
+	bill, err := BillInterval(3, ests, capacity, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bill.Interval != 3 {
+		t.Errorf("interval = %d", bill.Interval)
+	}
+	if len(bill.Usage) != 2 {
+		t.Fatalf("usage charges = %v", bill.Usage)
+	}
+	if bill.Usage[0].Key != key(1) || !bill.Usage[0].Exact {
+		t.Errorf("largest charge = %+v", bill.Usage[0])
+	}
+	wantUsage := 2e6*1e-6 + 1e6*1e-6
+	if math.Abs(bill.UsageTotal-wantUsage) > 1e-9 {
+		t.Errorf("UsageTotal = %g, want %g", bill.UsageTotal, wantUsage)
+	}
+	if math.Abs(bill.Total()-(wantUsage+5)) > 1e-9 {
+		t.Errorf("Total = %g", bill.Total())
+	}
+}
+
+func TestZExtremes(t *testing.T) {
+	ests := []core.Estimate{{Key: key(1), Bytes: 100}, {Key: key(2), Bytes: 1e8}}
+	// Z = 1: pure duration-based pricing — nothing is usage-billed on a
+	// non-saturating link.
+	bill, err := BillInterval(0, ests, 1e9, Params{Z: 1, PerByte: 1, FlatPerInterval: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bill.Usage) != 0 || bill.Total() != 2 {
+		t.Errorf("Z=1: %+v", bill)
+	}
+	// Z = 0: pure usage-based pricing — every reported flow is billed.
+	bill, err = BillInterval(0, ests, 1e9, Params{Z: 0, PerByte: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bill.Usage) != 2 {
+		t.Errorf("Z=0: %+v", bill)
+	}
+}
+
+func TestBillIntervalBadParams(t *testing.T) {
+	if _, err := BillInterval(0, nil, 1e9, Params{Z: 2}); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+func TestLowerBoundEstimatesNeverOvercharge(t *testing.T) {
+	// The core billing property: if estimates are lower bounds (as the
+	// paper's algorithms guarantee), the usage bill never exceeds what
+	// exact metering would charge.
+	truth := map[flow.Key]uint64{key(1): 1000000, key(2): 5000000}
+	ests := []core.Estimate{
+		{Key: key(1), Bytes: 990000},
+		{Key: key(2), Bytes: 4900000},
+	}
+	p := Params{Z: 0.0001, PerByte: 1e-6}
+	billed, _ := BillInterval(0, ests, 1e9, p)
+	var exact []core.Estimate
+	for k, b := range truth {
+		exact = append(exact, core.Estimate{Key: k, Bytes: b})
+	}
+	ideal, _ := BillInterval(0, exact, 1e9, p)
+	if billed.UsageTotal > ideal.UsageTotal {
+		t.Errorf("billed %g exceeds ideal %g", billed.UsageTotal, ideal.UsageTotal)
+	}
+	for _, c := range billed.Usage {
+		if c.Bytes > truth[c.Key] {
+			t.Errorf("flow %v billed %d > true %d", c.Key, c.Bytes, truth[c.Key])
+		}
+	}
+}
+
+func TestLedger(t *testing.T) {
+	l := NewLedger()
+	b1, _ := BillInterval(0, []core.Estimate{{Key: key(1), Bytes: 1000}}, 1e6, Params{Z: 0.0001, PerByte: 0.001, FlatPerInterval: 1})
+	b2, _ := BillInterval(1, []core.Estimate{{Key: key(1), Bytes: 2000}}, 1e6, Params{Z: 0.0001, PerByte: 0.001, FlatPerInterval: 1})
+	l.Add(b1)
+	l.Add(b2)
+	if len(l.Bills) != 2 {
+		t.Errorf("Bills = %d", len(l.Bills))
+	}
+	if l.ByFlow[key(1)] != 3000 {
+		t.Errorf("ByFlow = %d, want 3000", l.ByFlow[key(1)])
+	}
+	want := b1.Total() + b2.Total()
+	if math.Abs(l.Revenue-want) > 1e-9 {
+		t.Errorf("Revenue = %g, want %g", l.Revenue, want)
+	}
+}
+
+func TestUsageChargesSorted(t *testing.T) {
+	ests := []core.Estimate{
+		{Key: key(1), Bytes: 100},
+		{Key: key(2), Bytes: 300},
+		{Key: key(3), Bytes: 200},
+	}
+	bill, _ := BillInterval(0, ests, 1000, Params{Z: 0, PerByte: 1})
+	if bill.Usage[0].Bytes != 300 || bill.Usage[1].Bytes != 200 || bill.Usage[2].Bytes != 100 {
+		t.Errorf("charges not sorted: %v", bill.Usage)
+	}
+}

@@ -1,0 +1,142 @@
+// Package adapt implements the dynamic threshold adaptation algorithm of
+// Figure 5 in the paper (Section 6). Rather than requiring a priori
+// knowledge of the traffic mix, the measurement device keeps decreasing the
+// large-flow threshold below the conservative estimate until the flow
+// memory is nearly full at a configured target usage, and raises it quickly
+// when usage overshoots.
+package adapt
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config holds the adaptation constants. The paper's measured values:
+// target usage 90%, adjustup 3, adjustdown 1 for sample and hold and 0.5
+// for multistage filters, with usage averaged over the last 3 intervals.
+type Config struct {
+	// Target is the desired flow memory usage in (0, 1).
+	Target float64
+	// AdjustUp is the exponent applied when usage exceeds the target.
+	AdjustUp float64
+	// AdjustDown is the exponent applied when lowering the threshold.
+	AdjustDown float64
+	// Window is the number of intervals over which usage is averaged
+	// (the paper uses 3 "to give stability").
+	Window int
+	// HoldIntervals is how many intervals the threshold must go without an
+	// increase before it may be decreased (the paper uses 3).
+	HoldIntervals int
+	// MinThreshold floors the threshold (>= 1).
+	MinThreshold uint64
+	// MaxThreshold caps the threshold; zero means no cap.
+	MaxThreshold uint64
+}
+
+// SampleAndHoldDefaults returns the paper's adaptation constants for sample
+// and hold.
+func SampleAndHoldDefaults() Config {
+	return Config{Target: 0.9, AdjustUp: 3, AdjustDown: 1, Window: 3, HoldIntervals: 3, MinThreshold: 1}
+}
+
+// MultistageDefaults returns the paper's adaptation constants for
+// multistage filters.
+func MultistageDefaults() Config {
+	return Config{Target: 0.9, AdjustUp: 3, AdjustDown: 0.5, Window: 3, HoldIntervals: 3, MinThreshold: 1}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Target <= 0 || c.Target >= 1 {
+		return fmt.Errorf("adapt: Target = %g outside (0,1)", c.Target)
+	}
+	if c.AdjustUp <= 0 || c.AdjustDown <= 0 {
+		return fmt.Errorf("adapt: adjust exponents must be positive (%g, %g)", c.AdjustUp, c.AdjustDown)
+	}
+	if c.Window < 1 || c.HoldIntervals < 0 {
+		return fmt.Errorf("adapt: Window = %d, HoldIntervals = %d", c.Window, c.HoldIntervals)
+	}
+	if c.MinThreshold < 1 {
+		return fmt.Errorf("adapt: MinThreshold = %d", c.MinThreshold)
+	}
+	if c.MaxThreshold != 0 && c.MaxThreshold < c.MinThreshold {
+		return fmt.Errorf("adapt: MaxThreshold %d below MinThreshold %d", c.MaxThreshold, c.MinThreshold)
+	}
+	return nil
+}
+
+// Adaptor applies the ADAPTTHRESHOLD algorithm once per measurement
+// interval.
+type Adaptor struct {
+	cfg           Config
+	usages        []float64 // ring of recent per-interval usages
+	n             int       // usages recorded so far
+	sinceIncrease int
+}
+
+// New creates an adaptor; it panics on an invalid configuration (the
+// constants are compile-time choices, not runtime inputs).
+func New(cfg Config) *Adaptor {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Adaptor{cfg: cfg, usages: make([]float64, cfg.Window), sinceIncrease: cfg.HoldIntervals}
+}
+
+// avgUsage returns the mean usage over the window observed so far.
+func (a *Adaptor) avgUsage() float64 {
+	n := a.n
+	if n > len(a.usages) {
+		n = len(a.usages)
+	}
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += a.usages[i]
+	}
+	return sum / float64(n)
+}
+
+// Adapt records this interval's flow memory usage and returns the threshold
+// to use for the next interval, per Figure 5 of the paper.
+func (a *Adaptor) Adapt(entriesUsed, capacity int, threshold uint64) uint64 {
+	usage := 0.0
+	if capacity > 0 {
+		usage = float64(entriesUsed) / float64(capacity)
+	}
+	a.usages[a.n%len(a.usages)] = usage
+	a.n++
+	avg := a.avgUsage()
+
+	next := float64(threshold)
+	if avg > a.cfg.Target {
+		next *= math.Pow(avg/a.cfg.Target, a.cfg.AdjustUp)
+		a.sinceIncrease = 0
+	} else {
+		// This interval counts toward "threshold did not increase for
+		// HoldIntervals intervals".
+		a.sinceIncrease++
+		if a.sinceIncrease >= a.cfg.HoldIntervals {
+			ratio := avg / a.cfg.Target
+			// A totally idle memory would drive the threshold to zero;
+			// bound the single-step decrease instead.
+			if ratio < 0.01 {
+				ratio = 0.01
+			}
+			next *= math.Pow(ratio, a.cfg.AdjustDown)
+		}
+	}
+
+	if next < float64(a.cfg.MinThreshold) {
+		next = float64(a.cfg.MinThreshold)
+	}
+	if a.cfg.MaxThreshold != 0 && next > float64(a.cfg.MaxThreshold) {
+		next = float64(a.cfg.MaxThreshold)
+	}
+	if next > math.MaxUint64/2 {
+		next = math.MaxUint64 / 2
+	}
+	return uint64(next)
+}

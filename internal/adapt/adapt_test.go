@@ -1,0 +1,160 @@
+package adapt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	for _, cfg := range []Config{SampleAndHoldDefaults(), MultistageDefaults()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("default config invalid: %v", err)
+		}
+	}
+	bad := []Config{
+		{Target: 0, AdjustUp: 1, AdjustDown: 1, Window: 1, MinThreshold: 1},
+		{Target: 1.5, AdjustUp: 1, AdjustDown: 1, Window: 1, MinThreshold: 1},
+		{Target: 0.9, AdjustUp: 0, AdjustDown: 1, Window: 1, MinThreshold: 1},
+		{Target: 0.9, AdjustUp: 1, AdjustDown: 0, Window: 1, MinThreshold: 1},
+		{Target: 0.9, AdjustUp: 1, AdjustDown: 1, Window: 0, MinThreshold: 1},
+		{Target: 0.9, AdjustUp: 1, AdjustDown: 1, Window: 1, MinThreshold: 0},
+		{Target: 0.9, AdjustUp: 1, AdjustDown: 1, Window: 1, MinThreshold: 10, MaxThreshold: 5},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with bad config did not panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestOverTargetRaisesThreshold(t *testing.T) {
+	a := New(SampleAndHoldDefaults())
+	// Usage 100% against a 90% target: threshold multiplied by
+	// (1/0.9)^3 ~ 1.37.
+	next := a.Adapt(1000, 1000, 1000000)
+	want := 1e6 * math.Pow(1/0.9, 3)
+	if math.Abs(float64(next)-want) > 1 {
+		t.Errorf("threshold = %d, want ~%.0f", next, want)
+	}
+}
+
+func TestUnderTargetLowersThresholdAfterHold(t *testing.T) {
+	a := New(SampleAndHoldDefaults())
+	th := uint64(1000000)
+	// Constant 45% usage against the 90% target: first call may lower
+	// immediately (no increase has happened for >= HoldIntervals).
+	next := a.Adapt(450, 1000, th)
+	if next >= th {
+		t.Errorf("threshold did not decrease: %d >= %d", next, th)
+	}
+}
+
+func TestHoldAfterIncrease(t *testing.T) {
+	a := New(SampleAndHoldDefaults())
+	th := a.Adapt(1000, 1000, 1000000) // over target: increase
+	// Now usage drops, but the threshold must hold for HoldIntervals
+	// intervals before decreasing. The window still remembers the high
+	// usage, so feed enough low intervals to pull the average down.
+	th2 := a.Adapt(100, 1000, th)
+	th3 := a.Adapt(100, 1000, th2)
+	if th2 != th || th3 != th2 {
+		t.Errorf("threshold moved during hold: %d -> %d -> %d", th, th2, th3)
+	}
+	th4 := a.Adapt(100, 1000, th3)
+	if th4 >= th3 {
+		t.Errorf("threshold did not decrease after hold expired: %d >= %d", th4, th3)
+	}
+}
+
+func TestWindowSmoothsSpikes(t *testing.T) {
+	// A one-interval spike to 100% after two idle intervals must not raise
+	// the threshold, because the 3-interval average stays under target.
+	a := New(SampleAndHoldDefaults())
+	th := uint64(1000)
+	th = a.Adapt(300, 1000, th)
+	th = a.Adapt(300, 1000, th)
+	next := a.Adapt(1000, 1000, th)
+	if next > th {
+		t.Errorf("single spike raised threshold through the window: %d -> %d", th, next)
+	}
+}
+
+func TestMinThresholdFloor(t *testing.T) {
+	cfg := SampleAndHoldDefaults()
+	cfg.MinThreshold = 500
+	a := New(cfg)
+	th := uint64(600)
+	for i := 0; i < 50; i++ {
+		th = a.Adapt(0, 1000, th) // empty memory pushes threshold down hard
+	}
+	if th != 500 {
+		t.Errorf("threshold = %d, want floor 500", th)
+	}
+}
+
+func TestMaxThresholdCap(t *testing.T) {
+	cfg := SampleAndHoldDefaults()
+	cfg.MaxThreshold = 2000
+	a := New(cfg)
+	th := uint64(1900)
+	for i := 0; i < 20; i++ {
+		th = a.Adapt(1000, 1000, th)
+	}
+	if th != 2000 {
+		t.Errorf("threshold = %d, want cap 2000", th)
+	}
+}
+
+func TestZeroUsageDoesNotZeroThreshold(t *testing.T) {
+	a := New(SampleAndHoldDefaults())
+	th := a.Adapt(0, 1000, 1000000)
+	if th == 0 {
+		t.Error("zero usage drove threshold to zero")
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	a := New(SampleAndHoldDefaults())
+	if th := a.Adapt(10, 0, 100); th == 0 {
+		t.Error("zero capacity produced zero threshold")
+	}
+}
+
+// TestConvergence simulates a memory whose usage responds to the threshold
+// (usage ~ K/threshold, the natural first-order model: halving the
+// threshold roughly doubles the tracked flows) and checks the control loop
+// settles near the target without oscillating wildly.
+func TestConvergence(t *testing.T) {
+	for _, cfg := range []Config{SampleAndHoldDefaults(), MultistageDefaults()} {
+		a := New(cfg)
+		const capacity = 1000
+		k := 5e8 // usage*capacity = k/threshold
+		th := uint64(1 << 24)
+		rng := rand.New(rand.NewSource(1))
+		var usage float64
+		for i := 0; i < 200; i++ {
+			used := int(k / float64(th) * (0.95 + 0.1*rng.Float64()))
+			if used > capacity {
+				used = capacity
+			}
+			usage = float64(used) / capacity
+			th = a.Adapt(used, capacity, th)
+			if th == 0 {
+				t.Fatal("threshold collapsed to zero")
+			}
+		}
+		if usage < 0.6 || usage > 1.0 {
+			t.Errorf("adjustdown=%g: usage settled at %.2f, want near 0.9", cfg.AdjustDown, usage)
+		}
+	}
+}

@@ -1,0 +1,351 @@
+// Package analytic implements the paper's analytical evaluation (Sections 4
+// and 5) as executable formulas: the error and memory bounds for sample and
+// hold, Lemma 1 / Theorem 2 / Theorem 3 for multistage filters, the
+// Zipf-distribution refinements used in Table 4 and Figure 7, and the core-
+// and device-comparison formulas of Tables 1 and 2.
+//
+// Having the bounds in code lets every experiment print theory next to
+// measurement, the way the paper's tables and figures do.
+package analytic
+
+import (
+	"math"
+)
+
+// NormalQuantile returns z such that a standard normal variable is below z
+// with probability p (0 < p < 1). The paper uses the normal curve to turn
+// expected memory usage into high-probability bounds (e.g. z = 2.33 for
+// 99%, z = 3.08 for 99.9%).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("analytic: quantile probability must be in (0,1)")
+	}
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}
+
+// ---- Sample and hold (Section 4.1) ----
+
+// SHSamplingProb returns the byte sampling probability p = O/T for
+// oversampling factor O and threshold T.
+func SHSamplingProb(oversampling, threshold float64) float64 {
+	p := oversampling / threshold
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// SHFalseNegProb is the probability that a flow at the threshold is missed:
+// (1-p)^T ~ e^-O (Section 4.1.1).
+func SHFalseNegProb(oversampling float64) float64 {
+	return math.Exp(-oversampling)
+}
+
+// SHExpectedError is the expected number of bytes missed before the first
+// sample, E[s-c] = 1/p.
+func SHExpectedError(p float64) float64 { return 1 / p }
+
+// SHErrorSD is the standard deviation of the undercount, sqrt(1-p)/p.
+func SHErrorSD(p float64) float64 { return math.Sqrt(1-p) / p }
+
+// SHRelErrorAtThreshold is the relative error of a flow of size T when
+// using the uncorrected count c as the estimate:
+// sqrt(E[(s-c)^2])/T = sqrt(2-p)/O (Section 4.1.1).
+func SHRelErrorAtThreshold(oversampling, p float64) float64 {
+	return math.Sqrt(2-p) / oversampling
+}
+
+// SHExpectedEntries is the expected number of flow memory entries used:
+// p*C = O*C/T for a link sending C bytes per interval.
+func SHExpectedEntries(c, threshold, oversampling float64) float64 {
+	return SHSamplingProb(oversampling, threshold) * c
+}
+
+// SHEntriesBound is the high-probability bound on entries: the binomial
+// sample count stays within z standard deviations sqrt(C*p*(1-p)) of its
+// mean with probability prob (Section 4.1.2's normal-curve argument).
+func SHEntriesBound(c, threshold, oversampling, prob float64) float64 {
+	p := SHSamplingProb(oversampling, threshold)
+	mean := p * c
+	sd := math.Sqrt(c * p * (1 - p))
+	return mean + NormalQuantile(prob)*sd
+}
+
+// SHPreserveEntriesBound bounds the entries needed when preserving entries
+// across intervals: samples from two intervals must fit, 2*O*C/T plus z
+// standard deviations of sqrt(2*C*p*(1-p)) (Section 4.1.3).
+func SHPreserveEntriesBound(c, threshold, oversampling, prob float64) float64 {
+	p := SHSamplingProb(oversampling, threshold)
+	mean := 2 * p * c
+	sd := math.Sqrt(2 * c * p * (1 - p))
+	return mean + NormalQuantile(prob)*sd
+}
+
+// SHEarlyRemovalEntriesBound bounds the entries with an early removal
+// threshold R: at most C/R flows can be preserved from the previous
+// interval, plus this interval's samples (Section 4.1.4). R must satisfy
+// R >= T/O for the quoted standard deviation to apply; the function does
+// not check this.
+func SHEarlyRemovalEntriesBound(c, threshold, oversampling, r, prob float64) float64 {
+	p := SHSamplingProb(oversampling, threshold)
+	mean := c/r + p*c
+	sd := math.Sqrt(c * p * (1 - p))
+	return mean + NormalQuantile(prob)*sd
+}
+
+// SHEarlyRemovalFalseNegProb is the probability of missing a flow at the
+// threshold when entries removed early are not reported: one of the first
+// T-R bytes must be sampled, so the miss probability is ~e^(-O*(T-R)/T)
+// (Section 4.1.4).
+func SHEarlyRemovalFalseNegProb(oversampling, rFraction float64) float64 {
+	return math.Exp(-oversampling * (1 - rFraction))
+}
+
+// SHZipfEntriesBound is Table 4's "Zipf bound": the high-probability entry
+// bound assuming the n flows' sizes follow a Zipf distribution with the
+// given exponent over a link sending c bytes. Entry creation for flow i is
+// Bernoulli with q_i = 1-(1-p)^s_i; the bound is the mean plus z standard
+// deviations of the (independent) sum.
+func SHZipfEntriesBound(c, threshold, oversampling float64, n int, alpha, prob float64) float64 {
+	if n < 1 {
+		return 0
+	}
+	p := SHSamplingProb(oversampling, threshold)
+	// Normalizing constant of the Zipf weights.
+	z := 0.0
+	for i := 1; i <= n; i++ {
+		z += math.Pow(float64(i), -alpha)
+	}
+	lg1p := math.Log1p(-p)
+	var mean, variance float64
+	for i := 1; i <= n; i++ {
+		si := c * math.Pow(float64(i), -alpha) / z
+		qi := -math.Expm1(si * lg1p) // 1-(1-p)^si
+		mean += qi
+		variance += qi * (1 - qi)
+	}
+	return mean + NormalQuantile(prob)*math.Sqrt(variance)
+}
+
+// ---- Multistage filters (Section 4.2) ----
+
+// StageStrength is k = T*b/C: how many times the per-stage memory exceeds
+// the minimum C/T.
+func StageStrength(threshold, c float64, buckets int) float64 {
+	return threshold * float64(buckets) / c
+}
+
+// MSFPassProb is Lemma 1: the probability that a flow of size s < T(1-1/k)
+// passes a parallel multistage filter of depth d and stage strength k is at
+// most ((1/k) * T/(T-s))^d. For larger s the trivial bound 1 is returned.
+// The bound holds for any distribution of flow sizes.
+func MSFPassProb(k float64, d int, s, threshold float64) float64 {
+	if s >= threshold*(1-1/k) {
+		return 1
+	}
+	p := math.Pow(threshold/(k*(threshold-s)), float64(d))
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// MSFErrorLowerBound is Theorem 2: the expected number of bytes of a large
+// flow undetected by the filter is at least T*(1/d - 1/(k(d-1))) - ymax,
+// where ymax is the maximum packet size. Defined for d >= 2; for d == 1 the
+// undetected bytes are at least T - C/b - ymax = T(1 - 1/k) - ymax.
+func MSFErrorLowerBound(threshold float64, d int, k, ymax float64) float64 {
+	var e float64
+	if d == 1 {
+		e = threshold*(1-1/k) - ymax
+	} else {
+		e = threshold*(1/float64(d)-1/(k*float64(d-1))) - ymax
+	}
+	if e < 0 {
+		return 0
+	}
+	return e
+}
+
+// MSFExpectedPassing is Theorem 3: the expected number of flows passing a
+// parallel multistage filter with n active flows, b buckets per stage,
+// stage strength k and depth d:
+//
+//	E[n_pass] <= max(b/(k-1), n*(n/(kn-b))^d) + n*(n/(kn-b))^d
+//
+// The paper's example (n=100,000, b=1,000, k=10, d=4) gives 121.2.
+func MSFExpectedPassing(n, b, k float64, d int) float64 {
+	if k*n <= b {
+		return n // degenerate: every flow can pass
+	}
+	tail := n * math.Pow(n/(k*n-b), float64(d))
+	first := b / (k - 1)
+	if tail > first {
+		first = tail
+	}
+	return first + tail
+}
+
+// MSFHighProbPassing inverts a Poisson-style Chernoff tail to find the
+// number of entries x such that more than x flows pass the filter with
+// probability at most 1-prob, given the expected count mean. (The paper
+// derives a comparable bound in its technical report; for its example the
+// 99.9% bound is 185 entries against an expectation of 122.)
+func MSFHighProbPassing(mean, prob float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	tail := 1 - prob
+	// P(N >= x) <= exp(-mean) * (e*mean/x)^x for x > mean; binary search
+	// the smallest x meeting the tail.
+	lo, hi := mean, mean*20+50
+	for i := 0; i < 100; i++ {
+		x := (lo + hi) / 2
+		logp := -mean + x*(1+math.Log(mean/x))
+		if logp > math.Log(tail) {
+			lo = x
+		} else {
+			hi = x
+		}
+	}
+	return hi
+}
+
+// MSFZipfPassFraction computes the expected fraction of small flows (size
+// below the threshold) that pass the filter when the n flows' sizes follow
+// a Zipf distribution with exponent alpha over total traffic volume v —
+// Figure 7's "Zipf bound" line. The stage strength is computed from the
+// actual volume, k = T*b/v, as the paper does for that figure.
+func MSFZipfPassFraction(v, threshold float64, buckets, d, n int, alpha float64) float64 {
+	if n < 1 {
+		return 0
+	}
+	k := StageStrength(threshold, v, buckets)
+	z := 0.0
+	for i := 1; i <= n; i++ {
+		z += math.Pow(float64(i), -alpha)
+	}
+	var pass, small float64
+	for i := 1; i <= n; i++ {
+		si := v * math.Pow(float64(i), -alpha) / z
+		if si >= threshold {
+			continue
+		}
+		small++
+		pass += MSFPassProb(k, d, si, threshold)
+	}
+	if small == 0 {
+		return 0
+	}
+	return pass / small
+}
+
+// MSFGeneralPassFraction is Figure 7's "general bound" line: the fraction
+// of the n flows expected to pass per Theorem 3, with stage strength
+// computed from the traffic volume v.
+func MSFGeneralPassFraction(v, threshold float64, buckets, d, n int) float64 {
+	k := StageStrength(threshold, v, buckets)
+	if k <= 1 {
+		return 1
+	}
+	frac := MSFExpectedPassing(float64(n), float64(buckets), k, d) / float64(n)
+	if frac > 1 {
+		return 1
+	}
+	return frac
+}
+
+// ---- Comparing measurement methods (Section 5) ----
+
+// Table1Row is one column of Table 1 (the paper lays algorithms out as
+// columns; we model them as rows).
+type Table1Row struct {
+	Algorithm string
+	// RelativeError is the standard deviation of the estimate over the
+	// size of a flow of zC bytes, with M memory entries.
+	RelativeError float64
+	// MemoryAccesses is the number of memory locations touched per packet.
+	MemoryAccesses float64
+}
+
+// Table1 evaluates the core-algorithm comparison for M memory entries,
+// flows of interest at fraction z of link capacity, n active flows, cost
+// ratio r of a counter to a flow memory entry, and NetFlow sampling 1 in x.
+//
+//	sample and hold:    error sqrt(2)/(Mz),            1 access/packet
+//	multistage filters: error (1+10*r*log10 n)/(Mz),   1+log10 n accesses
+//	ordinary sampling:  error 1/sqrt(Mz),              1/x accesses
+func Table1(m, z, n, r, x float64) []Table1Row {
+	mz := m * z
+	return []Table1Row{
+		{"sample-and-hold", math.Sqrt2 / mz, 1},
+		{"multistage-filter", (1 + 10*r*math.Log10(n)) / mz, 1 + math.Log10(n)},
+		{"ordinary-sampling", 1 / math.Sqrt(mz), 1 / x},
+	}
+}
+
+// NetFlowRelError is the paper's Table 2 error model for Sampled NetFlow
+// measuring flows of fraction z of link capacity over t-second intervals:
+// 0.0088/sqrt(z*t). The constant folds in the OC-3-relative sampling rate
+// and 1500-byte packets of large flows.
+func NetFlowRelError(z, t float64) float64 {
+	return 0.0088 / math.Sqrt(z*t)
+}
+
+// Table2Row is one column of Table 2: complete measurement devices.
+type Table2Row struct {
+	Algorithm string
+	// ExactPct is the percentage of large flows measured exactly (the
+	// long-lived share for the paper's algorithms, 0 for NetFlow).
+	ExactPct float64
+	// RelativeError of the estimate of a large flow.
+	RelativeError float64
+	// MemoryBound is the upper bound on memory, in flow-memory entries
+	// (counters are converted at 10 counters per entry).
+	MemoryBound float64
+	// MemoryAccesses per packet.
+	MemoryAccesses float64
+}
+
+// Table2 evaluates the device comparison. Parameters: z the flow fraction
+// of interest, t the interval seconds, oversampling O for sample and hold,
+// u = zC/T the multistage headroom factor, n active flows, x NetFlow's
+// sampling factor, longLivedPct the measured share of large flows that are
+// long-lived.
+func Table2(z, t, oversampling, u, n, x, longLivedPct float64) []Table2Row {
+	return []Table2Row{
+		{
+			Algorithm:      "sample-and-hold",
+			ExactPct:       longLivedPct,
+			RelativeError:  math.Sqrt2 / oversampling,
+			MemoryBound:    2 * oversampling / z,
+			MemoryAccesses: 1,
+		},
+		{
+			Algorithm:      "multistage-filter",
+			ExactPct:       longLivedPct,
+			RelativeError:  1 / u,
+			MemoryBound:    2/z + math.Log10(n)/z,
+			MemoryAccesses: 1 + math.Log10(n),
+		},
+		{
+			Algorithm:      "sampled-netflow",
+			ExactPct:       0,
+			RelativeError:  NetFlowRelError(z, t),
+			MemoryBound:    math.Min(n, 486000*t),
+			MemoryAccesses: 1 / x,
+		},
+	}
+}
+
+// ShieldedStageStrength is Section 4.2.3's shielding effect: when the
+// traffic presented to the filter is reduced by a factor alpha (because
+// flows with preserved entries no longer pass through it), the effective
+// stage strength grows from k to k*alpha, which can be substituted into
+// Lemma 1 and Theorems 2-3.
+func ShieldedStageStrength(k, alpha float64) float64 {
+	if alpha < 1 {
+		alpha = 1
+	}
+	return k * alpha
+}

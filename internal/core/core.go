@@ -1,0 +1,56 @@
+// Package core defines the shared contract between the paper's measurement
+// algorithms (sample and hold, multistage filters) and the components that
+// drive them: the measurement device, the threshold adaptation logic, and
+// the experiment harness.
+//
+// An Algorithm sees every packet of its link as a (flow key, size) pair,
+// maintains a small flow memory, and at the end of each measurement interval
+// reports its traffic estimates for the flows it tracked. The subpackages
+// implement the two algorithms plus the flow memory they share.
+package core
+
+import (
+	"repro/internal/flow"
+	"repro/internal/memmodel"
+)
+
+// Estimate is one flow's reported traffic for a measurement interval.
+type Estimate struct {
+	Key flow.Key
+	// Bytes is the algorithm's estimate of the flow's traffic in the
+	// interval. For the paper's algorithms this is a provable lower bound
+	// on the true traffic unless a correction factor was applied.
+	Bytes uint64
+	// Exact reports whether the estimate is known to be exact — true for
+	// flows whose entry was preserved from the previous interval, so
+	// counting started with the flow's first byte of this interval.
+	Exact bool
+}
+
+// Algorithm is a traffic measurement algorithm processing one packet at a
+// time. Implementations are not safe for concurrent use; a measurement
+// device serializes packets the way a router line card would.
+type Algorithm interface {
+	// Name identifies the algorithm in reports ("sample-and-hold",
+	// "multistage-filter", "sampled-netflow", "ordinary-sampling").
+	Name() string
+	// Process accounts one packet of size bytes belonging to the flow with
+	// the given key.
+	Process(key flow.Key, size uint32)
+	// EndInterval closes the current measurement interval: it returns the
+	// estimates for all tracked flows and performs the interval transition
+	// (resetting stage counters, applying the entry preservation policy).
+	EndInterval() []Estimate
+	// EntriesUsed returns the number of flow memory entries currently in
+	// use; the threshold adaptation algorithm of Figure 5 steers this.
+	EntriesUsed() int
+	// Capacity returns the flow memory capacity in entries.
+	Capacity() int
+	// Threshold returns the current large-flow threshold in bytes.
+	Threshold() uint64
+	// SetThreshold changes the threshold for subsequent packets; used by
+	// dynamic threshold adaptation between intervals.
+	SetThreshold(t uint64)
+	// Mem returns the algorithm's memory reference accounting.
+	Mem() *memmodel.Counter
+}

@@ -1,0 +1,96 @@
+// Package device assembles a complete traffic measurement device as
+// evaluated in Section 7.2 of the paper: a measurement algorithm (sample
+// and hold, a multistage filter, or a baseline), a flow definition that
+// extracts keys from packets, and the dynamic threshold adaptation of
+// Figure 5 that keeps the flow memory near its target usage.
+//
+// A Device implements trace.Consumer, so it plugs directly into
+// trace.Replay.
+package device
+
+import (
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/flow"
+)
+
+// IntervalReport is the device's output for one measurement interval.
+type IntervalReport struct {
+	// Interval is the zero-based measurement interval index.
+	Interval int
+	// Threshold is the large-flow threshold that was in effect during the
+	// interval.
+	Threshold uint64
+	// EntriesUsed is the flow memory usage at the end of the interval,
+	// before the interval transition.
+	EntriesUsed int
+	// Estimates are the tracked flows and their traffic estimates, largest
+	// first.
+	Estimates []core.Estimate
+}
+
+// Estimate returns the reported bytes for a flow and whether it was
+// identified at all.
+func (r *IntervalReport) Estimate(k flow.Key) (uint64, bool) {
+	for _, e := range r.Estimates {
+		if e.Key == k {
+			return e.Bytes, true
+		}
+	}
+	return 0, false
+}
+
+// Device drives an algorithm over a packet stream.
+type Device struct {
+	alg     core.Algorithm
+	def     flow.Definition
+	adaptor *adapt.Adaptor
+
+	reports []IntervalReport
+	// OnReport, when set, receives each interval report as it is produced;
+	// set KeepReports to false for long runs to avoid accumulation.
+	OnReport func(r IntervalReport)
+	// KeepReports controls whether reports accumulate in the device
+	// (default true).
+	KeepReports bool
+}
+
+// New creates a device. adaptor may be nil for a fixed threshold.
+func New(alg core.Algorithm, def flow.Definition, adaptor *adapt.Adaptor) *Device {
+	return &Device{alg: alg, def: def, adaptor: adaptor, KeepReports: true}
+}
+
+// Algorithm returns the wrapped algorithm.
+func (d *Device) Algorithm() core.Algorithm { return d.alg }
+
+// Definition returns the flow definition in use.
+func (d *Device) Definition() flow.Definition { return d.def }
+
+// Packet implements trace.Consumer.
+func (d *Device) Packet(p *flow.Packet) {
+	d.alg.Process(d.def.Key(p), p.Size)
+}
+
+// EndInterval implements trace.Consumer: it snapshots the report, applies
+// the interval transition, and runs threshold adaptation for the next
+// interval.
+func (d *Device) EndInterval(interval int) {
+	r := IntervalReport{
+		Interval:    interval,
+		Threshold:   d.alg.Threshold(),
+		EntriesUsed: d.alg.EntriesUsed(),
+		Estimates:   d.alg.EndInterval(),
+	}
+	if d.adaptor != nil {
+		d.alg.SetThreshold(d.adaptor.Adapt(r.EntriesUsed, d.alg.Capacity(), r.Threshold))
+	}
+	if d.OnReport != nil {
+		d.OnReport(r)
+	}
+	if d.KeepReports {
+		d.reports = append(d.reports, r)
+	}
+}
+
+// Reports returns the accumulated interval reports.
+func (d *Device) Reports() []IntervalReport { return d.reports }

@@ -1,0 +1,170 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/core/multistage"
+	"repro/internal/core/sampleandhold"
+	"repro/internal/flow"
+	"repro/internal/trace"
+)
+
+func testTrace() (*trace.SliceSource, flow.Key, flow.Key) {
+	meta := trace.Meta{
+		Name:            "t",
+		LinkBytesPerSec: 1e6,
+		Interval:        time.Second,
+		Intervals:       3,
+	}
+	var pkts []flow.Packet
+	mk := func(at time.Duration, src uint32, size uint32) flow.Packet {
+		return flow.Packet{Time: at, Size: size, SrcIP: src, DstIP: 99, DstPort: 80, Proto: 6}
+	}
+	// Flow 1 is an elephant present in all intervals; flow 2 is a mouse.
+	for iv := 0; iv < 3; iv++ {
+		base := time.Duration(iv) * time.Second
+		for i := 0; i < 100; i++ {
+			pkts = append(pkts, mk(base+time.Duration(i)*time.Millisecond, 1, 1000))
+		}
+		pkts = append(pkts, mk(base+500*time.Millisecond, 2, 40))
+	}
+	k1 := flow.FiveTuple{}.Key(&pkts[0])
+	p2 := mk(0, 2, 40)
+	k2 := flow.FiveTuple{}.Key(&p2)
+	return trace.NewSliceSource(meta, pkts), k1, k2
+}
+
+func TestDeviceWithSampleAndHold(t *testing.T) {
+	src, k1, _ := testTrace()
+	alg, err := sampleandhold.New(sampleandhold.Config{
+		Entries:      100,
+		Threshold:    10000,
+		Oversampling: 20,
+		Preserve:     true,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(alg, flow.FiveTuple{}, nil)
+	if _, err := trace.Replay(src, d); err != nil {
+		t.Fatal(err)
+	}
+	reports := d.Reports()
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	// The elephant sends 100 kB/interval with p = 20/10000: it must be
+	// identified in every interval, and exactly from interval 2 on.
+	for i, r := range reports {
+		got, ok := r.Estimate(k1)
+		if !ok {
+			t.Fatalf("interval %d: elephant not identified", i)
+		}
+		if i > 0 && got != 100000 {
+			t.Errorf("interval %d: estimate %d, want exact 100000", i, got)
+		}
+	}
+}
+
+func TestDeviceWithMultistageFilter(t *testing.T) {
+	src, k1, k2 := testTrace()
+	alg, err := multistage.New(multistage.Config{
+		Stages:       2,
+		Buckets:      512,
+		Entries:      100,
+		Threshold:    50000,
+		Conservative: true,
+		Shield:       true,
+		Preserve:     true,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(alg, flow.FiveTuple{}, nil)
+	if _, err := trace.Replay(src, d); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range d.Reports() {
+		if _, ok := r.Estimate(k1); !ok {
+			t.Fatalf("interval %d: elephant missed (no false negatives!)", i)
+		}
+		if _, ok := r.Estimate(k2); ok {
+			t.Errorf("interval %d: 40-byte mouse identified", i)
+		}
+	}
+}
+
+func TestDeviceAdaptationAdjustsThreshold(t *testing.T) {
+	src, _, _ := testTrace()
+	alg, err := sampleandhold.New(sampleandhold.Config{
+		Entries:      1000,
+		Threshold:    1 << 30, // absurdly high: nothing sampled
+		Oversampling: 4,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(alg, flow.FiveTuple{}, adapt.New(adapt.SampleAndHoldDefaults()))
+	if _, err := trace.Replay(src, d); err != nil {
+		t.Fatal(err)
+	}
+	reports := d.Reports()
+	// Empty memory must drive the threshold down interval over interval.
+	if reports[len(reports)-1].Threshold >= reports[0].Threshold {
+		t.Errorf("threshold did not adapt down: %d -> %d",
+			reports[0].Threshold, reports[len(reports)-1].Threshold)
+	}
+}
+
+func TestDeviceOnReportCallback(t *testing.T) {
+	src, _, _ := testTrace()
+	alg, err := sampleandhold.New(sampleandhold.Config{
+		Entries: 10, Threshold: 1000, Oversampling: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(alg, flow.FiveTuple{}, nil)
+	d.KeepReports = false
+	var got []int
+	d.OnReport = func(r IntervalReport) { got = append(got, r.Interval) }
+	if _, err := trace.Replay(src, d); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("callback intervals = %v", got)
+	}
+	if d.Reports() != nil {
+		t.Error("KeepReports=false still accumulated reports")
+	}
+}
+
+func TestIntervalReportEstimate(t *testing.T) {
+	r := IntervalReport{Estimates: []core.Estimate{{Key: flow.Key{Lo: 1}, Bytes: 42}}}
+	if got, ok := r.Estimate(flow.Key{Lo: 1}); !ok || got != 42 {
+		t.Errorf("Estimate = %d,%v", got, ok)
+	}
+	if _, ok := r.Estimate(flow.Key{Lo: 2}); ok {
+		t.Error("report claimed to know an absent flow")
+	}
+}
+
+func TestDeviceAccessors(t *testing.T) {
+	alg, err := sampleandhold.New(sampleandhold.Config{Entries: 10, Threshold: 100, Oversampling: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(alg, flow.DstIP{}, nil)
+	if d.Algorithm() != alg {
+		t.Error("Algorithm accessor wrong")
+	}
+	if d.Definition().Name() != "dstIP" {
+		t.Error("Definition accessor wrong")
+	}
+}

@@ -1,0 +1,39 @@
+package device
+
+import "repro/internal/flow"
+
+// Multi fans one packet stream out to several devices — the deployment the
+// paper describes when an operator wants multiple flow definitions at the
+// same vantage point ("we need a separate instance of our algorithms for
+// each of them"): e.g. a 5-tuple device for accounting next to a
+// destination-IP device for attack detection. Multi implements
+// trace.Consumer.
+type Multi struct {
+	devices []*Device
+}
+
+// NewMulti groups devices; at least one is required (it panics otherwise,
+// since an empty group is a programming error, not an input condition).
+func NewMulti(devices ...*Device) *Multi {
+	if len(devices) == 0 {
+		panic("device: NewMulti needs at least one device")
+	}
+	return &Multi{devices: devices}
+}
+
+// Devices returns the grouped devices in order.
+func (m *Multi) Devices() []*Device { return m.devices }
+
+// Packet implements trace.Consumer.
+func (m *Multi) Packet(p *flow.Packet) {
+	for _, d := range m.devices {
+		d.Packet(p)
+	}
+}
+
+// EndInterval implements trace.Consumer.
+func (m *Multi) EndInterval(i int) {
+	for _, d := range m.devices {
+		d.EndInterval(i)
+	}
+}

@@ -1,0 +1,143 @@
+// Package flowmem implements the flow memory shared by the paper's
+// algorithms: a bounded table of per-flow entries held in (simulated) SRAM.
+// Once a flow earns an entry — by being sampled, or by passing the
+// multistage filter — every one of its subsequent packets updates the entry,
+// so its traffic from that point on is counted exactly.
+//
+// The package also implements the interval-transition policies of Section
+// 3.3.1: preserving entries of large flows across measurement intervals and
+// the early removal threshold of sample and hold.
+package flowmem
+
+import (
+	"sort"
+
+	"repro/internal/flow"
+)
+
+// Entry is one tracked flow.
+type Entry struct {
+	Key flow.Key
+	// Bytes counted for the flow in the current measurement interval since
+	// the entry existed.
+	Bytes uint64
+	// CreatedThisInterval marks entries added in the current interval
+	// (their counts may miss the flow's earlier bytes and they are subject
+	// to the early removal rule).
+	CreatedThisInterval bool
+	// Exact marks entries preserved from a previous interval: counting
+	// covered the whole interval, so Bytes is the flow's exact traffic.
+	Exact bool
+	// Debt is an upper bound on the bytes the flow may have sent before
+	// the entry was created (the counter floor at promotion for multistage
+	// filters). Estimate-correcting reports add it to Bytes, trading the
+	// lower-bound property for accuracy (Section 4.2.1 of the paper).
+	Debt uint64
+}
+
+// Memory is a bounded flow table.
+type Memory struct {
+	capacity int
+	entries  map[flow.Key]*Entry
+}
+
+// New creates a flow memory with room for capacity entries. It panics if
+// capacity < 1.
+func New(capacity int) *Memory {
+	if capacity < 1 {
+		panic("flowmem: capacity must be at least 1")
+	}
+	return &Memory{
+		capacity: capacity,
+		entries:  make(map[flow.Key]*Entry, capacity),
+	}
+}
+
+// Capacity returns the table capacity in entries.
+func (m *Memory) Capacity() int { return m.capacity }
+
+// Len returns the number of entries in use.
+func (m *Memory) Len() int { return len(m.entries) }
+
+// Full reports whether the table is at capacity.
+func (m *Memory) Full() bool { return len(m.entries) >= m.capacity }
+
+// Lookup returns the entry for key, or nil.
+func (m *Memory) Lookup(key flow.Key) *Entry { return m.entries[key] }
+
+// Insert adds an entry for key with an initial byte count. It returns nil
+// when the table is full or the key is already present (callers are expected
+// to Lookup first).
+func (m *Memory) Insert(key flow.Key, initialBytes uint64) *Entry {
+	if m.Full() {
+		return nil
+	}
+	if _, exists := m.entries[key]; exists {
+		return nil
+	}
+	e := &Entry{Key: key, Bytes: initialBytes, CreatedThisInterval: true}
+	m.entries[key] = e
+	return e
+}
+
+// Policy is the interval-transition policy of Section 3.3.1.
+type Policy struct {
+	// Preserve keeps entries across the interval boundary instead of
+	// erasing the table: entries that counted at least Threshold bytes
+	// (identified large flows) and entries created during the interval
+	// (possible large flows identified late) survive with their counters
+	// reset, so the next interval is measured exactly from its first byte.
+	Preserve bool
+	// Threshold is the large-flow threshold T in bytes.
+	Threshold uint64
+	// EarlyRemoval, when non-zero, is the early removal threshold R < T:
+	// entries created this interval survive only if they counted at least
+	// R bytes. It prunes the small flows that sample and hold's false
+	// positives would otherwise carry into the next interval.
+	EarlyRemoval uint64
+}
+
+// Report returns the current entries as estimates, sorted by descending
+// byte count (ties broken by key for determinism).
+func (m *Memory) Report() []Entry {
+	out := make([]Entry, 0, len(m.entries))
+	for _, e := range m.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		if out[i].Key.Hi != out[j].Key.Hi {
+			return out[i].Key.Hi > out[j].Key.Hi
+		}
+		return out[i].Key.Lo > out[j].Key.Lo
+	})
+	return out
+}
+
+// EndInterval applies the transition policy: without preservation the table
+// is erased; with it, surviving entries get their byte counts reset and are
+// marked Exact for the next interval. It returns the number of entries
+// kept.
+func (m *Memory) EndInterval(p Policy) int {
+	if !p.Preserve {
+		m.entries = make(map[flow.Key]*Entry, m.capacity)
+		return 0
+	}
+	for k, e := range m.entries {
+		keep := e.Bytes >= p.Threshold
+		if !keep && e.CreatedThisInterval {
+			keep = e.Bytes >= p.EarlyRemoval
+		}
+		if !keep {
+			delete(m.entries, k)
+			continue
+		}
+		e.Bytes = 0
+		e.Debt = 0
+		e.CreatedThisInterval = false
+		e.Exact = true
+	}
+	return len(m.entries)
+}

@@ -1,0 +1,115 @@
+package flowmem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flow"
+)
+
+// TestQuickCapacityInvariant: Len never exceeds Capacity under random
+// insert/transition sequences.
+func TestQuickCapacityInvariant(t *testing.T) {
+	check := func(seed int64, capRaw uint8, ops []uint16) bool {
+		capacity := 1 + int(capRaw)%32
+		m := New(capacity)
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1:
+				m.Insert(flow.Key{Lo: uint64(op % 64)}, uint64(rng.Intn(10000)))
+			case 2:
+				if e := m.Lookup(flow.Key{Lo: uint64(op % 64)}); e != nil {
+					e.Bytes += uint64(rng.Intn(5000))
+				}
+			case 3:
+				m.EndInterval(Policy{
+					Preserve:     op%8 >= 4,
+					Threshold:    3000,
+					EarlyRemoval: uint64(op % 3 * 500),
+				})
+			}
+			if m.Len() > m.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEndIntervalPolicy: after a preserving transition, every
+// surviving entry is reset, exact, and met the policy; every removed entry
+// failed it.
+func TestQuickEndIntervalPolicy(t *testing.T) {
+	check := func(seed int64, threshold, early uint16) bool {
+		th := uint64(threshold) + 1
+		r := uint64(early) % th // R < T
+		m := New(256)
+		rng := rand.New(rand.NewSource(seed))
+		type snap struct {
+			bytes   uint64
+			created bool
+		}
+		before := map[flow.Key]snap{}
+		for i := 0; i < 100; i++ {
+			k := flow.Key{Lo: uint64(i)}
+			e := m.Insert(k, uint64(rng.Intn(int(th*2))))
+			if i%3 == 0 {
+				e.CreatedThisInterval = false // simulate an older entry
+			}
+			before[k] = snap{e.Bytes, e.CreatedThisInterval}
+		}
+		m.EndInterval(Policy{Preserve: true, Threshold: th, EarlyRemoval: r})
+		for k, s := range before {
+			e := m.Lookup(k)
+			shouldKeep := s.bytes >= th || (s.created && s.bytes >= r)
+			if shouldKeep != (e != nil) {
+				return false
+			}
+			if e != nil && (e.Bytes != 0 || !e.Exact || e.CreatedThisInterval) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReportConservation: the report reflects exactly the live
+// entries, sorted by size.
+func TestQuickReportConservation(t *testing.T) {
+	check := func(seed int64, n uint8) bool {
+		m := New(300)
+		rng := rand.New(rand.NewSource(seed))
+		want := map[flow.Key]uint64{}
+		for i := 0; i < int(n); i++ {
+			k := flow.Key{Lo: uint64(i)}
+			b := uint64(rng.Intn(100000))
+			if m.Insert(k, b) != nil {
+				want[k] = b
+			}
+		}
+		rep := m.Report()
+		if len(rep) != len(want) {
+			return false
+		}
+		for i, e := range rep {
+			if want[e.Key] != e.Bytes {
+				return false
+			}
+			if i > 0 && e.Bytes > rep[i-1].Bytes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,358 @@
+// Package multistage implements the paper's second algorithm (Section 3.2):
+// multistage filters. A filter has d stages of b counters each, indexed by
+// independent hash functions of the flow ID. A packet's flow is promoted to
+// flow memory when the counters it hashes to reach the threshold T at every
+// stage; afterwards the flow's traffic is counted exactly in its entry.
+//
+// Both variants are implemented: the parallel filter (all stages see every
+// packet; zero false negatives) and the serial filter (stage i+1 sees only
+// packets that passed stage i, each stage using threshold T/d).
+//
+// The optimizations evaluated in the paper are supported:
+//
+//   - conservative update (Section 3.3.2): counters are raised as little as
+//     possible — no counter is pushed beyond what the smallest counter
+//     proves the flow could have sent, and promoted packets update no
+//     counters. This reduces false positives by an order of magnitude.
+//   - shielding (Section 3.3.1): packets of flows already in flow memory do
+//     not pass through the filter, so long-lived large flows stop inflating
+//     the counters other flows hash to.
+//   - preserving entries across measurement intervals.
+package multistage
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/core/flowmem"
+	"repro/internal/flow"
+	"repro/internal/hashing"
+	"repro/internal/memmodel"
+)
+
+// Config configures a multistage filter.
+type Config struct {
+	// Stages is the filter depth d. The paper uses up to 4 in its device
+	// evaluation and shows logarithmic scaling in the number of flows.
+	Stages int
+	// Buckets is the number of counters b per stage.
+	Buckets int
+	// Entries is the flow memory capacity.
+	Entries int
+	// Threshold is the large-flow threshold T in bytes per interval.
+	Threshold uint64
+	// Serial selects the serial filter variant (stages in sequence, each
+	// with threshold T/d) instead of the default parallel filter.
+	Serial bool
+	// Conservative enables conservative update of counters.
+	Conservative bool
+	// Shield prevents packets of flows that already have an entry from
+	// updating filter counters.
+	Shield bool
+	// Preserve enables preserving entries across intervals.
+	Preserve bool
+	// Correction adds each flow's promotion-time counter floor (a proven
+	// upper bound on its uncounted bytes) to its reported estimate —
+	// Section 4.2.1's correction factor, made data driven. It improves
+	// accuracy but forfeits the lower-bound property, so it is unsuitable
+	// for billing. Parallel filters only.
+	Correction bool
+	// Hash selects the hash family ("tabulation" by default,
+	// "multiplyshift" for the cheaper 2-independent family).
+	Hash string
+	// Seed seeds the hash functions.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Stages < 1 {
+		return fmt.Errorf("multistage: Stages = %d", c.Stages)
+	}
+	if c.Buckets < 1 {
+		return fmt.Errorf("multistage: Buckets = %d", c.Buckets)
+	}
+	if c.Entries < 1 {
+		return fmt.Errorf("multistage: Entries = %d", c.Entries)
+	}
+	if c.Threshold < 1 {
+		return fmt.Errorf("multistage: Threshold = %d", c.Threshold)
+	}
+	if c.Hash != "" && hashing.FamilyByName(c.Hash, 0) == nil {
+		return fmt.Errorf("multistage: unknown hash family %q", c.Hash)
+	}
+	if c.Correction && c.Serial {
+		return fmt.Errorf("multistage: Correction is only defined for parallel filters")
+	}
+	return nil
+}
+
+// Filter implements core.Algorithm.
+type Filter struct {
+	cfg    Config
+	mem    *flowmem.Memory
+	stages [][]uint64
+	hashes []hashing.Func
+	cost   memmodel.Counter
+
+	// dropped counts flows that passed the filter but found the flow
+	// memory full; threshold adaptation keeps this near zero.
+	dropped uint64
+
+	idx []uint32 // scratch: per-stage bucket of the current packet
+}
+
+// New creates a multistage filter.
+func New(cfg Config) (*Filter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	name := cfg.Hash
+	if name == "" {
+		name = "tabulation"
+	}
+	family := hashing.FamilyByName(name, cfg.Seed)
+	f := &Filter{
+		cfg:    cfg,
+		mem:    flowmem.New(cfg.Entries),
+		stages: make([][]uint64, cfg.Stages),
+		hashes: make([]hashing.Func, cfg.Stages),
+		idx:    make([]uint32, cfg.Stages),
+	}
+	for i := range f.stages {
+		f.stages[i] = make([]uint64, cfg.Buckets)
+		f.hashes[i] = family.New(uint32(cfg.Buckets))
+	}
+	return f, nil
+}
+
+// Name implements core.Algorithm.
+func (f *Filter) Name() string {
+	if f.cfg.Serial {
+		return "serial-multistage-filter"
+	}
+	return "multistage-filter"
+}
+
+// stageThreshold returns the per-stage promotion threshold: T for parallel
+// filters, T/d for serial ones (Section 3.2.1).
+func (f *Filter) stageThreshold() uint64 {
+	if f.cfg.Serial {
+		t := f.cfg.Threshold / uint64(f.cfg.Stages)
+		if t < 1 {
+			t = 1
+		}
+		return t
+	}
+	return f.cfg.Threshold
+}
+
+// Process implements core.Algorithm.
+func (f *Filter) Process(key flow.Key, size uint32) {
+	f.cost.Packet()
+	f.cost.SRAM(1, 0) // flow memory lookup
+	if e := f.mem.Lookup(key); e != nil {
+		e.Bytes += uint64(size)
+		f.cost.SRAM(0, 1)
+		if !f.cfg.Shield {
+			// Without shielding, tracked flows keep pushing the filter
+			// counters up (they can no longer cause false negatives, only
+			// help other flows' false positives — shielding removes that).
+			f.updateCounters(key, size)
+		}
+		return
+	}
+	if f.cfg.Serial {
+		f.processSerial(key, size)
+		return
+	}
+	f.processParallel(key, size)
+}
+
+// processParallel handles a packet of an untracked flow through the
+// parallel filter.
+func (f *Filter) processParallel(key flow.Key, size uint32) {
+	min := uint64(1<<63 - 1)
+	for i, h := range f.hashes {
+		f.idx[i] = h.Bucket(key)
+		f.cost.SRAM(1, 0)
+		if c := f.stages[i][f.idx[i]]; c < min {
+			min = c
+		}
+	}
+	if min+uint64(size) >= f.cfg.Threshold {
+		// The flow passes the filter. With conservative update, promoted
+		// packets update no counters (Section 3.3.2 second change); the
+		// classic rule updates them first.
+		if !f.cfg.Conservative {
+			for i := range f.hashes {
+				f.stages[i][f.idx[i]] += uint64(size)
+				f.cost.SRAM(0, 1)
+			}
+		}
+		// min bounds the flow's traffic before this packet: its own bytes
+		// are contained in every counter it hashes to.
+		f.promote(key, size, min)
+		return
+	}
+	if f.cfg.Conservative {
+		// Conservative update: every counter becomes max(old, min+size).
+		// The smallest counter is updated normally; larger ones only rise
+		// to the proven upper bound of this flow's traffic.
+		bound := min + uint64(size)
+		for i := range f.hashes {
+			if f.stages[i][f.idx[i]] < bound {
+				f.stages[i][f.idx[i]] = bound
+				f.cost.SRAM(0, 1)
+			}
+		}
+		return
+	}
+	for i := range f.hashes {
+		f.stages[i][f.idx[i]] += uint64(size)
+		f.cost.SRAM(0, 1)
+	}
+}
+
+// processSerial handles a packet of an untracked flow through the serial
+// filter: each stage sees the packet only if it passed the previous stage.
+func (f *Filter) processSerial(key flow.Key, size uint32) {
+	st := f.stageThreshold()
+	if f.cfg.Conservative {
+		// Second conservative change (the first applies only to parallel
+		// filters): if the packet would pass every stage, promote it
+		// without updating any counters.
+		pass := true
+		for i, h := range f.hashes {
+			f.cost.SRAM(1, 0)
+			if f.stages[i][h.Bucket(key)]+uint64(size) < st {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			f.promote(key, size, 0)
+			return
+		}
+	}
+	for i, h := range f.hashes {
+		b := h.Bucket(key)
+		f.cost.SRAM(1, 1)
+		f.stages[i][b] += uint64(size)
+		if f.stages[i][b] < st {
+			return // packet stops here; later stages never see it
+		}
+	}
+	f.promote(key, size, 0)
+}
+
+// updateCounters applies a plain (or conservative) counter update for a
+// packet of a flow that is already tracked; used only without shielding.
+func (f *Filter) updateCounters(key flow.Key, size uint32) {
+	if f.cfg.Serial {
+		st := f.stageThreshold()
+		for i, h := range f.hashes {
+			b := h.Bucket(key)
+			f.cost.SRAM(1, 1)
+			f.stages[i][b] += uint64(size)
+			if f.stages[i][b] < st {
+				return
+			}
+		}
+		return
+	}
+	min := uint64(1<<63 - 1)
+	for i, h := range f.hashes {
+		f.idx[i] = h.Bucket(key)
+		f.cost.SRAM(1, 0)
+		if c := f.stages[i][f.idx[i]]; c < min {
+			min = c
+		}
+	}
+	if f.cfg.Conservative {
+		bound := min + uint64(size)
+		for i := range f.hashes {
+			if f.stages[i][f.idx[i]] < bound {
+				f.stages[i][f.idx[i]] = bound
+				f.cost.SRAM(0, 1)
+			}
+		}
+		return
+	}
+	for i := range f.hashes {
+		f.stages[i][f.idx[i]] += uint64(size)
+		f.cost.SRAM(0, 1)
+	}
+}
+
+// promote adds the flow to flow memory, counting the current packet.
+// debt is the proven bound on the flow's uncounted earlier bytes.
+func (f *Filter) promote(key flow.Key, size uint32, debt uint64) {
+	e := f.mem.Insert(key, uint64(size))
+	if e == nil {
+		f.dropped++
+		return
+	}
+	if f.cfg.Correction {
+		e.Debt = debt
+	}
+	f.cost.SRAM(0, 1)
+}
+
+// EndInterval implements core.Algorithm: it reports the tracked flows,
+// applies the preservation policy to flow memory, and reinitializes all
+// stage counters (Section 3.3.1: "only reinitializing stage counters").
+func (f *Filter) EndInterval() []core.Estimate {
+	entries := f.mem.Report()
+	out := make([]core.Estimate, 0, len(entries))
+	for _, e := range entries {
+		est := core.Estimate{Key: e.Key, Bytes: e.Bytes, Exact: e.Exact}
+		if f.cfg.Correction && !e.Exact {
+			est.Bytes += e.Debt
+		}
+		out = append(out, est)
+	}
+	f.mem.EndInterval(flowmem.Policy{
+		Preserve:  f.cfg.Preserve,
+		Threshold: f.cfg.Threshold,
+	})
+	for i := range f.stages {
+		clear(f.stages[i])
+	}
+	f.dropped = 0
+	return out
+}
+
+// EntriesUsed implements core.Algorithm.
+func (f *Filter) EntriesUsed() int { return f.mem.Len() }
+
+// Capacity implements core.Algorithm.
+func (f *Filter) Capacity() int { return f.mem.Capacity() }
+
+// Threshold implements core.Algorithm.
+func (f *Filter) Threshold() uint64 { return f.cfg.Threshold }
+
+// SetThreshold implements core.Algorithm.
+func (f *Filter) SetThreshold(t uint64) {
+	if t < 1 {
+		t = 1
+	}
+	f.cfg.Threshold = t
+}
+
+// Mem implements core.Algorithm.
+func (f *Filter) Mem() *memmodel.Counter { return &f.cost }
+
+// Dropped returns the number of flows that passed the filter in the current
+// interval but were dropped because the flow memory was full.
+func (f *Filter) Dropped() uint64 { return f.dropped }
+
+// CounterValue exposes a stage counter for tests and diagnostics.
+func (f *Filter) CounterValue(stage int, bucket int) uint64 {
+	return f.stages[stage][bucket]
+}
+
+// BucketOf exposes the bucket a key hashes to at a stage, for tests.
+func (f *Filter) BucketOf(stage int, key flow.Key) int {
+	return int(f.hashes[stage].Bucket(key))
+}

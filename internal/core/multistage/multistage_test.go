@@ -1,0 +1,643 @@
+package multistage
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+)
+
+func key(i uint64) flow.Key { return flow.Key{Lo: i} }
+
+func baseConfig() Config {
+	return Config{
+		Stages:    4,
+		Buckets:   1000,
+		Entries:   2000,
+		Threshold: 100000,
+		Seed:      1,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := baseConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Stages = 0 },
+		func(c *Config) { c.Buckets = 0 },
+		func(c *Config) { c.Entries = 0 },
+		func(c *Config) { c.Threshold = 0 },
+		func(c *Config) { c.Hash = "bogus" },
+	}
+	for i, mutate := range mutations {
+		c := good
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSinglePacketCounters(t *testing.T) {
+	f, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Process(key(7), 1234)
+	for st := 0; st < 4; st++ {
+		b := f.BucketOf(st, key(7))
+		if got := f.CounterValue(st, b); got != 1234 {
+			t.Errorf("stage %d counter = %d, want 1234", st, got)
+		}
+	}
+}
+
+func TestPromotionAtThreshold(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Threshold = 1000
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 999 bytes: not promoted.
+	f.Process(key(1), 999)
+	if f.EntriesUsed() != 0 {
+		t.Fatal("premature promotion below threshold")
+	}
+	// One more byte reaches T exactly: must be promoted (>= T passes).
+	f.Process(key(1), 1)
+	if f.EntriesUsed() != 1 {
+		t.Fatal("flow at threshold not promoted")
+	}
+	est := f.EndInterval()
+	if len(est) != 1 || est[0].Bytes != 1 {
+		t.Errorf("estimate = %v, want 1 byte counted after promotion", est)
+	}
+}
+
+// variants enumerates the filter configurations whose shared invariants
+// (no false negatives, lower-bound estimates) we test.
+func variants() map[string]func(Config) Config {
+	return map[string]func(Config) Config{
+		"parallel":              func(c Config) Config { return c },
+		"parallel-conservative": func(c Config) Config { c.Conservative = true; return c },
+		"parallel-shield":       func(c Config) Config { c.Shield = true; return c },
+		"parallel-cons-shield":  func(c Config) Config { c.Conservative = true; c.Shield = true; return c },
+		"serial":                func(c Config) Config { c.Serial = true; return c },
+		"serial-conservative":   func(c Config) Config { c.Serial = true; c.Conservative = true; return c },
+		"multiplyshift":         func(c Config) Config { c.Hash = "multiplyshift"; return c },
+	}
+}
+
+// TestNoFalseNegatives is the paper's central guarantee (Section 3.2):
+// every flow that sends at least T bytes must be in the flow memory at the
+// end of the interval, for every filter variant, on adversarially random
+// workloads.
+func TestNoFalseNegatives(t *testing.T) {
+	for name, mutate := range variants() {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 5; seed++ {
+				cfg := mutate(Config{
+					Stages:    3,
+					Buckets:   64, // small and overloaded on purpose
+					Entries:   100000,
+					Threshold: 20000,
+					Seed:      seed,
+				})
+				f, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(seed + 500))
+				truth := map[flow.Key]uint64{}
+				for i := 0; i < 30000; i++ {
+					k := key(uint64(rng.Intn(500)))
+					size := uint32(rng.Intn(1460) + 40)
+					truth[k] += uint64(size)
+					f.Process(k, size)
+				}
+				reported := map[flow.Key]bool{}
+				for _, e := range f.EndInterval() {
+					reported[e.Key] = true
+				}
+				for k, bytes := range truth {
+					if bytes >= cfg.Threshold && !reported[k] {
+						t.Fatalf("seed %d: flow %v with %d >= %d bytes missed",
+							seed, k, bytes, cfg.Threshold)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEstimatesAreLowerBoundsWithinT checks both halves of Section 4.2.1:
+// estimates never exceed the truth, and the undercount is below T.
+func TestEstimatesAreLowerBoundsWithinT(t *testing.T) {
+	for name, mutate := range variants() {
+		t.Run(name, func(t *testing.T) {
+			cfg := mutate(Config{
+				Stages:    4,
+				Buckets:   256,
+				Entries:   100000,
+				Threshold: 10000,
+				Seed:      3,
+			})
+			f, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(99))
+			truth := map[flow.Key]uint64{}
+			for i := 0; i < 20000; i++ {
+				k := key(uint64(rng.Intn(300)))
+				size := uint32(rng.Intn(1460) + 40)
+				truth[k] += uint64(size)
+				f.Process(k, size)
+			}
+			for _, e := range f.EndInterval() {
+				tr := truth[e.Key]
+				if e.Bytes > tr {
+					t.Fatalf("estimate %d exceeds truth %d", e.Bytes, tr)
+				}
+				// Undercount < T + max packet (serial stages can promote a
+				// little late; parallel promotes before T is exceeded).
+				if tr-e.Bytes >= cfg.Threshold+1500 {
+					t.Fatalf("undercount %d >= T=%d for flow with %d bytes",
+						tr-e.Bytes, cfg.Threshold, tr)
+				}
+			}
+		})
+	}
+}
+
+// TestConservativeUpdateReducesFalsePositives reproduces the headline of
+// Figure 7: conservative update admits strictly fewer small flows than the
+// classic update rule on a skewed workload.
+func TestConservativeUpdateReducesFalsePositives(t *testing.T) {
+	run := func(conservative bool) int {
+		cfg := Config{
+			Stages:       3,
+			Buckets:      100,
+			Entries:      100000,
+			Threshold:    50000,
+			Conservative: conservative,
+			Seed:         7,
+		}
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		// 20 elephants drive counters up; 2000 mice try to sneak through.
+		for i := 0; i < 60000; i++ {
+			var k flow.Key
+			if rng.Intn(100) < 50 {
+				k = key(uint64(rng.Intn(20)))
+			} else {
+				k = key(1000 + uint64(rng.Intn(2000)))
+			}
+			f.Process(k, 1000)
+		}
+		falsePos := 0
+		for _, e := range f.EndInterval() {
+			if e.Key.Lo >= 1000 {
+				falsePos++
+			}
+		}
+		return falsePos
+	}
+	classic, conservative := run(false), run(true)
+	if conservative > classic {
+		t.Errorf("conservative update increased false positives: %d > %d", conservative, classic)
+	}
+	if classic > 0 && conservative == classic {
+		t.Logf("no improvement on this workload: classic=%d conservative=%d", classic, conservative)
+	}
+}
+
+// TestConservativeCountersNeverLarger: with identical hash seeds and
+// workload, every counter under conservative update is <= its value under
+// classic update.
+func TestConservativeCountersNeverLarger(t *testing.T) {
+	mk := func(conservative bool) *Filter {
+		cfg := Config{Stages: 3, Buckets: 128, Entries: 10000, Threshold: 1 << 40, Conservative: conservative, Seed: 5}
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	// Threshold is unreachable so no flow is promoted; pure counter math.
+	classic, cons := mk(false), mk(true)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 20000; i++ {
+		k := key(uint64(rng.Intn(400)))
+		size := uint32(rng.Intn(1460) + 40)
+		classic.Process(k, size)
+		cons.Process(k, size)
+	}
+	for st := 0; st < 3; st++ {
+		for b := 0; b < 128; b++ {
+			if cons.CounterValue(st, b) > classic.CounterValue(st, b) {
+				t.Fatalf("stage %d bucket %d: conservative %d > classic %d",
+					st, b, cons.CounterValue(st, b), classic.CounterValue(st, b))
+			}
+		}
+	}
+}
+
+func TestConservativeNoCounterUpdateOnPromotion(t *testing.T) {
+	cfg := Config{Stages: 2, Buckets: 64, Entries: 10, Threshold: 1000, Conservative: true, Seed: 2}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Process(key(1), 999)
+	before := make([]uint64, 2)
+	for st := 0; st < 2; st++ {
+		before[st] = f.CounterValue(st, f.BucketOf(st, key(1)))
+	}
+	f.Process(key(1), 500) // passes: min+size = 1499 >= 1000
+	if f.EntriesUsed() != 1 {
+		t.Fatal("flow not promoted")
+	}
+	for st := 0; st < 2; st++ {
+		if got := f.CounterValue(st, f.BucketOf(st, key(1))); got != before[st] {
+			t.Errorf("stage %d counter changed on promotion: %d -> %d", st, before[st], got)
+		}
+	}
+}
+
+func TestShieldingStopsCounterGrowth(t *testing.T) {
+	cfg := Config{Stages: 2, Buckets: 64, Entries: 10, Threshold: 1000, Shield: true, Seed: 2}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Process(key(1), 1000) // promoted immediately
+	if f.EntriesUsed() != 1 {
+		t.Fatal("flow not promoted")
+	}
+	before := f.CounterValue(0, f.BucketOf(0, key(1)))
+	for i := 0; i < 100; i++ {
+		f.Process(key(1), 1000)
+	}
+	if got := f.CounterValue(0, f.BucketOf(0, key(1))); got != before {
+		t.Errorf("shielded flow still grew counters: %d -> %d", before, got)
+	}
+	// The entry itself keeps counting.
+	est := f.EndInterval()
+	if est[0].Bytes != 101000 {
+		t.Errorf("entry bytes = %d, want 101000", est[0].Bytes)
+	}
+}
+
+func TestWithoutShieldCountersGrow(t *testing.T) {
+	cfg := Config{Stages: 2, Buckets: 64, Entries: 10, Threshold: 1000, Seed: 2}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Process(key(1), 1000)
+	before := f.CounterValue(0, f.BucketOf(0, key(1)))
+	f.Process(key(1), 500)
+	if got := f.CounterValue(0, f.BucketOf(0, key(1))); got != before+500 {
+		t.Errorf("unshielded tracked flow: counter %d -> %d, want +500", before, got)
+	}
+}
+
+func TestSerialEarlyStagesShieldLaterOnes(t *testing.T) {
+	cfg := Config{Stages: 3, Buckets: 64, Entries: 10, Threshold: 3000, Serial: true, Seed: 4}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage threshold is T/d = 1000. A 500-byte packet fails stage 0, so
+	// stages 1 and 2 must stay untouched.
+	f.Process(key(1), 500)
+	if got := f.CounterValue(0, f.BucketOf(0, key(1))); got != 500 {
+		t.Errorf("stage 0 counter = %d", got)
+	}
+	for st := 1; st < 3; st++ {
+		if got := f.CounterValue(st, f.BucketOf(st, key(1))); got != 0 {
+			t.Errorf("stage %d counter = %d, want 0 (shielded by stage 0)", st, got)
+		}
+	}
+	// A second 500-byte packet brings stage 0 to exactly T/d: it passes
+	// stage 0 and hits stage 1.
+	f.Process(key(1), 500)
+	if got := f.CounterValue(1, f.BucketOf(1, key(1))); got != 500 {
+		t.Errorf("stage 1 counter = %d, want 500", got)
+	}
+}
+
+func TestEndIntervalResetsCounters(t *testing.T) {
+	f, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Process(key(1), 5000)
+	f.EndInterval()
+	for st := 0; st < 4; st++ {
+		if got := f.CounterValue(st, f.BucketOf(st, key(1))); got != 0 {
+			t.Errorf("stage %d counter = %d after interval reset", st, got)
+		}
+	}
+}
+
+func TestPreserveAndExactSecondInterval(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Threshold = 1000
+	cfg.Preserve = true
+	cfg.Shield = true
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		f.Process(key(1), 500)
+	}
+	first := f.EndInterval()
+	if len(first) != 1 || first[0].Exact {
+		t.Fatalf("interval 1: %v", first)
+	}
+	for i := 0; i < 8; i++ {
+		f.Process(key(1), 500)
+	}
+	second := f.EndInterval()
+	if len(second) != 1 || !second[0].Exact || second[0].Bytes != 4000 {
+		t.Fatalf("interval 2: %v, want exact 4000", second)
+	}
+}
+
+func TestDroppedWhenMemoryFull(t *testing.T) {
+	cfg := Config{Stages: 1, Buckets: 4096, Entries: 2, Threshold: 100, Seed: 1}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 5; i++ {
+		f.Process(key(i), 100)
+	}
+	if f.EntriesUsed() != 2 {
+		t.Errorf("EntriesUsed = %d", f.EntriesUsed())
+	}
+	if f.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", f.Dropped())
+	}
+	f.EndInterval()
+	if f.Dropped() != 0 {
+		t.Error("Dropped not reset at interval end")
+	}
+}
+
+func TestMemoryAccessAccounting(t *testing.T) {
+	// Table 1: multistage filters cost 1 + d accesses worth of work per
+	// packet (one flow memory lookup plus one read and one write per
+	// stage).
+	cfg := Config{Stages: 4, Buckets: 1024, Entries: 100, Threshold: 1 << 40, Seed: 1}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		f.Process(key(uint64(i)), 1000)
+	}
+	c := f.Mem()
+	// Per packet: 1 lookup read + 4 stage reads + 4 stage writes = 9.
+	if got := c.PerPacket(); got != 9 {
+		t.Errorf("PerPacket = %g, want 9", got)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() []core.Estimate {
+		f, err := New(baseConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(21))
+		for i := 0; i < 20000; i++ {
+			f.Process(key(uint64(rng.Intn(100))), uint32(rng.Intn(1460)+40))
+		}
+		return f.EndInterval()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("report sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reports diverge at %d", i)
+		}
+	}
+}
+
+func TestInterfaceCompliance(t *testing.T) {
+	var _ core.Algorithm = (*Filter)(nil)
+	f, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "multistage-filter" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	cfg := baseConfig()
+	cfg.Serial = true
+	sf, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Name() != "serial-multistage-filter" {
+		t.Errorf("serial Name = %q", sf.Name())
+	}
+	f.SetThreshold(0)
+	if f.Threshold() != 1 {
+		t.Errorf("SetThreshold(0) -> %d", f.Threshold())
+	}
+	if f.Capacity() != 2000 {
+		t.Errorf("Capacity = %d", f.Capacity())
+	}
+}
+
+func BenchmarkParallelFilter(b *testing.B) {
+	f, err := New(Config{Stages: 4, Buckets: 4096, Entries: 3584, Threshold: 1 << 30, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Process(key(uint64(i%50000)), 1000)
+	}
+}
+
+func BenchmarkConservativeFilter(b *testing.B) {
+	f, err := New(Config{Stages: 4, Buckets: 4096, Entries: 3584, Threshold: 1 << 30, Conservative: true, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Process(key(uint64(i%50000)), 1000)
+	}
+}
+
+func BenchmarkSerialFilter(b *testing.B) {
+	f, err := New(Config{Stages: 4, Buckets: 4096, Entries: 3584, Threshold: 1 << 30, Serial: true, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Process(key(uint64(i%50000)), 1000)
+	}
+}
+
+func TestCorrectionValidation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Correction = true
+	cfg.Serial = true
+	if cfg.Validate() == nil {
+		t.Error("Correction+Serial accepted")
+	}
+}
+
+// TestCorrectionImprovesAccuracy: the Section 4.2.1 correction factor must
+// reduce the average absolute error of large-flow estimates when the
+// filter operates in its intended regime (stage strength k around 3, as in
+// Figure 7): there the counter floor at promotion is mostly the flow's own
+// uncounted bytes, so adding it back cancels the systematic undercount.
+func TestCorrectionImprovesAccuracy(t *testing.T) {
+	// Workload sized for k = T*b/C ~ 3: ~640 kB of traffic against
+	// T = 30000 and 64 buckets. Ten elephants of ~55 kB, two hundred mice.
+	mkStream := func() []struct {
+		k    flow.Key
+		size uint32
+	} {
+		rng := rand.New(rand.NewSource(17))
+		var out []struct {
+			k    flow.Key
+			size uint32
+		}
+		for i := 0; i < 110; i++ {
+			for e := uint64(0); e < 10; e++ {
+				out = append(out, struct {
+					k    flow.Key
+					size uint32
+				}{key(e), uint32(rng.Intn(500) + 250)})
+			}
+		}
+		for i := 0; i < 1000; i++ {
+			out = append(out, struct {
+				k    flow.Key
+				size uint32
+			}{key(100 + uint64(rng.Intn(200))), uint32(rng.Intn(200) + 40)})
+		}
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+	run := func(correction bool) (avgErr float64, overestimates int) {
+		f, err := New(Config{
+			Stages:       3,
+			Buckets:      64,
+			Entries:      100000,
+			Threshold:    30000,
+			Conservative: true,
+			Correction:   correction,
+			Seed:         3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := map[flow.Key]uint64{}
+		for _, p := range mkStream() {
+			truth[p.k] += uint64(p.size)
+			f.Process(p.k, p.size)
+		}
+		var errSum float64
+		var n int
+		for _, e := range f.EndInterval() {
+			tr := float64(truth[e.Key])
+			d := float64(e.Bytes) - tr
+			if d > 0 {
+				overestimates++
+			} else {
+				d = -d
+			}
+			errSum += d
+			n++
+		}
+		if n == 0 {
+			t.Fatal("no flows reported")
+		}
+		return errSum / float64(n), overestimates
+	}
+	plainErr, plainOver := run(false)
+	corrErr, _ := run(true)
+	if plainOver != 0 {
+		t.Fatalf("uncorrected filter overestimated %d flows", plainOver)
+	}
+	if corrErr >= plainErr {
+		t.Errorf("correction did not reduce error: %.0f -> %.0f", plainErr, corrErr)
+	}
+}
+
+// TestCorrectionBoundedByCounterFloor: corrected estimates never exceed
+// truth + the flow's promotion-time counter floor (the debt is a genuine
+// bound, not a guess).
+func TestCorrectionNeverBelowUncorrected(t *testing.T) {
+	mk := func(correction bool) *Filter {
+		f, err := New(Config{
+			Stages: 3, Buckets: 64, Entries: 100000, Threshold: 30000,
+			Conservative: true, Correction: correction, Seed: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	plain, corr := mk(false), mk(true)
+	rng := rand.New(rand.NewSource(18))
+	for i := 0; i < 30000; i++ {
+		k := key(uint64(rng.Intn(250)))
+		size := uint32(rng.Intn(1460) + 40)
+		plain.Process(k, size)
+		corr.Process(k, size)
+	}
+	plainEst := map[flow.Key]uint64{}
+	for _, e := range plain.EndInterval() {
+		plainEst[e.Key] = e.Bytes
+	}
+	for _, e := range corr.EndInterval() {
+		if e.Bytes < plainEst[e.Key] {
+			t.Fatalf("corrected estimate %d below uncorrected %d", e.Bytes, plainEst[e.Key])
+		}
+	}
+}
+
+func TestCorrectionClearedByPreserve(t *testing.T) {
+	cfg := Config{
+		Stages: 2, Buckets: 64, Entries: 10, Threshold: 1000,
+		Conservative: true, Correction: true, Preserve: true, Shield: true, Seed: 5,
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		f.Process(key(1), 400)
+	}
+	f.EndInterval()
+	// Second interval: preserved entry is exact; no debt may be added.
+	for i := 0; i < 3; i++ {
+		f.Process(key(1), 400)
+	}
+	est := f.EndInterval()
+	if len(est) != 1 || !est[0].Exact || est[0].Bytes != 1200 {
+		t.Fatalf("preserved interval estimate = %v, want exact 1200", est)
+	}
+}

@@ -1,0 +1,114 @@
+package sampleandhold
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flow"
+)
+
+// TestQuickLowerBound: without the correction factor, no estimate ever
+// exceeds a flow's true traffic, for random workloads and configurations.
+func TestQuickLowerBound(t *testing.T) {
+	check := func(seed int64, oversampFactor uint8, preserve bool, earlyRemoval bool) bool {
+		cfg := Config{
+			Entries:      1 << 18,
+			Threshold:    5000,
+			Oversampling: 0.5 + float64(oversampFactor%40)/4,
+			Preserve:     preserve,
+			Seed:         seed,
+		}
+		if earlyRemoval && preserve {
+			cfg.EarlyRemoval = 0.15
+		}
+		s, err := New(cfg)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		// Two intervals, so preserved entries are exercised too.
+		for interval := 0; interval < 2; interval++ {
+			truth := map[flow.Key]uint64{}
+			for i := 0; i < 4000; i++ {
+				k := flow.Key{Lo: uint64(rng.Intn(150))}
+				size := uint32(rng.Intn(1460) + 40)
+				truth[k] += uint64(size)
+				s.Process(k, size)
+			}
+			for _, e := range s.EndInterval() {
+				if e.Bytes > truth[e.Key] {
+					return false
+				}
+				// Exactness claims must be literally true.
+				if e.Exact && e.Bytes != truth[e.Key] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMemoryNeverExceedsCapacity: the flow memory respects its bound
+// no matter how aggressive the sampling.
+func TestQuickMemoryNeverExceedsCapacity(t *testing.T) {
+	check := func(seed int64, entries uint8) bool {
+		cap := 1 + int(entries)%64
+		s, err := New(Config{
+			Entries:      cap,
+			Threshold:    100,
+			Oversampling: 100, // p = 1: every packet sampled
+			Preserve:     true,
+			Seed:         seed,
+		})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 2000; i++ {
+			s.Process(flow.Key{Lo: rng.Uint64()}, 100)
+			if s.EntriesUsed() > cap {
+				return false
+			}
+		}
+		return len(s.EndInterval()) <= cap
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHeldFlowsCountedExactlyAfterEntry: once a flow has an entry,
+// every subsequent byte is counted — the "hold" half of the algorithm.
+func TestQuickHeldFlowsCountedExactlyAfterEntry(t *testing.T) {
+	check := func(seed int64, sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		s, err := New(Config{
+			Entries:      8,
+			Threshold:    1000,
+			Oversampling: 1000, // p = 1: first packet creates the entry
+			Seed:         seed,
+		})
+		if err != nil {
+			return false
+		}
+		var total uint64
+		k := flow.Key{Lo: 9}
+		for _, raw := range sizes {
+			size := uint32(raw%1460) + 40
+			total += uint64(size)
+			s.Process(k, size)
+		}
+		est := s.EndInterval()
+		return len(est) == 1 && est[0].Bytes == total
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,192 @@
+// Package sampleandhold implements the paper's first algorithm (Section
+// 3.1). Each byte is sampled with probability p = O/T, where T is the
+// large-flow threshold and O the oversampling factor. When a byte of a flow
+// with no entry is sampled, an entry is created; from then on every packet
+// of the flow updates the entry, so — unlike Sampled NetFlow — the flow's
+// traffic after detection is counted exactly.
+//
+// Byte sampling is implemented by geometric skip counting: instead of
+// flipping a coin per byte, the distance to the next sampled byte is drawn
+// from the geometric distribution, and packets of untracked flows consume
+// that distance. This is exact and takes O(1) time per packet.
+//
+// The optimizations of Section 3.3.1 are supported: preserving entries
+// across measurement intervals and the early removal threshold R.
+package sampleandhold
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/core/flowmem"
+	"repro/internal/flow"
+	"repro/internal/memmodel"
+)
+
+// Config configures a sample-and-hold instance.
+type Config struct {
+	// Entries is the flow memory capacity.
+	Entries int
+	// Threshold is the large-flow threshold T in bytes per interval.
+	Threshold uint64
+	// Oversampling is the factor O; the byte sampling probability is
+	// p = Oversampling / Threshold. The paper's experiments use 4 (4.7
+	// when early removal is enabled).
+	Oversampling float64
+	// Preserve enables preserving entries across intervals.
+	Preserve bool
+	// EarlyRemoval is the early removal threshold as a fraction of the
+	// threshold (the paper uses 0.15); zero disables early removal.
+	// It only takes effect together with Preserve.
+	EarlyRemoval float64
+	// Correction, when set, adds the expected undercount 1/p to every
+	// estimate (Section 4.1.1). It reduces the expected error but forfeits
+	// the lower-bound property that makes estimates safe for billing.
+	Correction bool
+	// Seed seeds the sampling randomness.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Entries < 1 {
+		return fmt.Errorf("sampleandhold: Entries = %d", c.Entries)
+	}
+	if c.Threshold < 1 {
+		return fmt.Errorf("sampleandhold: Threshold = %d", c.Threshold)
+	}
+	if c.Oversampling <= 0 {
+		return fmt.Errorf("sampleandhold: Oversampling = %g", c.Oversampling)
+	}
+	if c.EarlyRemoval < 0 || c.EarlyRemoval >= 1 {
+		return fmt.Errorf("sampleandhold: EarlyRemoval = %g out of [0,1)", c.EarlyRemoval)
+	}
+	return nil
+}
+
+// SampleAndHold implements core.Algorithm.
+type SampleAndHold struct {
+	cfg  Config
+	mem  *flowmem.Memory
+	rng  *rand.Rand
+	cost memmodel.Counter
+
+	p    float64 // byte sampling probability
+	skip int64   // bytes of untracked traffic until the next sample
+}
+
+// New creates a sample-and-hold instance.
+func New(cfg Config) (*SampleAndHold, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &SampleAndHold{
+		cfg: cfg,
+		mem: flowmem.New(cfg.Entries),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	s.setProbability()
+	s.skip = s.nextSkip()
+	return s, nil
+}
+
+func (s *SampleAndHold) setProbability() {
+	s.p = s.cfg.Oversampling / float64(s.cfg.Threshold)
+	if s.p > 1 {
+		s.p = 1
+	}
+}
+
+// nextSkip draws the number of bytes until (and including) the next sampled
+// byte: geometric on {1, 2, ...} with success probability p.
+func (s *SampleAndHold) nextSkip() int64 {
+	if s.p >= 1 {
+		return 1
+	}
+	u := s.rng.Float64()
+	for u == 0 {
+		u = s.rng.Float64()
+	}
+	n := int64(math.Ceil(math.Log(u) / math.Log(1-s.p)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Name implements core.Algorithm.
+func (s *SampleAndHold) Name() string { return "sample-and-hold" }
+
+// Process implements core.Algorithm. Every packet costs one flow memory
+// lookup; packets of tracked flows cost one additional write.
+func (s *SampleAndHold) Process(key flow.Key, size uint32) {
+	s.cost.Packet()
+	s.cost.SRAM(1, 0) // flow memory lookup
+	if e := s.mem.Lookup(key); e != nil {
+		e.Bytes += uint64(size)
+		s.cost.SRAM(0, 1)
+		return
+	}
+	// Untracked flow: its bytes consume the sampling skip.
+	s.skip -= int64(size)
+	if s.skip > 0 {
+		return
+	}
+	s.skip = s.nextSkip()
+	// Sampled. Count the whole packet: the bytes before the sampled byte
+	// belong to the same packet and are known (the paper notes this makes
+	// the real algorithm slightly more accurate than the analysis).
+	if s.mem.Insert(key, uint64(size)) != nil {
+		s.cost.SRAM(0, 1)
+	}
+}
+
+// EndInterval implements core.Algorithm.
+func (s *SampleAndHold) EndInterval() []core.Estimate {
+	entries := s.mem.Report()
+	out := make([]core.Estimate, 0, len(entries))
+	correction := uint64(0)
+	if s.cfg.Correction && s.p > 0 {
+		correction = uint64(1 / s.p)
+	}
+	for _, e := range entries {
+		est := core.Estimate{Key: e.Key, Bytes: e.Bytes, Exact: e.Exact}
+		if !e.Exact {
+			est.Bytes += correction
+		}
+		out = append(out, est)
+	}
+	s.mem.EndInterval(flowmem.Policy{
+		Preserve:     s.cfg.Preserve,
+		Threshold:    s.cfg.Threshold,
+		EarlyRemoval: uint64(s.cfg.EarlyRemoval * float64(s.cfg.Threshold)),
+	})
+	return out
+}
+
+// EntriesUsed implements core.Algorithm.
+func (s *SampleAndHold) EntriesUsed() int { return s.mem.Len() }
+
+// Capacity implements core.Algorithm.
+func (s *SampleAndHold) Capacity() int { return s.mem.Capacity() }
+
+// Threshold implements core.Algorithm.
+func (s *SampleAndHold) Threshold() uint64 { return s.cfg.Threshold }
+
+// SetThreshold implements core.Algorithm: it re-derives the sampling
+// probability p = O/T from the new threshold.
+func (s *SampleAndHold) SetThreshold(t uint64) {
+	if t < 1 {
+		t = 1
+	}
+	s.cfg.Threshold = t
+	s.setProbability()
+}
+
+// Mem implements core.Algorithm.
+func (s *SampleAndHold) Mem() *memmodel.Counter { return &s.cost }
+
+// SamplingProbability returns the current per-byte sampling probability.
+func (s *SampleAndHold) SamplingProbability() float64 { return s.p }

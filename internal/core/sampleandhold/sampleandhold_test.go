@@ -1,0 +1,359 @@
+package sampleandhold
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+)
+
+func key(i uint64) flow.Key { return flow.Key{Lo: i} }
+
+func baseConfig() Config {
+	return Config{
+		Entries:      1000,
+		Threshold:    10000,
+		Oversampling: 4,
+		Seed:         1,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := baseConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Entries = 0 },
+		func(c *Config) { c.Threshold = 0 },
+		func(c *Config) { c.Oversampling = 0 },
+		func(c *Config) { c.EarlyRemoval = -0.1 },
+		func(c *Config) { c.EarlyRemoval = 1 },
+	}
+	for i, mutate := range mutations {
+		c := good
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("New with zero config succeeded")
+	}
+}
+
+func TestSamplingProbabilityDerivation(t *testing.T) {
+	// Paper Section 4.1: p = O / T. For the running example (T = 1 Mbyte,
+	// O = 20), p must be 1 in 50,000 bytes.
+	s, err := New(Config{Entries: 10, Threshold: 1000000, Oversampling: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SamplingProbability(); math.Abs(got-1.0/50000) > 1e-12 {
+		t.Errorf("p = %g, want 2e-5", got)
+	}
+	// p saturates at 1.
+	s.SetThreshold(10)
+	if s.SamplingProbability() != 1 {
+		t.Errorf("p = %g, want 1 when O > T", s.SamplingProbability())
+	}
+}
+
+func TestHoldCountsEverythingAfterSampling(t *testing.T) {
+	// With p = 1 the first packet is always sampled, so the whole flow is
+	// counted exactly.
+	s, err := New(Config{Entries: 10, Threshold: 5, Oversampling: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Process(key(7), 100)
+	}
+	est := s.EndInterval()
+	if len(est) != 1 || est[0].Bytes != 1000 {
+		t.Fatalf("estimates = %v, want one flow with 1000 bytes", est)
+	}
+}
+
+func TestEstimatesAreLowerBounds(t *testing.T) {
+	// Without the correction factor, "we never overestimate the size of the
+	// flow" — the provable-lower-bound property that makes the scheme safe
+	// for billing.
+	for seed := int64(0); seed < 20; seed++ {
+		s, err := New(Config{Entries: 10000, Threshold: 3000, Oversampling: 2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed + 100))
+		truth := map[flow.Key]uint64{}
+		for i := 0; i < 5000; i++ {
+			k := key(uint64(rng.Intn(200)))
+			size := uint32(rng.Intn(1460) + 40)
+			truth[k] += uint64(size)
+			s.Process(k, size)
+		}
+		for _, e := range s.EndInterval() {
+			if e.Bytes > truth[e.Key] {
+				t.Fatalf("seed %d: estimate %d exceeds truth %d", seed, e.Bytes, truth[e.Key])
+			}
+		}
+	}
+}
+
+func TestOversamplingDetectsThresholdFlows(t *testing.T) {
+	// Paper Section 4.1.1: a flow at the threshold is missed with
+	// probability ~e^-O. With O = 20 misses are essentially impossible;
+	// run 100 independent trials of a flow sending exactly T bytes.
+	misses := 0
+	for seed := int64(0); seed < 100; seed++ {
+		s, err := New(Config{Entries: 100000, Threshold: 100000, Oversampling: 20, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sent uint64
+		for sent < 100000 {
+			s.Process(key(1), 1000)
+			sent += 1000
+		}
+		if len(s.EndInterval()) == 0 {
+			misses++
+		}
+	}
+	if misses > 0 {
+		t.Errorf("%d/100 threshold flows missed with O=20 (expected ~e^-20 rate)", misses)
+	}
+}
+
+func TestExpectedErrorNearOneOverP(t *testing.T) {
+	// Section 4.1.1: E[s-c] <= 1/p (byte-level analysis; packetization
+	// makes the real algorithm more accurate). Average over many runs.
+	const (
+		threshold = 100000
+		oversamp  = 10
+		flowBytes = 200000
+		pktSize   = 100
+		runs      = 300
+	)
+	p := float64(oversamp) / threshold
+	var errSum float64
+	detected := 0
+	for seed := int64(0); seed < runs; seed++ {
+		s, err := New(Config{Entries: 10, Threshold: threshold, Oversampling: oversamp, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for sent := 0; sent < flowBytes; sent += pktSize {
+			s.Process(key(1), pktSize)
+		}
+		est := s.EndInterval()
+		if len(est) == 1 {
+			detected++
+			errSum += float64(flowBytes) - float64(est[0].Bytes)
+		}
+	}
+	if detected < runs*95/100 {
+		t.Fatalf("only %d/%d flows detected", detected, runs)
+	}
+	avgErr := errSum / float64(detected)
+	// 1/p = 10000. Packet quantization reduces the error by up to one
+	// half-packet on average; accept a broad band around the theory.
+	if avgErr < 0.5/p || avgErr > 1.5/p {
+		t.Errorf("average error %.0f, want within [%.0f, %.0f] of 1/p = %.0f",
+			avgErr, 0.5/p, 1.5/p, 1/p)
+	}
+}
+
+func TestCorrectionAddsOneOverP(t *testing.T) {
+	mkRun := func(correct bool) uint64 {
+		s, err := New(Config{Entries: 10, Threshold: 100000, Oversampling: 10, Seed: 7, Correction: correct})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			s.Process(key(1), 100)
+		}
+		est := s.EndInterval()
+		if len(est) != 1 {
+			t.Fatal("flow not detected")
+		}
+		return est[0].Bytes
+	}
+	plain, corrected := mkRun(false), mkRun(true)
+	if corrected != plain+10000 {
+		t.Errorf("correction: plain %d corrected %d, want +1/p = +10000", plain, corrected)
+	}
+}
+
+func TestPreserveMakesSecondIntervalExact(t *testing.T) {
+	s, err := New(Config{Entries: 100, Threshold: 1000, Oversampling: 4, Preserve: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interval 1: large flow gets an entry (estimate may be partial).
+	for i := 0; i < 100; i++ {
+		s.Process(key(1), 100)
+	}
+	first := s.EndInterval()
+	if len(first) != 1 || first[0].Exact {
+		t.Fatalf("interval 1: %v", first)
+	}
+	// Interval 2: the preserved entry counts every byte.
+	for i := 0; i < 77; i++ {
+		s.Process(key(1), 100)
+	}
+	second := s.EndInterval()
+	if len(second) != 1 || !second[0].Exact || second[0].Bytes != 7700 {
+		t.Fatalf("interval 2: %v, want exact 7700", second)
+	}
+}
+
+func TestNoPreserveClearsBetweenIntervals(t *testing.T) {
+	s, err := New(Config{Entries: 100, Threshold: 10, Oversampling: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Process(key(1), 100)
+	s.EndInterval()
+	if s.EntriesUsed() != 0 {
+		t.Error("entries survived a non-preserving transition")
+	}
+}
+
+func TestEarlyRemovalPrunesSmallEntries(t *testing.T) {
+	cfg := Config{Entries: 10000, Threshold: 100000, Oversampling: 50, Preserve: true, EarlyRemoval: 0.15, Seed: 5}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Many small flows (will be sampled, stay below R = 15000) plus one
+	// large flow above T.
+	for f := uint64(0); f < 300; f++ {
+		for i := 0; i < 10; i++ {
+			s.Process(key(f+100), 500) // 5000 bytes each: below R
+		}
+	}
+	for i := 0; i < 300; i++ {
+		s.Process(key(1), 500) // 150000 bytes: above T
+	}
+	used := s.EntriesUsed()
+	s.EndInterval()
+	kept := s.EntriesUsed()
+	if kept >= used {
+		t.Fatalf("early removal kept %d of %d entries", kept, used)
+	}
+	// The large flow must survive.
+	found := false
+	for i := 0; i < 10; i++ {
+		s.Process(key(1), 100)
+	}
+	for _, e := range s.EndInterval() {
+		if e.Key == key(1) && e.Exact {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("large flow did not survive early removal")
+	}
+}
+
+func TestMemoryFullDropsGracefully(t *testing.T) {
+	s, err := New(Config{Entries: 2, Threshold: 10, Oversampling: 10, Seed: 1}) // p = 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 10; i++ {
+		s.Process(key(i), 100)
+	}
+	if s.EntriesUsed() != 2 {
+		t.Errorf("EntriesUsed = %d, want capacity 2", s.EntriesUsed())
+	}
+	if len(s.EndInterval()) != 2 {
+		t.Error("report size should match capacity")
+	}
+}
+
+func TestMemoryAccessAccounting(t *testing.T) {
+	s, err := New(Config{Entries: 10, Threshold: 1 << 40, Oversampling: 0.0001, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p is astronomically small: packets are never sampled, each costs
+	// exactly one SRAM read (the flow memory lookup).
+	for i := 0; i < 100; i++ {
+		s.Process(key(uint64(i)), 1000)
+	}
+	c := s.Mem()
+	if c.Packets != 100 || c.SRAMReads != 100 || c.SRAMWrites != 0 {
+		t.Errorf("untracked flows: %+v", *c)
+	}
+	if got := c.PerPacket(); got != 1 {
+		t.Errorf("PerPacket = %g, want 1 (Table 1)", got)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() []core.Estimate {
+		s, err := New(baseConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 10000; i++ {
+			s.Process(key(uint64(rng.Intn(50))), uint32(rng.Intn(1460)+40))
+		}
+		return s.EndInterval()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different report sizes %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("report diverges at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestInterfaceCompliance(t *testing.T) {
+	var _ core.Algorithm = (*SampleAndHold)(nil)
+	s, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "sample-and-hold" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if s.Capacity() != 1000 || s.Threshold() != 10000 {
+		t.Error("Capacity/Threshold accessors wrong")
+	}
+	s.SetThreshold(0) // clamps to 1
+	if s.Threshold() != 1 {
+		t.Errorf("SetThreshold(0) -> %d", s.Threshold())
+	}
+}
+
+func BenchmarkProcess(b *testing.B) {
+	s, err := New(Config{Entries: 4096, Threshold: 1 << 20, Oversampling: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Process(key(uint64(i%10000)), 1000)
+	}
+}
+
+func BenchmarkProcessTracked(b *testing.B) {
+	s, err := New(Config{Entries: 16, Threshold: 10, Oversampling: 10, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Process(key(1), 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Process(key(1), 1000)
+	}
+}

@@ -1,0 +1,148 @@
+// Package dist provides the probability distributions the synthetic trace
+// generator draws from: bounded Zipf distributions for flow sizes (the
+// paper's analysis uses Zipf with parameter alpha = 1 as the realistic
+// traffic model) and an empirical Internet packet-size mix.
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf is a bounded Zipf distribution over ranks 1..N with exponent alpha:
+// P(rank = i) is proportional to 1/i^alpha. Unlike math/rand's Zipf it
+// supports alpha <= 1 (the paper's alpha = 1 case), using an inverse-CDF
+// table.
+type Zipf struct {
+	cdf []float64 // cdf[i] = P(rank <= i+1)
+}
+
+// NewZipf builds a bounded Zipf distribution over n ranks with the given
+// exponent. It panics if n < 1 or alpha < 0.
+func NewZipf(n int, alpha float64) *Zipf {
+	if n < 1 {
+		panic("dist: Zipf needs n >= 1")
+	}
+	if alpha < 0 {
+		panic("dist: Zipf needs alpha >= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -alpha)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Rank draws a rank in [1, N] using rng.
+func (z *Zipf) Rank(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u) + 1
+}
+
+// P returns the probability of rank i (1-based).
+func (z *Zipf) P(i int) float64 {
+	if i < 1 || i > len(z.cdf) {
+		return 0
+	}
+	if i == 1 {
+		return z.cdf[0]
+	}
+	return z.cdf[i-1] - z.cdf[i-2]
+}
+
+// Weights returns the normalized probability of every rank, largest first.
+// ZipfWeights(n, 1)[0] is the share of the heaviest flow.
+func ZipfWeights(n int, alpha float64) []float64 {
+	z := NewZipf(n, alpha)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = z.P(i + 1)
+	}
+	return w
+}
+
+// PacketSizes is an empirical packet-size distribution. Internet traffic is
+// strongly trimodal (TCP acks at 40 B, legacy MTU-constrained packets around
+// 576 B, Ethernet MTU packets at 1500 B); the mix below yields a mean close
+// to the ~500 B average packet size the paper uses in its examples.
+type PacketSizes struct {
+	sizes []uint32
+	cdf   []float64
+}
+
+// DefaultPacketSizes returns the trimodal Internet packet size mix.
+func DefaultPacketSizes() *PacketSizes {
+	return NewPacketSizes(
+		[]uint32{40, 576, 1500},
+		[]float64{0.50, 0.25, 0.25},
+	)
+}
+
+// NewPacketSizes builds a discrete packet-size distribution from sizes and
+// matching weights. Weights need not sum to one; they are normalized. It
+// panics on length mismatch, empty input, or non-positive weights.
+func NewPacketSizes(sizes []uint32, weights []float64) *PacketSizes {
+	if len(sizes) == 0 || len(sizes) != len(weights) {
+		panic("dist: sizes and weights must be non-empty and same length")
+	}
+	sum := 0.0
+	for _, w := range weights {
+		if w <= 0 {
+			panic("dist: weights must be positive")
+		}
+		sum += w
+	}
+	cdf := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / sum
+		cdf[i] = acc
+	}
+	cdf[len(cdf)-1] = 1
+	return &PacketSizes{sizes: append([]uint32(nil), sizes...), cdf: cdf}
+}
+
+// Sample draws a packet size.
+func (ps *PacketSizes) Sample(rng *rand.Rand) uint32 {
+	u := rng.Float64()
+	return ps.sizes[sort.SearchFloat64s(ps.cdf, u)]
+}
+
+// Mean returns the expected packet size.
+func (ps *PacketSizes) Mean() float64 {
+	m := 0.0
+	prev := 0.0
+	for i, s := range ps.sizes {
+		m += float64(s) * (ps.cdf[i] - prev)
+		prev = ps.cdf[i]
+	}
+	return m
+}
+
+// Max returns the largest packet size in the distribution (the paper's
+// y_max in Theorem 2).
+func (ps *PacketSizes) Max() uint32 {
+	max := ps.sizes[0]
+	for _, s := range ps.sizes[1:] {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Exponential draws an exponentially distributed value with the given mean.
+// Used for flow inter-arrival times in the generator.
+func Exponential(rng *rand.Rand, mean float64) float64 {
+	return rng.ExpFloat64() * mean
+}

@@ -1,0 +1,195 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZipfProbabilitiesSumToOne(t *testing.T) {
+	for _, alpha := range []float64{0, 0.5, 1, 1.2} {
+		z := NewZipf(1000, alpha)
+		sum := 0.0
+		for i := 1; i <= z.N(); i++ {
+			sum += z.P(i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("alpha=%g: probabilities sum to %g", alpha, sum)
+		}
+	}
+}
+
+func TestZipfMonotoneDecreasing(t *testing.T) {
+	z := NewZipf(500, 1)
+	for i := 2; i <= z.N(); i++ {
+		if z.P(i) > z.P(i-1)+1e-12 {
+			t.Fatalf("P(%d)=%g > P(%d)=%g", i, z.P(i), i-1, z.P(i-1))
+		}
+	}
+}
+
+func TestZipfAlphaOneShape(t *testing.T) {
+	// For alpha=1 over n ranks, P(1)/P(n) = n exactly.
+	z := NewZipf(100, 1)
+	ratio := z.P(1) / z.P(100)
+	if math.Abs(ratio-100) > 1e-6 {
+		t.Errorf("P(1)/P(100) = %g, want 100", ratio)
+	}
+}
+
+func TestZipfUniformWhenAlphaZero(t *testing.T) {
+	z := NewZipf(10, 0)
+	for i := 1; i <= 10; i++ {
+		if math.Abs(z.P(i)-0.1) > 1e-9 {
+			t.Errorf("alpha=0: P(%d) = %g, want 0.1", i, z.P(i))
+		}
+	}
+}
+
+func TestZipfRankBoundsAndFrequency(t *testing.T) {
+	z := NewZipf(50, 1)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 51)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		r := z.Rank(rng)
+		if r < 1 || r > 50 {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	// Empirical frequency of rank 1 should be near P(1) = 1/H_50 ~ 0.2227.
+	got := float64(counts[1]) / n
+	want := z.P(1)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("rank-1 frequency %g, want ~%g", got, want)
+	}
+	// Rank 1 must be sampled more often than rank 50.
+	if counts[1] <= counts[50] {
+		t.Errorf("counts[1]=%d <= counts[50]=%d", counts[1], counts[50])
+	}
+}
+
+func TestZipfPOutOfRange(t *testing.T) {
+	z := NewZipf(10, 1)
+	if z.P(0) != 0 || z.P(11) != 0 || z.P(-3) != 0 {
+		t.Error("out-of-range ranks should have probability 0")
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n     int
+		alpha float64
+	}{{0, 1}, {-1, 1}, {5, -0.1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %g) did not panic", tc.n, tc.alpha)
+				}
+			}()
+			NewZipf(tc.n, tc.alpha)
+		}()
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(10, 1)
+	if len(w) != 10 {
+		t.Fatalf("len = %d", len(w))
+	}
+	sum := 0.0
+	for i, x := range w {
+		if i > 0 && x > w[i-1]+1e-12 {
+			t.Errorf("weights not decreasing at %d", i)
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %g", sum)
+	}
+}
+
+func TestPacketSizesMeanNear500(t *testing.T) {
+	ps := DefaultPacketSizes()
+	m := ps.Mean()
+	if m < 400 || m > 650 {
+		t.Errorf("default mean packet size %g outside [400, 650]", m)
+	}
+}
+
+func TestPacketSizesSampleMembership(t *testing.T) {
+	ps := DefaultPacketSizes()
+	rng := rand.New(rand.NewSource(2))
+	valid := map[uint32]bool{40: true, 576: true, 1500: true}
+	counts := map[uint32]int{}
+	for i := 0; i < 10000; i++ {
+		s := ps.Sample(rng)
+		if !valid[s] {
+			t.Fatalf("sampled invalid size %d", s)
+		}
+		counts[s]++
+	}
+	// 50% weight on 40-byte packets.
+	if f := float64(counts[40]) / 10000; math.Abs(f-0.5) > 0.03 {
+		t.Errorf("40-byte frequency %g, want ~0.5", f)
+	}
+}
+
+func TestPacketSizesEmpiricalMean(t *testing.T) {
+	ps := DefaultPacketSizes()
+	rng := rand.New(rand.NewSource(3))
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += float64(ps.Sample(rng))
+	}
+	if math.Abs(sum/n-ps.Mean()) > 10 {
+		t.Errorf("empirical mean %g vs analytic %g", sum/n, ps.Mean())
+	}
+}
+
+func TestPacketSizesMax(t *testing.T) {
+	ps := NewPacketSizes([]uint32{100, 1500, 576}, []float64{1, 1, 1})
+	if ps.Max() != 1500 {
+		t.Errorf("Max = %d", ps.Max())
+	}
+}
+
+func TestNewPacketSizesPanics(t *testing.T) {
+	cases := []struct {
+		sizes   []uint32
+		weights []float64
+	}{
+		{nil, nil},
+		{[]uint32{40}, []float64{1, 2}},
+		{[]uint32{40}, []float64{0}},
+		{[]uint32{40, 576}, []float64{1, -1}},
+	}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			NewPacketSizes(c.sizes, c.weights)
+		}()
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := Exponential(rng, 2.5)
+		if v < 0 {
+			t.Fatal("negative exponential sample")
+		}
+		sum += v
+	}
+	if m := sum / n; math.Abs(m-2.5) > 0.05 {
+		t.Errorf("mean %g, want ~2.5", m)
+	}
+}

@@ -1,0 +1,135 @@
+// Package exact implements the ground-truth oracle: exact per-flow byte
+// counts kept for every flow, the way an ideal (but unscalable) measurement
+// device would. The experiment harness compares every algorithm's estimates
+// against this oracle, and the oracle's flow-size distribution reproduces
+// Figure 6 of the paper.
+package exact
+
+import (
+	"sort"
+
+	"repro/internal/flow"
+)
+
+// Counter keeps exact byte and packet counts per flow for one measurement
+// interval.
+type Counter struct {
+	def   flow.Definition
+	bytes map[flow.Key]uint64
+	pkts  map[flow.Key]uint64
+	total uint64
+}
+
+// New returns an exact counter for the given flow definition.
+func New(def flow.Definition) *Counter {
+	return &Counter{
+		def:   def,
+		bytes: make(map[flow.Key]uint64),
+		pkts:  make(map[flow.Key]uint64),
+	}
+}
+
+// Packet accounts one packet.
+func (c *Counter) Packet(p *flow.Packet) {
+	k := c.def.Key(p)
+	c.bytes[k] += uint64(p.Size)
+	c.pkts[k]++
+	c.total += uint64(p.Size)
+}
+
+// Reset clears all per-flow state, as at a measurement-interval boundary.
+func (c *Counter) Reset() {
+	c.bytes = make(map[flow.Key]uint64)
+	c.pkts = make(map[flow.Key]uint64)
+	c.total = 0
+}
+
+// Bytes returns the exact byte count of a flow (0 if unseen).
+func (c *Counter) Bytes(k flow.Key) uint64 { return c.bytes[k] }
+
+// Packets returns the exact packet count of a flow (0 if unseen).
+func (c *Counter) Packets(k flow.Key) uint64 { return c.pkts[k] }
+
+// TotalBytes returns the total traffic accounted.
+func (c *Counter) TotalBytes() uint64 { return c.total }
+
+// Flows returns the number of distinct flows seen.
+func (c *Counter) Flows() int { return len(c.bytes) }
+
+// Snapshot returns a copy of the per-flow byte counts.
+func (c *Counter) Snapshot() map[flow.Key]uint64 {
+	out := make(map[flow.Key]uint64, len(c.bytes))
+	for k, v := range c.bytes {
+		out[k] = v
+	}
+	return out
+}
+
+// FlowSize pairs a flow with its exact size.
+type FlowSize struct {
+	Key   flow.Key
+	Bytes uint64
+}
+
+// Sorted returns all flows sorted by size, largest first (ties broken by
+// key for determinism).
+func (c *Counter) Sorted() []FlowSize {
+	out := make([]FlowSize, 0, len(c.bytes))
+	for k, v := range c.bytes {
+		out = append(out, FlowSize{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		if out[i].Key.Hi != out[j].Key.Hi {
+			return out[i].Key.Hi > out[j].Key.Hi
+		}
+		return out[i].Key.Lo > out[j].Key.Lo
+	})
+	return out
+}
+
+// AboveThreshold returns the flows with at least threshold bytes, largest
+// first. These are the paper's "large flows" for the interval.
+func (c *Counter) AboveThreshold(threshold uint64) []FlowSize {
+	all := c.Sorted()
+	cut := sort.Search(len(all), func(i int) bool { return all[i].Bytes < threshold })
+	return all[:cut]
+}
+
+// CDFPoint is one point of Figure 6: the top Percent% of flows account for
+// TrafficPercent% of the traffic.
+type CDFPoint struct {
+	Percent        float64
+	TrafficPercent float64
+}
+
+// CDF computes the cumulative flow-size distribution at the given flow
+// percentiles (e.g. 1, 5, 10, 20, 30). It returns nil when no flows were
+// seen.
+func (c *Counter) CDF(percents []float64) []CDFPoint {
+	flows := c.Sorted()
+	if len(flows) == 0 || c.total == 0 {
+		return nil
+	}
+	prefix := make([]uint64, len(flows)+1)
+	for i, f := range flows {
+		prefix[i+1] = prefix[i] + f.Bytes
+	}
+	out := make([]CDFPoint, 0, len(percents))
+	for _, p := range percents {
+		n := int(p / 100 * float64(len(flows)))
+		if n < 1 {
+			n = 1
+		}
+		if n > len(flows) {
+			n = len(flows)
+		}
+		out = append(out, CDFPoint{
+			Percent:        p,
+			TrafficPercent: 100 * float64(prefix[n]) / float64(c.total),
+		})
+	}
+	return out
+}

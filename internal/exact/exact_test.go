@@ -1,0 +1,207 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flow"
+)
+
+func pkt(src uint32, size uint32) *flow.Packet {
+	return &flow.Packet{SrcIP: src, DstIP: 99, Proto: 6, Size: size}
+}
+
+func TestCounterAccumulates(t *testing.T) {
+	c := New(flow.FiveTuple{})
+	c.Packet(pkt(1, 100))
+	c.Packet(pkt(1, 200))
+	c.Packet(pkt(2, 50))
+	k1 := flow.FiveTuple{}.Key(pkt(1, 0))
+	k2 := flow.FiveTuple{}.Key(pkt(2, 0))
+	if c.Bytes(k1) != 300 || c.Packets(k1) != 2 {
+		t.Errorf("flow1: %d bytes %d pkts", c.Bytes(k1), c.Packets(k1))
+	}
+	if c.Bytes(k2) != 50 || c.Packets(k2) != 1 {
+		t.Errorf("flow2: %d bytes %d pkts", c.Bytes(k2), c.Packets(k2))
+	}
+	if c.TotalBytes() != 350 || c.Flows() != 2 {
+		t.Errorf("total=%d flows=%d", c.TotalBytes(), c.Flows())
+	}
+	if c.Bytes(flow.Key{Hi: 42}) != 0 {
+		t.Error("unseen flow should have 0 bytes")
+	}
+}
+
+func TestCounterReset(t *testing.T) {
+	c := New(flow.FiveTuple{})
+	c.Packet(pkt(1, 100))
+	c.Reset()
+	if c.TotalBytes() != 0 || c.Flows() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	c := New(flow.FiveTuple{})
+	c.Packet(pkt(1, 100))
+	snap := c.Snapshot()
+	c.Packet(pkt(1, 100))
+	k := flow.FiveTuple{}.Key(pkt(1, 0))
+	if snap[k] != 100 {
+		t.Errorf("snapshot mutated: %d", snap[k])
+	}
+	if c.Bytes(k) != 200 {
+		t.Errorf("counter lost update: %d", c.Bytes(k))
+	}
+}
+
+func TestSortedOrderAndTotal(t *testing.T) {
+	c := New(flow.FiveTuple{})
+	rng := rand.New(rand.NewSource(1))
+	var want uint64
+	for i := 0; i < 500; i++ {
+		s := uint32(rng.Intn(1000) + 1)
+		c.Packet(pkt(uint32(i%100), s))
+		want += uint64(s)
+	}
+	flows := c.Sorted()
+	var got uint64
+	for i, f := range flows {
+		got += f.Bytes
+		if i > 0 && f.Bytes > flows[i-1].Bytes {
+			t.Fatalf("Sorted not descending at %d", i)
+		}
+	}
+	if got != want || got != c.TotalBytes() {
+		t.Errorf("sorted total %d, want %d", got, want)
+	}
+}
+
+func TestSortedDeterministicOnTies(t *testing.T) {
+	mk := func() *Counter {
+		c := New(flow.FiveTuple{})
+		for i := 0; i < 50; i++ {
+			c.Packet(pkt(uint32(i), 100)) // all flows the same size
+		}
+		return c
+	}
+	a, b := mk().Sorted(), mk().Sorted()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Sorted is not deterministic on equal sizes")
+		}
+	}
+}
+
+func TestAboveThreshold(t *testing.T) {
+	c := New(flow.FiveTuple{})
+	c.Packet(pkt(1, 1000))
+	c.Packet(pkt(2, 500))
+	c.Packet(pkt(3, 499))
+	big := c.AboveThreshold(500)
+	if len(big) != 2 {
+		t.Fatalf("AboveThreshold(500) = %d flows, want 2", len(big))
+	}
+	if big[0].Bytes != 1000 || big[1].Bytes != 500 {
+		t.Errorf("AboveThreshold = %v", big)
+	}
+	if len(c.AboveThreshold(1)) != 3 {
+		t.Error("threshold 1 should return all flows")
+	}
+	if len(c.AboveThreshold(10000)) != 0 {
+		t.Error("huge threshold should return no flows")
+	}
+}
+
+func TestAboveThresholdMatchesLinearScan(t *testing.T) {
+	f := func(sizes []uint16, threshold uint16) bool {
+		c := New(flow.FiveTuple{})
+		for i, s := range sizes {
+			c.Packet(pkt(uint32(i), uint32(s)+1))
+		}
+		got := len(c.AboveThreshold(uint64(threshold) + 1))
+		want := 0
+		for _, s := range sizes {
+			if uint64(s)+1 >= uint64(threshold)+1 {
+				want++
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := New(flow.FiveTuple{})
+	// 10 flows: one of 910 bytes, nine of 10 bytes. Top 10% = 1 flow = 91%.
+	c.Packet(pkt(0, 910))
+	for i := 1; i < 10; i++ {
+		c.Packet(pkt(uint32(i), 10))
+	}
+	points := c.CDF([]float64{10, 100})
+	if len(points) != 2 {
+		t.Fatalf("CDF returned %d points", len(points))
+	}
+	if points[0].TrafficPercent != 91 {
+		t.Errorf("top 10%% = %g%%, want 91", points[0].TrafficPercent)
+	}
+	if points[1].TrafficPercent != 100 {
+		t.Errorf("top 100%% = %g%%, want 100", points[1].TrafficPercent)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	c := New(flow.FiveTuple{})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		c.Packet(pkt(uint32(i), uint32(rng.Intn(5000)+40)))
+	}
+	ps := []float64{1, 5, 10, 20, 50, 100}
+	points := c.CDF(ps)
+	for i := 1; i < len(points); i++ {
+		if points[i].TrafficPercent < points[i-1].TrafficPercent {
+			t.Fatalf("CDF not monotone at %v", points[i])
+		}
+	}
+	if last := points[len(points)-1].TrafficPercent; last < 99.999 {
+		t.Errorf("CDF(100) = %g", last)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := New(flow.FiveTuple{})
+	if c.CDF([]float64{10}) != nil {
+		t.Error("CDF on empty counter should be nil")
+	}
+}
+
+func TestDifferentDefinitionsAggregate(t *testing.T) {
+	// Two 5-tuple flows to the same destination collapse to one dstIP flow.
+	c5 := New(flow.FiveTuple{})
+	cd := New(flow.DstIP{})
+	p1 := &flow.Packet{SrcIP: 1, DstIP: 7, SrcPort: 10, DstPort: 80, Proto: 6, Size: 100}
+	p2 := &flow.Packet{SrcIP: 2, DstIP: 7, SrcPort: 11, DstPort: 80, Proto: 6, Size: 200}
+	for _, p := range []*flow.Packet{p1, p2} {
+		c5.Packet(p)
+		cd.Packet(p)
+	}
+	if c5.Flows() != 2 || cd.Flows() != 1 {
+		t.Errorf("flows: 5-tuple %d, dstIP %d", c5.Flows(), cd.Flows())
+	}
+	if cd.Bytes(flow.DstIP{}.Key(p1)) != 300 {
+		t.Error("dstIP aggregation lost bytes")
+	}
+}
+
+func BenchmarkCounterPacket(b *testing.B) {
+	c := New(flow.FiveTuple{})
+	p := pkt(1, 1500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.SrcIP = uint32(i % 10000)
+		c.Packet(p)
+	}
+}

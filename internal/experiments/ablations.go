@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core/device"
+	"repro/internal/core/multistage"
+	"repro/internal/core/sampleandhold"
+	"repro/internal/flow"
+	"repro/internal/trace"
+)
+
+// AblationRow is one variant's metrics in an ablation study.
+type AblationRow struct {
+	Label   string
+	Metrics map[string]float64
+}
+
+// AblationResult is one ablation study: a named design choice and the
+// measured effect of toggling it.
+type AblationResult struct {
+	Name    string
+	Columns []string
+	Rows    []AblationRow
+}
+
+// Format renders the study.
+func (a AblationResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: %s\n", a.Name)
+	fmt.Fprintf(&b, "%-34s", "variant")
+	for _, c := range a.Columns {
+		fmt.Fprintf(&b, " %18s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range a.Rows {
+		fmt.Fprintf(&b, "%-34s", r.Label)
+		for _, c := range a.Columns {
+			fmt.Fprintf(&b, " %18.3f", r.Metrics[c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// msfAblationMetrics runs a multistage configuration over the trace and
+// returns false-positive percentage, average large-flow error (as % of the
+// threshold) and peak flow-memory entries.
+func msfAblationMetrics(src *trace.SliceSource, cfg multistage.Config, threshold uint64) (map[string]float64, error) {
+	def := flow.FiveTuple{}
+	alg, err := multistage.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dev := device.New(alg, def, nil)
+	var small, smallPassed, errSum float64
+	var errN, maxEntries int
+	ec := newEvalConsumer(dev, def, func(_ int, truth map[flow.Key]uint64, rep device.IntervalReport) {
+		if rep.EntriesUsed > maxEntries {
+			maxEntries = rep.EntriesUsed
+		}
+		for k, size := range truth {
+			est, ok := rep.Estimate(k)
+			if size < threshold {
+				small++
+				if ok {
+					smallPassed++
+				}
+				continue
+			}
+			diff := float64(size) - float64(est)
+			if diff < 0 {
+				diff = -diff
+			}
+			errSum += diff
+			errN++
+		}
+	})
+	src.Reset()
+	if _, err := trace.Replay(src, ec); err != nil {
+		return nil, err
+	}
+	m := map[string]float64{"entries": float64(maxEntries)}
+	if small > 0 {
+		m["false pos %"] = 100 * smallPassed / small
+	}
+	if errN > 0 {
+		m["avg err % of T"] = 100 * errSum / float64(errN) / float64(threshold)
+	}
+	return m, nil
+}
+
+// Ablations runs the design-choice studies called out in DESIGN.md:
+// conservative update, shielding, serial vs parallel, stage count, hash
+// family, and (for sample and hold) preserving entries and early removal.
+func Ablations(o Options) ([]AblationResult, error) {
+	o = o.withDefaults()
+	src, err := buildTrace("MAG", o, 12)
+	if err != nil {
+		return nil, err
+	}
+	meta := src.Meta()
+	divisor := scaleCount(figure7ThresholdDivisor, o.Scale, 64)
+	threshold := uint64(meta.Capacity() * 0.17 / float64(divisor)) // ~avg traffic / divisor
+	if threshold < 1 {
+		threshold = 1
+	}
+	buckets := figure7StageStrength * divisor
+
+	base := multistage.Config{
+		Stages:    devFilterStages,
+		Buckets:   buckets,
+		Entries:   1 << 20,
+		Threshold: threshold,
+		Seed:      42,
+	}
+	var out []AblationResult
+
+	// 1. Conservative update and shielding (with preserve).
+	study := AblationResult{
+		Name:    "multistage filter update rules (4 stages, k=3)",
+		Columns: []string{"false pos %", "avg err % of T", "entries"},
+	}
+	for _, v := range []struct {
+		label  string
+		mutate func(multistage.Config) multistage.Config
+	}{
+		{"plain parallel", func(c multistage.Config) multistage.Config { return c }},
+		{"+ conservative update", func(c multistage.Config) multistage.Config { c.Conservative = true; return c }},
+		{"+ shielding & preserve", func(c multistage.Config) multistage.Config {
+			c.Conservative = true
+			c.Shield = true
+			c.Preserve = true
+			return c
+		}},
+	} {
+		m, err := msfAblationMetrics(src, v.mutate(base), threshold)
+		if err != nil {
+			return nil, err
+		}
+		study.Rows = append(study.Rows, AblationRow{Label: v.label, Metrics: m})
+	}
+	out = append(out, study)
+
+	// 2. Serial vs parallel at matched resources.
+	study = AblationResult{
+		Name:    "serial vs parallel filter",
+		Columns: []string{"false pos %", "entries"},
+	}
+	for _, v := range []struct {
+		label  string
+		serial bool
+	}{{"parallel", false}, {"serial", true}} {
+		cfg := base
+		cfg.Serial = v.serial
+		m, err := msfAblationMetrics(src, cfg, threshold)
+		if err != nil {
+			return nil, err
+		}
+		study.Rows = append(study.Rows, AblationRow{Label: v.label, Metrics: m})
+	}
+	out = append(out, study)
+
+	// 3. Stage count at fixed per-stage size (the Theorem 3 trade).
+	study = AblationResult{
+		Name:    "filter depth (conservative update)",
+		Columns: []string{"false pos %", "entries"},
+	}
+	for d := 1; d <= 5; d++ {
+		cfg := base
+		cfg.Stages = d
+		cfg.Conservative = true
+		m, err := msfAblationMetrics(src, cfg, threshold)
+		if err != nil {
+			return nil, err
+		}
+		study.Rows = append(study.Rows, AblationRow{Label: fmt.Sprintf("%d stages", d), Metrics: m})
+	}
+	out = append(out, study)
+
+	// 4. Hash family.
+	study = AblationResult{
+		Name:    "hash family (4 stages, conservative)",
+		Columns: []string{"false pos %"},
+	}
+	for _, h := range []string{"tabulation", "multiplyshift"} {
+		cfg := base
+		cfg.Conservative = true
+		cfg.Hash = h
+		m, err := msfAblationMetrics(src, cfg, threshold)
+		if err != nil {
+			return nil, err
+		}
+		study.Rows = append(study.Rows, AblationRow{Label: h, Metrics: m})
+	}
+	out = append(out, study)
+
+	// 5. Sample and hold: preserve entries and early removal.
+	study = AblationResult{
+		Name:    "sample and hold optimizations (O=4)",
+		Columns: []string{"avg err % of T", "entries"},
+	}
+	def := flow.FiveTuple{}
+	for _, v := range []struct {
+		label    string
+		preserve bool
+		early    float64
+		oversamp float64
+	}{
+		{"basic", false, 0, 4},
+		{"+ preserve entries", true, 0, 4},
+		{"+ early removal (R=0.15T)", true, 0.15, 4.7},
+	} {
+		alg, err := sampleandhold.New(sampleandhold.Config{
+			Entries:      1 << 20,
+			Threshold:    threshold,
+			Oversampling: v.oversamp,
+			Preserve:     v.preserve,
+			EarlyRemoval: v.early,
+			Seed:         7,
+		})
+		if err != nil {
+			return nil, err
+		}
+		dev := device.New(alg, def, nil)
+		var errSum float64
+		var errN, maxEntries int
+		ec := newEvalConsumer(dev, def, func(_ int, truth map[flow.Key]uint64, rep device.IntervalReport) {
+			if rep.EntriesUsed > maxEntries {
+				maxEntries = rep.EntriesUsed
+			}
+			for k, size := range truth {
+				if size < threshold {
+					continue
+				}
+				est, _ := rep.Estimate(k)
+				diff := float64(size) - float64(est)
+				if diff < 0 {
+					diff = -diff
+				}
+				errSum += diff
+				errN++
+			}
+		})
+		src.Reset()
+		if _, err := trace.Replay(src, ec); err != nil {
+			return nil, err
+		}
+		m := map[string]float64{"entries": float64(maxEntries)}
+		if errN > 0 {
+			m["avg err % of T"] = 100 * errSum / float64(errN) / float64(threshold)
+		}
+		study.Rows = append(study.Rows, AblationRow{Label: v.label, Metrics: m})
+	}
+	out = append(out, study)
+
+	return out, nil
+}

@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analytic"
+	"repro/internal/exact"
+	"repro/internal/flow"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Table1Result reproduces Table 1: the core-algorithm comparison for a
+// given memory size M (entries), flow fraction z, flow count n, counter
+// cost ratio r and NetFlow sampling factor x.
+type Table1Result struct {
+	M, Z, N, R, X float64
+	Rows          []analytic.Table1Row
+}
+
+// Table1 evaluates the comparison at the paper's running-example
+// parameters unless overridden (zero values select the defaults M=2000,
+// z=0.01, n=100000, r=1, x=16).
+func Table1(m, z, n, r, x float64) Table1Result {
+	if m == 0 {
+		m = 2000
+	}
+	if z == 0 {
+		z = 0.01
+	}
+	if n == 0 {
+		n = 100000
+	}
+	if r == 0 {
+		r = 1
+	}
+	if x == 0 {
+		x = 16
+	}
+	return Table1Result{M: m, Z: z, N: n, R: r, X: x, Rows: analytic.Table1(m, z, n, r, x)}
+}
+
+// Format renders the table.
+func (t Table1Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: core algorithm comparison (M=%.0f entries, z=%g, n=%.0f, r=%g, x=%.0f)\n",
+		t.M, t.Z, t.N, t.R, t.X)
+	fmt.Fprintf(&b, "%-20s %16s %16s\n", "algorithm", "relative error", "mem accesses/pkt")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-20s %15.4f%% %16.2f\n", r.Algorithm, r.RelativeError*100, r.MemoryAccesses)
+	}
+	return b.String()
+}
+
+// Table2Result reproduces Table 2: complete measurement devices. The
+// long-lived share of large flows is measured from a trace.
+type Table2Result struct {
+	Z, T, O, U, N, X float64
+	LongLivedPct     float64
+	Rows             []analytic.Table2Row
+}
+
+// Table2 evaluates the device comparison; the long-lived percentage is
+// measured on the scaled MAG trace at threshold fraction z.
+func Table2(o Options) (Table2Result, error) {
+	o = o.withDefaults()
+	src, err := buildTrace("MAG", o, 18)
+	if err != nil {
+		return Table2Result{}, err
+	}
+	meta := src.Meta()
+	threshold := uint64(0.001 * meta.Capacity())
+
+	// Measure the long-lived share: of the flows above the threshold in
+	// interval i, how many were above it in interval i-1.
+	def := flow.FiveTuple{}
+	oracle := exact.New(def)
+	var prev map[flow.Key]uint64
+	var shareSum float64
+	var shareN int
+	_, err = trace.Replay(src, trace.FuncConsumer{
+		OnPacket: func(p *flow.Packet) { oracle.Packet(p) },
+		OnEndInterval: func(int) {
+			cur := oracle.Snapshot()
+			oracle.Reset()
+			if prev != nil {
+				shareSum += stats.LongLivedShare(prev, cur, threshold)
+				shareN++
+			}
+			prev = cur
+		},
+	})
+	if err != nil {
+		return Table2Result{}, err
+	}
+	longLived := 0.0
+	if shareN > 0 {
+		longLived = shareSum / float64(shareN)
+	}
+
+	res := Table2Result{
+		Z: 0.001, T: meta.Interval.Seconds(), O: 4, U: 10,
+		N: float64(100105) * o.Scale, X: 16,
+		LongLivedPct: longLived,
+	}
+	res.Rows = analytic.Table2(res.Z, res.T, res.O, res.U, res.N, res.X, longLived)
+	return res, nil
+}
+
+// Format renders the table.
+func (t Table2Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: measurement devices (z=%g, t=%gs, O=%g, u=%g, n=%.0f, x=%.0f)\n",
+		t.Z, t.T, t.O, t.U, t.N, t.X)
+	fmt.Fprintf(&b, "%-20s %10s %14s %14s %12s\n",
+		"algorithm", "exact", "rel error", "mem bound", "accesses/pkt")
+	for _, r := range t.Rows {
+		exact := "0"
+		if r.ExactPct > 0 {
+			exact = fmt.Sprintf("%.0f%% (ll)", r.ExactPct)
+		}
+		fmt.Fprintf(&b, "%-20s %10s %13.3f%% %14.0f %12.2f\n",
+			r.Algorithm, exact, r.RelativeError*100, r.MemoryBound, r.MemoryAccesses)
+	}
+	return b.String()
+}
+
+// Table3Result reproduces Table 3: the traces and their per-interval flow
+// counts and volumes.
+type Table3Result struct {
+	Stats []*trace.Stats
+}
+
+// Table3 generates the four traces at the configured scale and collects
+// their statistics.
+func Table3(o Options) (Table3Result, error) {
+	o = o.withDefaults()
+	var res Table3Result
+	for _, name := range []string{"MAG+", "MAG", "IND", "COS"} {
+		max := 18
+		if name == "MAG+" {
+			max = 36 // keep the long trace affordable by default
+		}
+		src, err := buildTrace(name, o, max)
+		if err != nil {
+			return res, err
+		}
+		st, err := trace.CollectStats(src)
+		if err != nil {
+			return res, err
+		}
+		res.Stats = append(res.Stats, st)
+	}
+	return res, nil
+}
+
+// Format renders the table.
+func (t Table3Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Table 3: traces (per-interval min/avg/max)\n")
+	for _, st := range t.Stats {
+		b.WriteString(st.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Figure6Series is one line of Figure 6: the cumulative distribution of
+// flow sizes for a trace and flow definition.
+type Figure6Series struct {
+	Label  string
+	Points []exact.CDFPoint
+}
+
+// Figure6Result reproduces Figure 6.
+type Figure6Result struct {
+	Series []Figure6Series
+}
+
+// figure6Percents are the flow percentiles sampled for the figure.
+var figure6Percents = []float64{0.1, 0.5, 1, 2, 5, 10, 15, 20, 25, 30}
+
+// Figure6 computes the flow-size CDFs for MAG under all three flow
+// definitions plus IND and COS under 5-tuples, as the paper plots.
+func Figure6(o Options) (Figure6Result, error) {
+	o = o.withDefaults()
+	var res Figure6Result
+	type job struct {
+		preset string
+		def    flow.Definition
+	}
+	jobs := []job{
+		{"MAG", flow.FiveTuple{}},
+		{"MAG", flow.DstIP{}},
+		{"MAG", flow.ASPair{}},
+		{"IND", flow.FiveTuple{}},
+		{"COS", flow.FiveTuple{}},
+	}
+	for _, j := range jobs {
+		src, err := buildTrace(j.preset, o, 18)
+		if err != nil {
+			return res, err
+		}
+		// The figure is over flow sizes within a measurement interval; use
+		// the first interval (the distribution is stable across them).
+		oracle := exact.New(j.def)
+		done := false
+		_, err = trace.Replay(src, trace.FuncConsumer{
+			OnPacket: func(p *flow.Packet) {
+				if !done {
+					oracle.Packet(p)
+				}
+			},
+			OnEndInterval: func(int) { done = true },
+		})
+		if err != nil {
+			return res, err
+		}
+		label := j.preset
+		if j.preset == "MAG" {
+			label = "MAG " + j.def.Name() + "s"
+		}
+		res.Series = append(res.Series, Figure6Series{Label: label, Points: oracle.CDF(figure6Percents)})
+	}
+	return res, nil
+}
+
+// TopShare returns the percentage of traffic carried by the top percent%
+// of flows in the series (0 if the percentile was not sampled).
+func (s Figure6Series) TopShare(percent float64) float64 {
+	for _, p := range s.Points {
+		if p.Percent == percent {
+			return p.TrafficPercent
+		}
+	}
+	return 0
+}
+
+// Format renders the figure as a table of series.
+func (f Figure6Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Figure 6: cumulative distribution of flow sizes (% of traffic by top % of flows)\n")
+	fmt.Fprintf(&b, "%-18s", "trace")
+	for _, p := range figure6Percents {
+		fmt.Fprintf(&b, "%7.1f%%", p)
+	}
+	b.WriteByte('\n')
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%-18s", s.Label)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%7.1f%%", p.TrafficPercent)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/core/device"
+	"repro/internal/core/multistage"
+	"repro/internal/core/sampleandhold"
+	"repro/internal/flow"
+	"repro/internal/netflow"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Section 7.2 device configuration at full scale: 1 Mbit of SRAM for the
+// paper's algorithms, split per flow definition per the paper's heuristics,
+// and 1-in-16 Sampled NetFlow with unlimited DRAM.
+const (
+	devTotalEntries   = 4096
+	devNetFlowRate    = 16
+	devWarmupDefault  = 10
+	devOversampling   = 4
+	devEarlyRemoval   = 0.15
+	devFilterStages   = 4
+	devMAGPlusMaxIntv = 40
+)
+
+// devSplit is the per-definition SRAM split of Section 7.2: counters per
+// stage and flow memory entries.
+var devSplit = map[string]struct{ counters, entries int }{
+	"5-tuple": {3114, 2539},
+	"dstIP":   {2646, 2773},
+	"ASpair":  {1502, 3345},
+}
+
+// DeviceComparison reproduces Tables 5-7: complete devices on the MAG+
+// trace for one flow definition.
+type DeviceComparison struct {
+	Definition string
+	// Algorithms lists the compared devices in the paper's column order.
+	Algorithms []string
+	// Results maps algorithm name to per-group results.
+	Results map[string][]stats.GroupResult
+	// CollectionBytes is each algorithm's per-run average export volume,
+	// in bytes (the paper's point iv: NetFlow's collection overhead).
+	CollectionBytes map[string]uint64
+	// Warmup is how many leading intervals were excluded.
+	Warmup int
+}
+
+// CompareDevices runs the Table 5/6/7 experiment for the given flow
+// definition name ("5-tuple", "dstIP", "ASpair").
+func CompareDevices(defName string, o Options) (*DeviceComparison, error) {
+	o = o.withDefaults()
+	def := flow.DefinitionByName(defName)
+	if def == nil {
+		return nil, fmt.Errorf("experiments: unknown flow definition %q", defName)
+	}
+	split, ok := devSplit[defName]
+	if !ok {
+		return nil, fmt.Errorf("experiments: no device split for %q", defName)
+	}
+	src, err := buildTrace("MAG+", o, devMAGPlusMaxIntv)
+	if err != nil {
+		return nil, err
+	}
+	meta := src.Meta()
+	capacity := meta.Capacity()
+	warmup := devWarmupDefault
+	if warmup > meta.Intervals/3 {
+		warmup = meta.Intervals / 3
+	}
+
+	entries := scaleCount(devTotalEntries, o.Scale, 32)
+	shEntries := entries
+	msfCounters := scaleCount(split.counters, o.Scale, 16)
+	msfEntries := scaleCount(split.entries, o.Scale, 32)
+
+	// Measure the average per-interval volume; the achievable adaptive
+	// threshold depends on it.
+	var totalBytes float64
+	if _, err := trace.Replay(src, trace.FuncConsumer{
+		OnPacket: func(p *flow.Packet) { totalBytes += float64(p.Size) },
+	}); err != nil {
+		return nil, err
+	}
+	volume := totalBytes / float64(meta.Intervals)
+
+	// Reference-group boundaries. At paper scale the device (4096 entries
+	// against a 16% utilized OC-48) can push its threshold down to ~0.02%
+	// of capacity, so the paper's groups start at 0.1%. A scaled device
+	// has proportionally fewer entries against the same *relative* volume,
+	// so its reachable threshold (O*V/(target*E) bytes) is higher; derive
+	// the group base from it with 2x headroom so the experiment measures
+	// the same regime the paper does. At Scale=1 this reduces to the
+	// paper's 0.1%.
+	reachable := devOversampling * volume / (0.9 * float64(shEntries)) / capacity
+	groupBase := 2 * reachable
+	if groupBase < 0.001 {
+		groupBase = 0.001
+	}
+	groups := []stats.Group{
+		{Name: "very large", Lo: groupBase},
+		{Name: "large", Lo: groupBase / 10, Hi: groupBase},
+		{Name: "medium", Lo: groupBase / 100, Hi: groupBase / 10},
+	}
+	initialThreshold := uint64(groupBase / 3 * capacity)
+
+	res := &DeviceComparison{
+		Definition:      defName,
+		Algorithms:      []string{"sample-and-hold", "multistage-filter", "sampled-netflow"},
+		Results:         make(map[string][]stats.GroupResult),
+		CollectionBytes: make(map[string]uint64),
+		Warmup:          warmup,
+	}
+
+	type mkAlg func(run int) (core.Algorithm, *adapt.Adaptor, error)
+	makers := map[string]mkAlg{
+		"sample-and-hold": func(run int) (core.Algorithm, *adapt.Adaptor, error) {
+			alg, err := sampleandhold.New(sampleandhold.Config{
+				Entries:      shEntries,
+				Threshold:    initialThreshold,
+				Oversampling: devOversampling,
+				Preserve:     true,
+				EarlyRemoval: devEarlyRemoval,
+				Seed:         int64(run)*6151 + 3,
+			})
+			return alg, adapt.New(adapt.SampleAndHoldDefaults()), err
+		},
+		"multistage-filter": func(run int) (core.Algorithm, *adapt.Adaptor, error) {
+			alg, err := multistage.New(multistage.Config{
+				Stages:       devFilterStages,
+				Buckets:      msfCounters,
+				Entries:      msfEntries,
+				Threshold:    initialThreshold,
+				Conservative: true,
+				Shield:       true,
+				Preserve:     true,
+				Seed:         int64(run)*12289 + 5,
+			})
+			return alg, adapt.New(adapt.MultistageDefaults()), err
+		},
+		"sampled-netflow": func(run int) (core.Algorithm, *adapt.Adaptor, error) {
+			alg, err := netflow.New(netflow.Config{
+				SamplingRate: devNetFlowRate,
+				Phase:        run % devNetFlowRate,
+			})
+			return alg, nil, err
+		},
+	}
+
+	for _, name := range res.Algorithms {
+		acc := stats.NewAccumulator(groups)
+		collector := &netflow.Collector{} // volume only
+		for run := 0; run < o.Runs; run++ {
+			alg, adaptor, err := makers[name](run)
+			if err != nil {
+				return nil, err
+			}
+			dev := device.New(alg, def, adaptor)
+			ec := newEvalConsumer(dev, def, func(iv int, truth map[flow.Key]uint64, rep device.IntervalReport) {
+				if iv < warmup {
+					return
+				}
+				acc.Add(truth, rep.Estimates, capacity)
+				collector.Collect(iv, rep.Estimates)
+			})
+			src.Reset()
+			if _, err := trace.Replay(src, ec); err != nil {
+				return nil, err
+			}
+		}
+		res.Results[name] = acc.Results()
+		res.CollectionBytes[name] = collector.WireBytes / uint64(o.Runs)
+	}
+	return res, nil
+}
+
+// Format renders the comparison the way Tables 5-7 do: per group,
+// "unidentified flows / average error" per device.
+func (d *DeviceComparison) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Device comparison, flow IDs defined by %s (first %d intervals ignored)\n",
+		d.Definition, d.Warmup)
+	fmt.Fprintf(&b, "%-16s", "group")
+	for _, a := range d.Algorithms {
+		fmt.Fprintf(&b, " %24s", a)
+	}
+	b.WriteByte('\n')
+	groups := d.Results[d.Algorithms[0]]
+	for gi := range groups {
+		fmt.Fprintf(&b, "%-16s", groups[gi].Group.String())
+		for _, a := range d.Algorithms {
+			r := d.Results[a][gi]
+			fmt.Fprintf(&b, " %10s / %11s", pct(r.UnidentifiedPct), pct(r.AvgErrorPct))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-16s", "export volume")
+	for _, a := range d.Algorithms {
+		fmt.Fprintf(&b, " %21d KB", d.CollectionBytes[a]/1000)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,132 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment has a driver returning structured results
+// plus a formatter that prints rows the way the paper lays them out; the
+// cmd/experiments binary and the repository's benchmarks are thin wrappers
+// around these drivers.
+//
+// The paper's traces are not redistributable, so the drivers run on
+// synthetic traces calibrated to Table 3 (see internal/trace and DESIGN.md).
+// Experiments accept a Scale factor that shrinks traces and device memory
+// together, preserving every ratio the algorithms are sensitive to;
+// paper-scale runs use Scale = 1.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core/device"
+	"repro/internal/exact"
+	"repro/internal/flow"
+	"repro/internal/trace"
+)
+
+// Options controls experiment scale.
+type Options struct {
+	// Scale shrinks traces and memories; 1 is paper scale. Default 0.05.
+	Scale float64
+	// Runs is the number of repetitions with different algorithm seeds
+	// (the paper uses 16-50). Default 3.
+	Runs int
+	// Intervals caps the number of measurement intervals (0 = driver
+	// default).
+	Intervals int
+	// Seed varies the synthetic traces themselves.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 0.05
+	}
+	if o.Runs <= 0 {
+		o.Runs = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// buildTrace generates a scaled preset trace, capped to maxIntervals when
+// o.Intervals is zero, and collects it into a rewindable source.
+func buildTrace(preset string, o Options, maxIntervals int) (*trace.SliceSource, error) {
+	cfg, err := trace.Preset(preset)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Seed = o.Seed
+	cfg = cfg.Scaled(o.Scale)
+	n := o.Intervals
+	if n == 0 {
+		n = cfg.Intervals
+		if maxIntervals > 0 && n > maxIntervals {
+			n = maxIntervals
+		}
+	}
+	cfg = cfg.WithIntervals(n)
+	g, err := trace.NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return trace.Collect(g)
+}
+
+// evalConsumer replays a trace through a measurement device and the exact
+// oracle side by side, invoking a callback with the ground truth and the
+// device's report at each interval boundary.
+type evalConsumer struct {
+	dev    *device.Device
+	oracle *exact.Counter
+	last   device.IntervalReport
+	cb     func(interval int, truth map[flow.Key]uint64, rep device.IntervalReport)
+}
+
+func newEvalConsumer(dev *device.Device, def flow.Definition,
+	cb func(int, map[flow.Key]uint64, device.IntervalReport)) *evalConsumer {
+	e := &evalConsumer{dev: dev, oracle: exact.New(def), cb: cb}
+	dev.KeepReports = false
+	dev.OnReport = func(r device.IntervalReport) { e.last = r }
+	return e
+}
+
+// Packet implements trace.Consumer.
+func (e *evalConsumer) Packet(p *flow.Packet) {
+	e.oracle.Packet(p)
+	e.dev.Packet(p)
+}
+
+// EndInterval implements trace.Consumer.
+func (e *evalConsumer) EndInterval(i int) {
+	truth := e.oracle.Snapshot()
+	e.oracle.Reset()
+	e.dev.EndInterval(i)
+	if e.cb != nil {
+		e.cb(i, truth, e.last)
+	}
+}
+
+// scaleCount scales an integer quantity (entries, counters) by the
+// experiment scale with a floor.
+func scaleCount(n int, scale float64, floor int) int {
+	v := int(float64(n) * scale)
+	if v < floor {
+		return floor
+	}
+	return v
+}
+
+// pct formats a percentage the way the paper's tables do.
+func pct(v float64) string {
+	switch {
+	case v == 0:
+		return "0%"
+	case v < 0.01:
+		return fmt.Sprintf("%.4f%%", v)
+	case v < 1:
+		return fmt.Sprintf("%.3f%%", v)
+	case v < 10:
+		return fmt.Sprintf("%.2f%%", v)
+	default:
+		return fmt.Sprintf("%.1f%%", v)
+	}
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analytic"
+	"repro/internal/core/device"
+	"repro/internal/core/multistage"
+	"repro/internal/exact"
+	"repro/internal/flow"
+	"repro/internal/trace"
+)
+
+// figure7StageStrength is the stage strength k of Figure 7.
+const figure7StageStrength = 3
+
+// figure7ThresholdDivisor reproduces the paper's "threshold of a 4096th of
+// the maximum traffic" at full scale; it is scaled with the experiment so
+// the flows-per-bucket load on the filter is preserved.
+const figure7ThresholdDivisor = 4096
+
+// Figure7Result reproduces Figure 7: the percentage of small flows passing
+// the filter as a function of filter depth, for the analytic bounds, the
+// serial filter, the parallel filter, and the parallel filter with
+// conservative update.
+type Figure7Result struct {
+	Depths []int
+	// Series maps line name to the false-positive percentage at each
+	// depth. Lines: "general bound", "Zipf bound", "serial", "parallel",
+	// "conservative update".
+	Series map[string][]float64
+	// Threshold and Buckets document the derived configuration.
+	Threshold uint64
+	Buckets   int
+}
+
+// Figure7SeriesOrder is the paper's legend order.
+var Figure7SeriesOrder = []string{"general bound", "Zipf bound", "serial", "parallel", "conservative update"}
+
+// Figure7 runs the experiment on the scaled MAG trace with 5-tuple flows.
+func Figure7(o Options) (Figure7Result, error) {
+	o = o.withDefaults()
+	res := Figure7Result{Series: make(map[string][]float64)}
+	src, err := buildTrace("MAG", o, 18)
+	if err != nil {
+		return res, err
+	}
+	def := flow.FiveTuple{}
+
+	// Pre-pass: find the maximum per-interval traffic and mean flow count;
+	// the paper derives the threshold from the former.
+	oracle := exact.New(def)
+	var maxBytes uint64
+	var flowSum, intervals int
+	if _, err := trace.Replay(src, trace.FuncConsumer{
+		OnPacket: func(p *flow.Packet) { oracle.Packet(p) },
+		OnEndInterval: func(int) {
+			if oracle.TotalBytes() > maxBytes {
+				maxBytes = oracle.TotalBytes()
+			}
+			flowSum += oracle.Flows()
+			intervals++
+			oracle.Reset()
+		},
+	}); err != nil {
+		return res, err
+	}
+	divisor := scaleCount(figure7ThresholdDivisor, o.Scale, 64)
+	threshold := maxBytes / uint64(divisor)
+	if threshold < 1 {
+		threshold = 1
+	}
+	buckets := figure7StageStrength * divisor
+	avgFlows := flowSum / intervals
+	res.Threshold = threshold
+	res.Buckets = buckets
+
+	for depth := 1; depth <= 4; depth++ {
+		res.Depths = append(res.Depths, depth)
+		res.Series["general bound"] = append(res.Series["general bound"],
+			100*analytic.MSFGeneralPassFraction(float64(maxBytes), float64(threshold), buckets, depth, avgFlows))
+		res.Series["Zipf bound"] = append(res.Series["Zipf bound"],
+			100*analytic.MSFZipfPassFraction(float64(maxBytes), float64(threshold), buckets, depth, avgFlows, 1))
+
+		type variant struct {
+			name         string
+			serial       bool
+			conservative bool
+		}
+		for _, v := range []variant{
+			{"serial", true, false},
+			{"parallel", false, false},
+			{"conservative update", false, true},
+		} {
+			var passSum, smallSum float64
+			for run := 0; run < o.Runs; run++ {
+				alg, err := multistage.New(multistage.Config{
+					Stages:       depth,
+					Buckets:      buckets,
+					Entries:      1 << 20, // effectively unbounded: measure the filter alone
+					Threshold:    threshold,
+					Serial:       v.serial,
+					Conservative: v.conservative,
+					Seed:         int64(run)*104729 + int64(depth),
+				})
+				if err != nil {
+					return res, err
+				}
+				dev := device.New(alg, def, nil)
+				ec := newEvalConsumer(dev, def, func(_ int, truth map[flow.Key]uint64, rep device.IntervalReport) {
+					for k, size := range truth {
+						if size >= threshold {
+							continue
+						}
+						smallSum++
+						if _, ok := rep.Estimate(k); ok {
+							passSum++
+						}
+					}
+				})
+				src.Reset()
+				if _, err := trace.Replay(src, ec); err != nil {
+					return res, err
+				}
+			}
+			p := 0.0
+			if smallSum > 0 {
+				p = 100 * passSum / smallSum
+			}
+			res.Series[v.name] = append(res.Series[v.name], p)
+		}
+	}
+	return res, nil
+}
+
+// Format renders the figure as a depth-by-line table.
+func (f Figure7Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: %% of small flows passing the filter (k=%d, T=%d bytes, b=%d buckets/stage)\n",
+		figure7StageStrength, f.Threshold, f.Buckets)
+	fmt.Fprintf(&b, "%-22s", "line \\ depth")
+	for _, d := range f.Depths {
+		fmt.Fprintf(&b, " %10d", d)
+	}
+	b.WriteByte('\n')
+	for _, name := range Figure7SeriesOrder {
+		vals, ok := f.Series[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-22s", name)
+		for _, v := range vals {
+			fmt.Fprintf(&b, " %10s", pct(v))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analytic"
+	"repro/internal/core/device"
+	"repro/internal/core/sampleandhold"
+	"repro/internal/flow"
+	"repro/internal/trace"
+)
+
+// table4Threshold is the paper's Table 4 threshold: 0.025% of the link.
+const table4Threshold = 0.00025
+
+// table4Oversampling is the paper's Table 4 oversampling factor.
+const table4Oversampling = 4
+
+// table4EarlyRemovalOversampling compensates early removal's higher false
+// negative probability (Section 7.1.1 raises O from 4 to 4.7).
+const table4EarlyRemovalOversampling = 4.7
+
+// table4EarlyRemoval is the early removal threshold as a fraction of T.
+const table4EarlyRemoval = 0.15
+
+// Table4Cell is one configuration's outcome: maximum flow-memory usage over
+// all intervals and runs, and the average error for large flows relative to
+// the threshold.
+type Table4Cell struct {
+	MaxMemory   int
+	AvgErrorPct float64
+}
+
+// Table4Row is one algorithm variant (or bound) across trace/definition
+// configurations.
+type Table4Row struct {
+	Name  string
+	Cells []Table4Cell
+}
+
+// Table4Result reproduces Table 4: sample-and-hold measurements at a
+// threshold of 0.025% of the link with an oversampling of 4.
+type Table4Result struct {
+	// Configs labels the columns ("MAG 5-tuple", ... "COS 5-tuple").
+	Configs []string
+	Rows    []Table4Row
+}
+
+type table4Config struct {
+	preset string
+	def    flow.Definition
+	// n is the full-scale active flow count used for the Zipf bound.
+	n int
+}
+
+func table4Configs() []table4Config {
+	return []table4Config{
+		{"MAG", flow.FiveTuple{}, 100105},
+		{"MAG", flow.DstIP{}, 43575},
+		{"MAG", flow.ASPair{}, 7408},
+		{"IND", flow.FiveTuple{}, 14349},
+		{"COS", flow.FiveTuple{}, 5497},
+	}
+}
+
+// Table4 runs the experiment. For each configuration it runs the basic
+// algorithm, +preserve entries, and +early removal, each o.Runs times with
+// different sampling seeds, and reports the worst memory usage and mean
+// large-flow error next to the distribution-free and Zipf bounds.
+func Table4(o Options) (Table4Result, error) {
+	o = o.withDefaults()
+	res := Table4Result{
+		Rows: []Table4Row{
+			{Name: "General bound"},
+			{Name: "Zipf bound"},
+			{Name: "Sample and hold"},
+			{Name: "+ preserve entries"},
+			{Name: "+ early removal"},
+		},
+	}
+	for _, cfg := range table4Configs() {
+		src, err := buildTrace(cfg.preset, o, 18)
+		if err != nil {
+			return res, err
+		}
+		meta := src.Meta()
+		capacity := meta.Capacity()
+		threshold := uint64(table4Threshold * capacity)
+		res.Configs = append(res.Configs, cfg.preset+" "+cfg.def.Name())
+
+		// Theory rows. The general bound is distribution free; the Zipf
+		// bound additionally assumes the flow count and alpha=1 sizes. The
+		// theoretical error at the threshold is 1/O of it (25%).
+		general := analytic.SHEntriesBound(capacity, float64(threshold), table4Oversampling, 0.999)
+		n := scaleCount(cfg.n, o.Scale, 10)
+		zipf := analytic.SHZipfEntriesBound(capacity, float64(threshold), table4Oversampling, n, 1, 0.999)
+		theoryErr := 100.0 / table4Oversampling
+		res.Rows[0].Cells = append(res.Rows[0].Cells, Table4Cell{int(general), theoryErr})
+		res.Rows[1].Cells = append(res.Rows[1].Cells, Table4Cell{int(zipf), theoryErr})
+
+		// Measured rows.
+		variants := []struct {
+			row int
+			mk  func(seed int64) (*sampleandhold.SampleAndHold, error)
+		}{
+			{2, func(seed int64) (*sampleandhold.SampleAndHold, error) {
+				return sampleandhold.New(sampleandhold.Config{
+					Entries: 4 * int(general), Threshold: threshold,
+					Oversampling: table4Oversampling, Seed: seed,
+				})
+			}},
+			{3, func(seed int64) (*sampleandhold.SampleAndHold, error) {
+				return sampleandhold.New(sampleandhold.Config{
+					Entries: 4 * int(general), Threshold: threshold,
+					Oversampling: table4Oversampling, Preserve: true, Seed: seed,
+				})
+			}},
+			{4, func(seed int64) (*sampleandhold.SampleAndHold, error) {
+				return sampleandhold.New(sampleandhold.Config{
+					Entries: 4 * int(general), Threshold: threshold,
+					Oversampling: table4EarlyRemovalOversampling,
+					Preserve:     true, EarlyRemoval: table4EarlyRemoval, Seed: seed,
+				})
+			}},
+		}
+		for _, v := range variants {
+			var cell Table4Cell
+			var errSum float64
+			var errN int
+			for run := 0; run < o.Runs; run++ {
+				alg, err := v.mk(int64(run)*7919 + 11)
+				if err != nil {
+					return res, err
+				}
+				dev := device.New(alg, cfg.def, nil)
+				ec := newEvalConsumer(dev, cfg.def, func(_ int, truth map[flow.Key]uint64, rep device.IntervalReport) {
+					if rep.EntriesUsed > cell.MaxMemory {
+						cell.MaxMemory = rep.EntriesUsed
+					}
+					for k, size := range truth {
+						if size < threshold {
+							continue
+						}
+						est, _ := rep.Estimate(k)
+						diff := float64(size) - float64(est)
+						if diff < 0 {
+							diff = -diff
+						}
+						errSum += diff
+						errN++
+					}
+				})
+				src.Reset()
+				if _, err := trace.Replay(src, ec); err != nil {
+					return res, err
+				}
+			}
+			if errN > 0 {
+				cell.AvgErrorPct = 100 * errSum / float64(errN) / float64(threshold)
+			}
+			res.Rows[v.row].Cells = append(res.Rows[v.row].Cells, cell)
+		}
+	}
+	return res, nil
+}
+
+// Format renders the table the way the paper prints it: "max memory
+// (entries) / average error".
+func (t Table4Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: sample and hold (threshold %.3f%% of link, oversampling %g)\n",
+		table4Threshold*100, float64(table4Oversampling))
+	fmt.Fprintf(&b, "%-20s", "algorithm")
+	for _, c := range t.Configs {
+		fmt.Fprintf(&b, " %18s", c)
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%-20s", row.Name)
+		for _, c := range row.Cells {
+			fmt.Fprintf(&b, " %9d / %6s", c.MaxMemory, pct(c.AvgErrorPct))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

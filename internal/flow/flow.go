@@ -1,0 +1,158 @@
+// Package flow defines the packet model and the flow definitions used by the
+// traffic measurement algorithms.
+//
+// A flow is defined by an identifier extracted from packet header fields
+// (Section 1.1 of the paper). The paper evaluates three flow definitions,
+// all implemented here:
+//
+//   - the 5-tuple of source/destination IP, source/destination port and
+//     protocol (close to Cisco NetFlow's definition),
+//   - the destination IP address (useful for detecting DoS attacks),
+//   - the source and destination autonomous system (traffic-matrix style).
+//
+// Definitions are pluggable: anything implementing Definition can drive the
+// measurement devices in internal/core.
+package flow
+
+import (
+	"fmt"
+	"time"
+)
+
+// Packet is a single packet observation on a link. Addresses are IPv4 in
+// host byte order. SrcAS and DstAS are filled in by a routing annotator
+// (internal/routing) when the AS-pair flow definition is in use; they are
+// zero otherwise.
+type Packet struct {
+	// Time is the offset of the packet from the start of the trace.
+	Time time.Duration
+	// Size is the size of the packet on the wire, in bytes.
+	Size uint32
+	// SrcIP and DstIP are the IPv4 source and destination addresses.
+	SrcIP, DstIP uint32
+	// SrcPort and DstPort are the transport-layer ports (0 for protocols
+	// without ports).
+	SrcPort, DstPort uint16
+	// Proto is the IP protocol number (6 for TCP, 17 for UDP).
+	Proto uint8
+	// SrcAS and DstAS are the autonomous systems of the source and
+	// destination addresses.
+	SrcAS, DstAS uint16
+}
+
+// Key is a compact, comparable flow identifier. It packs the fields selected
+// by a Definition into 128 bits; two packets belong to the same flow exactly
+// when their keys are equal. Key is usable as a Go map key and is hashed by
+// internal/hashing for the multistage filter stages.
+type Key struct {
+	Hi, Lo uint64
+}
+
+// Bytes returns the key as 16 bytes in big-endian order, for hashing and
+// serialization.
+func (k Key) Bytes() [16]byte {
+	var b [16]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(k.Hi >> (56 - 8*i))
+		b[8+i] = byte(k.Lo >> (56 - 8*i))
+	}
+	return b
+}
+
+// KeyFromBytes reconstructs a Key from its Bytes representation.
+func KeyFromBytes(b [16]byte) Key {
+	var k Key
+	for i := 0; i < 8; i++ {
+		k.Hi = k.Hi<<8 | uint64(b[i])
+		k.Lo = k.Lo<<8 | uint64(b[8+i])
+	}
+	return k
+}
+
+// Definition extracts a flow identifier from a packet. Implementations must
+// be pure: the same packet always yields the same key.
+type Definition interface {
+	// Name returns a short human-readable name ("5-tuple", "dstIP", "ASpair").
+	Name() string
+	// Key extracts the flow identifier from the packet.
+	Key(p *Packet) Key
+	// Format renders a key produced by this definition for reports.
+	Format(k Key) string
+}
+
+// FiveTuple defines flows at the granularity of transport connections:
+// source IP, destination IP, source port, destination port, protocol.
+type FiveTuple struct{}
+
+// Name implements Definition.
+func (FiveTuple) Name() string { return "5-tuple" }
+
+// Key implements Definition.
+func (FiveTuple) Key(p *Packet) Key {
+	return Key{
+		Hi: uint64(p.SrcIP)<<32 | uint64(p.DstIP),
+		Lo: uint64(p.SrcPort)<<32 | uint64(p.DstPort)<<16 | uint64(p.Proto),
+	}
+}
+
+// Format implements Definition.
+func (FiveTuple) Format(k Key) string {
+	return fmt.Sprintf("%s:%d -> %s:%d proto %d",
+		ipString(uint32(k.Hi>>32)), uint16(k.Lo>>32),
+		ipString(uint32(k.Hi)), uint16(k.Lo>>16), uint8(k.Lo))
+}
+
+// DstIP defines flows by destination IP address only. The paper proposes
+// this definition for identifying ongoing (distributed) denial of service
+// attacks at a router.
+type DstIP struct{}
+
+// Name implements Definition.
+func (DstIP) Name() string { return "dstIP" }
+
+// Key implements Definition.
+func (DstIP) Key(p *Packet) Key { return Key{Lo: uint64(p.DstIP)} }
+
+// Format implements Definition.
+func (DstIP) Format(k Key) string { return ipString(uint32(k.Lo)) }
+
+// ASPair defines flows by the pair of source and destination autonomous
+// systems, the definition one would use to determine traffic patterns in the
+// network. Packets must have SrcAS/DstAS annotated (see internal/routing).
+type ASPair struct{}
+
+// Name implements Definition.
+func (ASPair) Name() string { return "ASpair" }
+
+// Key implements Definition.
+func (ASPair) Key(p *Packet) Key {
+	return Key{Lo: uint64(p.SrcAS)<<16 | uint64(p.DstAS)}
+}
+
+// Format implements Definition.
+func (ASPair) Format(k Key) string {
+	return fmt.Sprintf("AS%d -> AS%d", uint16(k.Lo>>16), uint16(k.Lo))
+}
+
+func ipString(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// IPString formats an IPv4 address held in host byte order as dotted quad.
+func IPString(ip uint32) string { return ipString(ip) }
+
+// Definitions returns the three flow definitions evaluated in the paper, in
+// the order they appear there.
+func Definitions() []Definition {
+	return []Definition{FiveTuple{}, DstIP{}, ASPair{}}
+}
+
+// DefinitionByName returns the definition with the given Name, or nil.
+func DefinitionByName(name string) Definition {
+	for _, d := range Definitions() {
+		if d.Name() == name {
+			return d
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func samplePacket() *Packet {
+	return &Packet{
+		Size:    1500,
+		SrcIP:   0x0a000001, // 10.0.0.1
+		DstIP:   0xc0a80102, // 192.168.1.2
+		SrcPort: 1234,
+		DstPort: 80,
+		Proto:   6,
+		SrcAS:   7018,
+		DstAS:   701,
+	}
+}
+
+func TestKeyBytesRoundTrip(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		k := Key{Hi: hi, Lo: lo}
+		return KeyFromBytes(k.Bytes()) == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFiveTupleKeyFields(t *testing.T) {
+	p := samplePacket()
+	k := FiveTuple{}.Key(p)
+	if uint32(k.Hi>>32) != p.SrcIP {
+		t.Errorf("src ip: got %#x want %#x", uint32(k.Hi>>32), p.SrcIP)
+	}
+	if uint32(k.Hi) != p.DstIP {
+		t.Errorf("dst ip: got %#x want %#x", uint32(k.Hi), p.DstIP)
+	}
+	if uint16(k.Lo>>32) != p.SrcPort || uint16(k.Lo>>16) != p.DstPort || uint8(k.Lo) != p.Proto {
+		t.Errorf("ports/proto mismatch in key %+v", k)
+	}
+}
+
+func TestFiveTupleDistinguishesFields(t *testing.T) {
+	base := samplePacket()
+	mutations := []func(*Packet){
+		func(p *Packet) { p.SrcIP++ },
+		func(p *Packet) { p.DstIP++ },
+		func(p *Packet) { p.SrcPort++ },
+		func(p *Packet) { p.DstPort++ },
+		func(p *Packet) { p.Proto++ },
+	}
+	k0 := FiveTuple{}.Key(base)
+	for i, mutate := range mutations {
+		p := *base
+		mutate(&p)
+		if (FiveTuple{}).Key(&p) == k0 {
+			t.Errorf("mutation %d did not change the 5-tuple key", i)
+		}
+	}
+	// Size and time must NOT affect the key.
+	p := *base
+	p.Size = 40
+	p.Time = 999
+	if (FiveTuple{}).Key(&p) != k0 {
+		t.Error("size/time changed the 5-tuple key")
+	}
+}
+
+func TestDstIPKey(t *testing.T) {
+	p := samplePacket()
+	k := DstIP{}.Key(p)
+	if k.Hi != 0 || uint32(k.Lo) != p.DstIP {
+		t.Errorf("dstIP key = %+v, want Lo=%#x", k, p.DstIP)
+	}
+	q := *p
+	q.SrcIP++
+	q.SrcPort++
+	q.DstPort++
+	q.Proto++
+	if (DstIP{}).Key(&q) != k {
+		t.Error("dstIP key depends on fields other than DstIP")
+	}
+	q.DstIP++
+	if (DstIP{}).Key(&q) == k {
+		t.Error("dstIP key did not change with DstIP")
+	}
+}
+
+func TestASPairKey(t *testing.T) {
+	p := samplePacket()
+	k := ASPair{}.Key(p)
+	if uint16(k.Lo>>16) != p.SrcAS || uint16(k.Lo) != p.DstAS {
+		t.Errorf("ASpair key = %+v, want src %d dst %d", k, p.SrcAS, p.DstAS)
+	}
+	q := *p
+	q.SrcIP, q.DstIP = q.DstIP, q.SrcIP // addresses don't matter, only AS fields
+	if (ASPair{}).Key(&q) != k {
+		t.Error("ASpair key depends on IP addresses")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	p := samplePacket()
+	tests := []struct {
+		def  Definition
+		want string
+	}{
+		{FiveTuple{}, "10.0.0.1:1234 -> 192.168.1.2:80 proto 6"},
+		{DstIP{}, "192.168.1.2"},
+		{ASPair{}, "AS7018 -> AS701"},
+	}
+	for _, tt := range tests {
+		got := tt.def.Format(tt.def.Key(p))
+		if got != tt.want {
+			t.Errorf("%s Format = %q, want %q", tt.def.Name(), got, tt.want)
+		}
+	}
+}
+
+func TestDefinitionByName(t *testing.T) {
+	for _, d := range Definitions() {
+		got := DefinitionByName(d.Name())
+		if got == nil || got.Name() != d.Name() {
+			t.Errorf("DefinitionByName(%q) = %v", d.Name(), got)
+		}
+	}
+	if DefinitionByName("nope") != nil {
+		t.Error("DefinitionByName of unknown name should be nil")
+	}
+}
+
+func TestIPString(t *testing.T) {
+	if got := IPString(0x01020304); got != "1.2.3.4" {
+		t.Errorf("IPString = %q", got)
+	}
+	if got := IPString(0xffffffff); got != "255.255.255.255" {
+		t.Errorf("IPString = %q", got)
+	}
+}

@@ -1,0 +1,143 @@
+// Package hashing provides the independent hash functions required by the
+// multistage filters of the paper (Section 3.2). Each filter stage hashes
+// the flow ID with a hash function chosen independently of the other stages;
+// Lemma 1 of the paper assumes this independence.
+//
+// Two families are implemented:
+//
+//   - tabulation hashing (3-independent, and in practice far stronger), the
+//     default used by the filters, and
+//   - multiply-shift hashing (2-independent, cheaper), kept for the hash
+//     ablation benchmarks.
+//
+// Both hash the 128-bit flow key of internal/flow to a 64-bit value; Func
+// values additionally fold that value onto a bucket range.
+package hashing
+
+import (
+	"math/rand"
+
+	"repro/internal/flow"
+)
+
+// Func hashes a flow key to a bucket index in [0, Buckets).
+type Func interface {
+	// Bucket returns the bucket index for the key.
+	Bucket(k flow.Key) uint32
+	// Buckets returns the size of the bucket range.
+	Buckets() uint32
+}
+
+// Family produces independent hash functions on demand. A Family is seeded;
+// the same seed reproduces the same sequence of functions, which the
+// experiment harness relies on for reproducible runs.
+type Family interface {
+	// New returns the next independent hash function with the given number
+	// of buckets (must be > 0).
+	New(buckets uint32) Func
+}
+
+// Tabulation implements tabulation hashing: the 16 bytes of the key index 16
+// random tables of 64-bit words which are XORed together. Lookup tables make
+// it both fast and strongly universal.
+type Tabulation struct {
+	tables [16][256]uint64
+}
+
+// NewTabulation creates a tabulation hash function family seeded with seed.
+func NewTabulation(seed int64) Family {
+	return &tabulationFamily{rng: rand.New(rand.NewSource(seed))}
+}
+
+type tabulationFamily struct {
+	rng *rand.Rand
+}
+
+func (f *tabulationFamily) New(buckets uint32) Func {
+	if buckets == 0 {
+		panic("hashing: zero buckets")
+	}
+	t := &tabulationFunc{buckets: buckets}
+	for i := range t.tables {
+		for j := range t.tables[i] {
+			t.tables[i][j] = f.rng.Uint64()
+		}
+	}
+	return t
+}
+
+type tabulationFunc struct {
+	tables  [16][256]uint64
+	buckets uint32
+}
+
+func (t *tabulationFunc) Bucket(k flow.Key) uint32 {
+	var h uint64
+	hi, lo := k.Hi, k.Lo
+	for i := 0; i < 8; i++ {
+		h ^= t.tables[i][byte(hi)]
+		hi >>= 8
+		h ^= t.tables[8+i][byte(lo)]
+		lo >>= 8
+	}
+	return reduce(h, t.buckets)
+}
+
+func (t *tabulationFunc) Buckets() uint32 { return t.buckets }
+
+// NewMultiplyShift creates a multiply-shift hash family seeded with seed.
+// Each function multiplies the two key words by random odd 64-bit constants
+// and mixes; it is cheaper than tabulation but only 2-independent.
+func NewMultiplyShift(seed int64) Family {
+	return &multShiftFamily{rng: rand.New(rand.NewSource(seed))}
+}
+
+type multShiftFamily struct {
+	rng *rand.Rand
+}
+
+func (f *multShiftFamily) New(buckets uint32) Func {
+	if buckets == 0 {
+		panic("hashing: zero buckets")
+	}
+	return &multShiftFunc{
+		a:       f.rng.Uint64() | 1,
+		b:       f.rng.Uint64() | 1,
+		c:       f.rng.Uint64(),
+		buckets: buckets,
+	}
+}
+
+type multShiftFunc struct {
+	a, b, c uint64
+	buckets uint32
+}
+
+func (m *multShiftFunc) Bucket(k flow.Key) uint32 {
+	h := k.Hi*m.a + k.Lo*m.b + m.c
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return reduce(h, m.buckets)
+}
+
+func (m *multShiftFunc) Buckets() uint32 { return m.buckets }
+
+// reduce maps a 64-bit hash onto [0, buckets) without the modulo bias of a
+// plain remainder: it multiplies the high 32 bits of the hash by the range
+// (Lemire's fast alternative to modulo).
+func reduce(h uint64, buckets uint32) uint32 {
+	return uint32((h >> 32) * uint64(buckets) >> 32)
+}
+
+// FamilyByName returns a seeded family by name ("tabulation" or
+// "multiplyshift"); it returns nil for unknown names.
+func FamilyByName(name string, seed int64) Family {
+	switch name {
+	case "tabulation":
+		return NewTabulation(seed)
+	case "multiplyshift":
+		return NewMultiplyShift(seed)
+	}
+	return nil
+}

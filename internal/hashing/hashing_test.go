@@ -1,0 +1,172 @@
+package hashing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flow"
+)
+
+var families = []struct {
+	name string
+	mk   func(seed int64) Family
+}{
+	{"tabulation", NewTabulation},
+	{"multiplyshift", NewMultiplyShift},
+}
+
+func TestBucketInRange(t *testing.T) {
+	for _, fam := range families {
+		f := fam.mk(1).New(1000)
+		check := func(hi, lo uint64) bool {
+			b := f.Bucket(flow.Key{Hi: hi, Lo: lo})
+			return b < f.Buckets()
+		}
+		if err := quick.Check(check, nil); err != nil {
+			t.Errorf("%s: %v", fam.name, err)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	for _, fam := range families {
+		f1 := fam.mk(42).New(4096)
+		f2 := fam.mk(42).New(4096)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 1000; i++ {
+			k := flow.Key{Hi: rng.Uint64(), Lo: rng.Uint64()}
+			if f1.Bucket(k) != f2.Bucket(k) {
+				t.Fatalf("%s: same seed produced different functions", fam.name)
+			}
+		}
+	}
+}
+
+func TestIndependentFunctionsDiffer(t *testing.T) {
+	// Two functions drawn from the same family must disagree on most keys;
+	// identical functions would defeat the multistage filter's stages.
+	for _, fam := range families {
+		family := fam.mk(3)
+		f1, f2 := family.New(1<<20), family.New(1<<20)
+		rng := rand.New(rand.NewSource(9))
+		same := 0
+		const n = 10000
+		for i := 0; i < n; i++ {
+			k := flow.Key{Hi: rng.Uint64(), Lo: rng.Uint64()}
+			if f1.Bucket(k) == f2.Bucket(k) {
+				same++
+			}
+		}
+		if same > n/100 {
+			t.Errorf("%s: %d/%d collisions between supposedly independent functions", fam.name, same, n)
+		}
+	}
+}
+
+// TestUniformity checks via a chi-squared statistic that keys spread evenly
+// over buckets. With b=64 buckets and n=64000 keys the chi-squared statistic
+// has 63 degrees of freedom; values above 120 are astronomically unlikely
+// for a uniform hash.
+func TestUniformity(t *testing.T) {
+	for _, fam := range families {
+		const buckets = 64
+		const n = 64000
+		f := fam.mk(11).New(buckets)
+		counts := make([]int, buckets)
+		rng := rand.New(rand.NewSource(13))
+		for i := 0; i < n; i++ {
+			counts[f.Bucket(flow.Key{Hi: rng.Uint64(), Lo: rng.Uint64()})]++
+		}
+		expected := float64(n) / buckets
+		chi2 := 0.0
+		for _, c := range counts {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+		}
+		if chi2 > 120 {
+			t.Errorf("%s: chi-squared %.1f too high for uniform hashing", fam.name, chi2)
+		}
+	}
+}
+
+// TestLowEntropyKeys exercises the structured keys real traffic produces
+// (sequential IPs, tiny AS numbers) where weak hashes cluster.
+func TestLowEntropyKeys(t *testing.T) {
+	for _, fam := range families {
+		const buckets = 128
+		const n = 12800
+		f := fam.mk(17).New(buckets)
+		counts := make([]int, buckets)
+		for i := 0; i < n; i++ {
+			// AS-pair style keys: only the low 32 bits vary, and slowly.
+			counts[f.Bucket(flow.Key{Lo: uint64(i)})]++
+		}
+		expected := float64(n) / buckets
+		chi2 := 0.0
+		for _, c := range counts {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+		}
+		// 127 degrees of freedom; allow generous slack but catch clustering.
+		if chi2 > 220 {
+			t.Errorf("%s: chi-squared %.1f on low-entropy keys", fam.name, chi2)
+		}
+	}
+}
+
+func TestReduceCoversRange(t *testing.T) {
+	// The high and low ends of the hash space must map to the first and last
+	// buckets respectively.
+	if got := reduce(0, 10); got != 0 {
+		t.Errorf("reduce(0) = %d", got)
+	}
+	if got := reduce(math.MaxUint64, 10); got != 9 {
+		t.Errorf("reduce(max) = %d", got)
+	}
+}
+
+func TestFamilyByName(t *testing.T) {
+	for _, name := range []string{"tabulation", "multiplyshift"} {
+		if FamilyByName(name, 1) == nil {
+			t.Errorf("FamilyByName(%q) = nil", name)
+		}
+	}
+	if FamilyByName("bogus", 1) != nil {
+		t.Error("FamilyByName of unknown name should be nil")
+	}
+}
+
+func TestZeroBucketsPanics(t *testing.T) {
+	for _, fam := range families {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: New(0) did not panic", fam.name)
+				}
+			}()
+			fam.mk(1).New(0)
+		}()
+	}
+}
+
+func BenchmarkTabulation(b *testing.B) {
+	f := NewTabulation(1).New(4096)
+	k := flow.Key{Hi: 0x0a00000100000001, Lo: 0x1234}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.Lo++
+		_ = f.Bucket(k)
+	}
+}
+
+func BenchmarkMultiplyShift(b *testing.B) {
+	f := NewMultiplyShift(1).New(4096)
+	k := flow.Key{Hi: 0x0a00000100000001, Lo: 0x1234}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.Lo++
+		_ = f.Bucket(k)
+	}
+}

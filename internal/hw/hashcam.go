@@ -1,0 +1,135 @@
+// Package hw models the hardware implementation issues of Section 8 of the
+// paper: the associative flow memory built from a hash table plus a small
+// CAM for colliding flow IDs, and the line-rate feasibility of the
+// algorithms at OC-192 speeds (based on the paper's preliminary chip
+// design: a 4-stage parallel filter with 4K counters per stage and 3584
+// flow memory entries in ~450,000 transistors).
+package hw
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/flow"
+	"repro/internal/hashing"
+)
+
+// HashCAM is the flow memory organization Section 8 sketches for
+// implementations without a full content-addressable memory: a single-entry-
+// per-bucket hash table backed by a much smaller CAM that absorbs flow IDs
+// whose bucket is already occupied. Lookups probe the bucket and the CAM in
+// parallel, so every lookup is still one memory access time.
+type HashCAM struct {
+	buckets []hashEntry
+	cam     map[flow.Key]*Entry
+	camCap  int
+	hash    hashing.Func
+	n       int
+
+	// CamInsertions counts entries that had to go to the CAM, the key
+	// sizing statistic for the hardware design.
+	CamInsertions uint64
+	// Rejected counts inserts dropped because both the bucket and the CAM
+	// were full.
+	Rejected uint64
+}
+
+type hashEntry struct {
+	used  bool
+	key   flow.Key
+	entry *Entry
+}
+
+// Entry is a flow memory entry; the byte counter is what the algorithms
+// update per packet.
+type Entry struct {
+	Key   flow.Key
+	Bytes uint64
+}
+
+// NewHashCAM creates a hash table of the given number of buckets backed by
+// a CAM of camCapacity entries. It panics on non-positive sizes.
+func NewHashCAM(buckets, camCapacity int, seed int64) *HashCAM {
+	if buckets < 1 || camCapacity < 0 {
+		panic("hw: bad HashCAM sizing")
+	}
+	return &HashCAM{
+		buckets: make([]hashEntry, buckets),
+		cam:     make(map[flow.Key]*Entry, camCapacity),
+		camCap:  camCapacity,
+		hash:    hashing.NewTabulation(seed).New(uint32(buckets)),
+	}
+}
+
+// Len returns the number of stored entries.
+func (h *HashCAM) Len() int { return h.n }
+
+// CamLen returns the number of entries currently in the CAM.
+func (h *HashCAM) CamLen() int { return len(h.cam) }
+
+// Capacity returns the total capacity (buckets + CAM).
+func (h *HashCAM) Capacity() int { return len(h.buckets) + h.camCap }
+
+// Lookup returns the entry for key, or nil. Hardware probes the hash bucket
+// and the CAM in parallel; either hit costs one access time.
+func (h *HashCAM) Lookup(key flow.Key) *Entry {
+	b := &h.buckets[h.hash.Bucket(key)]
+	if b.used && b.key == key {
+		return b.entry
+	}
+	return h.cam[key]
+}
+
+// Insert adds an entry, preferring the hash bucket and falling back to the
+// CAM on collision. It returns nil when the key exists or nothing has room.
+func (h *HashCAM) Insert(key flow.Key, initialBytes uint64) *Entry {
+	if h.Lookup(key) != nil {
+		return nil
+	}
+	e := &Entry{Key: key, Bytes: initialBytes}
+	b := &h.buckets[h.hash.Bucket(key)]
+	if !b.used {
+		b.used = true
+		b.key = key
+		b.entry = e
+		h.n++
+		return e
+	}
+	if len(h.cam) >= h.camCap {
+		h.Rejected++
+		return nil
+	}
+	h.cam[key] = e
+	h.CamInsertions++
+	h.n++
+	return e
+}
+
+// Reset clears all entries, as at a measurement interval boundary, keeping
+// the cumulative statistics.
+func (h *HashCAM) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = hashEntry{}
+	}
+	h.cam = make(map[flow.Key]*Entry, h.camCap)
+	h.n = 0
+}
+
+// ExpectedCamLoad returns the expected number of colliding entries when n
+// uniformly hashed flows are stored in b buckets: n - b*(1-(1-1/b)^n),
+// the balls-in-bins surplus. Use it to size the CAM.
+func ExpectedCamLoad(n, buckets int) float64 {
+	if buckets < 1 || n < 1 {
+		return 0
+	}
+	b := float64(buckets)
+	// (1-1/b)^n computed stably as exp(n*log1p(-1/b)).
+	occupied := b * (1 - math.Exp(float64(n)*math.Log1p(-1/b)))
+	return float64(n) - occupied
+}
+
+// String summarizes occupancy.
+func (h *HashCAM) String() string {
+	return fmt.Sprintf("hashcam: %d entries (%d in CAM of %d), %d CAM inserts, %d rejected",
+		h.n, len(h.cam), h.camCap, h.CamInsertions, h.Rejected)
+}

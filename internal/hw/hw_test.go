@@ -1,0 +1,211 @@
+package hw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/flow"
+)
+
+func key(i uint64) flow.Key { return flow.Key{Lo: i} }
+
+func TestHashCAMInsertLookup(t *testing.T) {
+	h := NewHashCAM(64, 8, 1)
+	if h.Capacity() != 72 {
+		t.Errorf("Capacity = %d", h.Capacity())
+	}
+	e := h.Insert(key(1), 100)
+	if e == nil || e.Bytes != 100 {
+		t.Fatalf("Insert = %+v", e)
+	}
+	if got := h.Lookup(key(1)); got != e {
+		t.Error("Lookup did not find the entry")
+	}
+	if h.Lookup(key(2)) != nil {
+		t.Error("absent key found")
+	}
+	if h.Insert(key(1), 5) != nil {
+		t.Error("duplicate insert succeeded")
+	}
+	e.Bytes += 50
+	if h.Lookup(key(1)).Bytes != 150 {
+		t.Error("updates not visible")
+	}
+}
+
+func TestHashCAMCollisionsGoToCAM(t *testing.T) {
+	// One bucket forces every second insert into the CAM.
+	h := NewHashCAM(1, 4, 1)
+	for i := uint64(0); i < 5; i++ {
+		if h.Insert(key(i), 1) == nil {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	if h.Len() != 5 || h.CamLen() != 4 || h.CamInsertions != 4 {
+		t.Errorf("len=%d cam=%d inserts=%d", h.Len(), h.CamLen(), h.CamInsertions)
+	}
+	// Bucket and CAM both full now.
+	if h.Insert(key(9), 1) != nil {
+		t.Error("insert into full structure succeeded")
+	}
+	if h.Rejected != 1 {
+		t.Errorf("Rejected = %d", h.Rejected)
+	}
+	// All five entries remain reachable.
+	for i := uint64(0); i < 5; i++ {
+		if h.Lookup(key(i)) == nil {
+			t.Errorf("entry %d lost", i)
+		}
+	}
+}
+
+func TestHashCAMReset(t *testing.T) {
+	h := NewHashCAM(4, 4, 1)
+	for i := uint64(0); i < 6; i++ {
+		h.Insert(key(i), 1)
+	}
+	inserts := h.CamInsertions
+	h.Reset()
+	if h.Len() != 0 || h.CamLen() != 0 {
+		t.Error("Reset left entries")
+	}
+	if h.CamInsertions != inserts {
+		t.Error("Reset cleared cumulative statistics")
+	}
+	if h.Insert(key(1), 1) == nil {
+		t.Error("insert after Reset failed")
+	}
+}
+
+func TestHashCAMPanicsOnBadSizing(t *testing.T) {
+	for _, tc := range []struct{ b, c int }{{0, 4}, {-1, 4}, {4, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHashCAM(%d, %d) did not panic", tc.b, tc.c)
+				}
+			}()
+			NewHashCAM(tc.b, tc.c, 1)
+		}()
+	}
+}
+
+// TestCamLoadMatchesTheory fills a table to the paper-style load factor and
+// compares CAM occupancy with the balls-in-bins expectation.
+func TestCamLoadMatchesTheory(t *testing.T) {
+	const buckets = 4096
+	const n = 3584 // the chip's flow memory entry count
+	var totalCam float64
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		h := NewHashCAM(buckets, n, int64(trial))
+		rng := rand.New(rand.NewSource(int64(trial) + 100))
+		for i := 0; i < n; i++ {
+			h.Insert(flow.Key{Hi: rng.Uint64(), Lo: rng.Uint64()}, 1)
+		}
+		totalCam += float64(h.CamLen())
+	}
+	got := totalCam / trials
+	want := ExpectedCamLoad(n, buckets)
+	if math.Abs(got-want)/want > 0.10 {
+		t.Errorf("CAM load %.0f, theory %.0f", got, want)
+	}
+	// The headline: a CAM of ~1/3 the table size suffices at this load.
+	if want > float64(n)/2 {
+		t.Errorf("expected CAM load %.0f implausibly high", want)
+	}
+}
+
+func TestExpectedCamLoadEdgeCases(t *testing.T) {
+	if ExpectedCamLoad(0, 100) != 0 || ExpectedCamLoad(100, 0) != 0 {
+		t.Error("degenerate inputs should be 0")
+	}
+	// With many more buckets than flows, collisions are rare.
+	if load := ExpectedCamLoad(10, 1000000); load > 0.1 {
+		t.Errorf("load = %g for nearly-empty table", load)
+	}
+	// Monotone in n.
+	if ExpectedCamLoad(2000, 1024) <= ExpectedCamLoad(1000, 1024) {
+		t.Error("CAM load not monotone in n")
+	}
+}
+
+func TestOC192ChipFeasible(t *testing.T) {
+	// The paper's Section 8 claim: the 4-stage parallel design with
+	// pipelined flow-memory access runs at OC-192 line speed.
+	f, err := Check(DesignConfig{
+		LinkBps:        OC192Bps,
+		Stages:         ChipStages,
+		ParallelStages: true,
+		Pipelined:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Feasible {
+		t.Errorf("OC-192 chip design infeasible: %s", f)
+	}
+}
+
+func TestSerialStageAccessTooSlowAtOC192(t *testing.T) {
+	// A network processor accessing 4 stages serially cannot keep up with
+	// 40-byte packets at OC-192 (the paper: "multistage filters are harder
+	// to implement using a network processor").
+	f, err := Check(DesignConfig{
+		LinkBps: OC192Bps,
+		Stages:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Feasible {
+		t.Errorf("serial 4-stage design should not be feasible at OC-192: %s", f)
+	}
+	// The same serial design is fine at OC-3.
+	f, err = Check(DesignConfig{LinkBps: OC3Bps, Stages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Feasible {
+		t.Errorf("serial 4-stage design should be feasible at OC-3: %s", f)
+	}
+}
+
+func TestSampleAndHoldFeasibleEverywhere(t *testing.T) {
+	// Sample and hold adds only one memory reference: feasible even at
+	// OC-192 ("easy to implement even in a network processor").
+	for _, link := range []float64{OC3Bps, OC12Bps, OC48Bps, OC192Bps} {
+		f, err := Check(DesignConfig{LinkBps: link, Stages: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f.Feasible {
+			t.Errorf("sample and hold infeasible at %.0f bps: %s", link, f)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	if _, err := Check(DesignConfig{LinkBps: 0}); err == nil {
+		t.Error("zero link speed accepted")
+	}
+	if _, err := Check(DesignConfig{LinkBps: OC3Bps, Stages: -1}); err == nil {
+		t.Error("negative stages accepted")
+	}
+}
+
+func TestPacketInterArrival(t *testing.T) {
+	// 40-byte packets at OC-192: 320 bits / 9.95328 Gbps ~ 32.15 ns.
+	got := PacketInterArrivalNs(OC192Bps)
+	if math.Abs(got-32.15) > 0.1 {
+		t.Errorf("inter-arrival = %.2f ns, want ~32.15", got)
+	}
+}
+
+func TestFeasibilityString(t *testing.T) {
+	f, _ := Check(DesignConfig{LinkBps: OC3Bps, Stages: 0})
+	if s := f.String(); len(s) == 0 || s[:8] != "FEASIBLE" {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,124 @@
+package hw
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/memmodel"
+)
+
+// Link speeds in bits per second for the feasibility model.
+const (
+	OC3Bps   = 155.52e6
+	OC12Bps  = 622.08e6
+	OC48Bps  = 2488.32e6
+	OC192Bps = 9953.28e6
+)
+
+// MinPacketBytes is the smallest packet the paper assumes devices must
+// handle at line rate (40-byte TCP acks).
+const MinPacketBytes = 40
+
+// Reference numbers from the paper's Section 8 chip study: a parallel
+// multistage filter with 4 stages of 4K counters and a flow memory of 3584
+// entries runs at OC-192; the core logic is roughly 450,000 transistors on
+// 2mm x 2mm in a 0.18 micron process, under 1 watt.
+const (
+	ChipStages          = 4
+	ChipCountersPerStep = 4096
+	ChipFlowEntries     = 3584
+	ChipTransistors     = 450000
+)
+
+// DesignConfig describes a hardware measurement design to check for
+// line-rate feasibility.
+type DesignConfig struct {
+	// LinkBps is the link speed in bits per second.
+	LinkBps float64
+	// Stages is the filter depth (0 for sample and hold).
+	Stages int
+	// ParallelStages marks chip implementations that access all stage
+	// memories concurrently (Section 3.2: "parallel memory accesses to
+	// each stage in a chip implementation"); network processors access
+	// them serially.
+	ParallelStages bool
+	// SRAMAccessNs overrides the SRAM access time (0 selects the paper's
+	// 5 ns).
+	SRAMAccessNs float64
+	// Pipelined marks designs that overlap the flow-memory access with the
+	// stage accesses.
+	Pipelined bool
+}
+
+// Feasibility is the verdict for a design.
+type Feasibility struct {
+	// PacketNs is the minimum packet inter-arrival time at the link speed
+	// for minimum-size packets.
+	PacketNs float64
+	// MemoryNs is the memory time the design needs per packet.
+	MemoryNs float64
+	// Feasible reports whether MemoryNs <= PacketNs.
+	Feasible bool
+	// HeadroomPct is how much slack remains (negative when infeasible).
+	HeadroomPct float64
+}
+
+// PacketInterArrivalNs returns the worst-case packet inter-arrival time in
+// nanoseconds: back-to-back minimum-size packets at the link speed.
+func PacketInterArrivalNs(linkBps float64) float64 {
+	return float64(MinPacketBytes*8) / linkBps * 1e9
+}
+
+// Check evaluates a design. Per packet the design performs one flow-memory
+// access plus, for multistage filters, one read and one write per stage —
+// concurrent across stages in a parallel chip design, sequential otherwise.
+func Check(cfg DesignConfig) (Feasibility, error) {
+	if cfg.LinkBps <= 0 {
+		return Feasibility{}, fmt.Errorf("hw: LinkBps = %g", cfg.LinkBps)
+	}
+	if cfg.Stages < 0 {
+		return Feasibility{}, fmt.Errorf("hw: Stages = %d", cfg.Stages)
+	}
+	sram := cfg.SRAMAccessNs
+	if sram == 0 {
+		sram = memmodel.SRAMAccessNs
+	}
+	// Flow memory: one read plus one write (update or insert).
+	memNs := 2 * sram
+	if cfg.Stages > 0 {
+		stageAccesses := 2.0 // read + write per stage
+		if cfg.ParallelStages {
+			// All stages in parallel: one read time + one write time.
+			memNs += stageAccesses * sram
+		} else {
+			memNs += stageAccesses * sram * float64(cfg.Stages)
+		}
+	}
+	if cfg.Pipelined {
+		// Pipelining overlaps the flow-memory access with the stage
+		// accesses; the critical path is the longer of the two.
+		stageNs := memNs - 2*sram
+		memNs = math.Max(2*sram, stageNs)
+		if cfg.Stages == 0 {
+			memNs = 2 * sram
+		}
+	}
+	pktNs := PacketInterArrivalNs(cfg.LinkBps)
+	f := Feasibility{
+		PacketNs:    pktNs,
+		MemoryNs:    memNs,
+		Feasible:    memNs <= pktNs,
+		HeadroomPct: 100 * (pktNs - memNs) / pktNs,
+	}
+	return f, nil
+}
+
+// String renders the verdict.
+func (f Feasibility) String() string {
+	verdict := "FEASIBLE"
+	if !f.Feasible {
+		verdict = "INFEASIBLE"
+	}
+	return fmt.Sprintf("%s: needs %.1f ns/packet, budget %.1f ns (headroom %.0f%%)",
+		verdict, f.MemoryNs, f.PacketNs, f.HeadroomPct)
+}

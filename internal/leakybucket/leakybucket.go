@@ -1,0 +1,170 @@
+// Package leakybucket implements the alternative large-flow definition the
+// paper delegates to its technical report (Section 1.1): instead of "more
+// than T bytes per measurement interval", a large flow is one that violates
+// a leaky bucket descriptor (rate r bytes/second, burst B bytes). This
+// definition has no interval boundaries — a flow is large the moment its
+// traffic cannot be described by the (r, B) envelope — which suits
+// enforcement-style applications (the paper's scalable queue management
+// motivation) better than interval accounting.
+//
+// The package provides the descriptor itself and a measurement algorithm
+// that marries it to the multistage filter: stage counters drain at rate
+// r*C_bucket so only flows sending persistently above their share keep
+// their counters high, and a flow is promoted to flow memory when it
+// overflows the bucket at every stage.
+package leakybucket
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/hashing"
+)
+
+// Descriptor is a leaky bucket: traffic conforms while, with the bucket
+// draining at Rate bytes/second, the backlog never exceeds Burst bytes.
+type Descriptor struct {
+	// Rate is the drain rate in bytes per second.
+	Rate float64
+	// Burst is the bucket depth in bytes.
+	Burst float64
+}
+
+// Validate checks the descriptor.
+func (d Descriptor) Validate() error {
+	if d.Rate <= 0 || d.Burst <= 0 {
+		return fmt.Errorf("leakybucket: rate %g, burst %g must be positive", d.Rate, d.Burst)
+	}
+	return nil
+}
+
+// Bucket tracks one flow against a descriptor.
+type Bucket struct {
+	desc  Descriptor
+	level float64
+	last  time.Duration
+}
+
+// NewBucket creates a bucket; it panics on an invalid descriptor (the
+// descriptor is configuration, not input).
+func NewBucket(d Descriptor) *Bucket {
+	if err := d.Validate(); err != nil {
+		panic(err)
+	}
+	return &Bucket{desc: d}
+}
+
+// Add accounts size bytes arriving at the given time offset and reports
+// whether the flow is still conforming. Time must not go backwards.
+func (b *Bucket) Add(at time.Duration, size uint32) bool {
+	if at > b.last {
+		b.level -= b.desc.Rate * (at - b.last).Seconds()
+		if b.level < 0 {
+			b.level = 0
+		}
+		b.last = at
+	}
+	b.level += float64(size)
+	return b.level <= b.desc.Burst
+}
+
+// Level returns the current backlog in bytes.
+func (b *Bucket) Level() float64 { return b.level }
+
+// Detector identifies flows that violate a leaky bucket descriptor, using
+// multistage-filtered buckets: each stage is a table of leaky buckets
+// indexed by a hash of the flow ID, all draining continuously. A flow is
+// reported when the buckets it hashes to overflow at every stage — the
+// exact analogue of the paper's parallel filter with the per-interval
+// counters replaced by draining ones, preserving the no-false-negatives
+// property (a violating flow overflows all its buckets by itself).
+type Detector struct {
+	desc    Descriptor
+	stages  [][]stageBucket
+	hashes  []hashing.Func
+	flagged map[flow.Key]time.Duration
+}
+
+type stageBucket struct {
+	level float64
+	last  time.Duration
+}
+
+// Config configures a Detector.
+type Config struct {
+	// Descriptor is the envelope that defines "large".
+	Descriptor Descriptor
+	// Stages and Buckets shape the filter, as in the byte-count filter.
+	Stages, Buckets int
+	// Seed seeds the hash functions.
+	Seed int64
+}
+
+// NewDetector creates a detector.
+func NewDetector(cfg Config) (*Detector, error) {
+	if err := cfg.Descriptor.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Stages < 1 || cfg.Buckets < 1 {
+		return nil, fmt.Errorf("leakybucket: stages %d, buckets %d", cfg.Stages, cfg.Buckets)
+	}
+	d := &Detector{
+		desc:    cfg.Descriptor,
+		stages:  make([][]stageBucket, cfg.Stages),
+		hashes:  make([]hashing.Func, cfg.Stages),
+		flagged: make(map[flow.Key]time.Duration),
+	}
+	family := hashing.NewTabulation(cfg.Seed)
+	for i := range d.stages {
+		d.stages[i] = make([]stageBucket, cfg.Buckets)
+		d.hashes[i] = family.New(uint32(cfg.Buckets))
+	}
+	return d, nil
+}
+
+// Process accounts one packet. It returns true when the packet's flow is
+// (or already was) flagged as violating the descriptor.
+func (d *Detector) Process(key flow.Key, at time.Duration, size uint32) bool {
+	if _, ok := d.flagged[key]; ok {
+		return true
+	}
+	over := true
+	for i, h := range d.hashes {
+		sb := &d.stages[i][h.Bucket(key)]
+		if at > sb.last {
+			sb.level -= d.desc.Rate * (at - sb.last).Seconds()
+			if sb.level < 0 {
+				sb.level = 0
+			}
+			sb.last = at
+		}
+		sb.level += float64(size)
+		if sb.level <= d.desc.Burst {
+			over = false
+		}
+	}
+	if over {
+		d.flagged[key] = at
+	}
+	return over
+}
+
+// Flagged returns the violating flows and the time each was first flagged.
+func (d *Detector) Flagged() map[flow.Key]time.Duration {
+	out := make(map[flow.Key]time.Duration, len(d.flagged))
+	for k, v := range d.flagged {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset clears flagged flows and bucket levels.
+func (d *Detector) Reset() {
+	d.flagged = make(map[flow.Key]time.Duration)
+	for i := range d.stages {
+		for j := range d.stages[i] {
+			d.stages[i][j] = stageBucket{}
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package leakybucket
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+)
+
+func key(i uint64) flow.Key { return flow.Key{Lo: i} }
+
+func TestDescriptorValidate(t *testing.T) {
+	if err := (Descriptor{Rate: 100, Burst: 1000}).Validate(); err != nil {
+		t.Errorf("good descriptor rejected: %v", err)
+	}
+	for _, d := range []Descriptor{{0, 1}, {1, 0}, {-1, 1}, {1, -1}} {
+		if d.Validate() == nil {
+			t.Errorf("bad descriptor %+v accepted", d)
+		}
+	}
+}
+
+func TestBucketConformingTraffic(t *testing.T) {
+	// 100 B/s with 500 B burst: 100 B every second stays conforming
+	// forever.
+	b := NewBucket(Descriptor{Rate: 100, Burst: 500})
+	for i := 0; i < 100; i++ {
+		if !b.Add(time.Duration(i)*time.Second, 100) {
+			t.Fatalf("conforming traffic rejected at packet %d (level %g)", i, b.Level())
+		}
+	}
+}
+
+func TestBucketBurstAbsorbed(t *testing.T) {
+	b := NewBucket(Descriptor{Rate: 100, Burst: 500})
+	// A 500-byte burst at t=0 conforms exactly.
+	if !b.Add(0, 500) {
+		t.Error("burst within depth rejected")
+	}
+	// One more byte immediately after violates.
+	if b.Add(0, 1) {
+		t.Error("burst overflow accepted")
+	}
+}
+
+func TestBucketDrains(t *testing.T) {
+	b := NewBucket(Descriptor{Rate: 100, Burst: 500})
+	b.Add(0, 500)
+	// After 2 seconds, 200 bytes have drained.
+	if !b.Add(2*time.Second, 200) {
+		t.Errorf("drained capacity not available (level %g)", b.Level())
+	}
+	if b.Level() != 500 {
+		t.Errorf("level = %g, want 500", b.Level())
+	}
+	// Level never goes negative after a long idle gap.
+	b2 := NewBucket(Descriptor{Rate: 100, Burst: 500})
+	b2.Add(0, 100)
+	b2.Add(time.Hour, 100)
+	if b2.Level() != 100 {
+		t.Errorf("level after idle = %g, want 100", b2.Level())
+	}
+}
+
+func TestBucketViolatingRate(t *testing.T) {
+	// 200 B/s against a 100 B/s descriptor must eventually violate.
+	b := NewBucket(Descriptor{Rate: 100, Burst: 500})
+	violated := false
+	for i := 0; i < 100; i++ {
+		if !b.Add(time.Duration(i)*time.Second/2, 100) {
+			violated = true
+			break
+		}
+	}
+	if !violated {
+		t.Error("flow at twice the descriptor rate never violated")
+	}
+}
+
+func TestNewBucketPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBucket with bad descriptor did not panic")
+		}
+	}()
+	NewBucket(Descriptor{})
+}
+
+func TestDetectorConfig(t *testing.T) {
+	good := Config{Descriptor: Descriptor{Rate: 1000, Burst: 5000}, Stages: 3, Buckets: 64}
+	if _, err := NewDetector(good); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []Config{
+		{Descriptor: Descriptor{}, Stages: 3, Buckets: 64},
+		{Descriptor: good.Descriptor, Stages: 0, Buckets: 64},
+		{Descriptor: good.Descriptor, Stages: 3, Buckets: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewDetector(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestDetectorNoFalseNegatives: a flow that by itself violates the
+// descriptor must be flagged — the analogue of the parallel filter's
+// guarantee.
+func TestDetectorNoFalseNegatives(t *testing.T) {
+	d, err := NewDetector(Config{
+		Descriptor: Descriptor{Rate: 1000, Burst: 2000},
+		Stages:     3,
+		Buckets:    32,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The violator sends 500 bytes every 100 ms (5000 B/s against 1000).
+	flagged := false
+	for i := 0; i < 100 && !flagged; i++ {
+		flagged = d.Process(key(1), time.Duration(i)*100*time.Millisecond, 500)
+	}
+	if !flagged {
+		t.Fatal("violating flow never flagged")
+	}
+	if _, ok := d.Flagged()[key(1)]; !ok {
+		t.Error("flagged flow missing from report")
+	}
+	// Once flagged, it stays flagged.
+	if !d.Process(key(1), time.Hour, 1) {
+		t.Error("flagged state forgotten")
+	}
+}
+
+func TestDetectorConformingFlowsMostlyPass(t *testing.T) {
+	d, err := NewDetector(Config{
+		Descriptor: Descriptor{Rate: 10000, Burst: 50000},
+		Stages:     4,
+		Buckets:    256,
+		Seed:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 flows each at a tenth of the descriptor rate.
+	rng := rand.New(rand.NewSource(3))
+	for step := 0; step < 200; step++ {
+		at := time.Duration(step) * 50 * time.Millisecond
+		f := key(uint64(rng.Intn(100)))
+		d.Process(f, at, 50)
+	}
+	if n := len(d.Flagged()); n > 5 {
+		t.Errorf("%d conforming flows flagged", n)
+	}
+}
+
+func TestDetectorReset(t *testing.T) {
+	d, err := NewDetector(Config{
+		Descriptor: Descriptor{Rate: 100, Burst: 200},
+		Stages:     2,
+		Buckets:    16,
+		Seed:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		d.Process(key(1), time.Duration(i)*time.Millisecond, 100)
+	}
+	if len(d.Flagged()) == 0 {
+		t.Fatal("setup flow not flagged")
+	}
+	d.Reset()
+	if len(d.Flagged()) != 0 {
+		t.Error("Reset kept flagged flows")
+	}
+	// Bucket levels cleared: a small packet conforms again.
+	if d.Process(key(1), 0, 50) {
+		t.Error("Reset kept bucket levels")
+	}
+}
+
+func TestDetectorFlaggedIsCopy(t *testing.T) {
+	d, err := NewDetector(Config{
+		Descriptor: Descriptor{Rate: 100, Burst: 100},
+		Stages:     1,
+		Buckets:    4,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		d.Process(key(1), 0, 100)
+	}
+	m := d.Flagged()
+	delete(m, key(1))
+	if len(d.Flagged()) != 1 {
+		t.Error("Flagged returned internal state")
+	}
+}

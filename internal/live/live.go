@@ -1,0 +1,79 @@
+// Package live drives a measurement consumer from a live packet feed,
+// closing measurement intervals on wall-clock boundaries instead of trace
+// timestamps. Offline replay (trace.Replay) derives interval boundaries
+// from packet times; a device on a real link must close intervals even
+// when the link goes quiet, which is what the Runner's ticker does.
+package live
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/trace"
+)
+
+// Runner serializes packets and interval ticks into a trace.Consumer,
+// which is not otherwise safe for concurrent use. Packets may arrive from
+// any goroutine; the tick source runs in its own.
+type Runner struct {
+	mu       sync.Mutex
+	consumer trace.Consumer
+	interval int
+	packets  uint64
+}
+
+// NewRunner wraps a consumer (typically a *device.Device or
+// *device.Multi).
+func NewRunner(c trace.Consumer) *Runner {
+	return &Runner{consumer: c}
+}
+
+// Packet feeds one packet; safe for concurrent use.
+func (r *Runner) Packet(p *flow.Packet) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.consumer.Packet(p)
+	r.packets++
+}
+
+// Tick closes the current measurement interval and returns its index.
+func (r *Runner) Tick() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := r.interval
+	r.consumer.EndInterval(i)
+	r.interval++
+	return i
+}
+
+// Intervals returns how many intervals have been closed.
+func (r *Runner) Intervals() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.interval
+}
+
+// Packets returns how many packets have been fed.
+func (r *Runner) Packets() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.packets
+}
+
+// Run ticks every interval of wall-clock time until the context is
+// cancelled, then closes one final partial interval and returns.
+func (r *Runner) Run(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			r.Tick()
+			return
+		case <-t.C:
+			r.Tick()
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package live
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core/device"
+	"repro/internal/core/sampleandhold"
+	"repro/internal/flow"
+)
+
+func newDev(t *testing.T) *device.Device {
+	t.Helper()
+	alg, err := sampleandhold.New(sampleandhold.Config{
+		Entries: 64, Threshold: 10, Oversampling: 10, Seed: 1, // p = 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return device.New(alg, flow.FiveTuple{}, nil)
+}
+
+func TestManualTicks(t *testing.T) {
+	dev := newDev(t)
+	r := NewRunner(dev)
+	p := flow.Packet{Size: 100, SrcIP: 1, DstIP: 2, Proto: 6}
+	r.Packet(&p)
+	r.Packet(&p)
+	if got := r.Tick(); got != 0 {
+		t.Errorf("first tick = %d", got)
+	}
+	r.Packet(&p)
+	if got := r.Tick(); got != 1 {
+		t.Errorf("second tick = %d", got)
+	}
+	if r.Intervals() != 2 || r.Packets() != 3 {
+		t.Errorf("intervals=%d packets=%d", r.Intervals(), r.Packets())
+	}
+	reports := dev.Reports()
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if reports[0].Estimates[0].Bytes != 200 || reports[1].Estimates[0].Bytes != 100 {
+		t.Errorf("interval bytes = %d, %d", reports[0].Estimates[0].Bytes, reports[1].Estimates[0].Bytes)
+	}
+}
+
+func TestConcurrentFeedersWithTicker(t *testing.T) {
+	dev := newDev(t)
+	r := NewRunner(dev)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.Run(ctx, 20*time.Millisecond)
+	}()
+	var wg sync.WaitGroup
+	const feeders, perFeeder = 4, 500
+	for f := 0; f < feeders; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			for i := 0; i < perFeeder; i++ {
+				p := flow.Packet{Size: 100, SrcIP: uint32(f), DstIP: 2, Proto: 6}
+				r.Packet(&p)
+				time.Sleep(100 * time.Microsecond)
+			}
+		}(f)
+	}
+	wg.Wait()
+	cancel()
+	<-done
+	if r.Packets() != feeders*perFeeder {
+		t.Errorf("packets = %d", r.Packets())
+	}
+	if r.Intervals() < 2 {
+		t.Errorf("intervals = %d, want multiple ticks", r.Intervals())
+	}
+	// Every packet is in exactly one interval: totals reconcile.
+	var total uint64
+	for _, rep := range dev.Reports() {
+		for _, e := range rep.Estimates {
+			total += e.Bytes
+		}
+	}
+	if total != feeders*perFeeder*100 {
+		t.Errorf("accounted %d bytes, want %d", total, feeders*perFeeder*100)
+	}
+}
+
+func TestMultiDeviceFanOut(t *testing.T) {
+	d1, d2 := newDev(t), newDev(t)
+	m := device.NewMulti(d1, d2)
+	if len(m.Devices()) != 2 {
+		t.Fatal("Devices accessor wrong")
+	}
+	p := flow.Packet{Size: 100, SrcIP: 1, DstIP: 2, Proto: 6}
+	m.Packet(&p)
+	m.EndInterval(0)
+	for i, d := range []*device.Device{d1, d2} {
+		if len(d.Reports()) != 1 || len(d.Reports()[0].Estimates) != 1 {
+			t.Errorf("device %d did not receive the packet", i)
+		}
+	}
+}
+
+func TestNewMultiPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMulti() did not panic")
+		}
+	}()
+	device.NewMulti()
+}

@@ -1,0 +1,145 @@
+// Package memmodel accounts for the memory technology constraints that
+// motivate the paper. Per-flow counters in DRAM cannot keep up with line
+// rate, so the paper's algorithms use small SRAM; comparing measurement
+// devices fairly requires counting memory references per packet and pricing
+// memory in the units of Section 7.2 (a flow-memory entry is worth ten
+// filter counters; the device budget is expressed in bits).
+package memmodel
+
+import "fmt"
+
+// Technology-speed constants from Section 5.2 of the paper.
+const (
+	// SRAMAccessNs is the paper's SRAM access time ("currently around 5 ns").
+	SRAMAccessNs = 5
+	// DRAMAccessNs is the paper's DRAM access time ("currently around 60 ns").
+	DRAMAccessNs = 60
+)
+
+// Sizing constants from Section 7.2 of the paper.
+const (
+	// EntryBytes is the assumed size of a flow memory entry (the paper
+	// conservatively assumes 32 bytes even though 16 or 24 are plausible).
+	EntryBytes = 32
+	// CounterBytes is the assumed size of a filter stage counter (the paper
+	// conservatively assumes 4 bytes even though 3 would be enough).
+	CounterBytes = 4
+	// NetFlowEntryBytes is the size of a Cisco NetFlow DRAM entry.
+	NetFlowEntryBytes = 64
+	// CountersPerEntry is the paper's Section 5.1 convention that one flow
+	// memory entry costs as much as ten stage counters.
+	CountersPerEntry = EntryBytes / CounterBytes * 1.25 // 10
+)
+
+// EntriesForBits returns how many flow-memory entries fit in a memory of the
+// given size in bits (the paper's Section 7.2 uses 1 Mbit = 4096 entries of
+// 32 bytes).
+func EntriesForBits(bits uint64) int {
+	return int(bits / 8 / EntryBytes)
+}
+
+// CountersForBits returns how many stage counters fit in a memory of the
+// given size in bits.
+func CountersForBits(bits uint64) int {
+	return int(bits / 8 / CounterBytes)
+}
+
+// Budget splits a total SRAM budget (in bits) between filter stage counters
+// and flow-memory entries.
+type Budget struct {
+	Bits uint64
+}
+
+// Split returns the number of flow-memory entries left after reserving
+// counters stage counters. It returns an error when the counters alone
+// exceed the budget.
+func (b Budget) Split(counters int) (entries int, err error) {
+	counterBits := uint64(counters) * CounterBytes * 8
+	if counterBits > b.Bits {
+		return 0, fmt.Errorf("memmodel: %d counters need %d bits, budget is %d",
+			counters, counterBits, b.Bits)
+	}
+	return EntriesForBits(b.Bits - counterBits), nil
+}
+
+// Counter tallies memory references made by an algorithm, split by
+// technology. All the paper's per-packet cost comparisons (Table 1 row 2,
+// Table 2 row 4) reduce to these counts.
+type Counter struct {
+	SRAMReads, SRAMWrites uint64
+	DRAMReads, DRAMWrites uint64
+	Packets               uint64
+}
+
+// SRAM records r reads and w writes to SRAM.
+func (c *Counter) SRAM(r, w uint64) {
+	c.SRAMReads += r
+	c.SRAMWrites += w
+}
+
+// DRAM records r reads and w writes to DRAM.
+func (c *Counter) DRAM(r, w uint64) {
+	c.DRAMReads += r
+	c.DRAMWrites += w
+}
+
+// Packet records that one packet was processed (whether or not it touched
+// memory), establishing the denominator for the per-packet averages.
+func (c *Counter) Packet() { c.Packets++ }
+
+// Accesses returns the total number of memory references of either
+// technology.
+func (c *Counter) Accesses() uint64 {
+	return c.SRAMReads + c.SRAMWrites + c.DRAMReads + c.DRAMWrites
+}
+
+// PerPacket returns the average number of memory references per packet
+// processed; it returns 0 before any packet is recorded.
+func (c *Counter) PerPacket() float64 {
+	if c.Packets == 0 {
+		return 0
+	}
+	return float64(c.Accesses()) / float64(c.Packets)
+}
+
+// TimeNs returns the total memory time in nanoseconds assuming serial,
+// unpipelined accesses at the paper's SRAM/DRAM speeds. It is an upper
+// bound: the paper notes accesses can be pipelined or parallelized.
+func (c *Counter) TimeNs() uint64 {
+	return (c.SRAMReads+c.SRAMWrites)*SRAMAccessNs + (c.DRAMReads+c.DRAMWrites)*DRAMAccessNs
+}
+
+// Add accumulates another counter into c.
+func (c *Counter) Add(o Counter) {
+	c.SRAMReads += o.SRAMReads
+	c.SRAMWrites += o.SRAMWrites
+	c.DRAMReads += o.DRAMReads
+	c.DRAMWrites += o.DRAMWrites
+	c.Packets += o.Packets
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { *c = Counter{} }
+
+// String summarizes the counter for reports.
+func (c *Counter) String() string {
+	return fmt.Sprintf("sram %d/%d dram %d/%d (%.2f refs/pkt)",
+		c.SRAMReads, c.SRAMWrites, c.DRAMReads, c.DRAMWrites, c.PerPacket())
+}
+
+// MaxDRAMUpdatesPerInterval returns the paper's bound on the number of DRAM
+// flow-record updates Sampled NetFlow can perform in an interval of t
+// seconds (Table 2 uses min(n, 486000*t): one update per 2 DRAM accesses of
+// ~60 ns each leaves ~8.3M updates/s; the paper's published constant folds
+// in NetFlow record processing overheads).
+func MaxDRAMUpdatesPerInterval(tSeconds float64) uint64 {
+	return uint64(486000 * tSeconds)
+}
+
+// MinNetFlowSamplingRate is the lower bound on Sampled NetFlow's sampling
+// factor x imposed by technology: x must be at least the ratio of DRAM to
+// SRAM access time, or the DRAM cannot keep up with worst-case packet
+// arrivals (Section 5.2). At the paper's 60 ns / 5 ns this is 12.
+func MinNetFlowSamplingRate() int {
+	return DRAMAccessNs / SRAMAccessNs
+}

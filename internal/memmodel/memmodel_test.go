@@ -1,0 +1,148 @@
+package memmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEntriesForBits(t *testing.T) {
+	// The paper: 1 Mbit of memory = 4096 entries of 32 bytes.
+	if got := EntriesForBits(1 << 20); got != 4096 {
+		t.Errorf("EntriesForBits(1Mbit) = %d, want 4096", got)
+	}
+	if got := EntriesForBits(0); got != 0 {
+		t.Errorf("EntriesForBits(0) = %d", got)
+	}
+}
+
+func TestCountersForBits(t *testing.T) {
+	if got := CountersForBits(1 << 20); got != 32768 {
+		t.Errorf("CountersForBits(1Mbit) = %d, want 32768", got)
+	}
+}
+
+func TestCountersPerEntryConvention(t *testing.T) {
+	// Section 5.1: "a flow memory entry is equivalent to 10 of the counters".
+	if CountersPerEntry != 10 {
+		t.Errorf("CountersPerEntry = %v, want 10", CountersPerEntry)
+	}
+}
+
+func TestBudgetSplit(t *testing.T) {
+	b := Budget{Bits: 1 << 20}
+	// Paper Section 7.2 5-tuple configuration: 4 stages x 3114 counters
+	// leaves 2539 entries... of the 1 Mbit budget. Check the arithmetic:
+	// 12456 counters * 32 bits = 398592 bits; remaining 649984 bits / 256 =
+	// 2539 entries.
+	entries, err := b.Split(4 * 3114)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != 2539 {
+		t.Errorf("Split(12456 counters) = %d entries, want 2539 (paper 7.2)", entries)
+	}
+	// The paper's dstIP configuration: 2646 counters -> 2773 entries...
+	// 2646*4 counters? Section 7.2 uses 2646 counters per stage, 4 stages.
+	entries, err = b.Split(4 * 2646)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != 2772 { // 1048576-338688 = 709888 bits / 256 = 2773.0
+		// integer division gives 2773; tolerate exact value
+		t.Logf("dstIP split = %d", entries)
+	}
+	if entries != 2773 && entries != 2772 {
+		t.Errorf("Split(4*2646) = %d, want ~2773", entries)
+	}
+}
+
+func TestBudgetSplitOverflow(t *testing.T) {
+	b := Budget{Bits: 1024}
+	if _, err := b.Split(1000); err == nil {
+		t.Error("oversized counter allocation accepted")
+	}
+	entries, err := b.Split(32) // exactly the budget
+	if err != nil || entries != 0 {
+		t.Errorf("exact-fit split = %d, %v", entries, err)
+	}
+}
+
+func TestCounterAccounting(t *testing.T) {
+	var c Counter
+	c.Packet()
+	c.SRAM(1, 1)
+	c.Packet()
+	c.SRAM(4, 4) // e.g. 4-stage filter read+write
+	c.DRAM(0, 1)
+	if c.Accesses() != 11 {
+		t.Errorf("Accesses = %d, want 11", c.Accesses())
+	}
+	if got := c.PerPacket(); got != 5.5 {
+		t.Errorf("PerPacket = %g, want 5.5", got)
+	}
+	if got := c.TimeNs(); got != 10*SRAMAccessNs+1*DRAMAccessNs {
+		t.Errorf("TimeNs = %d", got)
+	}
+}
+
+func TestCounterPerPacketZero(t *testing.T) {
+	var c Counter
+	if c.PerPacket() != 0 {
+		t.Error("PerPacket on empty counter should be 0")
+	}
+}
+
+func TestCounterAddReset(t *testing.T) {
+	var a, b Counter
+	a.Packet()
+	a.SRAM(1, 2)
+	b.Packet()
+	b.DRAM(3, 4)
+	a.Add(b)
+	if a.Packets != 2 || a.SRAMReads != 1 || a.SRAMWrites != 2 || a.DRAMReads != 3 || a.DRAMWrites != 4 {
+		t.Errorf("Add: %+v", a)
+	}
+	a.Reset()
+	if a.Accesses() != 0 || a.Packets != 0 {
+		t.Errorf("Reset: %+v", a)
+	}
+}
+
+func TestCounterString(t *testing.T) {
+	var c Counter
+	c.Packet()
+	c.SRAM(1, 0)
+	s := c.String()
+	if !strings.Contains(s, "sram 1/0") || !strings.Contains(s, "1.00 refs/pkt") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestMaxDRAMUpdatesPerInterval(t *testing.T) {
+	// Table 2 uses min(n, 486000*t).
+	if got := MaxDRAMUpdatesPerInterval(1); got != 486000 {
+		t.Errorf("t=1: %d", got)
+	}
+	if got := MaxDRAMUpdatesPerInterval(5); got != 2430000 {
+		t.Errorf("t=5: %d", got)
+	}
+}
+
+func TestSpeedConstants(t *testing.T) {
+	// Section 5.2 fixes these; the DRAM/SRAM ratio (12) is the minimum
+	// sampling factor x for NetFlow.
+	if DRAMAccessNs/SRAMAccessNs != 12 {
+		t.Errorf("DRAM/SRAM ratio = %d, want 12", DRAMAccessNs/SRAMAccessNs)
+	}
+}
+
+func TestMinNetFlowSamplingRate(t *testing.T) {
+	// Section 5.2: x >= DRAM/SRAM access ratio = 12; the paper's device
+	// comparison uses 1-in-16, consistent with the constraint.
+	if got := MinNetFlowSamplingRate(); got != 12 {
+		t.Errorf("MinNetFlowSamplingRate = %d, want 12", got)
+	}
+	if 16 < MinNetFlowSamplingRate() {
+		t.Error("the paper's x=16 violates its own constraint?!")
+	}
+}

@@ -1,0 +1,52 @@
+package netflow
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+)
+
+// RecordBytes is the size of one exported flow record on the wire; the
+// paper uses Cisco NetFlow's 64 bytes per entry.
+const RecordBytes = 64
+
+// Record is one exported flow record.
+type Record struct {
+	Interval int
+	Key      flow.Key
+	Bytes    uint64
+}
+
+// Collector models the management station that receives per-interval flow
+// reports. The paper's point iv) is that NetFlow's large record volume is a
+// resource bottleneck (up to 90% loss rates are reported for basic
+// NetFlow); the collector accounts the transfer volume so experiments can
+// compare it across algorithms.
+type Collector struct {
+	Records []Record
+	// WireBytes is the cumulative export volume.
+	WireBytes uint64
+	// Keep controls whether records accumulate (volume is always counted).
+	Keep bool
+}
+
+// NewCollector creates a collector that keeps records.
+func NewCollector() *Collector { return &Collector{Keep: true} }
+
+// Collect ingests one interval's estimates.
+func (c *Collector) Collect(interval int, ests []core.Estimate) {
+	c.WireBytes += uint64(len(ests)) * RecordBytes
+	if !c.Keep {
+		return
+	}
+	for _, e := range ests {
+		c.Records = append(c.Records, Record{Interval: interval, Key: e.Key, Bytes: e.Bytes})
+	}
+}
+
+// sortSlice sorts estimates with the given ordering; shared with the
+// algorithm's report path.
+func sortSlice(es []core.Estimate, less func(a, b core.Estimate) bool) {
+	sort.Slice(es, func(i, j int) bool { return less(es[i], es[j]) })
+}

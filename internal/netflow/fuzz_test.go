@@ -1,0 +1,55 @@
+package netflow
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzDecodeV5 hardens the collector's parser against hostile input: a
+// collection station is an open UDP port, so DecodeV5 must never panic and
+// never allocate unboundedly, whatever arrives. Runs its seed corpus as a
+// regular test; use `go test -fuzz FuzzDecodeV5 ./internal/netflow` to
+// explore.
+func FuzzDecodeV5(f *testing.F) {
+	// Seeds: a valid packet, a truncation, garbage, and a record-count lie.
+	valid := EncodeV5(sampleRecords(3), time.Second, 42, 7)[0]
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])
+	f.Add([]byte("garbage"))
+	lie := append([]byte(nil), valid...)
+	lie[2], lie[3] = 0xff, 0xff
+	f.Add(lie)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkt, err := DecodeV5(data)
+		if err != nil {
+			return
+		}
+		// Decoded packets must be internally consistent.
+		if len(pkt.Records) > V5MaxRecords {
+			t.Fatalf("decoded %d records", len(pkt.Records))
+		}
+		// A successfully decoded packet must re-encode to a packet that
+		// decodes to the same records.
+		enc := EncodeV5(pkt.Records, pkt.SysUptime, pkt.UnixSecs, pkt.FlowSequence)
+		if len(pkt.Records) == 0 {
+			if len(enc) != 0 {
+				t.Fatal("empty record set produced packets")
+			}
+			return
+		}
+		back, err := DecodeV5(enc[0])
+		if err != nil {
+			t.Fatalf("re-encode failed to decode: %v", err)
+		}
+		if len(back.Records) != len(pkt.Records) {
+			t.Fatalf("re-encode changed record count")
+		}
+		for i := range back.Records {
+			if back.Records[i] != pkt.Records[i] {
+				t.Fatalf("record %d changed across re-encode", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,175 @@
+// Package netflow implements the Sampled NetFlow baseline the paper
+// compares against (Sections 2 and 5). NetFlow keeps per-flow state in
+// large, slow DRAM and samples every x-th packet to bound the DRAM update
+// rate; estimates are the sampled counts scaled back up by x.
+//
+// The model follows the paper's: count-based sampling (every x-th packet,
+// which introduces the packet-size bias the paper notes), per-flow entries
+// of 64 bytes in DRAM, no entry preservation, and per-interval export of
+// one record per entry to a collection station — whose volume the Collector
+// accounts, since collection overhead is one of NetFlow's problems the
+// paper's algorithms avoid.
+package netflow
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/memmodel"
+)
+
+// Config configures the Sampled NetFlow model.
+type Config struct {
+	// SamplingRate x samples every x-th packet. x = 1 is unsampled
+	// NetFlow; the paper's device comparison uses x = 16, and Section 5.2
+	// argues x can never be below the DRAM/SRAM speed ratio at high line
+	// rates.
+	SamplingRate int
+	// MaxEntries bounds the DRAM flow table; 0 means unlimited (the
+	// paper's device comparison gives NetFlow unlimited memory).
+	MaxEntries int
+	// Phase is the index of the first sampled packet in each cycle,
+	// in [0, SamplingRate); it only shifts which packets are picked.
+	Phase int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.SamplingRate < 1 {
+		return fmt.Errorf("netflow: SamplingRate = %d", c.SamplingRate)
+	}
+	if c.MaxEntries < 0 {
+		return fmt.Errorf("netflow: MaxEntries = %d", c.MaxEntries)
+	}
+	if c.Phase < 0 || c.Phase >= c.SamplingRate {
+		return fmt.Errorf("netflow: Phase = %d outside [0, %d)", c.Phase, c.SamplingRate)
+	}
+	return nil
+}
+
+type entry struct {
+	bytes   uint64
+	packets uint64
+}
+
+// NetFlow implements core.Algorithm.
+type NetFlow struct {
+	cfg     Config
+	entries map[flow.Key]*entry
+	counter int
+	cost    memmodel.Counter
+	// threshold is carried only to satisfy the Algorithm interface;
+	// NetFlow itself has no notion of a large-flow threshold.
+	threshold uint64
+}
+
+// New creates a Sampled NetFlow instance.
+func New(cfg Config) (*NetFlow, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &NetFlow{
+		cfg:       cfg,
+		entries:   make(map[flow.Key]*entry),
+		counter:   cfg.Phase,
+		threshold: 1,
+	}, nil
+}
+
+// Name implements core.Algorithm.
+func (n *NetFlow) Name() string { return "sampled-netflow" }
+
+// Process implements core.Algorithm: every x-th packet updates (or creates)
+// the flow's DRAM entry; the rest cost nothing, which is exactly why
+// NetFlow can afford DRAM.
+func (n *NetFlow) Process(key flow.Key, size uint32) {
+	n.cost.Packet()
+	n.counter++
+	if n.counter < n.cfg.SamplingRate {
+		return
+	}
+	n.counter = 0
+	e := n.entries[key]
+	if e == nil {
+		if n.cfg.MaxEntries > 0 && len(n.entries) >= n.cfg.MaxEntries {
+			n.cost.DRAM(1, 0) // failed lookup still costs a read
+			return
+		}
+		e = &entry{}
+		n.entries[key] = e
+	}
+	e.bytes += uint64(size)
+	e.packets++
+	n.cost.DRAM(1, 1)
+}
+
+// EndInterval implements core.Algorithm: estimates are the sampled byte
+// counts scaled by the sampling rate. Scaling means the estimate is not a
+// lower bound on the flow's traffic — the overcharging problem the paper
+// raises for billing.
+func (n *NetFlow) EndInterval() []core.Estimate {
+	out := make([]core.Estimate, 0, len(n.entries))
+	for k, e := range n.entries {
+		out = append(out, core.Estimate{
+			Key:   k,
+			Bytes: e.bytes * uint64(n.cfg.SamplingRate),
+		})
+	}
+	sortEstimates(out)
+	n.entries = make(map[flow.Key]*entry)
+	return out
+}
+
+func sortEstimates(es []core.Estimate) {
+	// Insertion of a sort keeps reports deterministic; reuse the flowmem
+	// ordering convention (bytes desc, then key desc).
+	lessKey := func(a, b core.Estimate) bool {
+		if a.Bytes != b.Bytes {
+			return a.Bytes > b.Bytes
+		}
+		if a.Key.Hi != b.Key.Hi {
+			return a.Key.Hi > b.Key.Hi
+		}
+		return a.Key.Lo > b.Key.Lo
+	}
+	// Standard library sort; split out for reuse by Records.
+	sortSlice(es, lessKey)
+}
+
+// EntriesUsed implements core.Algorithm.
+func (n *NetFlow) EntriesUsed() int { return len(n.entries) }
+
+// Capacity implements core.Algorithm; unlimited DRAM reports the current
+// usage so adaptation (never used with NetFlow) stays inert.
+func (n *NetFlow) Capacity() int {
+	if n.cfg.MaxEntries > 0 {
+		return n.cfg.MaxEntries
+	}
+	return len(n.entries) + 1
+}
+
+// Threshold implements core.Algorithm.
+func (n *NetFlow) Threshold() uint64 { return n.threshold }
+
+// SetThreshold implements core.Algorithm; NetFlow ignores thresholds but
+// remembers the value for symmetry.
+func (n *NetFlow) SetThreshold(t uint64) {
+	if t < 1 {
+		t = 1
+	}
+	n.threshold = t
+}
+
+// Mem implements core.Algorithm.
+func (n *NetFlow) Mem() *memmodel.Counter { return &n.cost }
+
+// SampledPackets returns the number of packets sampled so far in the
+// current interval's entries (for tests).
+func (n *NetFlow) SampledPackets() uint64 {
+	var total uint64
+	for _, e := range n.entries {
+		total += e.packets
+	}
+	return total
+}

@@ -1,0 +1,210 @@
+package netflow
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+)
+
+func key(i uint64) flow.Key { return flow.Key{Lo: i} }
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{SamplingRate: 16}).Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	bad := []Config{
+		{SamplingRate: 0},
+		{SamplingRate: 16, MaxEntries: -1},
+		{SamplingRate: 16, Phase: 16},
+		{SamplingRate: 16, Phase: -1},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestExactWhenUnsampled(t *testing.T) {
+	// x = 1: every packet logged, estimates exact.
+	nf, err := New(Config{SamplingRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		nf.Process(key(1), 100)
+	}
+	est := nf.EndInterval()
+	if len(est) != 1 || est[0].Bytes != 1000 {
+		t.Fatalf("estimates = %v", est)
+	}
+}
+
+func TestCountBasedSampling(t *testing.T) {
+	// Every 4th packet sampled: 8 packets of one flow -> 2 samples.
+	nf, err := New(Config{SamplingRate: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		nf.Process(key(1), 100)
+	}
+	if got := nf.SampledPackets(); got != 2 {
+		t.Errorf("sampled %d packets, want 2", got)
+	}
+	est := nf.EndInterval()
+	// 2 samples * 100 bytes * 4 = 800 bytes estimated.
+	if len(est) != 1 || est[0].Bytes != 800 {
+		t.Fatalf("estimates = %v", est)
+	}
+}
+
+func TestRenormalizationCanOverestimate(t *testing.T) {
+	// The paper's billing objection: NetFlow estimates are not lower
+	// bounds. Alternate big and small packets so sampling the big ones
+	// overestimates.
+	nf, err := New(Config{SamplingRate: 2, Phase: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var truth uint64
+	for i := 0; i < 100; i++ {
+		size := uint32(40)
+		if i%2 == 0 {
+			size = 1500 // sampled (phase 1: packets 0, 2, 4...)
+		}
+		truth += uint64(size)
+		nf.Process(key(1), size)
+	}
+	est := nf.EndInterval()
+	if len(est) != 1 {
+		t.Fatal("flow not reported")
+	}
+	if est[0].Bytes <= truth {
+		t.Errorf("expected overestimate from size bias: est %d truth %d", est[0].Bytes, truth)
+	}
+}
+
+func TestPhaseShiftsSampling(t *testing.T) {
+	// With phase 0 the x-th packet is the first sample; with phase x-1 the
+	// first packet is sampled.
+	early, err := New(Config{SamplingRate: 10, Phase: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := New(Config{SamplingRate: 10, Phase: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	early.Process(key(1), 100)
+	late.Process(key(1), 100)
+	if early.SampledPackets() != 1 || late.SampledPackets() != 0 {
+		t.Errorf("phase handling wrong: early=%d late=%d",
+			early.SampledPackets(), late.SampledPackets())
+	}
+}
+
+func TestMaxEntriesBoundsDRAM(t *testing.T) {
+	nf, err := New(Config{SamplingRate: 1, MaxEntries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 10; i++ {
+		nf.Process(key(i), 100)
+	}
+	if nf.EntriesUsed() != 3 {
+		t.Errorf("EntriesUsed = %d, want 3", nf.EntriesUsed())
+	}
+	if nf.Capacity() != 3 {
+		t.Errorf("Capacity = %d", nf.Capacity())
+	}
+}
+
+func TestEndIntervalClears(t *testing.T) {
+	nf, err := New(Config{SamplingRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf.Process(key(1), 100)
+	nf.EndInterval()
+	if nf.EntriesUsed() != 0 {
+		t.Error("entries survived the interval transition")
+	}
+}
+
+func TestMemoryAccessesAreDRAMAndSubOnePerPacket(t *testing.T) {
+	nf, err := New(Config{SamplingRate: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1600; i++ {
+		nf.Process(key(uint64(i)), 100)
+	}
+	c := nf.Mem()
+	if c.SRAMReads+c.SRAMWrites != 0 {
+		t.Error("NetFlow must not touch SRAM")
+	}
+	// 100 samples * (1 read + 1 write) over 1600 packets = 0.125/packet,
+	// the 1/x-flavored advantage of Table 1's last column.
+	if got := c.PerPacket(); got != 0.125 {
+		t.Errorf("PerPacket = %g, want 0.125", got)
+	}
+}
+
+func TestReportsSortedAndTyped(t *testing.T) {
+	var _ core.Algorithm = (*NetFlow)(nil)
+	nf, err := New(Config{SamplingRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf.Process(key(1), 100)
+	nf.Process(key(2), 900)
+	nf.Process(key(3), 500)
+	est := nf.EndInterval()
+	if len(est) != 3 || est[0].Bytes < est[1].Bytes || est[1].Bytes < est[2].Bytes {
+		t.Errorf("report not sorted: %v", est)
+	}
+	for _, e := range est {
+		if e.Exact {
+			t.Error("NetFlow estimates must never claim exactness")
+		}
+	}
+	if nf.Name() != "sampled-netflow" {
+		t.Errorf("Name = %q", nf.Name())
+	}
+	nf.SetThreshold(0)
+	if nf.Threshold() != 1 {
+		t.Error("SetThreshold clamp")
+	}
+}
+
+func TestCollector(t *testing.T) {
+	c := NewCollector()
+	ests := []core.Estimate{{Key: key(1), Bytes: 100}, {Key: key(2), Bytes: 50}}
+	c.Collect(0, ests)
+	c.Collect(1, ests[:1])
+	if c.WireBytes != 3*RecordBytes {
+		t.Errorf("WireBytes = %d, want %d", c.WireBytes, 3*RecordBytes)
+	}
+	if len(c.Records) != 3 || c.Records[2].Interval != 1 {
+		t.Errorf("Records = %v", c.Records)
+	}
+	// Volume-only mode.
+	c2 := &Collector{}
+	c2.Collect(0, ests)
+	if c2.WireBytes != 2*RecordBytes || c2.Records != nil {
+		t.Error("volume-only collector misbehaved")
+	}
+}
+
+func BenchmarkProcess(b *testing.B) {
+	nf, err := New(Config{SamplingRate: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		nf.Process(key(uint64(i%10000)), 1000)
+	}
+}

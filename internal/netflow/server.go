@@ -1,0 +1,140 @@
+package netflow
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Server is a NetFlow v5 collection station: it listens on UDP, decodes
+// export packets, tracks per-exporter sequence gaps (the paper cites loss
+// rates of up to 90% for basic NetFlow collection — gap accounting is how a
+// collector notices), and hands decoded packets to a handler.
+type Server struct {
+	conn    net.PacketConn
+	handler func(src net.Addr, pkt *V5Packet)
+
+	mu       sync.Mutex
+	nextSeq  map[string]uint32
+	lost     uint64
+	packets  uint64
+	records  uint64
+	badBytes uint64
+}
+
+// NewServer wraps an existing PacketConn (usually from net.ListenPacket
+// ("udp", addr)). The handler may be nil when only the statistics matter.
+func NewServer(conn net.PacketConn, handler func(src net.Addr, pkt *V5Packet)) *Server {
+	return &Server{
+		conn:    conn,
+		handler: handler,
+		nextSeq: make(map[string]uint32),
+	}
+}
+
+// ListenAndServe opens a UDP socket on addr and serves until the returned
+// stop function is called. It returns the server (for statistics), the
+// bound address, and a stop function.
+func ListenAndServe(addr string, handler func(src net.Addr, pkt *V5Packet)) (*Server, net.Addr, func(), error) {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s := NewServer(conn, handler)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Serve()
+	}()
+	stop := func() {
+		conn.Close()
+		<-done
+	}
+	return s, conn.LocalAddr(), stop, nil
+}
+
+// Serve reads export packets until the connection is closed.
+func (s *Server) Serve() error {
+	buf := make([]byte, 65536)
+	for {
+		n, src, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.ingest(src, buf[:n])
+	}
+}
+
+func (s *Server) ingest(src net.Addr, data []byte) {
+	pkt, err := DecodeV5(data)
+	s.mu.Lock()
+	if err != nil {
+		s.badBytes += uint64(len(data))
+		s.mu.Unlock()
+		return
+	}
+	s.packets++
+	s.records += uint64(len(pkt.Records))
+	key := src.String()
+	if want, ok := s.nextSeq[key]; ok && pkt.FlowSequence > want {
+		s.lost += uint64(pkt.FlowSequence - want)
+	}
+	s.nextSeq[key] = pkt.FlowSequence + uint32(len(pkt.Records))
+	handler := s.handler
+	s.mu.Unlock()
+	if handler != nil {
+		handler(src, pkt)
+	}
+}
+
+// Stats summarizes what the collector has seen.
+type Stats struct {
+	Packets, Records, LostRecords, BadBytes uint64
+}
+
+// Stats returns a snapshot of the collection statistics.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Packets: s.packets, Records: s.records, LostRecords: s.lost, BadBytes: s.badBytes}
+}
+
+// String renders the statistics.
+func (st Stats) String() string {
+	return fmt.Sprintf("%d packets, %d records, %d lost, %d undecodable bytes",
+		st.Packets, st.Records, st.LostRecords, st.BadBytes)
+}
+
+// UDPExporter sends v5 export packets to a collector over UDP; it wraps an
+// Exporter with a socket, completing the router side of the collection
+// pipeline.
+type UDPExporter struct {
+	*Exporter
+	conn net.Conn
+}
+
+// DialUDPExporter connects to a collector address.
+func DialUDPExporter(addr string, e *Exporter) (*UDPExporter, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &UDPExporter{Exporter: e, conn: conn}, nil
+}
+
+// Send encodes and transmits one batch of packets produced by Export.
+func (u *UDPExporter) Send(pkts [][]byte) error {
+	for _, p := range pkts {
+		if _, err := u.conn.Write(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close closes the socket.
+func (u *UDPExporter) Close() error { return u.conn.Close() }

@@ -1,0 +1,157 @@
+package netflow
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+)
+
+// collectorPair spins up a loopback collector and a connected exporter.
+func collectorPair(t *testing.T, def flow.Definition) (*Server, *UDPExporter, func(*testing.T) []*V5Packet, func()) {
+	t.Helper()
+	var mu sync.Mutex
+	var got []*V5Packet
+	srv, addr, stop, err := ListenAndServe("127.0.0.1:0", func(_ net.Addr, p *V5Packet) {
+		mu.Lock()
+		got = append(got, p)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := DialUDPExporter(addr.String(), NewExporter(def))
+	if err != nil {
+		stop()
+		t.Fatal(err)
+	}
+	received := func(t *testing.T) []*V5Packet {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			mu.Lock()
+			n := len(got)
+			mu.Unlock()
+			if n > 0 {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		out := append([]*V5Packet(nil), got...)
+		got = nil
+		return out
+	}
+	cleanup := func() {
+		exp.Close()
+		stop()
+	}
+	return srv, exp, received, cleanup
+}
+
+func TestExportCollectRoundTrip(t *testing.T) {
+	srv, exp, received, cleanup := collectorPair(t, flow.DstIP{})
+	defer cleanup()
+
+	ests := []core.Estimate{
+		{Key: flow.Key{Lo: 0x0a000001}, Bytes: 123456},
+		{Key: flow.Key{Lo: 0x0a000002}, Bytes: 654321},
+	}
+	if err := exp.Send(exp.Export(ests, 5*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	pkts := received(t)
+	if len(pkts) != 1 {
+		t.Fatalf("collector got %d packets", len(pkts))
+	}
+	recs := pkts[0].Records
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	// Reports are sorted largest-first by the device; the exporter keeps
+	// the order it was given.
+	if recs[0].DstIP != 0x0a000001 || recs[0].Bytes != 123456 {
+		t.Errorf("record 0 = %+v", recs[0])
+	}
+	st := srv.Stats()
+	if st.Packets != 1 || st.Records != 2 || st.LostRecords != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCollectorDetectsSequenceGaps(t *testing.T) {
+	srv, exp, received, cleanup := collectorPair(t, flow.DstIP{})
+	defer cleanup()
+
+	est := func(n int) []core.Estimate {
+		out := make([]core.Estimate, n)
+		for i := range out {
+			out[i] = core.Estimate{Key: flow.Key{Lo: uint64(i)}, Bytes: 100}
+		}
+		return out
+	}
+	// First batch arrives; second batch is "lost" (never sent); third
+	// arrives with a sequence that reveals the gap.
+	if err := exp.Send(exp.Export(est(5), time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	received(t)
+	_ = exp.Export(est(7), 2*time.Second) // encoded but dropped on the floor
+	if err := exp.Send(exp.Export(est(3), 3*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	received(t)
+	st := srv.Stats()
+	if st.LostRecords != 7 {
+		t.Errorf("lost = %d, want 7", st.LostRecords)
+	}
+	if st.Packets != 2 || st.Records != 8 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCollectorIgnoresGarbage(t *testing.T) {
+	srv, _, _, cleanup := collectorPair(t, flow.DstIP{})
+	// Send garbage straight at the socket.
+	conn, err := net.Dial("udp", srv.conn.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("not a netflow packet")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Stats().BadBytes > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := srv.Stats()
+	if st.BadBytes == 0 {
+		t.Error("garbage not accounted")
+	}
+	if st.Packets != 0 {
+		t.Error("garbage counted as a packet")
+	}
+	cleanup()
+}
+
+func TestStatsString(t *testing.T) {
+	st := Stats{Packets: 1, Records: 2, LostRecords: 3, BadBytes: 4}
+	want := "1 packets, 2 records, 3 lost, 4 undecodable bytes"
+	if st.String() != want {
+		t.Errorf("String = %q", st.String())
+	}
+}
+
+func TestDialUDPExporterBadAddr(t *testing.T) {
+	if _, err := DialUDPExporter("%%%bad", NewExporter(flow.DstIP{})); err == nil {
+		t.Error("bad address accepted")
+	}
+}

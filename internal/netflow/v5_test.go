@@ -1,0 +1,166 @@
+package netflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+)
+
+func sampleRecords(n int) []V5Record {
+	rng := rand.New(rand.NewSource(int64(n)))
+	out := make([]V5Record, n)
+	for i := range out {
+		out[i] = V5Record{
+			SrcIP: rng.Uint32(), DstIP: rng.Uint32(),
+			Packets: rng.Uint32(), Bytes: rng.Uint32(),
+			SrcPort: uint16(rng.Uint32()), DstPort: uint16(rng.Uint32()),
+			Proto: uint8(rng.Uint32()), SrcAS: uint16(rng.Uint32()), DstAS: uint16(rng.Uint32()),
+		}
+	}
+	return out
+}
+
+func TestV5RoundTrip(t *testing.T) {
+	records := sampleRecords(7)
+	pkts := EncodeV5(records, 90*time.Second, 1234567890, 42)
+	if len(pkts) != 1 {
+		t.Fatalf("packets = %d", len(pkts))
+	}
+	dec, err := DecodeV5(pkts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.SysUptime != 90*time.Second || dec.UnixSecs != 1234567890 || dec.FlowSequence != 42 {
+		t.Errorf("header = %+v", dec)
+	}
+	if len(dec.Records) != len(records) {
+		t.Fatalf("records = %d", len(dec.Records))
+	}
+	for i := range records {
+		if dec.Records[i] != records[i] {
+			t.Errorf("record %d: got %+v want %+v", i, dec.Records[i], records[i])
+		}
+	}
+}
+
+func TestV5Batching(t *testing.T) {
+	// 65 records must split into 30 + 30 + 5 with advancing sequence.
+	records := sampleRecords(65)
+	pkts := EncodeV5(records, time.Second, 1, 100)
+	if len(pkts) != 3 {
+		t.Fatalf("packets = %d, want 3", len(pkts))
+	}
+	wantSeq := []uint32{100, 130, 160}
+	wantCount := []int{30, 30, 5}
+	var all []V5Record
+	for i, p := range pkts {
+		dec, err := DecodeV5(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.FlowSequence != wantSeq[i] || len(dec.Records) != wantCount[i] {
+			t.Errorf("packet %d: seq %d count %d, want %d/%d",
+				i, dec.FlowSequence, len(dec.Records), wantSeq[i], wantCount[i])
+		}
+		all = append(all, dec.Records...)
+	}
+	for i := range records {
+		if all[i] != records[i] {
+			t.Fatalf("record %d corrupted across batching", i)
+		}
+	}
+}
+
+func TestV5RoundTripProperty(t *testing.T) {
+	f := func(srcIP, dstIP, pkts, bytes uint32, sport, dport, srcAS, dstAS uint16, proto uint8) bool {
+		r := V5Record{srcIP, dstIP, pkts, bytes, sport, dport, proto, srcAS, dstAS}
+		enc := EncodeV5([]V5Record{r}, 0, 0, 0)
+		dec, err := DecodeV5(enc[0])
+		return err == nil && len(dec.Records) == 1 && dec.Records[0] == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeV5Errors(t *testing.T) {
+	if _, err := DecodeV5(nil); err == nil {
+		t.Error("nil packet accepted")
+	}
+	pkts := EncodeV5(sampleRecords(2), 0, 0, 0)
+	data := pkts[0]
+	// Wrong version.
+	bad := append([]byte(nil), data...)
+	bad[1] = 9
+	if _, err := DecodeV5(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Truncated records.
+	if _, err := DecodeV5(data[:len(data)-1]); err == nil {
+		t.Error("truncated packet accepted")
+	}
+	// Implausible record count.
+	bad = append([]byte(nil), data...)
+	bad[2], bad[3] = 0xff, 0xff
+	if _, err := DecodeV5(bad); err == nil {
+		t.Error("huge record count accepted")
+	}
+}
+
+func TestRecordsFromEstimates(t *testing.T) {
+	p := &flow.Packet{SrcIP: 0x0a000001, DstIP: 0x0b000002, SrcPort: 1234, DstPort: 80, Proto: 6, SrcAS: 7, DstAS: 9}
+	cases := []struct {
+		def  flow.Definition
+		want V5Record
+	}{
+		{flow.FiveTuple{}, V5Record{SrcIP: 0x0a000001, DstIP: 0x0b000002, Bytes: 5000, SrcPort: 1234, DstPort: 80, Proto: 6}},
+		{flow.DstIP{}, V5Record{DstIP: 0x0b000002, Bytes: 5000}},
+		{flow.ASPair{}, V5Record{Bytes: 5000, SrcAS: 7, DstAS: 9}},
+	}
+	for _, c := range cases {
+		ests := []core.Estimate{{Key: c.def.Key(p), Bytes: 5000}}
+		recs := RecordsFromEstimates(c.def, ests)
+		if len(recs) != 1 || recs[0] != c.want {
+			t.Errorf("%s: got %+v want %+v", c.def.Name(), recs[0], c.want)
+		}
+	}
+}
+
+func TestRecordsFromEstimatesClampsBytes(t *testing.T) {
+	ests := []core.Estimate{{Key: flow.Key{Lo: 1}, Bytes: 1 << 40}}
+	recs := RecordsFromEstimates(flow.DstIP{}, ests)
+	if recs[0].Bytes != 0xffffffff {
+		t.Errorf("Bytes = %d, want clamp to max uint32", recs[0].Bytes)
+	}
+}
+
+func TestExporterSequencesAndVolume(t *testing.T) {
+	ex := NewExporter(flow.DstIP{})
+	ests := make([]core.Estimate, 35)
+	for i := range ests {
+		ests[i] = core.Estimate{Key: flow.Key{Lo: uint64(i)}, Bytes: 100}
+	}
+	pkts1 := ex.Export(ests, time.Second)
+	pkts2 := ex.Export(ests[:3], 2*time.Second)
+	if len(pkts1) != 2 || len(pkts2) != 1 {
+		t.Fatalf("packets = %d, %d", len(pkts1), len(pkts2))
+	}
+	dec, err := DecodeV5(pkts2[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.FlowSequence != 35 {
+		t.Errorf("sequence = %d, want 35", dec.FlowSequence)
+	}
+	if ex.PacketsSent != 3 {
+		t.Errorf("PacketsSent = %d", ex.PacketsSent)
+	}
+	wantBytes := uint64(v5HeaderBytes*3 + 38*v5RecordBytes)
+	if ex.BytesSent != wantBytes {
+		t.Errorf("BytesSent = %d, want %d", ex.BytesSent, wantBytes)
+	}
+}

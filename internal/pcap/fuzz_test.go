@@ -1,0 +1,45 @@
+package pcap
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader hardens the capture parser: captures come from outside the
+// trust boundary, so the reader must never panic or loop forever on
+// malformed input.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	p := tcpPacket()
+	w.WritePacket(&p)
+	q := udpPacket()
+	w.WritePacket(&q)
+	w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:30])
+	f.Add(valid[:24])
+	f.Add([]byte{})
+	f.Add([]byte("not a pcap file at all........"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10000; i++ {
+			_, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil && err != ErrNotIPv4 {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,249 @@
+// Package pcap reads and writes the classic libpcap capture format, built
+// from scratch on the standard library. It converts between capture files
+// and the flow.Packet model, so the measurement tools can ingest real
+// captures (the paper's traces were packet captures from CAIDA and NLANR)
+// and export synthetic traces for inspection with standard tools.
+//
+// Only what traffic measurement needs is implemented: Ethernet + IPv4 with
+// TCP/UDP (ports parsed) or any other IP protocol (ports zero). Written
+// files store packet headers only (snap length 54), like the header-only
+// traces the paper used; the original wire length is preserved in each
+// record header, which is what the byte counters consume.
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/flow"
+)
+
+const (
+	magicUsecLE = 0xa1b2c3d4 // standard magic, microsecond timestamps
+	magicNsecLE = 0xa1b23c4d // nanosecond-timestamp variant
+
+	versionMajor = 2
+	versionMinor = 4
+
+	linkTypeEthernet = 1
+
+	etherHeaderLen = 14
+	etherTypeIPv4  = 0x0800
+	ipv4HeaderLen  = 20
+	tcpHeaderLen   = 20
+	udpHeaderLen   = 8
+
+	protoTCP = 6
+	protoUDP = 17
+
+	// SnapLen is the capture length for written files: enough for Ethernet,
+	// IPv4 and the largest transport header we synthesize.
+	SnapLen = etherHeaderLen + ipv4HeaderLen + tcpHeaderLen
+)
+
+// Writer emits a pcap file of synthesized header-only packets.
+type Writer struct {
+	w   *bufio.Writer
+	buf [SnapLen]byte
+}
+
+// NewWriter writes a pcap global header to w (little-endian, microsecond
+// timestamps, Ethernet link type).
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	for _, v := range []any{
+		uint32(magicUsecLE),
+		uint16(versionMajor), uint16(versionMinor),
+		int32(0),  // thiszone
+		uint32(0), // sigfigs
+		uint32(SnapLen),
+		uint32(linkTypeEthernet),
+	} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return nil, err
+		}
+	}
+	return &Writer{w: bw}, nil
+}
+
+// WritePacket encodes one packet: record header with the true wire length,
+// then synthesized Ethernet/IPv4/transport headers.
+func (w *Writer) WritePacket(p *flow.Packet) error {
+	payload := w.buf[:0]
+	// Ethernet header: zero MACs, IPv4 ethertype.
+	payload = append(payload, make([]byte, 12)...)
+	payload = binary.BigEndian.AppendUint16(payload, etherTypeIPv4)
+
+	totalIP := p.Size
+	if totalIP < ipv4HeaderLen {
+		totalIP = ipv4HeaderLen
+	}
+	if totalIP > 0xffff {
+		totalIP = 0xffff
+	}
+	// IPv4 header.
+	payload = append(payload, 0x45, 0) // version 4, IHL 5, TOS 0
+	payload = binary.BigEndian.AppendUint16(payload, uint16(totalIP))
+	payload = append(payload, 0, 0, 0, 0) // id, flags+fragment
+	payload = append(payload, 64, p.Proto, 0, 0)
+	payload = binary.BigEndian.AppendUint32(payload, p.SrcIP)
+	payload = binary.BigEndian.AppendUint32(payload, p.DstIP)
+
+	switch p.Proto {
+	case protoTCP:
+		payload = binary.BigEndian.AppendUint16(payload, p.SrcPort)
+		payload = binary.BigEndian.AppendUint16(payload, p.DstPort)
+		payload = append(payload, make([]byte, 8)...) // seq, ack
+		payload = append(payload, 0x50, 0)            // data offset 5, flags
+		payload = append(payload, make([]byte, 6)...) // window, csum, urg
+	case protoUDP:
+		payload = binary.BigEndian.AppendUint16(payload, p.SrcPort)
+		payload = binary.BigEndian.AppendUint16(payload, p.DstPort)
+		payload = binary.BigEndian.AppendUint16(payload, uint16(totalIP-ipv4HeaderLen))
+		payload = append(payload, 0, 0) // checksum
+	}
+
+	origLen := p.Size + etherHeaderLen
+	ts := p.Time
+	for _, v := range []uint32{
+		uint32(ts / time.Second),
+		uint32(ts % time.Second / time.Microsecond),
+		uint32(len(payload)),
+		origLen,
+	} {
+		if err := binary.Write(w.w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	_, err := w.w.Write(payload)
+	return err
+}
+
+// Flush writes buffered data to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader parses a pcap file into flow.Packets.
+type Reader struct {
+	r       *bufio.Reader
+	order   binary.ByteOrder
+	nanos   bool
+	snapLen uint32
+	buf     []byte
+}
+
+// NewReader parses the pcap global header. Both byte orders and both the
+// microsecond and nanosecond magics are accepted; the link type must be
+// Ethernet.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var magicBytes [4]byte
+	if _, err := io.ReadFull(br, magicBytes[:]); err != nil {
+		return nil, fmt.Errorf("pcap: reading magic: %w", err)
+	}
+	le := binary.LittleEndian.Uint32(magicBytes[:])
+	be := binary.BigEndian.Uint32(magicBytes[:])
+	rd := &Reader{r: br}
+	switch {
+	case le == magicUsecLE:
+		rd.order = binary.LittleEndian
+	case le == magicNsecLE:
+		rd.order, rd.nanos = binary.LittleEndian, true
+	case be == magicUsecLE:
+		rd.order = binary.BigEndian
+	case be == magicNsecLE:
+		rd.order, rd.nanos = binary.BigEndian, true
+	default:
+		return nil, fmt.Errorf("pcap: unrecognized magic %#x", le)
+	}
+	var (
+		major, minor     uint16
+		thiszone         int32
+		sigfigs, network uint32
+	)
+	for _, v := range []any{&major, &minor, &thiszone, &sigfigs, &rd.snapLen, &network} {
+		if err := binary.Read(br, rd.order, v); err != nil {
+			return nil, fmt.Errorf("pcap: reading header: %w", err)
+		}
+	}
+	if major != versionMajor {
+		return nil, fmt.Errorf("pcap: unsupported version %d.%d", major, minor)
+	}
+	if network != linkTypeEthernet {
+		return nil, fmt.Errorf("pcap: unsupported link type %d", network)
+	}
+	if rd.snapLen == 0 || rd.snapLen > 1<<18 {
+		return nil, fmt.Errorf("pcap: implausible snap length %d", rd.snapLen)
+	}
+	rd.buf = make([]byte, rd.snapLen)
+	return rd, nil
+}
+
+// ErrNotIPv4 is returned by Next for captured frames that are not IPv4 and
+// therefore carry no flow information; callers typically skip them.
+var ErrNotIPv4 = errors.New("pcap: not an IPv4 packet")
+
+// Next returns the next packet. Frames that are not IPv4 yield ErrNotIPv4
+// (the caller may continue reading). io.EOF signals a clean end of file.
+func (r *Reader) Next() (flow.Packet, error) {
+	var tsSec, tsFrac, inclLen, origLen uint32
+	if err := binary.Read(r.r, r.order, &tsSec); err != nil {
+		if err == io.EOF {
+			return flow.Packet{}, io.EOF
+		}
+		return flow.Packet{}, fmt.Errorf("pcap: reading record: %w", err)
+	}
+	for _, v := range []*uint32{&tsFrac, &inclLen, &origLen} {
+		if err := binary.Read(r.r, r.order, v); err != nil {
+			return flow.Packet{}, fmt.Errorf("pcap: truncated record header: %w", err)
+		}
+	}
+	if inclLen > r.snapLen {
+		return flow.Packet{}, fmt.Errorf("pcap: record length %d exceeds snap length %d", inclLen, r.snapLen)
+	}
+	data := r.buf[:inclLen]
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return flow.Packet{}, fmt.Errorf("pcap: truncated record: %w", err)
+	}
+
+	ts := time.Duration(tsSec) * time.Second
+	if r.nanos {
+		ts += time.Duration(tsFrac)
+	} else {
+		ts += time.Duration(tsFrac) * time.Microsecond
+	}
+	p := flow.Packet{Time: ts}
+	if origLen < etherHeaderLen {
+		return flow.Packet{}, fmt.Errorf("pcap: frame of %d bytes too short for Ethernet", origLen)
+	}
+	p.Size = origLen - etherHeaderLen
+
+	if len(data) < etherHeaderLen+ipv4HeaderLen {
+		return p, ErrNotIPv4
+	}
+	if binary.BigEndian.Uint16(data[12:14]) != etherTypeIPv4 {
+		return p, ErrNotIPv4
+	}
+	ip := data[etherHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return p, ErrNotIPv4
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < ipv4HeaderLen || len(ip) < ihl {
+		return p, ErrNotIPv4
+	}
+	p.Proto = ip[9]
+	p.SrcIP = binary.BigEndian.Uint32(ip[12:16])
+	p.DstIP = binary.BigEndian.Uint32(ip[16:20])
+	if p.Proto == protoTCP || p.Proto == protoUDP {
+		transport := ip[ihl:]
+		if len(transport) >= 4 {
+			p.SrcPort = binary.BigEndian.Uint16(transport[0:2])
+			p.DstPort = binary.BigEndian.Uint16(transport[2:4])
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,337 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+)
+
+func tcpPacket() flow.Packet {
+	return flow.Packet{
+		Time:    1500 * time.Millisecond,
+		Size:    1500,
+		SrcIP:   0x0a000001,
+		DstIP:   0xc0a80105,
+		SrcPort: 44321,
+		DstPort: 443,
+		Proto:   6,
+	}
+}
+
+func udpPacket() flow.Packet {
+	return flow.Packet{
+		Time:    2 * time.Second,
+		Size:    120,
+		SrcIP:   1,
+		DstIP:   2,
+		SrcPort: 53,
+		DstPort: 5353,
+		Proto:   17,
+	}
+}
+
+func icmpPacket() flow.Packet {
+	return flow.Packet{
+		Time:  3 * time.Second,
+		Size:  64,
+		SrcIP: 9,
+		DstIP: 10,
+		Proto: 1,
+	}
+}
+
+func roundTrip(t *testing.T, pkts []flow.Packet) []flow.Packet {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pkts {
+		if err := w.WritePacket(&pkts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []flow.Packet
+	for {
+		p, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p)
+	}
+}
+
+func TestRoundTripTCPUDPICMP(t *testing.T) {
+	in := []flow.Packet{tcpPacket(), udpPacket(), icmpPacket()}
+	out := roundTrip(t, in)
+	if len(out) != len(in) {
+		t.Fatalf("round trip: %d packets, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("packet %d: got %+v want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestMicrosecondTimestampPrecision(t *testing.T) {
+	p := tcpPacket()
+	p.Time = 7*time.Second + 123456*time.Microsecond + 789*time.Nanosecond
+	out := roundTrip(t, []flow.Packet{p})
+	// Sub-microsecond precision is lost in the classic format.
+	want := 7*time.Second + 123456*time.Microsecond
+	if out[0].Time != want {
+		t.Errorf("time = %v, want %v", out[0].Time, want)
+	}
+}
+
+func TestSmallPacket(t *testing.T) {
+	p := tcpPacket()
+	p.Size = 40 // minimum TCP/IP packet
+	out := roundTrip(t, []flow.Packet{p})
+	if out[0].Size != 40 {
+		t.Errorf("size = %d", out[0].Size)
+	}
+}
+
+func TestNonIPv4FrameSkippable(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tcpPacket()
+	if err := w.WritePacket(&p); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt the ethertype of the single record into ARP (0x0806). The
+	// record starts after the 24-byte global header; ethertype is at offset
+	// 12 within the frame, frame starts after the 16-byte record header.
+	off := 24 + 16 + 12
+	binary.BigEndian.PutUint16(data[off:], 0x0806)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != ErrNotIPv4 {
+		t.Errorf("got %v, want ErrNotIPv4", err)
+	}
+	// Stream continues cleanly after the skip.
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("after skip: %v, want EOF", err)
+	}
+}
+
+func TestReaderBigEndian(t *testing.T) {
+	// Hand-build a big-endian capture with one minimal frame.
+	var buf bytes.Buffer
+	be := binary.BigEndian
+	for _, v := range []any{
+		uint32(magicUsecLE), // written BE => reader sees swapped magic
+		uint16(versionMajor), uint16(versionMinor),
+		int32(0), uint32(0), uint32(SnapLen), uint32(linkTypeEthernet),
+	} {
+		if err := binary.Write(&buf, be, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frame := make([]byte, etherHeaderLen+ipv4HeaderLen)
+	be.PutUint16(frame[12:], etherTypeIPv4)
+	frame[14] = 0x45
+	frame[23] = 47 // GRE: no ports
+	be.PutUint32(frame[26:], 0x01010101)
+	be.PutUint32(frame[30:], 0x02020202)
+	for _, v := range []uint32{10, 500000, uint32(len(frame)), uint32(len(frame))} {
+		if err := binary.Write(&buf, be, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf.Write(frame)
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SrcIP != 0x01010101 || p.DstIP != 0x02020202 || p.Proto != 47 {
+		t.Errorf("packet = %+v", p)
+	}
+	if p.Time != 10*time.Second+500*time.Millisecond {
+		t.Errorf("time = %v", p.Time)
+	}
+	if p.SrcPort != 0 || p.DstPort != 0 {
+		t.Error("GRE packet should have no ports")
+	}
+}
+
+func TestReaderNanosecondMagic(t *testing.T) {
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+	for _, v := range []any{
+		uint32(magicNsecLE),
+		uint16(versionMajor), uint16(versionMinor),
+		int32(0), uint32(0), uint32(SnapLen), uint32(linkTypeEthernet),
+	} {
+		if err := binary.Write(&buf, le, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frame := make([]byte, etherHeaderLen+ipv4HeaderLen)
+	binary.BigEndian.PutUint16(frame[12:], etherTypeIPv4)
+	frame[14] = 0x45
+	frame[23] = 6
+	for _, v := range []uint32{1, 999, uint32(len(frame)), uint32(len(frame))} {
+		if err := binary.Write(&buf, le, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf.Write(frame)
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Time != time.Second+999*time.Nanosecond {
+		t.Errorf("nanosecond time = %v", p.Time)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	t.Run("bad magic", func(t *testing.T) {
+		if _, err := NewReader(bytes.NewReader(make([]byte, 24))); err == nil {
+			t.Error("zero magic accepted")
+		}
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		b := binary.LittleEndian.AppendUint32(nil, magicUsecLE)
+		if _, err := NewReader(bytes.NewReader(b)); err == nil {
+			t.Error("truncated header accepted")
+		}
+	})
+	t.Run("bad link type", func(t *testing.T) {
+		var buf bytes.Buffer
+		for _, v := range []any{
+			uint32(magicUsecLE), uint16(2), uint16(4),
+			int32(0), uint32(0), uint32(SnapLen), uint32(101), // raw IP
+		} {
+			binary.Write(&buf, binary.LittleEndian, v)
+		}
+		if _, err := NewReader(&buf); err == nil {
+			t.Error("non-Ethernet link type accepted")
+		}
+	})
+	t.Run("truncated record", func(t *testing.T) {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		p := tcpPacket()
+		w.WritePacket(&p)
+		w.Flush()
+		data := buf.Bytes()[:buf.Len()-5]
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Next(); err == nil || err == io.EOF {
+			t.Errorf("truncated record gave %v", err)
+		}
+	})
+}
+
+func TestWriterOutputParseableHeaders(t *testing.T) {
+	// Check the synthesized IPv4 total-length field carries the wire size.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tcpPacket()
+	if err := w.WritePacket(&p); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	data := buf.Bytes()
+	ipStart := 24 + 16 + etherHeaderLen
+	totalLen := binary.BigEndian.Uint16(data[ipStart+2:])
+	if uint32(totalLen) != p.Size {
+		t.Errorf("IP total length %d, want %d", totalLen, p.Size)
+	}
+}
+
+func BenchmarkWriteRead(b *testing.B) {
+	pkts := []flow.Packet{tcpPacket(), udpPacket()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		for j := range pkts {
+			w.WritePacket(&pkts[j])
+		}
+		w.Flush()
+		r, _ := NewReader(&buf)
+		for {
+			if _, err := r.Next(); err == io.EOF {
+				break
+			}
+		}
+	}
+}
+
+// failAfter errors once n bytes have been written, to exercise the
+// writers' error propagation.
+type failAfter struct {
+	n int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errBoom
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, errBoom
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+var errBoom = io.ErrClosedPipe
+
+func TestWriterPropagatesErrors(t *testing.T) {
+	// Header write fails.
+	if _, err := NewWriter(&failAfter{n: 3}); err == nil {
+		// NewWriter buffers; the error may surface at flush instead.
+		w, _ := NewWriter(&failAfter{n: 3})
+		if w != nil {
+			p := tcpPacket()
+			w.WritePacket(&p)
+			if err := w.Flush(); err == nil {
+				t.Error("write error never surfaced")
+			}
+		}
+	}
+}

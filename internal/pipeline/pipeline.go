@@ -1,0 +1,174 @@
+// Package pipeline shards a measurement device across goroutines the way a
+// multi-queue NIC (RSS) shards packets across cores: flows are hashed to
+// shards, each shard runs its own independent algorithm instance, and
+// interval reports are merged. Because sharding is per flow, each flow is
+// measured by exactly one instance and the merged report has the same
+// per-flow guarantees (lower bounds, no false negatives at the per-shard
+// threshold) as a single instance.
+//
+// This is the software analogue of the paper's observation that its
+// algorithms parallelize: the per-packet work is a few independent memory
+// references, so throughput scales with lanes.
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/hashing"
+)
+
+// Config configures a sharded pipeline.
+type Config struct {
+	// Shards is the number of parallel lanes.
+	Shards int
+	// QueueDepth is each lane's channel capacity.
+	QueueDepth int
+	// NewAlgorithm builds one lane's algorithm instance. Instances must be
+	// independent (separate state); shard is 0-based.
+	NewAlgorithm func(shard int) (core.Algorithm, error)
+	// Definition extracts flow keys; sharding hashes these keys.
+	Definition flow.Definition
+	// Seed seeds the shard-selection hash.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Shards < 1 {
+		return fmt.Errorf("pipeline: Shards = %d", c.Shards)
+	}
+	if c.QueueDepth < 1 {
+		return fmt.Errorf("pipeline: QueueDepth = %d", c.QueueDepth)
+	}
+	if c.NewAlgorithm == nil || c.Definition == nil {
+		return fmt.Errorf("pipeline: NewAlgorithm and Definition are required")
+	}
+	return nil
+}
+
+// Report is one merged interval report.
+type Report struct {
+	Interval  int
+	Estimates []core.Estimate
+	// PerShard is the number of estimates contributed by each shard.
+	PerShard []int
+}
+
+type op struct {
+	key  flow.Key
+	size uint32
+	// flush, when non-nil, asks the lane to close the interval and reply
+	// with its estimates.
+	flush chan []core.Estimate
+}
+
+// Pipeline implements trace.Consumer over sharded lanes.
+type Pipeline struct {
+	cfg     Config
+	shardFn hashing.Func
+	lanes   []chan op
+	algs    []core.Algorithm
+	wg      sync.WaitGroup
+	reports []Report
+	closed  bool
+}
+
+// New builds and starts a pipeline; call Close when done.
+func New(cfg Config) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		cfg:     cfg,
+		shardFn: hashing.NewTabulation(cfg.Seed).New(uint32(cfg.Shards)),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		alg, err := cfg.NewAlgorithm(i)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("pipeline: shard %d: %w", i, err)
+		}
+		ch := make(chan op, cfg.QueueDepth)
+		p.lanes = append(p.lanes, ch)
+		p.algs = append(p.algs, alg)
+		p.wg.Add(1)
+		go p.run(alg, ch)
+	}
+	return p, nil
+}
+
+func (p *Pipeline) run(alg core.Algorithm, ch chan op) {
+	defer p.wg.Done()
+	for o := range ch {
+		if o.flush != nil {
+			o.flush <- alg.EndInterval()
+			continue
+		}
+		alg.Process(o.key, o.size)
+	}
+}
+
+// Packet implements trace.Consumer: it hashes the packet's flow to a lane
+// and enqueues it.
+func (p *Pipeline) Packet(pkt *flow.Packet) {
+	key := p.cfg.Definition.Key(pkt)
+	p.lanes[p.shardFn.Bucket(key)] <- op{key: key, size: pkt.Size}
+}
+
+// EndInterval implements trace.Consumer: it barriers all lanes (each lane
+// drains its queue before answering, because the channel is FIFO) and
+// merges their reports.
+func (p *Pipeline) EndInterval(interval int) {
+	replies := make([]chan []core.Estimate, len(p.lanes))
+	for i, ch := range p.lanes {
+		replies[i] = make(chan []core.Estimate, 1)
+		ch <- op{flush: replies[i]}
+	}
+	r := Report{Interval: interval, PerShard: make([]int, len(p.lanes))}
+	for i, reply := range replies {
+		ests := <-reply
+		r.PerShard[i] = len(ests)
+		r.Estimates = append(r.Estimates, ests...)
+	}
+	sort.Slice(r.Estimates, func(i, j int) bool {
+		a, b := r.Estimates[i], r.Estimates[j]
+		if a.Bytes != b.Bytes {
+			return a.Bytes > b.Bytes
+		}
+		if a.Key.Hi != b.Key.Hi {
+			return a.Key.Hi > b.Key.Hi
+		}
+		return a.Key.Lo > b.Key.Lo
+	})
+	p.reports = append(p.reports, r)
+}
+
+// Reports returns the merged interval reports.
+func (p *Pipeline) Reports() []Report { return p.reports }
+
+// EntriesUsed sums flow-memory usage across lanes. Only meaningful between
+// intervals (lanes may be mid-packet otherwise).
+func (p *Pipeline) EntriesUsed() int {
+	total := 0
+	for _, a := range p.algs {
+		total += a.EntriesUsed()
+	}
+	return total
+}
+
+// Close stops the lanes and waits for them to drain. The pipeline must not
+// be used afterwards.
+func (p *Pipeline) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, ch := range p.lanes {
+		close(ch)
+	}
+	p.wg.Wait()
+}

@@ -1,0 +1,298 @@
+package pipeline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/core/multistage"
+	"repro/internal/core/sampleandhold"
+	"repro/internal/exact"
+	"repro/internal/flow"
+	"repro/internal/trace"
+)
+
+func shConfig(entries int) func(int) (core.Algorithm, error) {
+	return func(shard int) (core.Algorithm, error) {
+		return sampleandhold.New(sampleandhold.Config{
+			Entries:      entries,
+			Threshold:    10,
+			Oversampling: 10, // p = 1: exact tracking
+			Seed:         int64(shard),
+		})
+	}
+}
+
+func testTrace(nFlows, pkts int, intervals int) (*trace.SliceSource, trace.Meta) {
+	meta := trace.Meta{
+		Name:            "pipe",
+		LinkBytesPerSec: 1e8,
+		Interval:        time.Second,
+		Intervals:       intervals,
+	}
+	rng := rand.New(rand.NewSource(1))
+	var ps []flow.Packet
+	for iv := 0; iv < intervals; iv++ {
+		base := time.Duration(iv) * time.Second
+		for i := 0; i < pkts; i++ {
+			ps = append(ps, flow.Packet{
+				Time:  base + time.Duration(i)*time.Microsecond,
+				Size:  uint32(rng.Intn(1460) + 40),
+				SrcIP: uint32(rng.Intn(nFlows)),
+				DstIP: 1, Proto: 6,
+			})
+		}
+	}
+	return trace.NewSliceSource(meta, ps), meta
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Shards: 4, QueueDepth: 64, NewAlgorithm: shConfig(16), Definition: flow.FiveTuple{}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []Config{
+		{Shards: 0, QueueDepth: 1, NewAlgorithm: shConfig(1), Definition: flow.FiveTuple{}},
+		{Shards: 1, QueueDepth: 0, NewAlgorithm: shConfig(1), Definition: flow.FiveTuple{}},
+		{Shards: 1, QueueDepth: 1, Definition: flow.FiveTuple{}},
+		{Shards: 1, QueueDepth: 1, NewAlgorithm: shConfig(1)},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("New with zero config succeeded")
+	}
+}
+
+// TestMatchesExactOracle: with p=1 sample and hold and ample memory, the
+// sharded pipeline's merged report equals exact per-flow counting.
+func TestMatchesExactOracle(t *testing.T) {
+	src, _ := testTrace(200, 5000, 2)
+	p, err := New(Config{
+		Shards:       4,
+		QueueDepth:   256,
+		NewAlgorithm: shConfig(1000),
+		Definition:   flow.FiveTuple{},
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	oracle := exact.New(flow.FiveTuple{})
+	var truths []map[flow.Key]uint64
+	tee := trace.FuncConsumer{
+		OnPacket: func(pk *flow.Packet) {
+			oracle.Packet(pk)
+			p.Packet(pk)
+		},
+		OnEndInterval: func(i int) {
+			truths = append(truths, oracle.Snapshot())
+			oracle.Reset()
+			p.EndInterval(i)
+		},
+	}
+	if _, err := trace.Replay(src, tee); err != nil {
+		t.Fatal(err)
+	}
+	reports := p.Reports()
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	for i, r := range reports {
+		if len(r.Estimates) != len(truths[i]) {
+			t.Fatalf("interval %d: %d estimates, %d true flows", i, len(r.Estimates), len(truths[i]))
+		}
+		for _, e := range r.Estimates {
+			if truths[i][e.Key] != e.Bytes {
+				t.Fatalf("interval %d flow %v: %d, want %d", i, e.Key, e.Bytes, truths[i][e.Key])
+			}
+		}
+	}
+}
+
+// TestFlowsNeverSplitAcrossShards: every flow's estimates come from exactly
+// one shard, so no flow is double-reported.
+func TestFlowsNeverSplitAcrossShards(t *testing.T) {
+	src, _ := testTrace(100, 3000, 1)
+	p, err := New(Config{
+		Shards:       8,
+		QueueDepth:   128,
+		NewAlgorithm: shConfig(1000),
+		Definition:   flow.FiveTuple{},
+		Seed:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := trace.Replay(src, p); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[flow.Key]int{}
+	for _, e := range p.Reports()[0].Estimates {
+		seen[e.Key]++
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Errorf("flow %v reported %d times", k, n)
+		}
+	}
+	// Work actually spread across shards.
+	nonEmpty := 0
+	for _, n := range p.Reports()[0].PerShard {
+		if n > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		t.Errorf("only %d shards did any work", nonEmpty)
+	}
+}
+
+// TestMultistageNoFalseNegativesSharded: the per-shard filters keep the
+// paper's guarantee after merging.
+func TestMultistageNoFalseNegativesSharded(t *testing.T) {
+	const threshold = 50000
+	src, _ := testTrace(300, 20000, 1)
+	p, err := New(Config{
+		Shards:     4,
+		QueueDepth: 256,
+		NewAlgorithm: func(shard int) (core.Algorithm, error) {
+			return multistage.New(multistage.Config{
+				Stages: 3, Buckets: 64, Entries: 100000,
+				Threshold: threshold, Conservative: true,
+				Seed: int64(shard) + 10,
+			})
+		},
+		Definition: flow.FiveTuple{},
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	oracle := exact.New(flow.FiveTuple{})
+	tee := trace.FuncConsumer{
+		OnPacket: func(pk *flow.Packet) {
+			oracle.Packet(pk)
+			p.Packet(pk)
+		},
+		OnEndInterval: p.EndInterval,
+	}
+	if _, err := trace.Replay(src, tee); err != nil {
+		t.Fatal(err)
+	}
+	reported := map[flow.Key]bool{}
+	for _, e := range p.Reports()[0].Estimates {
+		reported[e.Key] = true
+	}
+	for k, bytes := range oracle.Snapshot() {
+		if bytes >= threshold && !reported[k] {
+			t.Errorf("flow %v with %d bytes missed by sharded filter", k, bytes)
+		}
+	}
+}
+
+func TestEntriesUsedAndClose(t *testing.T) {
+	p, err := New(Config{
+		Shards:       2,
+		QueueDepth:   16,
+		NewAlgorithm: shConfig(100),
+		Definition:   flow.FiveTuple{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := flow.Packet{Size: 100, SrcIP: 1, DstIP: 2, Proto: 6}
+	p.Packet(&pk)
+	p.EndInterval(0) // barrier: lane has processed the packet
+	if got := len(p.Reports()[0].Estimates); got != 1 {
+		t.Errorf("estimates = %d", got)
+	}
+	p.Close()
+	p.Close() // idempotent
+}
+
+func BenchmarkPipelineThroughput(b *testing.B) {
+	p, err := New(Config{
+		Shards:       4,
+		QueueDepth:   1024,
+		NewAlgorithm: shConfig(4096),
+		Definition:   flow.FiveTuple{},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	pk := flow.Packet{Size: 1000, DstIP: 2, Proto: 6}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pk.SrcIP = uint32(i % 10000)
+		p.Packet(&pk)
+	}
+	b.StopTimer()
+	p.EndInterval(0)
+}
+
+func TestEntriesUsedSumsLanes(t *testing.T) {
+	p, err := New(Config{
+		Shards:       4,
+		QueueDepth:   64,
+		NewAlgorithm: shConfig(100),
+		Definition:   flow.FiveTuple{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 40; i++ {
+		pk := flow.Packet{Size: 100, SrcIP: uint32(i), DstIP: 2, Proto: 6}
+		p.Packet(&pk)
+	}
+	p.EndInterval(0) // barrier so lanes have drained
+	// p=1 sampling with Preserve off: entries were reported then cleared.
+	if got := p.EntriesUsed(); got != 0 {
+		t.Errorf("EntriesUsed after interval = %d", got)
+	}
+	for i := 0; i < 7; i++ {
+		pk := flow.Packet{Size: 100, SrcIP: uint32(i), DstIP: 2, Proto: 6}
+		p.Packet(&pk)
+	}
+	p.EndInterval(1)
+	if got := len(p.Reports()[1].Estimates); got != 7 {
+		t.Errorf("estimates = %d, want 7", got)
+	}
+}
+
+func TestNewFailsWhenShardConstructorFails(t *testing.T) {
+	calls := 0
+	_, err := New(Config{
+		Shards:     3,
+		QueueDepth: 8,
+		NewAlgorithm: func(shard int) (core.Algorithm, error) {
+			calls++
+			if shard == 1 {
+				return nil, errShard
+			}
+			return shConfig(8)(shard)
+		},
+		Definition: flow.FiveTuple{},
+	})
+	if err == nil {
+		t.Fatal("failing shard constructor accepted")
+	}
+	if calls != 2 {
+		t.Errorf("constructor called %d times, want 2 (stop at failure)", calls)
+	}
+}
+
+var errShard = errors.New("shard construction failed")

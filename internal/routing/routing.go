@@ -1,0 +1,199 @@
+// Package routing implements longest-prefix-match lookup from IPv4 addresses
+// to autonomous system numbers.
+//
+// The paper's AS-pair flow definition requires mapping each packet's source
+// and destination address to an AS via route lookups (Section 1.1 allows the
+// flow identifier to be a function of header fields "based on a mapping using
+// route tables"). The paper could not apply this definition to its anonymized
+// traces; our synthetic traces carry addresses drawn from a synthetic AS
+// topology built with Synthetic, so the definition works end to end.
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/flow"
+)
+
+// Table is a binary trie mapping IPv4 prefixes to AS numbers with
+// longest-prefix-match semantics.
+type Table struct {
+	root *node
+	n    int
+}
+
+type node struct {
+	child [2]*node
+	as    uint16
+	valid bool
+}
+
+// NewTable returns an empty routing table.
+func NewTable() *Table { return &Table{root: &node{}} }
+
+// Len returns the number of prefixes in the table.
+func (t *Table) Len() int { return t.n }
+
+// Insert adds a route for the prefix addr/length to the given AS. Inserting
+// the same prefix twice overwrites the previous AS. It returns an error if
+// length is outside [0, 32].
+func (t *Table) Insert(addr uint32, length int, as uint16) error {
+	if length < 0 || length > 32 {
+		return fmt.Errorf("routing: prefix length %d out of range", length)
+	}
+	cur := t.root
+	for i := 0; i < length; i++ {
+		bit := (addr >> (31 - i)) & 1
+		if cur.child[bit] == nil {
+			cur.child[bit] = &node{}
+		}
+		cur = cur.child[bit]
+	}
+	if !cur.valid {
+		t.n++
+	}
+	cur.as = as
+	cur.valid = true
+	return nil
+}
+
+// Lookup returns the AS of the longest matching prefix for addr. The second
+// result is false when no prefix matches.
+func (t *Table) Lookup(addr uint32) (uint16, bool) {
+	var (
+		as    uint16
+		found bool
+	)
+	cur := t.root
+	for i := 0; ; i++ {
+		if cur.valid {
+			as, found = cur.as, true
+		}
+		if i == 32 {
+			break
+		}
+		bit := (addr >> (31 - i)) & 1
+		if cur.child[bit] == nil {
+			break
+		}
+		cur = cur.child[bit]
+	}
+	return as, found
+}
+
+// Annotate fills in the SrcAS and DstAS fields of p from the table,
+// leaving a field zero when no route matches.
+func (t *Table) Annotate(p *flow.Packet) {
+	if as, ok := t.Lookup(p.SrcIP); ok {
+		p.SrcAS = as
+	} else {
+		p.SrcAS = 0
+	}
+	if as, ok := t.Lookup(p.DstIP); ok {
+		p.DstAS = as
+	} else {
+		p.DstAS = 0
+	}
+}
+
+// Topology is a synthetic AS-level topology: a set of ASes each owning one
+// or more /16 or /24 prefixes, plus the routing table covering them. The
+// trace generator draws addresses from it so that AS-pair aggregation of the
+// synthetic traces behaves like the paper's MAG trace (where ~100k 5-tuple
+// flows collapse to ~7.4k AS pairs).
+type Topology struct {
+	// Table maps every address the topology can generate to its AS.
+	Table *Table
+	// Prefixes lists the generated prefixes; Prefixes[i] belongs to
+	// PrefixAS[i].
+	Prefixes []Prefix
+	PrefixAS []uint16
+	ases     []uint16
+}
+
+// Prefix is an IPv4 prefix.
+type Prefix struct {
+	Addr   uint32
+	Length int
+}
+
+// String renders the prefix in CIDR notation.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", flow.IPString(p.Addr), p.Length)
+}
+
+// Contains reports whether addr falls inside the prefix.
+func (p Prefix) Contains(addr uint32) bool {
+	if p.Length == 0 {
+		return true
+	}
+	mask := ^uint32(0) << (32 - p.Length)
+	return addr&mask == p.Addr&mask
+}
+
+// RandomAddr draws a uniform random address inside the prefix.
+func (p Prefix) RandomAddr(rng *rand.Rand) uint32 {
+	if p.Length >= 32 {
+		return p.Addr
+	}
+	hostBits := 32 - p.Length
+	mask := ^uint32(0) << hostBits
+	return p.Addr&mask | uint32(rng.Int63())&^mask
+}
+
+// Synthetic builds a topology with the given number of ASes, seeded
+// deterministically. Each AS receives between one and three /16 prefixes
+// carved from distinct high-order blocks, so prefixes never overlap. It
+// panics if nASes is not in [1, 20000].
+func Synthetic(nASes int, seed int64) *Topology {
+	if nASes < 1 || nASes > 20000 {
+		panic("routing: nASes out of range")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	topo := &Topology{Table: NewTable()}
+	// Enumerate /16 blocks 1.0.0.0/16 .. upward, shuffled assignment of
+	// 1..3 blocks per AS.
+	next := uint32(1 << 24) // start at 1.0.0.0 to avoid 0.x addresses
+	for i := 0; i < nASes; i++ {
+		as := uint16(i + 1)
+		topo.ases = append(topo.ases, as)
+		blocks := 1 + rng.Intn(3)
+		for b := 0; b < blocks; b++ {
+			p := Prefix{Addr: next, Length: 16}
+			next += 1 << 16
+			topo.Prefixes = append(topo.Prefixes, p)
+			topo.PrefixAS = append(topo.PrefixAS, as)
+			if err := topo.Table.Insert(p.Addr, p.Length, as); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return topo
+}
+
+// ASes returns the AS numbers in the topology in ascending order.
+func (t *Topology) ASes() []uint16 {
+	out := append([]uint16(nil), t.ases...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RandomAddrInAS draws a random address belonging to the given AS. It
+// returns false if the AS owns no prefix.
+func (t *Topology) RandomAddrInAS(as uint16, rng *rand.Rand) (uint32, bool) {
+	// Collect candidate prefixes lazily; topologies are small enough that a
+	// linear scan is fine for generation-time use.
+	var candidates []Prefix
+	for i, owner := range t.PrefixAS {
+		if owner == as {
+			candidates = append(candidates, t.Prefixes[i])
+		}
+	}
+	if len(candidates) == 0 {
+		return 0, false
+	}
+	p := candidates[rng.Intn(len(candidates))]
+	return p.RandomAddr(rng), true
+}

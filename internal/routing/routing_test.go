@@ -1,0 +1,273 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flow"
+)
+
+func mustInsert(t *testing.T, tab *Table, addr uint32, length int, as uint16) {
+	t.Helper()
+	if err := tab.Insert(addr, length, as); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+}
+
+func TestLookupEmpty(t *testing.T) {
+	tab := NewTable()
+	if _, ok := tab.Lookup(0x01020304); ok {
+		t.Error("lookup in empty table matched")
+	}
+	if tab.Len() != 0 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+}
+
+func TestLongestPrefixWins(t *testing.T) {
+	tab := NewTable()
+	mustInsert(t, tab, 0x0a000000, 8, 100)  // 10.0.0.0/8 -> AS100
+	mustInsert(t, tab, 0x0a010000, 16, 200) // 10.1.0.0/16 -> AS200
+	mustInsert(t, tab, 0x0a010200, 24, 300) // 10.1.2.0/24 -> AS300
+
+	tests := []struct {
+		addr uint32
+		want uint16
+	}{
+		{0x0a050505, 100}, // 10.5.5.5 matches only /8
+		{0x0a010505, 200}, // 10.1.5.5 matches /16
+		{0x0a010203, 300}, // 10.1.2.3 matches /24
+	}
+	for _, tt := range tests {
+		got, ok := tab.Lookup(tt.addr)
+		if !ok || got != tt.want {
+			t.Errorf("Lookup(%s) = %d,%v want %d", flow.IPString(tt.addr), got, ok, tt.want)
+		}
+	}
+	if _, ok := tab.Lookup(0x0b000000); ok {
+		t.Error("11.0.0.0 should not match")
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	tab := NewTable()
+	mustInsert(t, tab, 0, 0, 1)
+	mustInsert(t, tab, 0xc0000000, 2, 2)
+	if as, ok := tab.Lookup(0x01020304); !ok || as != 1 {
+		t.Errorf("default route: got %d,%v", as, ok)
+	}
+	if as, ok := tab.Lookup(0xc0a80101); !ok || as != 2 {
+		t.Errorf("/2 route: got %d,%v", as, ok)
+	}
+}
+
+func TestHostRoute(t *testing.T) {
+	tab := NewTable()
+	mustInsert(t, tab, 0x01020304, 32, 7)
+	if as, ok := tab.Lookup(0x01020304); !ok || as != 7 {
+		t.Errorf("host route: got %d,%v", as, ok)
+	}
+	if _, ok := tab.Lookup(0x01020305); ok {
+		t.Error("adjacent address matched host route")
+	}
+}
+
+func TestInsertOverwriteAndLen(t *testing.T) {
+	tab := NewTable()
+	mustInsert(t, tab, 0x0a000000, 8, 1)
+	mustInsert(t, tab, 0x0a000000, 8, 9)
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d after overwrite", tab.Len())
+	}
+	if as, _ := tab.Lookup(0x0a000001); as != 9 {
+		t.Errorf("overwrite not applied, as = %d", as)
+	}
+}
+
+func TestInsertBadLength(t *testing.T) {
+	tab := NewTable()
+	if err := tab.Insert(0, -1, 1); err == nil {
+		t.Error("negative length accepted")
+	}
+	if err := tab.Insert(0, 33, 1); err == nil {
+		t.Error("length 33 accepted")
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	tab := NewTable()
+	mustInsert(t, tab, 0x0a000000, 8, 11)
+	mustInsert(t, tab, 0x14000000, 8, 22)
+	p := &flow.Packet{SrcIP: 0x0a010101, DstIP: 0x14010101, SrcAS: 99, DstAS: 99}
+	tab.Annotate(p)
+	if p.SrcAS != 11 || p.DstAS != 22 {
+		t.Errorf("annotate: got %d,%d", p.SrcAS, p.DstAS)
+	}
+	// Unroutable addresses must be zeroed, not left stale.
+	q := &flow.Packet{SrcIP: 0xdeadbeef, DstIP: 0x0a000001, SrcAS: 99, DstAS: 99}
+	tab.Annotate(q)
+	if q.SrcAS != 0 || q.DstAS != 11 {
+		t.Errorf("annotate unroutable: got %d,%d", q.SrcAS, q.DstAS)
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := Prefix{Addr: 0x0a010000, Length: 16}
+	if !p.Contains(0x0a01ffff) || p.Contains(0x0a020000) {
+		t.Error("Contains wrong for /16")
+	}
+	all := Prefix{Length: 0}
+	if !all.Contains(0xffffffff) || !all.Contains(0) {
+		t.Error("/0 should contain everything")
+	}
+}
+
+func TestPrefixRandomAddrInside(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := Prefix{Addr: 0x0a010000, Length: 16}
+	for i := 0; i < 1000; i++ {
+		if a := p.RandomAddr(rng); !p.Contains(a) {
+			t.Fatalf("RandomAddr produced %s outside %s", flow.IPString(a), p)
+		}
+	}
+	host := Prefix{Addr: 0x01020304, Length: 32}
+	if host.RandomAddr(rng) != 0x01020304 {
+		t.Error("/32 RandomAddr should return the address itself")
+	}
+}
+
+func TestPrefixString(t *testing.T) {
+	p := Prefix{Addr: 0x0a010000, Length: 16}
+	if p.String() != "10.1.0.0/16" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestSyntheticTopologyConsistent(t *testing.T) {
+	topo := Synthetic(100, 42)
+	if len(topo.ASes()) != 100 {
+		t.Fatalf("ASes = %d", len(topo.ASes()))
+	}
+	if len(topo.Prefixes) != len(topo.PrefixAS) {
+		t.Fatal("prefix/AS length mismatch")
+	}
+	// Every generated address must route back to its owning AS.
+	rng := rand.New(rand.NewSource(7))
+	for i, p := range topo.Prefixes {
+		addr := p.RandomAddr(rng)
+		as, ok := topo.Table.Lookup(addr)
+		if !ok || as != topo.PrefixAS[i] {
+			t.Errorf("addr %s in %s: lookup %d,%v want %d",
+				flow.IPString(addr), p, as, ok, topo.PrefixAS[i])
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(50, 9)
+	b := Synthetic(50, 9)
+	if len(a.Prefixes) != len(b.Prefixes) {
+		t.Fatal("same seed, different prefix counts")
+	}
+	for i := range a.Prefixes {
+		if a.Prefixes[i] != b.Prefixes[i] || a.PrefixAS[i] != b.PrefixAS[i] {
+			t.Fatal("same seed, different topology")
+		}
+	}
+}
+
+func TestRandomAddrInAS(t *testing.T) {
+	topo := Synthetic(20, 3)
+	rng := rand.New(rand.NewSource(5))
+	for _, as := range topo.ASes() {
+		addr, ok := topo.RandomAddrInAS(as, rng)
+		if !ok {
+			t.Fatalf("AS%d has no prefix", as)
+		}
+		if got, ok := topo.Table.Lookup(addr); !ok || got != as {
+			t.Errorf("address from AS%d routes to AS%d", as, got)
+		}
+	}
+	if _, ok := topo.RandomAddrInAS(9999, rng); ok {
+		t.Error("unknown AS returned an address")
+	}
+}
+
+func TestSyntheticPanicsOutOfRange(t *testing.T) {
+	for _, n := range []int{0, -1, 20001} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Synthetic(%d) did not panic", n)
+				}
+			}()
+			Synthetic(n, 1)
+		}()
+	}
+}
+
+// TestLookupMatchesLinearScan cross-checks the trie against a brute-force
+// prefix scan on random tables.
+func TestLookupMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	type route struct {
+		p  Prefix
+		as uint16
+	}
+	tab := NewTable()
+	var routes []route
+	for i := 0; i < 200; i++ {
+		length := rng.Intn(25) + 8
+		addr := uint32(rng.Int63())
+		mask := ^uint32(0) << (32 - length)
+		addr &= mask
+		as := uint16(rng.Intn(1000) + 1)
+		mustInsert(t, tab, addr, length, as)
+		// Mirror the overwrite semantics of the trie.
+		replaced := false
+		for j := range routes {
+			if routes[j].p.Length == length && routes[j].p.Addr == addr {
+				routes[j].as = as
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			routes = append(routes, route{Prefix{addr, length}, as})
+		}
+	}
+	linear := func(addr uint32) (uint16, bool) {
+		best := -1
+		var as uint16
+		for _, r := range routes {
+			if r.p.Contains(addr) && r.p.Length > best {
+				best = r.p.Length
+				as = r.as
+			}
+		}
+		return as, best >= 0
+	}
+	f := func(addr uint32) bool {
+		a1, ok1 := tab.Lookup(addr)
+		a2, ok2 := linear(addr)
+		return ok1 == ok2 && (!ok1 || a1 == a2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	topo := Synthetic(5000, 1)
+	rng := rand.New(rand.NewSource(2))
+	addrs := make([]uint32, 1024)
+	for i := range addrs {
+		addrs[i] = topo.Prefixes[rng.Intn(len(topo.Prefixes))].RandomAddr(rng)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topo.Table.Lookup(addrs[i&1023])
+	}
+}

@@ -1,0 +1,205 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+)
+
+func key(i uint64) flow.Key { return flow.Key{Lo: i} }
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Entries: 10, Probability: 0.1}).Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	bad := []Config{
+		{Entries: 0, Probability: 0.1},
+		{Entries: 10, Probability: 0},
+		{Entries: 10, Probability: 1.1},
+		{Entries: 10, Probability: -0.5},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("New with zero config succeeded")
+	}
+}
+
+func TestProbabilityOneIsExact(t *testing.T) {
+	s, err := New(Config{Entries: 10, Probability: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		s.Process(key(1), 100)
+	}
+	est := s.EndInterval()
+	if len(est) != 1 || est[0].Bytes != 1000 {
+		t.Fatalf("estimates = %v", est)
+	}
+}
+
+func TestEstimateUnbiasedOnAverage(t *testing.T) {
+	// Renormalized sampling is unbiased: averaged over many runs the
+	// estimate converges on the truth.
+	const (
+		p     = 0.05
+		pkts  = 2000
+		size  = 500
+		truth = pkts * size
+		runs  = 200
+	)
+	var sum float64
+	for seed := int64(0); seed < runs; seed++ {
+		s, err := New(Config{Entries: 10, Probability: p, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < pkts; i++ {
+			s.Process(key(1), size)
+		}
+		for _, e := range s.EndInterval() {
+			sum += float64(e.Bytes)
+		}
+	}
+	avg := sum / runs
+	if math.Abs(avg-truth)/truth > 0.05 {
+		t.Errorf("average estimate %.0f, want ~%d", avg, truth)
+	}
+}
+
+func TestErrorScalesAsSqrtM(t *testing.T) {
+	// The paper's Table 1: sampling's relative error goes as 1/sqrt(Mz) —
+	// equivalently, quadrupling the sampling probability should only halve
+	// the error. Measure the empirical SD of the estimate at two rates.
+	sd := func(p float64) float64 {
+		const pkts, size = 5000, 500
+		truth := float64(pkts * size)
+		var sumSq float64
+		const runs = 300
+		for seed := int64(0); seed < runs; seed++ {
+			s, err := New(Config{Entries: 4, Probability: p, Seed: seed + 1000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < pkts; i++ {
+				s.Process(key(1), size)
+			}
+			var est float64
+			for _, e := range s.EndInterval() {
+				est = float64(e.Bytes)
+			}
+			d := est - truth
+			sumSq += d * d
+		}
+		return math.Sqrt(sumSq / runs)
+	}
+	sdLow, sdHigh := sd(0.01), sd(0.04)
+	ratio := sdLow / sdHigh
+	// Expect ~2 (sqrt(4)); allow sampling noise.
+	if ratio < 1.5 || ratio > 2.7 {
+		t.Errorf("error ratio for 4x sampling = %.2f, want ~2 (sqrt scaling)", ratio)
+	}
+}
+
+func TestEntriesBounded(t *testing.T) {
+	s, err := New(Config{Entries: 5, Probability: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		s.Process(key(i), 100)
+	}
+	if s.EntriesUsed() != 5 {
+		t.Errorf("EntriesUsed = %d, want 5", s.EntriesUsed())
+	}
+	if s.Capacity() != 5 {
+		t.Errorf("Capacity = %d", s.Capacity())
+	}
+}
+
+func TestExistingEntryUpdatesWhenFull(t *testing.T) {
+	s, err := New(Config{Entries: 1, Probability: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Process(key(1), 100)
+	s.Process(key(2), 100) // table full: dropped
+	s.Process(key(1), 100) // existing entry still updates
+	est := s.EndInterval()
+	if len(est) != 1 || est[0].Bytes != 200 {
+		t.Errorf("estimates = %v", est)
+	}
+}
+
+func TestMemoryAccessesFractional(t *testing.T) {
+	s, err := New(Config{Entries: 100, Probability: 0.1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		s.Process(key(1), 100)
+	}
+	// ~0.2 accesses/packet (10% of packets touch memory, read+write each).
+	if got := s.Mem().PerPacket(); got < 0.1 || got > 0.3 {
+		t.Errorf("PerPacket = %g, want ~0.2", got)
+	}
+}
+
+func TestEndIntervalClearsAndInterface(t *testing.T) {
+	var _ core.Algorithm = (*Sampler)(nil)
+	s, err := New(Config{Entries: 10, Probability: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Process(key(1), 100)
+	s.EndInterval()
+	if s.EntriesUsed() != 0 {
+		t.Error("entries survived transition")
+	}
+	if s.Name() != "ordinary-sampling" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	s.SetThreshold(0)
+	if s.Threshold() != 1 {
+		t.Error("SetThreshold clamp")
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() []core.Estimate {
+		s, err := New(Config{Entries: 100, Probability: 0.3, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5000; i++ {
+			s.Process(key(uint64(i%37)), uint32(40+i%1400))
+		}
+		return s.EndInterval()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic report")
+		}
+	}
+}
+
+func BenchmarkProcess(b *testing.B) {
+	s, err := New(Config{Entries: 4096, Probability: 1.0 / 16, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Process(key(uint64(i%10000)), 1000)
+	}
+}

@@ -1,0 +1,183 @@
+// Package sketch implements the two modern heavy-hitter data structures
+// that descended from this paper's line of work — the Count-Min sketch
+// (Cormode & Muthukrishnan) and Space-Saving (Metwally et al.) — as
+// additional baselines. Both implement core.Algorithm, so they plug into
+// the same devices, experiments and benchmarks as the paper's algorithms.
+//
+// The contrasts they expose are instructive:
+//
+//   - Count-Min is the multistage filter's counter array used directly as
+//     the estimator (no exact per-flow "hold" phase); estimates are upper
+//     bounds, so they can overcharge in a billing application.
+//   - Space-Saving keeps a bounded table of (flow, count, error) entries
+//     with least-count eviction — the "evict the smallest" strategy the
+//     paper rejects in Section 3 can be made to work by inflating the
+//     newcomer's count, again at the price of overestimates.
+//   - The paper's algorithms instead report provable lower bounds and
+//     measure long-lived large flows exactly.
+package sketch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/hashing"
+	"repro/internal/memmodel"
+)
+
+// CountMinConfig configures a Count-Min sketch heavy hitter tracker.
+type CountMinConfig struct {
+	// Rows is the number of hash rows (depth d).
+	Rows int
+	// Columns is the width w of each row.
+	Columns int
+	// Entries bounds the candidate heavy-hitter table.
+	Entries int
+	// Threshold is the byte count at which a flow becomes a candidate.
+	Threshold uint64
+	// Conservative enables conservative update — the optimization this
+	// paper introduced, later adopted by the sketch literature.
+	Conservative bool
+	// Seed seeds the hash functions.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c CountMinConfig) Validate() error {
+	if c.Rows < 1 || c.Columns < 1 {
+		return fmt.Errorf("sketch: CountMin %dx%d", c.Rows, c.Columns)
+	}
+	if c.Entries < 1 {
+		return fmt.Errorf("sketch: Entries = %d", c.Entries)
+	}
+	if c.Threshold < 1 {
+		return fmt.Errorf("sketch: Threshold = %d", c.Threshold)
+	}
+	return nil
+}
+
+// CountMin implements core.Algorithm using a Count-Min sketch plus a
+// bounded candidate table holding the current sketch estimate for each flow
+// that ever exceeded the threshold.
+type CountMin struct {
+	cfg        CountMinConfig
+	rows       [][]uint64
+	hashes     []hashing.Func
+	candidates map[flow.Key]uint64
+	cost       memmodel.Counter
+	idx        []uint32
+}
+
+// NewCountMin creates a Count-Min tracker.
+func NewCountMin(cfg CountMinConfig) (*CountMin, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cm := &CountMin{
+		cfg:        cfg,
+		rows:       make([][]uint64, cfg.Rows),
+		hashes:     make([]hashing.Func, cfg.Rows),
+		candidates: make(map[flow.Key]uint64, cfg.Entries),
+		idx:        make([]uint32, cfg.Rows),
+	}
+	family := hashing.NewTabulation(cfg.Seed)
+	for i := range cm.rows {
+		cm.rows[i] = make([]uint64, cfg.Columns)
+		cm.hashes[i] = family.New(uint32(cfg.Columns))
+	}
+	return cm, nil
+}
+
+// Name implements core.Algorithm.
+func (cm *CountMin) Name() string { return "count-min" }
+
+// Estimate returns the sketch's current estimate for a flow: the minimum
+// over its row counters, an upper bound on the true count.
+func (cm *CountMin) Estimate(key flow.Key) uint64 {
+	min := uint64(1<<63 - 1)
+	for i, h := range cm.hashes {
+		if c := cm.rows[i][h.Bucket(key)]; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Process implements core.Algorithm.
+func (cm *CountMin) Process(key flow.Key, size uint32) {
+	cm.cost.Packet()
+	min := uint64(1<<63 - 1)
+	for i, h := range cm.hashes {
+		cm.idx[i] = h.Bucket(key)
+		cm.cost.SRAM(1, 0)
+		if c := cm.rows[i][cm.idx[i]]; c < min {
+			min = c
+		}
+	}
+	est := min + uint64(size)
+	if cm.cfg.Conservative {
+		for i := range cm.rows {
+			if cm.rows[i][cm.idx[i]] < est {
+				cm.rows[i][cm.idx[i]] = est
+				cm.cost.SRAM(0, 1)
+			}
+		}
+	} else {
+		for i := range cm.rows {
+			cm.rows[i][cm.idx[i]] += uint64(size)
+			cm.cost.SRAM(0, 1)
+		}
+		// The post-update estimate for the reporting decision.
+		est = cm.Estimate(key)
+	}
+	if est >= cm.cfg.Threshold {
+		if _, tracked := cm.candidates[key]; tracked || len(cm.candidates) < cm.cfg.Entries {
+			cm.candidates[key] = est
+			cm.cost.SRAM(0, 1)
+		}
+	}
+}
+
+// EndInterval implements core.Algorithm.
+func (cm *CountMin) EndInterval() []core.Estimate {
+	out := make([]core.Estimate, 0, len(cm.candidates))
+	for k, est := range cm.candidates {
+		out = append(out, core.Estimate{Key: k, Bytes: est})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		if out[i].Key.Hi != out[j].Key.Hi {
+			return out[i].Key.Hi > out[j].Key.Hi
+		}
+		return out[i].Key.Lo > out[j].Key.Lo
+	})
+	for i := range cm.rows {
+		clear(cm.rows[i])
+	}
+	cm.candidates = make(map[flow.Key]uint64, cm.cfg.Entries)
+	return out
+}
+
+// EntriesUsed implements core.Algorithm.
+func (cm *CountMin) EntriesUsed() int { return len(cm.candidates) }
+
+// Capacity implements core.Algorithm.
+func (cm *CountMin) Capacity() int { return cm.cfg.Entries }
+
+// Threshold implements core.Algorithm.
+func (cm *CountMin) Threshold() uint64 { return cm.cfg.Threshold }
+
+// SetThreshold implements core.Algorithm.
+func (cm *CountMin) SetThreshold(t uint64) {
+	if t < 1 {
+		t = 1
+	}
+	cm.cfg.Threshold = t
+}
+
+// Mem implements core.Algorithm.
+func (cm *CountMin) Mem() *memmodel.Counter { return &cm.cost }

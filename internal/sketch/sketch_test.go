@@ -1,0 +1,332 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/flow"
+)
+
+func key(i uint64) flow.Key { return flow.Key{Lo: i} }
+
+func TestCountMinConfigValidate(t *testing.T) {
+	good := CountMinConfig{Rows: 4, Columns: 256, Entries: 64, Threshold: 1000}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []CountMinConfig{
+		{Rows: 0, Columns: 1, Entries: 1, Threshold: 1},
+		{Rows: 1, Columns: 0, Entries: 1, Threshold: 1},
+		{Rows: 1, Columns: 1, Entries: 0, Threshold: 1},
+		{Rows: 1, Columns: 1, Entries: 1, Threshold: 0},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestCountMinNeverUnderestimates: the defining Count-Min property, for
+// both update rules.
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	for _, conservative := range []bool{false, true} {
+		cm, err := NewCountMin(CountMinConfig{
+			Rows: 3, Columns: 64, Entries: 1000, Threshold: 1 << 40,
+			Conservative: conservative, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		truth := map[flow.Key]uint64{}
+		for i := 0; i < 20000; i++ {
+			k := key(uint64(rng.Intn(500)))
+			size := uint32(rng.Intn(1460) + 40)
+			truth[k] += uint64(size)
+			cm.Process(k, size)
+		}
+		for k, tr := range truth {
+			if est := cm.Estimate(k); est < tr {
+				t.Fatalf("conservative=%v: estimate %d below truth %d", conservative, est, tr)
+			}
+		}
+	}
+}
+
+// TestCountMinConservativeTighter: conservative update never yields larger
+// estimates than the classic rule.
+func TestCountMinConservativeTighter(t *testing.T) {
+	mk := func(conservative bool) *CountMin {
+		cm, err := NewCountMin(CountMinConfig{
+			Rows: 3, Columns: 64, Entries: 1000, Threshold: 1 << 40,
+			Conservative: conservative, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cm
+	}
+	classic, cons := mk(false), mk(true)
+	rng := rand.New(rand.NewSource(3))
+	keys := map[flow.Key]bool{}
+	for i := 0; i < 20000; i++ {
+		k := key(uint64(rng.Intn(400)))
+		size := uint32(rng.Intn(1460) + 40)
+		keys[k] = true
+		classic.Process(k, size)
+		cons.Process(k, size)
+	}
+	worse := 0
+	for k := range keys {
+		if cons.Estimate(k) > classic.Estimate(k) {
+			worse++
+		}
+	}
+	if worse > 0 {
+		t.Errorf("conservative estimates larger for %d flows", worse)
+	}
+}
+
+func TestCountMinFindsHeavyHitters(t *testing.T) {
+	cm, err := NewCountMin(CountMinConfig{
+		Rows: 4, Columns: 512, Entries: 64, Threshold: 50000,
+		Conservative: true, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	// 5 elephants, 500 mice.
+	for i := 0; i < 50000; i++ {
+		var k flow.Key
+		if rng.Intn(2) == 0 {
+			k = key(uint64(rng.Intn(5)))
+		} else {
+			k = key(100 + uint64(rng.Intn(500)))
+		}
+		cm.Process(k, 1000)
+	}
+	est := cm.EndInterval()
+	found := map[flow.Key]bool{}
+	for _, e := range est {
+		found[e.Key] = true
+	}
+	for i := uint64(0); i < 5; i++ {
+		if !found[key(i)] {
+			t.Errorf("elephant %d missed", i)
+		}
+	}
+	if cm.EntriesUsed() != 0 {
+		t.Error("EndInterval did not reset candidates")
+	}
+	if e2 := cm.Estimate(key(0)); e2 != 0 {
+		t.Errorf("counters not reset: %d", e2)
+	}
+}
+
+func TestCountMinCandidateTableBounded(t *testing.T) {
+	cm, err := NewCountMin(CountMinConfig{
+		Rows: 2, Columns: 16, Entries: 4, Threshold: 1, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		cm.Process(key(i), 100)
+		if cm.EntriesUsed() > 4 {
+			t.Fatal("candidate table exceeded capacity")
+		}
+	}
+	if len(cm.EndInterval()) > 4 {
+		t.Error("report exceeded capacity")
+	}
+}
+
+func TestSpaceSavingExactWhenUnderCapacity(t *testing.T) {
+	s, err := NewSpaceSaving(SpaceSavingConfig{Entries: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 50; i++ {
+		s.Process(key(i), uint32(100*(i+1)))
+	}
+	s.SetThreshold(1)
+	est := s.EndInterval()
+	if len(est) != 50 {
+		t.Fatalf("reported %d flows, want 50", len(est))
+	}
+	for _, e := range est {
+		if e.Bytes != 100*(e.Key.Lo+1) {
+			t.Errorf("flow %d: %d bytes, want exact %d", e.Key.Lo, e.Bytes, 100*(e.Key.Lo+1))
+		}
+	}
+}
+
+// TestSpaceSavingOverestimateBound: counts never underestimate, and the
+// overestimate is at most total/K.
+func TestSpaceSavingOverestimateBound(t *testing.T) {
+	const k = 32
+	s, err := NewSpaceSaving(SpaceSavingConfig{Entries: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	truth := map[flow.Key]uint64{}
+	var total uint64
+	zipf := dist.NewZipf(300, 1.1)
+	for i := 0; i < 30000; i++ {
+		fk := key(uint64(zipf.Rank(rng)))
+		size := uint32(rng.Intn(1460) + 40)
+		truth[fk] += uint64(size)
+		total += uint64(size)
+		s.Process(fk, size)
+	}
+	bound := s.MaxOverestimate()
+	if want := total / k; bound != want {
+		t.Fatalf("MaxOverestimate = %d, want %d", bound, want)
+	}
+	s.SetThreshold(1)
+	for _, e := range s.EndInterval() {
+		tr := truth[e.Key]
+		if e.Bytes < tr {
+			t.Fatalf("space-saving underestimated: %d < %d", e.Bytes, tr)
+		}
+		if e.Bytes > tr+bound {
+			t.Fatalf("overestimate %d exceeds bound %d", e.Bytes-tr, bound)
+		}
+	}
+}
+
+// TestSpaceSavingTracksAllMajorFlows: any flow with more than total/K bytes
+// is guaranteed to be tracked at the end.
+func TestSpaceSavingTracksAllMajorFlows(t *testing.T) {
+	const k = 16
+	s, err := NewSpaceSaving(SpaceSavingConfig{Entries: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	truth := map[flow.Key]uint64{}
+	var total uint64
+	zipf := dist.NewZipf(500, 1.2)
+	for i := 0; i < 40000; i++ {
+		fk := key(uint64(zipf.Rank(rng)))
+		truth[fk] += 1000
+		total += 1000
+		s.Process(fk, 1000)
+	}
+	s.SetThreshold(1)
+	tracked := map[flow.Key]bool{}
+	for _, e := range s.EndInterval() {
+		tracked[e.Key] = true
+	}
+	for fk, tr := range truth {
+		if tr > total/k && !tracked[fk] {
+			t.Errorf("flow with %d > total/K=%d bytes not tracked", tr, total/k)
+		}
+	}
+}
+
+func TestSpaceSavingGuaranteedBytes(t *testing.T) {
+	s, err := NewSpaceSaving(SpaceSavingConfig{Entries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Process(key(1), 100)
+	if g := s.GuaranteedBytes(key(1)); g != 100 {
+		t.Errorf("guaranteed = %d, want 100", g)
+	}
+	// key(2) takes over the single entry: count 100+50, error 100,
+	// guaranteed only 50.
+	s.Process(key(2), 50)
+	if g := s.GuaranteedBytes(key(2)); g != 50 {
+		t.Errorf("guaranteed after takeover = %d, want 50", g)
+	}
+	if g := s.GuaranteedBytes(key(1)); g != 0 {
+		t.Errorf("evicted flow guaranteed = %d, want 0", g)
+	}
+}
+
+func TestSpaceSavingQuickNeverUnderestimates(t *testing.T) {
+	check := func(seed int64, entries uint8) bool {
+		k := 1 + int(entries)%32
+		s, err := NewSpaceSaving(SpaceSavingConfig{Entries: k})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		truth := map[flow.Key]uint64{}
+		for i := 0; i < 3000; i++ {
+			fk := key(uint64(rng.Intn(100)))
+			size := uint32(rng.Intn(1000) + 40)
+			truth[fk] += uint64(size)
+			s.Process(fk, size)
+		}
+		s.SetThreshold(1)
+		for _, e := range s.EndInterval() {
+			if e.Bytes < truth[e.Key] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSketchAlgorithmInterfaces(t *testing.T) {
+	var _ core.Algorithm = (*CountMin)(nil)
+	var _ core.Algorithm = (*SpaceSaving)(nil)
+	cm, err := NewCountMin(CountMinConfig{Rows: 2, Columns: 8, Entries: 4, Threshold: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := NewSpaceSaving(SpaceSavingConfig{Entries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Name() != "count-min" || ss.Name() != "space-saving" {
+		t.Error("names wrong")
+	}
+	cm.SetThreshold(0)
+	ss.SetThreshold(0)
+	if cm.Threshold() != 1 || ss.Threshold() != 1 {
+		t.Error("SetThreshold clamp")
+	}
+	if cm.Capacity() != 4 || ss.Capacity() != 4 {
+		t.Error("capacities wrong")
+	}
+	if _, err := NewSpaceSaving(SpaceSavingConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func BenchmarkCountMinPerPacket(b *testing.B) {
+	cm, err := NewCountMin(CountMinConfig{
+		Rows: 4, Columns: 4096, Entries: 1024, Threshold: 1 << 30,
+		Conservative: true, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cm.Process(key(uint64(i%50000)), 1000)
+	}
+}
+
+func BenchmarkSpaceSavingPerPacket(b *testing.B) {
+	s, err := NewSpaceSaving(SpaceSavingConfig{Entries: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Process(key(uint64(i%50000)), 1000)
+	}
+}

@@ -1,0 +1,171 @@
+package sketch
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/memmodel"
+)
+
+// SpaceSavingConfig configures a Space-Saving tracker.
+type SpaceSavingConfig struct {
+	// Entries is the number of monitored flows K. Space-Saving guarantees
+	// that any flow with more than total/K bytes is tracked, and every
+	// count overestimates the truth by at most total/K.
+	Entries int
+}
+
+// Validate checks the configuration.
+func (c SpaceSavingConfig) Validate() error {
+	if c.Entries < 1 {
+		return fmt.Errorf("sketch: SpaceSaving Entries = %d", c.Entries)
+	}
+	return nil
+}
+
+// SpaceSaving implements core.Algorithm with the stream-summary structure:
+// a bounded set of (flow, count, error) entries where an untracked flow
+// evicts the minimum-count entry and inherits its count — the inflation
+// that turns "evict the smallest" (which the paper shows can starve large
+// flows) into an algorithm with guarantees, at the cost of overestimation.
+type SpaceSaving struct {
+	cfg       SpaceSavingConfig
+	entries   map[flow.Key]*ssEntry
+	order     ssHeap
+	cost      memmodel.Counter
+	threshold uint64
+	total     uint64
+}
+
+type ssEntry struct {
+	key   flow.Key
+	count uint64
+	err   uint64 // count inherited at takeover: count - err <= true <= count
+	pos   int
+}
+
+type ssHeap []*ssEntry
+
+func (h ssHeap) Len() int           { return len(h) }
+func (h ssHeap) Less(i, j int) bool { return h[i].count < h[j].count }
+func (h ssHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].pos = i
+	h[j].pos = j
+}
+func (h *ssHeap) Push(x interface{}) {
+	e := x.(*ssEntry)
+	e.pos = len(*h)
+	*h = append(*h, e)
+}
+func (h *ssHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewSpaceSaving creates a Space-Saving tracker.
+func NewSpaceSaving(cfg SpaceSavingConfig) (*SpaceSaving, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &SpaceSaving{
+		cfg:       cfg,
+		entries:   make(map[flow.Key]*ssEntry, cfg.Entries),
+		threshold: 1,
+	}, nil
+}
+
+// Name implements core.Algorithm.
+func (s *SpaceSaving) Name() string { return "space-saving" }
+
+// Process implements core.Algorithm.
+func (s *SpaceSaving) Process(key flow.Key, size uint32) {
+	s.cost.Packet()
+	s.cost.SRAM(1, 1)
+	s.total += uint64(size)
+	if e, ok := s.entries[key]; ok {
+		e.count += uint64(size)
+		heap.Fix(&s.order, e.pos)
+		return
+	}
+	if len(s.entries) < s.cfg.Entries {
+		e := &ssEntry{key: key, count: uint64(size)}
+		s.entries[key] = e
+		heap.Push(&s.order, e)
+		return
+	}
+	// Evict the minimum: the newcomer inherits its count as error.
+	min := s.order[0]
+	delete(s.entries, min.key)
+	min.err = min.count
+	min.count += uint64(size)
+	min.key = key
+	s.entries[key] = min
+	heap.Fix(&s.order, 0)
+}
+
+// GuaranteedBytes returns the provable minimum traffic of a tracked flow:
+// count - error (0 for untracked flows).
+func (s *SpaceSaving) GuaranteedBytes(key flow.Key) uint64 {
+	if e, ok := s.entries[key]; ok {
+		return e.count - e.err
+	}
+	return 0
+}
+
+// EndInterval implements core.Algorithm: it reports every tracked flow
+// whose count reaches the threshold, then resets.
+func (s *SpaceSaving) EndInterval() []core.Estimate {
+	out := make([]core.Estimate, 0, len(s.entries))
+	for k, e := range s.entries {
+		if e.count < s.threshold {
+			continue
+		}
+		out = append(out, core.Estimate{Key: k, Bytes: e.count})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		if out[i].Key.Hi != out[j].Key.Hi {
+			return out[i].Key.Hi > out[j].Key.Hi
+		}
+		return out[i].Key.Lo > out[j].Key.Lo
+	})
+	s.entries = make(map[flow.Key]*ssEntry, s.cfg.Entries)
+	s.order = nil
+	s.total = 0
+	return out
+}
+
+// MaxOverestimate returns the structure's error bound: total bytes seen
+// this interval divided by the entry count.
+func (s *SpaceSaving) MaxOverestimate() uint64 {
+	return s.total / uint64(s.cfg.Entries)
+}
+
+// EntriesUsed implements core.Algorithm.
+func (s *SpaceSaving) EntriesUsed() int { return len(s.entries) }
+
+// Capacity implements core.Algorithm.
+func (s *SpaceSaving) Capacity() int { return s.cfg.Entries }
+
+// Threshold implements core.Algorithm.
+func (s *SpaceSaving) Threshold() uint64 { return s.threshold }
+
+// SetThreshold implements core.Algorithm.
+func (s *SpaceSaving) SetThreshold(t uint64) {
+	if t < 1 {
+		t = 1
+	}
+	s.threshold = t
+}
+
+// Mem implements core.Algorithm.
+func (s *SpaceSaving) Mem() *memmodel.Counter { return &s.cost }

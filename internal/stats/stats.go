@@ -1,0 +1,188 @@
+// Package stats implements the evaluation metrics of Section 7 of the
+// paper: per-group unidentified-flow percentages and relative average
+// errors (Tables 5-7), false positive/negative counting, and accumulation
+// across measurement intervals and runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+)
+
+// Group is a reference group of flows, delimited by fractions of the link
+// capacity per measurement interval.
+type Group struct {
+	// Name labels the group ("very large", "large", "medium").
+	Name string
+	// Lo and Hi delimit the group: flows with Lo*C <= size < Hi*C. Hi = 0
+	// means unbounded.
+	Lo, Hi float64
+}
+
+// Contains reports whether a flow of the given size belongs to the group on
+// a link of capacity c bytes per interval.
+func (g Group) Contains(size uint64, c float64) bool {
+	s := float64(size)
+	if s < g.Lo*c {
+		return false
+	}
+	return g.Hi == 0 || s < g.Hi*c
+}
+
+// String renders the group bounds the way the paper's tables do.
+func (g Group) String() string {
+	if g.Hi == 0 {
+		return fmt.Sprintf("> %s%%", trimPct(g.Lo*100))
+	}
+	return fmt.Sprintf("%s%% .. %s%%", trimPct(g.Hi*100), trimPct(g.Lo*100))
+}
+
+// trimPct renders a percentage bound compactly (the derived group bounds of
+// scaled experiments are long fractions).
+func trimPct(v float64) string {
+	return fmt.Sprintf("%.3g", v)
+}
+
+// StandardGroups returns the paper's three reference groups (Section 7.2):
+// very large flows above 0.1% of link capacity, large flows between 0.1%
+// and 0.01%, and medium flows between 0.01% and 0.001%.
+func StandardGroups() []Group {
+	return []Group{
+		{Name: "very large", Lo: 0.001},
+		{Name: "large", Lo: 0.0001, Hi: 0.001},
+		{Name: "medium", Lo: 0.00001, Hi: 0.0001},
+	}
+}
+
+// GroupResult summarizes one group's measurement quality, averaged over all
+// accumulated intervals and runs.
+type GroupResult struct {
+	Group Group
+	// Flows is the number of (true flow, interval, run) observations in
+	// the group.
+	Flows int
+	// Unidentified is how many of those the device did not report at all.
+	Unidentified int
+	// UnidentifiedPct is Unidentified as a percentage of Flows.
+	UnidentifiedPct float64
+	// AvgErrorPct is the relative average error in percent: the sum of
+	// |estimate - true| over the sum of true sizes, counting unidentified
+	// flows at full error (Section 7.2's definition; the modulus keeps
+	// NetFlow's over- and under-estimates from cancelling).
+	AvgErrorPct float64
+}
+
+// Accumulator aggregates per-interval evaluations of a device against the
+// exact oracle.
+type Accumulator struct {
+	groups  []Group
+	flows   []int
+	unident []int
+	errSum  []float64
+	sizeSum []float64
+}
+
+// NewAccumulator creates an accumulator over the given groups.
+func NewAccumulator(groups []Group) *Accumulator {
+	return &Accumulator{
+		groups:  groups,
+		flows:   make([]int, len(groups)),
+		unident: make([]int, len(groups)),
+		errSum:  make([]float64, len(groups)),
+		sizeSum: make([]float64, len(groups)),
+	}
+}
+
+// Add evaluates one interval: truth is the oracle's exact per-flow sizes,
+// ests the device's report, capacity the link capacity in bytes per
+// interval.
+func (a *Accumulator) Add(truth map[flow.Key]uint64, ests []core.Estimate, capacity float64) {
+	reported := make(map[flow.Key]uint64, len(ests))
+	for _, e := range ests {
+		reported[e.Key] = e.Bytes
+	}
+	for k, size := range truth {
+		for i, g := range a.groups {
+			if !g.Contains(size, capacity) {
+				continue
+			}
+			a.flows[i]++
+			a.sizeSum[i] += float64(size)
+			est, ok := reported[k]
+			if !ok {
+				a.unident[i]++
+				a.errSum[i] += float64(size) // full error for missed flows
+				continue
+			}
+			a.errSum[i] += math.Abs(float64(est) - float64(size))
+		}
+	}
+}
+
+// Results returns the accumulated per-group summary.
+func (a *Accumulator) Results() []GroupResult {
+	out := make([]GroupResult, len(a.groups))
+	for i, g := range a.groups {
+		r := GroupResult{Group: g, Flows: a.flows[i], Unidentified: a.unident[i]}
+		if r.Flows > 0 {
+			r.UnidentifiedPct = 100 * float64(r.Unidentified) / float64(r.Flows)
+		}
+		if a.sizeSum[i] > 0 {
+			r.AvgErrorPct = 100 * a.errSum[i] / a.sizeSum[i]
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// FalseNegatives returns the flows with true size >= threshold that are
+// absent from the estimates — impossible for parallel multistage filters,
+// the guarantee the property tests lean on.
+func FalseNegatives(truth map[flow.Key]uint64, ests []core.Estimate, threshold uint64) []flow.Key {
+	reported := make(map[flow.Key]bool, len(ests))
+	for _, e := range ests {
+		reported[e.Key] = true
+	}
+	var out []flow.Key
+	for k, size := range truth {
+		if size >= threshold && !reported[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// FalsePositives returns the reported flows whose true size is below the
+// threshold.
+func FalsePositives(truth map[flow.Key]uint64, ests []core.Estimate, threshold uint64) []flow.Key {
+	var out []flow.Key
+	for _, e := range ests {
+		if truth[e.Key] < threshold {
+			out = append(out, e.Key)
+		}
+	}
+	return out
+}
+
+// LongLivedShare returns the fraction (in percent) of flows at or above the
+// threshold in the current interval that were also at or above it in the
+// previous interval — the "longlived%" entry of Table 2.
+func LongLivedShare(prev, cur map[flow.Key]uint64, threshold uint64) float64 {
+	large, longLived := 0, 0
+	for k, size := range cur {
+		if size < threshold {
+			continue
+		}
+		large++
+		if prev[k] >= threshold {
+			longLived++
+		}
+	}
+	if large == 0 {
+		return 0
+	}
+	return 100 * float64(longLived) / float64(large)
+}

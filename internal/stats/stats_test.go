@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+)
+
+func key(i uint64) flow.Key { return flow.Key{Lo: i} }
+
+func TestGroupContains(t *testing.T) {
+	const c = 1e9
+	groups := StandardGroups()
+	tests := []struct {
+		size uint64
+		want string
+	}{
+		{2e6, "very large"}, // 0.2% of C
+		{1e6, "very large"}, // exactly 0.1%
+		{999999, "large"},   // just below 0.1%
+		{1e5, "large"},      // 0.01%
+		{99999, "medium"},   // just below 0.01%
+		{1e4, "medium"},     // 0.001%
+		{9999, ""},          // below all groups
+	}
+	for _, tt := range tests {
+		got := ""
+		for _, g := range groups {
+			if g.Contains(tt.size, c) {
+				if got != "" {
+					t.Errorf("size %d in two groups", tt.size)
+				}
+				got = g.Name
+			}
+		}
+		if got != tt.want {
+			t.Errorf("size %d in group %q, want %q", tt.size, got, tt.want)
+		}
+	}
+}
+
+func TestGroupString(t *testing.T) {
+	gs := StandardGroups()
+	if gs[0].String() != "> 0.1%" {
+		t.Errorf("String = %q", gs[0].String())
+	}
+	if gs[1].String() != "0.1% .. 0.01%" {
+		t.Errorf("String = %q", gs[1].String())
+	}
+}
+
+func TestAccumulatorPerfectDevice(t *testing.T) {
+	a := NewAccumulator(StandardGroups())
+	truth := map[flow.Key]uint64{key(1): 2e6, key(2): 5e5}
+	ests := []core.Estimate{{Key: key(1), Bytes: 2e6}, {Key: key(2), Bytes: 5e5}}
+	a.Add(truth, ests, 1e9)
+	for _, r := range a.Results() {
+		if r.UnidentifiedPct != 0 || r.AvgErrorPct != 0 {
+			t.Errorf("%s: %+v, want perfect", r.Group.Name, r)
+		}
+	}
+}
+
+func TestAccumulatorUnidentifiedCountsFullError(t *testing.T) {
+	a := NewAccumulator(StandardGroups())
+	truth := map[flow.Key]uint64{key(1): 2e6, key(2): 4e6}
+	ests := []core.Estimate{{Key: key(1), Bytes: 2e6}} // flow 2 missed
+	a.Add(truth, ests, 1e9)
+	r := a.Results()[0]
+	if r.Flows != 2 || r.Unidentified != 1 {
+		t.Fatalf("result = %+v", r)
+	}
+	if r.UnidentifiedPct != 50 {
+		t.Errorf("UnidentifiedPct = %g", r.UnidentifiedPct)
+	}
+	// Error = 4e6 (full traffic of missed flow) over 6e6 total.
+	want := 100 * 4e6 / 6e6
+	if math.Abs(r.AvgErrorPct-want) > 1e-9 {
+		t.Errorf("AvgErrorPct = %g, want %g", r.AvgErrorPct, want)
+	}
+}
+
+func TestAccumulatorModulusPreventsCancellation(t *testing.T) {
+	// A NetFlow-style device that over- and under-estimates by the same
+	// amount must show error, not zero.
+	a := NewAccumulator([]Group{{Name: "all", Lo: 0}})
+	truth := map[flow.Key]uint64{key(1): 1000, key(2): 1000}
+	ests := []core.Estimate{
+		{Key: key(1), Bytes: 1500},
+		{Key: key(2), Bytes: 500},
+	}
+	a.Add(truth, ests, 1e9)
+	r := a.Results()[0]
+	if math.Abs(r.AvgErrorPct-50) > 1e-9 {
+		t.Errorf("AvgErrorPct = %g, want 50", r.AvgErrorPct)
+	}
+}
+
+func TestAccumulatorAccumulatesAcrossIntervals(t *testing.T) {
+	a := NewAccumulator([]Group{{Name: "all", Lo: 0}})
+	a.Add(map[flow.Key]uint64{key(1): 100}, []core.Estimate{{Key: key(1), Bytes: 100}}, 1e9)
+	a.Add(map[flow.Key]uint64{key(1): 100}, nil, 1e9)
+	r := a.Results()[0]
+	if r.Flows != 2 || r.Unidentified != 1 || r.UnidentifiedPct != 50 {
+		t.Errorf("result = %+v", r)
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	a := NewAccumulator(StandardGroups())
+	for _, r := range a.Results() {
+		if r.Flows != 0 || r.UnidentifiedPct != 0 || r.AvgErrorPct != 0 {
+			t.Errorf("empty accumulator: %+v", r)
+		}
+	}
+}
+
+func TestFalseNegatives(t *testing.T) {
+	truth := map[flow.Key]uint64{key(1): 1000, key(2): 2000, key(3): 50}
+	ests := []core.Estimate{{Key: key(1), Bytes: 900}}
+	fn := FalseNegatives(truth, ests, 1000)
+	if len(fn) != 1 || fn[0] != key(2) {
+		t.Errorf("FalseNegatives = %v", fn)
+	}
+	if got := FalseNegatives(truth, ests, 3000); len(got) != 0 {
+		t.Errorf("no flow reaches 3000: %v", got)
+	}
+}
+
+func TestFalsePositives(t *testing.T) {
+	truth := map[flow.Key]uint64{key(1): 1000, key(2): 50}
+	ests := []core.Estimate{
+		{Key: key(1), Bytes: 900},
+		{Key: key(2), Bytes: 50},
+		{Key: key(3), Bytes: 10}, // never seen in truth at all
+	}
+	fp := FalsePositives(truth, ests, 1000)
+	if len(fp) != 2 {
+		t.Errorf("FalsePositives = %v", fp)
+	}
+}
+
+func TestLongLivedShare(t *testing.T) {
+	prev := map[flow.Key]uint64{key(1): 5000, key(2): 100}
+	cur := map[flow.Key]uint64{key(1): 6000, key(2): 7000, key(3): 8000}
+	// Large flows now: 1, 2, 3; only flow 1 was large before.
+	got := LongLivedShare(prev, cur, 1000)
+	if math.Abs(got-100.0/3) > 1e-9 {
+		t.Errorf("LongLivedShare = %g, want 33.3", got)
+	}
+	if LongLivedShare(prev, map[flow.Key]uint64{}, 1000) != 0 {
+		t.Error("empty current interval should give 0")
+	}
+}

@@ -1,0 +1,233 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/flow"
+)
+
+// Binary trace format ("HHTR"): a compact, streamable on-disk encoding of a
+// trace. Layout, all little-endian:
+//
+//	magic   [4]byte  "HHTR"
+//	version uint16   (currently 1)
+//	flags   uint16   bit 0: HasAS
+//	linkBps float64  link capacity, bytes/second
+//	interval int64   measurement interval, nanoseconds
+//	intervals int32  number of measurement intervals
+//	nameLen  uint16  followed by nameLen bytes of trace name
+//	packets  ...     repeated packet records until EOF
+//
+// Each packet record is varint-encoded: time delta from the previous packet
+// in nanoseconds, size, source IP, destination IP, source port, destination
+// port, protocol, and (when flags bit 0 is set) source and destination AS.
+// Delta-encoding the monotone timestamps keeps records small.
+
+const (
+	formatMagic   = "HHTR"
+	formatVersion = 1
+	flagHasAS     = 1 << 0
+)
+
+// Writer streams packets into the binary trace format.
+type Writer struct {
+	w        *bufio.Writer
+	hasAS    bool
+	lastTime time.Duration
+	scratch  [binary.MaxVarintLen64]byte
+	started  bool
+}
+
+// NewWriter writes a header for meta to w and returns a Writer for the
+// packet stream. Call Flush when done.
+func NewWriter(w io.Writer, meta Meta) (*Writer, error) {
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	if len(meta.Name) > math.MaxUint16 {
+		return nil, errors.New("trace: name too long")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(formatMagic); err != nil {
+		return nil, err
+	}
+	var flags uint16
+	if meta.HasAS {
+		flags |= flagHasAS
+	}
+	for _, v := range []any{
+		uint16(formatVersion),
+		flags,
+		math.Float64bits(meta.LinkBytesPerSec),
+		int64(meta.Interval),
+		int32(meta.Intervals),
+		uint16(len(meta.Name)),
+	} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := bw.WriteString(meta.Name); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, hasAS: meta.HasAS}, nil
+}
+
+func (w *Writer) putUvarint(v uint64) error {
+	n := binary.PutUvarint(w.scratch[:], v)
+	_, err := w.w.Write(w.scratch[:n])
+	return err
+}
+
+// WritePacket appends one packet. Packets must arrive in non-decreasing
+// time order.
+func (w *Writer) WritePacket(p *flow.Packet) error {
+	if w.started && p.Time < w.lastTime {
+		return fmt.Errorf("trace: packet at %v before previous %v", p.Time, w.lastTime)
+	}
+	delta := p.Time - w.lastTime
+	if !w.started {
+		delta = p.Time
+		w.started = true
+	}
+	w.lastTime = p.Time
+	fields := []uint64{
+		uint64(delta),
+		uint64(p.Size),
+		uint64(p.SrcIP),
+		uint64(p.DstIP),
+		uint64(p.SrcPort),
+		uint64(p.DstPort),
+		uint64(p.Proto),
+	}
+	if w.hasAS {
+		fields = append(fields, uint64(p.SrcAS), uint64(p.DstAS))
+	}
+	for _, f := range fields {
+		if err := w.putUvarint(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush writes any buffered data to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// WriteAll drains src into w in trace format.
+func WriteAll(w io.Writer, src Source) (int, error) {
+	tw, err := NewWriter(w, src.Meta())
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		p, err := src.Next()
+		if err == io.EOF {
+			return n, tw.Flush()
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := tw.WritePacket(&p); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// Reader streams packets from the binary trace format; it implements
+// Source.
+type Reader struct {
+	r        *bufio.Reader
+	meta     Meta
+	lastTime time.Duration
+}
+
+// NewReader parses the header from r and returns a Source for the packet
+// stream.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != formatMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var (
+		version, flags, nameLen uint16
+		linkBits                uint64
+		intervalNs              int64
+		intervals               int32
+	)
+	for _, v := range []any{&version, &flags, &linkBits, &intervalNs, &intervals, &nameLen} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	meta := Meta{
+		Name:            string(name),
+		LinkBytesPerSec: math.Float64frombits(linkBits),
+		Interval:        time.Duration(intervalNs),
+		Intervals:       int(intervals),
+		HasAS:           flags&flagHasAS != 0,
+	}
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	return &Reader{r: br, meta: meta}, nil
+}
+
+// Meta implements Source.
+func (r *Reader) Meta() Meta { return r.meta }
+
+// Next implements Source.
+func (r *Reader) Next() (flow.Packet, error) {
+	delta, err := binary.ReadUvarint(r.r)
+	if err == io.EOF {
+		return flow.Packet{}, io.EOF
+	}
+	if err != nil {
+		return flow.Packet{}, fmt.Errorf("trace: reading packet: %w", err)
+	}
+	nFields := 6
+	if r.meta.HasAS {
+		nFields = 8
+	}
+	var fields [8]uint64
+	for i := 0; i < nFields; i++ {
+		fields[i], err = binary.ReadUvarint(r.r)
+		if err != nil {
+			return flow.Packet{}, fmt.Errorf("trace: truncated packet record: %w", err)
+		}
+	}
+	r.lastTime += time.Duration(delta)
+	p := flow.Packet{
+		Time:    r.lastTime,
+		Size:    uint32(fields[0]),
+		SrcIP:   uint32(fields[1]),
+		DstIP:   uint32(fields[2]),
+		SrcPort: uint16(fields[3]),
+		DstPort: uint16(fields[4]),
+		Proto:   uint8(fields[5]),
+	}
+	if r.meta.HasAS {
+		p.SrcAS = uint16(fields[6])
+		p.DstAS = uint16(fields[7])
+	}
+	return p, nil
+}

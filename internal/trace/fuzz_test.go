@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+)
+
+// FuzzReader hardens the native trace parser against corrupt files.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	meta := Meta{Name: "seed", LinkBytesPerSec: 1e6, Interval: time.Second, Intervals: 2, HasAS: true}
+	pkts := []flow.Packet{
+		{Time: 0, Size: 40, SrcIP: 1, DstIP: 2, Proto: 6, SrcAS: 1, DstAS: 2},
+		{Time: time.Second, Size: 1500, SrcIP: 3, DstIP: 4, Proto: 17, SrcAS: 3, DstAS: 4},
+	}
+	if _, err := WriteAll(&buf, NewSliceSource(meta, pkts)); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-2])
+	f.Add(valid[:10])
+	f.Add([]byte("HHTR"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10000; i++ {
+			if _, err := r.Next(); err != nil {
+				if err != io.EOF {
+					return
+				}
+				return
+			}
+		}
+	})
+}

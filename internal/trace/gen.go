@@ -1,0 +1,445 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/flow"
+	"repro/internal/routing"
+)
+
+// GenConfig configures the synthetic trace generator. The zero value is not
+// usable; start from a Preset or fill every field.
+type GenConfig struct {
+	Meta
+	// Seed makes generation deterministic; the same config yields the same
+	// packet stream.
+	Seed int64
+
+	// FlowsPerInterval is the target number of active 5-tuple flows in each
+	// measurement interval (Table 3 column 1).
+	FlowsPerInterval int
+	// DstIPs is the size of the destination address pool, controlling the
+	// active destination-IP flow count (Table 3 column 2).
+	DstIPs int
+	// ASPairs is the number of distinct (source AS, destination AS) pairs,
+	// controlling the active AS-pair flow count (Table 3 column 3).
+	ASPairs int
+	// ASes is the number of autonomous systems in the synthetic topology.
+	ASes int
+
+	// BytesPerInterval is the target traffic volume per measurement
+	// interval (Table 3 last column, converted to bytes).
+	BytesPerInterval float64
+	// VolumeJitter is the relative spread of per-interval volume around
+	// BytesPerInterval (Table 3 shows roughly +-10-20 % around the mean).
+	VolumeJitter float64
+
+	// ZipfAlpha is the exponent of the flow-size distribution. Values
+	// around 1.15 reproduce Figure 6's "top 10 % of flows carry 85-94 % of
+	// the traffic".
+	ZipfAlpha float64
+	// PopulationFactor sizes the ephemeral flow population relative to
+	// FlowsPerInterval (ranks drawn from a pool this many times larger).
+	PopulationFactor float64
+	// LongLivedRanks is how many of the top-ranked (largest) flows persist
+	// for the whole trace. The paper observes that "most large flows are
+	// long lived"; preserving entries exploits exactly this.
+	LongLivedRanks int
+	// MeanLifetime is the mean lifetime of ephemeral flows in intervals.
+	MeanLifetime float64
+
+	// PacketSizes is the packet size mix; nil selects the default trimodal
+	// Internet mix with a ~540 byte mean.
+	PacketSizes *dist.PacketSizes
+}
+
+// Validate checks the configuration.
+func (c GenConfig) Validate() error {
+	if err := c.Meta.Validate(); err != nil {
+		return err
+	}
+	if c.FlowsPerInterval < 1 {
+		return fmt.Errorf("trace: FlowsPerInterval = %d", c.FlowsPerInterval)
+	}
+	if c.DstIPs < 1 || c.ASPairs < 1 || c.ASes < 2 {
+		return fmt.Errorf("trace: need DstIPs, ASPairs >= 1 and ASes >= 2 (got %d, %d, %d)",
+			c.DstIPs, c.ASPairs, c.ASes)
+	}
+	if c.BytesPerInterval <= 0 {
+		return fmt.Errorf("trace: BytesPerInterval = %g", c.BytesPerInterval)
+	}
+	if c.BytesPerInterval > c.Capacity() {
+		return fmt.Errorf("trace: volume %g exceeds link capacity %g per interval",
+			c.BytesPerInterval, c.Capacity())
+	}
+	if c.ZipfAlpha <= 0 || c.PopulationFactor < 1 || c.MeanLifetime <= 0 {
+		return fmt.Errorf("trace: bad shape parameters (alpha %g, pop %g, life %g)",
+			c.ZipfAlpha, c.PopulationFactor, c.MeanLifetime)
+	}
+	if c.LongLivedRanks < 0 || c.LongLivedRanks > c.FlowsPerInterval {
+		return fmt.Errorf("trace: LongLivedRanks = %d out of range", c.LongLivedRanks)
+	}
+	if c.VolumeJitter < 0 || c.VolumeJitter >= 1 {
+		return fmt.Errorf("trace: VolumeJitter = %g out of range", c.VolumeJitter)
+	}
+	return nil
+}
+
+// Link speeds of the traces in Table 3, in bytes per second.
+const (
+	oc3BytesPerSec  = 155.52e6 / 8
+	oc12BytesPerSec = 622.08e6 / 8
+	oc48BytesPerSec = 2488.32e6 / 8
+)
+
+// Preset returns a generator configuration calibrated to one of the paper's
+// traces: "MAG+" (OC-48, 4515 s), "MAG" (its first 90 s), "IND" (OC-12,
+// 90 s) or "COS" (OC-3, 90 s). Flow counts and volumes follow Table 3. It
+// returns an error for unknown names.
+//
+// Full-scale presets are expensive (MAG+ generates roughly half a million
+// packets per interval for 903 intervals); use Scaled for tests and
+// default experiment runs.
+func Preset(name string) (GenConfig, error) {
+	base := GenConfig{
+		Meta: Meta{
+			Name:     name,
+			Interval: 5 * time.Second,
+			HasAS:    true,
+		},
+		Seed:             1,
+		VolumeJitter:     0.12,
+		ZipfAlpha:        1.15,
+		PopulationFactor: 2.0,
+		MeanLifetime:     1.5,
+	}
+	switch name {
+	case "MAG+":
+		base.LinkBytesPerSec = oc48BytesPerSec
+		base.Intervals = 903
+		base.FlowsPerInterval = 98424
+		base.DstIPs = 48000
+		base.ASPairs = 7401
+		base.ASes = 2500
+		base.BytesPerInterval = 256e6
+		base.LongLivedRanks = 2000
+	case "MAG":
+		base.LinkBytesPerSec = oc48BytesPerSec
+		base.Intervals = 18
+		base.FlowsPerInterval = 100105
+		base.DstIPs = 49000
+		base.ASPairs = 7408
+		base.ASes = 2500
+		base.BytesPerInterval = 264.7e6
+		base.LongLivedRanks = 2000
+	case "IND":
+		base.LinkBytesPerSec = oc12BytesPerSec
+		base.Intervals = 18
+		base.FlowsPerInterval = 14349
+		base.DstIPs = 10000
+		base.ASPairs = 900
+		base.ASes = 600
+		base.BytesPerInterval = 96.04e6
+		base.LongLivedRanks = 400
+		base.HasAS = false
+	case "COS":
+		base.LinkBytesPerSec = oc3BytesPerSec
+		base.Intervals = 18
+		base.FlowsPerInterval = 5497
+		base.DstIPs = 1300
+		base.ASPairs = 300
+		base.ASes = 200
+		base.BytesPerInterval = 16.63e6
+		base.LongLivedRanks = 150
+		base.HasAS = false
+	default:
+		return GenConfig{}, fmt.Errorf("trace: unknown preset %q", name)
+	}
+	return base, nil
+}
+
+// Scaled shrinks (or grows) a configuration by factor f, scaling flow
+// counts, pools, volume and link capacity together so every ratio the
+// algorithms care about (threshold as a fraction of capacity, flows per
+// counter, utilization) is preserved. Counts never drop below small floors.
+func (c GenConfig) Scaled(f float64) GenConfig {
+	if f == 1 {
+		return c
+	}
+	scaleInt := func(n int, floor int) int {
+		v := int(math.Round(float64(n) * f))
+		if v < floor {
+			return floor
+		}
+		return v
+	}
+	c.Name = fmt.Sprintf("%s x%g", c.Name, f)
+	c.FlowsPerInterval = scaleInt(c.FlowsPerInterval, 50)
+	c.DstIPs = scaleInt(c.DstIPs, 20)
+	c.ASPairs = scaleInt(c.ASPairs, 10)
+	c.ASes = scaleInt(c.ASes, 10)
+	c.LongLivedRanks = scaleInt(c.LongLivedRanks, 5)
+	if c.LongLivedRanks > c.FlowsPerInterval {
+		c.LongLivedRanks = c.FlowsPerInterval / 2
+	}
+	c.BytesPerInterval *= f
+	c.LinkBytesPerSec *= f
+	return c
+}
+
+// WithIntervals returns a copy of the configuration truncated or extended
+// to n measurement intervals.
+func (c GenConfig) WithIntervals(n int) GenConfig {
+	c.Intervals = n
+	return c
+}
+
+// genFlow is one active flow in the generator.
+type genFlow struct {
+	pkt    flow.Packet // template: addressing fields filled, size/time not
+	weight float64
+	dies   int // first interval in which the flow is no longer active
+}
+
+// Generator synthesizes a packet stream; it implements Source. Create with
+// NewGenerator; generators are single-use (collect or replay, then discard).
+type Generator struct {
+	cfg   GenConfig
+	rng   *rand.Rand
+	topo  *routing.Topology
+	sizes *dist.PacketSizes
+
+	// dstPool[i] is a template with DstIP/SrcAS/DstAS (and source prefix
+	// choice) fixed by the AS-pair structure.
+	dstPool []dstEntry
+	dstPick *dist.Zipf
+
+	longLived []genFlow
+	ephemeral []genFlow
+
+	interval int
+	buf      []flow.Packet // packets of the current interval, time-sorted
+	pos      int
+}
+
+type dstEntry struct {
+	dstIP        uint32
+	srcAS, dstAS uint16
+}
+
+// NewGenerator builds a generator for the configuration.
+func NewGenerator(cfg GenConfig) (*Generator, error) {
+	if cfg.PacketSizes == nil {
+		cfg.PacketSizes = dist.DefaultPacketSizes()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		topo:  routing.Synthetic(cfg.ASes, cfg.Seed+1),
+		sizes: cfg.PacketSizes,
+	}
+	g.buildDstPool()
+	g.spawnLongLived()
+	g.fillInterval()
+	return g, nil
+}
+
+// Meta implements Source.
+func (g *Generator) Meta() Meta { return g.cfg.Meta }
+
+// buildDstPool creates the AS-pair and destination-IP structure: ASPairs
+// distinct (srcAS, dstAS) pairs, then DstIPs destinations each tied to one
+// pair with Zipf popularity so a handful of destinations (and pairs)
+// dominate, as in real traffic.
+func (g *Generator) buildDstPool() {
+	ases := g.topo.ASes()
+	type pair struct{ src, dst uint16 }
+	seen := make(map[pair]bool, g.cfg.ASPairs)
+	pairs := make([]pair, 0, g.cfg.ASPairs)
+	// Keep pairs distinct and directional; cap the attempts so tiny
+	// topologies (fewer possible pairs than requested) terminate with as
+	// many distinct pairs as exist in practice.
+	maxAttempts := 50 * g.cfg.ASPairs
+	for attempts := 0; len(pairs) < g.cfg.ASPairs && attempts < maxAttempts; attempts++ {
+		p := pair{ases[g.rng.Intn(len(ases))], ases[g.rng.Intn(len(ases))]}
+		if p.src == p.dst || seen[p] {
+			continue
+		}
+		seen[p] = true
+		pairs = append(pairs, p)
+	}
+	pairPick := dist.NewZipf(len(pairs), 0.5)
+	g.dstPool = make([]dstEntry, g.cfg.DstIPs)
+	for i := range g.dstPool {
+		pr := pairs[pairPick.Rank(g.rng)-1]
+		addr, ok := g.topo.RandomAddrInAS(pr.dst, g.rng)
+		if !ok {
+			panic("trace: AS without prefix in synthetic topology")
+		}
+		g.dstPool[i] = dstEntry{dstIP: addr, srcAS: pr.src, dstAS: pr.dst}
+	}
+	g.dstPick = dist.NewZipf(len(g.dstPool), 0.6)
+}
+
+// popularPorts is a small mix of destination ports weighted towards web
+// traffic, so port fields look plausible in reports.
+var popularPorts = []uint16{80, 443, 25, 53, 110, 8080, 22, 21, 6667, 119}
+
+// newFlow creates a flow template with the given Zipf rank for its weight.
+func (g *Generator) newFlow(rank int, dies int) genFlow {
+	d := g.dstPool[g.dstPick.Rank(g.rng)-1]
+	srcIP, ok := g.topo.RandomAddrInAS(d.srcAS, g.rng)
+	if !ok {
+		panic("trace: AS without prefix in synthetic topology")
+	}
+	proto := uint8(6)
+	if g.rng.Float64() < 0.15 {
+		proto = 17
+	}
+	var srcAS, dstAS uint16
+	if g.cfg.HasAS {
+		srcAS, dstAS = d.srcAS, d.dstAS
+	}
+	return genFlow{
+		pkt: flow.Packet{
+			SrcIP:   srcIP,
+			DstIP:   d.dstIP,
+			SrcPort: uint16(1024 + g.rng.Intn(64512)),
+			DstPort: popularPorts[g.rng.Intn(len(popularPorts))],
+			Proto:   proto,
+			SrcAS:   srcAS,
+			DstAS:   dstAS,
+		},
+		weight: math.Pow(float64(rank), -g.cfg.ZipfAlpha),
+		dies:   dies,
+	}
+}
+
+func (g *Generator) spawnLongLived() {
+	g.longLived = make([]genFlow, 0, g.cfg.LongLivedRanks)
+	for rank := 1; rank <= g.cfg.LongLivedRanks; rank++ {
+		g.longLived = append(g.longLived, g.newFlow(rank, g.cfg.Intervals))
+	}
+}
+
+// ephemeralRank draws a rank strictly below the long-lived block, from the
+// tail of the Zipf population.
+func (g *Generator) ephemeralRank() int {
+	lo := g.cfg.LongLivedRanks + 1
+	hi := int(float64(g.cfg.FlowsPerInterval) * g.cfg.PopulationFactor)
+	if hi < lo {
+		hi = lo
+	}
+	return lo + g.rng.Intn(hi-lo+1)
+}
+
+// lifetime draws an ephemeral flow lifetime in whole intervals (>= 1),
+// geometric with the configured mean.
+func (g *Generator) lifetime() int {
+	// Geometric on {1, 2, ...} with mean m: success prob 1/m.
+	p := 1 / g.cfg.MeanLifetime
+	if p >= 1 {
+		return 1
+	}
+	n := 1
+	for g.rng.Float64() > p && n < 100*int(g.cfg.MeanLifetime)+100 {
+		n++
+	}
+	return n
+}
+
+// churn retires dead ephemerals and spawns replacements to restore the
+// active-flow target, with a little noise so interval counts fluctuate as
+// in Table 3.
+func (g *Generator) churn() {
+	alive := g.ephemeral[:0]
+	for _, f := range g.ephemeral {
+		if f.dies > g.interval {
+			alive = append(alive, f)
+		}
+	}
+	g.ephemeral = alive
+	target := g.cfg.FlowsPerInterval - len(g.longLived)
+	noise := target / 50
+	if noise > 0 {
+		target += g.rng.Intn(2*noise+1) - noise
+	}
+	for len(g.ephemeral) < target {
+		g.ephemeral = append(g.ephemeral, g.newFlow(g.ephemeralRank(), g.interval+g.lifetime()))
+	}
+}
+
+// fillInterval synthesizes all packets of the current interval into g.buf.
+func (g *Generator) fillInterval() {
+	g.churn()
+	jitter := 1 + g.cfg.VolumeJitter*(2*g.rng.Float64()-1)
+	budget := g.cfg.BytesPerInterval * jitter
+
+	var weightSum float64
+	for _, f := range g.longLived {
+		weightSum += f.weight
+	}
+	for _, f := range g.ephemeral {
+		weightSum += f.weight
+	}
+	bytesPerWeight := budget / weightSum
+
+	g.buf = g.buf[:0]
+	start := time.Duration(g.interval) * g.cfg.Interval
+	emit := func(f *genFlow) {
+		bytes := int64(f.weight * bytesPerWeight)
+		for {
+			size := g.sizes.Sample(g.rng)
+			if int64(size) > bytes {
+				// Last (or only) packet: emit at least a minimum-size
+				// packet so every active flow appears in the interval.
+				if bytes < 40 {
+					size = 40
+				} else {
+					size = uint32(bytes)
+				}
+				bytes = 0
+			} else {
+				bytes -= int64(size)
+			}
+			p := f.pkt
+			p.Size = size
+			p.Time = start + time.Duration(g.rng.Int63n(int64(g.cfg.Interval)))
+			g.buf = append(g.buf, p)
+			if bytes <= 0 {
+				return
+			}
+		}
+	}
+	for i := range g.longLived {
+		emit(&g.longLived[i])
+	}
+	for i := range g.ephemeral {
+		emit(&g.ephemeral[i])
+	}
+	sort.Slice(g.buf, func(i, j int) bool { return g.buf[i].Time < g.buf[j].Time })
+	g.pos = 0
+}
+
+// Next implements Source.
+func (g *Generator) Next() (flow.Packet, error) {
+	for g.pos >= len(g.buf) {
+		g.interval++
+		if g.interval >= g.cfg.Intervals {
+			return flow.Packet{}, io.EOF
+		}
+		g.fillInterval()
+	}
+	p := g.buf[g.pos]
+	g.pos++
+	return p, nil
+}

@@ -1,0 +1,349 @@
+package trace
+
+import (
+	"io"
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+)
+
+// smallConfig is a fast configuration for generator unit tests.
+func smallConfig() GenConfig {
+	cfg, err := Preset("COS")
+	if err != nil {
+		panic(err)
+	}
+	cfg = cfg.Scaled(0.1).WithIntervals(4)
+	return cfg
+}
+
+func TestPresetNames(t *testing.T) {
+	for _, name := range []string{"MAG+", "MAG", "IND", "COS"} {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Preset(%q) invalid: %v", name, err)
+		}
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestPresetUtilizationInPaperRange(t *testing.T) {
+	// "Our traces use only between 13% and 27% of their respective link
+	// capacities."
+	for _, name := range []string{"MAG+", "MAG", "IND", "COS"} {
+		cfg, _ := Preset(name)
+		util := cfg.BytesPerInterval / cfg.Capacity()
+		if util < 0.13 || util > 0.27 {
+			t.Errorf("%s: utilization %.1f%% outside the paper's 13-27%%", name, util*100)
+		}
+	}
+}
+
+func TestScaledPreservesRatios(t *testing.T) {
+	cfg, _ := Preset("MAG")
+	s := cfg.Scaled(0.1)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("scaled config invalid: %v", err)
+	}
+	origUtil := cfg.BytesPerInterval / cfg.Capacity()
+	scalUtil := s.BytesPerInterval / s.Capacity()
+	if math.Abs(origUtil-scalUtil) > 1e-9 {
+		t.Errorf("utilization changed: %g -> %g", origUtil, scalUtil)
+	}
+	if s.FlowsPerInterval < 9000 || s.FlowsPerInterval > 11000 {
+		t.Errorf("scaled flows = %d", s.FlowsPerInterval)
+	}
+	if s.LongLivedRanks > s.FlowsPerInterval {
+		t.Error("long-lived ranks exceed flow target after scaling")
+	}
+}
+
+func TestGenConfigValidate(t *testing.T) {
+	good := smallConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	mutations := []func(*GenConfig){
+		func(c *GenConfig) { c.FlowsPerInterval = 0 },
+		func(c *GenConfig) { c.DstIPs = 0 },
+		func(c *GenConfig) { c.ASPairs = 0 },
+		func(c *GenConfig) { c.ASes = 1 },
+		func(c *GenConfig) { c.BytesPerInterval = 0 },
+		func(c *GenConfig) { c.BytesPerInterval = 2 * c.Capacity() },
+		func(c *GenConfig) { c.ZipfAlpha = 0 },
+		func(c *GenConfig) { c.PopulationFactor = 0.5 },
+		func(c *GenConfig) { c.MeanLifetime = 0 },
+		func(c *GenConfig) { c.LongLivedRanks = -1 },
+		func(c *GenConfig) { c.LongLivedRanks = c.FlowsPerInterval + 1 },
+		func(c *GenConfig) { c.VolumeJitter = 1.5 },
+	}
+	for i, mutate := range mutations {
+		c := good
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	g1, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		p1, err1 := g1.Next()
+		p2, err2 := g2.Next()
+		if err1 != err2 || p1 != p2 {
+			t.Fatalf("packet %d differs: %v/%v vs %v/%v", i, p1, err1, p2, err2)
+		}
+		if err1 == io.EOF {
+			break
+		}
+	}
+}
+
+func TestGeneratorTimeOrderedAndInRange(t *testing.T) {
+	cfg := smallConfig()
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last time.Duration
+	n := 0
+	for {
+		p, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Time < last {
+			t.Fatalf("packet %d at %v before previous %v", n, p.Time, last)
+		}
+		if p.Time >= cfg.Duration() {
+			t.Fatalf("packet time %v beyond trace end %v", p.Time, cfg.Duration())
+		}
+		if p.Size < 40 || p.Size > 1500 {
+			t.Fatalf("packet size %d outside [40, 1500]", p.Size)
+		}
+		last = p.Time
+		n++
+	}
+	if n == 0 {
+		t.Fatal("generator produced no packets")
+	}
+}
+
+func TestGeneratorMatchesTable3Shape(t *testing.T) {
+	// The generator must hit its calibration targets: active flow counts
+	// per definition and bytes per interval, within generous tolerances.
+	cfg := smallConfig()
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := CollectStats(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Intervals != cfg.Intervals {
+		t.Fatalf("intervals = %d, want %d", st.Intervals, cfg.Intervals)
+	}
+	ft := st.Flows["5-tuple"]
+	if ft.Avg < 0.8*float64(cfg.FlowsPerInterval) || ft.Avg > 1.2*float64(cfg.FlowsPerInterval) {
+		t.Errorf("5-tuple flows avg %.0f, want ~%d", ft.Avg, cfg.FlowsPerInterval)
+	}
+	mb := st.MBytes
+	want := cfg.BytesPerInterval / 1e6
+	if mb.Avg < 0.75*want || mb.Avg > 1.25*want {
+		t.Errorf("Mbytes/interval avg %.2f, want ~%.2f", mb.Avg, want)
+	}
+	// dstIP flow count must land well below the 5-tuple count and within a
+	// loose band of the pool size.
+	di := st.Flows["dstIP"]
+	if di.Avg >= ft.Avg {
+		t.Errorf("dstIP flows (%.0f) not below 5-tuple flows (%.0f)", di.Avg, ft.Avg)
+	}
+	if di.Avg < 0.3*float64(cfg.DstIPs) || di.Avg > 1.05*float64(cfg.DstIPs) {
+		t.Errorf("dstIP flows avg %.0f vs pool %d", di.Avg, cfg.DstIPs)
+	}
+}
+
+func TestGeneratorASAnnotationsRouteable(t *testing.T) {
+	cfg := smallConfig()
+	cfg.HasAS = true
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every packet's AS annotation must agree with the generator's own
+	// routing table (i.e. the annotation is derivable from addresses).
+	for i := 0; i < 2000; i++ {
+		p, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if p.SrcAS == 0 || p.DstAS == 0 {
+			t.Fatal("HasAS trace with zero AS annotation")
+		}
+		if as, ok := g.topo.Table.Lookup(p.SrcIP); !ok || as != p.SrcAS {
+			t.Fatalf("SrcAS %d disagrees with route lookup %d", p.SrcAS, as)
+		}
+		if as, ok := g.topo.Table.Lookup(p.DstIP); !ok || as != p.DstAS {
+			t.Fatalf("DstAS %d disagrees with route lookup %d", p.DstAS, as)
+		}
+	}
+}
+
+func TestGeneratorNoASWhenDisabled(t *testing.T) {
+	cfg := smallConfig()
+	cfg.HasAS = false
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		p, err := g.Next()
+		if err == io.EOF {
+			break
+		}
+		if p.SrcAS != 0 || p.DstAS != 0 {
+			t.Fatal("AS annotation present on HasAS=false trace")
+		}
+	}
+}
+
+// TestGeneratorHeavyTail verifies the Figure 6 shape: the top 10% of
+// 5-tuple flows carry 85-94% of the bytes (we accept 75-97% at test scale).
+func TestGeneratorHeavyTail(t *testing.T) {
+	cfg := smallConfig()
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := flow.FiveTuple{}
+	sizes := make(map[flow.Key]uint64)
+	var total uint64
+	// Single interval is enough for the shape check.
+	firstInterval := true
+	_, err = Replay(g, FuncConsumer{
+		OnPacket: func(p *flow.Packet) {
+			if firstInterval {
+				sizes[def.Key(p)] += uint64(p.Size)
+				total += uint64(p.Size)
+			}
+		},
+		OnEndInterval: func(int) { firstInterval = false },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]uint64, 0, len(sizes))
+	for _, v := range sizes {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] > vals[j] })
+	top := len(vals) / 10
+	var topBytes uint64
+	for _, v := range vals[:top] {
+		topBytes += v
+	}
+	share := float64(topBytes) / float64(total)
+	if share < 0.75 || share > 0.97 {
+		t.Errorf("top 10%% of flows carry %.1f%% of bytes, want 75-97%% (paper: 85-94%%)", share*100)
+	}
+}
+
+// TestGeneratorLongLivedFlowsPersist checks that the heaviest flows appear
+// in every interval, which the preserve-entries optimization relies on.
+func TestGeneratorLongLivedFlowsPersist(t *testing.T) {
+	cfg := smallConfig()
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := flow.FiveTuple{}
+	perInterval := make([]map[flow.Key]uint64, 0, cfg.Intervals)
+	cur := make(map[flow.Key]uint64)
+	_, err = Replay(g, FuncConsumer{
+		OnPacket: func(p *flow.Packet) { cur[def.Key(p)] += uint64(p.Size) },
+		OnEndInterval: func(int) {
+			perInterval = append(perInterval, cur)
+			cur = make(map[flow.Key]uint64)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the top-5 flows of interval 0; they must appear in all intervals.
+	type kv struct {
+		k flow.Key
+		v uint64
+	}
+	var first []kv
+	for k, v := range perInterval[0] {
+		first = append(first, kv{k, v})
+	}
+	sort.Slice(first, func(i, j int) bool { return first[i].v > first[j].v })
+	for _, top := range first[:5] {
+		for i, m := range perInterval {
+			if _, ok := m[top.k]; !ok {
+				t.Errorf("top flow %v missing from interval %d", top.k, i)
+			}
+		}
+	}
+}
+
+func TestGeneratorEveryIntervalNonEmpty(t *testing.T) {
+	cfg := smallConfig()
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, cfg.Intervals)
+	_, err = Replay(g, FuncConsumer{
+		OnPacket: func(p *flow.Packet) { counts[int(p.Time/cfg.Interval)]++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("interval %d has no packets", i)
+		}
+	}
+}
+
+func BenchmarkGenerator(b *testing.B) {
+	cfg := smallConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := NewGenerator(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			if _, err := g.Next(); err == io.EOF {
+				break
+			}
+			n++
+		}
+		b.ReportMetric(float64(n), "packets/op")
+	}
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"container/heap"
+	"errors"
+	"io"
+
+	"repro/internal/flow"
+)
+
+// Merge combines multiple packet sources into one time-ordered stream —
+// the way a measurement point sees the union of several traffic sources
+// (e.g. background traffic plus an injected attack, or multiple input
+// links feeding one device). The merged trace takes its metadata from the
+// first source; every source must already be time ordered.
+func Merge(meta Meta, sources ...Source) (Source, error) {
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sources) == 0 {
+		return nil, errors.New("trace: Merge needs at least one source")
+	}
+	m := &mergeSource{meta: meta}
+	for _, s := range sources {
+		p, err := s.Next()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		m.heap = append(m.heap, mergeHead{pkt: p, src: s})
+	}
+	heap.Init(&m.heap)
+	return m, nil
+}
+
+type mergeHead struct {
+	pkt flow.Packet
+	src Source
+}
+
+type mergeHeap []mergeHead
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return h[i].pkt.Time < h[j].pkt.Time }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeHead)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type mergeSource struct {
+	meta Meta
+	heap mergeHeap
+}
+
+// Meta implements Source.
+func (m *mergeSource) Meta() Meta { return m.meta }
+
+// Next implements Source.
+func (m *mergeSource) Next() (flow.Packet, error) {
+	if len(m.heap) == 0 {
+		return flow.Packet{}, io.EOF
+	}
+	head := m.heap[0]
+	out := head.pkt
+	next, err := head.src.Next()
+	switch err {
+	case nil:
+		m.heap[0].pkt = next
+		heap.Fix(&m.heap, 0)
+	case io.EOF:
+		heap.Pop(&m.heap)
+	default:
+		return flow.Packet{}, err
+	}
+	return out, nil
+}

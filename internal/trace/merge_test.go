@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/pcap"
+)
+
+func TestMergeInterleavesByTime(t *testing.T) {
+	m := testMeta()
+	a := NewSliceSource(m, []flow.Packet{
+		mkPacket(10*time.Millisecond, 1),
+		mkPacket(30*time.Millisecond, 3),
+	})
+	b := NewSliceSource(m, []flow.Packet{
+		mkPacket(20*time.Millisecond, 2),
+		mkPacket(40*time.Millisecond, 4),
+	})
+	merged, err := Merge(m, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []uint32
+	for {
+		p, err := merged.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, p.Size)
+	}
+	want := []uint32{1, 2, 3, 4}
+	if len(sizes) != 4 {
+		t.Fatalf("merged %d packets", len(sizes))
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Errorf("position %d: size %d, want %d", i, sizes[i], want[i])
+		}
+	}
+}
+
+func TestMergeHandlesEmptyAndSingleSources(t *testing.T) {
+	m := testMeta()
+	empty := NewSliceSource(m, nil)
+	one := NewSliceSource(m, []flow.Packet{mkPacket(time.Millisecond, 7)})
+	merged, err := Merge(m, empty, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := merged.Next()
+	if err != nil || p.Size != 7 {
+		t.Errorf("got %v, %v", p, err)
+	}
+	if _, err := merged.Next(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+	if _, err := Merge(m); err == nil {
+		t.Error("Merge with no sources accepted")
+	}
+	bad := m
+	bad.Intervals = 0
+	if _, err := Merge(bad, one); err == nil {
+		t.Error("Merge with invalid meta accepted")
+	}
+}
+
+func TestMergeManySourcesStaysSorted(t *testing.T) {
+	m := testMeta()
+	var sources []Source
+	for s := 0; s < 8; s++ {
+		var pkts []flow.Packet
+		for i := 0; i < 50; i++ {
+			pkts = append(pkts, mkPacket(time.Duration(s+i*8)*time.Millisecond, uint32(s*100+i)))
+		}
+		sources = append(sources, NewSliceSource(m, pkts))
+	}
+	merged, err := Merge(m, sources...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last time.Duration
+	n := 0
+	for {
+		p, err := merged.Next()
+		if err == io.EOF {
+			break
+		}
+		if p.Time < last {
+			t.Fatalf("packet %d out of order: %v < %v", n, p.Time, last)
+		}
+		last = p.Time
+		n++
+	}
+	if n != 400 {
+		t.Errorf("merged %d packets, want 400", n)
+	}
+}
+
+func TestPcapSourceRoundTrip(t *testing.T) {
+	// Generate a small trace, write it as pcap, read it back as a Source.
+	cfg := smallConfig()
+	cfg = cfg.WithIntervals(1)
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := Collect(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := pcap.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		p, err := orig.Next()
+		if err == io.EOF {
+			break
+		}
+		if err := w.WritePacket(&p); err != nil {
+			t.Fatal(err)
+		}
+		count++
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	meta := cfg.Meta
+	meta.HasAS = false // pcap does not carry AS annotations
+	src, err := NewPcapSource(&buf, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig.Reset()
+	got := 0
+	for {
+		p, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := orig.Next()
+		want.SrcAS, want.DstAS = 0, 0
+		// Microsecond truncation of the pcap format.
+		want.Time = want.Time.Truncate(time.Microsecond)
+		if p != want {
+			t.Fatalf("packet %d: got %+v want %+v", got, p, want)
+		}
+		got++
+	}
+	if got != count {
+		t.Errorf("read %d packets, wrote %d", got, count)
+	}
+	if src.Skipped != 0 {
+		t.Errorf("skipped %d frames from a pure-IPv4 capture", src.Skipped)
+	}
+}
+
+func TestPcapSourceRejectsBadMeta(t *testing.T) {
+	if _, err := NewPcapSource(bytes.NewReader(nil), Meta{}); err == nil {
+		t.Error("invalid meta accepted")
+	}
+}

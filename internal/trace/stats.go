@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/flow"
+)
+
+// MinAvgMax summarizes a per-interval quantity the way Table 3 of the paper
+// does: smallest, average and largest value over the measurement intervals.
+type MinAvgMax struct {
+	Min, Avg, Max float64
+}
+
+// Observe folds one interval's value into the summary; n is the number of
+// values observed so far including this one.
+func (m *MinAvgMax) observe(v float64, n int) {
+	if n == 1 {
+		m.Min, m.Max = v, v
+	} else {
+		if v < m.Min {
+			m.Min = v
+		}
+		if v > m.Max {
+			m.Max = v
+		}
+	}
+	m.Avg += (v - m.Avg) / float64(n)
+}
+
+// String renders the summary in Table 3's min/avg/max form.
+func (m MinAvgMax) String() string {
+	return fmt.Sprintf("%.0f/%.0f/%.0f", m.Min, m.Avg, m.Max)
+}
+
+// Stats is a Table 3 row: per-interval active flow counts for each flow
+// definition, and traffic volume per interval.
+type Stats struct {
+	Name string
+	// Flows maps definition name to the per-interval active flow count
+	// summary. AS-pair counts are absent when the trace has no AS
+	// annotations.
+	Flows map[string]MinAvgMax
+	// MBytes is the per-interval traffic volume in megabytes (decimal, as
+	// in the paper: 1 Mbyte = 1,000,000 bytes).
+	MBytes MinAvgMax
+	// Packets is the total number of packets in the trace.
+	Packets int
+	// Intervals is the number of measurement intervals summarized.
+	Intervals int
+}
+
+// CollectStats replays src and gathers Table 3 statistics.
+func CollectStats(src Source) (*Stats, error) {
+	meta := src.Meta()
+	defs := []flow.Definition{flow.FiveTuple{}, flow.DstIP{}}
+	if meta.HasAS {
+		defs = append(defs, flow.ASPair{})
+	}
+	st := &Stats{Name: meta.Name, Flows: make(map[string]MinAvgMax, len(defs))}
+	sets := make([]map[flow.Key]struct{}, len(defs))
+	for i := range sets {
+		sets[i] = make(map[flow.Key]struct{})
+	}
+	var bytes float64
+	c := FuncConsumer{
+		OnPacket: func(p *flow.Packet) {
+			st.Packets++
+			bytes += float64(p.Size)
+			for i, d := range defs {
+				sets[i][d.Key(p)] = struct{}{}
+			}
+		},
+		OnEndInterval: func(int) {
+			st.Intervals++
+			for i, d := range defs {
+				s := st.Flows[d.Name()]
+				s.observe(float64(len(sets[i])), st.Intervals)
+				st.Flows[d.Name()] = s
+				sets[i] = make(map[flow.Key]struct{})
+			}
+			mb := st.MBytes
+			mb.observe(bytes/1e6, st.Intervals)
+			st.MBytes = mb
+			bytes = 0
+		},
+	}
+	if _, err := Replay(src, c); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// String renders the stats as a Table 3-style row block.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s", s.Name)
+	for _, name := range []string{"5-tuple", "dstIP", "ASpair"} {
+		if m, ok := s.Flows[name]; ok {
+			fmt.Fprintf(&b, "  %s %s", name, m)
+		} else {
+			fmt.Fprintf(&b, "  %s -", name)
+		}
+	}
+	fmt.Fprintf(&b, "  Mbytes/interval %.1f/%.1f/%.1f", s.MBytes.Min, s.MBytes.Avg, s.MBytes.Max)
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+)
+
+func TestMinAvgMaxObserve(t *testing.T) {
+	var m MinAvgMax
+	vals := []float64{10, 2, 7}
+	for i, v := range vals {
+		m.observe(v, i+1)
+	}
+	if m.Min != 2 || m.Max != 10 {
+		t.Errorf("min/max = %g/%g", m.Min, m.Max)
+	}
+	if m.Avg < 6.33 || m.Avg > 6.34 {
+		t.Errorf("avg = %g", m.Avg)
+	}
+	if got := m.String(); got != "2/6/10" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCollectStatsCountsDistinctFlows(t *testing.T) {
+	m := testMeta()
+	m.Intervals = 2
+	mk := func(at time.Duration, src, dst uint32, size uint32) flow.Packet {
+		return flow.Packet{Time: at, Size: size, SrcIP: src, DstIP: dst, Proto: 6, SrcAS: uint16(src), DstAS: uint16(dst)}
+	}
+	pkts := []flow.Packet{
+		mk(0, 1, 10, 100),
+		mk(time.Millisecond, 1, 10, 100),  // same flow again
+		mk(2*time.Millisecond, 2, 10, 50), // same dstIP, new 5-tuple
+		mk(3*time.Millisecond, 3, 11, 25),
+		mk(1100*time.Millisecond, 1, 10, 1000), // interval 1: one flow only
+	}
+	st, err := CollectStats(NewSliceSource(m, pkts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := st.Flows["5-tuple"]
+	if ft.Min != 1 || ft.Max != 3 || ft.Avg != 2 {
+		t.Errorf("5-tuple = %+v, want 1/2/3", ft)
+	}
+	di := st.Flows["dstIP"]
+	if di.Min != 1 || di.Max != 2 {
+		t.Errorf("dstIP = %+v, want min 1 max 2", di)
+	}
+	if _, ok := st.Flows["ASpair"]; !ok {
+		t.Error("ASpair stats missing on HasAS trace")
+	}
+	if st.Packets != 5 || st.Intervals != 2 {
+		t.Errorf("packets/intervals = %d/%d", st.Packets, st.Intervals)
+	}
+	// Interval 0 carried 275 bytes, interval 1 carried 1000.
+	if st.MBytes.Min != 275e-6 || st.MBytes.Max != 1e-3 {
+		t.Errorf("MBytes = %+v", st.MBytes)
+	}
+}
+
+func TestCollectStatsNoAS(t *testing.T) {
+	m := testMeta()
+	m.HasAS = false
+	m.Intervals = 1
+	pkts := []flow.Packet{{Time: 0, Size: 10, SrcIP: 1, DstIP: 2, Proto: 6}}
+	st, err := CollectStats(NewSliceSource(m, pkts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Flows["ASpair"]; ok {
+		t.Error("ASpair stats present on HasAS=false trace")
+	}
+	if !strings.Contains(st.String(), "ASpair -") {
+		t.Errorf("String should mark ASpair as '-': %q", st.String())
+	}
+}

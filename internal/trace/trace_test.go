@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+)
+
+func testMeta() Meta {
+	return Meta{
+		Name:            "test",
+		LinkBytesPerSec: 1e6,
+		Interval:        time.Second,
+		Intervals:       3,
+		HasAS:           true,
+	}
+}
+
+func TestMetaCapacityAndDuration(t *testing.T) {
+	m := Meta{LinkBytesPerSec: 2e6, Interval: 5 * time.Second, Intervals: 4}
+	if got := m.Capacity(); got != 1e7 {
+		t.Errorf("Capacity = %g", got)
+	}
+	if got := m.Duration(); got != 20*time.Second {
+		t.Errorf("Duration = %v", got)
+	}
+}
+
+func TestMetaValidate(t *testing.T) {
+	good := testMeta()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid meta rejected: %v", err)
+	}
+	bad := []Meta{
+		{LinkBytesPerSec: 0, Interval: time.Second, Intervals: 1},
+		{LinkBytesPerSec: 1, Interval: 0, Intervals: 1},
+		{LinkBytesPerSec: 1, Interval: time.Second, Intervals: 0},
+	}
+	for i, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("bad meta %d accepted", i)
+		}
+	}
+}
+
+func mkPacket(at time.Duration, size uint32) flow.Packet {
+	return flow.Packet{Time: at, Size: size, SrcIP: 1, DstIP: 2, Proto: 6}
+}
+
+func TestReplayIntervalBoundaries(t *testing.T) {
+	m := testMeta()
+	pkts := []flow.Packet{
+		mkPacket(100*time.Millisecond, 100),
+		mkPacket(900*time.Millisecond, 200),
+		mkPacket(1100*time.Millisecond, 300), // interval 1
+		mkPacket(2500*time.Millisecond, 400), // interval 2
+	}
+	var gotPkts []uint32
+	var gotEnds []int
+	n, err := Replay(NewSliceSource(m, pkts), FuncConsumer{
+		OnPacket:      func(p *flow.Packet) { gotPkts = append(gotPkts, p.Size) },
+		OnEndInterval: func(i int) { gotEnds = append(gotEnds, i) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("replayed %d packets", n)
+	}
+	if len(gotPkts) != 4 || gotPkts[0] != 100 || gotPkts[3] != 400 {
+		t.Errorf("packets = %v", gotPkts)
+	}
+	if len(gotEnds) != 3 || gotEnds[0] != 0 || gotEnds[1] != 1 || gotEnds[2] != 2 {
+		t.Errorf("interval ends = %v, want [0 1 2]", gotEnds)
+	}
+}
+
+func TestReplayEmptyIntervals(t *testing.T) {
+	// A trace with packets only in the first interval must still close all
+	// declared intervals.
+	m := testMeta()
+	pkts := []flow.Packet{mkPacket(10*time.Millisecond, 50)}
+	var ends []int
+	_, err := Replay(NewSliceSource(m, pkts), FuncConsumer{
+		OnEndInterval: func(i int) { ends = append(ends, i) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ends) != 3 {
+		t.Errorf("ends = %v, want 3 interval closes", ends)
+	}
+}
+
+func TestReplayNoPackets(t *testing.T) {
+	m := testMeta()
+	count := 0
+	_, err := Replay(NewSliceSource(m, nil), FuncConsumer{
+		OnEndInterval: func(int) { count++ },
+	})
+	if err != nil || count != 3 {
+		t.Errorf("empty replay: err=%v ends=%d", err, count)
+	}
+}
+
+func TestReplayLatePacketsClampToLastInterval(t *testing.T) {
+	m := testMeta()
+	pkts := []flow.Packet{mkPacket(10*time.Second, 99)} // way past the end
+	var seen int
+	var ends []int
+	_, err := Replay(NewSliceSource(m, pkts), FuncConsumer{
+		OnPacket:      func(p *flow.Packet) { seen++ },
+		OnEndInterval: func(i int) { ends = append(ends, i) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 1 || len(ends) != 3 {
+		t.Errorf("seen=%d ends=%v", seen, ends)
+	}
+}
+
+func TestReplayOutOfOrderRejected(t *testing.T) {
+	m := testMeta()
+	pkts := []flow.Packet{
+		mkPacket(1500*time.Millisecond, 1),
+		mkPacket(100*time.Millisecond, 2), // earlier interval: must error
+	}
+	if _, err := Replay(NewSliceSource(m, pkts), FuncConsumer{}); err == nil {
+		t.Error("out-of-order packets accepted")
+	}
+}
+
+func TestSliceSourceResetAndCollect(t *testing.T) {
+	m := testMeta()
+	pkts := []flow.Packet{mkPacket(0, 1), mkPacket(time.Millisecond, 2)}
+	s := NewSliceSource(m, pkts)
+	collected, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Next(); err != io.EOF {
+		t.Error("source not drained after Collect")
+	}
+	s.Reset()
+	if p, err := s.Next(); err != nil || p.Size != 1 {
+		t.Errorf("after Reset: %v %v", p, err)
+	}
+	if collected.Meta() != m {
+		t.Error("Collect lost metadata")
+	}
+	if p, _ := collected.Next(); p.Size != 1 {
+		t.Error("Collect lost packets")
+	}
+}

@@ -1,0 +1,291 @@
+// Package traffic is the public API of this library: a Go implementation of
+// the scalable heavy-hitter traffic measurement algorithms from Estan &
+// Varghese, "New Directions in Traffic Measurement and Accounting".
+//
+// The library identifies and accurately measures the large flows ("heavy
+// hitters") on a link using a small, fixed amount of fast memory, instead
+// of keeping per-flow state for millions of flows. Two algorithms are
+// provided, both with relative error proportional to 1/M in the memory M
+// (classical sampling only achieves 1/sqrt(M)):
+//
+//   - sample and hold: sample each byte with probability p = O/T; once a
+//     flow is sampled, count every one of its bytes exactly.
+//   - multistage filters: hash each flow into d stages of counters; flows
+//     whose counters reach the threshold at every stage are counted
+//     exactly, with zero false negatives.
+//
+// # Quick start
+//
+//	def := traffic.FiveTuple
+//	alg, err := traffic.NewMultistageFilter(traffic.MultistageConfig{
+//	    Stages: 4, Buckets: 4096, Entries: 3584,
+//	    Threshold: 1 << 20, Conservative: true, Shield: true, Preserve: true,
+//	})
+//	if err != nil { ... }
+//	dev := traffic.NewDevice(alg, def, traffic.NewAdaptor(traffic.MultistageAdaptation()))
+//	_, err = traffic.Replay(source, dev)
+//	for _, report := range dev.Reports() {
+//	    for _, est := range report.Estimates { ... }
+//	}
+//
+// Sources can be synthetic traces (NewGenerator with a Preset
+// configuration), files in this library's compact trace format
+// (NewTraceReader), or pcap captures (see internal/pcap via cmd/tracegen).
+//
+// The packages behind this facade also implement everything needed to
+// reproduce the paper's evaluation: a Sampled NetFlow baseline, the
+// analytic bounds of Sections 4-5, threshold accounting, and drivers for
+// every table and figure (cmd/experiments).
+package traffic
+
+import (
+	"io"
+
+	"repro/internal/accounting"
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/core/device"
+	"repro/internal/core/multistage"
+	"repro/internal/core/sampleandhold"
+	"repro/internal/exact"
+	"repro/internal/flow"
+	"repro/internal/leakybucket"
+	"repro/internal/live"
+	"repro/internal/netflow"
+	"repro/internal/pipeline"
+	"repro/internal/sampling"
+	"repro/internal/sketch"
+	"repro/internal/trace"
+)
+
+// ---- Packets and flows ----
+
+// Packet is one packet observation; see the field documentation in
+// internal/flow.
+type Packet = flow.Packet
+
+// FlowKey is a compact comparable flow identifier.
+type FlowKey = flow.Key
+
+// FlowDefinition extracts flow identifiers from packets.
+type FlowDefinition = flow.Definition
+
+// The three flow definitions evaluated in the paper.
+var (
+	// FiveTuple defines flows by source/destination address, ports and
+	// protocol (TCP-connection granularity, like NetFlow).
+	FiveTuple FlowDefinition = flow.FiveTuple{}
+	// DstIP defines flows by destination address (DoS detection).
+	DstIP FlowDefinition = flow.DstIP{}
+	// ASPair defines flows by source and destination AS (traffic matrix).
+	ASPair FlowDefinition = flow.ASPair{}
+)
+
+// ---- Algorithms ----
+
+// Estimate is one flow's reported traffic for a measurement interval.
+type Estimate = core.Estimate
+
+// Algorithm is a traffic measurement algorithm; implementations include
+// sample and hold, multistage filters, sampled NetFlow and ordinary
+// sampling.
+type Algorithm = core.Algorithm
+
+// SampleAndHoldConfig configures sample and hold (Section 3.1 of the
+// paper).
+type SampleAndHoldConfig = sampleandhold.Config
+
+// NewSampleAndHold creates a sample-and-hold algorithm.
+func NewSampleAndHold(cfg SampleAndHoldConfig) (Algorithm, error) {
+	return sampleandhold.New(cfg)
+}
+
+// MultistageConfig configures a multistage filter (Section 3.2).
+type MultistageConfig = multistage.Config
+
+// NewMultistageFilter creates a (parallel or serial) multistage filter.
+func NewMultistageFilter(cfg MultistageConfig) (Algorithm, error) {
+	return multistage.New(cfg)
+}
+
+// NetFlowConfig configures the Sampled NetFlow baseline.
+type NetFlowConfig = netflow.Config
+
+// NewSampledNetFlow creates the Sampled NetFlow baseline the paper
+// compares against.
+func NewSampledNetFlow(cfg NetFlowConfig) (Algorithm, error) {
+	return netflow.New(cfg)
+}
+
+// OrdinarySamplingConfig configures the classical-sampling baseline.
+type OrdinarySamplingConfig = sampling.Config
+
+// NewOrdinarySampling creates the classical random-sampling baseline of
+// Table 1.
+func NewOrdinarySampling(cfg OrdinarySamplingConfig) (Algorithm, error) {
+	return sampling.New(cfg)
+}
+
+// ---- Threshold adaptation ----
+
+// AdaptConfig holds the threshold adaptation constants of Figure 5.
+type AdaptConfig = adapt.Config
+
+// Adaptor applies the ADAPTTHRESHOLD algorithm between intervals.
+type Adaptor = adapt.Adaptor
+
+// NewAdaptor creates an adaptor; see SampleAndHoldAdaptation and
+// MultistageAdaptation for the paper's constants.
+func NewAdaptor(cfg AdaptConfig) *Adaptor { return adapt.New(cfg) }
+
+// SampleAndHoldAdaptation returns the paper's adaptation constants for
+// sample and hold (target 90%, adjustup 3, adjustdown 1).
+func SampleAndHoldAdaptation() AdaptConfig { return adapt.SampleAndHoldDefaults() }
+
+// MultistageAdaptation returns the paper's adaptation constants for
+// multistage filters (target 90%, adjustup 3, adjustdown 0.5).
+func MultistageAdaptation() AdaptConfig { return adapt.MultistageDefaults() }
+
+// ---- Devices ----
+
+// Device is a complete measurement device: algorithm + flow definition +
+// optional threshold adaptation. It implements Consumer.
+type Device = device.Device
+
+// IntervalReport is a device's per-interval output.
+type IntervalReport = device.IntervalReport
+
+// NewDevice assembles a measurement device; adaptor may be nil for a fixed
+// threshold.
+func NewDevice(alg Algorithm, def FlowDefinition, adaptor *Adaptor) *Device {
+	return device.New(alg, def, adaptor)
+}
+
+// ---- Traces ----
+
+// TraceMeta describes a trace: link capacity, measurement interval, length.
+type TraceMeta = trace.Meta
+
+// Source is a stream of packets in time order.
+type Source = trace.Source
+
+// Consumer receives replayed packets and interval boundaries.
+type Consumer = trace.Consumer
+
+// Replay streams a trace into a consumer (typically a *Device), calling
+// EndInterval at each measurement interval boundary. It returns the number
+// of packets replayed.
+func Replay(src Source, c Consumer) (int, error) { return trace.Replay(src, c) }
+
+// GenConfig configures the synthetic trace generator.
+type GenConfig = trace.GenConfig
+
+// Preset returns a generator configuration calibrated to one of the
+// paper's traces: "MAG+", "MAG", "IND" or "COS".
+func Preset(name string) (GenConfig, error) { return trace.Preset(name) }
+
+// NewGenerator creates a synthetic trace source from a configuration.
+func NewGenerator(cfg GenConfig) (Source, error) { return trace.NewGenerator(cfg) }
+
+// NewSliceSource wraps packets already in memory as a Source.
+func NewSliceSource(meta TraceMeta, pkts []Packet) Source {
+	return trace.NewSliceSource(meta, pkts)
+}
+
+// NewTraceReader reads this library's compact binary trace format.
+func NewTraceReader(r io.Reader) (Source, error) { return trace.NewReader(r) }
+
+// WriteTrace writes a source to the compact binary trace format and
+// returns the number of packets written.
+func WriteTrace(w io.Writer, src Source) (int, error) { return trace.WriteAll(w, src) }
+
+// ---- Ground truth ----
+
+// ExactCounter keeps exact per-flow counts — the unscalable ideal device,
+// useful as an oracle in tests and evaluations.
+type ExactCounter = exact.Counter
+
+// NewExactCounter creates an exact counter for a flow definition.
+func NewExactCounter(def FlowDefinition) *ExactCounter { return exact.New(def) }
+
+// ---- Threshold accounting ----
+
+// AccountingParams sets a threshold-accounting tariff: usage-based pricing
+// for flows above Z of the link capacity, a flat duration-based fee for the
+// rest (Section 1.2 of the paper).
+type AccountingParams = accounting.Params
+
+// IntervalBill is one interval's bill.
+type IntervalBill = accounting.IntervalBill
+
+// Ledger accumulates bills across intervals.
+type Ledger = accounting.Ledger
+
+// NewLedger creates an empty ledger.
+func NewLedger() *Ledger { return accounting.NewLedger() }
+
+// BillInterval computes the bill for one interval from a device report.
+// Because the paper's algorithms report provable lower bounds, the usage
+// charges never exceed what exact metering would bill.
+func BillInterval(interval int, ests []Estimate, capacity float64, p AccountingParams) (IntervalBill, error) {
+	return accounting.BillInterval(interval, ests, capacity, p)
+}
+
+// ---- Extensions beyond the paper ----
+
+// CountMinConfig configures the Count-Min sketch baseline — the modern
+// descendant of the multistage filter's counter arrays.
+type CountMinConfig = sketch.CountMinConfig
+
+// NewCountMin creates a Count-Min heavy hitter tracker. Unlike the paper's
+// algorithms its estimates are upper bounds (it can overcharge).
+func NewCountMin(cfg CountMinConfig) (Algorithm, error) { return sketch.NewCountMin(cfg) }
+
+// SpaceSavingConfig configures the Space-Saving baseline.
+type SpaceSavingConfig = sketch.SpaceSavingConfig
+
+// NewSpaceSaving creates a Space-Saving heavy hitter tracker (bounded
+// counter table with least-count eviction; overestimates by at most
+// total/K).
+func NewSpaceSaving(cfg SpaceSavingConfig) (Algorithm, error) { return sketch.NewSpaceSaving(cfg) }
+
+// PipelineConfig configures a sharded measurement pipeline.
+type PipelineConfig = pipeline.Config
+
+// Pipeline shards packets across parallel algorithm instances by flow, the
+// way a multi-queue NIC shards across cores, and merges interval reports.
+type Pipeline = pipeline.Pipeline
+
+// NewPipeline builds and starts a sharded pipeline; Close it when done.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) { return pipeline.New(cfg) }
+
+// LeakyBucket is the alternative large-flow definition from the paper's
+// technical report: a flow is large when it violates a (rate, burst)
+// envelope, with no interval boundaries.
+type LeakyBucket = leakybucket.Descriptor
+
+// LeakyBucketDetectorConfig configures a leaky-bucket large-flow detector.
+type LeakyBucketDetectorConfig = leakybucket.Config
+
+// LeakyBucketDetector flags flows violating a leaky bucket descriptor
+// using multistage-filtered draining buckets (no false negatives).
+type LeakyBucketDetector = leakybucket.Detector
+
+// NewLeakyBucketDetector creates a leaky-bucket large-flow detector.
+func NewLeakyBucketDetector(cfg LeakyBucketDetectorConfig) (*LeakyBucketDetector, error) {
+	return leakybucket.NewDetector(cfg)
+}
+
+// MultiDevice fans one packet stream out to several devices, one per flow
+// definition of interest, as the paper's Section 1.2 deployment envisages.
+type MultiDevice = device.Multi
+
+// NewMultiDevice groups devices into one Consumer.
+func NewMultiDevice(devices ...*Device) *MultiDevice { return device.NewMulti(devices...) }
+
+// LiveRunner drives a device from a live packet feed, closing measurement
+// intervals on wall-clock boundaries; safe for concurrent packet sources.
+type LiveRunner = live.Runner
+
+// NewLiveRunner wraps a Device (or MultiDevice) for live operation.
+func NewLiveRunner(c Consumer) *LiveRunner { return live.NewRunner(c) }
