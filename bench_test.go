@@ -10,6 +10,7 @@ package traffic
 // Paper-scale runs: `go run ./cmd/experiments -full`.
 
 import (
+	"io"
 	"testing"
 
 	"repro/internal/experiments"
@@ -177,6 +178,161 @@ func BenchmarkOrdinarySamplingPerPacket(b *testing.B) {
 		b.Fatal(err)
 	}
 	benchPackets(b, alg)
+}
+
+// ---- Batched hot path: per-packet vs. batched pipeline on the COS preset ----
+
+// benchCOSPackets generates the scaled COS trace once per benchmark and
+// returns it as replayable packets.
+func benchCOSPackets(b *testing.B) (TraceMeta, []Packet, float64) {
+	b.Helper()
+	cfg, err := Preset("COS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg = cfg.Scaled(0.05).WithIntervals(2)
+	src, err := NewGenerator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pkts []Packet
+	for {
+		p, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkts = append(pkts, p)
+	}
+	return src.Meta(), pkts, cfg.Capacity()
+}
+
+// benchReplayPipeline replays the COS trace through a 4-lane multistage
+// pipeline; batchSize 1 with Replay is the per-packet baseline (one channel
+// op and one Process call per packet), larger sizes with ReplayBatched take
+// the batched hot path end to end.
+func benchReplayPipeline(b *testing.B, batchSize int, batched bool) {
+	meta, pkts, capacity := benchCOSPackets(b)
+	total := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Pipeline construction (hash-table generation, buffer prealloc) is
+		// setup, not hot path: keep it out of the timed region.
+		b.StopTimer()
+		p, err := NewPipeline(PipelineConfig{
+			Shards: 4, QueueDepth: 256, BatchSize: batchSize,
+			NewAlgorithm: func(shard int) (Algorithm, error) {
+				return NewMultistageFilter(MultistageConfig{
+					Stages: 4, Buckets: 256, Entries: 128,
+					Threshold:    uint64(0.001 * capacity),
+					Conservative: true, Shield: true, Preserve: true,
+					Seed: int64(shard) + 1,
+				})
+			},
+			Definition: FiveTuple, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := NewSliceSource(meta, pkts)
+		b.StartTimer()
+		var n int
+		if batched {
+			n, err = ReplayBatched(src, p, DefaultBatchSize)
+		} else {
+			n, err = Replay(src, p)
+		}
+		p.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += n
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// BenchmarkReplayPipelinePerPacket is the pre-batching baseline path.
+func BenchmarkReplayPipelinePerPacket(b *testing.B) { benchReplayPipeline(b, 1, false) }
+
+// BenchmarkReplayBatched is the batched path end to end: batched source
+// reads, bulk key extraction, per-lane batch buffering (one channel op per
+// 64 packets) and the algorithms' batched kernels.
+func BenchmarkReplayBatched(b *testing.B) { benchReplayPipeline(b, 64, true) }
+
+// BenchmarkPipelineBatchedSteadyState measures the steady-state producer
+// loop of the batched pipeline: per-op cost of Packet into lane buffers with
+// recycled batches. Allocations per op must be zero.
+func BenchmarkPipelineBatchedSteadyState(b *testing.B) {
+	p, err := NewPipeline(PipelineConfig{
+		Shards: 4, QueueDepth: 256, BatchSize: 64,
+		NewAlgorithm: func(shard int) (Algorithm, error) {
+			return NewSampleAndHold(SampleAndHoldConfig{
+				Entries: 4096, Threshold: 1 << 20, Oversampling: 4, Seed: int64(shard),
+			})
+		},
+		Definition: FiveTuple, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	pk := Packet{Size: 1000, DstIP: 2, Proto: 6}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pk.SrcIP = uint32(i % 10000)
+		p.Packet(&pk)
+	}
+	b.StopTimer()
+	p.EndInterval(0)
+}
+
+// ---- Batched kernel microbenchmarks (no pipeline, algorithm only) ----
+
+func benchPacketBatches(b *testing.B, alg Algorithm) {
+	b.Helper()
+	const batch = 64
+	keys := make([]FlowKey, batch)
+	sizes := make([]uint32, batch)
+	for i := range sizes {
+		sizes[i] = 1000
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range keys {
+			keys[j].Lo = uint64((i*batch + j) % 50000)
+		}
+		ProcessBatch(alg, keys, sizes)
+	}
+	// One op is a whole batch; normalize for comparison against the
+	// per-packet benchmarks.
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/pkt")
+}
+
+func BenchmarkSampleAndHoldPerBatch(b *testing.B) {
+	alg, err := NewSampleAndHold(SampleAndHoldConfig{
+		Entries: 4096, Threshold: 1 << 20, Oversampling: 4, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPacketBatches(b, alg)
+}
+
+func BenchmarkMultistageFilterPerBatch(b *testing.B) {
+	alg, err := NewMultistageFilter(MultistageConfig{
+		Stages: 4, Buckets: 4096, Entries: 3584, Threshold: 1 << 30,
+		Conservative: true, Shield: true, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPacketBatches(b, alg)
 }
 
 func BenchmarkDeviceEndToEnd(b *testing.B) {

@@ -10,12 +10,20 @@
 //
 // Flags -scale and -runs trade fidelity for speed; -full runs at paper
 // scale (slow: the MAG+ trace alone is hundreds of millions of packets).
+//
+// -cpuprofile and -memprofile write pprof profiles of the run, so the
+// measurement hot path can be profiled without editing code:
+//
+//	experiments -cpuprofile cpu.out -scale 0.2 table5
+//	go tool pprof cpu.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -23,11 +31,13 @@ import (
 
 func main() {
 	var (
-		scale     = flag.Float64("scale", 0.05, "experiment scale (1 = paper scale)")
-		runs      = flag.Int("runs", 3, "repetitions per configuration (paper: 16-50)")
-		intervals = flag.Int("intervals", 0, "override measurement interval count")
-		seed      = flag.Int64("seed", 1, "trace seed")
-		full      = flag.Bool("full", false, "paper-scale run (-scale 1 -runs 16)")
+		scale      = flag.Float64("scale", 0.05, "experiment scale (1 = paper scale)")
+		runs       = flag.Int("runs", 3, "repetitions per configuration (paper: 16-50)")
+		intervals  = flag.Int("intervals", 0, "override measurement interval count")
+		seed       = flag.Int64("seed", 1, "trace seed")
+		full       = flag.Bool("full", false, "paper-scale run (-scale 1 -runs 16)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to `file`")
+		memprofile = flag.String("memprofile", "", "write a heap profile to `file` at exit")
 	)
 	flag.Parse()
 	o := experiments.Options{Scale: *scale, Runs: *runs, Intervals: *intervals, Seed: *seed}
@@ -39,12 +49,43 @@ func main() {
 	if len(names) == 0 {
 		names = []string{"all"}
 	}
+	if err := run(names, o, *cpuprofile, *memprofile); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the named experiments with optional profiling; profiles are
+// finalized even when an experiment fails.
+func run(names []string, o experiments.Options, cpuprofile, memprofile string) error {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 	for _, name := range names {
 		if err := runOne(name, o); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return err
 		}
 	}
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 var allExperiments = []string{

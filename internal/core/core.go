@@ -54,3 +54,27 @@ type Algorithm interface {
 	// Mem returns the algorithm's memory reference accounting.
 	Mem() *memmodel.Counter
 }
+
+// BatchAlgorithm is implemented by algorithms with a batched fast path.
+// ProcessBatch must be observably equivalent to calling Process on each
+// (keys[i], sizes[i]) pair in order — same estimates, same memory
+// accounting totals — it only amortizes per-packet overhead (hashing
+// locality, cost bookkeeping) across the batch. The slices are only valid
+// for the duration of the call; implementations must not retain them.
+type BatchAlgorithm interface {
+	Algorithm
+	ProcessBatch(keys []flow.Key, sizes []uint32)
+}
+
+// ProcessBatch feeds a batch of packets to alg, using its batched fast path
+// when it has one and falling back to per-packet Process otherwise. keys and
+// sizes must have equal length.
+func ProcessBatch(alg Algorithm, keys []flow.Key, sizes []uint32) {
+	if b, ok := alg.(BatchAlgorithm); ok {
+		b.ProcessBatch(keys, sizes)
+		return
+	}
+	for i, k := range keys {
+		alg.Process(k, sizes[i])
+	}
+}

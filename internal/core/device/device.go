@@ -27,15 +27,27 @@ type IntervalReport struct {
 	// Estimates are the tracked flows and their traffic estimates, largest
 	// first.
 	Estimates []core.Estimate
+
+	// index maps keys to positions in Estimates; Estimate builds it lazily
+	// so repeated lookups are O(1) instead of a linear scan per call.
+	index map[flow.Key]int
 }
 
 // Estimate returns the reported bytes for a flow and whether it was
-// identified at all.
+// identified at all. The first call builds a key index over Estimates, so
+// repeated lookups cost one map access; the index does not track later
+// mutation of the Estimates slice. Not safe for concurrent use.
 func (r *IntervalReport) Estimate(k flow.Key) (uint64, bool) {
-	for _, e := range r.Estimates {
-		if e.Key == k {
-			return e.Bytes, true
+	if r.index == nil {
+		r.index = make(map[flow.Key]int, len(r.Estimates))
+		for i, e := range r.Estimates {
+			if _, dup := r.index[e.Key]; !dup {
+				r.index[e.Key] = i
+			}
 		}
+	}
+	if i, ok := r.index[k]; ok {
+		return r.Estimates[i].Bytes, true
 	}
 	return 0, false
 }
@@ -43,8 +55,13 @@ func (r *IntervalReport) Estimate(k flow.Key) (uint64, bool) {
 // Device drives an algorithm over a packet stream.
 type Device struct {
 	alg     core.Algorithm
+	batch   core.BatchAlgorithm // non-nil when alg has a batched fast path
 	def     flow.Definition
 	adaptor *adapt.Adaptor
+
+	// keys and sizes are PacketBatch's reusable key-extraction scratch.
+	keys  []flow.Key
+	sizes []uint32
 
 	reports []IntervalReport
 	// OnReport, when set, receives each interval report as it is produced;
@@ -57,7 +74,8 @@ type Device struct {
 
 // New creates a device. adaptor may be nil for a fixed threshold.
 func New(alg core.Algorithm, def flow.Definition, adaptor *adapt.Adaptor) *Device {
-	return &Device{alg: alg, def: def, adaptor: adaptor, KeepReports: true}
+	batch, _ := alg.(core.BatchAlgorithm)
+	return &Device{alg: alg, batch: batch, def: def, adaptor: adaptor, KeepReports: true}
 }
 
 // Algorithm returns the wrapped algorithm.
@@ -69,6 +87,29 @@ func (d *Device) Definition() flow.Definition { return d.def }
 // Packet implements trace.Consumer.
 func (d *Device) Packet(p *flow.Packet) {
 	d.alg.Process(d.def.Key(p), p.Size)
+}
+
+// PacketBatch implements trace.BatchConsumer: it extracts the batch's flow
+// keys in bulk into reusable scratch and hands them to the algorithm's
+// batched fast path (or its per-packet Process when it has none).
+func (d *Device) PacketBatch(pkts []flow.Packet) {
+	n := len(pkts)
+	if cap(d.keys) < n {
+		d.keys = make([]flow.Key, n)
+		d.sizes = make([]uint32, n)
+	}
+	keys, sizes := d.keys[:n], d.sizes[:n]
+	for i := range pkts {
+		keys[i] = d.def.Key(&pkts[i])
+		sizes[i] = pkts[i].Size
+	}
+	if d.batch != nil {
+		d.batch.ProcessBatch(keys, sizes)
+		return
+	}
+	for i, k := range keys {
+		d.alg.Process(k, sizes[i])
+	}
 }
 
 // EndInterval implements trace.Consumer: it snapshots the report, applies

@@ -168,3 +168,84 @@ func TestDeviceAccessors(t *testing.T) {
 		t.Error("Definition accessor wrong")
 	}
 }
+
+// TestIntervalReportEstimateIndexed: repeated lookups go through the lazily
+// built key index and agree with a linear scan, including after many calls
+// and for absent keys.
+func TestIntervalReportEstimateIndexed(t *testing.T) {
+	r := IntervalReport{}
+	for i := 1; i <= 100; i++ {
+		r.Estimates = append(r.Estimates, core.Estimate{Key: flow.Key{Lo: uint64(i)}, Bytes: uint64(i * 10)})
+	}
+	for round := 0; round < 3; round++ {
+		for i := 1; i <= 100; i++ {
+			if got, ok := r.Estimate(flow.Key{Lo: uint64(i)}); !ok || got != uint64(i*10) {
+				t.Fatalf("round %d key %d: Estimate = %d,%v", round, i, got, ok)
+			}
+		}
+		if _, ok := r.Estimate(flow.Key{Lo: 999}); ok {
+			t.Fatal("report claimed to know an absent flow")
+		}
+	}
+}
+
+// noBatch hides an algorithm's ProcessBatch method, forcing Device and
+// core.ProcessBatch onto the per-packet fallback shim.
+type noBatch struct{ core.Algorithm }
+
+// TestDevicePacketBatchMatchesPerPacket: the device's batched entry point
+// produces the same reports as per-packet delivery, both for an algorithm
+// with a batched kernel (multistage) and for one without (noBatch forces the
+// per-packet fallback shim).
+func TestDevicePacketBatchMatchesPerPacket(t *testing.T) {
+	for _, shim := range []bool{false, true} {
+		t.Run(map[bool]string{false: "batched-kernel", true: "fallback-shim"}[shim], func(t *testing.T) {
+			testDevicePacketBatch(t, shim)
+		})
+	}
+}
+
+func testDevicePacketBatch(t *testing.T, shim bool) {
+	mkAlg := func() core.Algorithm {
+		alg, err := multistage.New(multistage.Config{
+			Stages: 3, Buckets: 64, Entries: 32, Threshold: 5000,
+			Conservative: true, Shield: true, Seed: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shim {
+			return noBatch{alg}
+		}
+		return alg
+	}
+	src, _, _ := testTrace()
+	var pkts []flow.Packet
+	for {
+		p, err := src.Next()
+		if err != nil {
+			break
+		}
+		pkts = append(pkts, p)
+	}
+	perPacket := New(mkAlg(), flow.FiveTuple{}, nil)
+	for i := range pkts {
+		perPacket.Packet(&pkts[i])
+	}
+	perPacket.EndInterval(0)
+
+	batched := New(mkAlg(), flow.FiveTuple{}, nil)
+	batched.PacketBatch(pkts[:len(pkts)/2])
+	batched.PacketBatch(pkts[len(pkts)/2:])
+	batched.EndInterval(0)
+
+	a, b := perPacket.Reports()[0], batched.Reports()[0]
+	if len(a.Estimates) != len(b.Estimates) {
+		t.Fatalf("%d vs %d estimates", len(a.Estimates), len(b.Estimates))
+	}
+	for i := range a.Estimates {
+		if a.Estimates[i] != b.Estimates[i] {
+			t.Fatalf("estimate %d: %+v vs %+v", i, a.Estimates[i], b.Estimates[i])
+		}
+	}
+}

@@ -31,6 +31,14 @@ func (m *Multi) Packet(p *flow.Packet) {
 	}
 }
 
+// PacketBatch implements trace.BatchConsumer: each device sees the whole
+// batch through its own batched path.
+func (m *Multi) PacketBatch(pkts []flow.Packet) {
+	for _, d := range m.devices {
+		d.PacketBatch(pkts)
+	}
+}
+
 // EndInterval implements trace.Consumer.
 func (m *Multi) EndInterval(i int) {
 	for _, d := range m.devices {

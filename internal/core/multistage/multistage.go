@@ -22,6 +22,7 @@ package multistage
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/core/flowmem"
@@ -99,7 +100,8 @@ type Filter struct {
 	// memory full; threshold adaptation keeps this near zero.
 	dropped uint64
 
-	idx []uint32 // scratch: per-stage bucket of the current packet
+	idx      []uint32   // scratch: per-stage bucket of the current packet
+	batchIdx [][]uint32 // scratch: per-stage buckets of a whole batch
 }
 
 // New creates a multistage filter.
@@ -150,144 +152,196 @@ func (f *Filter) stageThreshold() uint64 {
 // Process implements core.Algorithm.
 func (f *Filter) Process(key flow.Key, size uint32) {
 	f.cost.Packet()
-	f.cost.SRAM(1, 0) // flow memory lookup
+	f.process(key, size, false, &f.cost)
+}
+
+// ProcessBatch implements core.BatchAlgorithm. It hashes all d stages across
+// the whole batch before touching any counter — each stage's hash tables stay
+// hot while the batch streams through them — and then runs the counter logic
+// per packet against the precomputed buckets. Memory-reference accounting is
+// accumulated locally and folded into the filter's counter with a single Add.
+func (f *Filter) ProcessBatch(keys []flow.Key, sizes []uint32) {
+	n := len(keys)
+	if n == 0 {
+		return
+	}
+	if f.batchIdx == nil {
+		f.batchIdx = make([][]uint32, len(f.hashes))
+	}
+	for i, h := range f.hashes {
+		idx := f.batchIdx[i]
+		if cap(idx) < n {
+			idx = make([]uint32, n)
+		}
+		idx = idx[:n]
+		for j, k := range keys {
+			idx[j] = h.Bucket(k)
+		}
+		f.batchIdx[i] = idx
+	}
+	var cost memmodel.Counter
+	cost.Packets = uint64(n)
+	for j, k := range keys {
+		for i := range f.idx {
+			f.idx[i] = f.batchIdx[i][j]
+		}
+		f.process(k, sizes[j], true, &cost)
+	}
+	f.cost.Add(cost)
+}
+
+// process handles one packet. hashed says whether f.idx already holds the
+// packet's stage buckets (the batched path precomputes them); otherwise they
+// are computed on demand, and only when the filter is actually consulted.
+func (f *Filter) process(key flow.Key, size uint32, hashed bool, cost *memmodel.Counter) {
+	cost.SRAM(1, 0) // flow memory lookup
 	if e := f.mem.Lookup(key); e != nil {
 		e.Bytes += uint64(size)
-		f.cost.SRAM(0, 1)
+		cost.SRAM(0, 1)
 		if !f.cfg.Shield {
 			// Without shielding, tracked flows keep pushing the filter
 			// counters up (they can no longer cause false negatives, only
 			// help other flows' false positives — shielding removes that).
-			f.updateCounters(key, size)
+			if !hashed {
+				f.hashStages(key)
+			}
+			f.updateCounters(size, cost)
 		}
 		return
 	}
+	if !hashed {
+		f.hashStages(key)
+	}
 	if f.cfg.Serial {
-		f.processSerial(key, size)
+		f.processSerial(key, size, cost)
 		return
 	}
-	f.processParallel(key, size)
+	f.processParallel(key, size, cost)
 }
 
-// processParallel handles a packet of an untracked flow through the
-// parallel filter.
-func (f *Filter) processParallel(key flow.Key, size uint32) {
-	min := uint64(1<<63 - 1)
+// hashStages fills f.idx with key's bucket at every stage.
+func (f *Filter) hashStages(key flow.Key) {
 	for i, h := range f.hashes {
 		f.idx[i] = h.Bucket(key)
-		f.cost.SRAM(1, 0)
+	}
+}
+
+// scanMin reads the counter at every bucket in f.idx and returns the
+// smallest value — the filter's proven bound on the flow's traffic so far.
+func (f *Filter) scanMin(cost *memmodel.Counter) uint64 {
+	min := uint64(math.MaxUint64)
+	for i := range f.hashes {
+		cost.SRAM(1, 0)
 		if c := f.stages[i][f.idx[i]]; c < min {
 			min = c
 		}
 	}
+	return min
+}
+
+// raiseStages applies the counter update for a packet that did not pass the
+// filter. With conservative update every counter becomes max(old, min+size):
+// the smallest counter is updated normally, larger ones only rise to the
+// proven upper bound of this flow's traffic. Otherwise every counter grows
+// by the packet size.
+func (f *Filter) raiseStages(size uint32, min uint64, cost *memmodel.Counter) {
+	if !f.cfg.Conservative {
+		f.addStages(size, cost)
+		return
+	}
+	bound := min + uint64(size)
+	for i := range f.hashes {
+		if f.stages[i][f.idx[i]] < bound {
+			f.stages[i][f.idx[i]] = bound
+			cost.SRAM(0, 1)
+		}
+	}
+}
+
+// addStages adds the packet size to the counter at every bucket in f.idx.
+func (f *Filter) addStages(size uint32, cost *memmodel.Counter) {
+	for i := range f.hashes {
+		f.stages[i][f.idx[i]] += uint64(size)
+		cost.SRAM(0, 1)
+	}
+}
+
+// processParallel handles a packet of an untracked flow through the parallel
+// filter; f.idx holds the packet's stage buckets.
+func (f *Filter) processParallel(key flow.Key, size uint32, cost *memmodel.Counter) {
+	min := f.scanMin(cost)
 	if min+uint64(size) >= f.cfg.Threshold {
 		// The flow passes the filter. With conservative update, promoted
 		// packets update no counters (Section 3.3.2 second change); the
 		// classic rule updates them first.
 		if !f.cfg.Conservative {
-			for i := range f.hashes {
-				f.stages[i][f.idx[i]] += uint64(size)
-				f.cost.SRAM(0, 1)
-			}
+			f.addStages(size, cost)
 		}
 		// min bounds the flow's traffic before this packet: its own bytes
 		// are contained in every counter it hashes to.
-		f.promote(key, size, min)
+		f.promote(key, size, min, cost)
 		return
 	}
-	if f.cfg.Conservative {
-		// Conservative update: every counter becomes max(old, min+size).
-		// The smallest counter is updated normally; larger ones only rise
-		// to the proven upper bound of this flow's traffic.
-		bound := min + uint64(size)
-		for i := range f.hashes {
-			if f.stages[i][f.idx[i]] < bound {
-				f.stages[i][f.idx[i]] = bound
-				f.cost.SRAM(0, 1)
-			}
-		}
-		return
-	}
+	f.raiseStages(size, min, cost)
+}
+
+// serialAdd pushes the packet through the serial stages at the buckets in
+// f.idx, adding its size at each stage until one stays below the per-stage
+// threshold; it reports whether the packet passed every stage.
+func (f *Filter) serialAdd(size uint32, cost *memmodel.Counter) bool {
+	st := f.stageThreshold()
 	for i := range f.hashes {
-		f.stages[i][f.idx[i]] += uint64(size)
-		f.cost.SRAM(0, 1)
+		b := f.idx[i]
+		cost.SRAM(1, 1)
+		f.stages[i][b] += uint64(size)
+		if f.stages[i][b] < st {
+			return false // packet stops here; later stages never see it
+		}
 	}
+	return true
 }
 
 // processSerial handles a packet of an untracked flow through the serial
 // filter: each stage sees the packet only if it passed the previous stage.
-func (f *Filter) processSerial(key flow.Key, size uint32) {
-	st := f.stageThreshold()
+// f.idx holds the packet's stage buckets.
+func (f *Filter) processSerial(key flow.Key, size uint32, cost *memmodel.Counter) {
 	if f.cfg.Conservative {
 		// Second conservative change (the first applies only to parallel
 		// filters): if the packet would pass every stage, promote it
 		// without updating any counters.
+		st := f.stageThreshold()
 		pass := true
-		for i, h := range f.hashes {
-			f.cost.SRAM(1, 0)
-			if f.stages[i][h.Bucket(key)]+uint64(size) < st {
+		for i := range f.hashes {
+			cost.SRAM(1, 0)
+			if f.stages[i][f.idx[i]]+uint64(size) < st {
 				pass = false
 				break
 			}
 		}
 		if pass {
-			f.promote(key, size, 0)
+			f.promote(key, size, 0, cost)
 			return
 		}
 	}
-	for i, h := range f.hashes {
-		b := h.Bucket(key)
-		f.cost.SRAM(1, 1)
-		f.stages[i][b] += uint64(size)
-		if f.stages[i][b] < st {
-			return // packet stops here; later stages never see it
-		}
+	if f.serialAdd(size, cost) {
+		f.promote(key, size, 0, cost)
 	}
-	f.promote(key, size, 0)
 }
 
 // updateCounters applies a plain (or conservative) counter update for a
 // packet of a flow that is already tracked; used only without shielding.
-func (f *Filter) updateCounters(key flow.Key, size uint32) {
+// f.idx holds the packet's stage buckets.
+func (f *Filter) updateCounters(size uint32, cost *memmodel.Counter) {
 	if f.cfg.Serial {
-		st := f.stageThreshold()
-		for i, h := range f.hashes {
-			b := h.Bucket(key)
-			f.cost.SRAM(1, 1)
-			f.stages[i][b] += uint64(size)
-			if f.stages[i][b] < st {
-				return
-			}
-		}
+		f.serialAdd(size, cost)
 		return
 	}
-	min := uint64(1<<63 - 1)
-	for i, h := range f.hashes {
-		f.idx[i] = h.Bucket(key)
-		f.cost.SRAM(1, 0)
-		if c := f.stages[i][f.idx[i]]; c < min {
-			min = c
-		}
-	}
-	if f.cfg.Conservative {
-		bound := min + uint64(size)
-		for i := range f.hashes {
-			if f.stages[i][f.idx[i]] < bound {
-				f.stages[i][f.idx[i]] = bound
-				f.cost.SRAM(0, 1)
-			}
-		}
-		return
-	}
-	for i := range f.hashes {
-		f.stages[i][f.idx[i]] += uint64(size)
-		f.cost.SRAM(0, 1)
-	}
+	f.raiseStages(size, f.scanMin(cost), cost)
 }
 
 // promote adds the flow to flow memory, counting the current packet.
 // debt is the proven bound on the flow's uncounted earlier bytes.
-func (f *Filter) promote(key flow.Key, size uint32, debt uint64) {
+func (f *Filter) promote(key flow.Key, size uint32, debt uint64, cost *memmodel.Counter) {
 	e := f.mem.Insert(key, uint64(size))
 	if e == nil {
 		f.dropped++
@@ -296,7 +350,7 @@ func (f *Filter) promote(key flow.Key, size uint32, debt uint64) {
 	if f.cfg.Correction {
 		e.Debt = debt
 	}
-	f.cost.SRAM(0, 1)
+	cost.SRAM(0, 1)
 }
 
 // EndInterval implements core.Algorithm: it reports the tracked flows,

@@ -143,6 +143,39 @@ func (s *SampleAndHold) Process(key flow.Key, size uint32) {
 	}
 }
 
+// ProcessBatch implements core.BatchAlgorithm. The flow-memory lookups and
+// sampling-skip arithmetic run in one tight loop with the skip state held in
+// a register, and the memory-reference accounting for the whole batch is
+// folded into the cost counter with a single Add — the sampling draws consume
+// the RNG in exactly the order the per-packet path would, so the two paths
+// produce identical estimates.
+func (s *SampleAndHold) ProcessBatch(keys []flow.Key, sizes []uint32) {
+	var reads, writes uint64
+	skip := s.skip
+	for i, key := range keys {
+		size := sizes[i]
+		reads++ // flow memory lookup
+		if e := s.mem.Lookup(key); e != nil {
+			e.Bytes += uint64(size)
+			writes++
+			continue
+		}
+		// Untracked flow: its bytes consume the sampling skip.
+		skip -= int64(size)
+		if skip > 0 {
+			continue
+		}
+		skip = s.nextSkip()
+		if s.mem.Insert(key, uint64(size)) != nil {
+			writes++
+		}
+	}
+	s.skip = skip
+	s.cost.Add(memmodel.Counter{
+		SRAMReads: reads, SRAMWrites: writes, Packets: uint64(len(keys)),
+	})
+}
+
 // EndInterval implements core.Algorithm.
 func (s *SampleAndHold) EndInterval() []core.Estimate {
 	entries := s.mem.Report()

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"errors"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -296,3 +297,159 @@ func TestNewFailsWhenShardConstructorFails(t *testing.T) {
 }
 
 var errShard = errors.New("shard construction failed")
+
+// TestCloseTwiceWithPendingBatches: Close must flush still-buffered packets
+// to the lanes, shut down cleanly, and stay idempotent.
+func TestCloseTwiceWithPendingBatches(t *testing.T) {
+	p, err := New(Config{
+		Shards:       2,
+		QueueDepth:   4,
+		BatchSize:    64,
+		NewAlgorithm: shConfig(100),
+		Definition:   flow.FiveTuple{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fewer packets than BatchSize: they sit in the pending batches and are
+	// only delivered by Close's flush.
+	for i := 0; i < 10; i++ {
+		pk := flow.Packet{Size: 100, SrcIP: uint32(i), DstIP: 2, Proto: 6}
+		p.Packet(&pk)
+	}
+	p.Close()
+	if got := p.EntriesUsed(); got != 10 {
+		t.Errorf("EntriesUsed after Close = %d, want 10 (pending batches flushed)", got)
+	}
+	p.Close() // idempotent
+}
+
+// TestNewFailsMidwayCleansUp: when a later shard's constructor fails, the
+// lanes already started must be shut down (no leaked goroutines) and the
+// error surfaced.
+func TestNewFailsMidwayCleansUp(t *testing.T) {
+	before := runtime.NumGoroutine()
+	_, err := New(Config{
+		Shards:     4,
+		QueueDepth: 8,
+		NewAlgorithm: func(shard int) (core.Algorithm, error) {
+			if shard == 2 {
+				return nil, errShard
+			}
+			return shConfig(8)(shard)
+		},
+		Definition: flow.FiveTuple{},
+	})
+	if !errors.Is(err, errShard) {
+		t.Fatalf("err = %v, want wrapped errShard", err)
+	}
+	// New's internal Close waits for started lanes, so by the time it
+	// returns no lane goroutines may remain. Allow the runtime a moment to
+	// reap exited goroutines before declaring a leak.
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before New, %d after failed New", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBatchedMatchesPerPacketPipeline: lane batching must not change the
+// merged reports. Run with -race this also exercises the batch-buffer
+// handoff between the producer and the lane goroutines.
+func TestBatchedMatchesPerPacketPipeline(t *testing.T) {
+	src, _ := testTrace(150, 4000, 3)
+	run := func(batchSize int) []Report {
+		src.Reset()
+		p, err := New(Config{
+			Shards:       4,
+			QueueDepth:   16,
+			BatchSize:    batchSize,
+			NewAlgorithm: shConfig(1000),
+			Definition:   flow.FiveTuple{},
+			Seed:         5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		if _, err := trace.Replay(src, p); err != nil {
+			t.Fatal(err)
+		}
+		return p.Reports()
+	}
+	perPacket := run(1)
+	// 48 does not divide the per-interval packet count, so EndInterval's
+	// partial-batch flush is exercised at every boundary.
+	batched := run(48)
+	if len(perPacket) != len(batched) {
+		t.Fatalf("report counts differ: %d vs %d", len(perPacket), len(batched))
+	}
+	for i := range perPacket {
+		a, b := perPacket[i], batched[i]
+		if len(a.Estimates) != len(b.Estimates) {
+			t.Fatalf("interval %d: %d estimates per-packet, %d batched", i, len(a.Estimates), len(b.Estimates))
+		}
+		for j := range a.Estimates {
+			if a.Estimates[j] != b.Estimates[j] {
+				t.Fatalf("interval %d estimate %d: %+v vs %+v", i, j, a.Estimates[j], b.Estimates[j])
+			}
+		}
+		for s := range a.PerShard {
+			if a.PerShard[s] != b.PerShard[s] {
+				t.Fatalf("interval %d shard %d: %d vs %d estimates", i, s, a.PerShard[s], b.PerShard[s])
+			}
+		}
+	}
+}
+
+// TestPacketBatchDelivery: the BatchConsumer entry point distributes a burst
+// across lanes exactly like per-packet delivery.
+func TestPacketBatchDelivery(t *testing.T) {
+	mk := func() *Pipeline {
+		p, err := New(Config{
+			Shards:       4,
+			QueueDepth:   16,
+			BatchSize:    8,
+			NewAlgorithm: shConfig(1000),
+			Definition:   flow.FiveTuple{},
+			Seed:         5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	var pkts []flow.Packet
+	for i := 0; i < 100; i++ {
+		pkts = append(pkts, flow.Packet{Size: 100, SrcIP: uint32(i % 37), DstIP: 2, Proto: 6})
+	}
+	a, b := mk(), mk()
+	defer a.Close()
+	defer b.Close()
+	for i := range pkts {
+		a.Packet(&pkts[i])
+	}
+	a.EndInterval(0)
+	b.PacketBatch(pkts)
+	b.EndInterval(0)
+	ra, rb := a.Reports()[0], b.Reports()[0]
+	if len(ra.Estimates) != len(rb.Estimates) {
+		t.Fatalf("%d vs %d estimates", len(ra.Estimates), len(rb.Estimates))
+	}
+	for j := range ra.Estimates {
+		if ra.Estimates[j] != rb.Estimates[j] {
+			t.Fatalf("estimate %d: %+v vs %+v", j, ra.Estimates[j], rb.Estimates[j])
+		}
+	}
+}
+
+func TestValidateRejectsNegativeBatchSize(t *testing.T) {
+	cfg := Config{Shards: 1, QueueDepth: 1, BatchSize: -1, NewAlgorithm: shConfig(8), Definition: flow.FiveTuple{}}
+	if cfg.Validate() == nil {
+		t.Error("negative BatchSize accepted")
+	}
+}

@@ -155,3 +155,131 @@ func TestSliceSourceResetAndCollect(t *testing.T) {
 		t.Error("Collect lost packets")
 	}
 }
+
+// eventRecorder records the interleaving of packets and interval boundaries;
+// when batch is true it also implements BatchConsumer and records batch
+// sizes, so tests can check batching invariants.
+type eventRecorder struct {
+	batch   bool
+	events  []string
+	batches []int
+}
+
+func (r *eventRecorder) Packet(p *flow.Packet) {
+	r.events = append(r.events, "p", string(rune('0'+p.Size%10)))
+}
+
+func (r *eventRecorder) EndInterval(i int) {
+	r.events = append(r.events, "iv")
+}
+
+// batchRecorder wraps eventRecorder with a PacketBatch method.
+type batchRecorder struct{ eventRecorder }
+
+func (r *batchRecorder) PacketBatch(pkts []flow.Packet) {
+	r.batches = append(r.batches, len(pkts))
+	for i := range pkts {
+		r.Packet(&pkts[i])
+	}
+}
+
+func replayEvents(t *testing.T, pkts []flow.Packet, m Meta) []string {
+	t.Helper()
+	var r eventRecorder
+	if _, err := Replay(NewSliceSource(m, pkts), &r); err != nil {
+		t.Fatal(err)
+	}
+	return r.events
+}
+
+func sameEvents(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReplayBatchedSameSequence: batched replay delivers the exact
+// packet/interval interleaving of Replay, for batch-capable and plain
+// consumers, across batch sizes that do and do not divide the trace.
+func TestReplayBatchedSameSequence(t *testing.T) {
+	m := testMeta()
+	var pkts []flow.Packet
+	for iv := 0; iv < m.Intervals; iv++ {
+		for i := 0; i < 17; i++ {
+			pkts = append(pkts, mkPacket(time.Duration(iv)*time.Second+time.Duration(i)*time.Millisecond, uint32(iv*17+i)))
+		}
+	}
+	want := replayEvents(t, pkts, m)
+	for _, bs := range []int{1, 3, 17, 64, 0 /* default */} {
+		var br batchRecorder
+		n, err := ReplayBatched(NewSliceSource(m, pkts), &br, bs)
+		if err != nil {
+			t.Fatalf("batch size %d: %v", bs, err)
+		}
+		if n != len(pkts) {
+			t.Errorf("batch size %d: replayed %d packets, want %d", bs, n, len(pkts))
+		}
+		if !sameEvents(br.events, want) {
+			t.Errorf("batch size %d: event sequence diverges from Replay", bs)
+		}
+		limit := bs
+		if limit <= 0 {
+			limit = DefaultBatchSize
+		}
+		for _, got := range br.batches {
+			if got < 1 || got > limit {
+				t.Errorf("batch size %d: delivered batch of %d", bs, got)
+			}
+		}
+		// Per-packet fallback for consumers without PacketBatch.
+		var plain eventRecorder
+		if _, err := ReplayBatched(NewSliceSource(m, pkts), &plain, bs); err != nil {
+			t.Fatal(err)
+		}
+		if !sameEvents(plain.events, want) {
+			t.Errorf("batch size %d: plain-consumer sequence diverges from Replay", bs)
+		}
+	}
+}
+
+// TestReplayBatchedNeverSpansBoundary: a batch is always flushed before an
+// interval boundary, even mid-batch.
+func TestReplayBatchedNeverSpansBoundary(t *testing.T) {
+	m := testMeta()
+	// 5 packets in interval 0, then one in interval 2: the open batch (5 <
+	// batchSize 8) must be flushed before the two EndInterval calls.
+	pkts := []flow.Packet{
+		mkPacket(0, 1), mkPacket(1*time.Millisecond, 2), mkPacket(2*time.Millisecond, 3),
+		mkPacket(3*time.Millisecond, 4), mkPacket(4*time.Millisecond, 5),
+		mkPacket(2100*time.Millisecond, 6),
+	}
+	var br batchRecorder
+	if _, err := ReplayBatched(NewSliceSource(m, pkts), &br, 8); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.batches) != 2 || br.batches[0] != 5 || br.batches[1] != 1 {
+		t.Fatalf("batches = %v, want [5 1]", br.batches)
+	}
+	if !sameEvents(br.events, replayEvents(t, pkts, m)) {
+		t.Error("event sequence diverges from Replay")
+	}
+}
+
+// TestReplayBatchedErrors: metadata and ordering failures match Replay.
+func TestReplayBatchedErrors(t *testing.T) {
+	var r batchRecorder
+	if _, err := ReplayBatched(NewSliceSource(Meta{}, nil), &r, 4); err == nil {
+		t.Error("invalid meta accepted")
+	}
+	m := testMeta()
+	ooo := []flow.Packet{mkPacket(1500*time.Millisecond, 1), mkPacket(100*time.Millisecond, 2)}
+	if _, err := ReplayBatched(NewSliceSource(m, ooo), &r, 4); err == nil {
+		t.Error("out-of-order trace accepted")
+	}
+}

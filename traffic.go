@@ -91,6 +91,19 @@ type Estimate = core.Estimate
 // sampling.
 type Algorithm = core.Algorithm
 
+// BatchAlgorithm is an Algorithm with a batched fast path. Sample and hold
+// and the multistage filters implement it; ProcessBatch is observably
+// equivalent to per-packet Process calls but amortizes hashing and cost
+// accounting across the batch.
+type BatchAlgorithm = core.BatchAlgorithm
+
+// ProcessBatch feeds a batch of packets to an algorithm, using its batched
+// fast path when it has one and falling back to per-packet Process calls
+// otherwise.
+func ProcessBatch(a Algorithm, keys []FlowKey, sizes []uint32) {
+	core.ProcessBatch(a, keys, sizes)
+}
+
 // SampleAndHoldConfig configures sample and hold (Section 3.1 of the
 // paper).
 type SampleAndHoldConfig = sampleandhold.Config
@@ -177,6 +190,23 @@ type Consumer = trace.Consumer
 // of packets replayed.
 func Replay(src Source, c Consumer) (int, error) { return trace.Replay(src, c) }
 
+// BatchConsumer is a Consumer with a batched packet path; Device, MultiDevice
+// and Pipeline all implement it.
+type BatchConsumer = trace.BatchConsumer
+
+// DefaultBatchSize is the batch size ReplayBatched uses when given a
+// non-positive one.
+const DefaultBatchSize = trace.DefaultBatchSize
+
+// ReplayBatched streams a trace into a consumer in batches of up to
+// batchSize packets, using the consumer's PacketBatch fast path when it has
+// one. Batches never span interval boundaries, so reports are bit-identical
+// to Replay's; the batched path wins by amortizing per-packet call, channel
+// and hashing overhead. batchSize <= 0 selects DefaultBatchSize.
+func ReplayBatched(src Source, c Consumer, batchSize int) (int, error) {
+	return trace.ReplayBatched(src, c, batchSize)
+}
+
 // GenConfig configures the synthetic trace generator.
 type GenConfig = trace.GenConfig
 
@@ -254,7 +284,12 @@ type PipelineConfig = pipeline.Config
 
 // Pipeline shards packets across parallel algorithm instances by flow, the
 // way a multi-queue NIC shards across cores, and merges interval reports.
+// Packets are handed to lanes in batches (PipelineConfig.BatchSize), one
+// channel operation per batch.
 type Pipeline = pipeline.Pipeline
+
+// PipelineReport is one merged interval report from a Pipeline.
+type PipelineReport = pipeline.Report
 
 // NewPipeline builds and starts a sharded pipeline; Close it when done.
 func NewPipeline(cfg PipelineConfig) (*Pipeline, error) { return pipeline.New(cfg) }
