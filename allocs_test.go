@@ -1,0 +1,24 @@
+//go:build !race
+
+// The race detector changes the allocator's behavior, so the allocation
+// guard only exists in non-race builds; CI runs it in a dedicated step.
+
+package traffic
+
+import "testing"
+
+// TestBatchedHotPathZeroAllocs is the enforcement half of the batched
+// hot-path contract: the steady-state producer loop (Packet into recycled
+// lane batch buffers, telemetry included) must not allocate. The benchmark
+// harness does the measuring so the guard uses the exact code path
+// BenchmarkPipelineBatchedSteadyState reports on.
+func TestBatchedHotPathZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-driven guard skipped in -short mode")
+	}
+	res := testing.Benchmark(BenchmarkPipelineBatchedSteadyState)
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Fatalf("batched steady-state hot path allocates: %d allocs/op (%d B/op), must be 0",
+			a, res.AllocedBytesPerOp())
+	}
+}

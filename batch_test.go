@@ -87,18 +87,12 @@ func TestBatchedReplayEquivalenceMultistage(t *testing.T) {
 				t.Fatal(err)
 			}
 			dev := NewDevice(alg, FiveTuple, NewAdaptor(MultistageAdaptation()))
-			var err2 error
-			if batchSize == 0 {
-				_, err2 = Replay(NewSliceSource(meta, pkts), dev)
-			} else {
-				_, err2 = ReplayBatched(NewSliceSource(meta, pkts), dev, batchSize)
-			}
-			if err2 != nil {
-				t.Fatalf("%s: %v", label, err2)
+			if _, err := Replay(NewSliceSource(meta, pkts), dev, WithBatchSize(batchSize)); err != nil {
+				t.Fatalf("%s: %v", label, err)
 			}
 			return dev.Reports()
 		}
-		perPacket := run(0)
+		perPacket := run(1)
 		// 37 does not divide the interval packet counts, so partial-batch
 		// flushing at boundaries is exercised on every interval.
 		requireSameReports(t, label, perPacket, run(37))
@@ -125,18 +119,12 @@ func TestBatchedReplayEquivalenceSampleAndHold(t *testing.T) {
 				t.Fatal(err)
 			}
 			dev := NewDevice(alg, FiveTuple, NewAdaptor(SampleAndHoldAdaptation()))
-			var err2 error
-			if batchSize == 0 {
-				_, err2 = Replay(NewSliceSource(meta, pkts), dev)
-			} else {
-				_, err2 = ReplayBatched(NewSliceSource(meta, pkts), dev, batchSize)
-			}
-			if err2 != nil {
-				t.Fatalf("%s: %v", label, err2)
+			if _, err := Replay(NewSliceSource(meta, pkts), dev, WithBatchSize(batchSize)); err != nil {
+				t.Fatalf("%s: %v", label, err)
 			}
 			return dev.Reports()
 		}
-		perPacket := run(0)
+		perPacket := run(1)
 		requireSameReports(t, label, perPacket, run(53))
 		requireSameReports(t, label+" (default batch)", perPacket, run(DefaultBatchSize))
 	}
@@ -164,7 +152,7 @@ func TestBatchedPipelineEquivalence(t *testing.T) {
 		},
 	}
 	for name, newAlg := range algs {
-		run := func(batchSize int, batchedReplay bool) []PipelineReport {
+		run := func(batchSize, replayBatchSize int) []IntervalReport {
 			p, err := NewPipeline(PipelineConfig{
 				Shards: 4, QueueDepth: 64, BatchSize: batchSize,
 				NewAlgorithm: newAlg, Definition: FiveTuple, Seed: 17,
@@ -173,18 +161,13 @@ func TestBatchedPipelineEquivalence(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer p.Close()
-			if batchedReplay {
-				_, err = ReplayBatched(NewSliceSource(meta, pkts), p, 61)
-			} else {
-				_, err = Replay(NewSliceSource(meta, pkts), p)
-			}
-			if err != nil {
+			if _, err := Replay(NewSliceSource(meta, pkts), p, WithBatchSize(replayBatchSize)); err != nil {
 				t.Fatal(err)
 			}
 			return p.Reports()
 		}
-		perPacket := run(1, false)
-		batched := run(64, true)
+		perPacket := run(1, 1)
+		batched := run(64, 61)
 		if len(perPacket) != len(batched) {
 			t.Fatalf("%s: %d vs %d pipeline reports", name, len(perPacket), len(batched))
 		}

@@ -210,10 +210,10 @@ func benchCOSPackets(b *testing.B) (TraceMeta, []Packet, float64) {
 }
 
 // benchReplayPipeline replays the COS trace through a 4-lane multistage
-// pipeline; batchSize 1 with Replay is the per-packet baseline (one channel
-// op and one Process call per packet), larger sizes with ReplayBatched take
-// the batched hot path end to end.
-func benchReplayPipeline(b *testing.B, batchSize int, batched bool) {
+// pipeline; batch size 1 is the per-packet baseline (one channel op and one
+// Process call per packet), larger sizes take the batched hot path end to
+// end.
+func benchReplayPipeline(b *testing.B, batchSize, replayBatchSize int) {
 	meta, pkts, capacity := benchCOSPackets(b)
 	total := 0
 	b.ReportAllocs()
@@ -239,12 +239,7 @@ func benchReplayPipeline(b *testing.B, batchSize int, batched bool) {
 		}
 		src := NewSliceSource(meta, pkts)
 		b.StartTimer()
-		var n int
-		if batched {
-			n, err = ReplayBatched(src, p, DefaultBatchSize)
-		} else {
-			n, err = Replay(src, p)
-		}
+		n, err := Replay(src, p, WithBatchSize(replayBatchSize))
 		p.Close()
 		if err != nil {
 			b.Fatal(err)
@@ -256,12 +251,12 @@ func benchReplayPipeline(b *testing.B, batchSize int, batched bool) {
 }
 
 // BenchmarkReplayPipelinePerPacket is the pre-batching baseline path.
-func BenchmarkReplayPipelinePerPacket(b *testing.B) { benchReplayPipeline(b, 1, false) }
+func BenchmarkReplayPipelinePerPacket(b *testing.B) { benchReplayPipeline(b, 1, 1) }
 
 // BenchmarkReplayBatched is the batched path end to end: batched source
 // reads, bulk key extraction, per-lane batch buffering (one channel op per
 // 64 packets) and the algorithms' batched kernels.
-func BenchmarkReplayBatched(b *testing.B) { benchReplayPipeline(b, 64, true) }
+func BenchmarkReplayBatched(b *testing.B) { benchReplayPipeline(b, 64, DefaultBatchSize) }
 
 // BenchmarkPipelineBatchedSteadyState measures the steady-state producer
 // loop of the batched pipeline: per-op cost of Packet into lane buffers with

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core/device"
 	"repro/internal/core/multistage"
 	"repro/internal/core/sampleandhold"
+	"repro/internal/debugserver"
 	"repro/internal/flow"
 	"repro/internal/netflow"
 	"repro/internal/pipeline"
@@ -38,6 +39,7 @@ func main() {
 		rate      = flag.Int("rate", 16, "sampling rate 1-in-x (netflow)")
 		adaptive  = flag.Bool("adapt", false, "enable dynamic threshold adaptation (Figure 5)")
 		export    = flag.String("export", "", "export reports as NetFlow v5 over UDP to this address")
+		listen    = flag.String("listen", "", "serve /debug/vars and /debug/pprof on this address while running")
 		shards    = flag.Int("shards", 1, "shard the device across this many parallel lanes")
 		top       = flag.Int("top", 10, "heavy hitters to print per interval")
 		seed      = flag.Int64("seed", 1, "algorithm seed")
@@ -48,7 +50,7 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*algName, *defName, *threshold, *entries, *stages, *buckets,
-		*oversamp, *rate, *adaptive, *export, *shards, *top, *seed, *preset, *scale, *intervals, flag.Args()); err != nil {
+		*oversamp, *rate, *adaptive, *export, *listen, *shards, *top, *seed, *preset, *scale, *intervals, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "hhdevice:", err)
 		os.Exit(1)
 	}
@@ -105,7 +107,7 @@ func openSource(preset string, scale float64, intervals int, seed int64, args []
 }
 
 func run(algName, defName string, threshold float64, entries, stages, buckets int,
-	oversamp float64, rate int, adaptive bool, export string, shards, top int, seed int64,
+	oversamp float64, rate int, adaptive bool, export, listen string, shards, top int, seed int64,
 	preset string, scale float64, intervals int, args []string) error {
 
 	def := flow.DefinitionByName(defName)
@@ -164,7 +166,7 @@ func run(algName, defName string, threshold float64, entries, stages, buckets in
 		return alg, adaptor, err
 	}
 	if shards > 1 {
-		return runSharded(mkAlg, def, src, meta, thBytes, threshold, export, shards, top)
+		return runSharded(mkAlg, def, src, meta, thBytes, threshold, export, listen, shards, top)
 	}
 	alg, adaptor, err := mkAlg(seed)
 	if err != nil {
@@ -206,6 +208,14 @@ func run(algName, defName string, threshold float64, entries, stages, buckets in
 			}
 		}
 	}
+	if listen != "" {
+		debugserver.Publish("hhdevice", func() any { return dev.Stats() })
+		addr, err := debugserver.Serve(listen)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("debug: serving /debug/vars and /debug/pprof on http://%s\n", addr)
+	}
 	n, err := trace.Replay(src, dev)
 	if err != nil {
 		return err
@@ -223,7 +233,7 @@ func run(algName, defName string, threshold float64, entries, stages, buckets in
 // therefore disabled here; use a single lane for adaptive runs).
 func runSharded(mkAlg func(int64) (core.Algorithm, *adapt.Adaptor, error), def flow.Definition,
 	src trace.Source, meta trace.Meta, thBytes uint64, threshold float64,
-	export string, shards, top int) error {
+	export, listen string, shards, top int) error {
 
 	pipe, err := pipeline.New(pipeline.Config{
 		Shards:     shards,
@@ -247,14 +257,23 @@ func runSharded(mkAlg func(int64) (core.Algorithm, *adapt.Adaptor, error), def f
 		}
 		defer exporter.Close()
 	}
+	if listen != "" {
+		debugserver.Publish("hhdevice", func() any { return pipe.Stats() })
+		addr, err := debugserver.Serve(listen)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("debug: serving /debug/vars and /debug/pprof on http://%s\n", addr)
+	}
 	fmt.Printf("sharded device: %d lanes, flows by %s, threshold %d bytes (%.4f%% of capacity)\n",
 		shards, def.Name(), thBytes, threshold*100)
 	n, err := trace.Replay(src, pipe)
 	if err != nil {
 		return err
 	}
-	for _, r := range pipe.Reports() {
-		fmt.Printf("interval %d: %d flows reported (per shard: %v)\n", r.Interval, len(r.Estimates), r.PerShard)
+	shardCounts := pipe.ShardCounts()
+	for i, r := range pipe.Reports() {
+		fmt.Printf("interval %d: %d flows reported (per shard: %v)\n", r.Interval, len(r.Estimates), shardCounts[i])
 		limit := top
 		if limit > len(r.Estimates) {
 			limit = len(r.Estimates)

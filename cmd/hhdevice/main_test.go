@@ -7,7 +7,7 @@ import (
 
 func TestRunAlgorithmsOnPreset(t *testing.T) {
 	for _, alg := range []string{"sh", "msf", "netflow"} {
-		if err := run(alg, "5-tuple", 0.001, 64, 2, 128, 4, 16, true, "", 1, 3, 1,
+		if err := run(alg, "5-tuple", 0.001, 64, 2, 128, 4, 16, true, "", "", 1, 3, 1,
 			"COS", 0.05, 2, nil); err != nil {
 			t.Errorf("%s: %v", alg, err)
 		}
@@ -16,7 +16,7 @@ func TestRunAlgorithmsOnPreset(t *testing.T) {
 
 func TestRunDefinitions(t *testing.T) {
 	for _, def := range []string{"dstIP", "ASpair"} {
-		if err := run("msf", def, 0.001, 64, 2, 128, 4, 16, false, "", 1, 1, 1,
+		if err := run("msf", def, 0.001, 64, 2, 128, 4, 16, false, "", "", 1, 1, 1,
 			"MAG", 0.01, 1, nil); err != nil {
 			t.Errorf("%s: %v", def, err)
 		}
@@ -24,16 +24,16 @@ func TestRunDefinitions(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("bogus", "5-tuple", 0.001, 64, 2, 128, 4, 16, false, "", 1, 1, 1, "COS", 0.05, 1, nil); err == nil {
+	if err := run("bogus", "5-tuple", 0.001, 64, 2, 128, 4, 16, false, "", "", 1, 1, 1, "COS", 0.05, 1, nil); err == nil {
 		t.Error("bad algorithm accepted")
 	}
-	if err := run("msf", "bogus", 0.001, 64, 2, 128, 4, 16, false, "", 1, 1, 1, "COS", 0.05, 1, nil); err == nil {
+	if err := run("msf", "bogus", 0.001, 64, 2, 128, 4, 16, false, "", "", 1, 1, 1, "COS", 0.05, 1, nil); err == nil {
 		t.Error("bad definition accepted")
 	}
-	if err := run("msf", "5-tuple", 0.001, 64, 2, 128, 4, 16, false, "", 1, 1, 1, "", 1, 1, nil); err == nil {
+	if err := run("msf", "5-tuple", 0.001, 64, 2, 128, 4, 16, false, "", "", 1, 1, 1, "", 1, 1, nil); err == nil {
 		t.Error("no input accepted")
 	}
-	if err := run("msf", "5-tuple", 0.001, 64, 2, 128, 4, 16, false, "", 1, 1, 1, "", 1, 1,
+	if err := run("msf", "5-tuple", 0.001, 64, 2, 128, 4, 16, false, "", "", 1, 1, 1, "", 1, 1,
 		[]string{filepath.Join(t.TempDir(), "missing")}); err == nil {
 		t.Error("missing file accepted")
 	}

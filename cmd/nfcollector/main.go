@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/debugserver"
 	"repro/internal/flow"
 	"repro/internal/netflow"
 )
@@ -25,11 +26,12 @@ import (
 func main() {
 	var (
 		listen = flag.String("listen", "127.0.0.1:2055", "UDP listen address")
+		debug  = flag.String("debug", "", "serve /debug/vars and /debug/pprof on this HTTP address")
 		top    = flag.Int("top", 10, "flows to print per summary")
 		every  = flag.Duration("every", 5*time.Second, "summary period")
 	)
 	flag.Parse()
-	if err := run(*listen, *top, *every); err != nil {
+	if err := run(*listen, *debug, *top, *every); err != nil {
 		fmt.Fprintln(os.Stderr, "nfcollector:", err)
 		os.Exit(1)
 	}
@@ -73,7 +75,7 @@ func (a *agg) top(n int) []struct {
 	return out
 }
 
-func run(listen string, top int, every time.Duration) error {
+func run(listen, debug string, top int, every time.Duration) error {
 	a := &agg{bytes: make(map[netflow.V5Record]uint64)}
 	srv, addr, stop, err := netflow.ListenAndServe(listen, func(_ net.Addr, p *netflow.V5Packet) {
 		a.add(p)
@@ -83,6 +85,22 @@ func run(listen string, top int, every time.Duration) error {
 	}
 	defer stop()
 	fmt.Printf("collecting NetFlow v5 on %s (summary every %v)\n", addr, every)
+	if debug != "" {
+		debugserver.Publish("nfcollector", func() any {
+			a.mu.Lock()
+			flows := len(a.bytes)
+			a.mu.Unlock()
+			return struct {
+				netflow.Stats
+				Flows int
+			}{srv.Stats(), flows}
+		})
+		daddr, err := debugserver.Serve(debug)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("debug: serving /debug/vars and /debug/pprof on http://%s\n", daddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

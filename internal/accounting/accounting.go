@@ -11,9 +11,9 @@
 package accounting
 
 import (
-	"fmt"
 	"sort"
 
+	"repro/internal/cfgerr"
 	"repro/internal/core"
 	"repro/internal/flow"
 )
@@ -33,10 +33,13 @@ type Params struct {
 // Validate checks the tariff.
 func (p Params) Validate() error {
 	if p.Z < 0 || p.Z > 1 {
-		return fmt.Errorf("accounting: Z = %g outside [0, 1]", p.Z)
+		return cfgerr.New("accounting", "Z", "%g outside [0, 1]", p.Z)
 	}
-	if p.PerByte < 0 || p.FlatPerInterval < 0 {
-		return fmt.Errorf("accounting: negative prices (%g, %g)", p.PerByte, p.FlatPerInterval)
+	if p.PerByte < 0 {
+		return cfgerr.New("accounting", "PerByte", "must not be negative, got %g", p.PerByte)
+	}
+	if p.FlatPerInterval < 0 {
+		return cfgerr.New("accounting", "FlatPerInterval", "must not be negative, got %g", p.FlatPerInterval)
 	}
 	return nil
 }

@@ -7,8 +7,9 @@
 package adapt
 
 import (
-	"fmt"
 	"math"
+
+	"repro/internal/cfgerr"
 )
 
 // Config holds the adaptation constants. The paper's measured values:
@@ -48,19 +49,25 @@ func MultistageDefaults() Config {
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if c.Target <= 0 || c.Target >= 1 {
-		return fmt.Errorf("adapt: Target = %g outside (0,1)", c.Target)
+		return cfgerr.New("adapt", "Target", "%g outside (0, 1)", c.Target)
 	}
-	if c.AdjustUp <= 0 || c.AdjustDown <= 0 {
-		return fmt.Errorf("adapt: adjust exponents must be positive (%g, %g)", c.AdjustUp, c.AdjustDown)
+	if c.AdjustUp <= 0 {
+		return cfgerr.New("adapt", "AdjustUp", "must be positive, got %g", c.AdjustUp)
 	}
-	if c.Window < 1 || c.HoldIntervals < 0 {
-		return fmt.Errorf("adapt: Window = %d, HoldIntervals = %d", c.Window, c.HoldIntervals)
+	if c.AdjustDown <= 0 {
+		return cfgerr.New("adapt", "AdjustDown", "must be positive, got %g", c.AdjustDown)
+	}
+	if c.Window < 1 {
+		return cfgerr.New("adapt", "Window", "must be at least 1, got %d", c.Window)
+	}
+	if c.HoldIntervals < 0 {
+		return cfgerr.New("adapt", "HoldIntervals", "must not be negative, got %d", c.HoldIntervals)
 	}
 	if c.MinThreshold < 1 {
-		return fmt.Errorf("adapt: MinThreshold = %d", c.MinThreshold)
+		return cfgerr.New("adapt", "MinThreshold", "must be at least 1, got %d", c.MinThreshold)
 	}
 	if c.MaxThreshold != 0 && c.MaxThreshold < c.MinThreshold {
-		return fmt.Errorf("adapt: MaxThreshold %d below MinThreshold %d", c.MaxThreshold, c.MinThreshold)
+		return cfgerr.New("adapt", "MaxThreshold", "%d below MinThreshold %d", c.MaxThreshold, c.MinThreshold)
 	}
 	return nil
 }

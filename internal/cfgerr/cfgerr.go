@@ -1,0 +1,14 @@
+// Package cfgerr formats configuration validation errors in the one style
+// used across the module: "traffic: <pkg>: <field>: <reason>". Every
+// Config's Validate method (and through it every New* constructor) reports
+// invalid fields this way, so callers of the traffic facade see a uniform
+// error shape regardless of which component rejected its configuration.
+package cfgerr
+
+import "fmt"
+
+// New returns an error of the form "traffic: <pkg>: <field>: <reason>",
+// where reason is formatted from format and args.
+func New(pkg, field, format string, args ...any) error {
+	return fmt.Errorf("traffic: %s: %s: %s", pkg, field, fmt.Sprintf(format, args...))
+}

@@ -12,6 +12,7 @@ package core
 import (
 	"repro/internal/flow"
 	"repro/internal/memmodel"
+	"repro/internal/telemetry"
 )
 
 // Estimate is one flow's reported traffic for a measurement interval.
@@ -77,4 +78,81 @@ func ProcessBatch(alg Algorithm, keys []flow.Key, sizes []uint32) {
 	for i, k := range keys {
 		alg.Process(k, sizes[i])
 	}
+}
+
+// Instrumented is implemented by algorithms that maintain live telemetry
+// counters. Their snapshots are lock-free and safe to take from any
+// goroutine while packets are being processed.
+type Instrumented interface {
+	Algorithm
+	// Telemetry returns the algorithm's live counters. The returned pointer
+	// is valid for the lifetime of the algorithm.
+	Telemetry() *telemetry.Algorithm
+}
+
+// Snapshot returns alg's live telemetry. For an Instrumented algorithm this
+// reads its atomic counters and is safe during concurrent processing; for
+// any other algorithm it synthesizes a snapshot from the Algorithm
+// interface (marked Stale), which must only be done while the algorithm is
+// quiescent.
+func Snapshot(alg Algorithm) telemetry.AlgorithmSnapshot {
+	if in, ok := alg.(Instrumented); ok {
+		return in.Telemetry().Snapshot()
+	}
+	mem := alg.Mem()
+	return telemetry.AlgorithmSnapshot{
+		Name:        alg.Name(),
+		Packets:     mem.Packets,
+		EntriesUsed: alg.EntriesUsed(),
+		Capacity:    alg.Capacity(),
+		Threshold:   alg.Threshold(),
+		Mem: telemetry.MemSnapshot{
+			SRAMReads:  mem.SRAMReads,
+			SRAMWrites: mem.SRAMWrites,
+			DRAMReads:  mem.DRAMReads,
+			DRAMWrites: mem.DRAMWrites,
+		},
+		Stale: true,
+	}
+}
+
+// IntervalReport is a measurement device's output for one interval. It
+// lives in core so that single devices, sharded pipelines and live runners
+// can all expose the same report type with the same ordering guarantees
+// (estimates sorted by descending bytes, ties by descending key).
+type IntervalReport struct {
+	// Interval is the zero-based measurement interval index.
+	Interval int
+	// Threshold is the large-flow threshold that was in effect during the
+	// interval.
+	Threshold uint64
+	// EntriesUsed is the flow memory usage at the end of the interval,
+	// before the interval transition.
+	EntriesUsed int
+	// Estimates are the tracked flows and their traffic estimates, largest
+	// first.
+	Estimates []Estimate
+
+	// index maps keys to positions in Estimates; Estimate builds it lazily
+	// so repeated lookups are O(1) instead of a linear scan per call.
+	index map[flow.Key]int
+}
+
+// Estimate returns the reported bytes for a flow and whether it was
+// identified at all. The first call builds a key index over Estimates, so
+// repeated lookups cost one map access; the index does not track later
+// mutation of the Estimates slice. Not safe for concurrent use.
+func (r *IntervalReport) Estimate(k flow.Key) (uint64, bool) {
+	if r.index == nil {
+		r.index = make(map[flow.Key]int, len(r.Estimates))
+		for i, e := range r.Estimates {
+			if _, dup := r.index[e.Key]; !dup {
+				r.index[e.Key] = i
+			}
+		}
+	}
+	if i, ok := r.index[k]; ok {
+		return r.Estimates[i].Bytes, true
+	}
+	return 0, false
 }

@@ -9,48 +9,18 @@
 package device
 
 import (
+	"sync/atomic"
+
 	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/flow"
+	"repro/internal/telemetry"
 )
 
-// IntervalReport is the device's output for one measurement interval.
-type IntervalReport struct {
-	// Interval is the zero-based measurement interval index.
-	Interval int
-	// Threshold is the large-flow threshold that was in effect during the
-	// interval.
-	Threshold uint64
-	// EntriesUsed is the flow memory usage at the end of the interval,
-	// before the interval transition.
-	EntriesUsed int
-	// Estimates are the tracked flows and their traffic estimates, largest
-	// first.
-	Estimates []core.Estimate
-
-	// index maps keys to positions in Estimates; Estimate builds it lazily
-	// so repeated lookups are O(1) instead of a linear scan per call.
-	index map[flow.Key]int
-}
-
-// Estimate returns the reported bytes for a flow and whether it was
-// identified at all. The first call builds a key index over Estimates, so
-// repeated lookups cost one map access; the index does not track later
-// mutation of the Estimates slice. Not safe for concurrent use.
-func (r *IntervalReport) Estimate(k flow.Key) (uint64, bool) {
-	if r.index == nil {
-		r.index = make(map[flow.Key]int, len(r.Estimates))
-		for i, e := range r.Estimates {
-			if _, dup := r.index[e.Key]; !dup {
-				r.index[e.Key] = i
-			}
-		}
-	}
-	if i, ok := r.index[k]; ok {
-		return r.Estimates[i].Bytes, true
-	}
-	return 0, false
-}
+// IntervalReport is the device's output for one measurement interval. It is
+// the shared core.IntervalReport: pipelines and live runners report the
+// same type with the same ordering guarantees.
+type IntervalReport = core.IntervalReport
 
 // Device drives an algorithm over a packet stream.
 type Device struct {
@@ -64,6 +34,9 @@ type Device struct {
 	sizes []uint32
 
 	reports []IntervalReport
+	// reportCount mirrors len(reports) plus reports dropped by
+	// KeepReports=false, so Stats can be read while packets flow.
+	reportCount atomic.Int64
 	// OnReport, when set, receives each interval report as it is produced;
 	// set KeepReports to false for long runs to avoid accumulation.
 	OnReport func(r IntervalReport)
@@ -131,7 +104,21 @@ func (d *Device) EndInterval(interval int) {
 	if d.KeepReports {
 		d.reports = append(d.reports, r)
 	}
+	d.reportCount.Add(1)
 }
 
 // Reports returns the accumulated interval reports.
 func (d *Device) Reports() []IntervalReport { return d.reports }
+
+// Stats returns the device's live telemetry. For the paper's algorithms
+// (and the NetFlow/sampling baselines) the counters are atomics and Stats
+// is safe to call from any goroutine while packets are being processed;
+// for uninstrumented algorithms the snapshot is marked Stale and must only
+// be taken while the device is quiescent.
+func (d *Device) Stats() telemetry.DeviceSnapshot {
+	return telemetry.DeviceSnapshot{
+		Algorithm:  core.Snapshot(d.alg),
+		Definition: d.def.Name(),
+		Reports:    int(d.reportCount.Load()),
+	}
+}

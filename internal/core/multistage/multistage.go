@@ -21,14 +21,15 @@
 package multistage
 
 import (
-	"fmt"
 	"math"
 
+	"repro/internal/cfgerr"
 	"repro/internal/core"
 	"repro/internal/core/flowmem"
 	"repro/internal/flow"
 	"repro/internal/hashing"
 	"repro/internal/memmodel"
+	"repro/internal/telemetry"
 )
 
 // Config configures a multistage filter.
@@ -68,22 +69,22 @@ type Config struct {
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if c.Stages < 1 {
-		return fmt.Errorf("multistage: Stages = %d", c.Stages)
+		return cfgerr.New("multistage", "Stages", "must be at least 1, got %d", c.Stages)
 	}
 	if c.Buckets < 1 {
-		return fmt.Errorf("multistage: Buckets = %d", c.Buckets)
+		return cfgerr.New("multistage", "Buckets", "must be at least 1, got %d", c.Buckets)
 	}
 	if c.Entries < 1 {
-		return fmt.Errorf("multistage: Entries = %d", c.Entries)
+		return cfgerr.New("multistage", "Entries", "must be at least 1, got %d", c.Entries)
 	}
 	if c.Threshold < 1 {
-		return fmt.Errorf("multistage: Threshold = %d", c.Threshold)
+		return cfgerr.New("multistage", "Threshold", "must be at least 1, got %d", c.Threshold)
 	}
 	if c.Hash != "" && hashing.FamilyByName(c.Hash, 0) == nil {
-		return fmt.Errorf("multistage: unknown hash family %q", c.Hash)
+		return cfgerr.New("multistage", "Hash", "unknown hash family %q", c.Hash)
 	}
 	if c.Correction && c.Serial {
-		return fmt.Errorf("multistage: Correction is only defined for parallel filters")
+		return cfgerr.New("multistage", "Correction", "only defined for parallel filters")
 	}
 	return nil
 }
@@ -95,6 +96,7 @@ type Filter struct {
 	stages [][]uint64
 	hashes []hashing.Func
 	cost   memmodel.Counter
+	tel    telemetry.Algorithm
 
 	// dropped counts flows that passed the filter but found the flow
 	// memory full; threshold adaptation keeps this near zero.
@@ -125,6 +127,7 @@ func New(cfg Config) (*Filter, error) {
 		f.stages[i] = make([]uint64, cfg.Buckets)
 		f.hashes[i] = family.New(uint32(cfg.Buckets))
 	}
+	f.tel.Init(f.Name(), cfg.Entries, cfg.Threshold)
 	return f, nil
 }
 
@@ -153,6 +156,7 @@ func (f *Filter) stageThreshold() uint64 {
 func (f *Filter) Process(key flow.Key, size uint32) {
 	f.cost.Packet()
 	f.process(key, size, false, &f.cost)
+	f.tel.Observe(1, uint64(size), f.cost, f.mem.Len())
 }
 
 // ProcessBatch implements core.BatchAlgorithm. It hashes all d stages across
@@ -181,13 +185,16 @@ func (f *Filter) ProcessBatch(keys []flow.Key, sizes []uint32) {
 	}
 	var cost memmodel.Counter
 	cost.Packets = uint64(n)
+	var bytes uint64
 	for j, k := range keys {
 		for i := range f.idx {
 			f.idx[i] = f.batchIdx[i][j]
 		}
+		bytes += uint64(sizes[j])
 		f.process(k, sizes[j], true, &cost)
 	}
 	f.cost.Add(cost)
+	f.tel.Observe(uint64(n), bytes, f.cost, f.mem.Len())
 }
 
 // process handles one packet. hashed says whether f.idx already holds the
@@ -345,11 +352,13 @@ func (f *Filter) promote(key flow.Key, size uint32, debt uint64, cost *memmodel.
 	e := f.mem.Insert(key, uint64(size))
 	if e == nil {
 		f.dropped++
+		f.tel.Drop()
 		return
 	}
 	if f.cfg.Correction {
 		e.Debt = debt
 	}
+	f.tel.FilterPass()
 	cost.SRAM(0, 1)
 }
 
@@ -366,10 +375,12 @@ func (f *Filter) EndInterval() []core.Estimate {
 		}
 		out = append(out, est)
 	}
-	f.mem.EndInterval(flowmem.Policy{
+	before := f.mem.Len()
+	kept := f.mem.EndInterval(flowmem.Policy{
 		Preserve:  f.cfg.Preserve,
 		Threshold: f.cfg.Threshold,
 	})
+	f.tel.ObserveInterval(f.cfg.Threshold, kept, before-kept)
 	for i := range f.stages {
 		clear(f.stages[i])
 	}
@@ -392,10 +403,14 @@ func (f *Filter) SetThreshold(t uint64) {
 		t = 1
 	}
 	f.cfg.Threshold = t
+	f.tel.SetThreshold(t)
 }
 
 // Mem implements core.Algorithm.
 func (f *Filter) Mem() *memmodel.Counter { return &f.cost }
+
+// Telemetry implements core.Instrumented.
+func (f *Filter) Telemetry() *telemetry.Algorithm { return &f.tel }
 
 // Dropped returns the number of flows that passed the filter in the current
 // interval but were dropped because the flow memory was full.

@@ -15,14 +15,15 @@
 package sampleandhold
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 
+	"repro/internal/cfgerr"
 	"repro/internal/core"
 	"repro/internal/core/flowmem"
 	"repro/internal/flow"
 	"repro/internal/memmodel"
+	"repro/internal/telemetry"
 )
 
 // Config configures a sample-and-hold instance.
@@ -52,16 +53,16 @@ type Config struct {
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if c.Entries < 1 {
-		return fmt.Errorf("sampleandhold: Entries = %d", c.Entries)
+		return cfgerr.New("sampleandhold", "Entries", "must be at least 1, got %d", c.Entries)
 	}
 	if c.Threshold < 1 {
-		return fmt.Errorf("sampleandhold: Threshold = %d", c.Threshold)
+		return cfgerr.New("sampleandhold", "Threshold", "must be at least 1, got %d", c.Threshold)
 	}
 	if c.Oversampling <= 0 {
-		return fmt.Errorf("sampleandhold: Oversampling = %g", c.Oversampling)
+		return cfgerr.New("sampleandhold", "Oversampling", "must be positive, got %g", c.Oversampling)
 	}
 	if c.EarlyRemoval < 0 || c.EarlyRemoval >= 1 {
-		return fmt.Errorf("sampleandhold: EarlyRemoval = %g out of [0,1)", c.EarlyRemoval)
+		return cfgerr.New("sampleandhold", "EarlyRemoval", "%g out of [0, 1)", c.EarlyRemoval)
 	}
 	return nil
 }
@@ -72,6 +73,7 @@ type SampleAndHold struct {
 	mem  *flowmem.Memory
 	rng  *rand.Rand
 	cost memmodel.Counter
+	tel  telemetry.Algorithm
 
 	p    float64 // byte sampling probability
 	skip int64   // bytes of untracked traffic until the next sample
@@ -89,6 +91,7 @@ func New(cfg Config) (*SampleAndHold, error) {
 	}
 	s.setProbability()
 	s.skip = s.nextSkip()
+	s.tel.Init(s.Name(), cfg.Entries, cfg.Threshold)
 	return s, nil
 }
 
@@ -124,6 +127,11 @@ func (s *SampleAndHold) Name() string { return "sample-and-hold" }
 func (s *SampleAndHold) Process(key flow.Key, size uint32) {
 	s.cost.Packet()
 	s.cost.SRAM(1, 0) // flow memory lookup
+	s.processOne(key, size)
+	s.tel.Observe(1, uint64(size), s.cost, s.mem.Len())
+}
+
+func (s *SampleAndHold) processOne(key flow.Key, size uint32) {
 	if e := s.mem.Lookup(key); e != nil {
 		e.Bytes += uint64(size)
 		s.cost.SRAM(0, 1)
@@ -140,6 +148,9 @@ func (s *SampleAndHold) Process(key flow.Key, size uint32) {
 	// the real algorithm slightly more accurate than the analysis).
 	if s.mem.Insert(key, uint64(size)) != nil {
 		s.cost.SRAM(0, 1)
+		s.tel.FilterPass()
+	} else {
+		s.tel.Drop()
 	}
 }
 
@@ -150,10 +161,11 @@ func (s *SampleAndHold) Process(key flow.Key, size uint32) {
 // the RNG in exactly the order the per-packet path would, so the two paths
 // produce identical estimates.
 func (s *SampleAndHold) ProcessBatch(keys []flow.Key, sizes []uint32) {
-	var reads, writes uint64
+	var reads, writes, bytes, passes uint64
 	skip := s.skip
 	for i, key := range keys {
 		size := sizes[i]
+		bytes += uint64(size)
 		reads++ // flow memory lookup
 		if e := s.mem.Lookup(key); e != nil {
 			e.Bytes += uint64(size)
@@ -168,12 +180,19 @@ func (s *SampleAndHold) ProcessBatch(keys []flow.Key, sizes []uint32) {
 		skip = s.nextSkip()
 		if s.mem.Insert(key, uint64(size)) != nil {
 			writes++
+			passes++
+		} else {
+			s.tel.Drop()
 		}
 	}
 	s.skip = skip
 	s.cost.Add(memmodel.Counter{
 		SRAMReads: reads, SRAMWrites: writes, Packets: uint64(len(keys)),
 	})
+	if passes != 0 {
+		s.tel.FilterPasses(passes)
+	}
+	s.tel.Observe(uint64(len(keys)), bytes, s.cost, s.mem.Len())
 }
 
 // EndInterval implements core.Algorithm.
@@ -191,11 +210,13 @@ func (s *SampleAndHold) EndInterval() []core.Estimate {
 		}
 		out = append(out, est)
 	}
-	s.mem.EndInterval(flowmem.Policy{
+	before := s.mem.Len()
+	kept := s.mem.EndInterval(flowmem.Policy{
 		Preserve:     s.cfg.Preserve,
 		Threshold:    s.cfg.Threshold,
 		EarlyRemoval: uint64(s.cfg.EarlyRemoval * float64(s.cfg.Threshold)),
 	})
+	s.tel.ObserveInterval(s.cfg.Threshold, kept, before-kept)
 	return out
 }
 
@@ -216,10 +237,14 @@ func (s *SampleAndHold) SetThreshold(t uint64) {
 	}
 	s.cfg.Threshold = t
 	s.setProbability()
+	s.tel.SetThreshold(t)
 }
 
 // Mem implements core.Algorithm.
 func (s *SampleAndHold) Mem() *memmodel.Counter { return &s.cost }
+
+// Telemetry implements core.Instrumented.
+func (s *SampleAndHold) Telemetry() *telemetry.Algorithm { return &s.tel }
 
 // SamplingProbability returns the current per-byte sampling probability.
 func (s *SampleAndHold) SamplingProbability() float64 { return s.p }

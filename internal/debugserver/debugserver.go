@@ -1,0 +1,34 @@
+// Package debugserver serves the operational debug endpoints for the
+// command-line tools: expvar's /debug/vars (live telemetry snapshots as
+// JSON) and net/http/pprof's /debug/pprof (CPU and memory profiling of a
+// running device). Both register themselves on http.DefaultServeMux at
+// import time; this package just publishes the telemetry variables and
+// binds the listener.
+package debugserver
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
+)
+
+// Publish exposes fn's result as a JSON variable under name on /debug/vars.
+// fn is called on every scrape, so it should return a cheap snapshot (the
+// telemetry Stats methods are all safe and cheap to call concurrently with
+// traffic). Publishing the same name twice panics, like expvar.Publish.
+func Publish(name string, fn func() any) {
+	expvar.Publish(name, expvar.Func(fn))
+}
+
+// Serve binds addr and serves /debug/vars and /debug/pprof in a background
+// goroutine for the life of the process. It returns the bound address, so
+// addr may use port 0 to pick a free port.
+func Serve(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go http.Serve(ln, nil) //nolint:errcheck // serves until process exit
+	return ln.Addr(), nil
+}

@@ -1,0 +1,60 @@
+package debugserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestServeExposesVarsAndPprof binds an ephemeral port and checks that a
+// published telemetry variable shows up on /debug/vars and that the pprof
+// handlers are wired — the same surface cmd/hhdevice -listen serves.
+func TestServeExposesVarsAndPprof(t *testing.T) {
+	Publish("debugserver_test", func() any {
+		return map[string]int{"packets": 42}
+	})
+	addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fmt.Sprintf("http://%s", addr)
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(get(t, base+"/debug/vars"), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	raw, ok := vars["debugserver_test"]
+	if !ok {
+		t.Fatal("/debug/vars missing published variable debugserver_test")
+	}
+	var snap map[string]int
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap["packets"] != 42 {
+		t.Errorf("published snapshot: got %v, want packets=42", snap)
+	}
+
+	if body := get(t, base+"/debug/pprof/cmdline"); len(body) == 0 {
+		t.Error("/debug/pprof/cmdline returned empty body")
+	}
+}

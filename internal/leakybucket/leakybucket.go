@@ -15,9 +15,9 @@
 package leakybucket
 
 import (
-	"fmt"
 	"time"
 
+	"repro/internal/cfgerr"
 	"repro/internal/flow"
 	"repro/internal/hashing"
 )
@@ -33,8 +33,11 @@ type Descriptor struct {
 
 // Validate checks the descriptor.
 func (d Descriptor) Validate() error {
-	if d.Rate <= 0 || d.Burst <= 0 {
-		return fmt.Errorf("leakybucket: rate %g, burst %g must be positive", d.Rate, d.Burst)
+	if d.Rate <= 0 {
+		return cfgerr.New("leakybucket", "Rate", "must be positive, got %g", d.Rate)
+	}
+	if d.Burst <= 0 {
+		return cfgerr.New("leakybucket", "Burst", "must be positive, got %g", d.Burst)
 	}
 	return nil
 }
@@ -101,13 +104,24 @@ type Config struct {
 	Seed int64
 }
 
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Descriptor.Validate(); err != nil {
+		return err
+	}
+	if c.Stages < 1 {
+		return cfgerr.New("leakybucket", "Stages", "must be at least 1, got %d", c.Stages)
+	}
+	if c.Buckets < 1 {
+		return cfgerr.New("leakybucket", "Buckets", "must be at least 1, got %d", c.Buckets)
+	}
+	return nil
+}
+
 // NewDetector creates a detector.
 func NewDetector(cfg Config) (*Detector, error) {
-	if err := cfg.Descriptor.Validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
-	}
-	if cfg.Stages < 1 || cfg.Buckets < 1 {
-		return nil, fmt.Errorf("leakybucket: stages %d, buckets %d", cfg.Stages, cfg.Buckets)
 	}
 	d := &Detector{
 		desc:    cfg.Descriptor,

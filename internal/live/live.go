@@ -10,9 +10,17 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/flow"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
+
+// Reporter is a consumer that accumulates interval reports; Device and
+// Pipeline both implement it.
+type Reporter interface {
+	Reports() []core.IntervalReport
+}
 
 // Runner serializes packets and interval ticks into a trace.Consumer,
 // which is not otherwise safe for concurrent use. Packets may arrive from
@@ -22,6 +30,7 @@ type Runner struct {
 	consumer trace.Consumer
 	interval int
 	packets  uint64
+	tel      telemetry.Runner
 }
 
 // NewRunner wraps a consumer (typically a *device.Device or
@@ -36,6 +45,7 @@ func (r *Runner) Packet(p *flow.Packet) {
 	defer r.mu.Unlock()
 	r.consumer.Packet(p)
 	r.packets++
+	r.tel.ObservePacket()
 }
 
 // Tick closes the current measurement interval and returns its index.
@@ -45,6 +55,7 @@ func (r *Runner) Tick() int {
 	i := r.interval
 	r.consumer.EndInterval(i)
 	r.interval++
+	r.tel.ObserveTick(time.Now())
 	return i
 }
 
@@ -60,6 +71,26 @@ func (r *Runner) Packets() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.packets
+}
+
+// Reports returns the wrapped consumer's accumulated interval reports, so
+// callers no longer need to hold a second reference to the device just to
+// read its output. It returns nil when the consumer does not accumulate
+// reports (e.g. a MultiDevice — read each member device instead).
+func (r *Runner) Reports() []core.IntervalReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rep, ok := r.consumer.(Reporter); ok {
+		return rep.Reports()
+	}
+	return nil
+}
+
+// Stats returns the runner's live counters. Unlike Packets/Intervals it
+// does not take the runner lock, so it is safe to call from a monitoring
+// goroutine (an expvar handler) without contending with the packet path.
+func (r *Runner) Stats() telemetry.RunnerSnapshot {
+	return r.tel.Snapshot()
 }
 
 // Run ticks every interval of wall-clock time until the context is

@@ -114,3 +114,32 @@ func TestNewMultiPanicsOnEmpty(t *testing.T) {
 	}()
 	device.NewMulti()
 }
+
+// TestReportsAndStats: the runner surfaces its wrapped consumer's reports
+// and its own lock-free telemetry, so a monitor needs only the runner.
+func TestReportsAndStats(t *testing.T) {
+	dev := newDev(t)
+	r := NewRunner(dev)
+	p := flow.Packet{Size: 100, SrcIP: 1, DstIP: 2, Proto: 6}
+	r.Packet(&p)
+	r.Packet(&p)
+	before := time.Now()
+	r.Tick()
+	got := r.Reports()
+	if len(got) != 1 || got[0].Estimates[0].Bytes != 200 {
+		t.Fatalf("runner reports = %+v, want one interval with 200 bytes", got)
+	}
+	s := r.Stats()
+	if s.Packets != 2 || s.Intervals != 1 {
+		t.Errorf("stats: %d packets, %d intervals, want 2, 1", s.Packets, s.Intervals)
+	}
+	if s.LastTick.Before(before) {
+		t.Errorf("last tick %v predates the tick call at %v", s.LastTick, before)
+	}
+
+	// A consumer with no report accumulation yields nil, not a panic.
+	multi := NewRunner(device.NewMulti(newDev(t), newDev(t)))
+	if rep := multi.Reports(); rep != nil {
+		t.Errorf("multi-device runner reports = %v, want nil", rep)
+	}
+}

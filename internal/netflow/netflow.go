@@ -12,11 +12,11 @@
 package netflow
 
 import (
-	"fmt"
-
+	"repro/internal/cfgerr"
 	"repro/internal/core"
 	"repro/internal/flow"
 	"repro/internal/memmodel"
+	"repro/internal/telemetry"
 )
 
 // Config configures the Sampled NetFlow model.
@@ -37,13 +37,13 @@ type Config struct {
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if c.SamplingRate < 1 {
-		return fmt.Errorf("netflow: SamplingRate = %d", c.SamplingRate)
+		return cfgerr.New("netflow", "SamplingRate", "must be at least 1, got %d", c.SamplingRate)
 	}
 	if c.MaxEntries < 0 {
-		return fmt.Errorf("netflow: MaxEntries = %d", c.MaxEntries)
+		return cfgerr.New("netflow", "MaxEntries", "must not be negative, got %d", c.MaxEntries)
 	}
 	if c.Phase < 0 || c.Phase >= c.SamplingRate {
-		return fmt.Errorf("netflow: Phase = %d outside [0, %d)", c.Phase, c.SamplingRate)
+		return cfgerr.New("netflow", "Phase", "%d outside [0, %d)", c.Phase, c.SamplingRate)
 	}
 	return nil
 }
@@ -59,6 +59,7 @@ type NetFlow struct {
 	entries map[flow.Key]*entry
 	counter int
 	cost    memmodel.Counter
+	tel     telemetry.Algorithm
 	// threshold is carried only to satisfy the Algorithm interface;
 	// NetFlow itself has no notion of a large-flow threshold.
 	threshold uint64
@@ -69,12 +70,14 @@ func New(cfg Config) (*NetFlow, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &NetFlow{
+	n := &NetFlow{
 		cfg:       cfg,
 		entries:   make(map[flow.Key]*entry),
 		counter:   cfg.Phase,
 		threshold: 1,
-	}, nil
+	}
+	n.tel.Init(n.Name(), cfg.MaxEntries, n.threshold)
+	return n, nil
 }
 
 // Name implements core.Algorithm.
@@ -86,18 +89,24 @@ func (n *NetFlow) Name() string { return "sampled-netflow" }
 func (n *NetFlow) Process(key flow.Key, size uint32) {
 	n.cost.Packet()
 	n.counter++
-	if n.counter < n.cfg.SamplingRate {
-		return
+	if n.counter >= n.cfg.SamplingRate {
+		n.counter = 0
+		n.sample(key, size)
 	}
-	n.counter = 0
+	n.tel.Observe(1, uint64(size), n.cost, len(n.entries))
+}
+
+func (n *NetFlow) sample(key flow.Key, size uint32) {
 	e := n.entries[key]
 	if e == nil {
 		if n.cfg.MaxEntries > 0 && len(n.entries) >= n.cfg.MaxEntries {
 			n.cost.DRAM(1, 0) // failed lookup still costs a read
+			n.tel.Drop()
 			return
 		}
 		e = &entry{}
 		n.entries[key] = e
+		n.tel.FilterPass()
 	}
 	e.bytes += uint64(size)
 	e.packets++
@@ -117,7 +126,9 @@ func (n *NetFlow) EndInterval() []core.Estimate {
 		})
 	}
 	sortEstimates(out)
+	evicted := len(n.entries)
 	n.entries = make(map[flow.Key]*entry)
+	n.tel.ObserveInterval(n.threshold, 0, evicted)
 	return out
 }
 
@@ -159,10 +170,14 @@ func (n *NetFlow) SetThreshold(t uint64) {
 		t = 1
 	}
 	n.threshold = t
+	n.tel.SetThreshold(t)
 }
 
 // Mem implements core.Algorithm.
 func (n *NetFlow) Mem() *memmodel.Counter { return &n.cost }
+
+// Telemetry implements core.Instrumented.
+func (n *NetFlow) Telemetry() *telemetry.Algorithm { return &n.tel }
 
 // SampledPackets returns the number of packets sampled so far in the
 // current interval's entries (for tests).

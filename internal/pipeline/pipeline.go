@@ -24,10 +24,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/cfgerr"
 	"repro/internal/core"
 	"repro/internal/flow"
 	"repro/internal/hashing"
+	"repro/internal/telemetry"
 )
 
 // DefaultBatchSize is the per-lane batch size used when Config.BatchSize is
@@ -58,26 +61,21 @@ type Config struct {
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if c.Shards < 1 {
-		return fmt.Errorf("pipeline: Shards = %d", c.Shards)
+		return cfgerr.New("pipeline", "Shards", "must be at least 1, got %d", c.Shards)
 	}
 	if c.QueueDepth < 1 {
-		return fmt.Errorf("pipeline: QueueDepth = %d", c.QueueDepth)
+		return cfgerr.New("pipeline", "QueueDepth", "must be at least 1, got %d", c.QueueDepth)
 	}
 	if c.BatchSize < 0 {
-		return fmt.Errorf("pipeline: BatchSize = %d", c.BatchSize)
+		return cfgerr.New("pipeline", "BatchSize", "must not be negative, got %d", c.BatchSize)
 	}
-	if c.NewAlgorithm == nil || c.Definition == nil {
-		return fmt.Errorf("pipeline: NewAlgorithm and Definition are required")
+	if c.NewAlgorithm == nil {
+		return cfgerr.New("pipeline", "NewAlgorithm", "is required")
+	}
+	if c.Definition == nil {
+		return cfgerr.New("pipeline", "Definition", "is required")
 	}
 	return nil
-}
-
-// Report is one merged interval report.
-type Report struct {
-	Interval  int
-	Estimates []core.Estimate
-	// PerShard is the number of estimates contributed by each shard.
-	PerShard []int
 }
 
 // batch is one lane's burst of packets, ready for core.ProcessBatch.
@@ -113,8 +111,15 @@ type Pipeline struct {
 	pending []*batch
 	algs    []core.Algorithm
 	wg      sync.WaitGroup
-	reports []Report
-	closed  bool
+	reports []core.IntervalReport
+	// perShard[i][s] is the number of estimates shard s contributed to
+	// interval report i.
+	perShard [][]int
+	// laneTel holds producer-side lane counters; reportCount mirrors
+	// len(reports) for concurrent Stats readers.
+	laneTel     []*telemetry.Lane
+	reportCount atomic.Int64
+	closed      bool
 }
 
 // New builds and starts a pipeline; call Close when done.
@@ -146,6 +151,7 @@ func New(cfg Config) (*Pipeline, error) {
 		p.free = append(p.free, free)
 		p.pending = append(p.pending, newBatch(batchSize))
 		p.algs = append(p.algs, alg)
+		p.laneTel = append(p.laneTel, &telemetry.Lane{})
 		p.wg.Add(1)
 		go p.run(alg, ch, free)
 	}
@@ -184,8 +190,14 @@ func (p *Pipeline) flushLane(lane int) {
 	if len(b.keys) == 0 {
 		return
 	}
+	n := len(b.keys)
 	p.lanes[lane] <- op{b: b}
+	// An empty free list means the lane has not returned a buffer yet: the
+	// producer is about to block on it — the backpressure signal telemetry
+	// reports as a flush stall.
+	stalled := len(p.free[lane]) == 0
 	p.pending[lane] = <-p.free[lane]
+	p.laneTel[lane].ObserveBatch(n, len(p.lanes[lane]), stalled)
 }
 
 // Packet implements trace.Consumer: it hashes the packet's flow to a lane
@@ -208,18 +220,36 @@ func (p *Pipeline) PacketBatch(pkts []flow.Packet) {
 // batch, barriers all lanes (each lane drains its queue before answering,
 // because the channel is FIFO) and merges their reports.
 func (p *Pipeline) EndInterval(interval int) {
+	// The report's Threshold and EntriesUsed describe the interval being
+	// closed, so they are captured before the flush resets per-lane state.
+	// Reading lane algorithms is safe here: EntriesUsed and Threshold only
+	// change on the lane goroutine while it processes ops, and the previous
+	// interval's flush replies ordered all of those writes before this call.
+	// (For the interval being closed the producer-side counters are exact
+	// because every batch below was flushed before the lanes answered.)
+	threshold := p.algs[0].Threshold()
 	replies := make([]chan []core.Estimate, len(p.lanes))
 	for i, ch := range p.lanes {
 		p.flushLane(i)
 		replies[i] = make(chan []core.Estimate, 1)
 		ch <- op{flush: replies[i]}
+		p.laneTel[i].ObserveFlush()
 	}
-	r := Report{Interval: interval, PerShard: make([]int, len(p.lanes))}
+	r := core.IntervalReport{Interval: interval, Threshold: threshold}
+	shards := make([]int, len(p.lanes))
 	for i, reply := range replies {
 		ests := <-reply
-		r.PerShard[i] = len(ests)
+		shards[i] = len(ests)
 		r.Estimates = append(r.Estimates, ests...)
 	}
+	// A lane reports one estimate per flow-memory entry, so the estimate
+	// counts sum to the flow-memory usage at the end of the interval —
+	// the same quantity a single Device records as EntriesUsed.
+	for _, e := range shards {
+		r.EntriesUsed += e
+	}
+	// Merged estimates keep the same ordering guarantee as a single
+	// device's report: descending bytes, ties by descending key.
 	sort.Slice(r.Estimates, func(i, j int) bool {
 		a, b := r.Estimates[i], r.Estimates[j]
 		if a.Bytes != b.Bytes {
@@ -231,10 +261,19 @@ func (p *Pipeline) EndInterval(interval int) {
 		return a.Key.Lo > b.Key.Lo
 	})
 	p.reports = append(p.reports, r)
+	p.perShard = append(p.perShard, shards)
+	p.reportCount.Add(1)
 }
 
-// Reports returns the merged interval reports.
-func (p *Pipeline) Reports() []Report { return p.reports }
+// Reports returns the merged interval reports. The report type and the
+// ordering of its estimates are identical to a single Device's Reports:
+// descending bytes, ties broken by descending key.
+func (p *Pipeline) Reports() []core.IntervalReport { return p.reports }
+
+// ShardCounts returns, for each interval report, how many estimates each
+// shard contributed — the sharding diagnostic that used to live on the
+// report itself.
+func (p *Pipeline) ShardCounts() [][]int { return p.perShard }
 
 // EntriesUsed sums flow-memory usage across lanes. Only meaningful between
 // intervals (lanes may be mid-batch otherwise).
@@ -244,6 +283,31 @@ func (p *Pipeline) EntriesUsed() int {
 		total += a.EntriesUsed()
 	}
 	return total
+}
+
+// Stats returns the pipeline's live telemetry: producer-side lane counters
+// (batches handed over, queue high-water marks, flush stalls) plus each
+// lane algorithm's own counters. Safe to call from any goroutine while the
+// pipeline is running, as long as every lane algorithm is instrumented
+// (core.Instrumented — true for all the algorithms in this module);
+// snapshots of uninstrumented lane algorithms are synthesized only between
+// intervals and are marked Stale.
+func (p *Pipeline) Stats() telemetry.PipelineSnapshot {
+	s := telemetry.PipelineSnapshot{
+		Shards:  len(p.lanes),
+		Reports: int(p.reportCount.Load()),
+	}
+	for i, lt := range p.laneTel {
+		s.Lanes = append(s.Lanes, lt.Snapshot())
+		if in, ok := p.algs[i].(core.Instrumented); ok {
+			s.Algorithms = append(s.Algorithms, in.Telemetry().Snapshot())
+		} else {
+			s.Algorithms = append(s.Algorithms, telemetry.AlgorithmSnapshot{
+				Name: p.algs[i].Name(), Stale: true,
+			})
+		}
+	}
+	return s
 }
 
 // Close flushes buffered packets, stops the lanes and waits for them to

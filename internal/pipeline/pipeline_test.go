@@ -147,7 +147,7 @@ func TestFlowsNeverSplitAcrossShards(t *testing.T) {
 	}
 	// Work actually spread across shards.
 	nonEmpty := 0
-	for _, n := range p.Reports()[0].PerShard {
+	for _, n := range p.ShardCounts()[0] {
 		if n > 0 {
 			nonEmpty++
 		}
@@ -362,7 +362,7 @@ func TestNewFailsMidwayCleansUp(t *testing.T) {
 // handoff between the producer and the lane goroutines.
 func TestBatchedMatchesPerPacketPipeline(t *testing.T) {
 	src, _ := testTrace(150, 4000, 3)
-	run := func(batchSize int) []Report {
+	run := func(batchSize int) ([]core.IntervalReport, [][]int) {
 		src.Reset()
 		p, err := New(Config{
 			Shards:       4,
@@ -379,12 +379,12 @@ func TestBatchedMatchesPerPacketPipeline(t *testing.T) {
 		if _, err := trace.Replay(src, p); err != nil {
 			t.Fatal(err)
 		}
-		return p.Reports()
+		return p.Reports(), p.ShardCounts()
 	}
-	perPacket := run(1)
+	perPacket, perPacketShards := run(1)
 	// 48 does not divide the per-interval packet count, so EndInterval's
 	// partial-batch flush is exercised at every boundary.
-	batched := run(48)
+	batched, batchedShards := run(48)
 	if len(perPacket) != len(batched) {
 		t.Fatalf("report counts differ: %d vs %d", len(perPacket), len(batched))
 	}
@@ -398,9 +398,9 @@ func TestBatchedMatchesPerPacketPipeline(t *testing.T) {
 				t.Fatalf("interval %d estimate %d: %+v vs %+v", i, j, a.Estimates[j], b.Estimates[j])
 			}
 		}
-		for s := range a.PerShard {
-			if a.PerShard[s] != b.PerShard[s] {
-				t.Fatalf("interval %d shard %d: %d vs %d estimates", i, s, a.PerShard[s], b.PerShard[s])
+		for s := range perPacketShards[i] {
+			if perPacketShards[i][s] != batchedShards[i][s] {
+				t.Fatalf("interval %d shard %d: %d vs %d estimates", i, s, perPacketShards[i][s], batchedShards[i][s])
 			}
 		}
 	}

@@ -10,13 +10,14 @@
 package sampling
 
 import (
-	"fmt"
 	"math/rand"
 	"sort"
 
+	"repro/internal/cfgerr"
 	"repro/internal/core"
 	"repro/internal/flow"
 	"repro/internal/memmodel"
+	"repro/internal/telemetry"
 )
 
 // Config configures the ordinary-sampling baseline.
@@ -33,10 +34,10 @@ type Config struct {
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if c.Entries < 1 {
-		return fmt.Errorf("sampling: Entries = %d", c.Entries)
+		return cfgerr.New("sampling", "Entries", "must be at least 1, got %d", c.Entries)
 	}
 	if c.Probability <= 0 || c.Probability > 1 {
-		return fmt.Errorf("sampling: Probability = %g outside (0, 1]", c.Probability)
+		return cfgerr.New("sampling", "Probability", "%g outside (0, 1]", c.Probability)
 	}
 	return nil
 }
@@ -47,6 +48,7 @@ type Sampler struct {
 	entries   map[flow.Key]uint64
 	rng       *rand.Rand
 	cost      memmodel.Counter
+	tel       telemetry.Algorithm
 	threshold uint64
 }
 
@@ -55,12 +57,14 @@ func New(cfg Config) (*Sampler, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Sampler{
+	s := &Sampler{
 		cfg:       cfg,
 		entries:   make(map[flow.Key]uint64, cfg.Entries),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		threshold: 1,
-	}, nil
+	}
+	s.tel.Init(s.Name(), cfg.Entries, s.threshold)
+	return s, nil
 }
 
 // Name implements core.Algorithm.
@@ -69,12 +73,21 @@ func (s *Sampler) Name() string { return "ordinary-sampling" }
 // Process implements core.Algorithm.
 func (s *Sampler) Process(key flow.Key, size uint32) {
 	s.cost.Packet()
+	s.sample(key, size)
+	s.tel.Observe(1, uint64(size), s.cost, len(s.entries))
+}
+
+func (s *Sampler) sample(key flow.Key, size uint32) {
 	if s.rng.Float64() >= s.cfg.Probability {
 		return
 	}
-	if _, ok := s.entries[key]; !ok && len(s.entries) >= s.cfg.Entries {
-		s.cost.SRAM(1, 0)
-		return
+	if _, ok := s.entries[key]; !ok {
+		if len(s.entries) >= s.cfg.Entries {
+			s.cost.SRAM(1, 0)
+			s.tel.Drop()
+			return
+		}
+		s.tel.FilterPass()
 	}
 	s.entries[key] += uint64(size)
 	s.cost.SRAM(1, 1)
@@ -95,7 +108,9 @@ func (s *Sampler) EndInterval() []core.Estimate {
 		}
 		return out[i].Key.Lo > out[j].Key.Lo
 	})
+	evicted := len(s.entries)
 	s.entries = make(map[flow.Key]uint64, s.cfg.Entries)
+	s.tel.ObserveInterval(s.threshold, 0, evicted)
 	return out
 }
 
@@ -115,7 +130,11 @@ func (s *Sampler) SetThreshold(t uint64) {
 		t = 1
 	}
 	s.threshold = t
+	s.tel.SetThreshold(t)
 }
 
 // Mem implements core.Algorithm.
 func (s *Sampler) Mem() *memmodel.Counter { return &s.cost }
+
+// Telemetry implements core.Instrumented.
+func (s *Sampler) Telemetry() *telemetry.Algorithm { return &s.tel }

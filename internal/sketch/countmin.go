@@ -18,9 +18,9 @@
 package sketch
 
 import (
-	"fmt"
 	"sort"
 
+	"repro/internal/cfgerr"
 	"repro/internal/core"
 	"repro/internal/flow"
 	"repro/internal/hashing"
@@ -46,14 +46,17 @@ type CountMinConfig struct {
 
 // Validate checks the configuration.
 func (c CountMinConfig) Validate() error {
-	if c.Rows < 1 || c.Columns < 1 {
-		return fmt.Errorf("sketch: CountMin %dx%d", c.Rows, c.Columns)
+	if c.Rows < 1 {
+		return cfgerr.New("sketch", "Rows", "must be at least 1, got %d", c.Rows)
+	}
+	if c.Columns < 1 {
+		return cfgerr.New("sketch", "Columns", "must be at least 1, got %d", c.Columns)
 	}
 	if c.Entries < 1 {
-		return fmt.Errorf("sketch: Entries = %d", c.Entries)
+		return cfgerr.New("sketch", "Entries", "must be at least 1, got %d", c.Entries)
 	}
 	if c.Threshold < 1 {
-		return fmt.Errorf("sketch: Threshold = %d", c.Threshold)
+		return cfgerr.New("sketch", "Threshold", "must be at least 1, got %d", c.Threshold)
 	}
 	return nil
 }

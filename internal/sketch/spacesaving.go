@@ -2,9 +2,9 @@ package sketch
 
 import (
 	"container/heap"
-	"fmt"
 	"sort"
 
+	"repro/internal/cfgerr"
 	"repro/internal/core"
 	"repro/internal/flow"
 	"repro/internal/memmodel"
@@ -21,7 +21,7 @@ type SpaceSavingConfig struct {
 // Validate checks the configuration.
 func (c SpaceSavingConfig) Validate() error {
 	if c.Entries < 1 {
-		return fmt.Errorf("sketch: SpaceSaving Entries = %d", c.Entries)
+		return cfgerr.New("sketch", "Entries", "must be at least 1, got %d", c.Entries)
 	}
 	return nil
 }

@@ -1,0 +1,314 @@
+// Package telemetry gives a running measurement device the self-accounting
+// the paper's evaluation computes offline: how many packets and bytes each
+// algorithm instance processed, how full its flow memory is, how many flows
+// passed the filter into flow memory (the candidate set whose excess over
+// the true large flows is Section 4.2's false positives), how the threshold
+// moved across intervals, and what the per-lane batching machinery of a
+// sharded pipeline is doing.
+//
+// All hot-path counters are lock-free atomics so a snapshot can be taken
+// from any goroutine — an expvar handler, a monitoring loop — while packets
+// are being processed. Algorithms fold a whole batch into the counters with
+// a handful of atomic operations, so the batched hot path stays
+// allocation-free and its cost is unchanged to within noise.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/memmodel"
+)
+
+// Algorithm holds the live counters of one algorithm instance. The zero
+// value is ready to use; Init sets the static identity fields. Writers (the
+// algorithm) must be a single goroutine, as required by core.Algorithm;
+// readers may call Snapshot concurrently from any goroutine.
+type Algorithm struct {
+	name     string
+	capacity int64
+
+	packets      atomic.Uint64
+	bytes        atomic.Uint64
+	filterPasses atomic.Uint64
+	drops        atomic.Uint64
+	preserved    atomic.Uint64
+	evictions    atomic.Uint64
+	intervals    atomic.Uint64
+	entriesUsed  atomic.Int64
+	threshold    atomic.Uint64
+
+	// Mirrors of the algorithm's memmodel totals, refreshed by Observe. The
+	// counts are monotonic and written by one goroutine, so plain atomic
+	// stores of the running totals are exact.
+	sramReads, sramWrites atomic.Uint64
+	dramReads, dramWrites atomic.Uint64
+
+	mu         sync.Mutex
+	trajectory []uint64 // threshold in effect during each closed interval
+}
+
+// Init records the static identity of the instrumented algorithm and its
+// starting threshold. Call it once, before any packets.
+func (a *Algorithm) Init(name string, capacity int, threshold uint64) {
+	a.name = name
+	a.capacity = int64(capacity)
+	a.threshold.Store(threshold)
+}
+
+// Observe folds a processed batch (or a single packet; n = 1) into the
+// counters: n packets of total size bytes, the algorithm's running memory
+// reference totals, and the current flow memory occupancy.
+func (a *Algorithm) Observe(n, bytes uint64, cost memmodel.Counter, entriesUsed int) {
+	a.packets.Add(n)
+	a.bytes.Add(bytes)
+	a.sramReads.Store(cost.SRAMReads)
+	a.sramWrites.Store(cost.SRAMWrites)
+	a.dramReads.Store(cost.DRAMReads)
+	a.dramWrites.Store(cost.DRAMWrites)
+	a.entriesUsed.Store(int64(entriesUsed))
+}
+
+// FilterPass records one flow earning a flow memory entry — by passing the
+// multistage filter, being sampled by sample and hold, or being picked up
+// by a sampling baseline. The excess of this count over the number of true
+// large flows is the false positive load of Section 4.2.
+func (a *Algorithm) FilterPass() { a.filterPasses.Add(1) }
+
+// FilterPasses records n flows earning entries at once (batched paths).
+func (a *Algorithm) FilterPasses(n uint64) { a.filterPasses.Add(n) }
+
+// Drop records a flow that qualified for an entry but found the flow
+// memory full; threshold adaptation exists to keep this at zero.
+func (a *Algorithm) Drop() { a.drops.Add(1) }
+
+// SetThreshold records a threshold change (initially from Init, then from
+// dynamic adaptation between intervals).
+func (a *Algorithm) SetThreshold(t uint64) { a.threshold.Store(t) }
+
+// ObserveInterval records an interval transition: the threshold that was in
+// effect, how many entries were preserved into the next interval, and how
+// many were evicted.
+func (a *Algorithm) ObserveInterval(threshold uint64, preserved, evicted int) {
+	a.intervals.Add(1)
+	a.preserved.Add(uint64(preserved))
+	a.evictions.Add(uint64(evicted))
+	a.entriesUsed.Store(int64(preserved))
+	a.mu.Lock()
+	a.trajectory = append(a.trajectory, threshold)
+	a.mu.Unlock()
+}
+
+// Snapshot returns a consistent-enough copy of the counters for reporting.
+// Individual fields are each exact; fields read microseconds apart may
+// straddle a packet, which is fine for monitoring.
+func (a *Algorithm) Snapshot() AlgorithmSnapshot {
+	s := AlgorithmSnapshot{
+		Name:         a.name,
+		Capacity:     int(a.capacity),
+		Packets:      a.packets.Load(),
+		Bytes:        a.bytes.Load(),
+		FilterPasses: a.filterPasses.Load(),
+		Drops:        a.drops.Load(),
+		Preserved:    a.preserved.Load(),
+		Evictions:    a.evictions.Load(),
+		Intervals:    a.intervals.Load(),
+		EntriesUsed:  int(a.entriesUsed.Load()),
+		Threshold:    a.threshold.Load(),
+		Mem: MemSnapshot{
+			SRAMReads:  a.sramReads.Load(),
+			SRAMWrites: a.sramWrites.Load(),
+			DRAMReads:  a.dramReads.Load(),
+			DRAMWrites: a.dramWrites.Load(),
+		},
+	}
+	a.mu.Lock()
+	s.ThresholdTrajectory = append([]uint64(nil), a.trajectory...)
+	a.mu.Unlock()
+	return s
+}
+
+// MemSnapshot is the memory-reference portion of a snapshot, split by
+// technology as in the paper's per-packet cost comparisons.
+type MemSnapshot struct {
+	SRAMReads  uint64 `json:"sram_reads"`
+	SRAMWrites uint64 `json:"sram_writes"`
+	DRAMReads  uint64 `json:"dram_reads"`
+	DRAMWrites uint64 `json:"dram_writes"`
+}
+
+// Accesses returns the total number of memory references.
+func (m MemSnapshot) Accesses() uint64 {
+	return m.SRAMReads + m.SRAMWrites + m.DRAMReads + m.DRAMWrites
+}
+
+// AlgorithmSnapshot is a point-in-time copy of one algorithm's counters.
+type AlgorithmSnapshot struct {
+	// Name is the algorithm name ("multistage-filter", ...).
+	Name string `json:"name"`
+	// Packets and Bytes are the totals processed since creation.
+	Packets uint64 `json:"packets"`
+	Bytes   uint64 `json:"bytes"`
+	// EntriesUsed / Capacity is the flow memory occupancy.
+	EntriesUsed int `json:"entries_used"`
+	Capacity    int `json:"capacity"`
+	// Threshold is the current large-flow threshold in bytes.
+	Threshold uint64 `json:"threshold"`
+	// FilterPasses counts flows admitted to flow memory; its excess over
+	// the true large-flow count is the false positive load (Section 4.2).
+	FilterPasses uint64 `json:"filter_passes"`
+	// Drops counts flows that qualified but found flow memory full.
+	Drops uint64 `json:"drops"`
+	// Preserved and Evictions count entry fates at interval transitions
+	// (Section 3.3.1's preservation policy).
+	Preserved uint64 `json:"preserved"`
+	Evictions uint64 `json:"evictions"`
+	// Intervals is the number of closed measurement intervals.
+	Intervals uint64 `json:"intervals"`
+	// ThresholdTrajectory is the threshold in effect during each closed
+	// interval — the visible output of the ADAPTTHRESHOLD loop.
+	ThresholdTrajectory []uint64 `json:"threshold_trajectory"`
+	// Mem is the memory-reference accounting of Section 5.
+	Mem MemSnapshot `json:"mem"`
+	// Stale marks snapshots synthesized from an uninstrumented algorithm's
+	// interface methods rather than live atomic counters; such values must
+	// not be read concurrently with packet processing.
+	Stale bool `json:"stale,omitempty"`
+}
+
+// MemRefsPerPacket returns the average memory references per packet.
+func (s AlgorithmSnapshot) MemRefsPerPacket() float64 {
+	if s.Packets == 0 {
+		return 0
+	}
+	return float64(s.Mem.Accesses()) / float64(s.Packets)
+}
+
+// Occupancy returns EntriesUsed/Capacity in [0, 1].
+func (s AlgorithmSnapshot) Occupancy() float64 {
+	if s.Capacity == 0 {
+		return 0
+	}
+	return float64(s.EntriesUsed) / float64(s.Capacity)
+}
+
+// Lane holds the producer-side counters of one pipeline lane. Written by
+// the single producer goroutine, read from anywhere.
+type Lane struct {
+	batches   atomic.Uint64
+	packets   atomic.Uint64
+	queueHWM  atomic.Uint64
+	stalls    atomic.Uint64
+	intervals atomic.Uint64
+}
+
+// ObserveBatch records one batch of n packets handed to the lane with the
+// observed queue depth (in batches) just after the hand-off, and whether
+// the producer found the buffer free list empty (a flush stall: the lane
+// could not keep up and the producer had to wait for a buffer).
+func (l *Lane) ObserveBatch(n int, queueDepth int, stalled bool) {
+	l.batches.Add(1)
+	l.packets.Add(uint64(n))
+	if d := uint64(queueDepth); d > l.queueHWM.Load() {
+		l.queueHWM.Store(d)
+	}
+	if stalled {
+		l.stalls.Add(1)
+	}
+}
+
+// ObserveFlush records an interval flush handed to the lane.
+func (l *Lane) ObserveFlush() { l.intervals.Add(1) }
+
+// Snapshot copies the lane counters.
+func (l *Lane) Snapshot() LaneSnapshot {
+	return LaneSnapshot{
+		Batches:        l.batches.Load(),
+		Packets:        l.packets.Load(),
+		QueueHighWater: l.queueHWM.Load(),
+		FlushStalls:    l.stalls.Load(),
+		Intervals:      l.intervals.Load(),
+	}
+}
+
+// LaneSnapshot is a point-in-time copy of one lane's producer counters.
+type LaneSnapshot struct {
+	// Batches and Packets count hand-offs to the lane worker.
+	Batches uint64 `json:"batches"`
+	Packets uint64 `json:"packets"`
+	// QueueHighWater is the deepest the lane's queue has been, in batches.
+	QueueHighWater uint64 `json:"queue_high_water"`
+	// FlushStalls counts hand-offs that had to wait for the lane to return
+	// a buffer — the backpressure signal that the lane is saturated.
+	FlushStalls uint64 `json:"flush_stalls"`
+	// Intervals counts interval flushes sent to the lane.
+	Intervals uint64 `json:"intervals"`
+}
+
+// PipelineSnapshot is a point-in-time copy of a sharded pipeline's state:
+// the producer-side lane counters plus each lane algorithm's own counters.
+type PipelineSnapshot struct {
+	Shards     int                 `json:"shards"`
+	Lanes      []LaneSnapshot      `json:"lanes"`
+	Algorithms []AlgorithmSnapshot `json:"algorithms"`
+	// Reports is the number of merged interval reports produced.
+	Reports int `json:"reports"`
+}
+
+// Packets sums packets handed to all lanes.
+func (s PipelineSnapshot) Packets() uint64 {
+	var total uint64
+	for _, l := range s.Lanes {
+		total += l.Packets
+	}
+	return total
+}
+
+// DeviceSnapshot is a point-in-time copy of a measurement device's state.
+type DeviceSnapshot struct {
+	Algorithm AlgorithmSnapshot `json:"algorithm"`
+	// Definition is the flow definition name.
+	Definition string `json:"definition"`
+	// Reports is the number of interval reports produced so far.
+	Reports int `json:"reports"`
+}
+
+// Runner holds the live counters of a live.Runner. All fields are atomics;
+// Snapshot is safe from any goroutine.
+type Runner struct {
+	packets   atomic.Uint64
+	intervals atomic.Int64
+	lastTick  atomic.Int64 // unix nanoseconds; 0 = never
+}
+
+// ObservePacket records one live packet.
+func (r *Runner) ObservePacket() { r.packets.Add(1) }
+
+// ObserveTick records an interval tick at time t.
+func (r *Runner) ObserveTick(t time.Time) {
+	r.intervals.Add(1)
+	r.lastTick.Store(t.UnixNano())
+}
+
+// Snapshot copies the runner counters.
+func (r *Runner) Snapshot() RunnerSnapshot {
+	s := RunnerSnapshot{
+		Packets:   r.packets.Load(),
+		Intervals: int(r.intervals.Load()),
+	}
+	if ns := r.lastTick.Load(); ns != 0 {
+		s.LastTick = time.Unix(0, ns)
+	}
+	return s
+}
+
+// RunnerSnapshot is a point-in-time copy of a live runner's counters.
+type RunnerSnapshot struct {
+	// Packets is the number of packets fed so far.
+	Packets uint64 `json:"packets"`
+	// Intervals is the number of wall-clock intervals closed so far.
+	Intervals int `json:"intervals"`
+	// LastTick is when the most recent interval closed (zero if none).
+	LastTick time.Time `json:"last_tick"`
+}

@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/memmodel"
+)
+
+func TestAlgorithmCounters(t *testing.T) {
+	var a Algorithm
+	a.Init("test-alg", 128, 1000)
+	a.Observe(10, 5000, memmodel.Counter{SRAMReads: 20, SRAMWrites: 10, DRAMReads: 3, DRAMWrites: 1}, 7)
+	a.FilterPass()
+	a.FilterPasses(4)
+	a.Drop()
+	a.ObserveInterval(1000, 5, 2)
+	a.SetThreshold(1200)
+
+	s := a.Snapshot()
+	if s.Name != "test-alg" || s.Capacity != 128 {
+		t.Fatalf("identity: got name %q capacity %d", s.Name, s.Capacity)
+	}
+	if s.Packets != 10 || s.Bytes != 5000 {
+		t.Errorf("traffic: got %d packets, %d bytes, want 10, 5000", s.Packets, s.Bytes)
+	}
+	if s.FilterPasses != 5 {
+		t.Errorf("filter passes: got %d, want 5", s.FilterPasses)
+	}
+	if s.Drops != 1 {
+		t.Errorf("drops: got %d, want 1", s.Drops)
+	}
+	if s.Preserved != 5 || s.Evictions != 2 || s.Intervals != 1 {
+		t.Errorf("interval transition: got preserved %d evictions %d intervals %d, want 5, 2, 1",
+			s.Preserved, s.Evictions, s.Intervals)
+	}
+	// ObserveInterval resets the occupancy gauge to the preserved count.
+	if s.EntriesUsed != 5 {
+		t.Errorf("entries used: got %d, want 5", s.EntriesUsed)
+	}
+	if s.Threshold != 1200 {
+		t.Errorf("threshold: got %d, want 1200", s.Threshold)
+	}
+	if len(s.ThresholdTrajectory) != 1 || s.ThresholdTrajectory[0] != 1000 {
+		t.Errorf("trajectory: got %v, want [1000]", s.ThresholdTrajectory)
+	}
+	if got := s.Mem.Accesses(); got != 34 {
+		t.Errorf("mem accesses: got %d, want 34", got)
+	}
+	if got := s.MemRefsPerPacket(); got != 3.4 {
+		t.Errorf("mem refs per packet: got %g, want 3.4", got)
+	}
+	if got, want := s.Occupancy(), 5.0/128.0; got != want {
+		t.Errorf("occupancy: got %g, want %g", got, want)
+	}
+	if s.Stale {
+		t.Error("live snapshot marked stale")
+	}
+}
+
+func TestAlgorithmZeroValue(t *testing.T) {
+	var a Algorithm
+	s := a.Snapshot()
+	if s.MemRefsPerPacket() != 0 || s.Occupancy() != 0 {
+		t.Errorf("zero-value derived metrics: refs/pkt %g occupancy %g, want 0, 0",
+			s.MemRefsPerPacket(), s.Occupancy())
+	}
+	if len(s.ThresholdTrajectory) != 0 {
+		t.Errorf("zero-value trajectory: %v", s.ThresholdTrajectory)
+	}
+}
+
+func TestLaneCounters(t *testing.T) {
+	var l Lane
+	l.ObserveBatch(10, 3, false)
+	l.ObserveBatch(5, 1, true)
+	l.ObserveFlush()
+	s := l.Snapshot()
+	if s.Batches != 2 || s.Packets != 15 {
+		t.Errorf("batches/packets: got %d/%d, want 2/15", s.Batches, s.Packets)
+	}
+	if s.QueueHighWater != 3 {
+		t.Errorf("queue high water: got %d, want 3", s.QueueHighWater)
+	}
+	if s.FlushStalls != 1 {
+		t.Errorf("flush stalls: got %d, want 1", s.FlushStalls)
+	}
+	if s.Intervals != 1 {
+		t.Errorf("intervals: got %d, want 1", s.Intervals)
+	}
+}
+
+func TestRunnerCounters(t *testing.T) {
+	var r Runner
+	if got := r.Snapshot(); !got.LastTick.IsZero() {
+		t.Errorf("zero-value last tick: %v", got.LastTick)
+	}
+	r.ObservePacket()
+	r.ObservePacket()
+	r.ObservePacket()
+	tick := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	r.ObserveTick(tick)
+	s := r.Snapshot()
+	if s.Packets != 3 || s.Intervals != 1 {
+		t.Errorf("got %d packets, %d intervals, want 3, 1", s.Packets, s.Intervals)
+	}
+	if s.LastTick.UnixNano() != tick.UnixNano() {
+		t.Errorf("last tick: got %v, want %v", s.LastTick, tick)
+	}
+}
+
+func TestPipelineSnapshotPackets(t *testing.T) {
+	s := PipelineSnapshot{Lanes: []LaneSnapshot{{Packets: 7}, {Packets: 11}}}
+	if got := s.Packets(); got != 18 {
+		t.Errorf("pipeline packets: got %d, want 18", got)
+	}
+}
+
+// TestSnapshotDuringWrites exercises the documented concurrency contract
+// under the race detector: a single writer goroutine (the algorithm) and
+// many concurrent Snapshot readers.
+func TestSnapshotDuringWrites(t *testing.T) {
+	var a Algorithm
+	a.Init("race-test", 64, 100)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s := a.Snapshot()
+					if s.Packets < s.Intervals { // arbitrary read to keep s live
+						t.Error("fewer packets than intervals")
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		a.Observe(1, 100, memmodel.Counter{SRAMReads: uint64(i)}, i%64)
+		a.FilterPass()
+		if i%100 == 99 {
+			a.ObserveInterval(100, i%64, 1)
+			a.SetThreshold(uint64(100 + i))
+		}
+	}
+	close(stop)
+	wg.Wait()
+	s := a.Snapshot()
+	if s.Packets != 2000 || s.Intervals != 20 || len(s.ThresholdTrajectory) != 20 {
+		t.Errorf("final counts: packets %d intervals %d trajectory %d, want 2000, 20, 20",
+			s.Packets, s.Intervals, len(s.ThresholdTrajectory))
+	}
+}

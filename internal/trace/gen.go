@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/cfgerr"
 	"repro/internal/dist"
 	"repro/internal/flow"
 	"repro/internal/routing"
@@ -65,28 +66,38 @@ func (c GenConfig) Validate() error {
 		return err
 	}
 	if c.FlowsPerInterval < 1 {
-		return fmt.Errorf("trace: FlowsPerInterval = %d", c.FlowsPerInterval)
+		return cfgerr.New("trace", "FlowsPerInterval", "must be at least 1, got %d", c.FlowsPerInterval)
 	}
-	if c.DstIPs < 1 || c.ASPairs < 1 || c.ASes < 2 {
-		return fmt.Errorf("trace: need DstIPs, ASPairs >= 1 and ASes >= 2 (got %d, %d, %d)",
-			c.DstIPs, c.ASPairs, c.ASes)
+	if c.DstIPs < 1 {
+		return cfgerr.New("trace", "DstIPs", "must be at least 1, got %d", c.DstIPs)
+	}
+	if c.ASPairs < 1 {
+		return cfgerr.New("trace", "ASPairs", "must be at least 1, got %d", c.ASPairs)
+	}
+	if c.ASes < 2 {
+		return cfgerr.New("trace", "ASes", "must be at least 2, got %d", c.ASes)
 	}
 	if c.BytesPerInterval <= 0 {
-		return fmt.Errorf("trace: BytesPerInterval = %g", c.BytesPerInterval)
+		return cfgerr.New("trace", "BytesPerInterval", "must be positive, got %g", c.BytesPerInterval)
 	}
 	if c.BytesPerInterval > c.Capacity() {
-		return fmt.Errorf("trace: volume %g exceeds link capacity %g per interval",
+		return cfgerr.New("trace", "BytesPerInterval", "volume %g exceeds link capacity %g per interval",
 			c.BytesPerInterval, c.Capacity())
 	}
-	if c.ZipfAlpha <= 0 || c.PopulationFactor < 1 || c.MeanLifetime <= 0 {
-		return fmt.Errorf("trace: bad shape parameters (alpha %g, pop %g, life %g)",
-			c.ZipfAlpha, c.PopulationFactor, c.MeanLifetime)
+	if c.ZipfAlpha <= 0 {
+		return cfgerr.New("trace", "ZipfAlpha", "must be positive, got %g", c.ZipfAlpha)
+	}
+	if c.PopulationFactor < 1 {
+		return cfgerr.New("trace", "PopulationFactor", "must be at least 1, got %g", c.PopulationFactor)
+	}
+	if c.MeanLifetime <= 0 {
+		return cfgerr.New("trace", "MeanLifetime", "must be positive, got %g", c.MeanLifetime)
 	}
 	if c.LongLivedRanks < 0 || c.LongLivedRanks > c.FlowsPerInterval {
-		return fmt.Errorf("trace: LongLivedRanks = %d out of range", c.LongLivedRanks)
+		return cfgerr.New("trace", "LongLivedRanks", "%d outside [0, FlowsPerInterval]", c.LongLivedRanks)
 	}
 	if c.VolumeJitter < 0 || c.VolumeJitter >= 1 {
-		return fmt.Errorf("trace: VolumeJitter = %g out of range", c.VolumeJitter)
+		return cfgerr.New("trace", "VolumeJitter", "%g outside [0, 1)", c.VolumeJitter)
 	}
 	return nil
 }

@@ -15,11 +15,11 @@
 package trace
 
 import (
-	"errors"
 	"fmt"
 	"io"
 	"time"
 
+	"repro/internal/cfgerr"
 	"repro/internal/flow"
 )
 
@@ -56,13 +56,13 @@ func (m Meta) Duration() time.Duration {
 // Validate checks the metadata for obvious inconsistencies.
 func (m Meta) Validate() error {
 	if m.LinkBytesPerSec <= 0 {
-		return fmt.Errorf("trace: non-positive link capacity %g", m.LinkBytesPerSec)
+		return cfgerr.New("trace", "LinkBytesPerSec", "must be positive, got %g", m.LinkBytesPerSec)
 	}
 	if m.Interval <= 0 {
-		return errors.New("trace: non-positive interval")
+		return cfgerr.New("trace", "Interval", "must be positive, got %v", m.Interval)
 	}
 	if m.Intervals <= 0 {
-		return errors.New("trace: non-positive interval count")
+		return cfgerr.New("trace", "Intervals", "must be positive, got %d", m.Intervals)
 	}
 	return nil
 }
@@ -84,47 +84,8 @@ type Consumer interface {
 	EndInterval(interval int)
 }
 
-// Replay streams src into c, detecting interval boundaries from packet
-// timestamps. Packets past the trace's nominal end are attributed to the
-// last interval. It returns the number of packets replayed.
-func Replay(src Source, c Consumer) (int, error) {
-	m := src.Meta()
-	if err := m.Validate(); err != nil {
-		return 0, err
-	}
-	cur := 0
-	packets := 0
-	for {
-		p, err := src.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return packets, err
-		}
-		iv := int(p.Time / m.Interval)
-		if iv >= m.Intervals {
-			iv = m.Intervals - 1
-		}
-		if iv < cur {
-			return packets, fmt.Errorf("trace: packet at %v out of order (interval %d < %d)", p.Time, iv, cur)
-		}
-		for cur < iv {
-			c.EndInterval(cur)
-			cur++
-		}
-		c.Packet(&p)
-		packets++
-	}
-	for cur < m.Intervals {
-		c.EndInterval(cur)
-		cur++
-	}
-	return packets, nil
-}
-
-// DefaultBatchSize is the packet batch size ReplayBatched uses when given a
-// non-positive one. Large enough to amortize per-batch overhead, small
+// DefaultBatchSize is the packet batch size Replay uses unless overridden
+// with WithBatchSize. Large enough to amortize per-batch overhead, small
 // enough that a batch of packets plus its extracted keys stays L1-resident.
 const DefaultBatchSize = 256
 
@@ -136,23 +97,57 @@ type BatchConsumer interface {
 	PacketBatch(pkts []flow.Packet)
 }
 
-// ReplayBatched streams src into c like Replay, but delivers packets in
-// batches of up to batchSize via c's PacketBatch fast path when it has one
-// (falling back to per-packet delivery otherwise). Batches never span
-// measurement-interval boundaries — a partial batch is flushed before each
-// EndInterval — so the consumer observes exactly the same packet/interval
-// sequence as with Replay and produces bit-identical reports. batchSize <= 0
-// selects DefaultBatchSize.
-func ReplayBatched(src Source, c Consumer, batchSize int) (int, error) {
+// ReplayOption customizes Replay.
+type ReplayOption func(*replayOptions)
+
+type replayOptions struct {
+	batchSize int
+	progress  func(packets int)
+}
+
+// WithBatchSize sets the delivery batch size. n <= 0 selects
+// DefaultBatchSize; n == 1 delivers packets one at a time, the behavior of
+// the original unbatched replay loop.
+func WithBatchSize(n int) ReplayOption {
+	return func(o *replayOptions) {
+		if n <= 0 {
+			n = DefaultBatchSize
+		}
+		o.batchSize = n
+	}
+}
+
+// WithProgress registers fn to be called with the cumulative packet count
+// after every delivered batch and once after the final interval closes.
+// fn runs on the replay goroutine, so an expensive callback slows the
+// replay down by exactly its own cost.
+func WithProgress(fn func(packets int)) ReplayOption {
+	return func(o *replayOptions) { o.progress = fn }
+}
+
+// Replay streams src into c, detecting measurement-interval boundaries from
+// packet timestamps; packets past the trace's nominal end are attributed to
+// the last interval. It returns the number of packets replayed.
+//
+// Packets are delivered in batches of up to WithBatchSize packets
+// (DefaultBatchSize unless overridden) via c's PacketBatch fast path when it
+// has one, falling back to per-packet delivery otherwise. Batches never span
+// interval boundaries — a partial batch is flushed before each EndInterval —
+// so the consumer observes exactly the same packet/interval sequence at any
+// batch size and produces bit-identical reports.
+func Replay(src Source, c Consumer, opts ...ReplayOption) (int, error) {
+	o := replayOptions{batchSize: DefaultBatchSize}
+	for _, opt := range opts {
+		opt(&o)
+	}
 	m := src.Meta()
 	if err := m.Validate(); err != nil {
 		return 0, err
 	}
-	if batchSize <= 0 {
-		batchSize = DefaultBatchSize
-	}
+	batchSize := o.batchSize
 	bc, _ := c.(BatchConsumer)
 	buf := make([]flow.Packet, 0, batchSize)
+	packets := 0
 	flush := func() {
 		if len(buf) == 0 {
 			return
@@ -165,9 +160,11 @@ func ReplayBatched(src Source, c Consumer, batchSize int) (int, error) {
 			}
 		}
 		buf = buf[:0]
+		if o.progress != nil {
+			o.progress(packets)
+		}
 	}
 	cur := 0
-	packets := 0
 	for {
 		p, err := src.Next()
 		if err == io.EOF {
@@ -203,7 +200,18 @@ func ReplayBatched(src Source, c Consumer, batchSize int) (int, error) {
 		c.EndInterval(cur)
 		cur++
 	}
+	if o.progress != nil {
+		o.progress(packets)
+	}
 	return packets, nil
+}
+
+// ReplayBatched streams src into c in batches of up to batchSize packets.
+//
+// Deprecated: Replay batches by default; use Replay with WithBatchSize to
+// pick a non-default batch size.
+func ReplayBatched(src Source, c Consumer, batchSize int) (int, error) {
+	return Replay(src, c, WithBatchSize(batchSize))
 }
 
 // SliceSource serves packets from a slice. It is the in-memory Source used

@@ -218,7 +218,7 @@ func TestReplayBatchedSameSequence(t *testing.T) {
 	want := replayEvents(t, pkts, m)
 	for _, bs := range []int{1, 3, 17, 64, 0 /* default */} {
 		var br batchRecorder
-		n, err := ReplayBatched(NewSliceSource(m, pkts), &br, bs)
+		n, err := Replay(NewSliceSource(m, pkts), &br, WithBatchSize(bs))
 		if err != nil {
 			t.Fatalf("batch size %d: %v", bs, err)
 		}
@@ -239,7 +239,7 @@ func TestReplayBatchedSameSequence(t *testing.T) {
 		}
 		// Per-packet fallback for consumers without PacketBatch.
 		var plain eventRecorder
-		if _, err := ReplayBatched(NewSliceSource(m, pkts), &plain, bs); err != nil {
+		if _, err := Replay(NewSliceSource(m, pkts), &plain, WithBatchSize(bs)); err != nil {
 			t.Fatal(err)
 		}
 		if !sameEvents(plain.events, want) {
@@ -260,7 +260,7 @@ func TestReplayBatchedNeverSpansBoundary(t *testing.T) {
 		mkPacket(2100*time.Millisecond, 6),
 	}
 	var br batchRecorder
-	if _, err := ReplayBatched(NewSliceSource(m, pkts), &br, 8); err != nil {
+	if _, err := Replay(NewSliceSource(m, pkts), &br, WithBatchSize(8)); err != nil {
 		t.Fatal(err)
 	}
 	if len(br.batches) != 2 || br.batches[0] != 5 || br.batches[1] != 1 {
@@ -274,12 +274,60 @@ func TestReplayBatchedNeverSpansBoundary(t *testing.T) {
 // TestReplayBatchedErrors: metadata and ordering failures match Replay.
 func TestReplayBatchedErrors(t *testing.T) {
 	var r batchRecorder
-	if _, err := ReplayBatched(NewSliceSource(Meta{}, nil), &r, 4); err == nil {
+	if _, err := Replay(NewSliceSource(Meta{}, nil), &r, WithBatchSize(4)); err == nil {
 		t.Error("invalid meta accepted")
 	}
 	m := testMeta()
 	ooo := []flow.Packet{mkPacket(1500*time.Millisecond, 1), mkPacket(100*time.Millisecond, 2)}
-	if _, err := ReplayBatched(NewSliceSource(m, ooo), &r, 4); err == nil {
+	if _, err := Replay(NewSliceSource(m, ooo), &r, WithBatchSize(4)); err == nil {
 		t.Error("out-of-order trace accepted")
+	}
+}
+
+// TestReplayProgress: the progress callback sees a non-decreasing cumulative
+// packet count and its final call reports the total.
+func TestReplayProgress(t *testing.T) {
+	m := testMeta()
+	var pkts []flow.Packet
+	for iv := 0; iv < m.Intervals; iv++ {
+		for i := 0; i < 13; i++ {
+			pkts = append(pkts, mkPacket(time.Duration(iv)*time.Second+time.Duration(i)*time.Millisecond, 1))
+		}
+	}
+	var seen []int
+	var r batchRecorder
+	n, err := Replay(NewSliceSource(m, pkts), &r,
+		WithBatchSize(5), WithProgress(func(p int) { seen = append(seen, p) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 {
+		t.Fatal("progress callback never called")
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] < seen[i-1] {
+			t.Fatalf("progress went backwards: %v", seen)
+		}
+	}
+	if last := seen[len(seen)-1]; last != n || n != len(pkts) {
+		t.Fatalf("final progress %d, replayed %d, want %d", last, n, len(pkts))
+	}
+}
+
+// TestDeprecatedReplayBatchedWrapper: the compatibility wrapper forwards to
+// Replay with the given batch size.
+func TestDeprecatedReplayBatchedWrapper(t *testing.T) {
+	m := testMeta()
+	pkts := []flow.Packet{mkPacket(0, 1), mkPacket(time.Millisecond, 2)}
+	var br batchRecorder
+	n, err := ReplayBatched(NewSliceSource(m, pkts), &br, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(pkts) {
+		t.Fatalf("replayed %d packets, want %d", n, len(pkts))
+	}
+	if !sameEvents(br.events, replayEvents(t, pkts, m)) {
+		t.Error("wrapper event sequence diverges from Replay")
 	}
 }

@@ -55,6 +55,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/sampling"
 	"repro/internal/sketch"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -165,8 +166,10 @@ func MultistageAdaptation() AdaptConfig { return adapt.MultistageDefaults() }
 // optional threshold adaptation. It implements Consumer.
 type Device = device.Device
 
-// IntervalReport is a device's per-interval output.
-type IntervalReport = device.IntervalReport
+// IntervalReport is one measurement interval's output. Device and Pipeline
+// both accumulate them, with the same shape and the same estimate ordering
+// (descending bytes, ties by descending key).
+type IntervalReport = core.IntervalReport
 
 // NewDevice assembles a measurement device; adaptor may be nil for a fixed
 // threshold.
@@ -185,24 +188,41 @@ type Source = trace.Source
 // Consumer receives replayed packets and interval boundaries.
 type Consumer = trace.Consumer
 
-// Replay streams a trace into a consumer (typically a *Device), calling
-// EndInterval at each measurement interval boundary. It returns the number
-// of packets replayed.
-func Replay(src Source, c Consumer) (int, error) { return trace.Replay(src, c) }
+// ReplayOption customizes Replay; see WithBatchSize and WithProgress.
+type ReplayOption = trace.ReplayOption
+
+// WithBatchSize sets Replay's delivery batch size; n <= 0 selects
+// DefaultBatchSize and n == 1 delivers packets one at a time.
+func WithBatchSize(n int) ReplayOption { return trace.WithBatchSize(n) }
+
+// WithProgress registers fn to be called with the cumulative packet count
+// after every delivered batch and once at the end of the replay.
+func WithProgress(fn func(packets int)) ReplayOption { return trace.WithProgress(fn) }
+
+// Replay streams a trace into a consumer (typically a *Device or a
+// *Pipeline), calling EndInterval at each measurement interval boundary,
+// and returns the number of packets replayed. Packets are delivered in
+// batches via the consumer's PacketBatch fast path when it has one; batches
+// never span interval boundaries, so reports are identical at any batch
+// size — the batched path only amortizes per-packet call, channel and
+// hashing overhead.
+func Replay(src Source, c Consumer, opts ...ReplayOption) (int, error) {
+	return trace.Replay(src, c, opts...)
+}
 
 // BatchConsumer is a Consumer with a batched packet path; Device, MultiDevice
 // and Pipeline all implement it.
 type BatchConsumer = trace.BatchConsumer
 
-// DefaultBatchSize is the batch size ReplayBatched uses when given a
-// non-positive one.
+// DefaultBatchSize is the batch size Replay uses unless overridden with
+// WithBatchSize.
 const DefaultBatchSize = trace.DefaultBatchSize
 
 // ReplayBatched streams a trace into a consumer in batches of up to
-// batchSize packets, using the consumer's PacketBatch fast path when it has
-// one. Batches never span interval boundaries, so reports are bit-identical
-// to Replay's; the batched path wins by amortizing per-packet call, channel
-// and hashing overhead. batchSize <= 0 selects DefaultBatchSize.
+// batchSize packets.
+//
+// Deprecated: Replay batches by default; use Replay with WithBatchSize to
+// pick a non-default batch size.
 func ReplayBatched(src Source, c Consumer, batchSize int) (int, error) {
 	return trace.ReplayBatched(src, c, batchSize)
 }
@@ -289,7 +309,10 @@ type PipelineConfig = pipeline.Config
 type Pipeline = pipeline.Pipeline
 
 // PipelineReport is one merged interval report from a Pipeline.
-type PipelineReport = pipeline.Report
+//
+// Deprecated: Pipeline reports are plain IntervalReports now, symmetric
+// with Device; per-shard estimate counts moved to Pipeline.ShardCounts.
+type PipelineReport = core.IntervalReport
 
 // NewPipeline builds and starts a sharded pipeline; Close it when done.
 func NewPipeline(cfg PipelineConfig) (*Pipeline, error) { return pipeline.New(cfg) }
@@ -320,7 +343,52 @@ func NewMultiDevice(devices ...*Device) *MultiDevice { return device.NewMulti(de
 
 // LiveRunner drives a device from a live packet feed, closing measurement
 // intervals on wall-clock boundaries; safe for concurrent packet sources.
+// Its Reports method exposes the wrapped consumer's accumulated reports.
 type LiveRunner = live.Runner
 
 // NewLiveRunner wraps a Device (or MultiDevice) for live operation.
 func NewLiveRunner(c Consumer) *LiveRunner { return live.NewRunner(c) }
+
+// ---- Telemetry ----
+//
+// Every algorithm in this library maintains cheap atomic counters as it
+// runs: packets and bytes processed, flow-memory occupancy, filter passes
+// (entry creations — the false-positive candidates of the paper's Section
+// 4.2 analysis), drops on full memory, entries preserved and evicted at
+// interval boundaries, the threshold trajectory, and the memory-model
+// reference totals. Snapshots are safe to take from any goroutine while
+// traffic is flowing, which is what makes live monitoring of a running
+// Device or Pipeline possible (see cmd/hhdevice's -listen flag).
+
+// AlgorithmStats is a point-in-time snapshot of one algorithm's counters.
+type AlgorithmStats = telemetry.AlgorithmSnapshot
+
+// MemStats is the memory-model reference totals inside an AlgorithmStats.
+type MemStats = telemetry.MemSnapshot
+
+// DeviceStats is a Device's snapshot: its algorithm's counters plus the
+// flow definition and report count. Read it with Device.Stats.
+type DeviceStats = telemetry.DeviceSnapshot
+
+// LaneStats is one pipeline lane's producer-side counters: batches handed
+// over, queue high-water mark, flush stalls.
+type LaneStats = telemetry.LaneSnapshot
+
+// PipelineStats is a Pipeline's snapshot: per-lane counters plus each lane
+// algorithm's counters. Read it with Pipeline.Stats.
+type PipelineStats = telemetry.PipelineSnapshot
+
+// RunnerStats is a LiveRunner's snapshot: packets fed, intervals closed,
+// last tick time. Read it with LiveRunner.Stats.
+type RunnerStats = telemetry.RunnerSnapshot
+
+// Instrumented is an Algorithm that exposes its telemetry; every algorithm
+// constructed by this package implements it.
+type Instrumented = core.Instrumented
+
+// Snapshot captures an algorithm's telemetry. For algorithms constructed by
+// this package the snapshot is taken from live atomic counters and is safe
+// concurrently with traffic; for a foreign Algorithm implementation it is
+// synthesized from the interface accessors (marked Stale, and only safe
+// when the algorithm is quiescent).
+func Snapshot(alg Algorithm) AlgorithmStats { return core.Snapshot(alg) }
