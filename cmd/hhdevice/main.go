@@ -6,6 +6,7 @@
 //
 //	hhdevice -alg msf -def dstIP -threshold 0.001 mag.trace
 //	hhdevice -alg sh -preset MAG -scale 0.05 -adapt -entries 512 -top 5
+//	hhdevice -alg sh -preset MAG -shards 4 -overload degrade -listen :8080
 package main
 
 import (
@@ -24,72 +25,111 @@ import (
 	"repro/internal/flow"
 	"repro/internal/netflow"
 	"repro/internal/pipeline"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
+// options collects the command-line configuration.
+type options struct {
+	algName    string
+	defName    string
+	threshold  float64
+	entries    int
+	maxEntries int
+	stages     int
+	buckets    int
+	oversamp   float64
+	rate       int
+	adaptive   bool
+	export     string
+	listen     string
+	shards     int
+	overload   pipeline.OverloadPolicy
+	degrade    float64
+	restart    bool
+	top        int
+	seed       int64
+	preset     string
+	scale      float64
+	intervals  int
+	args       []string
+}
+
 func main() {
 	var (
-		algName   = flag.String("alg", "msf", "algorithm: sh, msf, netflow")
-		defName   = flag.String("def", "5-tuple", "flow definition: 5-tuple, dstIP, ASpair")
-		threshold = flag.Float64("threshold", 0.001, "large-flow threshold as a fraction of link capacity")
-		entries   = flag.Int("entries", 1024, "flow memory entries")
-		stages    = flag.Int("stages", 4, "filter stages (msf)")
-		buckets   = flag.Int("buckets", 1024, "counters per stage (msf)")
-		oversamp  = flag.Float64("oversampling", 4, "oversampling factor (sh)")
-		rate      = flag.Int("rate", 16, "sampling rate 1-in-x (netflow)")
-		adaptive  = flag.Bool("adapt", false, "enable dynamic threshold adaptation (Figure 5)")
-		export    = flag.String("export", "", "export reports as NetFlow v5 over UDP to this address")
-		listen    = flag.String("listen", "", "serve /debug/vars and /debug/pprof on this address while running")
-		shards    = flag.Int("shards", 1, "shard the device across this many parallel lanes")
-		top       = flag.Int("top", 10, "heavy hitters to print per interval")
-		seed      = flag.Int64("seed", 1, "algorithm seed")
-
-		preset    = flag.String("preset", "", "run on a synthetic preset instead of a file")
-		scale     = flag.Float64("scale", 0.05, "scale factor for -preset")
-		intervals = flag.Int("intervals", 6, "intervals for -preset")
+		o        options
+		overload string
 	)
+	flag.StringVar(&o.algName, "alg", "msf", "algorithm: sh, msf, netflow")
+	flag.StringVar(&o.defName, "def", "5-tuple", "flow definition: 5-tuple, dstIP, ASpair")
+	flag.Float64Var(&o.threshold, "threshold", 0.001, "large-flow threshold as a fraction of link capacity")
+	flag.IntVar(&o.entries, "entries", 1024, "flow memory entries")
+	flag.IntVar(&o.maxEntries, "max-entries", 0, "hard cap on flow memory entries (0 = no cap beyond -entries)")
+	flag.IntVar(&o.stages, "stages", 4, "filter stages (msf)")
+	flag.IntVar(&o.buckets, "buckets", 1024, "counters per stage (msf)")
+	flag.Float64Var(&o.oversamp, "oversampling", 4, "oversampling factor (sh)")
+	flag.IntVar(&o.rate, "rate", 16, "sampling rate 1-in-x (netflow)")
+	flag.BoolVar(&o.adaptive, "adapt", false, "enable dynamic threshold adaptation (Figure 5)")
+	flag.StringVar(&o.export, "export", "", "export reports as NetFlow v5 over UDP to this address")
+	flag.StringVar(&o.listen, "listen", "", "serve /debug/vars, /debug/pprof and /healthz on this address while running")
+	flag.IntVar(&o.shards, "shards", 1, "shard the device across this many parallel lanes")
+	flag.StringVar(&overload, "overload", "block", "lane overload policy: block, drop-newest, drop-oldest, degrade (sharded runs)")
+	flag.Float64Var(&o.degrade, "degrade-fraction", 0, "per-packet keep probability for -overload degrade (0 = default)")
+	flag.BoolVar(&o.restart, "restart-lanes", false, "restart a panicking lane with a fresh algorithm instead of quarantining it")
+	flag.IntVar(&o.top, "top", 10, "heavy hitters to print per interval")
+	flag.Int64Var(&o.seed, "seed", 1, "algorithm seed")
+	flag.StringVar(&o.preset, "preset", "", "run on a synthetic preset instead of a file")
+	flag.Float64Var(&o.scale, "scale", 0.05, "scale factor for -preset")
+	flag.IntVar(&o.intervals, "intervals", 6, "intervals for -preset")
 	flag.Parse()
-	if err := run(*algName, *defName, *threshold, *entries, *stages, *buckets,
-		*oversamp, *rate, *adaptive, *export, *listen, *shards, *top, *seed, *preset, *scale, *intervals, flag.Args()); err != nil {
+	o.args = flag.Args()
+
+	policy, err := pipeline.OverloadPolicyByName(overload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hhdevice:", err)
+		os.Exit(1)
+	}
+	o.overload = policy
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "hhdevice:", err)
 		os.Exit(1)
 	}
 }
 
-func openSource(preset string, scale float64, intervals int, seed int64, args []string) (trace.Source, func() error, error) {
-	if preset != "" {
-		cfg, err := trace.Preset(preset)
+func openSource(o options) (trace.Source, func() error, error) {
+	if o.preset != "" {
+		cfg, err := trace.Preset(o.preset)
 		if err != nil {
 			return nil, nil, err
 		}
-		cfg.Seed = seed
-		if scale != 1 {
-			cfg = cfg.Scaled(scale)
+		cfg.Seed = o.seed
+		if o.scale != 1 {
+			cfg = cfg.Scaled(o.scale)
 		}
-		if intervals > 0 {
-			cfg = cfg.WithIntervals(intervals)
+		if o.intervals > 0 {
+			cfg = cfg.WithIntervals(o.intervals)
 		}
 		g, err := trace.NewGenerator(cfg)
 		return g, func() error { return nil }, err
 	}
-	if len(args) != 1 {
+	if len(o.args) != 1 {
 		return nil, nil, fmt.Errorf("need exactly one trace file or -preset")
 	}
-	f, err := os.Open(args[0])
+	f, err := os.Open(o.args[0])
 	if err != nil {
 		return nil, nil, err
 	}
-	if strings.HasSuffix(args[0], ".pcap") {
+	if strings.HasSuffix(o.args[0], ".pcap") {
 		// Pcap captures carry no measurement metadata; assume an OC-3 link
 		// with 5-second intervals covering the whole capture.
 		meta := trace.Meta{
-			Name:            args[0],
+			Name:            o.args[0],
 			LinkBytesPerSec: 155.52e6 / 8,
 			Interval:        5 * time.Second,
 			Intervals:       12,
 		}
-		if intervals > 0 {
-			meta.Intervals = intervals
+		if o.intervals > 0 {
+			meta.Intervals = o.intervals
 		}
 		r, err := trace.NewPcapSource(f, meta)
 		if err != nil {
@@ -106,21 +146,18 @@ func openSource(preset string, scale float64, intervals int, seed int64, args []
 	return r, f.Close, nil
 }
 
-func run(algName, defName string, threshold float64, entries, stages, buckets int,
-	oversamp float64, rate int, adaptive bool, export, listen string, shards, top int, seed int64,
-	preset string, scale float64, intervals int, args []string) error {
-
-	def := flow.DefinitionByName(defName)
+func run(o options) error {
+	def := flow.DefinitionByName(o.defName)
 	if def == nil {
-		return fmt.Errorf("unknown flow definition %q", defName)
+		return fmt.Errorf("unknown flow definition %q", o.defName)
 	}
-	src, closeSrc, err := openSource(preset, scale, intervals, seed, args)
+	src, closeSrc, err := openSource(o)
 	if err != nil {
 		return err
 	}
 	defer closeSrc()
 	meta := src.Meta()
-	thBytes := uint64(threshold * meta.Capacity())
+	thBytes := uint64(o.threshold * meta.Capacity())
 	if thBytes < 1 {
 		thBytes = 1
 	}
@@ -131,54 +168,56 @@ func run(algName, defName string, threshold float64, entries, stages, buckets in
 			adaptor *adapt.Adaptor
 			err     error
 		)
-		switch algName {
+		switch o.algName {
 		case "sh":
 			alg, err = sampleandhold.New(sampleandhold.Config{
-				Entries:      entries,
+				Entries:      o.entries,
+				MaxEntries:   o.maxEntries,
 				Threshold:    thBytes,
-				Oversampling: oversamp,
+				Oversampling: o.oversamp,
 				Preserve:     true,
 				EarlyRemoval: 0.15,
 				Seed:         algSeed,
 			})
-			if adaptive {
+			if o.adaptive {
 				adaptor = adapt.New(adapt.SampleAndHoldDefaults())
 			}
 		case "msf":
 			alg, err = multistage.New(multistage.Config{
-				Stages:       stages,
-				Buckets:      buckets,
-				Entries:      entries,
+				Stages:       o.stages,
+				Buckets:      o.buckets,
+				Entries:      o.entries,
+				MaxEntries:   o.maxEntries,
 				Threshold:    thBytes,
 				Conservative: true,
 				Shield:       true,
 				Preserve:     true,
 				Seed:         algSeed,
 			})
-			if adaptive {
+			if o.adaptive {
 				adaptor = adapt.New(adapt.MultistageDefaults())
 			}
 		case "netflow":
-			alg, err = netflow.New(netflow.Config{SamplingRate: rate})
+			alg, err = netflow.New(netflow.Config{SamplingRate: o.rate})
 		default:
-			err = fmt.Errorf("unknown algorithm %q (want sh, msf, netflow)", algName)
+			err = fmt.Errorf("unknown algorithm %q (want sh, msf, netflow)", o.algName)
 		}
 		return alg, adaptor, err
 	}
-	if shards > 1 {
-		return runSharded(mkAlg, def, src, meta, thBytes, threshold, export, listen, shards, top)
+	if o.shards > 1 {
+		return runSharded(o, mkAlg, def, src, meta, thBytes)
 	}
-	alg, adaptor, err := mkAlg(seed)
+	alg, adaptor, err := mkAlg(o.seed)
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("device: %s, flows by %s, threshold %d bytes (%.4f%% of capacity), %d entries\n",
-		alg.Name(), def.Name(), thBytes, threshold*100, alg.Capacity())
+		alg.Name(), def.Name(), thBytes, o.threshold*100, alg.Capacity())
 
 	var exporter *netflow.UDPExporter
-	if export != "" {
-		exporter, err = netflow.DialUDPExporter(export, netflow.NewExporter(def))
+	if o.export != "" {
+		exporter, err = netflow.DialUDPExporter(o.export, netflow.NewExporter(def))
 		if err != nil {
 			return err
 		}
@@ -190,7 +229,7 @@ func run(algName, defName string, threshold float64, entries, stages, buckets in
 	dev.OnReport = func(r device.IntervalReport) {
 		fmt.Printf("interval %d: threshold %d bytes, %d/%d entries used, %d flows reported\n",
 			r.Interval, r.Threshold, r.EntriesUsed, alg.Capacity(), len(r.Estimates))
-		n := top
+		n := o.top
 		if n > len(r.Estimates) {
 			n = len(r.Estimates)
 		}
@@ -208,13 +247,16 @@ func run(algName, defName string, threshold float64, entries, stages, buckets in
 			}
 		}
 	}
-	if listen != "" {
+	if o.listen != "" {
 		debugserver.Publish("hhdevice", func() any { return dev.Stats() })
-		addr, err := debugserver.Serve(listen)
+		debugserver.RegisterHealth("device", func() (telemetry.HealthStatus, string) {
+			return dev.Stats().Health()
+		})
+		addr, err := debugserver.Serve(o.listen)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("debug: serving /debug/vars and /debug/pprof on http://%s\n", addr)
+		fmt.Printf("debug: serving /debug/vars, /debug/pprof and /healthz on http://%s\n", addr)
 	}
 	n, err := trace.Replay(src, dev)
 	if err != nil {
@@ -223,7 +265,7 @@ func run(algName, defName string, threshold float64, entries, stages, buckets in
 	mem := alg.Mem()
 	fmt.Printf("processed %d packets, %.2f memory references/packet\n", n, mem.PerPacket())
 	if exporter != nil {
-		fmt.Printf("exported %d v5 packets, %d bytes to %s\n", exporter.PacketsSent, exporter.BytesSent, export)
+		fmt.Printf("exported %d v5 packets, %d bytes to %s\n", exporter.PacketsSent, exporter.BytesSent, o.export)
 	}
 	return nil
 }
@@ -231,13 +273,15 @@ func run(algName, defName string, threshold float64, entries, stages, buckets in
 // runSharded drives the trace through an RSS-style pipeline of independent
 // per-shard algorithm instances (threshold adaptation is per shard and
 // therefore disabled here; use a single lane for adaptive runs).
-func runSharded(mkAlg func(int64) (core.Algorithm, *adapt.Adaptor, error), def flow.Definition,
-	src trace.Source, meta trace.Meta, thBytes uint64, threshold float64,
-	export, listen string, shards, top int) error {
+func runSharded(o options, mkAlg func(int64) (core.Algorithm, *adapt.Adaptor, error), def flow.Definition,
+	src trace.Source, meta trace.Meta, thBytes uint64) error {
 
 	pipe, err := pipeline.New(pipeline.Config{
-		Shards:     shards,
-		QueueDepth: 1024,
+		Shards:          o.shards,
+		QueueDepth:      1024,
+		Overload:        o.overload,
+		DegradeFraction: o.degrade,
+		RestartOnPanic:  o.restart,
 		NewAlgorithm: func(shard int) (core.Algorithm, error) {
 			alg, _, err := mkAlg(int64(shard) + 1)
 			return alg, err
@@ -250,23 +294,24 @@ func runSharded(mkAlg func(int64) (core.Algorithm, *adapt.Adaptor, error), def f
 	defer pipe.Close()
 
 	var exporter *netflow.UDPExporter
-	if export != "" {
-		exporter, err = netflow.DialUDPExporter(export, netflow.NewExporter(def))
+	if o.export != "" {
+		exporter, err = netflow.DialUDPExporter(o.export, netflow.NewExporter(def))
 		if err != nil {
 			return err
 		}
 		defer exporter.Close()
 	}
-	if listen != "" {
+	if o.listen != "" {
 		debugserver.Publish("hhdevice", func() any { return pipe.Stats() })
-		addr, err := debugserver.Serve(listen)
+		debugserver.RegisterHealth("pipeline", pipe.Health)
+		addr, err := debugserver.Serve(o.listen)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("debug: serving /debug/vars and /debug/pprof on http://%s\n", addr)
+		fmt.Printf("debug: serving /debug/vars, /debug/pprof and /healthz on http://%s\n", addr)
 	}
-	fmt.Printf("sharded device: %d lanes, flows by %s, threshold %d bytes (%.4f%% of capacity)\n",
-		shards, def.Name(), thBytes, threshold*100)
+	fmt.Printf("sharded device: %d lanes, flows by %s, threshold %d bytes (%.4f%% of capacity), overload %s\n",
+		o.shards, def.Name(), thBytes, o.threshold*100, o.overload)
 	n, err := trace.Replay(src, pipe)
 	if err != nil {
 		return err
@@ -274,7 +319,7 @@ func runSharded(mkAlg func(int64) (core.Algorithm, *adapt.Adaptor, error), def f
 	shardCounts := pipe.ShardCounts()
 	for i, r := range pipe.Reports() {
 		fmt.Printf("interval %d: %d flows reported (per shard: %v)\n", r.Interval, len(r.Estimates), shardCounts[i])
-		limit := top
+		limit := o.top
 		if limit > len(r.Estimates) {
 			limit = len(r.Estimates)
 		}
@@ -288,6 +333,9 @@ func runSharded(mkAlg func(int64) (core.Algorithm, *adapt.Adaptor, error), def f
 			}
 		}
 	}
-	fmt.Printf("processed %d packets across %d lanes\n", n, shards)
+	fmt.Printf("processed %d packets across %d lanes\n", n, o.shards)
+	if s := pipe.Stats(); s.ShedPackets() > 0 {
+		fmt.Printf("overload: %d packets shed or degraded away (policy %s)\n", s.ShedPackets(), o.overload)
+	}
 	return nil
 }

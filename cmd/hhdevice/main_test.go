@@ -3,12 +3,26 @@ package main
 import (
 	"path/filepath"
 	"testing"
+
+	"repro/internal/pipeline"
 )
+
+// testOptions mirrors the flag defaults on a small synthetic preset.
+func testOptions(alg, def, preset string, scale float64, intervals int) options {
+	return options{
+		algName: alg, defName: def, threshold: 0.001,
+		entries: 64, stages: 2, buckets: 128, oversamp: 4, rate: 16,
+		shards: 1, top: 1, seed: 1,
+		preset: preset, scale: scale, intervals: intervals,
+	}
+}
 
 func TestRunAlgorithmsOnPreset(t *testing.T) {
 	for _, alg := range []string{"sh", "msf", "netflow"} {
-		if err := run(alg, "5-tuple", 0.001, 64, 2, 128, 4, 16, true, "", "", 1, 3, 1,
-			"COS", 0.05, 2, nil); err != nil {
+		o := testOptions(alg, "5-tuple", "COS", 0.05, 2)
+		o.adaptive = true
+		o.top = 3
+		if err := run(o); err != nil {
 			t.Errorf("%s: %v", alg, err)
 		}
 	}
@@ -16,25 +30,37 @@ func TestRunAlgorithmsOnPreset(t *testing.T) {
 
 func TestRunDefinitions(t *testing.T) {
 	for _, def := range []string{"dstIP", "ASpair"} {
-		if err := run("msf", def, 0.001, 64, 2, 128, 4, 16, false, "", "", 1, 1, 1,
-			"MAG", 0.01, 1, nil); err != nil {
+		if err := run(testOptions("msf", def, "MAG", 0.01, 1)); err != nil {
 			t.Errorf("%s: %v", def, err)
 		}
 	}
 }
 
+func TestRunSharded(t *testing.T) {
+	for _, policy := range []pipeline.OverloadPolicy{pipeline.Block, pipeline.Degrade} {
+		o := testOptions("sh", "5-tuple", "COS", 0.05, 2)
+		o.shards = 2
+		o.overload = policy
+		o.maxEntries = 32
+		if err := run(o); err != nil {
+			t.Errorf("policy %v: %v", policy, err)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("bogus", "5-tuple", 0.001, 64, 2, 128, 4, 16, false, "", "", 1, 1, 1, "COS", 0.05, 1, nil); err == nil {
+	if err := run(testOptions("bogus", "5-tuple", "COS", 0.05, 1)); err == nil {
 		t.Error("bad algorithm accepted")
 	}
-	if err := run("msf", "bogus", 0.001, 64, 2, 128, 4, 16, false, "", "", 1, 1, 1, "COS", 0.05, 1, nil); err == nil {
+	if err := run(testOptions("msf", "bogus", "COS", 0.05, 1)); err == nil {
 		t.Error("bad definition accepted")
 	}
-	if err := run("msf", "5-tuple", 0.001, 64, 2, 128, 4, 16, false, "", "", 1, 1, 1, "", 1, 1, nil); err == nil {
+	if err := run(testOptions("msf", "5-tuple", "", 1, 1)); err == nil {
 		t.Error("no input accepted")
 	}
-	if err := run("msf", "5-tuple", 0.001, 64, 2, 128, 4, 16, false, "", "", 1, 1, 1, "", 1, 1,
-		[]string{filepath.Join(t.TempDir(), "missing")}); err == nil {
+	o := testOptions("msf", "5-tuple", "", 1, 1)
+	o.args = []string{filepath.Join(t.TempDir(), "missing")}
+	if err := run(o); err == nil {
 		t.Error("missing file accepted")
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/debugserver"
 	"repro/internal/flow"
 	"repro/internal/netflow"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -95,11 +96,22 @@ func run(listen, debug string, top int, every time.Duration) error {
 				Flows int
 			}{srv.Stats(), flows}
 		})
+		debugserver.RegisterHealth("collector", func() (telemetry.HealthStatus, string) {
+			st := srv.Stats()
+			switch {
+			case st.BadBytes > 0:
+				return telemetry.HealthDegraded, fmt.Sprintf("%d bytes of undecodable exports", st.BadBytes)
+			case st.LostRecords > 0:
+				return telemetry.HealthDegraded, fmt.Sprintf("%d records lost (sequence gaps)", st.LostRecords)
+			default:
+				return telemetry.HealthOK, ""
+			}
+		})
 		daddr, err := debugserver.Serve(debug)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("debug: serving /debug/vars and /debug/pprof on http://%s\n", daddr)
+		fmt.Printf("debug: serving /debug/vars, /debug/pprof and /healthz on http://%s\n", daddr)
 	}
 
 	sig := make(chan os.Signal, 1)

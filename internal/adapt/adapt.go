@@ -109,9 +109,28 @@ func (a *Adaptor) avgUsage() float64 {
 // Adapt records this interval's flow memory usage and returns the threshold
 // to use for the next interval, per Figure 5 of the paper.
 func (a *Adaptor) Adapt(entriesUsed, capacity int, threshold uint64) uint64 {
+	return a.AdaptPressure(entriesUsed, capacity, 0, threshold)
+}
+
+// AdaptPressure is Adapt with the interval's flow-memory rejection count
+// folded in. Rejections prove the memory hit its hard cap during the
+// interval even if entries were evicted before the end-of-interval usage
+// snapshot, so the effective usage is raised to at least full — plus the
+// rejected entries' share of capacity, capped at 2× — which drives the
+// Figure 5 exponent to relieve the pressure on the next interval.
+func (a *Adaptor) AdaptPressure(entriesUsed, capacity int, rejected uint64, threshold uint64) uint64 {
 	usage := 0.0
 	if capacity > 0 {
 		usage = float64(entriesUsed) / float64(capacity)
+		if rejected > 0 {
+			pressure := 1 + float64(rejected)/float64(capacity)
+			if pressure > 2 {
+				pressure = 2
+			}
+			if pressure > usage {
+				usage = pressure
+			}
+		}
 	}
 	a.usages[a.n%len(a.usages)] = usage
 	a.n++

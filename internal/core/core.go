@@ -80,6 +80,18 @@ func ProcessBatch(alg Algorithm, keys []flow.Key, sizes []uint32) {
 	}
 }
 
+// MemoryPressure is implemented by algorithms whose flow memory enforces a
+// hard entry cap and counts refusals. The threshold adaptation loop reads
+// the count between intervals so sustained rejection pressure raises the
+// threshold (Section 5.2's closed loop) instead of going unnoticed.
+type MemoryPressure interface {
+	Algorithm
+	// EntriesRejected returns the cumulative number of flows that qualified
+	// for a flow memory entry but were refused because the memory was at
+	// its hard cap.
+	EntriesRejected() uint64
+}
+
 // Instrumented is implemented by algorithms that maintain live telemetry
 // counters. Their snapshots are lock-free and safe to take from any
 // goroutine while packets are being processed.

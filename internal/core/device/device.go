@@ -37,6 +37,10 @@ type Device struct {
 	// reportCount mirrors len(reports) plus reports dropped by
 	// KeepReports=false, so Stats can be read while packets flow.
 	reportCount atomic.Int64
+	// lastRejected is the algorithm's cumulative flow-memory rejection count
+	// at the previous interval boundary, so adaptation sees per-interval
+	// deltas.
+	lastRejected uint64
 	// OnReport, when set, receives each interval report as it is produced;
 	// set KeepReports to false for long runs to avoid accumulation.
 	OnReport func(r IntervalReport)
@@ -87,7 +91,10 @@ func (d *Device) PacketBatch(pkts []flow.Packet) {
 
 // EndInterval implements trace.Consumer: it snapshots the report, applies
 // the interval transition, and runs threshold adaptation for the next
-// interval.
+// interval. Algorithms that report memory pressure (core.MemoryPressure)
+// feed their per-interval rejection count into the adaptation, so a flow
+// memory that filled and refused entries mid-interval raises the threshold
+// even if evictions emptied it again by the boundary.
 func (d *Device) EndInterval(interval int) {
 	r := IntervalReport{
 		Interval:    interval,
@@ -96,7 +103,13 @@ func (d *Device) EndInterval(interval int) {
 		Estimates:   d.alg.EndInterval(),
 	}
 	if d.adaptor != nil {
-		d.alg.SetThreshold(d.adaptor.Adapt(r.EntriesUsed, d.alg.Capacity(), r.Threshold))
+		var rejected uint64
+		if mp, ok := d.alg.(core.MemoryPressure); ok {
+			total := mp.EntriesRejected()
+			rejected = total - d.lastRejected
+			d.lastRejected = total
+		}
+		d.alg.SetThreshold(d.adaptor.AdaptPressure(r.EntriesUsed, d.alg.Capacity(), rejected, r.Threshold))
 	}
 	if d.OnReport != nil {
 		d.OnReport(r)

@@ -39,6 +39,9 @@ type Entry struct {
 type Memory struct {
 	capacity int
 	entries  map[flow.Key]*Entry
+	// rejected counts inserts refused because the table was at capacity —
+	// the memory-pressure signal threshold adaptation feeds on.
+	rejected uint64
 }
 
 // New creates a flow memory with room for capacity entries. It panics if
@@ -65,11 +68,17 @@ func (m *Memory) Full() bool { return len(m.entries) >= m.capacity }
 // Lookup returns the entry for key, or nil.
 func (m *Memory) Lookup(key flow.Key) *Entry { return m.entries[key] }
 
+// Rejected returns the cumulative number of inserts refused because the
+// table was full. It never resets: callers tracking per-interval pressure
+// take deltas.
+func (m *Memory) Rejected() uint64 { return m.rejected }
+
 // Insert adds an entry for key with an initial byte count. It returns nil
 // when the table is full or the key is already present (callers are expected
-// to Lookup first).
+// to Lookup first). Full-table refusals are counted in Rejected.
 func (m *Memory) Insert(key flow.Key, initialBytes uint64) *Entry {
 	if m.Full() {
+		m.rejected++
 		return nil
 	}
 	if _, exists := m.entries[key]; exists {

@@ -41,6 +41,12 @@ type Config struct {
 	Buckets int
 	// Entries is the flow memory capacity.
 	Entries int
+	// MaxEntries, when non-zero, hard-caps the flow memory below Entries —
+	// a resource bound imposed from outside that wins over the sizing
+	// target. Inserts beyond the cap are refused and counted in
+	// EntriesRejected, which the threshold adaptation loop reads as
+	// pressure.
+	MaxEntries int
 	// Threshold is the large-flow threshold T in bytes per interval.
 	Threshold uint64
 	// Serial selects the serial filter variant (stages in sequence, each
@@ -76,6 +82,9 @@ func (c Config) Validate() error {
 	}
 	if c.Entries < 1 {
 		return cfgerr.New("multistage", "Entries", "must be at least 1, got %d", c.Entries)
+	}
+	if c.MaxEntries < 0 {
+		return cfgerr.New("multistage", "MaxEntries", "must not be negative, got %d", c.MaxEntries)
 	}
 	if c.Threshold < 1 {
 		return cfgerr.New("multistage", "Threshold", "must be at least 1, got %d", c.Threshold)
@@ -116,9 +125,13 @@ func New(cfg Config) (*Filter, error) {
 		name = "tabulation"
 	}
 	family := hashing.FamilyByName(name, cfg.Seed)
+	capacity := cfg.Entries
+	if cfg.MaxEntries > 0 && cfg.MaxEntries < capacity {
+		capacity = cfg.MaxEntries
+	}
 	f := &Filter{
 		cfg:    cfg,
-		mem:    flowmem.New(cfg.Entries),
+		mem:    flowmem.New(capacity),
 		stages: make([][]uint64, cfg.Stages),
 		hashes: make([]hashing.Func, cfg.Stages),
 		idx:    make([]uint32, cfg.Stages),
@@ -127,7 +140,7 @@ func New(cfg Config) (*Filter, error) {
 		f.stages[i] = make([]uint64, cfg.Buckets)
 		f.hashes[i] = family.New(uint32(cfg.Buckets))
 	}
-	f.tel.Init(f.Name(), cfg.Entries, cfg.Threshold)
+	f.tel.Init(f.Name(), capacity, cfg.Threshold)
 	return f, nil
 }
 
@@ -408,6 +421,9 @@ func (f *Filter) SetThreshold(t uint64) {
 
 // Mem implements core.Algorithm.
 func (f *Filter) Mem() *memmodel.Counter { return &f.cost }
+
+// EntriesRejected implements core.MemoryPressure.
+func (f *Filter) EntriesRejected() uint64 { return f.mem.Rejected() }
 
 // Telemetry implements core.Instrumented.
 func (f *Filter) Telemetry() *telemetry.Algorithm { return &f.tel }

@@ -6,6 +6,8 @@ import (
 	"io"
 	"net/http"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 func get(t *testing.T, url string) []byte {
@@ -56,5 +58,75 @@ func TestServeExposesVarsAndPprof(t *testing.T) {
 
 	if body := get(t, base+"/debug/pprof/cmdline"); len(body) == 0 {
 		t.Error("/debug/pprof/cmdline returned empty body")
+	}
+}
+
+// getHealth fetches /healthz without asserting the status code.
+func getHealth(t *testing.T, base string) (int, healthBody) {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body healthBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("/healthz is not JSON: %v", err)
+	}
+	return resp.StatusCode, body
+}
+
+type healthBody struct {
+	Status     string                     `json:"status"`
+	Components map[string]componentHealth `json:"components"`
+}
+
+// TestHealthz walks a component through ok -> degraded -> unhealthy and
+// checks the aggregate status, the status codes (200 while serving, 503
+// when unhealthy), and that re-registering a name replaces the probe.
+func TestHealthz(t *testing.T) {
+	status := telemetry.HealthOK
+	reason := ""
+	RegisterHealth("pipeline", func() (telemetry.HealthStatus, string) {
+		return status, reason
+	})
+	RegisterHealth("collector", func() (telemetry.HealthStatus, string) {
+		return telemetry.HealthOK, ""
+	})
+	addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := fmt.Sprintf("http://%s", addr)
+
+	code, body := getHealth(t, base)
+	if code != http.StatusOK || body.Status != "ok" {
+		t.Fatalf("healthy: got %d %q, want 200 ok", code, body.Status)
+	}
+	if len(body.Components) != 2 {
+		t.Fatalf("got %d components, want 2: %v", len(body.Components), body.Components)
+	}
+
+	status, reason = telemetry.HealthDegraded, "1/4 lanes quarantined"
+	code, body = getHealth(t, base)
+	if code != http.StatusOK || body.Status != "degraded" {
+		t.Fatalf("degraded: got %d %q, want 200 degraded", code, body.Status)
+	}
+	if c := body.Components["pipeline"]; c.Status != "degraded" || c.Reason != reason {
+		t.Fatalf("component: got %+v", c)
+	}
+
+	status = telemetry.HealthUnhealthy
+	code, body = getHealth(t, base)
+	if code != http.StatusServiceUnavailable || body.Status != "unhealthy" {
+		t.Fatalf("unhealthy: got %d %q, want 503 unhealthy", code, body.Status)
+	}
+
+	// Re-registering replaces the probe instead of panicking like expvar.
+	RegisterHealth("pipeline", func() (telemetry.HealthStatus, string) {
+		return telemetry.HealthOK, ""
+	})
+	if code, body = getHealth(t, base); code != http.StatusOK || body.Status != "ok" {
+		t.Fatalf("after replace: got %d %q, want 200 ok", code, body.Status)
 	}
 }

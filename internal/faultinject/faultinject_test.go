@@ -1,0 +1,110 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core/sampleandhold"
+	"repro/internal/flow"
+)
+
+func newInner(t *testing.T) *sampleandhold.SampleAndHold {
+	t.Helper()
+	sh, err := sampleandhold.New(sampleandhold.Config{
+		Entries: 64, Threshold: 10, Oversampling: 10, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}
+
+func TestPanicAtPacketIsExact(t *testing.T) {
+	a := Wrap(newInner(t), Schedule{PanicAtPacket: 5})
+	for i := 0; i < 4; i++ {
+		a.Process(flow.Key{Lo: uint64(i)}, 100)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("packet 5 did not panic")
+		}
+	}()
+	a.Process(flow.Key{Lo: 5}, 100)
+}
+
+func TestPanicAtPacketInsideBatch(t *testing.T) {
+	a := Wrap(newInner(t), Schedule{PanicAtPacket: 3})
+	keys := []flow.Key{{Lo: 1}, {Lo: 2}, {Lo: 3}, {Lo: 4}}
+	sizes := []uint32{10, 10, 10, 10}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("batch did not panic")
+		}
+		// Packets before the scheduled one were processed.
+		if got := a.Inner().Mem().Packets; got != 2 {
+			t.Fatalf("inner processed %d packets before panic, want 2", got)
+		}
+	}()
+	a.ProcessBatch(keys, sizes)
+}
+
+func TestPanicAtInterval(t *testing.T) {
+	a := Wrap(newInner(t), Schedule{PanicAtInterval: 2})
+	a.Process(flow.Key{Lo: 1}, 100)
+	if ests := a.EndInterval(); len(ests) == 0 {
+		t.Fatal("first interval reported nothing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("interval 2 did not panic")
+		}
+	}()
+	a.EndInterval()
+}
+
+func TestCorruptEstimates(t *testing.T) {
+	a := Wrap(newInner(t), Schedule{CorruptEveryEstimates: 2})
+	for i := 0; i < 4; i++ {
+		a.Process(flow.Key{Lo: uint64(i)}, 1000)
+	}
+	ests := a.EndInterval()
+	if len(ests) != 4 {
+		t.Fatalf("got %d estimates", len(ests))
+	}
+	// Every 2nd estimate is corrupted to 2x+1; the rest are exact counts.
+	for i, e := range ests {
+		if (i+1)%2 == 0 {
+			if e.Bytes != 2001 {
+				t.Fatalf("estimate %d = %d, want corrupted 2001", i, e.Bytes)
+			}
+		} else if e.Bytes != 1000 {
+			t.Fatalf("estimate %d = %d, want 1000", i, e.Bytes)
+		}
+	}
+}
+
+func TestDelaySchedule(t *testing.T) {
+	a := Wrap(newInner(t), Schedule{DelayEveryPackets: 2, Delay: time.Millisecond})
+	start := time.Now()
+	for i := 0; i < 6; i++ {
+		a.Process(flow.Key{Lo: uint64(i)}, 10)
+	}
+	if d := time.Since(start); d < 3*time.Millisecond {
+		t.Fatalf("6 packets with delay every 2 took %v, want >= 3ms", d)
+	}
+}
+
+func TestZeroScheduleIsTransparent(t *testing.T) {
+	inner := newInner(t)
+	a := Wrap(inner, Schedule{})
+	a.Process(flow.Key{Lo: 1}, 500)
+	if a.EntriesUsed() != inner.EntriesUsed() || a.Capacity() != 64 || a.Threshold() != 10 {
+		t.Fatal("accessors do not pass through")
+	}
+	if a.EntriesRejected() != 0 {
+		t.Fatal("unexpected rejections")
+	}
+	if ests := a.EndInterval(); len(ests) != 1 || ests[0].Bytes != 500 {
+		t.Fatalf("estimates not passed through: %+v", ests)
+	}
+}

@@ -30,7 +30,10 @@ type Runner struct {
 	consumer trace.Consumer
 	interval int
 	packets  uint64
-	tel      telemetry.Runner
+	// sinceTick counts packets in the interval currently open, so Run can
+	// skip closing an empty final partial interval.
+	sinceTick uint64
+	tel       telemetry.Runner
 }
 
 // NewRunner wraps a consumer (typically a *device.Device or
@@ -45,6 +48,7 @@ func (r *Runner) Packet(p *flow.Packet) {
 	defer r.mu.Unlock()
 	r.consumer.Packet(p)
 	r.packets++
+	r.sinceTick++
 	r.tel.ObservePacket()
 }
 
@@ -55,6 +59,7 @@ func (r *Runner) Tick() int {
 	i := r.interval
 	r.consumer.EndInterval(i)
 	r.interval++
+	r.sinceTick = 0
 	r.tel.ObserveTick(time.Now())
 	return i
 }
@@ -94,14 +99,21 @@ func (r *Runner) Stats() telemetry.RunnerSnapshot {
 }
 
 // Run ticks every interval of wall-clock time until the context is
-// cancelled, then closes one final partial interval and returns.
+// cancelled, then closes one final partial interval — skipped when no
+// packet arrived since the last tick, so cancellation right after a
+// boundary does not append an empty trailing report.
 func (r *Runner) Run(ctx context.Context, interval time.Duration) {
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
-			r.Tick()
+			r.mu.Lock()
+			empty := r.sinceTick == 0
+			r.mu.Unlock()
+			if !empty {
+				r.Tick()
+			}
 			return
 		case <-t.C:
 			r.Tick()

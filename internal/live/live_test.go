@@ -143,3 +143,42 @@ func TestReportsAndStats(t *testing.T) {
 		t.Errorf("multi-device runner reports = %v, want nil", rep)
 	}
 }
+
+// TestRunSkipsEmptyFinalInterval: cancelling a runner that saw no packets
+// since the last tick must not append an empty trailing report.
+func TestRunSkipsEmptyFinalInterval(t *testing.T) {
+	dev := newDev(t)
+	r := NewRunner(dev)
+	p := flow.Packet{Size: 100, SrcIP: 1, DstIP: 2, Proto: 6}
+	r.Packet(&p)
+	r.Tick() // interval 0 closed manually; nothing arrives afterwards
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r.Run(ctx, time.Hour) // returns immediately on the cancelled context
+
+	if got := len(dev.Reports()); got != 1 {
+		t.Fatalf("got %d reports, want 1 (no empty trailing report)", got)
+	}
+	if r.Intervals() != 1 {
+		t.Fatalf("intervals = %d, want 1", r.Intervals())
+	}
+}
+
+// TestRunClosesNonEmptyFinalInterval: the final partial interval is still
+// closed when it holds traffic.
+func TestRunClosesNonEmptyFinalInterval(t *testing.T) {
+	dev := newDev(t)
+	r := NewRunner(dev)
+	p := flow.Packet{Size: 100, SrcIP: 1, DstIP: 2, Proto: 6}
+	r.Packet(&p)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r.Run(ctx, time.Hour)
+
+	reports := dev.Reports()
+	if len(reports) != 1 || len(reports[0].Estimates) != 1 {
+		t.Fatalf("got %+v, want the partial interval's single flow reported", reports)
+	}
+}

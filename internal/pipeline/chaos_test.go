@@ -1,0 +1,325 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/core/sampleandhold"
+	"repro/internal/faultinject"
+	"repro/internal/flow"
+	"repro/internal/telemetry"
+)
+
+// chaosConfig builds a pipeline whose panicShard lane panics after
+// panicAt packets (processed by that lane), with every inner algorithm
+// captured so tests can audit exactly what was processed. Only the first
+// instance built for panicShard is faulty, so a supervised restart gets a
+// clean replacement.
+func chaosConfig(shards, queueDepth, batchSize int, panicShard int, panicAt uint64, restart bool) (Config, *[]*sampleandhold.SampleAndHold, *sync.Mutex) {
+	var mu sync.Mutex
+	var inners []*sampleandhold.SampleAndHold
+	wrapped := false
+	cfg := Config{
+		Shards:         shards,
+		QueueDepth:     queueDepth,
+		BatchSize:      batchSize,
+		RestartOnPanic: restart,
+		NewAlgorithm: func(shard int) (core.Algorithm, error) {
+			sh, err := sampleandhold.New(sampleandhold.Config{
+				Entries: 1 << 16, Threshold: 10, Oversampling: 10, Seed: int64(shard),
+			})
+			if err != nil {
+				return nil, err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			inners = append(inners, sh)
+			if shard == panicShard && !wrapped {
+				wrapped = true
+				return faultinject.Wrap(sh, faultinject.Schedule{PanicAtPacket: panicAt}), nil
+			}
+			return sh, nil
+		},
+		Definition: flow.FiveTuple{},
+		Seed:       1,
+	}
+	return cfg, &inners, &mu
+}
+
+// TestLanePanicNeverDeadlocks is the headline chaos test: one lane panics
+// mid-interval while the producer sustains a volume of 2x the total queue
+// capacity. The pipeline must keep accepting packets, EndInterval and Close
+// must return, the healthy lanes must keep reporting, and the quarantined
+// lane's shed accounting must balance against what its algorithm processed.
+func TestLanePanicNeverDeadlocks(t *testing.T) {
+	const (
+		shards     = 4
+		queueDepth = 8
+		batchSize  = 16
+		panicAt    = 100
+	)
+	cfg, _, _ := chaosConfig(shards, queueDepth, batchSize, 1, panicAt, false)
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2x the whole pipeline's queue capacity, in packets.
+	total := 2 * shards * queueDepth * batchSize
+	pk := flow.Packet{Size: 100, DstIP: 9, Proto: 6}
+	for i := 0; i < total; i++ {
+		pk.SrcIP = uint32(i)
+		p.Packet(&pk)
+	}
+	p.EndInterval(0) // must return despite the quarantined lane
+
+	// More traffic after the failure: still must not deadlock.
+	for i := 0; i < total; i++ {
+		pk.SrcIP = uint32(i)
+		p.Packet(&pk)
+	}
+	p.EndInterval(1)
+	p.Close() // must return
+
+	s := p.Stats()
+	quarantined := -1
+	for i, l := range s.Lanes {
+		if l.Health == telemetry.LaneQuarantined {
+			if quarantined != -1 {
+				t.Fatalf("more than one lane quarantined: %d and %d", quarantined, i)
+			}
+			quarantined = i
+		}
+	}
+	if quarantined == -1 {
+		t.Fatal("no lane quarantined after scheduled panic")
+	}
+	ql := s.Lanes[quarantined]
+	if ql.Panics != 1 {
+		t.Fatalf("quarantined lane recorded %d panics, want 1", ql.Panics)
+	}
+	if ql.ShedPackets == 0 {
+		t.Fatal("quarantined lane shed nothing")
+	}
+
+	// Conservation: every packet handed to the lane was either processed by
+	// the algorithm or shed. The batch that panicked is counted entirely as
+	// shed even though its first packets were processed, so processed+shed
+	// exceeds handed-over by exactly that overlap: 0 <= overlap < batch.
+	// The algorithm saw panicAt-1 packets (the injector panics before the
+	// Nth reaches it).
+	processed := uint64(panicAt - 1)
+	overlap := processed + ql.ShedPackets - ql.Packets
+	if overlap >= batchSize {
+		t.Fatalf("shed accounting off: handed=%d processed=%d shed=%d (overlap %d, want < %d)",
+			ql.Packets, processed, ql.ShedPackets, overlap, batchSize)
+	}
+
+	// Healthy lanes kept reporting in both intervals.
+	if len(p.Reports()) != 2 {
+		t.Fatalf("got %d reports, want 2", len(p.Reports()))
+	}
+	for iv, counts := range p.ShardCounts() {
+		for i, c := range counts {
+			if i == quarantined {
+				if iv > 0 && c != 0 {
+					t.Fatalf("interval %d: quarantined lane contributed %d estimates", iv, c)
+				}
+				continue
+			}
+			if c == 0 {
+				t.Fatalf("interval %d: healthy lane %d reported nothing", iv, i)
+			}
+		}
+	}
+
+	// Health grading: one of four lanes quarantined -> degraded.
+	if st, reason := s.Health(); st != telemetry.HealthDegraded {
+		t.Fatalf("health = %v (%s), want degraded", st, reason)
+	}
+}
+
+// TestEndIntervalPanicSynthesizesEmptyReply: a panic during the flush
+// itself (EndInterval on the lane algorithm) must not strand the producer;
+// the supervisor replies with an empty report.
+func TestEndIntervalPanicSynthesizesEmptyReply(t *testing.T) {
+	cfg := Config{
+		Shards: 2, QueueDepth: 4, BatchSize: 8,
+		NewAlgorithm: func(shard int) (core.Algorithm, error) {
+			sh, err := sampleandhold.New(sampleandhold.Config{
+				Entries: 1024, Threshold: 10, Oversampling: 10, Seed: int64(shard),
+			})
+			if err != nil {
+				return nil, err
+			}
+			if shard == 0 {
+				return faultinject.Wrap(sh, faultinject.Schedule{PanicAtInterval: 1}), nil
+			}
+			return sh, nil
+		},
+		Definition: flow.FiveTuple{},
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	pk := flow.Packet{Size: 100, Proto: 6}
+	for i := 0; i < 500; i++ {
+		pk.SrcIP = uint32(i)
+		p.Packet(&pk)
+	}
+	p.EndInterval(0) // lane 0 panics in EndInterval; must still return
+
+	counts := p.ShardCounts()[0]
+	if counts[0] != 0 {
+		t.Fatalf("panicking lane contributed %d estimates, want 0", counts[0])
+	}
+	if counts[1] == 0 {
+		t.Fatal("healthy lane reported nothing")
+	}
+	if h := p.Stats().Lanes[0].Health; h != telemetry.LaneQuarantined {
+		t.Fatalf("lane 0 health = %v, want quarantined", h)
+	}
+}
+
+// TestRestartOnPanic: with RestartOnPanic the lane comes back with a fresh
+// algorithm instance and keeps measuring.
+func TestRestartOnPanic(t *testing.T) {
+	const panicAt = 50
+	cfg, inners, mu := chaosConfig(1, 8, 8, 0, panicAt, true)
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pk := flow.Packet{Size: 100, Proto: 6}
+	for i := 0; i < 1000; i++ {
+		pk.SrcIP = uint32(i % 100)
+		p.Packet(&pk)
+	}
+	p.EndInterval(0)
+	p.Close()
+
+	s := p.Stats()
+	l := s.Lanes[0]
+	if l.Health != telemetry.LaneRestarted {
+		t.Fatalf("lane health = %v, want restarted", l.Health)
+	}
+	if l.Restarts != 1 || l.Panics != 1 {
+		t.Fatalf("restarts=%d panics=%d, want 1/1", l.Restarts, l.Panics)
+	}
+	// The replacement instance (built by the restart) processed the
+	// traffic after the failure.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*inners) != 2 {
+		t.Fatalf("NewAlgorithm called %d times, want 2 (initial + restart)", len(*inners))
+	}
+	if (*inners)[1].Mem().Packets == 0 {
+		t.Fatal("restarted instance processed nothing")
+	}
+	if len(p.Reports()) != 1 || len(p.Reports()[0].Estimates) == 0 {
+		t.Fatal("restarted lane produced no estimates")
+	}
+	// A restarted (but serving) pipeline grades degraded, not unhealthy.
+	if st, _ := s.Health(); st != telemetry.HealthDegraded {
+		t.Fatalf("health = %v, want degraded", st)
+	}
+}
+
+// TestCloseAfterLanePanic: Close must terminate when called right after a
+// lane failure, without an intervening EndInterval.
+func TestCloseAfterLanePanic(t *testing.T) {
+	cfg, _, _ := chaosConfig(2, 4, 8, 0, 10, false)
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := flow.Packet{Size: 100, Proto: 6}
+	for i := 0; i < 2000; i++ {
+		pk.SrcIP = uint32(i)
+		p.Packet(&pk)
+	}
+	p.Close() // must return; the deadline is the test timeout
+	if p.Stats().Lanes[0].Panics != 1 {
+		t.Fatal("panic not recorded")
+	}
+}
+
+// TestAllLanesQuarantinedIsUnhealthy: a single-lane pipeline whose lane
+// dies grades unhealthy, not merely degraded.
+func TestAllLanesQuarantinedIsUnhealthy(t *testing.T) {
+	cfg, _, _ := chaosConfig(1, 4, 8, 0, 10, false)
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	pk := flow.Packet{Size: 100, Proto: 6}
+	for i := 0; i < 200; i++ {
+		pk.SrcIP = uint32(i)
+		p.Packet(&pk)
+	}
+	p.EndInterval(0)
+	if st, reason := p.Health(); st != telemetry.HealthUnhealthy {
+		t.Fatalf("health = %v (%s), want unhealthy", st, reason)
+	}
+}
+
+// TestConcurrentStatsDuringQuarantine hammers Stats and Health from other
+// goroutines while a lane panics, traffic flows, and the interval closes —
+// the -race run proves snapshotting never races with supervision.
+func TestConcurrentStatsDuringQuarantine(t *testing.T) {
+	cfg, _, _ := chaosConfig(4, 8, 16, 2, 200, false)
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s := p.Stats()
+					_ = s.Packets()
+					_, _ = s.Health()
+				}
+			}
+		}()
+	}
+
+	pk := flow.Packet{Size: 100, Proto: 6}
+	for iv := 0; iv < 3; iv++ {
+		for i := 0; i < 5000; i++ {
+			pk.SrcIP = uint32(i)
+			p.Packet(&pk)
+		}
+		p.EndInterval(iv)
+	}
+	p.Close()
+	close(stop)
+	wg.Wait()
+
+	quarantined := 0
+	for _, l := range p.Stats().Lanes {
+		if l.Health == telemetry.LaneQuarantined {
+			quarantined++
+		}
+	}
+	if quarantined != 1 {
+		t.Fatalf("%d lanes quarantined, want 1", quarantined)
+	}
+	if len(p.Reports()) != 3 {
+		t.Fatalf("got %d reports, want 3", len(p.Reports()))
+	}
+}

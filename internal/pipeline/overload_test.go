@@ -1,0 +1,298 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/core/sampleandhold"
+	"repro/internal/faultinject"
+	"repro/internal/flow"
+)
+
+// gated wraps an algorithm so its first Process signals entered and then
+// blocks until release is closed. Overload tests use it to wedge a lane
+// worker deterministically: with the worker stuck mid-batch the queue fills
+// exactly as scripted, no timing involved. Embedding the interface (not a
+// concrete type) means gated does not implement core.BatchAlgorithm, so the
+// lane falls back to per-packet Process and the gate triggers on the first
+// packet.
+type gated struct {
+	core.Algorithm
+	entered chan struct{} // buffered 1; signaled on first Process
+	release chan struct{}
+	first   bool
+}
+
+func (g *gated) Process(k flow.Key, size uint32) {
+	if !g.first {
+		g.first = true
+		g.entered <- struct{}{}
+		<-g.release
+	}
+	g.Algorithm.Process(k, size)
+}
+
+// overloadPipeline builds a single-lane pipeline (Shards=1 makes queue
+// arithmetic deterministic) whose worker wedges on its first packet until
+// release is closed. QueueDepth 1, BatchSize 4.
+func overloadPipeline(t *testing.T, policy OverloadPolicy) (*Pipeline, *gated, *sampleandhold.SampleAndHold) {
+	t.Helper()
+	sh, err := sampleandhold.New(sampleandhold.Config{
+		Entries: 1 << 12, Threshold: 10, Oversampling: 10, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &gated{
+		Algorithm: sh,
+		entered:   make(chan struct{}, 1),
+		release:   make(chan struct{}),
+	}
+	p, err := New(Config{
+		Shards:     1,
+		QueueDepth: 1,
+		BatchSize:  4,
+		Overload:   policy,
+		NewAlgorithm: func(int) (core.Algorithm, error) {
+			return g, nil
+		},
+		Definition: flow.FiveTuple{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, g, sh
+}
+
+// feedBatches pushes batches first..last inclusive, each a full batch
+// (BatchSize=4) of distinct flows; batch b carries flows b*100..b*100+3,
+// each packet 100 bytes.
+func feedBatches(p *Pipeline, first, last int) {
+	pk := flow.Packet{Size: 100, Proto: 6}
+	for b := first; b <= last; b++ {
+		for j := 0; j < 4; j++ {
+			pk.SrcIP = uint32(b*100 + j)
+			p.Packet(&pk)
+		}
+	}
+}
+
+// reportedFlows collects, for each probed SrcIP, whether its flow made the
+// final report.
+func reportedFlows(p *Pipeline, srcIPs ...uint32) map[uint32]bool {
+	def := flow.FiveTuple{}
+	want := make(map[flow.Key]uint32, len(srcIPs))
+	for _, ip := range srcIPs {
+		pk := flow.Packet{Size: 100, Proto: 6, SrcIP: ip}
+		want[def.Key(&pk)] = ip
+	}
+	got := make(map[uint32]bool)
+	for _, r := range p.Reports() {
+		for _, e := range r.Estimates {
+			if ip, ok := want[e.Key]; ok {
+				got[ip] = true
+			}
+		}
+	}
+	return got
+}
+
+// TestDropNewestCounters wedges the lane (batch 0 in-processing, batch 1
+// queued) and feeds 6 more batches: every one of them must be shed, newest
+// first, with exact counters, and the survivors are the oldest traffic.
+func TestDropNewestCounters(t *testing.T) {
+	p, g, _ := overloadPipeline(t, DropNewest)
+	feedBatches(p, 0, 0) // batch 0 handed over
+	<-g.entered          // worker is now wedged inside batch 0
+	feedBatches(p, 1, 7) // batch 1 fills the queue; 2..7 shed
+	close(g.release)
+	p.EndInterval(0)
+	p.Close()
+
+	l := p.Stats().Lanes[0]
+	if l.ShedBatches != 6 || l.ShedPackets != 6*4 || l.ShedBytes != 6*4*100 {
+		t.Fatalf("shed = %d batches / %d packets / %d bytes, want 6/24/2400",
+			l.ShedBatches, l.ShedPackets, l.ShedBytes)
+	}
+	if l.Packets != 2*4 {
+		t.Fatalf("handed over %d packets, want 8", l.Packets)
+	}
+	// Conservation: fed == delivered + shed.
+	if l.Packets+l.ShedPackets != 8*4 {
+		t.Fatalf("conservation: %d delivered + %d shed != 32 fed", l.Packets, l.ShedPackets)
+	}
+	got := reportedFlows(p, 0, 100, 700)
+	for _, want := range []uint32{0, 100} { // oldest batches survive
+		if !got[want] {
+			t.Fatalf("flow %d from a delivered batch missing from report", want)
+		}
+	}
+	if got[700] {
+		t.Fatal("flow from a shed batch appeared in the report")
+	}
+}
+
+// TestDropOldestCounters is the mirror image: the queued batches are
+// evicted, the freshest batch survives.
+func TestDropOldestCounters(t *testing.T) {
+	p, g, _ := overloadPipeline(t, DropOldest)
+	// Batch 0 wedges the worker; batch 1 queues; each of 2..7 then evicts
+	// its predecessor, so only batch 7 is still queued at the end.
+	feedBatches(p, 0, 0)
+	<-g.entered
+	feedBatches(p, 1, 7)
+	close(g.release)
+	p.EndInterval(0)
+	p.Close()
+
+	l := p.Stats().Lanes[0]
+	if l.ShedBatches != 6 || l.ShedPackets != 6*4 {
+		t.Fatalf("shed = %d batches / %d packets, want 6/24", l.ShedBatches, l.ShedPackets)
+	}
+	got := reportedFlows(p, 0, 100, 300, 700)
+	for _, want := range []uint32{0, 700} { // wedged batch + newest batch
+		if !got[want] {
+			t.Fatalf("flow %d missing from report", want)
+		}
+	}
+	if got[100] || got[300] {
+		t.Fatal("evicted batch's flows appeared in the report")
+	}
+}
+
+// TestDegradeCounters: under overload with a slow (delayed) lane, Degrade
+// must keep the pipeline live and the packet accounting exact:
+// every fed packet is either processed by the algorithm or counted as
+// degraded-dropped — nothing vanishes.
+func TestDegradeCounters(t *testing.T) {
+	sh, err := sampleandhold.New(sampleandhold.Config{
+		Entries: 1 << 12, Threshold: 10, Oversampling: 10, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := faultinject.Wrap(sh, faultinject.Schedule{
+		DelayEveryPackets: 1, Delay: 200 * time.Microsecond,
+	})
+	p, err := New(Config{
+		Shards: 1, QueueDepth: 1, BatchSize: 4,
+		Overload: Degrade, DegradeFraction: 0.5,
+		NewAlgorithm: func(int) (core.Algorithm, error) { return slow, nil },
+		Definition:   flow.FiveTuple{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fed = 200 * 4
+	feedBatches(p, 0, 199)
+	p.EndInterval(0)
+	p.Close()
+
+	l := p.Stats().Lanes[0]
+	if l.DegradedPackets == 0 {
+		t.Fatal("no degradation despite a lane 800x slower than the producer")
+	}
+	if l.ShedPackets != 0 {
+		t.Fatalf("Degrade shed %d packets; it must thin, not shed", l.ShedPackets)
+	}
+	// Exact conservation: fed == delivered + degraded-dropped, and the
+	// algorithm processed exactly what was delivered.
+	if l.Packets+l.DegradedPackets != fed {
+		t.Fatalf("conservation: %d delivered + %d degraded != %d fed",
+			l.Packets, l.DegradedPackets, fed)
+	}
+	if got := sh.Mem().Packets; got != l.Packets {
+		t.Fatalf("algorithm processed %d packets, telemetry says %d delivered", got, l.Packets)
+	}
+	if l.DegradedBytes != l.DegradedPackets*100 {
+		t.Fatalf("degraded bytes %d inconsistent with %d packets of 100B",
+			l.DegradedBytes, l.DegradedPackets)
+	}
+}
+
+// TestBlockPolicyIsLossless: the default policy never sheds or degrades,
+// even at sustained overload against a delayed lane.
+func TestBlockPolicyIsLossless(t *testing.T) {
+	sh, err := sampleandhold.New(sampleandhold.Config{
+		Entries: 1 << 12, Threshold: 10, Oversampling: 10, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := faultinject.Wrap(sh, faultinject.Schedule{
+		DelayEveryPackets: 4, Delay: 100 * time.Microsecond,
+	})
+	p, err := New(Config{
+		Shards: 1, QueueDepth: 1, BatchSize: 4,
+		NewAlgorithm: func(int) (core.Algorithm, error) { return slow, nil },
+		Definition:   flow.FiveTuple{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fed = 100 * 4
+	feedBatches(p, 0, 99)
+	p.EndInterval(0)
+	p.Close()
+
+	l := p.Stats().Lanes[0]
+	if l.ShedPackets != 0 || l.DegradedPackets != 0 {
+		t.Fatalf("Block policy lost traffic: shed=%d degraded=%d", l.ShedPackets, l.DegradedPackets)
+	}
+	if l.Packets != fed {
+		t.Fatalf("delivered %d packets, want all %d", l.Packets, fed)
+	}
+	if l.FlushStalls == 0 {
+		t.Fatal("sustained overload recorded no flush stalls")
+	}
+	if got := sh.Mem().Packets; got != fed {
+		t.Fatalf("algorithm processed %d packets, want %d", got, fed)
+	}
+}
+
+// TestOverloadConfigValidation covers the new Config fields.
+func TestOverloadConfigValidation(t *testing.T) {
+	base := func() Config {
+		return Config{
+			Shards: 1, QueueDepth: 1,
+			NewAlgorithm: func(int) (core.Algorithm, error) {
+				return sampleandhold.New(sampleandhold.Config{
+					Entries: 16, Threshold: 10, Oversampling: 10,
+				})
+			},
+			Definition: flow.FiveTuple{},
+		}
+	}
+	bad := base()
+	bad.Overload = OverloadPolicy(42)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown overload policy accepted")
+	}
+	bad = base()
+	bad.DegradeFraction = 1.0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("DegradeFraction 1.0 accepted (would keep everything forever)")
+	}
+	bad = base()
+	bad.DegradeFraction = -0.1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative DegradeFraction accepted")
+	}
+}
+
+// TestOverloadPolicyByName round-trips the CLI spellings.
+func TestOverloadPolicyByName(t *testing.T) {
+	for _, want := range []OverloadPolicy{Block, DropNewest, DropOldest, Degrade} {
+		got, err := OverloadPolicyByName(want.String())
+		if err != nil || got != want {
+			t.Fatalf("round-trip %v: got %v, err %v", want, got, err)
+		}
+	}
+	if got, err := OverloadPolicyByName(""); err != nil || got != Block {
+		t.Fatalf("empty name: got %v, err %v; want Block", got, err)
+	}
+	if _, err := OverloadPolicyByName("yolo"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}

@@ -15,6 +15,26 @@
 // interval boundaries, so merged reports are bit-identical to an unbatched
 // run.
 //
+// # Overload and failure behavior
+//
+// The paper's core promise is bounded resources under worst-case traffic:
+// the device degrades gracefully instead of falling over. The pipeline
+// keeps that promise at the software layer in two ways.
+//
+// Overload: when a lane's queue is full, Config.Overload selects what the
+// producer does — Block (wait, lossless), DropNewest/DropOldest (shed a
+// whole batch, newest or oldest first), or Degrade (probabilistically
+// subsample the batch, sample-and-hold style, so estimates degrade smoothly
+// instead of whole bursts vanishing). Shedding and degradation are counted
+// per lane in the telemetry.
+//
+// Failure: every lane worker runs under a supervisor. A panic in a lane's
+// algorithm is recovered; the lane is either restarted with a fresh
+// algorithm instance (Config.RestartOnPanic) or quarantined — it keeps
+// draining its queue, counting batches as shed, and answers interval
+// flushes with an empty report. Either way EndInterval and Close always
+// terminate, and the remaining lanes keep measuring.
+//
 // This is the software analogue of the paper's observation that its
 // algorithms parallelize: the per-packet work is a few independent memory
 // references, so throughput scales with lanes.
@@ -38,6 +58,65 @@ import (
 // lane's working set of buffered keys stays cache-resident.
 const DefaultBatchSize = 64
 
+// OverloadPolicy selects the producer's behavior when a lane queue is full.
+type OverloadPolicy int
+
+const (
+	// Block waits for the lane to drain: lossless, but a slow lane
+	// backpressures the producer (and, behind it, the link). This is the
+	// default and the only policy that never loses packets.
+	Block OverloadPolicy = iota
+	// DropNewest sheds the incoming batch and keeps the queued ones: the
+	// oldest buffered traffic survives, the burst that overflowed is lost.
+	DropNewest
+	// DropOldest pops the oldest queued batch to make room for the new one:
+	// the freshest traffic survives, which keeps reports current under
+	// sustained overload.
+	DropOldest
+	// Degrade subsamples the overflowing batch instead of dropping it:
+	// each packet survives with probability Config.DegradeFraction, so —
+	// sample-and-hold style — large flows keep being observed in rough
+	// proportion while total lane work shrinks. The thinned batch is then
+	// delivered (blocking if the queue is still full).
+	Degrade
+)
+
+// String names the policy.
+func (p OverloadPolicy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropNewest:
+		return "drop-newest"
+	case DropOldest:
+		return "drop-oldest"
+	case Degrade:
+		return "degrade"
+	default:
+		return "unknown"
+	}
+}
+
+// OverloadPolicyByName maps the CLI spellings to policies.
+func OverloadPolicyByName(name string) (OverloadPolicy, error) {
+	switch name {
+	case "", "block":
+		return Block, nil
+	case "drop-newest":
+		return DropNewest, nil
+	case "drop-oldest":
+		return DropOldest, nil
+	case "degrade":
+		return Degrade, nil
+	default:
+		return 0, fmt.Errorf("pipeline: unknown overload policy %q (want block, drop-newest, drop-oldest, degrade)", name)
+	}
+}
+
+// DefaultDegradeFraction is the Degrade policy's per-packet keep
+// probability when Config.DegradeFraction is zero.
+const DefaultDegradeFraction = 0.5
+
 // Config configures a sharded pipeline.
 type Config struct {
 	// Shards is the number of parallel lanes.
@@ -49,12 +128,26 @@ type Config struct {
 	// DefaultBatchSize; 1 hands over every packet individually, which is
 	// the unbatched per-packet behavior.
 	BatchSize int
+	// Overload selects what the producer does when a lane's queue is full;
+	// the zero value is Block (lossless backpressure).
+	Overload OverloadPolicy
+	// DegradeFraction is the Degrade policy's per-packet keep probability
+	// in (0, 1); zero selects DefaultDegradeFraction. Ignored by the other
+	// policies.
+	DegradeFraction float64
+	// RestartOnPanic restarts a panicking lane with a fresh algorithm from
+	// NewAlgorithm instead of quarantining it. The fresh instance starts
+	// with empty flow memory, so the lane's current interval undercounts;
+	// the lane's Restarts counter records that the report is approximate.
+	RestartOnPanic bool
 	// NewAlgorithm builds one lane's algorithm instance. Instances must be
-	// independent (separate state); shard is 0-based.
+	// independent (separate state); shard is 0-based. With RestartOnPanic
+	// it is also called from lane worker goroutines after a panic, so it
+	// must be safe for concurrent use.
 	NewAlgorithm func(shard int) (core.Algorithm, error)
 	// Definition extracts flow keys; sharding hashes these keys.
 	Definition flow.Definition
-	// Seed seeds the shard-selection hash.
+	// Seed seeds the shard-selection hash and the Degrade subsampler.
 	Seed int64
 }
 
@@ -68,6 +161,12 @@ func (c Config) Validate() error {
 	}
 	if c.BatchSize < 0 {
 		return cfgerr.New("pipeline", "BatchSize", "must not be negative, got %d", c.BatchSize)
+	}
+	if c.Overload < Block || c.Overload > Degrade {
+		return cfgerr.New("pipeline", "Overload", "unknown policy %d", int(c.Overload))
+	}
+	if c.DegradeFraction < 0 || c.DegradeFraction >= 1 {
+		return cfgerr.New("pipeline", "DegradeFraction", "%g outside [0, 1)", c.DegradeFraction)
 	}
 	if c.NewAlgorithm == nil {
 		return cfgerr.New("pipeline", "NewAlgorithm", "is required")
@@ -88,6 +187,19 @@ func newBatch(size int) *batch {
 	return &batch{keys: make([]flow.Key, 0, size), sizes: make([]uint32, 0, size)}
 }
 
+func (b *batch) reset() {
+	b.keys = b.keys[:0]
+	b.sizes = b.sizes[:0]
+}
+
+func (b *batch) bytes() uint64 {
+	var total uint64
+	for _, s := range b.sizes {
+		total += uint64(s)
+	}
+	return total
+}
+
 type op struct {
 	b *batch
 	// flush, when non-nil, asks the lane to close the interval and reply
@@ -95,29 +207,64 @@ type op struct {
 	flush chan []core.Estimate
 }
 
+// lane bundles one shard's channels, telemetry and algorithm. The algorithm
+// is held behind an atomic pointer because a supervised restart swaps it
+// from the lane worker goroutine while the producer may be reading
+// Threshold/EntriesUsed/Stats.
+type lane struct {
+	ch   chan op
+	free chan *batch
+	tel  *telemetry.Lane
+	alg  atomic.Pointer[core.Algorithm]
+	// rng is the producer-side xorshift state for Degrade subsampling;
+	// only the producer goroutine touches it.
+	rng uint64
+}
+
+func (ln *lane) loadAlg() core.Algorithm { return *ln.alg.Load() }
+
+func (ln *lane) storeAlg(a core.Algorithm) { ln.alg.Store(&a) }
+
+// shedBatch counts b as shed and recycles its buffer.
+func (ln *lane) shedBatch(b *batch) {
+	ln.tel.ObserveShed(1, len(b.keys), b.bytes())
+	b.reset()
+	ln.free <- b
+}
+
+// xorshift64star advances the lane's subsampling RNG.
+func (ln *lane) next() uint64 {
+	x := ln.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	ln.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
 // Pipeline implements trace.Consumer and trace.BatchConsumer over sharded
 // lanes. The producer side (Packet, PacketBatch, EndInterval, Close) must be
-// driven from a single goroutine, like any trace.Consumer.
+// driven from a single goroutine, like any trace.Consumer; Stats and Health
+// may be called from any goroutine.
 type Pipeline struct {
 	cfg       Config
 	batchSize int
-	shardFn   hashing.Func
-	lanes     []chan op
-	// free recycles processed batch buffers back to the producer; pending
-	// holds the batch currently being filled for each lane. Each lane owns
-	// QueueDepth+2 buffers total (queue + in-processing + being-filled), so
-	// a blocking receive from free can always be satisfied.
-	free    []chan *batch
+	// degradeKeep is the Degrade keep probability as a uint64 comparison
+	// threshold (keep when rng <= degradeKeep).
+	degradeKeep uint64
+	shardFn     hashing.Func
+	lanes       []*lane
+	// pending holds the batch currently being filled for each lane. Each
+	// lane owns QueueDepth+2 buffers total (queue + in-processing +
+	// being-filled), so a blocking receive from free can always be
+	// satisfied.
 	pending []*batch
-	algs    []core.Algorithm
 	wg      sync.WaitGroup
 	reports []core.IntervalReport
 	// perShard[i][s] is the number of estimates shard s contributed to
 	// interval report i.
 	perShard [][]int
-	// laneTel holds producer-side lane counters; reportCount mirrors
-	// len(reports) for concurrent Stats readers.
-	laneTel     []*telemetry.Lane
+	// reportCount mirrors len(reports) for concurrent Stats readers.
 	reportCount atomic.Int64
 	closed      bool
 }
@@ -131,10 +278,15 @@ func New(cfg Config) (*Pipeline, error) {
 	if batchSize == 0 {
 		batchSize = DefaultBatchSize
 	}
+	keep := cfg.DegradeFraction
+	if keep == 0 {
+		keep = DefaultDegradeFraction
+	}
 	p := &Pipeline{
-		cfg:       cfg,
-		batchSize: batchSize,
-		shardFn:   hashing.NewTabulation(cfg.Seed).New(uint32(cfg.Shards)),
+		cfg:         cfg,
+		batchSize:   batchSize,
+		degradeKeep: uint64(keep * float64(^uint64(0))),
+		shardFn:     hashing.NewTabulation(cfg.Seed).New(uint32(cfg.Shards)),
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		alg, err := cfg.NewAlgorithm(i)
@@ -142,34 +294,89 @@ func New(cfg Config) (*Pipeline, error) {
 			p.Close()
 			return nil, fmt.Errorf("pipeline: shard %d: %w", i, err)
 		}
-		ch := make(chan op, cfg.QueueDepth)
-		free := make(chan *batch, cfg.QueueDepth+2)
-		for k := 0; k < cfg.QueueDepth+1; k++ {
-			free <- newBatch(batchSize)
+		ln := &lane{
+			ch:   make(chan op, cfg.QueueDepth),
+			free: make(chan *batch, cfg.QueueDepth+2),
+			tel:  &telemetry.Lane{},
+			rng:  uint64(cfg.Seed)*0x9E3779B97F4A7C15 + uint64(i) + 1,
 		}
-		p.lanes = append(p.lanes, ch)
-		p.free = append(p.free, free)
+		for k := 0; k < cfg.QueueDepth+1; k++ {
+			ln.free <- newBatch(batchSize)
+		}
+		ln.storeAlg(alg)
+		p.lanes = append(p.lanes, ln)
 		p.pending = append(p.pending, newBatch(batchSize))
-		p.algs = append(p.algs, alg)
-		p.laneTel = append(p.laneTel, &telemetry.Lane{})
 		p.wg.Add(1)
-		go p.run(alg, ch, free)
+		go p.run(i, ln)
 	}
 	return p, nil
 }
 
-func (p *Pipeline) run(alg core.Algorithm, ch chan op, free chan *batch) {
+// run is the supervised lane worker: it processes ops until the channel
+// closes, recovering panics. After a panic the lane is restarted with a
+// fresh algorithm (Config.RestartOnPanic) or quarantined — still draining
+// the queue so the producer, EndInterval and Close never block on it, but
+// shedding every batch and answering flushes with an empty report.
+func (p *Pipeline) run(shard int, ln *lane) {
 	defer p.wg.Done()
-	for o := range ch {
-		if o.flush != nil {
-			o.flush <- alg.EndInterval()
+	quarantined := false
+	for o := range ln.ch {
+		if quarantined {
+			p.shedOp(ln, o)
 			continue
 		}
-		core.ProcessBatch(alg, o.b.keys, o.b.sizes)
-		o.b.keys = o.b.keys[:0]
-		o.b.sizes = o.b.sizes[:0]
-		free <- o.b
+		if p.processOp(ln, o) {
+			continue
+		}
+		// The op panicked (processOp recovered, replied, recycled).
+		if p.cfg.RestartOnPanic {
+			if alg, err := p.cfg.NewAlgorithm(shard); err == nil {
+				ln.storeAlg(alg)
+				ln.tel.ObserveRestart()
+				ln.tel.SetHealth(telemetry.LaneRestarted)
+				continue
+			}
+		}
+		quarantined = true
+		ln.tel.SetHealth(telemetry.LaneQuarantined)
 	}
+}
+
+// processOp runs one op under panic recovery. On panic it counts the
+// panic, synthesizes an empty flush reply (so EndInterval never deadlocks),
+// sheds the batch (so its buffer returns to the free list and the producer
+// never starves), and reports ok=false so the supervisor reacts.
+func (p *Pipeline) processOp(ln *lane, o op) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ok = false
+			ln.tel.ObservePanic()
+			if o.flush != nil {
+				o.flush <- nil
+			}
+			if o.b != nil {
+				ln.shedBatch(o.b)
+			}
+		}
+	}()
+	if o.flush != nil {
+		o.flush <- ln.loadAlg().EndInterval()
+		return true
+	}
+	core.ProcessBatch(ln.loadAlg(), o.b.keys, o.b.sizes)
+	o.b.reset()
+	ln.free <- o.b
+	return true
+}
+
+// shedOp services an op in quarantine: batches are counted as shed and
+// recycled, flushes get an empty reply.
+func (p *Pipeline) shedOp(ln *lane, o op) {
+	if o.flush != nil {
+		o.flush <- nil
+		return
+	}
+	ln.shedBatch(o.b)
 }
 
 // enqueue appends one packet to its lane's pending batch and hands the batch
@@ -184,20 +391,88 @@ func (p *Pipeline) enqueue(lane int, key flow.Key, size uint32) {
 }
 
 // flushLane hands the lane's pending batch to its worker (a no-op when the
-// batch is empty) and replaces it with a recycled buffer.
-func (p *Pipeline) flushLane(lane int) {
-	b := p.pending[lane]
+// batch is empty) and replaces it with a recycled buffer. A full lane queue
+// is resolved by the configured overload policy; with Block (and Degrade,
+// which delivers its thinned batch) the wait is counted as a flush stall.
+func (p *Pipeline) flushLane(i int) {
+	b := p.pending[i]
 	if len(b.keys) == 0 {
 		return
 	}
+	ln := p.lanes[i]
 	n := len(b.keys)
-	p.lanes[lane] <- op{b: b}
+	stalled := false
+	select {
+	case ln.ch <- op{b: b}:
+	default:
+		// Queue full: the lane is saturated. Apply the overload policy.
+		switch p.cfg.Overload {
+		case Block:
+			stalled = true
+			ln.ch <- op{b: b}
+		case DropNewest:
+			ln.tel.ObserveShed(1, n, b.bytes())
+			b.reset()
+			return // keep the same buffer as pending; nothing was handed over
+		case DropOldest:
+			p.dropOldest(ln, b)
+		case Degrade:
+			stalled = true
+			var dropped int
+			var droppedBytes uint64
+			w := 0
+			for k := range b.keys {
+				if ln.next() <= p.degradeKeep {
+					b.keys[w] = b.keys[k]
+					b.sizes[w] = b.sizes[k]
+					w++
+				} else {
+					dropped++
+					droppedBytes += uint64(b.sizes[k])
+				}
+			}
+			b.keys = b.keys[:w]
+			b.sizes = b.sizes[:w]
+			ln.tel.ObserveDegraded(dropped, droppedBytes)
+			if w == 0 {
+				b.reset()
+				return // whole batch subsampled away; keep the buffer
+			}
+			n = w
+			ln.ch <- op{b: b}
+		}
+	}
 	// An empty free list means the lane has not returned a buffer yet: the
-	// producer is about to block on it — the backpressure signal telemetry
-	// reports as a flush stall.
-	stalled := len(p.free[lane]) == 0
-	p.pending[lane] = <-p.free[lane]
-	p.laneTel[lane].ObserveBatch(n, len(p.lanes[lane]), stalled)
+	// producer is about to block on it — counted, like a queue-full wait,
+	// as a flush stall.
+	stalled = stalled || len(ln.free) == 0
+	p.pending[i] = <-ln.free
+	ln.tel.ObserveBatch(n, len(ln.ch), stalled)
+}
+
+// dropOldest delivers b by evicting queued batches, oldest first, until the
+// send succeeds. Evicted batches are counted as shed and recycled. The
+// queue can only hold batch ops here: EndInterval waits for every flush
+// reply before the producer continues, so no flush op is ever buffered when
+// flushLane runs — the guard is belt and braces.
+func (p *Pipeline) dropOldest(ln *lane, b *batch) {
+	for {
+		select {
+		case ln.ch <- op{b: b}:
+			return
+		default:
+		}
+		select {
+		case old := <-ln.ch:
+			if old.flush != nil {
+				old.flush <- nil
+				continue
+			}
+			ln.shedBatch(old.b)
+		default:
+			// The worker drained the queue between probes; retry the send.
+		}
+	}
 }
 
 // Packet implements trace.Consumer: it hashes the packet's flow to a lane
@@ -218,7 +493,9 @@ func (p *Pipeline) PacketBatch(pkts []flow.Packet) {
 
 // EndInterval implements trace.Consumer: it flushes every lane's partial
 // batch, barriers all lanes (each lane drains its queue before answering,
-// because the channel is FIFO) and merges their reports.
+// because the channel is FIFO) and merges their reports. A quarantined
+// lane answers with an empty report instead of deadlocking, so EndInterval
+// always terminates.
 func (p *Pipeline) EndInterval(interval int) {
 	// The report's Threshold and EntriesUsed describe the interval being
 	// closed, so they are captured before the flush resets per-lane state.
@@ -227,13 +504,13 @@ func (p *Pipeline) EndInterval(interval int) {
 	// interval's flush replies ordered all of those writes before this call.
 	// (For the interval being closed the producer-side counters are exact
 	// because every batch below was flushed before the lanes answered.)
-	threshold := p.algs[0].Threshold()
+	threshold := p.lanes[0].loadAlg().Threshold()
 	replies := make([]chan []core.Estimate, len(p.lanes))
-	for i, ch := range p.lanes {
+	for i, ln := range p.lanes {
 		p.flushLane(i)
 		replies[i] = make(chan []core.Estimate, 1)
-		ch <- op{flush: replies[i]}
-		p.laneTel[i].ObserveFlush()
+		ln.ch <- op{flush: replies[i]}
+		ln.tel.ObserveFlush()
 	}
 	r := core.IntervalReport{Interval: interval, Threshold: threshold}
 	shards := make([]int, len(p.lanes))
@@ -279,47 +556,58 @@ func (p *Pipeline) ShardCounts() [][]int { return p.perShard }
 // intervals (lanes may be mid-batch otherwise).
 func (p *Pipeline) EntriesUsed() int {
 	total := 0
-	for _, a := range p.algs {
-		total += a.EntriesUsed()
+	for _, ln := range p.lanes {
+		total += ln.loadAlg().EntriesUsed()
 	}
 	return total
 }
 
-// Stats returns the pipeline's live telemetry: producer-side lane counters
-// (batches handed over, queue high-water marks, flush stalls) plus each
-// lane algorithm's own counters. Safe to call from any goroutine while the
-// pipeline is running, as long as every lane algorithm is instrumented
-// (core.Instrumented — true for all the algorithms in this module);
-// snapshots of uninstrumented lane algorithms are synthesized only between
-// intervals and are marked Stale.
+// Stats returns the pipeline's live telemetry: per-lane counters (batches
+// handed over, queue high-water marks, flush stalls, shed and degraded
+// traffic, panics, restarts, health) plus each lane algorithm's own
+// counters. Safe to call from any goroutine while the pipeline is running,
+// as long as every lane algorithm is instrumented (core.Instrumented — true
+// for all the algorithms in this module); snapshots of uninstrumented lane
+// algorithms are synthesized only between intervals and are marked Stale.
+// After a supervised restart the lane's algorithm counters restart from
+// zero; the lane's Restarts counter records the discontinuity.
 func (p *Pipeline) Stats() telemetry.PipelineSnapshot {
 	s := telemetry.PipelineSnapshot{
 		Shards:  len(p.lanes),
 		Reports: int(p.reportCount.Load()),
 	}
-	for i, lt := range p.laneTel {
-		s.Lanes = append(s.Lanes, lt.Snapshot())
-		if in, ok := p.algs[i].(core.Instrumented); ok {
+	for _, ln := range p.lanes {
+		s.Lanes = append(s.Lanes, ln.tel.Snapshot())
+		alg := ln.loadAlg()
+		if in, ok := alg.(core.Instrumented); ok {
 			s.Algorithms = append(s.Algorithms, in.Telemetry().Snapshot())
 		} else {
 			s.Algorithms = append(s.Algorithms, telemetry.AlgorithmSnapshot{
-				Name: p.algs[i].Name(), Stale: true,
+				Name: alg.Name(), Stale: true,
 			})
 		}
 	}
 	return s
 }
 
+// Health grades the pipeline from its telemetry; see
+// telemetry.PipelineSnapshot.Health. Safe from any goroutine.
+func (p *Pipeline) Health() (telemetry.HealthStatus, string) {
+	return p.Stats().Health()
+}
+
 // Close flushes buffered packets, stops the lanes and waits for them to
-// drain. The pipeline must not be used afterwards; Close is idempotent.
+// drain. Quarantined lanes drain by shedding, so Close terminates even
+// after lane failures. The pipeline must not be used afterwards; Close is
+// idempotent.
 func (p *Pipeline) Close() {
 	if p.closed {
 		return
 	}
 	p.closed = true
-	for i, ch := range p.lanes {
+	for i, ln := range p.lanes {
 		p.flushLane(i)
-		close(ch)
+		close(ln.ch)
 	}
 	p.wg.Wait()
 }

@@ -14,6 +14,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -185,6 +186,11 @@ func (s AlgorithmSnapshot) MemRefsPerPacket() float64 {
 	return float64(s.Mem.Accesses()) / float64(s.Packets)
 }
 
+// EntriesRejected returns the number of flows that qualified for a flow
+// memory entry but were refused because the memory was at its hard cap —
+// the Drops counter under the name the overload documentation uses.
+func (s AlgorithmSnapshot) EntriesRejected() uint64 { return s.Drops }
+
 // Occupancy returns EntriesUsed/Capacity in [0, 1].
 func (s AlgorithmSnapshot) Occupancy() float64 {
 	if s.Capacity == 0 {
@@ -193,14 +199,65 @@ func (s AlgorithmSnapshot) Occupancy() float64 {
 	return float64(s.EntriesUsed) / float64(s.Capacity)
 }
 
-// Lane holds the producer-side counters of one pipeline lane. Written by
-// the single producer goroutine, read from anywhere.
+// LaneHealth is the supervision state of one pipeline lane worker.
+type LaneHealth int32
+
+const (
+	// LaneHealthy is a lane running its original algorithm instance.
+	LaneHealthy LaneHealth = iota
+	// LaneRestarted is a lane that panicked at least once and was restarted
+	// with a fresh algorithm instance; it is processing traffic again.
+	LaneRestarted
+	// LaneQuarantined is a lane whose algorithm panicked and was not (or
+	// could not be) restarted: the worker stays alive but sheds every batch
+	// and answers interval flushes with an empty report, so the pipeline
+	// never deadlocks on a dead lane.
+	LaneQuarantined
+)
+
+// String renders the health state.
+func (h LaneHealth) String() string {
+	switch h {
+	case LaneHealthy:
+		return "healthy"
+	case LaneRestarted:
+		return "restarted"
+	case LaneQuarantined:
+		return "quarantined"
+	default:
+		return "unknown"
+	}
+}
+
+// MarshalJSON renders the health state as its string form, so /debug/vars
+// and /healthz read naturally.
+func (h LaneHealth) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + h.String() + `"`), nil
+}
+
+// Lane holds the counters of one pipeline lane. The hand-off counters are
+// written by the single producer goroutine; the panic/restart/health and
+// worker-side shed counters are written by the lane worker. All fields are
+// atomics, so either side may write its own counters and any goroutine may
+// Snapshot.
 type Lane struct {
 	batches   atomic.Uint64
 	packets   atomic.Uint64
 	queueHWM  atomic.Uint64
 	stalls    atomic.Uint64
 	intervals atomic.Uint64
+
+	shedBatches atomic.Uint64
+	shedPackets atomic.Uint64
+	shedBytes   atomic.Uint64
+
+	degradedBatches atomic.Uint64
+	degradedPackets atomic.Uint64
+	degradedBytes   atomic.Uint64
+
+	panics   atomic.Uint64
+	restarts atomic.Uint64
+	health   atomic.Int32
 }
 
 // ObserveBatch records one batch of n packets handed to the lane with the
@@ -221,29 +278,88 @@ func (l *Lane) ObserveBatch(n int, queueDepth int, stalled bool) {
 // ObserveFlush records an interval flush handed to the lane.
 func (l *Lane) ObserveFlush() { l.intervals.Add(1) }
 
+// ObserveShed records batches packets of bytes total size dropped without
+// being processed — by an overload policy on the producer side, or by a
+// quarantined (or panicking) lane worker.
+func (l *Lane) ObserveShed(batches, packets int, bytes uint64) {
+	l.shedBatches.Add(uint64(batches))
+	l.shedPackets.Add(uint64(packets))
+	l.shedBytes.Add(bytes)
+}
+
+// ObserveDegraded records one batch subsampled by the Degrade overload
+// policy: dropped packets of droppedBytes were discarded, the rest of the
+// batch was still delivered.
+func (l *Lane) ObserveDegraded(dropped int, droppedBytes uint64) {
+	l.degradedBatches.Add(1)
+	l.degradedPackets.Add(uint64(dropped))
+	l.degradedBytes.Add(droppedBytes)
+}
+
+// ObservePanic records a recovered panic in the lane worker.
+func (l *Lane) ObservePanic() { l.panics.Add(1) }
+
+// ObserveRestart records the lane being restarted with a fresh algorithm.
+func (l *Lane) ObserveRestart() { l.restarts.Add(1) }
+
+// SetHealth records the lane's supervision state.
+func (l *Lane) SetHealth(h LaneHealth) { l.health.Store(int32(h)) }
+
+// Health returns the lane's supervision state.
+func (l *Lane) Health() LaneHealth { return LaneHealth(l.health.Load()) }
+
 // Snapshot copies the lane counters.
 func (l *Lane) Snapshot() LaneSnapshot {
 	return LaneSnapshot{
-		Batches:        l.batches.Load(),
-		Packets:        l.packets.Load(),
-		QueueHighWater: l.queueHWM.Load(),
-		FlushStalls:    l.stalls.Load(),
-		Intervals:      l.intervals.Load(),
+		Batches:         l.batches.Load(),
+		Packets:         l.packets.Load(),
+		QueueHighWater:  l.queueHWM.Load(),
+		FlushStalls:     l.stalls.Load(),
+		Intervals:       l.intervals.Load(),
+		ShedBatches:     l.shedBatches.Load(),
+		ShedPackets:     l.shedPackets.Load(),
+		ShedBytes:       l.shedBytes.Load(),
+		DegradedBatches: l.degradedBatches.Load(),
+		DegradedPackets: l.degradedPackets.Load(),
+		DegradedBytes:   l.degradedBytes.Load(),
+		Panics:          l.panics.Load(),
+		Restarts:        l.restarts.Load(),
+		Health:          LaneHealth(l.health.Load()),
 	}
 }
 
-// LaneSnapshot is a point-in-time copy of one lane's producer counters.
+// LaneSnapshot is a point-in-time copy of one lane's counters.
 type LaneSnapshot struct {
 	// Batches and Packets count hand-offs to the lane worker.
 	Batches uint64 `json:"batches"`
 	Packets uint64 `json:"packets"`
 	// QueueHighWater is the deepest the lane's queue has been, in batches.
 	QueueHighWater uint64 `json:"queue_high_water"`
-	// FlushStalls counts hand-offs that had to wait for the lane to return
-	// a buffer — the backpressure signal that the lane is saturated.
+	// FlushStalls counts hand-offs where the producer found the lane
+	// saturated — the queue full at hand-off, or the buffer free list empty
+	// afterwards — and had to block. Only the Block and Degrade overload
+	// policies stall; the dropping policies shed instead.
 	FlushStalls uint64 `json:"flush_stalls"`
 	// Intervals counts interval flushes sent to the lane.
 	Intervals uint64 `json:"intervals"`
+	// ShedBatches/ShedPackets/ShedBytes count traffic dropped without being
+	// processed: by DropNewest/DropOldest on a full queue, or by a
+	// quarantined or panicking lane worker. A batch both handed over and
+	// later shed by the worker appears in Packets and ShedPackets.
+	ShedBatches uint64 `json:"shed_batches"`
+	ShedPackets uint64 `json:"shed_packets"`
+	ShedBytes   uint64 `json:"shed_bytes"`
+	// DegradedBatches counts batches thinned by the Degrade policy;
+	// DegradedPackets/DegradedBytes count what the thinning discarded.
+	DegradedBatches uint64 `json:"degraded_batches"`
+	DegradedPackets uint64 `json:"degraded_packets"`
+	DegradedBytes   uint64 `json:"degraded_bytes"`
+	// Panics counts recovered lane-worker panics; Restarts counts fresh
+	// algorithm instances installed after a panic.
+	Panics   uint64 `json:"panics"`
+	Restarts uint64 `json:"restarts"`
+	// Health is the lane's supervision state.
+	Health LaneHealth `json:"health"`
 }
 
 // PipelineSnapshot is a point-in-time copy of a sharded pipeline's state:
@@ -265,6 +381,76 @@ func (s PipelineSnapshot) Packets() uint64 {
 	return total
 }
 
+// ShedPackets sums packets shed across all lanes.
+func (s PipelineSnapshot) ShedPackets() uint64 {
+	var total uint64
+	for _, l := range s.Lanes {
+		total += l.ShedPackets + l.DegradedPackets
+	}
+	return total
+}
+
+// HealthStatus grades a component for the /healthz endpoint.
+type HealthStatus int
+
+const (
+	// HealthOK: fully operational.
+	HealthOK HealthStatus = iota
+	// HealthDegraded: still serving, but shedding load, running with
+	// quarantined lanes, or rejecting flow-memory entries.
+	HealthDegraded
+	// HealthUnhealthy: no longer producing useful measurements (e.g. every
+	// lane quarantined).
+	HealthUnhealthy
+)
+
+// String renders the status the way /healthz reports it.
+func (h HealthStatus) String() string {
+	switch h {
+	case HealthOK:
+		return "ok"
+	case HealthDegraded:
+		return "degraded"
+	case HealthUnhealthy:
+		return "unhealthy"
+	default:
+		return "unknown"
+	}
+}
+
+// Health grades the pipeline: unhealthy when every lane is quarantined,
+// degraded when any lane is quarantined or has panicked, when any traffic
+// has been shed or degraded by an overload policy, or when any lane's flow
+// memory rejected entries. The reason names the first condition found.
+func (s PipelineSnapshot) Health() (HealthStatus, string) {
+	quarantined := 0
+	for _, l := range s.Lanes {
+		if l.Health == LaneQuarantined {
+			quarantined++
+		}
+	}
+	if len(s.Lanes) > 0 && quarantined == len(s.Lanes) {
+		return HealthUnhealthy, "all lanes quarantined"
+	}
+	if quarantined > 0 {
+		return HealthDegraded, fmt.Sprintf("%d/%d lanes quarantined", quarantined, len(s.Lanes))
+	}
+	for i, l := range s.Lanes {
+		if l.Panics > 0 {
+			return HealthDegraded, fmt.Sprintf("lane %d recovered %d panics", i, l.Panics)
+		}
+	}
+	if shed := s.ShedPackets(); shed > 0 {
+		return HealthDegraded, fmt.Sprintf("%d packets shed under overload", shed)
+	}
+	for i, a := range s.Algorithms {
+		if a.Drops > 0 {
+			return HealthDegraded, fmt.Sprintf("lane %d flow memory rejected %d entries", i, a.Drops)
+		}
+	}
+	return HealthOK, ""
+}
+
 // DeviceSnapshot is a point-in-time copy of a measurement device's state.
 type DeviceSnapshot struct {
 	Algorithm AlgorithmSnapshot `json:"algorithm"`
@@ -272,6 +458,15 @@ type DeviceSnapshot struct {
 	Definition string `json:"definition"`
 	// Reports is the number of interval reports produced so far.
 	Reports int `json:"reports"`
+}
+
+// Health grades a single device: degraded when its flow memory has rejected
+// entries (the signal threshold adaptation exists to relieve).
+func (s DeviceSnapshot) Health() (HealthStatus, string) {
+	if s.Algorithm.Drops > 0 {
+		return HealthDegraded, fmt.Sprintf("flow memory rejected %d entries", s.Algorithm.Drops)
+	}
+	return HealthOK, ""
 }
 
 // Runner holds the live counters of a live.Runner. All fields are atomics;

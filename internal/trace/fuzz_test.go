@@ -7,9 +7,15 @@ import (
 	"time"
 
 	"repro/internal/flow"
+	"repro/internal/pcap"
 )
 
-// FuzzReader hardens the native trace parser against corrupt files.
+// FuzzReader hardens the native trace parser against corrupt files, and
+// checks a round-trip invariant on anything it accepts: packets that parse
+// must re-encode to a trace that parses back identically. The reader is
+// the first thing to touch an untrusted trace file, so it must never
+// panic, never read unboundedly ahead of its input, and never fabricate
+// packets.
 func FuzzReader(f *testing.F) {
 	var buf bytes.Buffer
 	meta := Meta{Name: "seed", LinkBytesPerSec: 1e6, Interval: time.Second, Intervals: 2, HasAS: true}
@@ -26,18 +32,110 @@ func FuzzReader(f *testing.F) {
 	f.Add(valid[:10])
 	f.Add([]byte("HHTR"))
 	f.Add([]byte{})
+	// Flip bytes in the header and in the packet section.
+	for _, i := range []int{4, 8, len(valid) - 1} {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0xff
+		f.Add(mut)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := NewReader(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
+		const maxPackets = 10000
+		var got []flow.Packet
+		for len(got) < maxPackets {
+			pkt, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return // corrupt mid-file: fine, as long as no panic
+			}
+			got = append(got, pkt)
+		}
+		if len(got) == maxPackets {
+			return // possibly truncated read; skip the round-trip check
+		}
+		// Accepted input round-trips: same meta, same packets.
+		var out bytes.Buffer
+		n, err := WriteAll(&out, NewSliceSource(r.Meta(), got))
+		if err != nil {
+			t.Fatalf("accepted meta/packets do not re-encode: %v", err)
+		}
+		if n != len(got) {
+			t.Fatalf("wrote %d packets, read %d", n, len(got))
+		}
+		back, err := NewReader(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded trace rejected: %v", err)
+		}
+		if back.Meta() != r.Meta() {
+			t.Fatalf("meta changed across round-trip: %+v vs %+v", back.Meta(), r.Meta())
+		}
+		for i := range got {
+			pkt, err := back.Next()
+			if err != nil {
+				t.Fatalf("re-read packet %d: %v", i, err)
+			}
+			if pkt != got[i] {
+				t.Fatalf("packet %d changed across round-trip: %+v vs %+v", i, pkt, got[i])
+			}
+		}
+		if _, err := back.Next(); err != io.EOF {
+			t.Fatalf("re-read has trailing packets: %v", err)
+		}
+	})
+}
+
+// FuzzPcapSource hardens the pcap-to-trace adapter: whatever bytes claim to
+// be a capture, the source must never panic and every packet it yields must
+// respect the adapter's contract (IPv4 only — non-IPv4 frames are skipped
+// and counted, not returned).
+func FuzzPcapSource(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := pcap.NewWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range []flow.Packet{
+		{Time: 0, Size: 40, SrcIP: 1, DstIP: 2, SrcPort: 80, DstPort: 81, Proto: 6},
+		{Time: time.Millisecond, Size: 1500, SrcIP: 3, DstIP: 4, Proto: 17},
+	} {
+		if err := w.WritePacket(&p); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:24]) // header only
+	f.Add(valid[:30]) // truncated record header
+	f.Add([]byte{})
+	mut := append([]byte(nil), valid...)
+	mut[20] ^= 0xff // corrupt the link type
+	f.Add(mut)
+
+	meta := Meta{Name: "fuzz", LinkBytesPerSec: 1e6, Interval: time.Second, Intervals: 1}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src, err := NewPcapSource(bytes.NewReader(data), meta)
+		if err != nil {
+			return
+		}
+		if src.Meta() != meta {
+			t.Fatal("source does not carry the supplied meta")
+		}
 		for i := 0; i < 10000; i++ {
-			if _, err := r.Next(); err != nil {
-				if err != io.EOF {
-					return
-				}
+			pkt, err := src.Next()
+			if err != nil {
 				return
+			}
+			if pkt.Size == 0 {
+				t.Fatalf("packet %d has zero size", i)
 			}
 		}
 	})

@@ -17,6 +17,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"repro/internal/cfgerr"
@@ -55,8 +56,11 @@ func (m Meta) Duration() time.Duration {
 
 // Validate checks the metadata for obvious inconsistencies.
 func (m Meta) Validate() error {
-	if m.LinkBytesPerSec <= 0 {
-		return cfgerr.New("trace", "LinkBytesPerSec", "must be positive, got %g", m.LinkBytesPerSec)
+	// The comparison is written so that NaN (which fails every comparison)
+	// is rejected too — a corrupt trace header must not produce a source
+	// whose capacity arithmetic silently poisons every threshold.
+	if !(m.LinkBytesPerSec > 0) || math.IsInf(m.LinkBytesPerSec, 1) {
+		return cfgerr.New("trace", "LinkBytesPerSec", "must be positive and finite, got %g", m.LinkBytesPerSec)
 	}
 	if m.Interval <= 0 {
 		return cfgerr.New("trace", "Interval", "must be positive, got %v", m.Interval)

@@ -305,8 +305,33 @@ type PipelineConfig = pipeline.Config
 // Pipeline shards packets across parallel algorithm instances by flow, the
 // way a multi-queue NIC shards across cores, and merges interval reports.
 // Packets are handed to lanes in batches (PipelineConfig.BatchSize), one
-// channel operation per batch.
+// channel operation per batch. Lane workers are supervised: a panicking
+// algorithm is quarantined (or restarted with
+// PipelineConfig.RestartOnPanic) and the pipeline keeps serving.
 type Pipeline = pipeline.Pipeline
+
+// OverloadPolicy selects what a Pipeline's producer does when a lane queue
+// is full: block, shed, or degrade. See the constants below.
+type OverloadPolicy = pipeline.OverloadPolicy
+
+// The overload policies, in order of how much they preserve: OverloadBlock
+// is lossless backpressure (the default), OverloadDropNewest and
+// OverloadDropOldest shed whole batches (keeping the oldest or the newest
+// traffic respectively), and OverloadDegrade probabilistically subsamples
+// the overflowing batch so estimates thin out smoothly instead of whole
+// bursts vanishing.
+const (
+	OverloadBlock      = pipeline.Block
+	OverloadDropNewest = pipeline.DropNewest
+	OverloadDropOldest = pipeline.DropOldest
+	OverloadDegrade    = pipeline.Degrade
+)
+
+// OverloadPolicyByName maps the command-line spellings ("block",
+// "drop-newest", "drop-oldest", "degrade"; "" means block) to policies.
+func OverloadPolicyByName(name string) (OverloadPolicy, error) {
+	return pipeline.OverloadPolicyByName(name)
+}
 
 // PipelineReport is one merged interval report from a Pipeline.
 //
@@ -370,13 +395,47 @@ type MemStats = telemetry.MemSnapshot
 // flow definition and report count. Read it with Device.Stats.
 type DeviceStats = telemetry.DeviceSnapshot
 
-// LaneStats is one pipeline lane's producer-side counters: batches handed
-// over, queue high-water mark, flush stalls.
+// LaneStats is one pipeline lane's counters: batches handed over, queue
+// high-water mark, flush stalls, shed and degraded traffic, panics,
+// restarts, and the lane's supervision health.
 type LaneStats = telemetry.LaneSnapshot
 
 // PipelineStats is a Pipeline's snapshot: per-lane counters plus each lane
 // algorithm's counters. Read it with Pipeline.Stats.
 type PipelineStats = telemetry.PipelineSnapshot
+
+// HealthStatus grades a running Device or Pipeline for operational
+// monitoring: HealthOK, HealthDegraded (still serving but shedding load,
+// running quarantined lanes, or rejecting flow-memory entries) or
+// HealthUnhealthy (no longer producing useful measurements). Derive it with
+// Pipeline.Health or the snapshots' Health methods; cmd/hhdevice serves it
+// on /healthz.
+type HealthStatus = telemetry.HealthStatus
+
+// The health grades, from best to worst.
+const (
+	HealthOK        = telemetry.HealthOK
+	HealthDegraded  = telemetry.HealthDegraded
+	HealthUnhealthy = telemetry.HealthUnhealthy
+)
+
+// LaneHealth is one pipeline lane's supervision state: healthy, restarted
+// after a panic, or quarantined.
+type LaneHealth = telemetry.LaneHealth
+
+// The lane supervision states.
+const (
+	LaneHealthy     = telemetry.LaneHealthy
+	LaneRestarted   = telemetry.LaneRestarted
+	LaneQuarantined = telemetry.LaneQuarantined
+)
+
+// MemoryPressure is an Algorithm that reports how many entries its flow
+// memory refused because it was full (see SampleAndHoldConfig.MaxEntries
+// and MultistageConfig.MaxEntries). Devices feed the per-interval rejection
+// count into threshold adaptation so a saturated memory raises the
+// threshold even when interval-boundary evictions mask the pressure.
+type MemoryPressure = core.MemoryPressure
 
 // RunnerStats is a LiveRunner's snapshot: packets fed, intervals closed,
 // last tick time. Read it with LiveRunner.Stats.
