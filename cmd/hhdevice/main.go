@@ -7,6 +7,7 @@
 //	hhdevice -alg msf -def dstIP -threshold 0.001 mag.trace
 //	hhdevice -alg sh -preset MAG -scale 0.05 -adapt -entries 512 -top 5
 //	hhdevice -alg sh -preset MAG -shards 4 -overload degrade -listen :8080
+//	hhdevice -alg msf -preset MAG -export-tcp 127.0.0.1:2056    # spooled at-least-once export
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"repro/internal/debugserver"
 	"repro/internal/flow"
 	"repro/internal/netflow"
+	"repro/internal/netflow/reliable"
 	"repro/internal/pipeline"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -42,6 +44,8 @@ type options struct {
 	rate       int
 	adaptive   bool
 	export     string
+	exportTCP  string
+	spool      int
 	listen     string
 	shards     int
 	overload   pipeline.OverloadPolicy
@@ -70,7 +74,9 @@ func main() {
 	flag.Float64Var(&o.oversamp, "oversampling", 4, "oversampling factor (sh)")
 	flag.IntVar(&o.rate, "rate", 16, "sampling rate 1-in-x (netflow)")
 	flag.BoolVar(&o.adaptive, "adapt", false, "enable dynamic threshold adaptation (Figure 5)")
-	flag.StringVar(&o.export, "export", "", "export reports as NetFlow v5 over UDP to this address")
+	flag.StringVar(&o.export, "export", "", "export reports as NetFlow v5 over UDP to this address (fire-and-forget baseline)")
+	flag.StringVar(&o.exportTCP, "export-tcp", "", "export reports over the spooled at-least-once TCP transport to this address")
+	flag.IntVar(&o.spool, "export-spool", 0, "reliable export spool size in frames (0 = default 1024)")
 	flag.StringVar(&o.listen, "listen", "", "serve /debug/vars, /debug/pprof and /healthz on this address while running")
 	flag.IntVar(&o.shards, "shards", 1, "shard the device across this many parallel lanes")
 	flag.StringVar(&overload, "overload", "block", "lane overload policy: block, drop-newest, drop-oldest, degrade (sharded runs)")
@@ -215,43 +221,27 @@ func run(o options) error {
 	fmt.Printf("device: %s, flows by %s, threshold %d bytes (%.4f%% of capacity), %d entries\n",
 		alg.Name(), def.Name(), thBytes, o.threshold*100, alg.Capacity())
 
-	var exporter *netflow.UDPExporter
-	if o.export != "" {
-		exporter, err = netflow.DialUDPExporter(o.export, netflow.NewExporter(def))
-		if err != nil {
-			return err
-		}
-		defer exporter.Close()
+	sink, err := newExportSink(o, def, meta)
+	if err != nil {
+		return err
 	}
+	defer sink.close()
 
 	dev := device.New(alg, def, adaptor)
 	dev.KeepReports = false
+	dev.SetExportTelemetry(sink.telemetry())
 	dev.OnReport = func(r device.IntervalReport) {
 		fmt.Printf("interval %d: threshold %d bytes, %d/%d entries used, %d flows reported\n",
 			r.Interval, r.Threshold, r.EntriesUsed, alg.Capacity(), len(r.Estimates))
-		n := o.top
-		if n > len(r.Estimates) {
-			n = len(r.Estimates)
-		}
-		for _, e := range r.Estimates[:n] {
-			exactMark := ""
-			if e.Exact {
-				exactMark = " (exact)"
-			}
-			fmt.Printf("  %12d bytes%s  %s\n", e.Bytes, exactMark, def.Format(e.Key))
-		}
-		if exporter != nil {
-			uptime := time.Duration(r.Interval+1) * meta.Interval
-			if err := exporter.Send(exporter.Export(r.Estimates, uptime)); err != nil {
-				fmt.Fprintf(os.Stderr, "export: %v\n", err)
-			}
-		}
+		printTop(r.Estimates, o.top, def, true)
+		sink.send(r)
 	}
 	if o.listen != "" {
 		debugserver.Publish("hhdevice", func() any { return dev.Stats() })
 		debugserver.RegisterHealth("device", func() (telemetry.HealthStatus, string) {
 			return dev.Stats().Health()
 		})
+		sink.registerHealth()
 		addr, err := debugserver.Serve(o.listen)
 		if err != nil {
 			return err
@@ -264,10 +254,156 @@ func run(o options) error {
 	}
 	mem := alg.Mem()
 	fmt.Printf("processed %d packets, %.2f memory references/packet\n", n, mem.PerPacket())
-	if exporter != nil {
-		fmt.Printf("exported %d v5 packets, %d bytes to %s\n", exporter.PacketsSent, exporter.BytesSent, o.export)
-	}
+	sink.close()
+	sink.summary()
 	return nil
+}
+
+// printTop prints the first n estimates of a report, the shared half of
+// both run paths' per-interval output.
+func printTop(ests []core.Estimate, n int, def flow.Definition, markExact bool) {
+	if n > len(ests) {
+		n = len(ests)
+	}
+	for _, e := range ests[:n] {
+		mark := ""
+		if markExact && e.Exact {
+			mark = " (exact)"
+		}
+		fmt.Printf("  %12d bytes%s  %s\n", e.Bytes, mark, def.Format(e.Key))
+	}
+}
+
+// exportSink is the one export path shared by the single-lane and sharded
+// runs: it encodes each interval report as NetFlow v5 and ships it over
+// the configured transport — fire-and-forget UDP (the paper's baseline) or
+// the spooled at-least-once TCP transport — counting outcomes in telemetry
+// rather than only printing to stderr. A nil sink (no export requested)
+// no-ops everywhere.
+type exportSink struct {
+	enc      *netflow.Exporter
+	udp      *netflow.UDPExporter
+	tcp      *reliable.Exporter
+	tel      *telemetry.Export
+	interval time.Duration
+	addr     string
+	closed   bool
+}
+
+// newExportSink builds the sink for o, or nil when no export is requested.
+func newExportSink(o options, def flow.Definition, meta trace.Meta) (*exportSink, error) {
+	if o.export == "" && o.exportTCP == "" {
+		return nil, nil
+	}
+	if o.export != "" && o.exportTCP != "" {
+		return nil, fmt.Errorf("-export and -export-tcp are mutually exclusive")
+	}
+	s := &exportSink{
+		enc:      netflow.NewExporter(def),
+		tel:      new(telemetry.Export),
+		interval: meta.Interval,
+	}
+	if o.export != "" {
+		udp, err := netflow.DialUDPExporter(o.export, s.enc)
+		if err != nil {
+			return nil, err
+		}
+		s.udp, s.addr = udp, o.export
+		return s, nil
+	}
+	tcp, err := reliable.NewExporter(reliable.ExporterConfig{
+		Addr: o.exportTCP,
+		// The ID only has to distinguish concurrent exporters at one
+		// collector; wall-clock nanoseconds (forced odd, hence non-zero) do.
+		ExporterID:  uint64(time.Now().UnixNano()) | 1,
+		SpoolFrames: o.spool,
+		Seed:        o.seed,
+	}, s.tel)
+	if err != nil {
+		return nil, err
+	}
+	s.tcp, s.addr = tcp, o.exportTCP
+	return s, nil
+}
+
+// telemetry returns the sink's counters (nil for a nil sink), for attaching
+// to the device or pipeline snapshot.
+func (s *exportSink) telemetry() *telemetry.Export {
+	if s == nil {
+		return nil
+	}
+	return s.tel
+}
+
+// send encodes and ships one interval report. Failures are counted in
+// telemetry (and echoed to stderr for the interactive case); the run
+// continues.
+func (s *exportSink) send(r core.IntervalReport) {
+	if s == nil {
+		return
+	}
+	uptime := time.Duration(r.Interval+1) * s.interval
+	pkts := s.enc.Export(r.Estimates, uptime)
+	if s.tcp != nil {
+		s.tcp.Enqueue(pkts)
+		return
+	}
+	var bytes uint64
+	for _, p := range pkts {
+		bytes += uint64(len(p))
+	}
+	s.tel.ObserveReport(len(pkts), bytes)
+	if err := s.udp.Send(pkts); err != nil {
+		s.tel.ObserveSendError()
+		s.tel.ObserveFramesDropped(uint64(len(pkts)))
+		s.tel.ObserveReportDropped()
+		fmt.Fprintf(os.Stderr, "export: %v\n", err)
+		return
+	}
+	s.tel.ObserveSent(uint64(len(pkts)))
+}
+
+// close tears the transport down; the reliable path drains its spool first.
+// Idempotent, so it can both be deferred and called before summary.
+func (s *exportSink) close() {
+	if s == nil || s.closed {
+		return
+	}
+	s.closed = true
+	var err error
+	if s.tcp != nil {
+		err = s.tcp.Close()
+	} else {
+		err = s.udp.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "export: %v\n", err)
+	}
+}
+
+// summary prints the export volume and reliability counters after a run.
+func (s *exportSink) summary() {
+	if s == nil {
+		return
+	}
+	st := s.tel.Snapshot()
+	fmt.Printf("exported %d v5 packets, %d bytes to %s\n", s.enc.PacketsSent, s.enc.BytesSent, s.addr)
+	if s.tcp != nil {
+		fmt.Printf("export: %d acked, %d redelivered, %d reconnects, %d frames dropped (spool high-water %d)\n",
+			st.Acked, st.Redelivered, st.Reconnects, st.FramesDropped, st.SpoolHighWater)
+	} else if st.ExportErrors > 0 {
+		fmt.Printf("export: %d send errors, %d reports dropped\n", st.ExportErrors, st.ReportsDropped)
+	}
+}
+
+// registerHealth exposes the export path on /healthz next to the device.
+func (s *exportSink) registerHealth() {
+	if s == nil {
+		return
+	}
+	debugserver.RegisterHealth("export", func() (telemetry.HealthStatus, string) {
+		return s.tel.Snapshot().Health()
+	})
 }
 
 // runSharded drives the trace through an RSS-style pipeline of independent
@@ -293,17 +429,16 @@ func runSharded(o options, mkAlg func(int64) (core.Algorithm, *adapt.Adaptor, er
 	}
 	defer pipe.Close()
 
-	var exporter *netflow.UDPExporter
-	if o.export != "" {
-		exporter, err = netflow.DialUDPExporter(o.export, netflow.NewExporter(def))
-		if err != nil {
-			return err
-		}
-		defer exporter.Close()
+	sink, err := newExportSink(o, def, meta)
+	if err != nil {
+		return err
 	}
+	defer sink.close()
+	pipe.SetExportTelemetry(sink.telemetry())
 	if o.listen != "" {
 		debugserver.Publish("hhdevice", func() any { return pipe.Stats() })
 		debugserver.RegisterHealth("pipeline", pipe.Health)
+		sink.registerHealth()
 		addr, err := debugserver.Serve(o.listen)
 		if err != nil {
 			return err
@@ -319,23 +454,14 @@ func runSharded(o options, mkAlg func(int64) (core.Algorithm, *adapt.Adaptor, er
 	shardCounts := pipe.ShardCounts()
 	for i, r := range pipe.Reports() {
 		fmt.Printf("interval %d: %d flows reported (per shard: %v)\n", r.Interval, len(r.Estimates), shardCounts[i])
-		limit := o.top
-		if limit > len(r.Estimates) {
-			limit = len(r.Estimates)
-		}
-		for _, e := range r.Estimates[:limit] {
-			fmt.Printf("  %12d bytes  %s\n", e.Bytes, def.Format(e.Key))
-		}
-		if exporter != nil {
-			uptime := time.Duration(r.Interval+1) * meta.Interval
-			if err := exporter.Send(exporter.Export(r.Estimates, uptime)); err != nil {
-				fmt.Fprintf(os.Stderr, "export: %v\n", err)
-			}
-		}
+		printTop(r.Estimates, o.top, def, false)
+		sink.send(r)
 	}
 	fmt.Printf("processed %d packets across %d lanes\n", n, o.shards)
 	if s := pipe.Stats(); s.ShedPackets() > 0 {
 		fmt.Printf("overload: %d packets shed or degraded away (policy %s)\n", s.ShedPackets(), o.overload)
 	}
+	sink.close()
+	sink.summary()
 	return nil
 }

@@ -1,11 +1,18 @@
-// Command nfcollector is a NetFlow v5 collection station: it listens on
-// UDP, decodes export packets from measurement devices (cmd/hhdevice
-// -export, or any v5 exporter), tracks sequence gaps, and periodically
-// prints the top flows by reported bytes.
+// Command nfcollector is a NetFlow v5 collection station: it listens for
+// export packets from measurement devices (cmd/hhdevice -export over UDP,
+// or -export-tcp over the spooled at-least-once transport), decodes them,
+// tracks sequence gaps and duplicates, and periodically prints the top
+// flows by reported bytes.
 //
 // Usage:
 //
 //	nfcollector -listen :2055 -top 10 -every 5s
+//	nfcollector -listen :2055 -listen-tcp :2056 -debug :8080
+//
+// On SIGINT or SIGTERM the collector stops accepting, drains exports
+// already in flight (so the reliable transport's acked-means-aggregated
+// contract holds through a shutdown), and prints a final summary including
+// the last partial period's flows.
 package main
 
 import (
@@ -16,31 +23,36 @@ import (
 	"os/signal"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/debugserver"
 	"repro/internal/flow"
 	"repro/internal/netflow"
+	"repro/internal/netflow/reliable"
 	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:2055", "UDP listen address")
-		debug  = flag.String("debug", "", "serve /debug/vars and /debug/pprof on this HTTP address")
-		top    = flag.Int("top", 10, "flows to print per summary")
-		every  = flag.Duration("every", 5*time.Second, "summary period")
+		listen    = flag.String("listen", "127.0.0.1:2055", "UDP listen address")
+		listenTCP = flag.String("listen-tcp", "", "also serve the reliable TCP transport on this address")
+		debug     = flag.String("debug", "", "serve /debug/vars and /debug/pprof on this HTTP address")
+		top       = flag.Int("top", 10, "flows to print per summary")
+		every     = flag.Duration("every", 5*time.Second, "summary period")
+		drain     = flag.Duration("drain", time.Second, "how long to drain in-flight exports on shutdown")
 	)
 	flag.Parse()
-	if err := run(*listen, *debug, *top, *every); err != nil {
+	if err := run(*listen, *listenTCP, *debug, *top, *every, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "nfcollector:", err)
 		os.Exit(1)
 	}
 }
 
 type agg struct {
-	mu    sync.Mutex
-	bytes map[netflow.V5Record]uint64 // keyed by addressing fields (Bytes zeroed)
+	mu        sync.Mutex
+	bytes     map[netflow.V5Record]uint64 // keyed by addressing fields (Bytes zeroed)
+	badFrames uint64                      // reliable-transport payloads that failed v5 decode
 }
 
 func (a *agg) add(p *netflow.V5Packet) {
@@ -51,6 +63,24 @@ func (a *agg) add(p *netflow.V5Packet) {
 		key.Bytes, key.Packets = 0, 0
 		a.bytes[key] += uint64(r.Bytes)
 	}
+}
+
+// addFrame decodes one reliable-transport payload and aggregates it.
+func (a *agg) addFrame(payload []byte) {
+	p, err := netflow.DecodeV5(payload)
+	if err != nil {
+		a.mu.Lock()
+		a.badFrames++
+		a.mu.Unlock()
+		return
+	}
+	a.add(p)
+}
+
+func (a *agg) flows() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.bytes)
 }
 
 func (a *agg) top(n int) []struct {
@@ -76,7 +106,7 @@ func (a *agg) top(n int) []struct {
 	return out
 }
 
-func run(listen, debug string, top int, every time.Duration) error {
+func run(listen, listenTCP, debug string, top int, every, drain time.Duration) error {
 	a := &agg{bytes: make(map[netflow.V5Record]uint64)}
 	srv, addr, stop, err := netflow.ListenAndServe(listen, func(_ net.Addr, p *netflow.V5Packet) {
 		a.add(p)
@@ -86,15 +116,31 @@ func run(listen, debug string, top int, every time.Duration) error {
 	}
 	defer stop()
 	fmt.Printf("collecting NetFlow v5 on %s (summary every %v)\n", addr, every)
+
+	var rsrv *reliable.Server
+	if listenTCP != "" {
+		var raddr net.Addr
+		rsrv, raddr, err = reliable.Listen(listenTCP, reliable.ServerConfig{}, func(_, _ uint64, payload []byte) {
+			a.addFrame(payload)
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("collecting reliable exports on %s\n", raddr)
+	}
+
 	if debug != "" {
 		debugserver.Publish("nfcollector", func() any {
-			a.mu.Lock()
-			flows := len(a.bytes)
-			a.mu.Unlock()
-			return struct {
+			out := struct {
 				netflow.Stats
-				Flows int
-			}{srv.Stats(), flows}
+				Reliable *reliable.Stats `json:",omitempty"`
+				Flows    int
+			}{Stats: srv.Stats(), Flows: a.flows()}
+			if rsrv != nil {
+				rs := rsrv.Stats()
+				out.Reliable = &rs
+			}
+			return out
 		})
 		debugserver.RegisterHealth("collector", func() (telemetry.HealthStatus, string) {
 			st := srv.Stats()
@@ -107,6 +153,19 @@ func run(listen, debug string, top int, every time.Duration) error {
 				return telemetry.HealthOK, ""
 			}
 		})
+		if rsrv != nil {
+			debugserver.RegisterHealth("reliable", func() (telemetry.HealthStatus, string) {
+				st := rsrv.Stats()
+				switch {
+				case st.BadFrames > 0:
+					return telemetry.HealthDegraded, fmt.Sprintf("%d bad frames", st.BadFrames)
+				case st.Gaps > 0:
+					return telemetry.HealthDegraded, fmt.Sprintf("%d frames lost to exporter spool overflow", st.Gaps)
+				default:
+					return telemetry.HealthOK, ""
+				}
+			})
+		}
 		daddr, err := debugserver.Serve(debug)
 		if err != nil {
 			return err
@@ -114,20 +173,36 @@ func run(listen, debug string, top int, every time.Duration) error {
 		fmt.Printf("debug: serving /debug/vars, /debug/pprof and /healthz on http://%s\n", daddr)
 	}
 
+	summary := func(label string) {
+		fmt.Printf("\n[%s] %s\n", label, srv.Stats())
+		if rsrv != nil {
+			rs := rsrv.Stats()
+			fmt.Printf("reliable: %d frames, %d delivered, %d duplicates deduped, %d gaps, %d bad frames, %d exporters\n",
+				rs.Frames, rs.Delivered, rs.Duplicates, rs.Gaps, rs.BadFrames, len(rs.PerExporter))
+		}
+		for _, e := range a.top(top) {
+			fmt.Printf("  %12d bytes  %s\n", e.bytes, describe(e.rec))
+		}
+	}
+
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	ticker := time.NewTicker(every)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-ticker.C:
-			st := srv.Stats()
-			fmt.Printf("\n[%s] %s\n", time.Now().Format("15:04:05"), st)
-			for _, e := range a.top(top) {
-				fmt.Printf("  %12d bytes  %s\n", e.bytes, describe(e.rec))
-			}
+			summary(time.Now().Format("15:04:05"))
 		case <-sig:
-			fmt.Printf("\nfinal: %s\n", srv.Stats())
+			// Stop accepting, drain exports already in flight, then print
+			// everything — including the partial period a plain exit would
+			// have discarded.
+			fmt.Printf("\nshutting down: draining in-flight exports (up to %v)\n", drain)
+			if rsrv != nil {
+				rsrv.Shutdown(drain)
+			}
+			stop()
+			summary("final")
 			return nil
 		}
 	}

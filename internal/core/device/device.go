@@ -47,6 +47,10 @@ type Device struct {
 	// KeepReports controls whether reports accumulate in the device
 	// (default true).
 	KeepReports bool
+	// exportTel, when set, is the export path's counters, included in Stats
+	// so /debug/vars and /healthz see spool depth, retries and drops next
+	// to the measurement counters.
+	exportTel *telemetry.Export
 }
 
 // New creates a device. adaptor may be nil for a fixed threshold.
@@ -129,9 +133,18 @@ func (d *Device) Reports() []IntervalReport { return d.reports }
 // for uninstrumented algorithms the snapshot is marked Stale and must only
 // be taken while the device is quiescent.
 func (d *Device) Stats() telemetry.DeviceSnapshot {
-	return telemetry.DeviceSnapshot{
+	s := telemetry.DeviceSnapshot{
 		Algorithm:  core.Snapshot(d.alg),
 		Definition: d.def.Name(),
 		Reports:    int(d.reportCount.Load()),
 	}
+	if d.exportTel != nil {
+		es := d.exportTel.Snapshot()
+		s.Export = &es
+	}
+	return s
 }
+
+// SetExportTelemetry attaches an export path's counters to the device's
+// snapshots (and thereby its Health). Call before traffic flows.
+func (d *Device) SetExportTelemetry(t *telemetry.Export) { d.exportTel = t }

@@ -12,12 +12,43 @@ package faultinject
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/flow"
 	"repro/internal/memmodel"
 )
+
+// Corrupt returns a copy of data with flips bytes inverted at
+// seed-determined positions — the wire-level counterpart of
+// CorruptEveryEstimates, for feeding damaged export datagrams and frames
+// to the collection-side parsers. The same (data, seed, flips) always
+// yields the same corruption, so a test that fails replays identically.
+func Corrupt(data []byte, seed int64, flips int) []byte {
+	out := append([]byte(nil), data...)
+	if len(out) == 0 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < flips; i++ {
+		out[rng.Intn(len(out))] ^= 0xff
+	}
+	return out
+}
+
+// Truncate returns the leading fraction frac (clamped to [0, 1]) of data —
+// a deterministic model of a datagram cut short in flight.
+func Truncate(data []byte, frac float64) []byte {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(float64(len(data)) * frac)
+	return append([]byte(nil), data[:n]...)
+}
 
 // Schedule says when the wrapped algorithm misbehaves. The zero value
 // injects nothing.

@@ -94,6 +94,62 @@ func TestDelaySchedule(t *testing.T) {
 	}
 }
 
+func TestCorruptIsDeterministicAndNonDestructive(t *testing.T) {
+	orig := []byte("the quick brown fox jumps over the lazy dog")
+	input := append([]byte(nil), orig...)
+	a := Corrupt(input, 42, 5)
+	b := Corrupt(input, 42, 5)
+	if string(a) != string(b) {
+		t.Error("same (data, seed, flips) produced different corruption")
+	}
+	if string(input) != string(orig) {
+		t.Error("Corrupt mutated its input")
+	}
+	if len(a) != len(orig) {
+		t.Errorf("Corrupt changed length: %d -> %d", len(orig), len(a))
+	}
+	var flipped int
+	for i := range a {
+		if a[i] != orig[i] {
+			flipped++
+			if a[i] != orig[i]^0xff {
+				t.Errorf("byte %d changed to %#x, not an inversion of %#x", i, a[i], orig[i])
+			}
+		}
+	}
+	// Positions may repeat (double-inversion restores the byte), so the
+	// changed count is bounded by, not equal to, the flip count.
+	if flipped == 0 || flipped > 5 {
+		t.Errorf("%d bytes changed, want 1..5", flipped)
+	}
+	if c := Corrupt(input, 43, 5); string(c) == string(a) {
+		t.Error("different seeds produced identical corruption")
+	}
+	if out := Corrupt(nil, 1, 3); len(out) != 0 {
+		t.Errorf("Corrupt(nil) = %v", out)
+	}
+}
+
+func TestTruncateFractions(t *testing.T) {
+	data := []byte("0123456789")
+	cases := []struct {
+		frac float64
+		want string
+	}{
+		{-1, ""}, {0, ""}, {0.5, "01234"}, {0.95, "012345678"}, {1, "0123456789"}, {2, "0123456789"},
+	}
+	for _, c := range cases {
+		if got := Truncate(data, c.frac); string(got) != c.want {
+			t.Errorf("Truncate(%.2f) = %q, want %q", c.frac, got, c.want)
+		}
+	}
+	out := Truncate(data, 1)
+	out[0] = 'x'
+	if data[0] != '0' {
+		t.Error("Truncate returned an alias of its input")
+	}
+}
+
 func TestZeroScheduleIsTransparent(t *testing.T) {
 	inner := newInner(t)
 	a := Wrap(inner, Schedule{})

@@ -1,0 +1,37 @@
+//go:build !race
+
+// The race detector's instrumentation allocates, so the alloc guard only
+// exists in non-race builds; CI runs it as a dedicated step.
+
+package reliable
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEnqueueSteadyStateZeroAllocs guards the device-side hot path: spooling
+// an interval's packets — including shedding under DropOldest when the
+// collector is away — must not allocate. The ring is preallocated and the
+// telemetry is atomics, so any regression here is a new allocation sneaking
+// into the per-interval path.
+func TestEnqueueSteadyStateZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting is not meaningful in -short smoke runs")
+	}
+	cfg := fastConfig("127.0.0.1:1") // reserved port: dial fails, exporter backs off
+	cfg.SpoolFrames = 8
+	cfg.BackoffMin = time.Hour // one failed dial, then quiet for the whole test
+	cfg.BackoffMax = time.Hour
+	cfg.DrainTimeout = time.Millisecond
+	exp, err := NewExporter(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+
+	pkts := mkPkts(3, "steady")
+	if allocs := testing.AllocsPerRun(1000, func() { exp.Enqueue(pkts) }); allocs != 0 {
+		t.Errorf("Enqueue allocates %.1f times per interval, want 0", allocs)
+	}
+}

@@ -1,0 +1,234 @@
+package reliable
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/flow"
+	"repro/internal/netflow"
+)
+
+// v5agg aggregates decoded v5 payloads by destination IP, the way
+// nfcollector does — the chaos tests compare these byte totals, not frame
+// counts, because double-aggregation is exactly the failure dedup must
+// prevent. It dedups by (exporter, seq) the way the server documentation
+// prescribes for aggregators that outlive a server instance: a frame
+// handled just before a crash whose ack was lost is redelivered to the
+// next server, and only this application-level check keeps it from being
+// folded in twice.
+type v5agg struct {
+	mu      sync.Mutex
+	bytes   map[uint32]uint64
+	count   int
+	maxSeen map[uint64]uint64 // exporter -> highest seq aggregated
+}
+
+func newV5agg() *v5agg {
+	return &v5agg{bytes: make(map[uint32]uint64), maxSeen: make(map[uint64]uint64)}
+}
+
+func (a *v5agg) handle(exporter, seq uint64, payload []byte) {
+	p, err := netflow.DecodeV5(payload)
+	if err != nil {
+		return
+	}
+	a.mu.Lock()
+	if seq <= a.maxSeen[exporter] {
+		a.mu.Unlock()
+		return
+	}
+	a.maxSeen[exporter] = seq
+	for _, r := range p.Records {
+		a.bytes[r.DstIP] += uint64(r.Bytes)
+	}
+	a.count++
+	a.mu.Unlock()
+}
+
+func (a *v5agg) totals() map[uint32]uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[uint32]uint64, len(a.bytes))
+	for k, v := range a.bytes {
+		out[k] = v
+	}
+	return out
+}
+
+// reports builds n interval reports of per-dstIP estimates and the exact
+// byte totals a loss-free collector must end up with.
+func chaosReports(n int) (pkts [][][]byte, want map[uint32]uint64) {
+	enc := netflow.NewExporter(flow.DstIP{})
+	want = make(map[uint32]uint64)
+	for i := 0; i < n; i++ {
+		ests := make([]core.Estimate, 0, 3)
+		for f := 0; f < 3; f++ {
+			ip := uint32(0x0a000000 + f)
+			b := uint64(1000*i + 100*f + 1)
+			ests = append(ests, core.Estimate{Key: flow.Key{Lo: uint64(ip)}, Bytes: b})
+			want[ip] += b
+		}
+		pkts = append(pkts, enc.Export(ests, time.Duration(i+1)*time.Second))
+	}
+	return pkts, want
+}
+
+// TestRedeliveryAcrossCollectorRestart is the acceptance chaos test: the
+// collector is killed abruptly mid-replay and restarted on the same
+// address; the exporter must redeliver every spooled interval report, and
+// the restarted collector's per-exporter byte totals must exactly match a
+// run with no outage — duplicates absorbed by sequence dedup, nothing
+// double-counted, nothing lost.
+func TestRedeliveryAcrossCollectorRestart(t *testing.T) {
+	const nReports = 40
+
+	// Baseline: no outage.
+	pkts, want := chaosReports(nReports)
+	base := newV5agg()
+	srv, addr, err := Listen("127.0.0.1:0", ServerConfig{}, base.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := NewExporter(fastConfig(addr.String()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		exp.Enqueue(p)
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatalf("baseline close: %v", err)
+	}
+	srv.Close()
+	if got := base.totals(); !mapsEqual(got, want) {
+		t.Fatalf("baseline totals wrong: got %v, want %v", got, want)
+	}
+
+	// Outage run: same reports, collector killed after a third of them and
+	// restarted on the same address while the exporter is still replaying.
+	agg := newV5agg()
+	srv, addr, err = Listen("127.0.0.1:0", ServerConfig{}, agg.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpAddr := addr.String()
+	cfg := fastConfig(tcpAddr)
+	cfg.ExporterID = 99
+	exp, err = NewExporter(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pkts {
+		exp.Enqueue(p)
+		if i == nReports/3 {
+			// Collector crash: listener and every connection severed with
+			// frames unacked in flight.
+			srv.Close()
+		}
+		time.Sleep(time.Millisecond) // spread reports across the outage
+	}
+	// Collector stays down long enough for the exporter to cycle through
+	// dial failures and backoff.
+	time.Sleep(50 * time.Millisecond)
+	var srv2 *Server
+	waitFor(t, "collector restart on same addr", func() bool {
+		srv2, _, err = Listen(tcpAddr, ServerConfig{}, agg.handle)
+		return err == nil
+	})
+	waitFor(t, "spool drain after restart", func() bool { return exp.Backlog() == 0 })
+	if err := exp.Close(); err != nil {
+		t.Fatalf("outage-run close: %v", err)
+	}
+
+	if got := agg.totals(); !mapsEqual(got, want) {
+		t.Fatalf("totals after outage diverge from no-outage run:\n got %v\nwant %v", got, want)
+	}
+	st := srv2.Stats()
+	es := st.PerExporter[99]
+	if es.Gaps != 0 {
+		t.Errorf("gaps = %d, want 0 (spool never overflowed)", es.Gaps)
+	}
+	ts := exp.Telemetry().Snapshot()
+	if ts.FramesDropped != 0 {
+		t.Errorf("exporter dropped %d frames", ts.FramesDropped)
+	}
+	if ts.Reconnects == 0 {
+		t.Error("exporter never reconnected — the outage did not happen")
+	}
+	// Every frame was eventually acked exactly once across both servers.
+	if ts.Acked != ts.Frames {
+		t.Errorf("acked %d of %d frames", ts.Acked, ts.Frames)
+	}
+	srv2.Close()
+}
+
+// TestCorruptedFrameDropsConnectionNotServer feeds the server a frame
+// corrupted in flight: the connection must be dropped and counted, the
+// server must keep serving, and a clean exporter must still deliver
+// everything afterwards.
+func TestCorruptedFrameDropsConnectionNotServer(t *testing.T) {
+	agg := newV5agg()
+	srv, addr, err := Listen("127.0.0.1:0", ServerConfig{}, agg.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := appendHello(nil, 13, 0)
+	good := appendDataHeader(nil, 1, 4)
+	good = append(good, "ok!!"...)
+	// Corrupt the data frame's bytes — header, length prefix, payload,
+	// whatever the seed hits — and splice it after a valid hello.
+	wire = append(wire, faultinject.Corrupt(good, 3, 6)...)
+	if _, err := conn.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "bad frame accounted or connection closed", func() bool {
+		buf := make([]byte, 1)
+		conn.SetReadDeadline(time.Now().Add(10 * time.Millisecond))
+		_, err := conn.Read(buf)
+		return srv.Stats().BadFrames > 0 || err != nil && !isTimeoutErr(err)
+	})
+	conn.Close()
+
+	// The server survives and a well-behaved exporter still gets through.
+	pkts, want := chaosReports(5)
+	exp, err := NewExporter(fastConfig(addr.String()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		exp.Enqueue(p)
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatalf("close after corruption chaos: %v", err)
+	}
+	if got := agg.totals(); !mapsEqual(got, want) {
+		t.Fatalf("post-corruption delivery wrong: got %v, want %v", got, want)
+	}
+}
+
+func isTimeoutErr(err error) bool {
+	ne, ok := err.(net.Error)
+	return ok && ne.Timeout()
+}
+
+func mapsEqual(a, b map[uint32]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

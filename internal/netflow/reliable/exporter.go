@@ -1,0 +1,474 @@
+package reliable
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cfgerr"
+	"repro/internal/telemetry"
+)
+
+// ExporterConfig configures the reliable exporter (the device side).
+type ExporterConfig struct {
+	// Addr is the collector's TCP address.
+	Addr string
+	// ExporterID identifies this device across reconnects; the collector
+	// keys its sequence/dedup state by it. Must be non-zero.
+	ExporterID uint64
+	// SpoolFrames bounds the spool (in frames, one encoded v5 packet each).
+	// When full, the oldest spooled frame is dropped — DropOldest, matching
+	// the pipeline's overload vocabulary: under a long outage the freshest
+	// reports survive. 0 means the default of 1024.
+	SpoolFrames int
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// SendTimeout bounds each frame write (default 5s); a hung collector
+	// trips it and triggers a reconnect rather than blocking forever.
+	SendTimeout time.Duration
+	// BackoffMin and BackoffMax bound the exponential reconnect backoff
+	// (defaults 50ms and 5s); actual sleeps are jittered in [d/2, d).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// DrainTimeout is how long Close waits for spooled frames to be
+	// acknowledged before giving up (default 3s).
+	DrainTimeout time.Duration
+	// Seed seeds the backoff jitter (default 1), keeping tests determinate.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c ExporterConfig) Validate() error {
+	if c.Addr == "" {
+		return cfgerr.New("netflow/reliable", "Addr", "must be set")
+	}
+	if c.ExporterID == 0 {
+		return cfgerr.New("netflow/reliable", "ExporterID", "must be non-zero")
+	}
+	if c.SpoolFrames < 0 {
+		return cfgerr.New("netflow/reliable", "SpoolFrames", "must not be negative, got %d", c.SpoolFrames)
+	}
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"DialTimeout", c.DialTimeout},
+		{"SendTimeout", c.SendTimeout},
+		{"BackoffMin", c.BackoffMin},
+		{"BackoffMax", c.BackoffMax},
+		{"DrainTimeout", c.DrainTimeout},
+	} {
+		if d.v < 0 {
+			return cfgerr.New("netflow/reliable", d.name, "must not be negative, got %v", d.v)
+		}
+	}
+	min, max := c.BackoffMin, c.BackoffMax
+	if min == 0 {
+		min = 50 * time.Millisecond
+	}
+	if max == 0 {
+		max = 5 * time.Second
+	}
+	if min > max {
+		return cfgerr.New("netflow/reliable", "BackoffMin", "%v exceeds BackoffMax %v", c.BackoffMin, c.BackoffMax)
+	}
+	return nil
+}
+
+// withDefaults fills unset fields.
+func (c ExporterConfig) withDefaults() ExporterConfig {
+	if c.SpoolFrames == 0 {
+		c.SpoolFrames = 1024
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.SendTimeout == 0 {
+		c.SendTimeout = 5 * time.Second
+	}
+	if c.BackoffMin == 0 {
+		c.BackoffMin = 50 * time.Millisecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 3 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// spooled is one frame awaiting acknowledgment.
+type spooled struct {
+	seq    uint64
+	report uint64 // Enqueue call that produced it, for ReportsDropped
+	pkt    []byte
+}
+
+// Exporter spools encoded export packets and delivers them at-least-once
+// over TCP: frames stay in the spool until the collector's cumulative ack
+// covers them, a lost connection is re-dialed with exponential backoff and
+// jitter, and every reconnect re-sends the unacknowledged tail (the
+// collector dedups by sequence). Enqueue never blocks on the network and
+// never allocates: the spool ring is preallocated and a full spool sheds
+// its oldest frame.
+//
+// Enqueue must be called from one goroutine (the device's report path);
+// Telemetry snapshots are safe from any goroutine.
+type Exporter struct {
+	cfg ExporterConfig
+	tel *telemetry.Export
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	spool    []spooled
+	head     int // ring index of the oldest unacknowledged frame
+	count    int // frames in the spool
+	sent     int // frames [head, head+sent) already written on the live conn
+	nextSeq  uint64
+	maxSent  uint64 // highest seq ever written (to count redeliveries)
+	lastAck  uint64 // highest cumulative ack seen, reported in hello
+	reportID uint64
+	lastDrop uint64 // reportID most recently charged to ReportsDropped
+	conn     net.Conn
+	connErr  error
+	dialed   bool
+	closed   bool // Close called: reject new frames, drain
+	aborted  bool // drain over: sender must exit now
+
+	stop chan struct{} // closed by Close to interrupt backoff sleeps
+	wg   sync.WaitGroup
+}
+
+// NewExporter validates cfg and starts the background sender. It does not
+// wait for a connection: a collector that is down at start-up is just the
+// first outage to ride out. tel may be nil, in which case the exporter
+// keeps private counters.
+func NewExporter(cfg ExporterConfig, tel *telemetry.Export) (*Exporter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tel == nil {
+		tel = new(telemetry.Export)
+	}
+	e := &Exporter{
+		cfg:   cfg.withDefaults(),
+		tel:   tel,
+		stop:  make(chan struct{}),
+		spool: make([]spooled, cfg.withDefaults().SpoolFrames),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.wg.Add(1)
+	go e.run()
+	return e, nil
+}
+
+// Telemetry returns the exporter's counters.
+func (e *Exporter) Telemetry() *telemetry.Export { return e.tel }
+
+// Enqueue spools one interval's encoded export packets for delivery. It
+// never blocks on the network; when the spool is full, the oldest spooled
+// frame is shed to make room (DropOldest) and counted as dropped. Frames
+// enqueued after Close are dropped outright.
+func (e *Exporter) Enqueue(pkts [][]byte) {
+	if len(pkts) == 0 {
+		return
+	}
+	var bytes uint64
+	for _, p := range pkts {
+		bytes += uint64(len(p))
+	}
+	e.tel.ObserveReport(len(pkts), bytes)
+
+	var droppedFrames, droppedReports uint64
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.tel.ObserveFramesDropped(uint64(len(pkts)))
+		e.tel.ObserveReportDropped()
+		return
+	}
+	e.reportID++
+	for _, p := range pkts {
+		if e.count == len(e.spool) {
+			old := &e.spool[e.head]
+			if old.report != e.lastDrop {
+				e.lastDrop = old.report
+				droppedReports++
+			}
+			old.pkt = nil
+			e.head = (e.head + 1) % len(e.spool)
+			e.count--
+			if e.sent > 0 {
+				e.sent--
+			}
+			droppedFrames++
+		}
+		e.nextSeq++
+		e.spool[(e.head+e.count)%len(e.spool)] = spooled{seq: e.nextSeq, report: e.reportID, pkt: p}
+		e.count++
+	}
+	depth := e.count
+	e.mu.Unlock()
+	e.cond.Broadcast()
+	e.tel.SetSpoolDepth(depth)
+	if droppedFrames > 0 {
+		e.tel.ObserveFramesDropped(droppedFrames)
+	}
+	for ; droppedReports > 0; droppedReports-- {
+		e.tel.ObserveReportDropped()
+	}
+}
+
+// Backlog returns the number of spooled (unacknowledged) frames.
+func (e *Exporter) Backlog() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.count
+}
+
+// Close drains the spool — waiting up to DrainTimeout for outstanding
+// frames to be acknowledged — then stops the sender and closes the
+// connection. Frames still unacknowledged when the drain expires are
+// counted as dropped and reported in the returned error.
+func (e *Exporter) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.cond.Broadcast()
+
+	deadline := time.Now().Add(e.cfg.DrainTimeout)
+	for {
+		e.mu.Lock()
+		remaining := e.count
+		e.mu.Unlock()
+		if remaining == 0 || !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	e.mu.Lock()
+	e.aborted = true
+	remaining := e.count
+	conn := e.conn
+	e.mu.Unlock()
+	e.cond.Broadcast()
+	close(e.stop)
+	if conn != nil {
+		conn.Close()
+	}
+	e.wg.Wait()
+	if remaining > 0 {
+		e.tel.ObserveFramesDropped(uint64(remaining))
+		e.tel.ObserveReportDropped()
+		return fmt.Errorf("netflow/reliable: %d frames undelivered at close", remaining)
+	}
+	return nil
+}
+
+// run is the background sender: connect (with backoff), replay the
+// unacknowledged spool tail, stream new frames as they arrive, repeat.
+func (e *Exporter) run() {
+	defer e.wg.Done()
+	rng := rand.New(rand.NewSource(e.cfg.Seed))
+	backoff := e.cfg.BackoffMin
+	for {
+		if !e.awaitWork() {
+			return
+		}
+		conn, err := net.DialTimeout("tcp", e.cfg.Addr, e.cfg.DialTimeout)
+		if err != nil {
+			e.tel.ObserveSendError()
+			if !e.sleep(jitter(rng, backoff)) {
+				return
+			}
+			if backoff *= 2; backoff > e.cfg.BackoffMax {
+				backoff = e.cfg.BackoffMax
+			}
+			continue
+		}
+		backoff = e.cfg.BackoffMin
+		e.serveConn(conn)
+	}
+}
+
+// awaitWork blocks until there is something to send. It returns false when
+// the exporter is shutting down (aborted, or closed with an empty spool).
+func (e *Exporter) awaitWork() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.aborted {
+			return false
+		}
+		if e.count > 0 {
+			return true
+		}
+		if e.closed {
+			return false
+		}
+		e.cond.Wait()
+	}
+}
+
+// sleep waits d or until Close aborts the exporter.
+func (e *Exporter) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-e.stop:
+		return false
+	}
+}
+
+// jitter spreads a backoff over [d/2, d) so a fleet of exporters does not
+// re-dial a recovering collector in lockstep.
+func jitter(rng *rand.Rand, d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)))
+}
+
+// serveConn drives one connection: hello, then stream spooled frames while
+// a reader goroutine applies the collector's cumulative acks. It returns
+// when the connection fails or the exporter drains and closes.
+func (e *Exporter) serveConn(conn net.Conn) {
+	e.mu.Lock()
+	if e.aborted {
+		e.mu.Unlock()
+		conn.Close()
+		return
+	}
+	e.conn = conn
+	e.connErr = nil
+	// Frames written on the previous connection but never acked rewind into
+	// the unsent window; when rewritten they are counted as redeliveries
+	// (seq <= maxSent).
+	e.sent = 0
+	if e.dialed {
+		e.tel.ObserveReconnect()
+	}
+	e.dialed = true
+	lastAck := e.lastAck
+	e.mu.Unlock()
+
+	conn.SetWriteDeadline(time.Now().Add(e.cfg.SendTimeout))
+	var hdr [lenBytes + 1 + 16]byte
+	if _, err := conn.Write(appendHello(hdr[:0], e.cfg.ExporterID, lastAck)); err != nil {
+		e.tel.ObserveSendError()
+		e.detach(conn)
+		return
+	}
+
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		var buf []byte
+		for {
+			f, err := readFrame(conn, &buf, DefaultMaxFrameBytes)
+			if err != nil {
+				e.mu.Lock()
+				if e.connErr == nil {
+					e.connErr = err
+				}
+				e.mu.Unlock()
+				e.cond.Broadcast()
+				return
+			}
+			if f.typ == frameAck {
+				e.applyAck(f.seq)
+			}
+		}
+	}()
+
+	e.mu.Lock()
+	for {
+		if e.aborted || e.connErr != nil {
+			break
+		}
+		if e.closed && e.count == 0 {
+			break
+		}
+		if e.sent == e.count {
+			e.cond.Wait()
+			continue
+		}
+		fr := e.spool[(e.head+e.sent)%len(e.spool)]
+		e.sent++
+		redelivery := fr.seq <= e.maxSent
+		if !redelivery {
+			e.maxSent = fr.seq
+		}
+		e.mu.Unlock()
+
+		conn.SetWriteDeadline(time.Now().Add(e.cfg.SendTimeout))
+		_, err := conn.Write(appendDataHeader(hdr[:0], fr.seq, len(fr.pkt)))
+		if err == nil {
+			_, err = conn.Write(fr.pkt)
+		}
+		if err != nil {
+			e.tel.ObserveSendError()
+			e.mu.Lock()
+			if e.connErr == nil {
+				e.connErr = err
+			}
+			break
+		}
+		e.tel.ObserveSent(1)
+		if redelivery {
+			e.tel.ObserveRedelivered(1)
+		}
+		e.mu.Lock()
+	}
+	e.conn = nil
+	e.mu.Unlock()
+	conn.Close()
+	<-readerDone
+}
+
+// applyAck releases every spooled frame covered by the cumulative ack.
+func (e *Exporter) applyAck(ack uint64) {
+	var n uint64
+	e.mu.Lock()
+	if ack > e.lastAck {
+		e.lastAck = ack
+	}
+	for e.count > 0 && e.spool[e.head].seq <= ack {
+		e.spool[e.head].pkt = nil
+		e.head = (e.head + 1) % len(e.spool)
+		e.count--
+		if e.sent > 0 {
+			e.sent--
+		}
+		n++
+	}
+	depth := e.count
+	e.mu.Unlock()
+	if n > 0 {
+		e.tel.ObserveAcked(n)
+		e.tel.SetSpoolDepth(depth)
+		e.cond.Broadcast()
+	}
+}
+
+// detach clears the live connection and closes it.
+func (e *Exporter) detach(conn net.Conn) {
+	e.mu.Lock()
+	e.conn = nil
+	e.mu.Unlock()
+	conn.Close()
+}

@@ -1,0 +1,133 @@
+// Package reliable is the at-least-once export transport between a
+// measurement device and its collection station. The paper's architecture
+// (Sections 2 and 5.2) assumes the device's compact heavy-hitter reports
+// actually reach the station — the whole advantage over NetFlow's bulky
+// per-flow dumps evaporates if the few packets that do get exported are
+// lost. UDP export (the baseline, kept as the default) is fire-and-forget:
+// a collector restart silently discards every report sent during the
+// outage.
+//
+// The transport here spools interval reports in a bounded ring on the
+// device, delivers them over a length-prefixed TCP stream with reconnect,
+// exponential backoff with jitter and per-send timeouts, and tags every
+// frame with a sequence number. The collector acknowledges cumulatively and
+// dedups by sequence, so delivery is at-least-once on the wire and exactly
+// once into a collector's aggregation — the property the loss-tolerant
+// accounting literature (Duffield et al., "Charging from sampled network
+// usage") demands of the collection side. Across a collector crash the
+// residual at-least-once window (a frame handled but not yet acked when the
+// crash hit) is closed at the application layer: handlers receive each
+// frame's sequence number and an aggregator that outlives server instances
+// skips sequences it has already folded in.
+//
+// Wire format: every frame is a 4-byte big-endian length (of everything
+// that follows), one type byte, and a type-specific body.
+//
+//	hello  'H'  uint64 exporter ID, uint64 acked — first frame on every
+//	            connection; acked is the highest cumulative ack the
+//	            exporter has seen, so a restarted collector (fresh
+//	            sequence state) knows frames at or below it were already
+//	            delivered to its predecessor and are not a gap
+//	data   'D'  uint64 seq, payload    — one encoded NetFlow v5 packet
+//	ack    'A'  uint64 seq             — cumulative: all seqs <= seq received
+package reliable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+const (
+	frameHello = 'H'
+	frameData  = 'D'
+	frameAck   = 'A'
+
+	// lenBytes is the length prefix; the length covers the type byte and
+	// body but not itself.
+	lenBytes = 4
+
+	// DefaultMaxFrameBytes bounds a frame body so a corrupted length prefix
+	// cannot make the reader allocate gigabytes. A v5 export packet is at
+	// most 1464 bytes; the generous cap leaves room for future payloads.
+	DefaultMaxFrameBytes = 1 << 20
+)
+
+// frame is one decoded frame. The payload aliases the reader's buffer and
+// is only valid until the next readFrame call.
+type frame struct {
+	typ      byte
+	seq      uint64 // data: sequence number; ack: cumulative acked sequence
+	exporter uint64 // hello: exporter identity
+	acked    uint64 // hello: highest cumulative ack the exporter has seen
+	payload  []byte // data: encoded v5 packet
+}
+
+// appendHello encodes a hello frame onto dst.
+func appendHello(dst []byte, exporter, acked uint64) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, 1+16)
+	dst = append(dst, frameHello)
+	dst = binary.BigEndian.AppendUint64(dst, exporter)
+	return binary.BigEndian.AppendUint64(dst, acked)
+}
+
+// appendDataHeader encodes the length prefix, type and sequence of a data
+// frame whose payload (written separately) is payloadLen bytes.
+func appendDataHeader(dst []byte, seq uint64, payloadLen int) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(1+8+payloadLen))
+	dst = append(dst, frameData)
+	return binary.BigEndian.AppendUint64(dst, seq)
+}
+
+// appendAck encodes a cumulative ack frame onto dst.
+func appendAck(dst []byte, seq uint64) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, 1+8)
+	dst = append(dst, frameAck)
+	return binary.BigEndian.AppendUint64(dst, seq)
+}
+
+// readFrame reads one frame from r, growing *buf as needed; the returned
+// frame's payload aliases *buf. maxFrame bounds the accepted body length.
+func readFrame(r io.Reader, buf *[]byte, maxFrame int) (frame, error) {
+	var hdr [lenBytes]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n < 1 || n > maxFrame {
+		return frame{}, fmt.Errorf("netflow/reliable: frame length %d outside [1, %d]", n, maxFrame)
+	}
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
+	}
+	body := (*buf)[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return frame{}, err
+	}
+	f := frame{typ: body[0]}
+	switch f.typ {
+	case frameHello:
+		if n != 1+16 {
+			return frame{}, fmt.Errorf("netflow/reliable: hello frame of %d bytes, want %d", n, 1+16)
+		}
+		f.exporter = binary.BigEndian.Uint64(body[1:9])
+		f.acked = binary.BigEndian.Uint64(body[9:17])
+	case frameData:
+		if n < 1+8 {
+			return frame{}, fmt.Errorf("netflow/reliable: data frame of %d bytes too short", n)
+		}
+		f.seq = binary.BigEndian.Uint64(body[1:9])
+		f.payload = body[9:]
+	case frameAck:
+		if n != 1+8 {
+			return frame{}, fmt.Errorf("netflow/reliable: ack frame of %d bytes, want %d", n, 1+8)
+		}
+		f.seq = binary.BigEndian.Uint64(body[1:9])
+	default:
+		return frame{}, fmt.Errorf("netflow/reliable: unknown frame type %#x", f.typ)
+	}
+	return f, nil
+}

@@ -1,0 +1,79 @@
+package reliable
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var wire []byte
+	wire = appendHello(wire, 0xdeadbeef, 17)
+	payload := []byte("one encoded v5 packet")
+	wire = appendDataHeader(wire, 42, len(payload))
+	wire = append(wire, payload...)
+	wire = appendAck(wire, 41)
+
+	r := bytes.NewReader(wire)
+	var buf []byte
+
+	f, err := readFrame(r, &buf, DefaultMaxFrameBytes)
+	if err != nil || f.typ != frameHello || f.exporter != 0xdeadbeef || f.acked != 17 {
+		t.Fatalf("hello = %+v, %v", f, err)
+	}
+	f, err = readFrame(r, &buf, DefaultMaxFrameBytes)
+	if err != nil || f.typ != frameData || f.seq != 42 || !bytes.Equal(f.payload, payload) {
+		t.Fatalf("data = %+v, %v", f, err)
+	}
+	f, err = readFrame(r, &buf, DefaultMaxFrameBytes)
+	if err != nil || f.typ != frameAck || f.seq != 41 {
+		t.Fatalf("ack = %+v, %v", f, err)
+	}
+	if _, err = readFrame(r, &buf, DefaultMaxFrameBytes); err != io.EOF {
+		t.Fatalf("past end: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameEmptyDataPayload(t *testing.T) {
+	wire := appendDataHeader(nil, 7, 0)
+	var buf []byte
+	f, err := readFrame(bytes.NewReader(wire), &buf, DefaultMaxFrameBytes)
+	if err != nil || f.typ != frameData || f.seq != 7 || len(f.payload) != 0 {
+		t.Fatalf("empty data = %+v, %v", f, err)
+	}
+}
+
+func TestFrameRejectsBadInput(t *testing.T) {
+	var buf []byte
+	cases := map[string][]byte{
+		"zero length":       {0, 0, 0, 0},
+		"oversized length":  {0xff, 0xff, 0xff, 0xff, frameData},
+		"unknown type":      {0, 0, 0, 1, 'Z'},
+		"short hello":       {0, 0, 0, 2, frameHello, 1},
+		"short data":        {0, 0, 0, 5, frameData, 0, 0, 0, 0},
+		"short ack":         {0, 0, 0, 3, frameAck, 0, 0},
+		"truncated mid-len": {0, 0},
+	}
+	// A hello whose length prefix claims one junk byte more than the body
+	// format allows.
+	long := appendHello(nil, 1, 0)
+	long[3]++ // body length 18 instead of 17
+	cases["long hello"] = append(long, 0xee)
+	for name, wire := range cases {
+		if _, err := readFrame(bytes.NewReader(wire), &buf, DefaultMaxFrameBytes); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestFrameHonorsMaxFrame(t *testing.T) {
+	payload := make([]byte, 100)
+	wire := append(appendDataHeader(nil, 1, len(payload)), payload...)
+	var buf []byte
+	if _, err := readFrame(bytes.NewReader(wire), &buf, 64); err == nil {
+		t.Error("frame over maxFrame accepted")
+	}
+	if _, err := readFrame(bytes.NewReader(wire), &buf, 1024); err != nil {
+		t.Errorf("frame under maxFrame rejected: %v", err)
+	}
+}

@@ -1,0 +1,140 @@
+package reliable
+
+import (
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/netflow"
+)
+
+// TestMeasureOutageLoss is the EXPERIMENTS.md measurement, not a pass/fail
+// guard: it paces interval reports through a collector that goes down for a
+// fixed window — once over plain UDP export, once over the reliable
+// transport — and logs how many reports each side actually collected. Run
+// it with:
+//
+//	MEASURE_OUTAGE=5s go test -run TestMeasureOutageLoss -v ./internal/netflow/reliable
+//
+// It is skipped without the env var because a realistic outage window makes
+// it far slower than the rest of the suite.
+func TestMeasureOutageLoss(t *testing.T) {
+	env := os.Getenv("MEASURE_OUTAGE")
+	if env == "" {
+		t.Skip("set MEASURE_OUTAGE=<duration> (e.g. 5s) to run the outage-loss measurement")
+	}
+	outage, err := time.ParseDuration(env)
+	if err != nil {
+		t.Fatalf("MEASURE_OUTAGE: %v", err)
+	}
+	const (
+		pace    = 10 * time.Millisecond // one interval report per tick
+		preRun  = time.Second           // healthy collector before the outage
+		postRun = time.Second           // healthy collector after the restart
+	)
+	total := preRun + outage + postRun
+	nReports := int(total / pace)
+
+	report := func(enc *netflow.Exporter, i int) [][]byte {
+		ests := []core.Estimate{{Key: flow.Key{Lo: uint64(0x0a000000 + i%16)}, Bytes: uint64(1000 + i)}}
+		return enc.Export(ests, time.Duration(i+1)*time.Second)
+	}
+
+	// UDP leg: fire-and-forget datagrams; whatever lands while the
+	// collector is down is gone.
+	usrv, uaddr, ustop, err := netflow.ListenAndServe("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uexp, err := netflow.DialUDPExporter(uaddr.String(), netflow.NewExporter(flow.DstIP{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	udpAddr := uaddr.String()
+	var udpGot uint64 // summed across both server incarnations
+	var udpSendErrs int
+	down, up := int(preRun/pace), int((preRun+outage)/pace)
+	for i := 0; i < nReports; i++ {
+		if err := uexp.Send(report(uexp.Exporter, i)); err != nil {
+			udpSendErrs++ // connected UDP can surface ICMP refusals as errors
+		}
+		if i == down {
+			ustop()
+			udpGot += usrv.Stats().Packets
+		}
+		if i == up {
+			usrv, _, ustop, err = netflow.ListenAndServe(udpAddr, nil)
+			if err != nil {
+				t.Fatalf("UDP collector restart: %v", err)
+			}
+		}
+		time.Sleep(pace)
+	}
+	time.Sleep(100 * time.Millisecond)
+	udpGot += usrv.Stats().Packets
+	ustop()
+	uexp.Close()
+
+	// Reliable leg: same pacing, same outage window, spooled transport.
+	// Dedup by sequence across the two server instances, as an aggregator
+	// that survives a collector restart must.
+	var relGot, relMaxSeq atomic.Uint64
+	relHandle := func(_, seq uint64, _ []byte) {
+		if seq <= relMaxSeq.Load() {
+			return
+		}
+		relMaxSeq.Store(seq)
+		relGot.Add(1)
+	}
+	rsrv, raddr, err := Listen("127.0.0.1:0", ServerConfig{}, relHandle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relAddr := raddr.String()
+	cfg := ExporterConfig{
+		Addr:        relAddr,
+		ExporterID:  1,
+		SpoolFrames: 2 * nReports, // never shed: we are measuring the transport, not the spool bound
+		BackoffMin:  10 * time.Millisecond,
+		BackoffMax:  200 * time.Millisecond,
+	}
+	rexp, err := NewExporter(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renc := netflow.NewExporter(flow.DstIP{})
+	for i := 0; i < nReports; i++ {
+		rexp.Enqueue(report(renc, i))
+		if i == down {
+			rsrv.Close()
+		}
+		if i == up {
+			waitFor(t, "reliable collector restart", func() bool {
+				rsrv, _, err = Listen(relAddr, ServerConfig{}, relHandle)
+				return err == nil
+			})
+		}
+		time.Sleep(pace)
+	}
+	waitFor(t, "reliable spool drain", func() bool { return rexp.Backlog() == 0 })
+	if err := rexp.Close(); err != nil {
+		t.Errorf("reliable close: %v", err)
+	}
+	ts := rexp.Telemetry().Snapshot()
+	rsrv.Close()
+
+	loss := func(got uint64) float64 {
+		return 100 * float64(uint64(nReports)-got) / float64(nReports)
+	}
+	t.Logf("outage window %v in a %v run, one report per %v (%d reports total)", outage, total, pace, nReports)
+	t.Logf("UDP:      %d/%d reports collected (%.1f%% lost; %d sends errored)",
+		udpGot, nReports, loss(udpGot), udpSendErrs)
+	t.Logf("reliable: %d/%d reports collected (%.1f%% lost; %d redelivered, %d reconnects, spool high-water %d frames)",
+		relGot.Load(), nReports, loss(relGot.Load()), ts.Redelivered, ts.Reconnects, ts.SpoolHighWater)
+	if relGot.Load() != uint64(nReports) {
+		t.Errorf("reliable transport lost %d reports across the outage", uint64(nReports)-relGot.Load())
+	}
+}

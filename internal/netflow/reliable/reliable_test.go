@@ -1,0 +1,271 @@
+package reliable
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// fastConfig is an ExporterConfig tuned for loopback tests: tight backoff
+// so reconnects happen within a test's patience, short drain so failing
+// tests do not hang.
+func fastConfig(addr string) ExporterConfig {
+	return ExporterConfig{
+		Addr:         addr,
+		ExporterID:   7,
+		SpoolFrames:  64,
+		DialTimeout:  time.Second,
+		SendTimeout:  time.Second,
+		BackoffMin:   2 * time.Millisecond,
+		BackoffMax:   20 * time.Millisecond,
+		DrainTimeout: 2 * time.Second,
+		Seed:         1,
+	}
+}
+
+// sink collects delivered payloads, keyed by exporter.
+type sink struct {
+	mu       sync.Mutex
+	payloads []string
+	delay    time.Duration
+}
+
+func (s *sink) handle(_, _ uint64, payload []byte) {
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	s.mu.Lock()
+	s.payloads = append(s.payloads, string(payload))
+	s.mu.Unlock()
+}
+
+func (s *sink) got() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.payloads...)
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func mkPkts(n int, label string) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("%s-%d", label, i))
+	}
+	return out
+}
+
+func TestExporterConfigValidate(t *testing.T) {
+	if err := fastConfig("127.0.0.1:1").Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []ExporterConfig{
+		{},                           // no addr
+		{Addr: "x"},                  // no exporter ID
+		{Addr: "x", ExporterID: 1, SpoolFrames: -1},
+		{Addr: "x", ExporterID: 1, SendTimeout: -time.Second},
+		{Addr: "x", ExporterID: 1, BackoffMin: time.Minute, BackoffMax: time.Second},
+	}
+	for i, cfg := range bad {
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("bad config %d accepted", i)
+			continue
+		}
+		if !strings.HasPrefix(err.Error(), "traffic: netflow/reliable: ") {
+			t.Errorf("bad config %d: error %q misses the cfgerr shape", i, err)
+		}
+	}
+}
+
+func TestRoundTripAndDrain(t *testing.T) {
+	s := &sink{}
+	srv, addr, err := Listen("127.0.0.1:0", ServerConfig{}, s.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	exp, err := NewExporter(fastConfig(addr.String()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp.Enqueue(mkPkts(3, "a"))
+	exp.Enqueue(mkPkts(2, "b"))
+	waitFor(t, "delivery", func() bool { return len(s.got()) == 5 })
+	if err := exp.Close(); err != nil {
+		t.Fatalf("drained close failed: %v", err)
+	}
+
+	want := []string{"a-0", "a-1", "a-2", "b-0", "b-1"}
+	got := s.got()
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("delivery order: got %v, want %v", got, want)
+		}
+	}
+	st := srv.Stats()
+	if st.Delivered != 5 || st.Duplicates != 0 || st.Gaps != 0 || st.BadFrames != 0 {
+		t.Errorf("server stats = %+v", st)
+	}
+	es := st.PerExporter[7]
+	if es.NextSeq != 6 || es.Delivered != 5 {
+		t.Errorf("exporter stats = %+v", es)
+	}
+	ts := exp.Telemetry().Snapshot()
+	if ts.Reports != 2 || ts.Frames != 5 || ts.Acked != 5 || ts.FramesDropped != 0 {
+		t.Errorf("exporter telemetry = %+v", ts)
+	}
+	if st, _ := ts.Health(); st != telemetry.HealthOK {
+		t.Errorf("healthy exporter graded %v", st)
+	}
+}
+
+func TestSpoolOverflowDropsOldest(t *testing.T) {
+	// No collector at all: everything spools, the ring sheds its oldest.
+	cfg := fastConfig("127.0.0.1:1") // reserved port: dial fails fast
+	cfg.SpoolFrames = 4
+	cfg.DrainTimeout = 10 * time.Millisecond
+	exp, err := NewExporter(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp.Enqueue(mkPkts(10, "r"))
+	if got := exp.Backlog(); got != 4 {
+		t.Errorf("backlog = %d, want 4 (spool bound)", got)
+	}
+	ts := exp.Telemetry().Snapshot()
+	if ts.FramesDropped != 6 {
+		t.Errorf("FramesDropped = %d, want 6", ts.FramesDropped)
+	}
+	if err := exp.Close(); err == nil {
+		t.Error("close with undeliverable frames reported success")
+	}
+	ts = exp.Telemetry().Snapshot()
+	// The 4 still-spooled frames are charged as dropped at close.
+	if ts.FramesDropped != 10 {
+		t.Errorf("FramesDropped after close = %d, want 10", ts.FramesDropped)
+	}
+	if ts.ReportsDropped == 0 {
+		t.Error("ReportsDropped = 0 after losing frames")
+	}
+	if st, _ := ts.Health(); st != telemetry.HealthDegraded {
+		t.Errorf("lossy exporter graded %v, want degraded", st)
+	}
+}
+
+func TestGapAccountingAfterOverflow(t *testing.T) {
+	// Spool overflows while the collector is down; once it comes up, the
+	// surviving tail is delivered and the hole shows up as an exact gap.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cfg := fastConfig(addr)
+	cfg.SpoolFrames = 4
+	exp, err := NewExporter(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	exp.Enqueue(mkPkts(10, "r")) // seqs 1..10; 1..6 shed
+
+	var srv *Server
+	s := &sink{}
+	waitFor(t, "rebind", func() bool {
+		srv, _, err = Listen(addr, ServerConfig{}, s.handle)
+		return err == nil
+	})
+	defer srv.Close()
+	waitFor(t, "tail delivery", func() bool { return len(s.got()) == 4 })
+
+	st := srv.Stats()
+	if st.Gaps != 6 {
+		t.Errorf("gaps = %d, want 6 (seqs 1-6 shed before first contact)", st.Gaps)
+	}
+	got := s.got()
+	if got[0] != "r-6" || got[3] != "r-9" {
+		t.Errorf("surviving tail = %v, want r-6..r-9 (DropOldest keeps the freshest)", got)
+	}
+}
+
+func TestDelayedAcksStillExactlyOnce(t *testing.T) {
+	// A slow handler delays every ack; backpressure holds and nothing is
+	// delivered twice.
+	s := &sink{delay: 10 * time.Millisecond}
+	srv, addr, err := Listen("127.0.0.1:0", ServerConfig{}, s.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	exp, err := NewExporter(fastConfig(addr.String()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp.Enqueue(mkPkts(20, "d"))
+	if err := exp.Close(); err != nil { // drain waits out the slow acks
+		t.Fatalf("close: %v", err)
+	}
+	st := srv.Stats()
+	if st.Delivered != 20 || st.Duplicates != 0 {
+		t.Errorf("stats = %+v, want 20 delivered, 0 duplicates", st)
+	}
+}
+
+func TestServerShutdownDrainsInFlight(t *testing.T) {
+	s := &sink{delay: 2 * time.Millisecond}
+	srv, addr, err := Listen("127.0.0.1:0", ServerConfig{}, s.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := NewExporter(fastConfig(addr.String()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp.Enqueue(mkPkts(10, "s"))
+	waitFor(t, "first delivery", func() bool { return len(s.got()) >= 1 })
+	if err := srv.Shutdown(2 * time.Second); err != nil && !strings.Contains(err.Error(), "use of closed") {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// Everything the exporter managed to put on the wire before the drain
+	// deadline was aggregated; with a 2s budget for 10 small frames that is
+	// all of them.
+	if got := len(s.got()); got != 10 {
+		t.Errorf("delivered %d frames through shutdown, want 10", got)
+	}
+	exp.Close()
+}
+
+func TestEnqueueAfterCloseDrops(t *testing.T) {
+	cfg := fastConfig("127.0.0.1:1")
+	cfg.DrainTimeout = time.Millisecond
+	exp, err := NewExporter(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp.Close()
+	exp.Enqueue(mkPkts(2, "late"))
+	ts := exp.Telemetry().Snapshot()
+	if ts.FramesDropped != 2 || ts.ReportsDropped != 1 {
+		t.Errorf("post-close enqueue: %+v, want 2 frames / 1 report dropped", ts)
+	}
+}

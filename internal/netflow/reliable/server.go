@@ -1,0 +1,343 @@
+package reliable
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ServerConfig configures the collector side of the reliable transport.
+type ServerConfig struct {
+	// MaxFrameBytes bounds accepted frame bodies (default
+	// DefaultMaxFrameBytes); a corrupted length prefix past it drops the
+	// connection instead of allocating.
+	MaxFrameBytes int
+	// AckTimeout bounds each ack write (default 5s). An exporter that stops
+	// reading acks is disconnected rather than allowed to wedge the
+	// connection's goroutine — the slow-client backpressure bound.
+	AckTimeout time.Duration
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.MaxFrameBytes == 0 {
+		c.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+	if c.AckTimeout == 0 {
+		c.AckTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// exporterState is the per-exporter sequence accounting, keyed by the
+// exporter ID from the hello frame so it survives reconnects. Its mutex
+// serializes delivery per exporter: classification, the handler call and
+// the ack are one critical section, so duplicates are exact and the
+// handler sees each exporter's frames in order.
+type exporterState struct {
+	mu         sync.Mutex
+	next       uint64 // next expected sequence; next-1 is the cumulative ack
+	delivered  uint64
+	duplicates uint64
+	gaps       uint64
+}
+
+// Server is the collection-station side: it accepts reliable-exporter
+// connections, dedups frames by per-exporter sequence, hands each frame's
+// payload to the handler exactly once per server lifetime, and
+// acknowledges cumulatively after the handler returns — so a report is
+// only acked once it has actually been aggregated, and a crash between
+// receive and ack costs nothing but a redelivery. Backpressure is
+// structural: one frame is read, handled and acked at a time per
+// connection, so a slow handler slows the exporter's ack stream (filling
+// its spool) instead of buffering unboundedly here.
+//
+// Across a server crash and restart the transport is at-least-once: a
+// frame handled just before the crash whose ack never reached the exporter
+// is redelivered to the next server. The handler receives the frame's
+// sequence number so an aggregator that keeps state across server
+// instances can stay idempotent (skip seq at or below the highest already
+// folded in) and recover exactly-once end to end.
+type Server struct {
+	cfg     ServerConfig
+	handler func(exporter, seq uint64, payload []byte)
+	ln      net.Listener
+
+	frames     atomic.Uint64
+	dataBytes  atomic.Uint64
+	delivered  atomic.Uint64
+	duplicates atomic.Uint64
+	gaps       atomic.Uint64
+	badFrames  atomic.Uint64
+	accepted   atomic.Uint64
+
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	exporters map[uint64]*exporterState
+	closed    bool
+	deadline  time.Time // non-zero while draining: read deadline for conns
+
+	wg sync.WaitGroup
+}
+
+// Listen binds a TCP listener on addr and serves reliable exporters in the
+// background. The handler receives each deduplicated frame payload (one
+// encoded NetFlow v5 packet) exactly once per exporter, in order, along
+// with its sequence number; it may be nil when only the statistics matter.
+func Listen(addr string, cfg ServerConfig, handler func(exporter, seq uint64, payload []byte)) (*Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := NewServer(ln, cfg, handler)
+	return s, ln.Addr(), nil
+}
+
+// NewServer serves reliable exporters on an existing listener.
+func NewServer(ln net.Listener, cfg ServerConfig, handler func(exporter, seq uint64, payload []byte)) *Server {
+	s := &Server{
+		cfg:       cfg.withDefaults(),
+		handler:   handler,
+		ln:        ln,
+		conns:     make(map[net.Conn]struct{}),
+		exporters: make(map[uint64]*exporterState),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		if !s.deadline.IsZero() {
+			conn.SetReadDeadline(s.deadline)
+		}
+		s.mu.Unlock()
+		s.accepted.Add(1)
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+		s.wg.Done()
+	}()
+
+	var buf []byte
+	hello, err := readFrame(conn, &buf, s.cfg.MaxFrameBytes)
+	if err != nil || hello.typ != frameHello {
+		s.badFrames.Add(1)
+		return
+	}
+	st := s.exporterState(hello.exporter)
+	// The hello carries the highest cumulative ack the exporter has seen.
+	// A freshly started collector (or one whose state predates a long
+	// disconnect) fast-forwards past those sequences: they were delivered
+	// and acknowledged — by this server or a predecessor that crashed — so
+	// skipping them is not a gap. Genuinely shed frames are never acked and
+	// so still surface as sequence jumps below.
+	st.mu.Lock()
+	if hello.acked+1 > st.next {
+		st.next = hello.acked + 1
+	}
+	st.mu.Unlock()
+
+	var ackBuf [lenBytes + 1 + 8]byte
+	for {
+		f, err := readFrame(conn, &buf, s.cfg.MaxFrameBytes)
+		if err != nil {
+			// Either way the connection is done — the exporter reconnects
+			// and redelivers, and dedup absorbs the overlap — but only
+			// corruption counts as a bad frame: a clean close between
+			// frames (EOF), a severed socket, or a drain deadline expiring
+			// is normal lifecycle.
+			if !isCleanClose(err) {
+				s.badFrames.Add(1)
+			}
+			return
+		}
+		if f.typ != frameData {
+			s.badFrames.Add(1)
+			return
+		}
+		s.frames.Add(1)
+		s.dataBytes.Add(uint64(len(f.payload)))
+
+		st.mu.Lock()
+		expected := st.next
+		if expected == 0 {
+			expected = 1 // sequences start at 1
+		}
+		var ack uint64
+		if f.seq < expected {
+			st.duplicates++
+			s.duplicates.Add(1)
+			ack = expected - 1 // re-ack so the exporter releases its spool
+		} else {
+			if f.seq > expected {
+				// Sequence jumped forward: the exporter's spool overflowed
+				// and shed frames we will never see. Account the hole and
+				// move on — the surviving data is still exact.
+				st.gaps += f.seq - expected
+				s.gaps.Add(f.seq - expected)
+			}
+			if s.handler != nil {
+				s.handler(hello.exporter, f.seq, f.payload)
+			}
+			st.next = f.seq + 1
+			st.delivered++
+			s.delivered.Add(1)
+			ack = f.seq
+		}
+		st.mu.Unlock()
+
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.AckTimeout))
+		if _, err := conn.Write(appendAck(ackBuf[:0], ack)); err != nil {
+			return
+		}
+	}
+}
+
+// isCleanClose reports whether a read error is normal connection lifecycle
+// (EOF between frames, a closed socket, a drain deadline) rather than a
+// corrupted or truncated frame.
+func isCleanClose(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+func (s *Server) exporterState(id uint64) *exporterState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.exporters[id]
+	if st == nil {
+		st = &exporterState{}
+		s.exporters[id] = st
+	}
+	return st
+}
+
+// Close severs every connection immediately and stops accepting. Frames in
+// flight are abandoned (the transport redelivers them on the exporter's
+// next connection, so nothing is lost) — the chaos tests use it as the
+// collector crash.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Shutdown stops accepting, then lets each connection keep delivering
+// frames already in flight for up to timeout before severing it — the
+// graceful drain for SIGTERM: reports the kernel has already accepted are
+// aggregated and acked rather than discarded.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	err := s.ln.Close()
+	deadline := time.Now().Add(timeout)
+	s.mu.Lock()
+	s.closed = true
+	s.deadline = deadline
+	for c := range s.conns {
+		c.SetReadDeadline(deadline)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// ExporterStats is one exporter's sequence accounting.
+type ExporterStats struct {
+	// NextSeq is the next expected sequence number (NextSeq-1 is the
+	// cumulative ack).
+	NextSeq uint64 `json:"next_seq"`
+	// Delivered counts frames handed to the handler exactly once.
+	Delivered uint64 `json:"delivered"`
+	// Duplicates counts redelivered frames absorbed by dedup.
+	Duplicates uint64 `json:"duplicates"`
+	// Gaps counts sequence numbers skipped forever (exporter spool
+	// overflow).
+	Gaps uint64 `json:"gaps"`
+}
+
+// Stats is a point-in-time copy of the server's counters.
+type Stats struct {
+	// Frames and Bytes count data frames received, duplicates included.
+	Frames uint64 `json:"frames"`
+	Bytes  uint64 `json:"bytes"`
+	// Delivered, Duplicates and Gaps aggregate the per-exporter accounting.
+	Delivered  uint64 `json:"delivered"`
+	Duplicates uint64 `json:"duplicates"`
+	Gaps       uint64 `json:"gaps"`
+	// BadFrames counts connections dropped on undecodable or out-of-
+	// protocol frames.
+	BadFrames uint64 `json:"bad_frames"`
+	// Connections counts accepted connections; ActiveConnections the ones
+	// currently open.
+	Connections       uint64 `json:"connections"`
+	ActiveConnections int    `json:"active_connections"`
+	// PerExporter is the accounting keyed by exporter ID.
+	PerExporter map[uint64]ExporterStats `json:"per_exporter"`
+}
+
+// Stats returns a snapshot of the collection statistics.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Frames:      s.frames.Load(),
+		Bytes:       s.dataBytes.Load(),
+		Delivered:   s.delivered.Load(),
+		Duplicates:  s.duplicates.Load(),
+		Gaps:        s.gaps.Load(),
+		BadFrames:   s.badFrames.Load(),
+		Connections: s.accepted.Load(),
+		PerExporter: make(map[uint64]ExporterStats),
+	}
+	s.mu.Lock()
+	st.ActiveConnections = len(s.conns)
+	states := make(map[uint64]*exporterState, len(s.exporters))
+	for id, es := range s.exporters {
+		states[id] = es
+	}
+	s.mu.Unlock()
+	for id, es := range states {
+		es.mu.Lock()
+		st.PerExporter[id] = ExporterStats{
+			NextSeq:    es.next,
+			Delivered:  es.delivered,
+			Duplicates: es.duplicates,
+			Gaps:       es.gaps,
+		}
+		es.mu.Unlock()
+	}
+	return st
+}

@@ -15,12 +15,13 @@ type Server struct {
 	conn    net.PacketConn
 	handler func(src net.Addr, pkt *V5Packet)
 
-	mu       sync.Mutex
-	nextSeq  map[string]uint32
-	lost     uint64
-	packets  uint64
-	records  uint64
-	badBytes uint64
+	mu         sync.Mutex
+	nextSeq    map[string]uint32
+	lost       uint64
+	packets    uint64
+	records    uint64
+	duplicates uint64
+	badBytes   uint64
 }
 
 // NewServer wraps an existing PacketConn (usually from net.ListenPacket
@@ -80,10 +81,23 @@ func (s *Server) ingest(src net.Addr, data []byte) {
 	s.packets++
 	s.records += uint64(len(pkt.Records))
 	key := src.String()
-	if want, ok := s.nextSeq[key]; ok && pkt.FlowSequence > want {
-		s.lost += uint64(pkt.FlowSequence - want)
+	end := pkt.FlowSequence + uint32(len(pkt.Records))
+	if want, ok := s.nextSeq[key]; ok {
+		switch {
+		case pkt.FlowSequence > want:
+			s.lost += uint64(pkt.FlowSequence - want)
+			s.nextSeq[key] = end
+		case end <= want:
+			// A replayed or reordered datagram covering only already-seen
+			// sequences. Counting it but not regressing nextSeq keeps later
+			// packets from registering phantom loss.
+			s.duplicates++
+		default:
+			s.nextSeq[key] = end
+		}
+	} else {
+		s.nextSeq[key] = end
 	}
-	s.nextSeq[key] = pkt.FlowSequence + uint32(len(pkt.Records))
 	handler := s.handler
 	s.mu.Unlock()
 	if handler != nil {
@@ -93,20 +107,21 @@ func (s *Server) ingest(src net.Addr, data []byte) {
 
 // Stats summarizes what the collector has seen.
 type Stats struct {
-	Packets, Records, LostRecords, BadBytes uint64
+	Packets, Records, LostRecords, Duplicates, BadBytes uint64
 }
 
 // Stats returns a snapshot of the collection statistics.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{Packets: s.packets, Records: s.records, LostRecords: s.lost, BadBytes: s.badBytes}
+	return Stats{Packets: s.packets, Records: s.records, LostRecords: s.lost,
+		Duplicates: s.duplicates, BadBytes: s.badBytes}
 }
 
 // String renders the statistics.
 func (st Stats) String() string {
-	return fmt.Sprintf("%d packets, %d records, %d lost, %d undecodable bytes",
-		st.Packets, st.Records, st.LostRecords, st.BadBytes)
+	return fmt.Sprintf("%d packets, %d records, %d lost, %d duplicate, %d undecodable bytes",
+		st.Packets, st.Records, st.LostRecords, st.Duplicates, st.BadBytes)
 }
 
 // UDPExporter sends v5 export packets to a collector over UDP; it wraps an

@@ -1,0 +1,157 @@
+package netflow
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/flow"
+)
+
+// faultSrc is the fixed source address used when driving ingest directly —
+// datagram mangling tests bypass the socket so the accounting assertions
+// are exact rather than racing UDP delivery.
+var faultSrc = &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 9999}
+
+// exportBatches encodes n single-record interval reports with consecutive
+// flow sequences.
+func exportBatches(n int) [][]byte {
+	enc := NewExporter(flow.DstIP{})
+	var out [][]byte
+	for i := 0; i < n; i++ {
+		ests := []core.Estimate{{Key: flow.Key{Lo: uint64(0x0a000000 + i)}, Bytes: uint64(1000 + i)}}
+		out = append(out, enc.Export(ests, time.Duration(i+1)*time.Second)...)
+	}
+	return out
+}
+
+// refAccount mirrors the server's sequence accounting so the tests can
+// compute the exact expected counters for an arbitrary mangled stream.
+type refAccount struct {
+	next    uint32
+	started bool
+	want    Stats
+}
+
+func (r *refAccount) ingest(data []byte) {
+	pkt, err := DecodeV5(data)
+	if err != nil {
+		r.want.BadBytes += uint64(len(data))
+		return
+	}
+	r.want.Packets++
+	r.want.Records += uint64(len(pkt.Records))
+	end := pkt.FlowSequence + uint32(len(pkt.Records))
+	if r.started {
+		switch {
+		case pkt.FlowSequence > r.next:
+			r.want.LostRecords += uint64(pkt.FlowSequence - r.next)
+			r.next = end
+		case end <= r.next:
+			r.want.Duplicates++
+		default:
+			r.next = end
+		}
+	} else {
+		r.started = true
+		r.next = end
+	}
+}
+
+// TestServerExactAccountingUnderCorruption flips bytes in every datagram —
+// header, sequence, record bytes, wherever the seed lands — and checks the
+// server neither panics nor drifts from the reference accounting: damaged
+// packets that no longer decode are charged to BadBytes, ones that still
+// decode are counted like any other.
+func TestServerExactAccountingUnderCorruption(t *testing.T) {
+	srv := NewServer(nil, nil)
+	ref := &refAccount{}
+	for i, p := range exportBatches(20) {
+		mangled := faultinject.Corrupt(p, int64(i+1), 3)
+		ref.ingest(mangled)
+		srv.ingest(faultSrc, mangled)
+	}
+	if got := srv.Stats(); got != ref.want {
+		t.Errorf("corrupted stream: stats = %+v, want %+v", got, ref.want)
+	}
+	if st := srv.Stats(); st.BadBytes == 0 {
+		t.Error("3 byte flips per datagram over 20 datagrams broke nothing — corruption injection is not reaching the decoder")
+	}
+}
+
+// TestServerExactAccountingUnderTruncation cuts datagrams short at assorted
+// fractions. A v5 packet is a 24-byte header plus 48-byte records, so most
+// cuts make it undecodable; every byte of those must land in BadBytes.
+func TestServerExactAccountingUnderTruncation(t *testing.T) {
+	srv := NewServer(nil, nil)
+	ref := &refAccount{}
+	fracs := []float64{0, 0.2, 0.5, 0.9, 1}
+	for i, p := range exportBatches(10) {
+		mangled := faultinject.Truncate(p, fracs[i%len(fracs)])
+		ref.ingest(mangled)
+		srv.ingest(faultSrc, mangled)
+	}
+	st := srv.Stats()
+	if st != ref.want {
+		t.Errorf("truncated stream: stats = %+v, want %+v", st, ref.want)
+	}
+	// Only the frac==1 datagrams survive; between each pair the server must
+	// see the skipped sequences as loss, not crash or double-count.
+	if st.Packets != 2 {
+		t.Errorf("packets = %d, want 2 (only untruncated datagrams decode)", st.Packets)
+	}
+	if st.LostRecords == 0 {
+		t.Error("truncation holes not reflected in LostRecords")
+	}
+}
+
+// TestServerDuplicatedDatagrams replays datagrams out of order: an exact
+// duplicate and a stale replay must be counted as duplicates without
+// regressing the sequence cursor — otherwise the packets after them would
+// register phantom loss.
+func TestServerDuplicatedDatagrams(t *testing.T) {
+	pkts := exportBatches(4)
+	srv := NewServer(nil, nil)
+	srv.ingest(faultSrc, pkts[0])
+	srv.ingest(faultSrc, pkts[1])
+	srv.ingest(faultSrc, pkts[1]) // immediate duplicate
+	srv.ingest(faultSrc, pkts[0]) // stale replay from before the cursor
+	srv.ingest(faultSrc, pkts[2])
+	srv.ingest(faultSrc, pkts[3])
+	st := srv.Stats()
+	if st.Duplicates != 2 {
+		t.Errorf("duplicates = %d, want 2", st.Duplicates)
+	}
+	if st.LostRecords != 0 {
+		t.Errorf("lost = %d, want 0 (replays must not regress the cursor)", st.LostRecords)
+	}
+	if st.Packets != 6 || st.Records != 6 {
+		t.Errorf("stats = %+v, want 6 packets / 6 records", st)
+	}
+}
+
+// TestServerDuplicatesAndLossCompose drops one batch and replays another in
+// the same stream: the loss must be exactly the skipped batch's records and
+// the replay exactly one duplicate.
+func TestServerDuplicatesAndLossCompose(t *testing.T) {
+	pkts := exportBatches(5)
+	srv := NewServer(nil, nil)
+	srv.ingest(faultSrc, pkts[0])
+	srv.ingest(faultSrc, pkts[1])
+	// pkts[2] lost in flight.
+	srv.ingest(faultSrc, pkts[3])
+	srv.ingest(faultSrc, pkts[1]) // late replay
+	srv.ingest(faultSrc, pkts[4])
+	st := srv.Stats()
+	if st.LostRecords != 1 {
+		t.Errorf("lost = %d, want 1 (the single record of the dropped batch)", st.LostRecords)
+	}
+	if st.Duplicates != 1 {
+		t.Errorf("duplicates = %d, want 1", st.Duplicates)
+	}
+	if st.Packets != 5 {
+		t.Errorf("packets = %d, want 5 (replays still count as received packets)", st.Packets)
+	}
+}

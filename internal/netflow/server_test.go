@@ -143,8 +143,8 @@ func TestCollectorIgnoresGarbage(t *testing.T) {
 }
 
 func TestStatsString(t *testing.T) {
-	st := Stats{Packets: 1, Records: 2, LostRecords: 3, BadBytes: 4}
-	want := "1 packets, 2 records, 3 lost, 4 undecodable bytes"
+	st := Stats{Packets: 1, Records: 2, LostRecords: 3, Duplicates: 4, BadBytes: 5}
+	want := "1 packets, 2 records, 3 lost, 4 duplicate, 5 undecodable bytes"
 	if st.String() != want {
 		t.Errorf("String = %q", st.String())
 	}

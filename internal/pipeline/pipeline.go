@@ -267,7 +267,14 @@ type Pipeline struct {
 	// reportCount mirrors len(reports) for concurrent Stats readers.
 	reportCount atomic.Int64
 	closed      bool
+	// exportTel, when set, is the export path's counters, included in Stats
+	// and Health alongside the lane counters.
+	exportTel *telemetry.Export
 }
+
+// SetExportTelemetry attaches an export path's counters to the pipeline's
+// snapshots (and thereby its Health). Call before traffic flows.
+func (p *Pipeline) SetExportTelemetry(t *telemetry.Export) { p.exportTel = t }
 
 // New builds and starts a pipeline; call Close when done.
 func New(cfg Config) (*Pipeline, error) {
@@ -586,6 +593,10 @@ func (p *Pipeline) Stats() telemetry.PipelineSnapshot {
 				Name: alg.Name(), Stale: true,
 			})
 		}
+	}
+	if p.exportTel != nil {
+		es := p.exportTel.Snapshot()
+		s.Export = &es
 	}
 	return s
 }

@@ -370,6 +370,9 @@ type PipelineSnapshot struct {
 	Algorithms []AlgorithmSnapshot `json:"algorithms"`
 	// Reports is the number of merged interval reports produced.
 	Reports int `json:"reports"`
+	// Export, when the pipeline's reports feed an exporter, is that export
+	// path's counters.
+	Export *ExportSnapshot `json:"export,omitempty"`
 }
 
 // Packets sums packets handed to all lanes.
@@ -448,6 +451,11 @@ func (s PipelineSnapshot) Health() (HealthStatus, string) {
 			return HealthDegraded, fmt.Sprintf("lane %d flow memory rejected %d entries", i, a.Drops)
 		}
 	}
+	if s.Export != nil {
+		if st, reason := s.Export.Health(); st > HealthOK {
+			return st, reason
+		}
+	}
 	return HealthOK, ""
 }
 
@@ -458,13 +466,157 @@ type DeviceSnapshot struct {
 	Definition string `json:"definition"`
 	// Reports is the number of interval reports produced so far.
 	Reports int `json:"reports"`
+	// Export, when the device's reports feed an exporter, is that export
+	// path's counters.
+	Export *ExportSnapshot `json:"export,omitempty"`
 }
 
 // Health grades a single device: degraded when its flow memory has rejected
-// entries (the signal threshold adaptation exists to relieve).
+// entries (the signal threshold adaptation exists to relieve) or when its
+// export path is losing reports.
 func (s DeviceSnapshot) Health() (HealthStatus, string) {
 	if s.Algorithm.Drops > 0 {
 		return HealthDegraded, fmt.Sprintf("flow memory rejected %d entries", s.Algorithm.Drops)
+	}
+	if s.Export != nil {
+		if st, reason := s.Export.Health(); st > HealthOK {
+			return st, reason
+		}
+	}
+	return HealthOK, ""
+}
+
+// Export holds the live counters of a report export path — the link from
+// the measurement device to the collection station whose overhead is the
+// paper's point iv). Writers are the export path's goroutines (the report
+// callback and, for the reliable transport, the sender); all fields are
+// atomics, so any goroutine may Snapshot while reports are flowing.
+type Export struct {
+	reports        atomic.Uint64
+	frames         atomic.Uint64
+	bytes          atomic.Uint64
+	sent           atomic.Uint64
+	acked          atomic.Uint64
+	redelivered    atomic.Uint64
+	reconnects     atomic.Uint64
+	errors         atomic.Uint64
+	framesDropped  atomic.Uint64
+	reportsDropped atomic.Uint64
+	spoolDepth     atomic.Int64
+	spoolHWM       atomic.Uint64
+}
+
+// ObserveReport records one interval report handed to the export path as
+// frames encoded packets of bytes total size.
+func (e *Export) ObserveReport(frames int, bytes uint64) {
+	e.reports.Add(1)
+	e.frames.Add(uint64(frames))
+	e.bytes.Add(bytes)
+}
+
+// ObserveSent records n frames written to the wire (redeliveries included).
+func (e *Export) ObserveSent(n uint64) { e.sent.Add(n) }
+
+// ObserveAcked records n frames acknowledged by the collector.
+func (e *Export) ObserveAcked(n uint64) { e.acked.Add(n) }
+
+// ObserveRedelivered records n frames re-sent after a reconnect.
+func (e *Export) ObserveRedelivered(n uint64) { e.redelivered.Add(n) }
+
+// ObserveReconnect records a successful re-dial after the first connection.
+func (e *Export) ObserveReconnect() { e.reconnects.Add(1) }
+
+// ObserveSendError records a failed dial or send.
+func (e *Export) ObserveSendError() { e.errors.Add(1) }
+
+// ObserveFramesDropped records n frames lost for good — a failed UDP send,
+// a spool overflow, or frames still unacknowledged when the exporter shut
+// down.
+func (e *Export) ObserveFramesDropped(n uint64) { e.framesDropped.Add(n) }
+
+// ObserveReportDropped records an interval report at least one of whose
+// frames was lost for good.
+func (e *Export) ObserveReportDropped() { e.reportsDropped.Add(1) }
+
+// SetSpoolDepth records the spool occupancy (in frames) after a change.
+func (e *Export) SetSpoolDepth(n int) {
+	e.spoolDepth.Store(int64(n))
+	if d := uint64(n); d > e.spoolHWM.Load() {
+		e.spoolHWM.Store(d)
+	}
+}
+
+// Snapshot copies the export counters.
+func (e *Export) Snapshot() ExportSnapshot {
+	return ExportSnapshot{
+		Reports:        e.reports.Load(),
+		Frames:         e.frames.Load(),
+		Bytes:          e.bytes.Load(),
+		Sent:           e.sent.Load(),
+		Acked:          e.acked.Load(),
+		Redelivered:    e.redelivered.Load(),
+		Reconnects:     e.reconnects.Load(),
+		ExportErrors:   e.errors.Load(),
+		FramesDropped:  e.framesDropped.Load(),
+		ReportsDropped: e.reportsDropped.Load(),
+		SpoolDepth:     int(e.spoolDepth.Load()),
+		SpoolHighWater: e.spoolHWM.Load(),
+	}
+}
+
+// ExportSnapshot is a point-in-time copy of an export path's counters.
+type ExportSnapshot struct {
+	// Reports counts interval reports handed to the export path; Frames and
+	// Bytes count the encoded export packets they became.
+	Reports uint64 `json:"reports"`
+	Frames  uint64 `json:"frames"`
+	Bytes   uint64 `json:"bytes"`
+	// Sent counts frames written to the wire, redeliveries included; Acked
+	// counts frames the collector acknowledged (reliable transport only —
+	// UDP has no acks, so Sent is the best it knows).
+	Sent  uint64 `json:"sent"`
+	Acked uint64 `json:"acked"`
+	// Redelivered counts frames re-sent after a reconnect (at-least-once:
+	// these may be duplicates the collector dedups by sequence).
+	Redelivered uint64 `json:"redelivered"`
+	// Reconnects counts successful re-dials after the first connection.
+	Reconnects uint64 `json:"reconnects"`
+	// ExportErrors counts failed dials and sends.
+	ExportErrors uint64 `json:"export_errors"`
+	// FramesDropped counts frames lost for good (failed UDP sends, spool
+	// overflow, frames unacknowledged at shutdown); ReportsDropped counts
+	// interval reports with at least one such frame.
+	FramesDropped  uint64 `json:"frames_dropped"`
+	ReportsDropped uint64 `json:"reports_dropped"`
+	// SpoolDepth is the current spool backlog in frames; SpoolHighWater the
+	// deepest it has been.
+	SpoolDepth     int    `json:"spool_depth"`
+	SpoolHighWater uint64 `json:"spool_high_water"`
+}
+
+// Backlog returns the number of frames accepted but not yet confirmed
+// delivered (sent for UDP, acked for the reliable transport).
+func (s ExportSnapshot) Backlog() uint64 {
+	confirmed := s.Acked
+	if confirmed == 0 && s.Reconnects == 0 && s.Redelivered == 0 {
+		// Pure UDP path: nothing acks, sends are final.
+		confirmed = s.Sent
+	}
+	if confirmed+s.FramesDropped >= s.Frames {
+		return 0
+	}
+	return s.Frames - confirmed - s.FramesDropped
+}
+
+// Health grades the export path: degraded when reports have been lost for
+// good or sends are erroring (the device still measures; its reports are
+// just not all reaching the collection station).
+func (s ExportSnapshot) Health() (HealthStatus, string) {
+	if s.FramesDropped > 0 || s.ReportsDropped > 0 {
+		return HealthDegraded, fmt.Sprintf("%d export frames (%d reports) dropped", s.FramesDropped, s.ReportsDropped)
+	}
+	if s.ExportErrors > 0 {
+		return HealthDegraded, fmt.Sprintf("%d export errors", s.ExportErrors)
 	}
 	return HealthOK, ""
 }

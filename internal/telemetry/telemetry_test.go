@@ -117,6 +117,92 @@ func TestPipelineSnapshotPackets(t *testing.T) {
 	}
 }
 
+func TestExportCounters(t *testing.T) {
+	var e Export
+	e.ObserveReport(3, 4500)
+	e.ObserveReport(2, 3000)
+	e.ObserveSent(5)
+	e.ObserveAcked(4)
+	e.ObserveRedelivered(1)
+	e.ObserveReconnect()
+	e.ObserveSendError()
+	e.SetSpoolDepth(3)
+	e.SetSpoolDepth(1)
+
+	s := e.Snapshot()
+	if s.Reports != 2 || s.Frames != 5 || s.Bytes != 7500 {
+		t.Errorf("report intake: %+v, want 2 reports / 5 frames / 7500 bytes", s)
+	}
+	if s.Sent != 5 || s.Acked != 4 || s.Redelivered != 1 || s.Reconnects != 1 {
+		t.Errorf("delivery: %+v", s)
+	}
+	if s.ExportErrors != 1 {
+		t.Errorf("errors = %d, want 1", s.ExportErrors)
+	}
+	if s.SpoolDepth != 1 || s.SpoolHighWater != 3 {
+		t.Errorf("spool: depth %d hwm %d, want 1, 3", s.SpoolDepth, s.SpoolHighWater)
+	}
+	// One frame acked later, none dropped: backlog is frames - acked.
+	if got := s.Backlog(); got != 1 {
+		t.Errorf("backlog = %d, want 1", got)
+	}
+}
+
+func TestExportSnapshotBacklogUDP(t *testing.T) {
+	// Pure UDP: no acks ever, so sends are final.
+	s := ExportSnapshot{Frames: 10, Sent: 8, FramesDropped: 2}
+	if got := s.Backlog(); got != 0 {
+		t.Errorf("UDP backlog = %d, want 0 (8 sent + 2 dropped covers 10 frames)", got)
+	}
+	s = ExportSnapshot{Frames: 10, Sent: 7}
+	if got := s.Backlog(); got != 3 {
+		t.Errorf("UDP backlog = %d, want 3", got)
+	}
+}
+
+func TestExportSnapshotHealth(t *testing.T) {
+	ok := ExportSnapshot{Reports: 5, Frames: 9, Sent: 9, Acked: 9}
+	if st, reason := ok.Health(); st != HealthOK {
+		t.Errorf("clean export graded %v (%s)", st, reason)
+	}
+	dropped := ExportSnapshot{Frames: 9, FramesDropped: 2, ReportsDropped: 1}
+	if st, reason := dropped.Health(); st != HealthDegraded || reason != "2 export frames (1 reports) dropped" {
+		t.Errorf("lossy export graded %v (%q)", st, reason)
+	}
+	erroring := ExportSnapshot{Frames: 9, ExportErrors: 3}
+	if st, reason := erroring.Health(); st != HealthDegraded || reason != "3 export errors" {
+		t.Errorf("erroring export graded %v (%q)", st, reason)
+	}
+}
+
+func TestDeviceSnapshotHealthIncludesExport(t *testing.T) {
+	s := DeviceSnapshot{}
+	if st, _ := s.Health(); st != HealthOK {
+		t.Errorf("zero-value device graded %v", st)
+	}
+	s.Export = &ExportSnapshot{FramesDropped: 1, ReportsDropped: 1}
+	if st, _ := s.Health(); st != HealthDegraded {
+		t.Errorf("device with lossy export graded %v", st)
+	}
+	// Flow memory trouble outranks the export path in the reported reason.
+	s.Algorithm.Drops = 2
+	if _, reason := s.Health(); reason != "flow memory rejected 2 entries" {
+		t.Errorf("reason = %q", reason)
+	}
+}
+
+func TestPipelineSnapshotHealthIncludesExport(t *testing.T) {
+	s := PipelineSnapshot{Lanes: []LaneSnapshot{{}}}
+	if st, _ := s.Health(); st != HealthOK {
+		t.Errorf("healthy pipeline graded %v", st)
+	}
+	s.Export = &ExportSnapshot{ExportErrors: 4}
+	st, reason := s.Health()
+	if st != HealthDegraded || reason != "4 export errors" {
+		t.Errorf("pipeline with erroring export graded %v (%q)", st, reason)
+	}
+}
+
 // TestSnapshotDuringWrites exercises the documented concurrency contract
 // under the race detector: a single writer goroutine (the algorithm) and
 // many concurrent Snapshot readers.
