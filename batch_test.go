@@ -100,6 +100,37 @@ func TestBatchedReplayEquivalenceMultistage(t *testing.T) {
 	}
 }
 
+// TestBatchedReplayEquivalenceHashFamilies runs the non-default hash
+// families through the per-packet and batched replay paths. For
+// "doublehash" this pits the batched one-base-hash-per-packet deriver
+// against the per-packet per-stage fallback, which must land every key on
+// identical buckets.
+func TestBatchedReplayEquivalenceHashFamilies(t *testing.T) {
+	meta, pkts, capacity := collectTrace(t, "COS", 0.02, 3)
+	for _, hash := range []string{"multiplyshift", "doublehash"} {
+		cfg := MultistageConfig{
+			Stages: 4, Buckets: 256, Entries: 128,
+			Threshold:    uint64(0.0005 * capacity),
+			Conservative: true, Shield: true, Preserve: true,
+			Hash: hash, Seed: 11,
+		}
+		run := func(batchSize int) []IntervalReport {
+			alg, err := NewMultistageFilter(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev := NewDevice(alg, FiveTuple, NewAdaptor(MultistageAdaptation()))
+			if _, err := Replay(NewSliceSource(meta, pkts), dev, WithBatchSize(batchSize)); err != nil {
+				t.Fatalf("%s: %v", hash, err)
+			}
+			return dev.Reports()
+		}
+		perPacket := run(1)
+		requireSameReports(t, hash, perPacket, run(37))
+		requireSameReports(t, hash+" (default batch)", perPacket, run(DefaultBatchSize))
+	}
+}
+
 // TestBatchedReplayEquivalenceSampleAndHold does the same for sample and
 // hold: the batched kernel must consume the sampling RNG in exactly the
 // per-packet order, so the sampled flows are identical.

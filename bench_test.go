@@ -13,6 +13,7 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/core/flowmem"
 	"repro/internal/experiments"
 )
 
@@ -329,6 +330,86 @@ func BenchmarkMultistageFilterPerBatch(b *testing.B) {
 	}
 	benchPacketBatches(b, alg)
 }
+
+// ---- Cache-conscious core microbenchmarks: flow memory and filter ----
+
+// BenchmarkFlowMemLookupUpdate is the warm per-packet path of every
+// algorithm: a hit in the open-addressing flow table plus a counter update.
+// Allocations per op must be zero.
+func BenchmarkFlowMemLookupUpdate(b *testing.B) {
+	m := flowmem.New(4096)
+	const flows = 3000
+	for i := 0; i < flows; i++ {
+		m.Insert(FlowKey{Lo: uint64(i)}, 1)
+	}
+	key := FlowKey{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key.Lo = uint64(i % flows)
+		if e := m.Lookup(key); e != nil {
+			e.Bytes += 1000
+		}
+	}
+}
+
+// BenchmarkFlowMemLookupMiss is the untracked-flow path: a probe that ends
+// on an empty slot.
+func BenchmarkFlowMemLookupMiss(b *testing.B) {
+	m := flowmem.New(4096)
+	for i := 0; i < 3000; i++ {
+		m.Insert(FlowKey{Lo: uint64(i)}, 1)
+	}
+	key := FlowKey{Hi: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key.Lo = uint64(i)
+		if m.Lookup(key) != nil {
+			b.Fatal("unexpected hit")
+		}
+	}
+}
+
+// BenchmarkFlowMemReport measures the per-interval report on a warm table:
+// the sorted scratch is reused, so steady-state allocations per op must be
+// zero (amortized — the first call grows the scratch).
+func BenchmarkFlowMemReport(b *testing.B) {
+	m := flowmem.New(4096)
+	for i := 0; i < 3000; i++ {
+		m.Insert(FlowKey{Lo: uint64(i)}, uint64(i*37%5000))
+	}
+	m.Report() // warm the scratch outside the timed region
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := m.Report(); len(r) != 3000 {
+			b.Fatal("short report")
+		}
+	}
+}
+
+// benchFilterBatch measures the filter's batched kernel for one hash family
+// at the per-packet microbenchmark settings (mostly untracked flows, so the
+// per-packet hash cost dominates).
+func benchFilterBatch(b *testing.B, hash string) {
+	alg, err := NewMultistageFilter(MultistageConfig{
+		Stages: 4, Buckets: 4096, Entries: 3584, Threshold: 1 << 30,
+		Conservative: true, Shield: true, Hash: hash, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPacketBatches(b, alg)
+}
+
+// BenchmarkFilterBatchTabulation is the default family: d independent
+// tabulation hashes per packet (16 table probes each).
+func BenchmarkFilterBatchTabulation(b *testing.B) { benchFilterBatch(b, "tabulation") }
+
+// BenchmarkFilterBatchDoubleHash is the Kirsch–Mitzenmacher fast path: one
+// base hash per packet, all d stage buckets derived as h1 + i·h2.
+func BenchmarkFilterBatchDoubleHash(b *testing.B) { benchFilterBatch(b, "doublehash") }
 
 func BenchmarkDeviceEndToEnd(b *testing.B) {
 	cfg, err := Preset("COS")

@@ -1,0 +1,44 @@
+//go:build !race
+
+// The race detector changes the allocator's behavior, so the allocation
+// guard only exists in non-race builds; CI runs it in a dedicated step.
+
+package device
+
+import (
+	"testing"
+
+	"repro/internal/core/multistage"
+	"repro/internal/flow"
+)
+
+// TestPacketBatchScratchGrowOnly replays bursts of mixed sizes through the
+// device's PacketBatch and asserts the key-extraction scratch is grow-only:
+// once a maximum-size burst has grown it, bursts of any smaller size must
+// not allocate (the scratch must never shrink-and-reallocate).
+func TestPacketBatchScratchGrowOnly(t *testing.T) {
+	alg, err := multistage.New(multistage.Config{
+		Stages: 4, Buckets: 1024, Entries: 512, Threshold: 1 << 20,
+		Conservative: true, Shield: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(alg, flow.FiveTuple{}, nil)
+	const maxBurst = 256
+	pkts := make([]flow.Packet, maxBurst)
+	for i := range pkts {
+		pkts[i] = flow.Packet{Size: 1000, SrcIP: uint32(i), DstIP: 2, Proto: 6}
+	}
+	d.PacketBatch(pkts) // warm the scratch at the largest size
+	mixed := []int{maxBurst, 9, 100, 1, 64, 255, 2, maxBurst}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		n := mixed[i%len(mixed)]
+		i++
+		d.PacketBatch(pkts[:n])
+	})
+	if allocs != 0 {
+		t.Fatalf("mixed-size PacketBatch allocates %.1f allocs/op, must be 0", allocs)
+	}
+}

@@ -7,10 +7,22 @@
 // The package also implements the interval-transition policies of Section
 // 3.3.1: preserving entries of large flows across measurement intervals and
 // the early removal threshold of sample and hold.
+//
+// # Memory layout
+//
+// Like the SRAM flow memory the paper models, the table is a flat,
+// preallocated array: entries live in an open-addressing hash table with
+// linear probing, sized at construction and never reallocated. A lookup is a
+// hash, a scan of a few occupancy bytes, and a key compare — a constant
+// number of touches to memory that stays cache-resident, with no pointer
+// chasing and no steady-state allocation. Entries never move while an
+// interval is in progress (inserts only claim empty slots), so pointers
+// returned by Lookup and Insert stay valid until the next EndInterval, which
+// evicts by rebuilding the table without tombstones.
 package flowmem
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/flow"
 )
@@ -38,10 +50,23 @@ type Entry struct {
 // Memory is a bounded flow table.
 type Memory struct {
 	capacity int
-	entries  map[flow.Key]*Entry
+	// mask is len(slots)-1; the slot count is a power of two at most 2/3
+	// full when the table holds capacity entries, so probe chains stay
+	// short.
+	mask uint64
+	// ctrl marks occupied slots (1) so probing scans one compact byte per
+	// slot and touches an Entry only on a potential match.
+	ctrl  []uint8
+	slots []Entry
+	count int
 	// rejected counts inserts refused because the table was at capacity —
 	// the memory-pressure signal threshold adaptation feeds on.
 	rejected uint64
+
+	// reportScratch and keepScratch are grow-only: Report and EndInterval
+	// reuse them so steady-state intervals allocate nothing once warm.
+	reportScratch []Entry
+	keepScratch   []Entry
 }
 
 // New creates a flow memory with room for capacity entries. It panics if
@@ -50,23 +75,59 @@ func New(capacity int) *Memory {
 	if capacity < 1 {
 		panic("flowmem: capacity must be at least 1")
 	}
+	slots := nextPow2(capacity + capacity/2)
 	return &Memory{
 		capacity: capacity,
-		entries:  make(map[flow.Key]*Entry, capacity),
+		mask:     uint64(slots - 1),
+		ctrl:     make([]uint8, slots),
+		slots:    make([]Entry, slots),
 	}
+}
+
+// nextPow2 returns the smallest power of two >= n (and at least 8).
+func nextPow2(n int) int {
+	p := 8
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// hashKey mixes the 128-bit flow key down to the 64-bit value that seeds the
+// probe sequence. The table is not adversary-facing (keys already went
+// through the measurement path), so a fixed strong mix suffices and keeps
+// behavior reproducible run to run.
+func hashKey(k flow.Key) uint64 {
+	h := k.Lo*0x9E3779B97F4A7C15 + k.Hi*0xC2B2AE3D27D4EB4F
+	h ^= h >> 32
+	h *= 0xD6E8FEB86659FD93
+	h ^= h >> 32
+	h *= 0xD6E8FEB86659FD93
+	h ^= h >> 32
+	return h
 }
 
 // Capacity returns the table capacity in entries.
 func (m *Memory) Capacity() int { return m.capacity }
 
 // Len returns the number of entries in use.
-func (m *Memory) Len() int { return len(m.entries) }
+func (m *Memory) Len() int { return m.count }
 
 // Full reports whether the table is at capacity.
-func (m *Memory) Full() bool { return len(m.entries) >= m.capacity }
+func (m *Memory) Full() bool { return m.count >= m.capacity }
 
-// Lookup returns the entry for key, or nil.
-func (m *Memory) Lookup(key flow.Key) *Entry { return m.entries[key] }
+// Lookup returns the entry for key, or nil. The pointer stays valid — and
+// the entry in place — until the next EndInterval.
+func (m *Memory) Lookup(key flow.Key) *Entry {
+	i := hashKey(key) & m.mask
+	for m.ctrl[i] != 0 {
+		if m.slots[i].Key == key {
+			return &m.slots[i]
+		}
+		i = (i + 1) & m.mask
+	}
+	return nil
+}
 
 // Rejected returns the cumulative number of inserts refused because the
 // table was full. It never resets: callers tracking per-interval pressure
@@ -81,12 +142,30 @@ func (m *Memory) Insert(key flow.Key, initialBytes uint64) *Entry {
 		m.rejected++
 		return nil
 	}
-	if _, exists := m.entries[key]; exists {
-		return nil
+	i := hashKey(key) & m.mask
+	for m.ctrl[i] != 0 {
+		if m.slots[i].Key == key {
+			return nil
+		}
+		i = (i + 1) & m.mask
 	}
-	e := &Entry{Key: key, Bytes: initialBytes, CreatedThisInterval: true}
-	m.entries[key] = e
+	m.ctrl[i] = 1
+	m.count++
+	e := &m.slots[i]
+	*e = Entry{Key: key, Bytes: initialBytes, CreatedThisInterval: true}
 	return e
+}
+
+// insertEntry re-homes a surviving entry during the EndInterval rebuild. The
+// table was just cleared, so the slot found is always empty.
+func (m *Memory) insertEntry(e Entry) {
+	i := hashKey(e.Key) & m.mask
+	for m.ctrl[i] != 0 {
+		i = (i + 1) & m.mask
+	}
+	m.ctrl[i] = 1
+	m.count++
+	m.slots[i] = e
 }
 
 // Policy is the interval-transition policy of Section 3.3.1.
@@ -107,46 +186,81 @@ type Policy struct {
 }
 
 // Report returns the current entries as estimates, sorted by descending
-// byte count (ties broken by key for determinism).
+// byte count (ties broken by key for determinism). The returned slice is
+// scratch reused by the next Report call; callers must not retain it across
+// calls.
 func (m *Memory) Report() []Entry {
-	out := make([]Entry, 0, len(m.entries))
-	for _, e := range m.entries {
-		out = append(out, *e)
+	out := m.reportScratch[:0]
+	for i, c := range m.ctrl {
+		if c != 0 {
+			out = append(out, m.slots[i])
+		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Bytes != out[j].Bytes {
-			return out[i].Bytes > out[j].Bytes
+	slices.SortFunc(out, func(a, b Entry) int {
+		if a.Bytes != b.Bytes {
+			if a.Bytes > b.Bytes {
+				return -1
+			}
+			return 1
 		}
-		if out[i].Key.Hi != out[j].Key.Hi {
-			return out[i].Key.Hi > out[j].Key.Hi
+		if a.Key.Hi != b.Key.Hi {
+			if a.Key.Hi > b.Key.Hi {
+				return -1
+			}
+			return 1
 		}
-		return out[i].Key.Lo > out[j].Key.Lo
+		if a.Key.Lo != b.Key.Lo {
+			if a.Key.Lo > b.Key.Lo {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	})
+	m.reportScratch = out
 	return out
 }
 
 // EndInterval applies the transition policy: without preservation the table
 // is erased; with it, surviving entries get their byte counts reset and are
-// marked Exact for the next interval. It returns the number of entries
-// kept.
+// marked Exact for the next interval. Eviction is tombstone-free: survivors
+// are collected and the table rebuilt, so probe chains stay intact and
+// short. It returns the number of entries kept. Entry pointers obtained
+// before the call are invalid afterwards.
 func (m *Memory) EndInterval(p Policy) int {
 	if !p.Preserve {
-		m.entries = make(map[flow.Key]*Entry, m.capacity)
+		m.clear()
 		return 0
 	}
-	for k, e := range m.entries {
-		keep := e.Bytes >= p.Threshold
-		if !keep && e.CreatedThisInterval {
-			keep = e.Bytes >= p.EarlyRemoval
+	keep := m.keepScratch[:0]
+	for i, c := range m.ctrl {
+		if c == 0 {
+			continue
 		}
-		if !keep {
-			delete(m.entries, k)
+		e := m.slots[i]
+		kept := e.Bytes >= p.Threshold
+		if !kept && e.CreatedThisInterval {
+			kept = e.Bytes >= p.EarlyRemoval
+		}
+		if !kept {
 			continue
 		}
 		e.Bytes = 0
 		e.Debt = 0
 		e.CreatedThisInterval = false
 		e.Exact = true
+		keep = append(keep, e)
 	}
-	return len(m.entries)
+	m.clear()
+	for _, e := range keep {
+		m.insertEntry(e)
+	}
+	m.keepScratch = keep
+	return m.count
+}
+
+// clear empties the table in place.
+func (m *Memory) clear() {
+	clear(m.ctrl)
+	m.count = 0
 }

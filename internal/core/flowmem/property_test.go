@@ -81,6 +81,162 @@ func TestQuickEndIntervalPolicy(t *testing.T) {
 	}
 }
 
+// refMemory is a deliberately naive map-based model of the flow memory —
+// the layout the open-addressing table replaced. The differential test
+// below drives both through randomized op sequences and demands identical
+// observable behavior.
+type refMemory struct {
+	capacity int
+	entries  map[flow.Key]*Entry
+	rejected uint64
+}
+
+func newRef(capacity int) *refMemory {
+	return &refMemory{capacity: capacity, entries: make(map[flow.Key]*Entry)}
+}
+
+func (m *refMemory) Lookup(key flow.Key) *Entry { return m.entries[key] }
+
+func (m *refMemory) Insert(key flow.Key, initialBytes uint64) *Entry {
+	if len(m.entries) >= m.capacity {
+		m.rejected++
+		return nil
+	}
+	if _, exists := m.entries[key]; exists {
+		return nil
+	}
+	e := &Entry{Key: key, Bytes: initialBytes, CreatedThisInterval: true}
+	m.entries[key] = e
+	return e
+}
+
+func (m *refMemory) EndInterval(p Policy) int {
+	if !p.Preserve {
+		m.entries = make(map[flow.Key]*Entry)
+		return 0
+	}
+	for k, e := range m.entries {
+		keep := e.Bytes >= p.Threshold
+		if !keep && e.CreatedThisInterval {
+			keep = e.Bytes >= p.EarlyRemoval
+		}
+		if !keep {
+			delete(m.entries, k)
+			continue
+		}
+		e.Bytes = 0
+		e.Debt = 0
+		e.CreatedThisInterval = false
+		e.Exact = true
+	}
+	return len(m.entries)
+}
+
+// TestDifferentialVsMapModel: the open-addressing table and the map model
+// must agree on every observable — lookup results, insert outcomes,
+// rejection counts, lengths, sorted reports and interval survivors — under
+// randomized insert/lookup/update/interval sequences, including key
+// patterns (dense low bits, Key{0,0}) that stress probing.
+func TestDifferentialVsMapModel(t *testing.T) {
+	check := func(seed int64, capRaw uint8, ops []uint32) bool {
+		capacity := 1 + int(capRaw)%48
+		m := New(capacity)
+		ref := newRef(capacity)
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			// Keys collide on purpose: a small key space with two shapes
+			// (low-word-only and full 128-bit) exercises probe chains.
+			k := flow.Key{Lo: uint64(op % 97)}
+			if op%3 == 0 {
+				k.Hi = uint64(op % 5)
+			}
+			switch op % 5 {
+			case 0, 1:
+				bytes := uint64(rng.Intn(10000))
+				got, want := m.Insert(k, bytes), ref.Insert(k, bytes)
+				if (got == nil) != (want == nil) {
+					t.Logf("Insert(%v) disagreement", k)
+					return false
+				}
+			case 2:
+				got, want := m.Lookup(k), ref.Lookup(k)
+				if (got == nil) != (want == nil) {
+					t.Logf("Lookup(%v) presence disagreement", k)
+					return false
+				}
+				if got != nil {
+					if *got != *want {
+						t.Logf("Lookup(%v): %+v vs %+v", k, *got, *want)
+						return false
+					}
+					add := uint64(rng.Intn(5000))
+					got.Bytes += add
+					want.Bytes += add
+				}
+			case 3:
+				p := Policy{
+					Preserve:     op%7 >= 3,
+					Threshold:    1 + uint64(op%4)*2500,
+					EarlyRemoval: uint64(op % 3 * 500),
+				}
+				if got, want := m.EndInterval(p), ref.EndInterval(p); got != want {
+					t.Logf("EndInterval kept %d vs %d", got, want)
+					return false
+				}
+			case 4:
+				rep := m.Report()
+				if len(rep) != len(ref.entries) {
+					t.Logf("Report len %d vs %d", len(rep), len(ref.entries))
+					return false
+				}
+				for i, e := range rep {
+					want := ref.entries[e.Key]
+					if want == nil || *want != e {
+						t.Logf("Report[%d] = %+v, model has %+v", i, e, want)
+						return false
+					}
+					if i > 0 && e.Bytes > rep[i-1].Bytes {
+						t.Log("Report not sorted")
+						return false
+					}
+				}
+			}
+			if m.Len() != len(ref.entries) || m.Rejected() != ref.rejected {
+				t.Logf("Len %d vs %d, Rejected %d vs %d",
+					m.Len(), len(ref.entries), m.Rejected(), ref.rejected)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEntryPointerStability: pointers returned by Insert and Lookup must
+// stay valid (and keep addressing the same entry) for the whole interval —
+// inserts never move existing entries, a property callers rely on when they
+// update Bytes through a held pointer.
+func TestEntryPointerStability(t *testing.T) {
+	m := New(128)
+	held := make(map[flow.Key]*Entry)
+	for i := 0; i < 128; i++ {
+		k := flow.Key{Lo: uint64(i * 13)}
+		if e := m.Insert(k, uint64(i)); e != nil {
+			held[k] = e
+		}
+	}
+	for k, e := range held {
+		if got := m.Lookup(k); got != e {
+			t.Fatalf("Lookup(%v) moved: %p vs held %p", k, got, e)
+		}
+		if e.Key != k {
+			t.Fatalf("held pointer for %v now holds %v", k, e.Key)
+		}
+	}
+}
+
 // TestQuickReportConservation: the report reflects exactly the live
 // entries, sorted by size.
 func TestQuickReportConservation(t *testing.T) {

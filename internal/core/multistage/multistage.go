@@ -65,8 +65,11 @@ type Config struct {
 	// accuracy but forfeits the lower-bound property, so it is unsuitable
 	// for billing. Parallel filters only.
 	Correction bool
-	// Hash selects the hash family ("tabulation" by default,
-	// "multiplyshift" for the cheaper 2-independent family).
+	// Hash selects the hash family: "tabulation" by default,
+	// "multiplyshift" for the cheaper 2-independent family, or
+	// "doublehash" for Kirsch–Mitzenmacher derived stages (one base hash
+	// per packet, all d stage buckets derived as h1 + i·h2 — the cheapest
+	// per-packet hashing, at the cost of inter-stage independence).
 	Hash string
 	// Seed seeds the hash functions.
 	Seed int64
@@ -100,19 +103,34 @@ func (c Config) Validate() error {
 
 // Filter implements core.Algorithm.
 type Filter struct {
-	cfg    Config
-	mem    *flowmem.Memory
-	stages [][]uint64
-	hashes []hashing.Func
-	cost   memmodel.Counter
-	tel    telemetry.Algorithm
+	cfg Config
+	mem *flowmem.Memory
+	// counters is the d×b stage counter array flattened into one
+	// allocation (stage i, bucket j at i·b + j), the software analogue of
+	// the paper's SRAM counter banks: no per-stage slice headers or
+	// pointer hops on the packet path, and one clear() per interval.
+	counters []uint64
+	// buckets is the per-stage width b; stage i's counters start at i·b.
+	buckets uint32
+	hashes  []hashing.Func
+	// deriver, when non-nil, derives all d stage buckets from ONE base
+	// hash per packet (Kirsch–Mitzenmacher double hashing); nil for
+	// families that hash each stage separately.
+	deriver hashing.Deriver
+	cost    memmodel.Counter
+	tel     telemetry.Algorithm
 
 	// dropped counts flows that passed the filter but found the flow
 	// memory full; threshold adaptation keeps this near zero.
 	dropped uint64
 
-	idx      []uint32   // scratch: per-stage bucket of the current packet
-	batchIdx [][]uint32 // scratch: per-stage buckets of a whole batch
+	// idx is scratch for the current packet's flat counter offsets, one
+	// per stage (stage base i·b already folded in).
+	idx []uint32
+	// batchIdx is grow-only scratch holding a whole batch's flat counter
+	// offsets, packet-major: packet j's d offsets are contiguous at
+	// j·d..j·d+d, so the per-packet counter logic reads one short run.
+	batchIdx []uint32
 }
 
 // New creates a multistage filter.
@@ -130,16 +148,17 @@ func New(cfg Config) (*Filter, error) {
 		capacity = cfg.MaxEntries
 	}
 	f := &Filter{
-		cfg:    cfg,
-		mem:    flowmem.New(capacity),
-		stages: make([][]uint64, cfg.Stages),
-		hashes: make([]hashing.Func, cfg.Stages),
-		idx:    make([]uint32, cfg.Stages),
+		cfg:      cfg,
+		mem:      flowmem.New(capacity),
+		counters: make([]uint64, cfg.Stages*cfg.Buckets),
+		buckets:  uint32(cfg.Buckets),
+		hashes:   make([]hashing.Func, cfg.Stages),
+		idx:      make([]uint32, cfg.Stages),
 	}
-	for i := range f.stages {
-		f.stages[i] = make([]uint64, cfg.Buckets)
+	for i := range f.hashes {
 		f.hashes[i] = family.New(uint32(cfg.Buckets))
 	}
+	f.deriver = hashing.DeriverFor(f.hashes)
 	f.tel.Init(f.Name(), capacity, cfg.Threshold)
 	return f, nil
 }
@@ -168,52 +187,65 @@ func (f *Filter) stageThreshold() uint64 {
 // Process implements core.Algorithm.
 func (f *Filter) Process(key flow.Key, size uint32) {
 	f.cost.Packet()
-	f.process(key, size, false, &f.cost)
+	f.process(key, size, nil, &f.cost)
 	f.tel.Observe(1, uint64(size), f.cost, f.mem.Len())
 }
 
-// ProcessBatch implements core.BatchAlgorithm. It hashes all d stages across
-// the whole batch before touching any counter — each stage's hash tables stay
-// hot while the batch streams through them — and then runs the counter logic
-// per packet against the precomputed buckets. Memory-reference accounting is
+// ProcessBatch implements core.BatchAlgorithm. It hashes the whole batch
+// into flat counter offsets before touching any counter, then runs the
+// counter logic per packet against the precomputed run of offsets. With a
+// derived family (double hashing) the hash pass computes ONE base hash per
+// packet; otherwise it goes stage by stage so each stage's hash tables stay
+// hot while the batch streams through them. Memory-reference accounting is
 // accumulated locally and folded into the filter's counter with a single Add.
 func (f *Filter) ProcessBatch(keys []flow.Key, sizes []uint32) {
 	n := len(keys)
 	if n == 0 {
 		return
 	}
-	if f.batchIdx == nil {
-		f.batchIdx = make([][]uint32, len(f.hashes))
+	d := len(f.hashes)
+	// Grow-only: the scratch keeps the largest batch's footprint so mixed
+	// batch sizes never re-allocate.
+	if need := n * d; cap(f.batchIdx) < need {
+		f.batchIdx = make([]uint32, need)
 	}
-	for i, h := range f.hashes {
-		idx := f.batchIdx[i]
-		if cap(idx) < n {
-			idx = make([]uint32, n)
-		}
-		idx = idx[:n]
+	bidx := f.batchIdx[:n*d]
+	if f.deriver != nil {
+		// One base hash per packet, all stages derived; each packet's
+		// offsets are written as one contiguous run.
 		for j, k := range keys {
-			idx[j] = h.Bucket(k)
+			row := bidx[j*d : j*d+d]
+			f.deriver.Derive(k, row)
+			base := uint32(0)
+			for i := range row {
+				row[i] += base
+				base += f.buckets
+			}
 		}
-		f.batchIdx[i] = idx
+	} else {
+		base := uint32(0)
+		for i, h := range f.hashes {
+			for j, k := range keys {
+				bidx[j*d+i] = base + h.Bucket(k)
+			}
+			base += f.buckets
+		}
 	}
 	var cost memmodel.Counter
 	cost.Packets = uint64(n)
 	var bytes uint64
 	for j, k := range keys {
-		for i := range f.idx {
-			f.idx[i] = f.batchIdx[i][j]
-		}
 		bytes += uint64(sizes[j])
-		f.process(k, sizes[j], true, &cost)
+		f.process(k, sizes[j], bidx[j*d:j*d+d], &cost)
 	}
 	f.cost.Add(cost)
 	f.tel.Observe(uint64(n), bytes, f.cost, f.mem.Len())
 }
 
-// process handles one packet. hashed says whether f.idx already holds the
-// packet's stage buckets (the batched path precomputes them); otherwise they
-// are computed on demand, and only when the filter is actually consulted.
-func (f *Filter) process(key flow.Key, size uint32, hashed bool, cost *memmodel.Counter) {
+// process handles one packet. idx, when non-nil, holds the packet's flat
+// counter offsets (the batched path precomputes them); otherwise they are
+// computed on demand, and only when the filter is actually consulted.
+func (f *Filter) process(key flow.Key, size uint32, idx []uint32, cost *memmodel.Counter) {
 	cost.SRAM(1, 0) // flow memory lookup
 	if e := f.mem.Lookup(key); e != nil {
 		e.Bytes += uint64(size)
@@ -222,37 +254,51 @@ func (f *Filter) process(key flow.Key, size uint32, hashed bool, cost *memmodel.
 			// Without shielding, tracked flows keep pushing the filter
 			// counters up (they can no longer cause false negatives, only
 			// help other flows' false positives — shielding removes that).
-			if !hashed {
-				f.hashStages(key)
+			if idx == nil {
+				idx = f.hashStages(key)
 			}
-			f.updateCounters(size, cost)
+			f.updateCounters(idx, size, cost)
 		}
 		return
 	}
-	if !hashed {
-		f.hashStages(key)
+	if idx == nil {
+		idx = f.hashStages(key)
 	}
 	if f.cfg.Serial {
-		f.processSerial(key, size, cost)
+		f.processSerial(key, size, idx, cost)
 		return
 	}
-	f.processParallel(key, size, cost)
+	f.processParallel(key, size, idx, cost)
 }
 
-// hashStages fills f.idx with key's bucket at every stage.
-func (f *Filter) hashStages(key flow.Key) {
-	for i, h := range f.hashes {
-		f.idx[i] = h.Bucket(key)
+// hashStages fills f.idx with key's flat counter offset at every stage and
+// returns it.
+func (f *Filter) hashStages(key flow.Key) []uint32 {
+	idx := f.idx
+	if f.deriver != nil {
+		f.deriver.Derive(key, idx)
+		base := uint32(0)
+		for i := range idx {
+			idx[i] += base
+			base += f.buckets
+		}
+		return idx
 	}
+	base := uint32(0)
+	for i, h := range f.hashes {
+		idx[i] = base + h.Bucket(key)
+		base += f.buckets
+	}
+	return idx
 }
 
-// scanMin reads the counter at every bucket in f.idx and returns the
+// scanMin reads the counter at every offset in idx and returns the
 // smallest value — the filter's proven bound on the flow's traffic so far.
-func (f *Filter) scanMin(cost *memmodel.Counter) uint64 {
+func (f *Filter) scanMin(idx []uint32, cost *memmodel.Counter) uint64 {
 	min := uint64(math.MaxUint64)
-	for i := range f.hashes {
+	for _, o := range idx {
 		cost.SRAM(1, 0)
-		if c := f.stages[i][f.idx[i]]; c < min {
+		if c := f.counters[o]; c < min {
 			min = c
 		}
 	}
@@ -264,57 +310,56 @@ func (f *Filter) scanMin(cost *memmodel.Counter) uint64 {
 // the smallest counter is updated normally, larger ones only rise to the
 // proven upper bound of this flow's traffic. Otherwise every counter grows
 // by the packet size.
-func (f *Filter) raiseStages(size uint32, min uint64, cost *memmodel.Counter) {
+func (f *Filter) raiseStages(idx []uint32, size uint32, min uint64, cost *memmodel.Counter) {
 	if !f.cfg.Conservative {
-		f.addStages(size, cost)
+		f.addStages(idx, size, cost)
 		return
 	}
 	bound := min + uint64(size)
-	for i := range f.hashes {
-		if f.stages[i][f.idx[i]] < bound {
-			f.stages[i][f.idx[i]] = bound
+	for _, o := range idx {
+		if f.counters[o] < bound {
+			f.counters[o] = bound
 			cost.SRAM(0, 1)
 		}
 	}
 }
 
-// addStages adds the packet size to the counter at every bucket in f.idx.
-func (f *Filter) addStages(size uint32, cost *memmodel.Counter) {
-	for i := range f.hashes {
-		f.stages[i][f.idx[i]] += uint64(size)
+// addStages adds the packet size to the counter at every offset in idx.
+func (f *Filter) addStages(idx []uint32, size uint32, cost *memmodel.Counter) {
+	for _, o := range idx {
+		f.counters[o] += uint64(size)
 		cost.SRAM(0, 1)
 	}
 }
 
 // processParallel handles a packet of an untracked flow through the parallel
-// filter; f.idx holds the packet's stage buckets.
-func (f *Filter) processParallel(key flow.Key, size uint32, cost *memmodel.Counter) {
-	min := f.scanMin(cost)
+// filter; idx holds the packet's flat counter offsets.
+func (f *Filter) processParallel(key flow.Key, size uint32, idx []uint32, cost *memmodel.Counter) {
+	min := f.scanMin(idx, cost)
 	if min+uint64(size) >= f.cfg.Threshold {
 		// The flow passes the filter. With conservative update, promoted
 		// packets update no counters (Section 3.3.2 second change); the
 		// classic rule updates them first.
 		if !f.cfg.Conservative {
-			f.addStages(size, cost)
+			f.addStages(idx, size, cost)
 		}
 		// min bounds the flow's traffic before this packet: its own bytes
 		// are contained in every counter it hashes to.
 		f.promote(key, size, min, cost)
 		return
 	}
-	f.raiseStages(size, min, cost)
+	f.raiseStages(idx, size, min, cost)
 }
 
-// serialAdd pushes the packet through the serial stages at the buckets in
-// f.idx, adding its size at each stage until one stays below the per-stage
+// serialAdd pushes the packet through the serial stages at the offsets in
+// idx, adding its size at each stage until one stays below the per-stage
 // threshold; it reports whether the packet passed every stage.
-func (f *Filter) serialAdd(size uint32, cost *memmodel.Counter) bool {
+func (f *Filter) serialAdd(idx []uint32, size uint32, cost *memmodel.Counter) bool {
 	st := f.stageThreshold()
-	for i := range f.hashes {
-		b := f.idx[i]
+	for _, o := range idx {
 		cost.SRAM(1, 1)
-		f.stages[i][b] += uint64(size)
-		if f.stages[i][b] < st {
+		f.counters[o] += uint64(size)
+		if f.counters[o] < st {
 			return false // packet stops here; later stages never see it
 		}
 	}
@@ -323,17 +368,17 @@ func (f *Filter) serialAdd(size uint32, cost *memmodel.Counter) bool {
 
 // processSerial handles a packet of an untracked flow through the serial
 // filter: each stage sees the packet only if it passed the previous stage.
-// f.idx holds the packet's stage buckets.
-func (f *Filter) processSerial(key flow.Key, size uint32, cost *memmodel.Counter) {
+// idx holds the packet's flat counter offsets.
+func (f *Filter) processSerial(key flow.Key, size uint32, idx []uint32, cost *memmodel.Counter) {
 	if f.cfg.Conservative {
 		// Second conservative change (the first applies only to parallel
 		// filters): if the packet would pass every stage, promote it
 		// without updating any counters.
 		st := f.stageThreshold()
 		pass := true
-		for i := range f.hashes {
+		for _, o := range idx {
 			cost.SRAM(1, 0)
-			if f.stages[i][f.idx[i]]+uint64(size) < st {
+			if f.counters[o]+uint64(size) < st {
 				pass = false
 				break
 			}
@@ -343,20 +388,20 @@ func (f *Filter) processSerial(key flow.Key, size uint32, cost *memmodel.Counter
 			return
 		}
 	}
-	if f.serialAdd(size, cost) {
+	if f.serialAdd(idx, size, cost) {
 		f.promote(key, size, 0, cost)
 	}
 }
 
 // updateCounters applies a plain (or conservative) counter update for a
 // packet of a flow that is already tracked; used only without shielding.
-// f.idx holds the packet's stage buckets.
-func (f *Filter) updateCounters(size uint32, cost *memmodel.Counter) {
+// idx holds the packet's flat counter offsets.
+func (f *Filter) updateCounters(idx []uint32, size uint32, cost *memmodel.Counter) {
 	if f.cfg.Serial {
-		f.serialAdd(size, cost)
+		f.serialAdd(idx, size, cost)
 		return
 	}
-	f.raiseStages(size, f.scanMin(cost), cost)
+	f.raiseStages(idx, size, f.scanMin(idx, cost), cost)
 }
 
 // promote adds the flow to flow memory, counting the current packet.
@@ -394,9 +439,7 @@ func (f *Filter) EndInterval() []core.Estimate {
 		Threshold: f.cfg.Threshold,
 	})
 	f.tel.ObserveInterval(f.cfg.Threshold, kept, before-kept)
-	for i := range f.stages {
-		clear(f.stages[i])
-	}
+	clear(f.counters)
 	f.dropped = 0
 	return out
 }
@@ -434,7 +477,7 @@ func (f *Filter) Dropped() uint64 { return f.dropped }
 
 // CounterValue exposes a stage counter for tests and diagnostics.
 func (f *Filter) CounterValue(stage int, bucket int) uint64 {
-	return f.stages[stage][bucket]
+	return f.counters[stage*int(f.buckets)+bucket]
 }
 
 // BucketOf exposes the bucket a key hashes to at a stage, for tests.

@@ -3,15 +3,22 @@
 // the flow ID with a hash function chosen independently of the other stages;
 // Lemma 1 of the paper assumes this independence.
 //
-// Two families are implemented:
+// Three families are implemented:
 //
 //   - tabulation hashing (3-independent, and in practice far stronger), the
-//     default used by the filters, and
+//     default used by the filters,
 //   - multiply-shift hashing (2-independent, cheaper), kept for the hash
-//     ablation benchmarks.
+//     ablation benchmarks, and
+//   - double hashing (Kirsch–Mitzenmacher): every function drawn from one
+//     family instance derives its bucket as h1(k) + i·h2(k) from a single
+//     shared base hash, so a d-stage filter needs ONE hash computation per
+//     packet instead of d. The derived functions are not independent — the
+//     accuracy ablation quantifies what that trade costs — but Kirsch and
+//     Mitzenmacher show the scheme preserves sketch error bounds
+//     asymptotically.
 //
-// Both hash the 128-bit flow key of internal/flow to a 64-bit value; Func
-// values additionally fold that value onto a bucket range.
+// All families hash the 128-bit flow key of internal/flow to a 64-bit value;
+// Func values additionally fold that value onto a bucket range.
 package hashing
 
 import (
@@ -123,6 +130,124 @@ func (m *multShiftFunc) Bucket(k flow.Key) uint32 {
 
 func (m *multShiftFunc) Buckets() uint32 { return m.buckets }
 
+// NewDoubleHash creates a Kirsch–Mitzenmacher double-hashing family seeded
+// with seed. All functions drawn from one family instance share a single
+// base hash pair (h1, h2); the i-th function returns h1(k) + i·h2(k) folded
+// onto its bucket range. Consecutive functions from one instance can be
+// batched behind a Deriver (see DeriverFor) so a d-stage filter computes one
+// base hash per packet and derives all d buckets with an add and a multiply
+// each.
+func NewDoubleHash(seed int64) Family {
+	rng := rand.New(rand.NewSource(seed))
+	return &doubleHashFamily{base: dhBase{
+		a1: rng.Uint64() | 1,
+		b1: rng.Uint64() | 1,
+		c1: rng.Uint64(),
+		a2: rng.Uint64() | 1,
+		b2: rng.Uint64() | 1,
+		c2: rng.Uint64(),
+	}}
+}
+
+// dhBase is the shared base hash of a double-hash family: two independent
+// multiply-shift mixes of the key.
+type dhBase struct {
+	a1, b1, c1 uint64
+	a2, b2, c2 uint64
+}
+
+// hash computes the base pair for a key. h2 is forced odd so that distinct
+// stage indices always land on distinct points of the hash space (an even
+// h2 would let stages collide pairwise on every key).
+func (b *dhBase) hash(k flow.Key) (h1, h2 uint64) {
+	h1 = mix64(k.Hi*b.a1 + k.Lo*b.b1 + b.c1)
+	h2 = mix64(k.Hi*b.a2+k.Lo*b.b2+b.c2) | 1
+	return h1, h2
+}
+
+// mix64 is the finalizer shared by the multiply-shift style hashes.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+type doubleHashFamily struct {
+	base dhBase
+	next uint64 // stage index of the next derived function
+}
+
+func (f *doubleHashFamily) New(buckets uint32) Func {
+	if buckets == 0 {
+		panic("hashing: zero buckets")
+	}
+	fn := &doubleHashFunc{base: &f.base, i: f.next, buckets: buckets}
+	f.next++
+	return fn
+}
+
+type doubleHashFunc struct {
+	base    *dhBase
+	i       uint64
+	buckets uint32
+}
+
+func (d *doubleHashFunc) Bucket(k flow.Key) uint32 {
+	h1, h2 := d.base.hash(k)
+	return reduce(h1+d.i*h2, d.buckets)
+}
+
+func (d *doubleHashFunc) Buckets() uint32 { return d.buckets }
+
+// Deriver fills every stage's bucket from one base hash computation per key
+// — the fast path for hash families whose functions are derived from a
+// shared base.
+type Deriver interface {
+	// Derive fills out[j] with the same bucket the j-th underlying function's
+	// Bucket(k) would return. len(out) must equal the function count the
+	// Deriver was built for.
+	Derive(k flow.Key, out []uint32)
+}
+
+// DeriverFor returns a Deriver equivalent to calling Bucket on each of funcs
+// in turn, when funcs supports single-hash derivation: all functions must be
+// consecutive draws (in order) from one double-hash family instance with the
+// same bucket count. It returns nil otherwise, and callers fall back to
+// per-function hashing.
+func DeriverFor(funcs []Func) Deriver {
+	if len(funcs) == 0 {
+		return nil
+	}
+	first, ok := funcs[0].(*doubleHashFunc)
+	if !ok {
+		return nil
+	}
+	for j, fn := range funcs {
+		d, ok := fn.(*doubleHashFunc)
+		if !ok || d.base != first.base || d.i != first.i+uint64(j) || d.buckets != first.buckets {
+			return nil
+		}
+	}
+	return &dhDeriver{base: first.base, i0: first.i, n: len(funcs), buckets: first.buckets}
+}
+
+type dhDeriver struct {
+	base    *dhBase
+	i0      uint64
+	n       int
+	buckets uint32
+}
+
+func (d *dhDeriver) Derive(k flow.Key, out []uint32) {
+	h1, h2 := d.base.hash(k)
+	h := h1 + d.i0*h2
+	for j := 0; j < d.n; j++ {
+		out[j] = reduce(h, d.buckets)
+		h += h2
+	}
+}
+
 // reduce maps a 64-bit hash onto [0, buckets) without the modulo bias of a
 // plain remainder: it multiplies the high 32 bits of the hash by the range
 // (Lemire's fast alternative to modulo).
@@ -130,14 +255,16 @@ func reduce(h uint64, buckets uint32) uint32 {
 	return uint32((h >> 32) * uint64(buckets) >> 32)
 }
 
-// FamilyByName returns a seeded family by name ("tabulation" or
-// "multiplyshift"); it returns nil for unknown names.
+// FamilyByName returns a seeded family by name ("tabulation",
+// "multiplyshift" or "doublehash"); it returns nil for unknown names.
 func FamilyByName(name string, seed int64) Family {
 	switch name {
 	case "tabulation":
 		return NewTabulation(seed)
 	case "multiplyshift":
 		return NewMultiplyShift(seed)
+	case "doublehash":
+		return NewDoubleHash(seed)
 	}
 	return nil
 }

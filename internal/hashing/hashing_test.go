@@ -15,6 +15,7 @@ var families = []struct {
 }{
 	{"tabulation", NewTabulation},
 	{"multiplyshift", NewMultiplyShift},
+	{"doublehash", NewDoubleHash},
 }
 
 func TestBucketInRange(t *testing.T) {
@@ -127,8 +128,83 @@ func TestReduceCoversRange(t *testing.T) {
 	}
 }
 
+// TestDeriverMatchesBuckets: the single-base-hash derivation must agree
+// exactly with calling Bucket on every derived function — the filter's fast
+// path and slow path may never disagree on where a key lands.
+func TestDeriverMatchesBuckets(t *testing.T) {
+	family := NewDoubleHash(23)
+	funcs := make([]Func, 4)
+	for i := range funcs {
+		funcs[i] = family.New(4096)
+	}
+	d := DeriverFor(funcs)
+	if d == nil {
+		t.Fatal("DeriverFor returned nil for consecutive double-hash functions")
+	}
+	out := make([]uint32, len(funcs))
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 10000; i++ {
+		k := flow.Key{Hi: rng.Uint64(), Lo: rng.Uint64()}
+		d.Derive(k, out)
+		for j, fn := range funcs {
+			if got := fn.Bucket(k); got != out[j] {
+				t.Fatalf("stage %d: Derive gave %d, Bucket gave %d", j, out[j], got)
+			}
+		}
+	}
+}
+
+// TestDeriverForRejectsIneligible: families without a shared base (or
+// mismatched function sets) must fall back to per-function hashing.
+func TestDeriverForRejectsIneligible(t *testing.T) {
+	tab := NewTabulation(1)
+	if DeriverFor([]Func{tab.New(64), tab.New(64)}) != nil {
+		t.Error("DeriverFor accepted tabulation functions")
+	}
+	if DeriverFor(nil) != nil {
+		t.Error("DeriverFor accepted an empty set")
+	}
+	// Functions from two different double-hash family instances share no
+	// base hash.
+	f1 := NewDoubleHash(1).New(64)
+	f2 := NewDoubleHash(2).New(64)
+	if DeriverFor([]Func{f1, f2}) != nil {
+		t.Error("DeriverFor accepted functions from different families")
+	}
+	// Out-of-order draws break the i0+j stage indexing.
+	fam := NewDoubleHash(3)
+	a, b := fam.New(64), fam.New(64)
+	if DeriverFor([]Func{b, a}) != nil {
+		t.Error("DeriverFor accepted out-of-order functions")
+	}
+	// Mismatched bucket counts cannot share a derivation.
+	fam2 := NewDoubleHash(4)
+	if DeriverFor([]Func{fam2.New(64), fam2.New(128)}) != nil {
+		t.Error("DeriverFor accepted mismatched bucket counts")
+	}
+}
+
+// TestDoubleHashStagesDistinct: with h2 forced odd, two derived stages may
+// collide on a key no more often than chance.
+func TestDoubleHashStagesDistinct(t *testing.T) {
+	fam := NewDoubleHash(31)
+	f1, f2 := fam.New(1<<20), fam.New(1<<20)
+	rng := rand.New(rand.NewSource(37))
+	same := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		k := flow.Key{Hi: rng.Uint64(), Lo: rng.Uint64()}
+		if f1.Bucket(k) == f2.Bucket(k) {
+			same++
+		}
+	}
+	if same > n/100 {
+		t.Errorf("%d/%d stage collisions, want ~n/2^20", same, n)
+	}
+}
+
 func TestFamilyByName(t *testing.T) {
-	for _, name := range []string{"tabulation", "multiplyshift"} {
+	for _, name := range []string{"tabulation", "multiplyshift", "doublehash"} {
 		if FamilyByName(name, 1) == nil {
 			t.Errorf("FamilyByName(%q) = nil", name)
 		}
@@ -168,5 +244,27 @@ func BenchmarkMultiplyShift(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		k.Lo++
 		_ = f.Bucket(k)
+	}
+}
+
+// BenchmarkDoubleHashDerive4 measures deriving all four stage buckets of a
+// packet from one base hash — the per-packet hashing cost of a d=4 filter on
+// the double-hash fast path (compare 4× BenchmarkTabulation).
+func BenchmarkDoubleHashDerive4(b *testing.B) {
+	fam := NewDoubleHash(1)
+	funcs := make([]Func, 4)
+	for i := range funcs {
+		funcs[i] = fam.New(4096)
+	}
+	d := DeriverFor(funcs)
+	if d == nil {
+		b.Fatal("no deriver")
+	}
+	out := make([]uint32, 4)
+	k := flow.Key{Hi: 0x0a00000100000001, Lo: 0x1234}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.Lo++
+		d.Derive(k, out)
 	}
 }
