@@ -11,6 +11,8 @@ package traffic
 
 import (
 	"io"
+	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/core/flowmem"
@@ -210,11 +212,10 @@ func benchCOSPackets(b *testing.B) (TraceMeta, []Packet, float64) {
 	return src.Meta(), pkts, cfg.Capacity()
 }
 
-// benchReplayPipeline replays the COS trace through a 4-lane multistage
-// pipeline; batch size 1 is the per-packet baseline (one channel op and one
-// Process call per packet), larger sizes take the batched hot path end to
-// end.
-func benchReplayPipeline(b *testing.B, batchSize, replayBatchSize int) {
+// benchReplayPipeline replays the COS trace through a multistage pipeline;
+// batch size 1 is the per-packet baseline (one channel op and one Process
+// call per packet), larger sizes take the batched hot path end to end.
+func benchReplayPipeline(b *testing.B, shards int, hash string, batchSize, replayBatchSize int) {
 	meta, pkts, capacity := benchCOSPackets(b)
 	total := 0
 	b.ReportAllocs()
@@ -224,13 +225,13 @@ func benchReplayPipeline(b *testing.B, batchSize, replayBatchSize int) {
 		// setup, not hot path: keep it out of the timed region.
 		b.StopTimer()
 		p, err := NewPipeline(PipelineConfig{
-			Shards: 4, QueueDepth: 256, BatchSize: batchSize,
+			Shards: shards, QueueDepth: 256, BatchSize: batchSize,
 			NewAlgorithm: func(shard int) (Algorithm, error) {
 				return NewMultistageFilter(MultistageConfig{
 					Stages: 4, Buckets: 256, Entries: 128,
 					Threshold:    uint64(0.001 * capacity),
 					Conservative: true, Shield: true, Preserve: true,
-					Seed: int64(shard) + 1,
+					Hash: hash, Seed: int64(shard) + 1,
 				})
 			},
 			Definition: FiveTuple, Seed: 1,
@@ -252,12 +253,25 @@ func benchReplayPipeline(b *testing.B, batchSize, replayBatchSize int) {
 }
 
 // BenchmarkReplayPipelinePerPacket is the pre-batching baseline path.
-func BenchmarkReplayPipelinePerPacket(b *testing.B) { benchReplayPipeline(b, 1, 1) }
+func BenchmarkReplayPipelinePerPacket(b *testing.B) {
+	benchReplayPipeline(b, 4, "", 1, 1)
+}
 
 // BenchmarkReplayBatched is the batched path end to end: batched source
 // reads, bulk key extraction, per-lane batch buffering (one channel op per
 // 64 packets) and the algorithms' batched kernels.
-func BenchmarkReplayBatched(b *testing.B) { benchReplayPipeline(b, 64, DefaultBatchSize) }
+func BenchmarkReplayBatched(b *testing.B) {
+	benchReplayPipeline(b, 4, "", 64, DefaultBatchSize)
+}
+
+// BenchmarkReplayBatchedSingleShard is the fused kernel's intended
+// single-core deployment shape: one lane (shard selection skipped on the
+// producer), the doublehash family (one base hash per packet serving the
+// filter stages and the flow memory probe), and 256-packet bursts so
+// channel handoffs amortize further than the 4-lane default.
+func BenchmarkReplayBatchedSingleShard(b *testing.B) {
+	benchReplayPipeline(b, 1, "doublehash", 256, 256)
+}
 
 // BenchmarkPipelineBatchedSteadyState measures the steady-state producer
 // loop of the batched pipeline: per-op cost of Packet into lane buffers with
@@ -407,9 +421,124 @@ func benchFilterBatch(b *testing.B, hash string) {
 // tabulation hashes per packet (16 table probes each).
 func BenchmarkFilterBatchTabulation(b *testing.B) { benchFilterBatch(b, "tabulation") }
 
+// BenchmarkFilterBatchMultiplyShift is the middle ground: d independent
+// 2-independent multiply-shift hashes per packet, no table lookups.
+func BenchmarkFilterBatchMultiplyShift(b *testing.B) { benchFilterBatch(b, "multiplyshift") }
+
 // BenchmarkFilterBatchDoubleHash is the Kirsch–Mitzenmacher fast path: one
 // base hash per packet, all d stage buckets derived as h1 + i·h2.
 func BenchmarkFilterBatchDoubleHash(b *testing.B) { benchFilterBatch(b, "doublehash") }
+
+// ---- Unfused reference kernels: the before side of the fusion A/B ----
+
+// unfusedBatcher is implemented by algorithms that keep their pre-fusion
+// batch kernel as a reference (sample and hold, multistage filters).
+type unfusedBatcher interface {
+	ProcessBatchUnfused(keys []FlowKey, sizes []uint32)
+}
+
+func benchPacketBatchesUnfused(b *testing.B, alg Algorithm) {
+	b.Helper()
+	u, ok := alg.(unfusedBatcher)
+	if !ok {
+		b.Fatalf("%s has no unfused batch kernel", alg.Name())
+	}
+	const batch = 64
+	keys := make([]FlowKey, batch)
+	sizes := make([]uint32, batch)
+	for i := range sizes {
+		sizes[i] = 1000
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range keys {
+			keys[j].Lo = uint64((i*batch + j) % 50000)
+		}
+		u.ProcessBatchUnfused(keys, sizes)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/pkt")
+}
+
+func BenchmarkSampleAndHoldPerBatchUnfused(b *testing.B) {
+	alg, err := NewSampleAndHold(SampleAndHoldConfig{
+		Entries: 4096, Threshold: 1 << 20, Oversampling: 4, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPacketBatchesUnfused(b, alg)
+}
+
+func benchFilterBatchUnfused(b *testing.B, hash string) {
+	alg, err := NewMultistageFilter(MultistageConfig{
+		Stages: 4, Buckets: 4096, Entries: 3584, Threshold: 1 << 30,
+		Conservative: true, Shield: true, Hash: hash, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchPacketBatchesUnfused(b, alg)
+}
+
+func BenchmarkFilterBatchTabulationUnfused(b *testing.B) { benchFilterBatchUnfused(b, "tabulation") }
+func BenchmarkFilterBatchDoubleHashUnfused(b *testing.B) { benchFilterBatchUnfused(b, "doublehash") }
+
+// benchSink keeps pure-compute benchmark results alive.
+var benchSink uint64
+
+// BenchmarkCalibration is a fixed pure-compute workload — 1024 dependent
+// 64-bit mixes per op, no memory traffic beyond registers — that measures
+// only the machine's scalar speed. cmd/benchgate divides guarded kernel
+// timings by this to compare runs across machines of different clock rates.
+func BenchmarkCalibration(b *testing.B) {
+	var h uint64 = 0x9E3779B97F4A7C15
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 1024; j++ {
+			h ^= h >> 33
+			h *= 0xff51afd7ed558ccd
+			h ^= h >> 29
+		}
+	}
+	benchSink = h
+}
+
+var (
+	memCalOnce sync.Once
+	memCalBuf  []uint64
+)
+
+// memCalInit builds a Sattolo cycle over cache-line-spaced slots of a 16 MiB
+// buffer: following it is a chain of dependent cache-missing loads.
+func memCalInit() {
+	const slots = (16 << 20) / 64
+	rng := rand.New(rand.NewSource(7))
+	memCalBuf = make([]uint64, (16<<20)/8)
+	perm := rng.Perm(slots)
+	for i, p := range perm {
+		next := perm[(i+1)%len(perm)]
+		memCalBuf[p*8] = uint64(next * 8)
+	}
+}
+
+// BenchmarkCalibrationMem is the memory-side calibration twin: 4096
+// dependent cache-line loads per op over a fixed 16 MiB pointer chase, pure
+// memory latency with no compute. The guarded kernels are memory-bound, so
+// on hosts whose memory path degrades under contention (shared VMs with
+// noisy neighbors) their timings track this workload, not the scalar one;
+// cmd/benchgate uses both anchors to tell code regressions from either kind
+// of machine noise.
+func BenchmarkCalibrationMem(b *testing.B) {
+	memCalOnce.Do(memCalInit)
+	var idx uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 4096; j++ {
+			idx = memCalBuf[idx]
+		}
+	}
+	benchSink += idx
+}
 
 func BenchmarkDeviceEndToEnd(b *testing.B) {
 	cfg, err := Preset("COS")

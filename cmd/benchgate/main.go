@@ -1,0 +1,216 @@
+// Command benchgate turns benchmark output into a CI regression gate. It
+// reads `go test -bench` output on stdin, takes the minimum over repeated
+// runs (-count, and multiple invocations concatenated) of each guarded
+// kernel's per-packet time, and fails if a kernel regressed more than the
+// tolerance versus the stored baseline.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '...|Calibration' -count 3 . | benchgate [-baseline BENCH_BASELINE.json] [-tolerance 0.10]
+//	go test -run '^$' -bench '...|Calibration' -count 3 . | benchgate -update   # record a new baseline
+//
+// # Telling regressions from machine noise
+//
+// Two fixed calibration workloads anchor every run: BenchmarkCalibration
+// (pure compute, no memory traffic) and BenchmarkCalibrationMem (pure
+// dependent memory latency, no compute). The baseline stores each kernel
+// three ways — raw nanoseconds, compute-normalized (÷ calibration ns) and
+// memory-normalized (÷ memory-calibration ns) — and a kernel fails only if
+// ALL THREE exceed the tolerance.
+//
+// A genuine code regression raises all three: the calibration loops do not
+// run repository code, so nothing a kernel change does moves them. Machine
+// noise, by contrast, cancels in at least one view: a uniformly slower CI
+// host raises raw but not the normalized views; a CPU-frequency or
+// steal-time window raises the memory-bound kernels and the memory anchor
+// together, canceling in the memory-normalized view; a degraded memory path
+// (noisy neighbors on a shared VM) likewise tracks the memory anchor. The
+// min-over-repeats on top filters one-off scheduling spikes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"time"
+)
+
+// Calibration anchors every gated run must include.
+const (
+	calCPUName = "BenchmarkCalibration"
+	calMemName = "BenchmarkCalibrationMem"
+)
+
+// Baseline is the stored reference state of the guarded kernels.
+type Baseline struct {
+	// Updated is when the baseline was recorded (informational).
+	Updated string `json:"updated"`
+	// CalibrationNsOp and CalibrationMemNsOp are the anchor times of the
+	// recording machine (informational; comparisons use the per-kernel
+	// fields).
+	CalibrationNsOp    float64 `json:"calibration_ns_op"`
+	CalibrationMemNsOp float64 `json:"calibration_mem_ns_op"`
+	// Kernels maps benchmark name to its reference point.
+	Kernels map[string]KernelBaseline `json:"kernels"`
+}
+
+// KernelBaseline is one guarded kernel's reference point: the same
+// measurement in the three views the gate compares.
+type KernelBaseline struct {
+	// Metric is the unit the raw value was read from ("ns/pkt" or "ns/op").
+	Metric string `json:"metric"`
+	// RawNs is the un-normalized minimum on the recording machine.
+	RawNs float64 `json:"raw_ns"`
+	// NormCPU is RawNs divided by the recording run's compute-calibration
+	// time; NormMem by its memory-calibration time.
+	NormCPU float64 `json:"norm_cpu"`
+	NormMem float64 `json:"norm_mem"`
+}
+
+// result is one benchmark's parsed minimum over repeats.
+type result struct {
+	metric string
+	ns     float64
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.eE+]+) ns/op(.*)$`)
+var metricPair = regexp.MustCompile(`([\d.eE+]+) ([^\s]+)`)
+
+// parse reads `go test -bench` output and returns, per benchmark, the
+// minimum ns value over repeats — ns/pkt when the benchmark reports that
+// metric, ns/op otherwise.
+func parse(r io.Reader) (map[string]result, error) {
+	out := make(map[string]result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		nsOp, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: bad ns/op in %q: %v", sc.Text(), err)
+		}
+		metric, ns := "ns/op", nsOp
+		for _, pair := range metricPair.FindAllStringSubmatch(m[3], -1) {
+			if pair[2] == "ns/pkt" {
+				v, err := strconv.ParseFloat(pair[1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchgate: bad ns/pkt in %q: %v", sc.Text(), err)
+				}
+				metric, ns = "ns/pkt", v
+			}
+		}
+		if prev, seen := out[name]; !seen || ns < prev.ns {
+			out[name] = result{metric: metric, ns: ns}
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "baseline file")
+		tolerance    = flag.Float64("tolerance", 0.10, "allowed regression (0.10 = +10%)")
+		update       = flag.Bool("update", false, "write a new baseline from stdin instead of gating")
+	)
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, *baselinePath, *tolerance, *update); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer, baselinePath string, tolerance float64, update bool) error {
+	results, err := parse(in)
+	if err != nil {
+		return err
+	}
+	calCPU, okCPU := results[calCPUName]
+	calMem, okMem := results[calMemName]
+	if !okCPU || !okMem {
+		return fmt.Errorf("input must include both %s and %s; use a -bench pattern matching 'Calibration'", calCPUName, calMemName)
+	}
+	if update {
+		b := Baseline{
+			Updated:            time.Now().UTC().Format(time.RFC3339),
+			CalibrationNsOp:    calCPU.ns,
+			CalibrationMemNsOp: calMem.ns,
+			Kernels:            make(map[string]KernelBaseline),
+		}
+		for name, r := range results {
+			if name == calCPUName || name == calMemName {
+				continue
+			}
+			b.Kernels[name] = KernelBaseline{
+				Metric: r.metric, RawNs: r.ns,
+				NormCPU: r.ns / calCPU.ns, NormMem: r.ns / calMem.ns,
+			}
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(baselinePath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "benchgate: wrote %s (%d kernels, calibration %.0f ns/op cpu, %.0f ns/op mem)\n",
+			baselinePath, len(b.Kernels), calCPU.ns, calMem.ns)
+		return nil
+	}
+
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("no baseline (%v); record one with -update", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bad baseline %s: %v", baselinePath, err)
+	}
+	fmt.Fprintf(out, "benchgate: calibration cpu %.0f ns (baseline %.0f), mem %.0f ns (baseline %.0f), tolerance %+.0f%%\n",
+		calCPU.ns, base.CalibrationNsOp, calMem.ns, base.CalibrationMemNsOp, tolerance*100)
+	var failures []string
+	for name, want := range base.Kernels {
+		got, ok := results[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: guarded kernel missing from input", name))
+			continue
+		}
+		rawDelta := got.ns/want.RawNs - 1
+		cpuDelta := (got.ns/calCPU.ns)/want.NormCPU - 1
+		memDelta := (got.ns/calMem.ns)/want.NormMem - 1
+		// Regressed only if worse in every view; see the package comment.
+		delta := min(rawDelta, cpuDelta, memDelta)
+		status := "ok"
+		if delta > tolerance {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %+.1f%% over baseline in every view (raw %+.1f%%, cpu-norm %+.1f%%, mem-norm %+.1f%%)",
+				name, delta*100, rawDelta*100, cpuDelta*100, memDelta*100))
+		}
+		fmt.Fprintf(out, "  %-44s %8.2f %-6s (baseline %8.2f; raw %+6.1f%%, cpu %+6.1f%%, mem %+6.1f%%) %s\n",
+			name, got.ns, got.metric, want.RawNs, rawDelta*100, cpuDelta*100, memDelta*100, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d kernel(s) regressed:\n  %s", len(failures), joinLines(failures))
+	}
+	fmt.Fprintln(out, "benchgate: all guarded kernels within tolerance")
+	return nil
+}
+
+func joinLines(lines []string) string {
+	s := ""
+	for i, l := range lines {
+		if i > 0 {
+			s += "\n  "
+		}
+		s += l
+	}
+	return s
+}

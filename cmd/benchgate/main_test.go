@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSampleAndHoldPerBatch        	  780618	      1700 ns/op	        26.57 ns/pkt	       0 B/op	       0 allocs/op
+BenchmarkSampleAndHoldPerBatch        	  656756	      1601 ns/op	        25.02 ns/pkt	       0 B/op	       0 allocs/op
+BenchmarkFilterBatchDoubleHash-8      	  193826	      3190 ns/op	        49.84 ns/pkt	       0 B/op	       0 allocs/op
+BenchmarkCalibration                  	  218694	      2756 ns/op
+BenchmarkCalibrationMem               	    2900	    412000 ns/op
+PASS
+`
+
+func TestParseTakesMinAndPrefersNsPkt(t *testing.T) {
+	res, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := res["BenchmarkSampleAndHoldPerBatch"]
+	if sh.metric != "ns/pkt" || sh.ns != 25.02 {
+		t.Fatalf("S&H = %+v, want min 25.02 ns/pkt", sh)
+	}
+	// The -8 GOMAXPROCS suffix is stripped.
+	if dh := res["BenchmarkFilterBatchDoubleHash"]; dh.ns != 49.84 {
+		t.Fatalf("doublehash = %+v", dh)
+	}
+	if cal := res[calCPUName]; cal.metric != "ns/op" || cal.ns != 2756 {
+		t.Fatalf("calibration = %+v", cal)
+	}
+	if cal := res[calMemName]; cal.ns != 412000 {
+		t.Fatalf("mem calibration = %+v", cal)
+	}
+}
+
+// gate runs update-then-check with synthetic outputs and reports whether the
+// check passed.
+func gate(t *testing.T, recordOut, checkOut string) error {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	var buf bytes.Buffer
+	if err := run(strings.NewReader(recordOut), &buf, path, 0.10, true); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	return run(strings.NewReader(checkOut), &buf, path, 0.10, false)
+}
+
+func synth(kernelNs, calCPUNs, calMemNs float64) string {
+	return strings.Join([]string{
+		bench("BenchmarkFilterBatchDoubleHash", kernelNs, true),
+		bench(calCPUName, calCPUNs, false),
+		bench(calMemName, calMemNs, false),
+	}, "")
+}
+
+func bench(name string, ns float64, pkt bool) string {
+	if pkt {
+		return fmt.Sprintf("%s \t 100 \t %.3f ns/op\t %.3f ns/pkt\n", name, ns*64, ns)
+	}
+	return fmt.Sprintf("%s \t 100 \t %.3f ns/op\n", name, ns)
+}
+
+func TestGateVerdicts(t *testing.T) {
+	base := synth(50, 2500, 400000)
+	cases := []struct {
+		name string
+		out  string
+		pass bool
+	}{
+		{"unchanged", synth(50, 2500, 400000), true},
+		{"small regression within tolerance", synth(54, 2500, 400000), true},
+		{"code regression fails all views", synth(60, 2500, 400000), false},
+		{"slower machine: raw up, views flat", synth(75, 3750, 600000), true},
+		{"degraded memory path tracks mem anchor", synth(65, 2500, 520000), true},
+		{"cpu frequency window tracks cpu anchor", synth(60, 3000, 400000), true},
+		{"regression on a degraded machine still fails", synth(100, 2500, 520000), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := gate(t, base, c.out)
+			if c.pass && err != nil {
+				t.Fatalf("expected pass, got: %v", err)
+			}
+			if !c.pass && err == nil {
+				t.Fatal("expected failure, gate passed")
+			}
+		})
+	}
+}
+
+func TestGateMissingKernelFails(t *testing.T) {
+	base := synth(50, 2500, 400000)
+	noKernel := bench(calCPUName, 2500, false) + bench(calMemName, 400000, false)
+	if err := gate(t, base, noKernel); err == nil {
+		t.Fatal("expected failure for missing guarded kernel")
+	}
+}

@@ -40,6 +40,7 @@ type options struct {
 	maxEntries int
 	stages     int
 	buckets    int
+	hash       string
 	oversamp   float64
 	rate       int
 	adaptive   bool
@@ -71,6 +72,7 @@ func main() {
 	flag.IntVar(&o.maxEntries, "max-entries", 0, "hard cap on flow memory entries (0 = no cap beyond -entries)")
 	flag.IntVar(&o.stages, "stages", 4, "filter stages (msf)")
 	flag.IntVar(&o.buckets, "buckets", 1024, "counters per stage (msf)")
+	flag.StringVar(&o.hash, "hash", "", "stage hash family (msf): tabulation (default), multiplyshift, doublehash")
 	flag.Float64Var(&o.oversamp, "oversampling", 4, "oversampling factor (sh)")
 	flag.IntVar(&o.rate, "rate", 16, "sampling rate 1-in-x (netflow)")
 	flag.BoolVar(&o.adaptive, "adapt", false, "enable dynamic threshold adaptation (Figure 5)")
@@ -157,6 +159,9 @@ func run(o options) error {
 	if def == nil {
 		return fmt.Errorf("unknown flow definition %q", o.defName)
 	}
+	if o.hash != "" && o.algName != "msf" {
+		return fmt.Errorf("-hash selects the stage hash family and only applies to -alg msf")
+	}
 	src, closeSrc, err := openSource(o)
 	if err != nil {
 		return err
@@ -198,6 +203,7 @@ func run(o options) error {
 				Conservative: true,
 				Shield:       true,
 				Preserve:     true,
+				Hash:         o.hash,
 				Seed:         algSeed,
 			})
 			if o.adaptive {

@@ -5,9 +5,14 @@
 // multistage filters (network processors) and parallel pipelined filters
 // (the paper's OC-192 chip design).
 //
+// With -mem it additionally measures the host's memory system — cache line
+// size, sequential streaming bandwidth, dependent random-access latency —
+// the roofline inputs for the software pipeline's fused batch kernel, so the
+// EXPERIMENTS.md roofline is reproducible on any machine.
+//
 // Usage:
 //
-//	hwcheck [-stages 4] [-sram 5]
+//	hwcheck [-stages 4] [-sram 5] [-mem] [-membytes 67108864]
 package main
 
 import (
@@ -20,14 +25,37 @@ import (
 
 func main() {
 	var (
-		stages = flag.Int("stages", 4, "filter stages")
-		sram   = flag.Float64("sram", 0, "SRAM access time in ns (0 = paper's 5 ns)")
+		stages   = flag.Int("stages", 4, "filter stages")
+		sram     = flag.Float64("sram", 0, "SRAM access time in ns (0 = paper's 5 ns)")
+		mem      = flag.Bool("mem", false, "measure this host's memory system (roofline inputs)")
+		memBytes = flag.Int("membytes", 0, "memory benchmark working-set bytes (0 = 64 MiB)")
 	)
 	flag.Parse()
 	if err := run(*stages, *sram); err != nil {
 		fmt.Fprintln(os.Stderr, "hwcheck:", err)
 		os.Exit(1)
 	}
+	if *mem {
+		runMem(*memBytes)
+	}
+}
+
+// runMem measures and prints the host's roofline inputs, plus the derived
+// per-packet memory budgets at reference packet rates so the numbers slot
+// directly into the EXPERIMENTS.md roofline discussion.
+func runMem(bufBytes int) {
+	r := hw.MemBench(bufBytes)
+	fmt.Printf("\nmemory system (measured, %d MiB working set):\n", r.BufferBytes>>20)
+	fmt.Printf("  cache line:            %d B\n", r.CacheLineBytes)
+	fmt.Printf("  sequential read:       %.1f GB/s (streaming, prefetcher-friendly)\n", r.SeqGBps)
+	fmt.Printf("  dependent random read: %.1f ns/line = %.1f GB/s effective\n", r.RandNsPerLine, r.RandGBps)
+	fmt.Println("\nper-packet memory budget if DRAM-resident (bytes/pkt at rate):")
+	for _, rate := range []float64{1e6, 5e6, 12e6, 25e6} {
+		fmt.Printf("  %5.0fM pkts/s: %6.0f B/pkt streaming, %5.2f dependent lines/pkt\n",
+			rate/1e6, r.SeqGBps*1e9/rate, 1e9/(rate*r.RandNsPerLine))
+	}
+	fmt.Println("\n(kernels whose working set fits in cache are not bound by these numbers;")
+	fmt.Println(" compare the working set printed by the bench configs against the LLC.)")
 }
 
 func run(stages int, sram float64) error {

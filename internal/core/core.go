@@ -80,6 +80,27 @@ func ProcessBatch(alg Algorithm, keys []flow.Key, sizes []uint32) {
 	}
 }
 
+// ReportAppender is implemented by algorithms that can build their interval
+// report into caller-owned memory: AppendEstimates is EndInterval with the
+// destination supplied. It appends the interval's estimates to dst, performs
+// the same interval transition, and returns the extended slice. Callers that
+// reuse dst across intervals — the pipeline's per-lane report arenas — get a
+// report path with no steady-state allocations.
+type ReportAppender interface {
+	Algorithm
+	AppendEstimates(dst []Estimate) []Estimate
+}
+
+// AppendEstimates closes alg's interval, appending its estimates to dst when
+// the algorithm supports caller-owned report memory and falling back to
+// EndInterval (one allocation per call) otherwise.
+func AppendEstimates(alg Algorithm, dst []Estimate) []Estimate {
+	if ra, ok := alg.(ReportAppender); ok {
+		return ra.AppendEstimates(dst)
+	}
+	return append(dst, alg.EndInterval()...)
+}
+
 // MemoryPressure is implemented by algorithms whose flow memory enforces a
 // hard entry cap and counts refusals. The threshold adaptation loop reads
 // the count between intervals so sustained rejection pressure raises the

@@ -19,6 +19,14 @@
 // interval is in progress (inserts only claim empty slots), so pointers
 // returned by Lookup and Insert stay valid until the next EndInterval, which
 // evicts by rebuilding the table without tombstones.
+//
+// Each slot's 64-bit probe hash is stored in a dense array parallel to the
+// entries. Probes compare the stored hash before touching the entry, so a
+// collision chain scans compact hash words (8 per cache line) and loads a
+// 48-byte entry only on a near-certain match — and the key is never hashed
+// twice: batch kernels precompute the hash once per packet (LookupHash,
+// InsertHash, Prefetch) and the interval-transition rebuild re-homes
+// surviving entries from their stored hashes.
 package flowmem
 
 import (
@@ -56,17 +64,32 @@ type Memory struct {
 	mask uint64
 	// ctrl marks occupied slots (1) so probing scans one compact byte per
 	// slot and touches an Entry only on a potential match.
-	ctrl  []uint8
-	slots []Entry
-	count int
+	ctrl []uint8
+	// hashes[i] is slot i's full 64-bit probe hash; probes compare it
+	// before loading the entry, so collision chains stay in the dense
+	// hash array.
+	hashes []uint64
+	slots  []Entry
+	count  int
 	// rejected counts inserts refused because the table was at capacity —
 	// the memory-pressure signal threshold adaptation feeds on.
 	rejected uint64
 
+	// prefetchSink accumulates the values Prefetch loads, so the compiler
+	// cannot eliminate the warming loads as dead.
+	prefetchSink uint64
+
 	// reportScratch and keepScratch are grow-only: Report and EndInterval
 	// reuse them so steady-state intervals allocate nothing once warm.
 	reportScratch []Entry
-	keepScratch   []Entry
+	keepScratch   []kept
+}
+
+// kept is a surviving entry and its stored probe hash, carried across the
+// EndInterval rebuild so re-homing never rehashes the key.
+type kept struct {
+	e Entry
+	h uint64
 }
 
 // New creates a flow memory with room for capacity entries. It panics if
@@ -80,6 +103,7 @@ func New(capacity int) *Memory {
 		capacity: capacity,
 		mask:     uint64(slots - 1),
 		ctrl:     make([]uint8, slots),
+		hashes:   make([]uint64, slots),
 		slots:    make([]Entry, slots),
 	}
 }
@@ -93,11 +117,13 @@ func nextPow2(n int) int {
 	return p
 }
 
-// hashKey mixes the 128-bit flow key down to the 64-bit value that seeds the
+// Hash mixes the 128-bit flow key down to the 64-bit value that seeds the
 // probe sequence. The table is not adversary-facing (keys already went
 // through the measurement path), so a fixed strong mix suffices and keeps
-// behavior reproducible run to run.
-func hashKey(k flow.Key) uint64 {
+// behavior reproducible run to run. It is exported so batch kernels can
+// compute it once per packet during their hash phase and pass it to
+// Prefetch, LookupHash and InsertHash.
+func Hash(k flow.Key) uint64 {
 	h := k.Lo*0x9E3779B97F4A7C15 + k.Hi*0xC2B2AE3D27D4EB4F
 	h ^= h >> 32
 	h *= 0xD6E8FEB86659FD93
@@ -119,14 +145,31 @@ func (m *Memory) Full() bool { return m.count >= m.capacity }
 // Lookup returns the entry for key, or nil. The pointer stays valid — and
 // the entry in place — until the next EndInterval.
 func (m *Memory) Lookup(key flow.Key) *Entry {
-	i := hashKey(key) & m.mask
+	return m.LookupHash(Hash(key), key)
+}
+
+// LookupHash is Lookup with the key's probe hash (Hash(key)) precomputed by
+// the caller — the batch kernels hash each packet once and reuse the value
+// for prefetch, lookup and insert.
+func (m *Memory) LookupHash(h uint64, key flow.Key) *Entry {
+	i := h & m.mask
 	for m.ctrl[i] != 0 {
-		if m.slots[i].Key == key {
+		if m.hashes[i] == h && m.slots[i].Key == key {
 			return &m.slots[i]
 		}
 		i = (i + 1) & m.mask
 	}
 	return nil
+}
+
+// Prefetch warms the cache lines a probe for hash h will touch: the home
+// slot's control byte, hash word and entry. Go has no portable prefetch
+// intrinsic, so the warming is done with real loads folded into a sink
+// field the compiler cannot eliminate; issued a short distance ahead of the
+// probe, the loads' misses overlap instead of serializing.
+func (m *Memory) Prefetch(h uint64) {
+	i := h & m.mask
+	m.prefetchSink += uint64(m.ctrl[i]) + m.hashes[i] + m.slots[i].Bytes
 }
 
 // Rejected returns the cumulative number of inserts refused because the
@@ -138,34 +181,42 @@ func (m *Memory) Rejected() uint64 { return m.rejected }
 // when the table is full or the key is already present (callers are expected
 // to Lookup first). Full-table refusals are counted in Rejected.
 func (m *Memory) Insert(key flow.Key, initialBytes uint64) *Entry {
+	return m.InsertHash(Hash(key), key, initialBytes)
+}
+
+// InsertHash is Insert with the key's probe hash precomputed by the caller.
+func (m *Memory) InsertHash(h uint64, key flow.Key, initialBytes uint64) *Entry {
 	if m.Full() {
 		m.rejected++
 		return nil
 	}
-	i := hashKey(key) & m.mask
+	i := h & m.mask
 	for m.ctrl[i] != 0 {
-		if m.slots[i].Key == key {
+		if m.hashes[i] == h && m.slots[i].Key == key {
 			return nil
 		}
 		i = (i + 1) & m.mask
 	}
 	m.ctrl[i] = 1
+	m.hashes[i] = h
 	m.count++
 	e := &m.slots[i]
 	*e = Entry{Key: key, Bytes: initialBytes, CreatedThisInterval: true}
 	return e
 }
 
-// insertEntry re-homes a surviving entry during the EndInterval rebuild. The
-// table was just cleared, so the slot found is always empty.
-func (m *Memory) insertEntry(e Entry) {
-	i := hashKey(e.Key) & m.mask
+// insertKept re-homes a surviving entry during the EndInterval rebuild from
+// its stored probe hash — the key is never rehashed. The table was just
+// cleared, so the slot found is always empty.
+func (m *Memory) insertKept(k kept) {
+	i := k.h & m.mask
 	for m.ctrl[i] != 0 {
 		i = (i + 1) & m.mask
 	}
 	m.ctrl[i] = 1
+	m.hashes[i] = k.h
 	m.count++
-	m.slots[i] = e
+	m.slots[i] = k.e
 }
 
 // Policy is the interval-transition policy of Section 3.3.1.
@@ -238,22 +289,22 @@ func (m *Memory) EndInterval(p Policy) int {
 			continue
 		}
 		e := m.slots[i]
-		kept := e.Bytes >= p.Threshold
-		if !kept && e.CreatedThisInterval {
-			kept = e.Bytes >= p.EarlyRemoval
+		survives := e.Bytes >= p.Threshold
+		if !survives && e.CreatedThisInterval {
+			survives = e.Bytes >= p.EarlyRemoval
 		}
-		if !kept {
+		if !survives {
 			continue
 		}
 		e.Bytes = 0
 		e.Debt = 0
 		e.CreatedThisInterval = false
 		e.Exact = true
-		keep = append(keep, e)
+		keep = append(keep, kept{e: e, h: m.hashes[i]})
 	}
 	m.clear()
-	for _, e := range keep {
-		m.insertEntry(e)
+	for _, k := range keep {
+		m.insertKept(k)
 	}
 	m.keepScratch = keep
 	return m.count

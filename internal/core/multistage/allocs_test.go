@@ -8,6 +8,7 @@ package multistage
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/flow"
 )
 
@@ -46,6 +47,40 @@ func TestBatchScratchGrowOnly(t *testing.T) {
 				t.Fatalf("mixed-size ProcessBatch allocates %.1f allocs/op, must be 0", allocs)
 			}
 		})
+	}
+}
+
+// TestAppendEstimatesZeroAllocs guards the report-arena path: building the
+// interval report into caller-owned memory must not allocate once the arena
+// and the flow memory's scratch are warm. Threshold 1 promotes every flow on
+// its first packet, so each interval's report is non-trivial.
+func TestAppendEstimatesZeroAllocs(t *testing.T) {
+	f, err := New(Config{
+		Stages: 4, Buckets: 1024, Entries: 512, Threshold: 1,
+		Conservative: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]flow.Key, 64)
+	sizes := make([]uint32, 64)
+	for i := range keys {
+		keys[i] = flow.Key{Lo: uint64(i + 1)}
+		sizes[i] = 1000
+	}
+	arena := make([]core.Estimate, 0, 256)
+	// Warm: one full interval cycle grows the report scratch.
+	f.ProcessBatch(keys, sizes)
+	arena = f.AppendEstimates(arena[:0])
+	allocs := testing.AllocsPerRun(200, func() {
+		f.ProcessBatch(keys, sizes)
+		arena = f.AppendEstimates(arena[:0])
+		if len(arena) != len(keys) {
+			t.Fatalf("short report: %d estimates", len(arena))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm interval cycle allocates %.1f allocs/op, must be 0", allocs)
 	}
 }
 

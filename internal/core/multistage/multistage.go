@@ -131,7 +131,22 @@ type Filter struct {
 	// offsets, packet-major: packet j's d offsets are contiguous at
 	// j·d..j·d+d, so the per-packet counter logic reads one short run.
 	batchIdx []uint32
+	// batchHash is grow-only scratch holding each packet's flow memory
+	// probe hash, computed once in the fused kernel's hash phase and
+	// reused for prefetch, lookup and insert.
+	batchHash []uint64
+	// prefetchSink accumulates the counter values the fused kernel's hash
+	// phase loads to warm their cache lines, so the compiler cannot drop
+	// the loads as dead.
+	prefetchSink uint64
 }
+
+// fusedTile is the number of packets per hash→prefetch→update tile of the
+// fused kernel. Small enough that a tile's working set — d counter lines
+// plus a flow memory line or two per packet — stays L1-resident between the
+// hash phase that pulls it in and the update phase that reuses it; large
+// enough that the hash phase keeps many independent misses in flight.
+const fusedTile = 32
 
 // New creates a multistage filter.
 func New(cfg Config) (*Filter, error) {
@@ -184,35 +199,150 @@ func (f *Filter) stageThreshold() uint64 {
 	return f.cfg.Threshold
 }
 
+// keyHash returns key's flow memory probe hash: the deriver's base hash
+// when one is active — so the fused hash phase computes ONE hash per packet
+// that serves both the filter stages and the flow memory — and
+// flowmem.Hash otherwise. Every flow memory operation of one Filter
+// instance uses this same function, so entries inserted by one processing
+// path are always found by the others.
+func (f *Filter) keyHash(key flow.Key) uint64 {
+	if f.deriver != nil {
+		return f.deriver.Base(key)
+	}
+	return flowmem.Hash(key)
+}
+
 // Process implements core.Algorithm.
 func (f *Filter) Process(key flow.Key, size uint32) {
 	f.cost.Packet()
-	f.process(key, size, nil, &f.cost)
+	var fmh uint64
+	var idx []uint32
+	if f.deriver != nil {
+		// One base hash yields both the stage buckets and the flow memory
+		// probe hash, so hashing eagerly costs nothing extra.
+		idx = f.idx
+		fmh = f.deriver.DeriveBase(key, idx)
+		base := uint32(0)
+		for i := range idx {
+			idx[i] += base
+			base += f.buckets
+		}
+	} else {
+		// Stage hashing stays lazy: a shielded flow memory hit never
+		// consults the filter, so its stages are never hashed.
+		fmh = flowmem.Hash(key)
+	}
+	f.process(key, size, fmh, idx, &f.cost)
 	f.tel.Observe(1, uint64(size), f.cost, f.mem.Len())
 }
 
-// ProcessBatch implements core.BatchAlgorithm. It hashes the whole batch
-// into flat counter offsets before touching any counter, then runs the
-// counter logic per packet against the precomputed run of offsets. With a
-// derived family (double hashing) the hash pass computes ONE base hash per
-// packet; otherwise it goes stage by stage so each stage's hash tables stay
-// hot while the batch streams through them. Memory-reference accounting is
-// accumulated locally and folded into the filter's counter with a single Add.
+// ProcessBatch implements core.BatchAlgorithm with the fused single-pass
+// kernel: the batch streams through in tiles of fusedTile packets, each tile
+// running a hash phase — stage buckets and the flow memory probe hash
+// computed per packet, the counter lines and home flow memory slots warmed
+// with prefetching loads — immediately followed by an update phase that runs
+// the filter and flow memory logic against L1-resident lines. Each packet's
+// buckets and flow slot are touched once per batch; the key is hashed once
+// (the doublehash deriver's base hash doubles as the flow memory probe
+// hash). Memory-reference accounting is accumulated locally and folded into
+// the filter's counter with a single Add.
 func (f *Filter) ProcessBatch(keys []flow.Key, sizes []uint32) {
 	n := len(keys)
 	if n == 0 {
 		return
 	}
 	d := len(f.hashes)
-	// Grow-only: the scratch keeps the largest batch's footprint so mixed
-	// batch sizes never re-allocate.
+	f.growScratch(n, d)
+	bidx := f.batchIdx[:n*d]
+	bh := f.batchHash[:n]
+	var cost memmodel.Counter
+	cost.Packets = uint64(n)
+	var bytes uint64
+	for t := 0; t < n; t += fusedTile {
+		end := min(t+fusedTile, n)
+		f.hashTile(keys[t:end], bidx[t*d:end*d], bh[t:end])
+		for j := t; j < end; j++ {
+			bytes += uint64(sizes[j])
+			f.process(keys[j], sizes[j], bh[j], bidx[j*d:j*d+d], &cost)
+		}
+	}
+	f.cost.Add(cost)
+	f.tel.Observe(uint64(n), bytes, f.cost, f.mem.Len())
+}
+
+// growScratch sizes the batch scratch for n packets of d stages. Grow-only:
+// the scratch keeps the largest batch's footprint so mixed batch sizes never
+// re-allocate.
+func (f *Filter) growScratch(n, d int) {
 	if need := n * d; cap(f.batchIdx) < need {
 		f.batchIdx = make([]uint32, need)
 	}
+	if cap(f.batchHash) < n {
+		f.batchHash = make([]uint64, n)
+	}
+}
+
+// hashTile runs the fused kernel's hash phase over one tile: it fills each
+// packet's flat counter offsets (bidx) and flow memory probe hash (bh), and
+// issues the prefetching loads that pull the counter lines and home flow
+// memory slots toward L1 while later packets are still being hashed. The
+// loads are independent, so their misses overlap — the memory-level
+// parallelism a one-packet-at-a-time pass cannot reach.
+func (f *Filter) hashTile(keys []flow.Key, bidx []uint32, bh []uint64) {
+	d := len(f.hashes)
+	counters := f.counters
+	var sink uint64
+	if f.deriver != nil {
+		// One base hash per packet yields the flow memory probe hash and
+		// all d stage buckets, written as one contiguous run.
+		for j := range keys {
+			row := bidx[j*d : j*d+d : j*d+d]
+			h := f.deriver.DeriveBase(keys[j], row)
+			bh[j] = h
+			base := uint32(0)
+			for i := range row {
+				row[i] += base
+				base += f.buckets
+				sink += counters[row[i]]
+			}
+			f.mem.Prefetch(h)
+		}
+	} else {
+		// Per-stage hashing keeps each stage's hash tables hot while the
+		// tile streams through them.
+		base := uint32(0)
+		for i, h := range f.hashes {
+			for j := range keys {
+				o := base + h.Bucket(keys[j])
+				bidx[j*d+i] = o
+				sink += counters[o]
+			}
+			base += f.buckets
+		}
+		for j := range keys {
+			h := flowmem.Hash(keys[j])
+			bh[j] = h
+			f.mem.Prefetch(h)
+		}
+	}
+	f.prefetchSink += sink
+}
+
+// ProcessBatchUnfused is the pre-fusion batch kernel, kept as the reference
+// implementation for differential tests and before/after benchmarks: a hash
+// pass over the whole batch filling the flat counter offsets, then a second
+// sweep running the filter and flow memory logic per packet — two passes
+// over the batch, no prefetch, the flow memory hashed in the update sweep.
+// It must produce reports bit-identical to ProcessBatch.
+func (f *Filter) ProcessBatchUnfused(keys []flow.Key, sizes []uint32) {
+	n := len(keys)
+	if n == 0 {
+		return
+	}
+	d := len(f.hashes)
+	f.growScratch(n, d)
 	bidx := f.batchIdx[:n*d]
 	if f.deriver != nil {
-		// One base hash per packet, all stages derived; each packet's
-		// offsets are written as one contiguous run.
 		for j, k := range keys {
 			row := bidx[j*d : j*d+d]
 			f.deriver.Derive(k, row)
@@ -236,18 +366,19 @@ func (f *Filter) ProcessBatch(keys []flow.Key, sizes []uint32) {
 	var bytes uint64
 	for j, k := range keys {
 		bytes += uint64(sizes[j])
-		f.process(k, sizes[j], bidx[j*d:j*d+d], &cost)
+		f.process(k, sizes[j], f.keyHash(k), bidx[j*d:j*d+d], &cost)
 	}
 	f.cost.Add(cost)
 	f.tel.Observe(uint64(n), bytes, f.cost, f.mem.Len())
 }
 
-// process handles one packet. idx, when non-nil, holds the packet's flat
-// counter offsets (the batched path precomputes them); otherwise they are
+// process handles one packet. fmh is the packet's flow memory probe hash
+// (always precomputed — the key is hashed exactly once per packet). idx,
+// when non-nil, holds the packet's flat counter offsets; otherwise they are
 // computed on demand, and only when the filter is actually consulted.
-func (f *Filter) process(key flow.Key, size uint32, idx []uint32, cost *memmodel.Counter) {
+func (f *Filter) process(key flow.Key, size uint32, fmh uint64, idx []uint32, cost *memmodel.Counter) {
 	cost.SRAM(1, 0) // flow memory lookup
-	if e := f.mem.Lookup(key); e != nil {
+	if e := f.mem.LookupHash(fmh, key); e != nil {
 		e.Bytes += uint64(size)
 		cost.SRAM(0, 1)
 		if !f.cfg.Shield {
@@ -265,10 +396,10 @@ func (f *Filter) process(key flow.Key, size uint32, idx []uint32, cost *memmodel
 		idx = f.hashStages(key)
 	}
 	if f.cfg.Serial {
-		f.processSerial(key, size, idx, cost)
+		f.processSerial(key, size, fmh, idx, cost)
 		return
 	}
-	f.processParallel(key, size, idx, cost)
+	f.processParallel(key, size, fmh, idx, cost)
 }
 
 // hashStages fills f.idx with key's flat counter offset at every stage and
@@ -333,8 +464,9 @@ func (f *Filter) addStages(idx []uint32, size uint32, cost *memmodel.Counter) {
 }
 
 // processParallel handles a packet of an untracked flow through the parallel
-// filter; idx holds the packet's flat counter offsets.
-func (f *Filter) processParallel(key flow.Key, size uint32, idx []uint32, cost *memmodel.Counter) {
+// filter; idx holds the packet's flat counter offsets and fmh its flow
+// memory probe hash.
+func (f *Filter) processParallel(key flow.Key, size uint32, fmh uint64, idx []uint32, cost *memmodel.Counter) {
 	min := f.scanMin(idx, cost)
 	if min+uint64(size) >= f.cfg.Threshold {
 		// The flow passes the filter. With conservative update, promoted
@@ -345,7 +477,7 @@ func (f *Filter) processParallel(key flow.Key, size uint32, idx []uint32, cost *
 		}
 		// min bounds the flow's traffic before this packet: its own bytes
 		// are contained in every counter it hashes to.
-		f.promote(key, size, min, cost)
+		f.promote(key, size, fmh, min, cost)
 		return
 	}
 	f.raiseStages(idx, size, min, cost)
@@ -368,8 +500,9 @@ func (f *Filter) serialAdd(idx []uint32, size uint32, cost *memmodel.Counter) bo
 
 // processSerial handles a packet of an untracked flow through the serial
 // filter: each stage sees the packet only if it passed the previous stage.
-// idx holds the packet's flat counter offsets.
-func (f *Filter) processSerial(key flow.Key, size uint32, idx []uint32, cost *memmodel.Counter) {
+// idx holds the packet's flat counter offsets and fmh its flow memory probe
+// hash.
+func (f *Filter) processSerial(key flow.Key, size uint32, fmh uint64, idx []uint32, cost *memmodel.Counter) {
 	if f.cfg.Conservative {
 		// Second conservative change (the first applies only to parallel
 		// filters): if the packet would pass every stage, promote it
@@ -384,12 +517,12 @@ func (f *Filter) processSerial(key flow.Key, size uint32, idx []uint32, cost *me
 			}
 		}
 		if pass {
-			f.promote(key, size, 0, cost)
+			f.promote(key, size, fmh, 0, cost)
 			return
 		}
 	}
 	if f.serialAdd(idx, size, cost) {
-		f.promote(key, size, 0, cost)
+		f.promote(key, size, fmh, 0, cost)
 	}
 }
 
@@ -404,10 +537,11 @@ func (f *Filter) updateCounters(idx []uint32, size uint32, cost *memmodel.Counte
 	f.raiseStages(idx, size, f.scanMin(idx, cost), cost)
 }
 
-// promote adds the flow to flow memory, counting the current packet.
-// debt is the proven bound on the flow's uncounted earlier bytes.
-func (f *Filter) promote(key flow.Key, size uint32, debt uint64, cost *memmodel.Counter) {
-	e := f.mem.Insert(key, uint64(size))
+// promote adds the flow to flow memory, counting the current packet. fmh is
+// the flow's probe hash (already computed for the lookup that missed); debt
+// is the proven bound on the flow's uncounted earlier bytes.
+func (f *Filter) promote(key flow.Key, size uint32, fmh uint64, debt uint64, cost *memmodel.Counter) {
+	e := f.mem.InsertHash(fmh, key, uint64(size))
 	if e == nil {
 		f.dropped++
 		f.tel.Drop()
@@ -424,14 +558,19 @@ func (f *Filter) promote(key flow.Key, size uint32, debt uint64, cost *memmodel.
 // applies the preservation policy to flow memory, and reinitializes all
 // stage counters (Section 3.3.1: "only reinitializing stage counters").
 func (f *Filter) EndInterval() []core.Estimate {
+	return f.AppendEstimates(make([]core.Estimate, 0, f.mem.Len()))
+}
+
+// AppendEstimates implements core.ReportAppender: EndInterval building the
+// report into caller-owned memory.
+func (f *Filter) AppendEstimates(dst []core.Estimate) []core.Estimate {
 	entries := f.mem.Report()
-	out := make([]core.Estimate, 0, len(entries))
 	for _, e := range entries {
 		est := core.Estimate{Key: e.Key, Bytes: e.Bytes, Exact: e.Exact}
 		if f.cfg.Correction && !e.Exact {
 			est.Bytes += e.Debt
 		}
-		out = append(out, est)
+		dst = append(dst, est)
 	}
 	before := f.mem.Len()
 	kept := f.mem.EndInterval(flowmem.Policy{
@@ -441,7 +580,7 @@ func (f *Filter) EndInterval() []core.Estimate {
 	f.tel.ObserveInterval(f.cfg.Threshold, kept, before-kept)
 	clear(f.counters)
 	f.dropped = 0
-	return out
+	return dst
 }
 
 // EntriesUsed implements core.Algorithm.

@@ -86,7 +86,18 @@ type SampleAndHold struct {
 
 	p    float64 // byte sampling probability
 	skip int64   // bytes of untracked traffic until the next sample
+
+	// batchHash is grow-only scratch holding each packet's flow memory
+	// probe hash, computed once in the fused kernel's hash phase and
+	// reused for prefetch, lookup and insert.
+	batchHash []uint64
 }
+
+// fusedTile is the number of packets per hash→prefetch→update tile of the
+// fused ProcessBatch kernel: small enough that the tile's flow memory lines
+// stay L1-resident between the hash phase and the update phase, large
+// enough that the hash phase keeps many independent misses in flight.
+const fusedTile = 32
 
 // New creates a sample-and-hold instance.
 func New(cfg Config) (*SampleAndHold, error) {
@@ -167,13 +178,69 @@ func (s *SampleAndHold) processOne(key flow.Key, size uint32) {
 	}
 }
 
-// ProcessBatch implements core.BatchAlgorithm. The flow-memory lookups and
-// sampling-skip arithmetic run in one tight loop with the skip state held in
-// a register, and the memory-reference accounting for the whole batch is
-// folded into the cost counter with a single Add — the sampling draws consume
-// the RNG in exactly the order the per-packet path would, so the two paths
-// produce identical estimates.
+// ProcessBatch implements core.BatchAlgorithm with the fused kernel: the
+// batch streams through in tiles of fusedTile packets, a hash phase
+// computing each packet's flow memory probe hash once and warming its home
+// slot's cache lines with prefetching loads, then an update phase running
+// the lookup/sample/insert logic against L1-resident lines with the skip
+// state held in a register. The memory-reference accounting for the whole
+// batch is folded into the cost counter with a single Add, and the sampling
+// draws consume the RNG in exactly the order the per-packet path would, so
+// the two paths produce identical estimates.
 func (s *SampleAndHold) ProcessBatch(keys []flow.Key, sizes []uint32) {
+	n := len(keys)
+	if cap(s.batchHash) < n {
+		s.batchHash = make([]uint64, n)
+	}
+	bh := s.batchHash[:n]
+	var reads, writes, bytes, passes uint64
+	skip := s.skip
+	for t := 0; t < n; t += fusedTile {
+		end := min(t+fusedTile, n)
+		for j := t; j < end; j++ {
+			h := flowmem.Hash(keys[j])
+			bh[j] = h
+			s.mem.Prefetch(h)
+		}
+		for j := t; j < end; j++ {
+			key := keys[j]
+			size := sizes[j]
+			bytes += uint64(size)
+			reads++ // flow memory lookup
+			if e := s.mem.LookupHash(bh[j], key); e != nil {
+				e.Bytes += uint64(size)
+				writes++
+				continue
+			}
+			// Untracked flow: its bytes consume the sampling skip.
+			skip -= int64(size)
+			if skip > 0 {
+				continue
+			}
+			skip = s.nextSkip()
+			if s.mem.InsertHash(bh[j], key, uint64(size)) != nil {
+				writes++
+				passes++
+			} else {
+				s.tel.Drop()
+			}
+		}
+	}
+	s.skip = skip
+	s.cost.Add(memmodel.Counter{
+		SRAMReads: reads, SRAMWrites: writes, Packets: uint64(n),
+	})
+	if passes != 0 {
+		s.tel.FilterPasses(passes)
+	}
+	s.tel.Observe(uint64(n), bytes, s.cost, s.mem.Len())
+}
+
+// ProcessBatchUnfused is the pre-fusion batch kernel, kept as the reference
+// implementation for differential tests and before/after benchmarks: one
+// sweep, each packet hashed at its lookup (and hashed again on insert), no
+// prefetch. It must produce reports bit-identical to ProcessBatch.
+func (s *SampleAndHold) ProcessBatchUnfused(keys []flow.Key, sizes []uint32) {
 	var reads, writes, bytes, passes uint64
 	skip := s.skip
 	for i, key := range keys {
@@ -210,8 +277,13 @@ func (s *SampleAndHold) ProcessBatch(keys []flow.Key, sizes []uint32) {
 
 // EndInterval implements core.Algorithm.
 func (s *SampleAndHold) EndInterval() []core.Estimate {
+	return s.AppendEstimates(make([]core.Estimate, 0, s.mem.Len()))
+}
+
+// AppendEstimates implements core.ReportAppender: EndInterval building the
+// report into caller-owned memory.
+func (s *SampleAndHold) AppendEstimates(dst []core.Estimate) []core.Estimate {
 	entries := s.mem.Report()
-	out := make([]core.Estimate, 0, len(entries))
 	correction := uint64(0)
 	if s.cfg.Correction && s.p > 0 {
 		correction = uint64(1 / s.p)
@@ -221,7 +293,7 @@ func (s *SampleAndHold) EndInterval() []core.Estimate {
 		if !e.Exact {
 			est.Bytes += correction
 		}
-		out = append(out, est)
+		dst = append(dst, est)
 	}
 	before := s.mem.Len()
 	kept := s.mem.EndInterval(flowmem.Policy{
@@ -230,7 +302,7 @@ func (s *SampleAndHold) EndInterval() []core.Estimate {
 		EarlyRemoval: uint64(s.cfg.EarlyRemoval * float64(s.cfg.Threshold)),
 	})
 	s.tel.ObserveInterval(s.cfg.Threshold, kept, before-kept)
-	return out
+	return dst
 }
 
 // EntriesUsed implements core.Algorithm.

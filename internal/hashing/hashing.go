@@ -208,6 +208,14 @@ type Deriver interface {
 	// Bucket(k) would return. len(out) must equal the function count the
 	// Deriver was built for.
 	Derive(k flow.Key, out []uint32)
+	// DeriveBase is Derive plus the 64-bit base hash the buckets were
+	// derived from. Callers that keep a hash table next to the filter (the
+	// flow memory) reuse the base as that table's probe hash, so one hash
+	// computation per packet serves both structures.
+	DeriveBase(k flow.Key, out []uint32) uint64
+	// Base returns just the base hash for k — the same value DeriveBase
+	// returns — for paths that do not need the buckets.
+	Base(k flow.Key) uint64
 }
 
 // DeriverFor returns a Deriver equivalent to calling Bucket on each of funcs
@@ -240,12 +248,22 @@ type dhDeriver struct {
 }
 
 func (d *dhDeriver) Derive(k flow.Key, out []uint32) {
+	d.DeriveBase(k, out)
+}
+
+func (d *dhDeriver) DeriveBase(k flow.Key, out []uint32) uint64 {
 	h1, h2 := d.base.hash(k)
 	h := h1 + d.i0*h2
 	for j := 0; j < d.n; j++ {
 		out[j] = reduce(h, d.buckets)
 		h += h2
 	}
+	return h1
+}
+
+func (d *dhDeriver) Base(k flow.Key) uint64 {
+	h1, _ := d.base.hash(k)
+	return h1
 }
 
 // reduce maps a 64-bit hash onto [0, buckets) without the modulo bias of a

@@ -1,0 +1,117 @@
+package hw
+
+// Measured roofline inputs. The Section 8 feasibility model (oc192.go)
+// reasons from the paper's nominal 5 ns SRAM; this file measures the actual
+// memory system of the host running the software pipeline, so EXPERIMENTS.md
+// can place the fused batch kernel on a roofline — is the single-core packet
+// rate bounded by compute or by memory bandwidth? — with numbers
+// reproducible on any machine via `hwcheck -mem`.
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DefaultCacheLineBytes is assumed when the host does not expose its
+// coherency line size.
+const DefaultCacheLineBytes = 64
+
+// CacheLineSize returns the CPU's cache line size in bytes, read from sysfs
+// (Linux) with a 64-byte fallback.
+func CacheLineSize() int {
+	b, err := os.ReadFile("/sys/devices/system/cpu/cpu0/cache/index0/coherency_line_size")
+	if err != nil {
+		return DefaultCacheLineBytes
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil || n <= 0 {
+		return DefaultCacheLineBytes
+	}
+	return n
+}
+
+// MemBenchResult holds measured memory-system parameters.
+type MemBenchResult struct {
+	// CacheLineBytes is the coherency line size.
+	CacheLineBytes int
+	// BufferBytes is the working-set size the bandwidths were measured over
+	// (must exceed the last-level cache for the numbers to mean DRAM).
+	BufferBytes int
+	// SeqGBps is streaming read bandwidth: a linear sum over the buffer,
+	// the best case the prefetchers can deliver.
+	SeqGBps float64
+	// RandNsPerLine is the latency of one dependent random cache-line load
+	// (a pointer chase, so no two loads overlap) — the worst case.
+	RandNsPerLine float64
+	// RandGBps is the effective bandwidth of that dependent chase: one line
+	// per RandNsPerLine.
+	RandGBps float64
+}
+
+// MemBench measures sequential and random memory performance over a buffer
+// of bufBytes (0 selects 64 MiB). It takes on the order of a few hundred
+// milliseconds.
+func MemBench(bufBytes int) MemBenchResult {
+	if bufBytes <= 0 {
+		bufBytes = 64 << 20
+	}
+	line := CacheLineSize()
+	r := MemBenchResult{CacheLineBytes: line, BufferBytes: bufBytes}
+	n := bufBytes / 8
+	buf := make([]uint64, n)
+
+	// Sequential: linear read of the whole buffer, a few passes, best pass
+	// wins (first pass also pages the memory in; later passes measure steady
+	// streaming).
+	for i := range buf {
+		buf[i] = uint64(i)
+	}
+	var sink uint64
+	best := time.Duration(1<<63 - 1)
+	for pass := 0; pass < 4; pass++ {
+		start := time.Now()
+		var s uint64
+		for _, v := range buf {
+			s += v
+		}
+		if d := time.Since(start); pass > 0 && d < best {
+			best = d
+		}
+		sink += s
+	}
+	r.SeqGBps = float64(bufBytes) / best.Seconds() / 1e9
+
+	// Random: a Sattolo cycle over line-spaced slots, walked as a dependent
+	// pointer chase — each step's address is the previous load's value, so
+	// misses serialize and the time per step is the full line latency.
+	stride := line / 8
+	slots := n / stride
+	rng := rand.New(rand.NewSource(1))
+	perm := rng.Perm(slots)
+	for i, p := range perm {
+		next := perm[(i+1)%len(perm)]
+		buf[p*stride] = uint64(next * stride)
+	}
+	steps := 2 << 20
+	if steps > slots*8 {
+		steps = slots * 8
+	}
+	idx := uint64(perm[0] * stride)
+	start := time.Now()
+	for i := 0; i < steps; i++ {
+		idx = buf[idx]
+	}
+	chase := time.Since(start)
+	sink += idx
+	r.RandNsPerLine = float64(chase.Nanoseconds()) / float64(steps)
+	r.RandGBps = float64(line) / r.RandNsPerLine
+
+	benchSink = sink
+	return r
+}
+
+// benchSink keeps the measurement loops' results alive.
+var benchSink uint64

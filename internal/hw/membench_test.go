@@ -1,0 +1,32 @@
+package hw
+
+import "testing"
+
+func TestCacheLineSize(t *testing.T) {
+	n := CacheLineSize()
+	if n < 16 || n > 1024 {
+		t.Fatalf("implausible cache line size %d", n)
+	}
+	if n&(n-1) != 0 {
+		t.Fatalf("cache line size %d not a power of two", n)
+	}
+}
+
+// TestMemBench sanity-checks the measurement on a small buffer (fast, cache
+// resident — the numbers are not DRAM numbers, only the mechanics are under
+// test).
+func TestMemBench(t *testing.T) {
+	r := MemBench(1 << 20)
+	if r.BufferBytes != 1<<20 {
+		t.Fatalf("BufferBytes = %d", r.BufferBytes)
+	}
+	if r.SeqGBps <= 0 {
+		t.Fatalf("SeqGBps = %g, want > 0", r.SeqGBps)
+	}
+	if r.RandNsPerLine <= 0 || r.RandGBps <= 0 {
+		t.Fatalf("random metrics not positive: %+v", r)
+	}
+	if r.CacheLineBytes <= 0 {
+		t.Fatalf("CacheLineBytes = %d", r.CacheLineBytes)
+	}
+}

@@ -48,3 +48,42 @@ func TestMixedBurstSizesZeroAllocs(t *testing.T) {
 		t.Fatalf("mixed-size PacketBatch allocates %.1f allocs/op, must be 0", allocs)
 	}
 }
+
+// TestReportPathArenaAllocs bounds the per-interval allocation budget of the
+// report path. Lane-side interval closing is allocation-free once warm: each
+// lane builds its reply into its persistent report arena (core.AppendEstimates)
+// and answers on its persistent reply channel. What remains on the producer
+// side is the retained output itself — the merged estimate slice, the
+// per-shard count slice, the sort's swapper closures and the amortized growth
+// of the report history — a small constant independent of lane count. The
+// budget of 8 would be blown immediately by a regression to per-interval
+// reply channels or per-interval lane report slices (that path cost
+// 2×lanes+1 extra allocations every interval).
+func TestReportPathArenaAllocs(t *testing.T) {
+	p, err := New(Config{
+		Shards: 4, QueueDepth: 64, BatchSize: 64,
+		NewAlgorithm: shConfig(4096),
+		Definition:   flow.FiveTuple{},
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	pkts := make([]flow.Packet, 128)
+	for i := range pkts {
+		pkts[i] = flow.Packet{Size: 1000, SrcIP: uint32(i * 31), DstIP: 2, Proto: 6}
+	}
+	// Warm: circulate buffers and grow every lane's arena once.
+	p.PacketBatch(pkts)
+	p.EndInterval(0)
+	interval := 1
+	allocs := testing.AllocsPerRun(100, func() {
+		p.PacketBatch(pkts)
+		p.EndInterval(interval)
+		interval++
+	})
+	if allocs > 8 {
+		t.Fatalf("interval report path allocates %.1f allocs/op, budget is 8", allocs)
+	}
+}

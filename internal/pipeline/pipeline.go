@@ -219,6 +219,15 @@ type lane struct {
 	// rng is the producer-side xorshift state for Degrade subsampling;
 	// only the producer goroutine touches it.
 	rng uint64
+	// arena is the lane's grow-only report arena: flush replies are built
+	// into it (core.AppendEstimates) instead of a fresh slice per interval.
+	// The worker writes it only while servicing a flush op and the producer
+	// reads the reply before issuing the next flush, so the reply channel's
+	// handoff is the only synchronization needed.
+	arena []core.Estimate
+	// reply is the lane's reusable flush-reply channel (buffered, so the
+	// worker never blocks answering).
+	reply chan []core.Estimate
 }
 
 func (ln *lane) loadAlg() core.Algorithm { return *ln.alg.Load() }
@@ -252,8 +261,14 @@ type Pipeline struct {
 	// degradeKeep is the Degrade keep probability as a uint64 comparison
 	// threshold (keep when rng <= degradeKeep).
 	degradeKeep uint64
-	shardFn     hashing.Func
-	lanes       []*lane
+	// shardFn hashes flows to lanes; nil for a single-lane pipeline, whose
+	// packet path skips shard selection entirely (every flow maps to lane 0,
+	// so the hash would be pure overhead on the hot path).
+	shardFn hashing.Func
+	lanes   []*lane
+	// gather is EndInterval's reusable per-lane reply scratch, collected
+	// before the merged report is allocated at its exact final size.
+	gather [][]core.Estimate
 	// pending holds the batch currently being filled for each lane. Each
 	// lane owns QueueDepth+2 buffers total (queue + in-processing +
 	// being-filled), so a blocking receive from free can always be
@@ -293,7 +308,9 @@ func New(cfg Config) (*Pipeline, error) {
 		cfg:         cfg,
 		batchSize:   batchSize,
 		degradeKeep: uint64(keep * float64(^uint64(0))),
-		shardFn:     hashing.NewTabulation(cfg.Seed).New(uint32(cfg.Shards)),
+	}
+	if cfg.Shards > 1 {
+		p.shardFn = hashing.NewTabulation(cfg.Seed).New(uint32(cfg.Shards))
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		alg, err := cfg.NewAlgorithm(i)
@@ -302,10 +319,11 @@ func New(cfg Config) (*Pipeline, error) {
 			return nil, fmt.Errorf("pipeline: shard %d: %w", i, err)
 		}
 		ln := &lane{
-			ch:   make(chan op, cfg.QueueDepth),
-			free: make(chan *batch, cfg.QueueDepth+2),
-			tel:  &telemetry.Lane{},
-			rng:  uint64(cfg.Seed)*0x9E3779B97F4A7C15 + uint64(i) + 1,
+			ch:    make(chan op, cfg.QueueDepth),
+			free:  make(chan *batch, cfg.QueueDepth+2),
+			tel:   &telemetry.Lane{},
+			rng:   uint64(cfg.Seed)*0x9E3779B97F4A7C15 + uint64(i) + 1,
+			reply: make(chan []core.Estimate, 1),
 		}
 		for k := 0; k < cfg.QueueDepth+1; k++ {
 			ln.free <- newBatch(batchSize)
@@ -367,7 +385,8 @@ func (p *Pipeline) processOp(ln *lane, o op) (ok bool) {
 		}
 	}()
 	if o.flush != nil {
-		o.flush <- ln.loadAlg().EndInterval()
+		ln.arena = core.AppendEstimates(ln.loadAlg(), ln.arena[:0])
+		o.flush <- ln.arena
 		return true
 	}
 	core.ProcessBatch(ln.loadAlg(), o.b.keys, o.b.sizes)
@@ -483,15 +502,34 @@ func (p *Pipeline) dropOldest(ln *lane, b *batch) {
 }
 
 // Packet implements trace.Consumer: it hashes the packet's flow to a lane
-// and buffers it in the lane's pending batch.
+// and buffers it in the lane's pending batch. A single-lane pipeline skips
+// the shard hash — every flow maps to lane 0.
 func (p *Pipeline) Packet(pkt *flow.Packet) {
 	key := p.cfg.Definition.Key(pkt)
+	if p.shardFn == nil {
+		p.enqueue(0, key, pkt.Size)
+		return
+	}
 	p.enqueue(int(p.shardFn.Bucket(key)), key, pkt.Size)
 }
 
 // PacketBatch implements trace.BatchConsumer: the whole burst is keyed and
-// distributed to the per-lane batches in one pass.
+// distributed to the per-lane batches in one pass. The single-lane path
+// appends straight into lane 0's pending batch with the batch pointer held
+// in a register — no shard hash, no per-packet pending-slot load.
 func (p *Pipeline) PacketBatch(pkts []flow.Packet) {
+	if p.shardFn == nil {
+		b := p.pending[0]
+		for i := range pkts {
+			b.keys = append(b.keys, p.cfg.Definition.Key(&pkts[i]))
+			b.sizes = append(b.sizes, pkts[i].Size)
+			if len(b.keys) >= p.batchSize {
+				p.flushLane(0)
+				b = p.pending[0]
+			}
+		}
+		return
+	}
 	for i := range pkts {
 		key := p.cfg.Definition.Key(&pkts[i])
 		p.enqueue(int(p.shardFn.Bucket(key)), key, pkts[i].Size)
@@ -512,26 +550,33 @@ func (p *Pipeline) EndInterval(interval int) {
 	// (For the interval being closed the producer-side counters are exact
 	// because every batch below was flushed before the lanes answered.)
 	threshold := p.lanes[0].loadAlg().Threshold()
-	replies := make([]chan []core.Estimate, len(p.lanes))
 	for i, ln := range p.lanes {
 		p.flushLane(i)
-		replies[i] = make(chan []core.Estimate, 1)
-		ln.ch <- op{flush: replies[i]}
+		ln.ch <- op{flush: ln.reply}
 		ln.tel.ObserveFlush()
 	}
+	// Collect every lane's reply (a view of its report arena, valid until
+	// that lane's next flush) before allocating the merged report at its
+	// exact final size — the report path's only allocation besides the
+	// retained report itself.
 	r := core.IntervalReport{Interval: interval, Threshold: threshold}
 	shards := make([]int, len(p.lanes))
-	for i, reply := range replies {
-		ests := <-reply
+	total := 0
+	p.gather = p.gather[:0]
+	for i, ln := range p.lanes {
+		ests := <-ln.reply
 		shards[i] = len(ests)
+		total += len(ests)
+		p.gather = append(p.gather, ests)
+	}
+	r.Estimates = make([]core.Estimate, 0, total)
+	for _, ests := range p.gather {
 		r.Estimates = append(r.Estimates, ests...)
 	}
 	// A lane reports one estimate per flow-memory entry, so the estimate
 	// counts sum to the flow-memory usage at the end of the interval —
 	// the same quantity a single Device records as EntriesUsed.
-	for _, e := range shards {
-		r.EntriesUsed += e
-	}
+	r.EntriesUsed = total
 	// Merged estimates keep the same ordering guarantee as a single
 	// device's report: descending bytes, ties by descending key.
 	sort.Slice(r.Estimates, func(i, j int) bool {
