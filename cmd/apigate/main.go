@@ -1,0 +1,376 @@
+// Command apigate guards the public API of the traffic facade: it extracts
+// every exported declaration from a package into a normalized, sorted
+// listing and compares it against a committed baseline. Removing or
+// changing an existing declaration fails the gate (that is a breaking
+// change for every importer); adding new API is allowed and merely
+// reported, with -update rewriting the baseline.
+//
+// Usage:
+//
+//	apigate                 # check . against API_BASELINE.txt
+//	apigate -update         # accept the current API as the new baseline
+//	apigate -dir ./sub -baseline sub/API.txt
+//
+// The extraction is purely syntactic (go/ast), so the gate needs no build
+// and no dependencies: parameter names, comments and unexported
+// declarations are ignored; types are printed as written in the source.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var (
+		dir      = flag.String("dir", ".", "package directory to extract the API from")
+		baseline = flag.String("baseline", "API_BASELINE.txt", "baseline file to compare against")
+		update   = flag.Bool("update", false, "rewrite the baseline with the current API")
+	)
+	flag.Parse()
+	code, err := run(*dir, *baseline, *update, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apigate:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+// run executes the gate and returns the process exit code.
+func run(dir, baseline string, update bool, out *os.File) (int, error) {
+	current, err := extract(dir)
+	if err != nil {
+		return 1, err
+	}
+	if update {
+		if err := writeBaseline(baseline, current); err != nil {
+			return 1, err
+		}
+		fmt.Fprintf(out, "apigate: baseline %s updated, %d declarations\n", baseline, len(current))
+		return 0, nil
+	}
+	old, err := readBaseline(baseline)
+	if err != nil {
+		return 1, fmt.Errorf("%w (run with -update to create the baseline)", err)
+	}
+	removed, added := diff(old, current)
+	for _, l := range added {
+		fmt.Fprintf(out, "apigate: new API (allowed): %s\n", l)
+	}
+	for _, l := range removed {
+		fmt.Fprintf(out, "apigate: BREAKING: removed or changed: %s\n", l)
+	}
+	if len(removed) > 0 {
+		fmt.Fprintf(out, "apigate: %d breaking change(s); if intentional, rerun with -update and call it out in the change description\n", len(removed))
+		return 1, nil
+	}
+	fmt.Fprintf(out, "apigate: ok, %d declarations (%d new)\n", len(current), len(added))
+	return 0, nil
+}
+
+// extract parses the package in dir (test files excluded) and returns one
+// normalized line per exported declaration, sorted.
+func extract(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lines = append(lines, declLines(decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	// The same declaration cannot legally appear twice in one package, but
+	// dedup anyway so a parse oddity can't produce phantom diffs.
+	return dedup(lines), nil
+}
+
+// declLines renders one top-level declaration's exported surface.
+func declLines(decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil {
+			recv := typeString(d.Recv.List[0].Type)
+			if !exportedType(recv) {
+				return nil
+			}
+			return []string{fmt.Sprintf("method (%s) %s%s", recv, d.Name.Name, signature(d.Type))}
+		}
+		return []string{fmt.Sprintf("func %s%s", d.Name.Name, signature(d.Type))}
+	case *ast.GenDecl:
+		var lines []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() {
+					lines = append(lines, typeLines(s)...)
+				}
+			case *ast.ValueSpec:
+				kind := "var"
+				if d.Tok == token.CONST {
+					kind = "const"
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						l := kind + " " + name.Name
+						if s.Type != nil {
+							l += " " + typeString(s.Type)
+						}
+						lines = append(lines, l)
+					}
+				}
+			}
+		}
+		return lines
+	}
+	return nil
+}
+
+// typeLines renders a type declaration: its own line plus one line per
+// exported struct field or interface method, so changing a field type or
+// removing a method is caught as precisely as removing the type.
+func typeLines(s *ast.TypeSpec) []string {
+	name := s.Name.Name
+	if s.Assign != token.NoPos {
+		return []string{fmt.Sprintf("type %s = %s", name, typeString(s.Type))}
+	}
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		lines := []string{"type " + name + " struct"}
+		for _, f := range t.Fields.List {
+			ft := typeString(f.Type)
+			if len(f.Names) == 0 { // embedded
+				if exportedType(ft) {
+					lines = append(lines, fmt.Sprintf("field %s.%s (embedded)", name, ft))
+				}
+				continue
+			}
+			for _, fn := range f.Names {
+				if fn.IsExported() {
+					lines = append(lines, fmt.Sprintf("field %s.%s %s", name, fn.Name, ft))
+				}
+			}
+		}
+		return lines
+	case *ast.InterfaceType:
+		lines := []string{"type " + name + " interface"}
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 { // embedded interface
+				lines = append(lines, fmt.Sprintf("ifacemethod %s.%s (embedded)", name, typeString(m.Type)))
+				continue
+			}
+			for _, mn := range m.Names {
+				if mn.IsExported() {
+					ft, ok := m.Type.(*ast.FuncType)
+					if !ok {
+						continue
+					}
+					lines = append(lines, fmt.Sprintf("ifacemethod %s.%s%s", name, mn.Name, signature(ft)))
+				}
+			}
+		}
+		return lines
+	default:
+		return []string{fmt.Sprintf("type %s %s", name, typeString(s.Type))}
+	}
+}
+
+// signature renders a function type with parameter names stripped —
+// renaming a parameter is not an API change.
+func signature(ft *ast.FuncType) string {
+	var b strings.Builder
+	b.WriteString("(")
+	writeFieldTypes(&b, ft.Params)
+	b.WriteString(")")
+	if ft.Results != nil && len(ft.Results.List) > 0 {
+		if len(ft.Results.List) == 1 && len(ft.Results.List[0].Names) == 0 {
+			b.WriteString(" " + typeString(ft.Results.List[0].Type))
+		} else {
+			b.WriteString(" (")
+			writeFieldTypes(&b, ft.Results)
+			b.WriteString(")")
+		}
+	}
+	return b.String()
+}
+
+// writeFieldTypes writes a comma-separated type list, repeating the type
+// for grouped parameters ("a, b int" → "int, int").
+func writeFieldTypes(b *strings.Builder, fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	first := true
+	for _, f := range fl.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			if !first {
+				b.WriteString(", ")
+			}
+			first = false
+			b.WriteString(typeString(f.Type))
+		}
+	}
+}
+
+// typeString renders a type expression as written in the source.
+func typeString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.SelectorExpr:
+		return typeString(t.X) + "." + t.Sel.Name
+	case *ast.StarExpr:
+		return "*" + typeString(t.X)
+	case *ast.ArrayType:
+		if t.Len == nil {
+			return "[]" + typeString(t.Elt)
+		}
+		return "[" + typeString(t.Len) + "]" + typeString(t.Elt)
+	case *ast.Ellipsis:
+		return "..." + typeString(t.Elt)
+	case *ast.MapType:
+		return "map[" + typeString(t.Key) + "]" + typeString(t.Value)
+	case *ast.ChanType:
+		switch t.Dir {
+		case ast.RECV:
+			return "<-chan " + typeString(t.Value)
+		case ast.SEND:
+			return "chan<- " + typeString(t.Value)
+		}
+		return "chan " + typeString(t.Value)
+	case *ast.FuncType:
+		return "func" + signature(t)
+	case *ast.InterfaceType:
+		if len(t.Methods.List) == 0 {
+			return "interface{}"
+		}
+		var parts []string
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 {
+				parts = append(parts, typeString(m.Type))
+				continue
+			}
+			for _, mn := range m.Names {
+				if ft, ok := m.Type.(*ast.FuncType); ok {
+					parts = append(parts, mn.Name+signature(ft))
+				}
+			}
+		}
+		return "interface{ " + strings.Join(parts, "; ") + " }"
+	case *ast.StructType:
+		var parts []string
+		for _, f := range t.Fields.List {
+			ft := typeString(f.Type)
+			if len(f.Names) == 0 {
+				parts = append(parts, ft)
+				continue
+			}
+			for _, fn := range f.Names {
+				parts = append(parts, fn.Name+" "+ft)
+			}
+		}
+		return "struct{ " + strings.Join(parts, "; ") + " }"
+	case *ast.BasicLit:
+		return t.Value
+	case *ast.ParenExpr:
+		return "(" + typeString(t.X) + ")"
+	case *ast.IndexExpr: // generic instantiation
+		return typeString(t.X) + "[" + typeString(t.Index) + "]"
+	}
+	return fmt.Sprintf("<%T>", e)
+}
+
+// exportedType reports whether a receiver or embedded type name (possibly
+// "*T" or "pkg.T") is exported.
+func exportedType(name string) bool {
+	name = strings.TrimPrefix(name, "*")
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		name = name[i+1:]
+	}
+	return ast.IsExported(name)
+}
+
+// dedup removes adjacent duplicates from a sorted slice.
+func dedup(sorted []string) []string {
+	out := sorted[:0]
+	for i, l := range sorted {
+		if i == 0 || l != sorted[i-1] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// readBaseline loads a baseline file, ignoring blank lines and # comments.
+func readBaseline(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for _, l := range strings.Split(string(data), "\n") {
+		l = strings.TrimSpace(l)
+		if l == "" || strings.HasPrefix(l, "#") {
+			continue
+		}
+		lines = append(lines, l)
+	}
+	sort.Strings(lines)
+	return dedup(lines), nil
+}
+
+// writeBaseline writes the baseline with a short header.
+func writeBaseline(path string, lines []string) error {
+	var b strings.Builder
+	b.WriteString("# Public API baseline for the traffic facade, one line per exported\n")
+	b.WriteString("# declaration. Maintained by cmd/apigate: `go run ./cmd/apigate` checks\n")
+	b.WriteString("# the current API against this file and fails on removals or changes;\n")
+	b.WriteString("# `go run ./cmd/apigate -update` accepts the current API.\n")
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteString("\n")
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// diff returns baseline lines missing from current (removed/changed) and
+// current lines missing from the baseline (added). Both inputs are sorted.
+func diff(old, current []string) (removed, added []string) {
+	cur := make(map[string]bool, len(current))
+	for _, l := range current {
+		cur[l] = true
+	}
+	oldSet := make(map[string]bool, len(old))
+	for _, l := range old {
+		oldSet[l] = true
+		if !cur[l] {
+			removed = append(removed, l)
+		}
+	}
+	for _, l := range current {
+		if !oldSet[l] {
+			added = append(added, l)
+		}
+	}
+	return removed, added
+}

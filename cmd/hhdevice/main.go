@@ -8,13 +8,16 @@
 //	hhdevice -alg sh -preset MAG -scale 0.05 -adapt -entries 512 -top 5
 //	hhdevice -alg sh -preset MAG -shards 4 -overload degrade -listen :8080
 //	hhdevice -alg msf -preset MAG -export-tcp 127.0.0.1:2056    # spooled at-least-once export
+//	hhdevice -alg msf -ab sh -preset MAG                        # A/B: race two algorithms, score agreement
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/adapt"
@@ -27,6 +30,7 @@ import (
 	"repro/internal/netflow"
 	"repro/internal/netflow/reliable"
 	"repro/internal/pipeline"
+	"repro/internal/stagegraph"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -52,6 +56,7 @@ type options struct {
 	overload   pipeline.OverloadPolicy
 	degrade    float64
 	restart    bool
+	ab         string
 	top        int
 	seed       int64
 	preset     string
@@ -84,6 +89,7 @@ func main() {
 	flag.StringVar(&overload, "overload", "block", "lane overload policy: block, drop-newest, drop-oldest, degrade (sharded runs)")
 	flag.Float64Var(&o.degrade, "degrade-fraction", 0, "per-packet keep probability for -overload degrade (0 = default)")
 	flag.BoolVar(&o.restart, "restart-lanes", false, "restart a panicking lane with a fresh algorithm instead of quarantining it")
+	flag.StringVar(&o.ab, "ab", "", "race -alg against this second algorithm on the same stream and score their agreement per interval")
 	flag.IntVar(&o.top, "top", 10, "heavy hitters to print per interval")
 	flag.Int64Var(&o.seed, "seed", 1, "algorithm seed")
 	flag.StringVar(&o.preset, "preset", "", "run on a synthetic preset instead of a file")
@@ -173,13 +179,13 @@ func run(o options) error {
 		thBytes = 1
 	}
 
-	mkAlg := func(algSeed int64) (core.Algorithm, *adapt.Adaptor, error) {
+	mkAlgFor := func(algName string, algSeed int64) (core.Algorithm, *adapt.Adaptor, error) {
 		var (
 			alg     core.Algorithm
 			adaptor *adapt.Adaptor
 			err     error
 		)
-		switch o.algName {
+		switch algName {
 		case "sh":
 			alg, err = sampleandhold.New(sampleandhold.Config{
 				Entries:      o.entries,
@@ -212,9 +218,21 @@ func run(o options) error {
 		case "netflow":
 			alg, err = netflow.New(netflow.Config{SamplingRate: o.rate})
 		default:
-			err = fmt.Errorf("unknown algorithm %q (want sh, msf, netflow)", o.algName)
+			err = fmt.Errorf("unknown algorithm %q (want sh, msf, netflow)", algName)
 		}
 		return alg, adaptor, err
+	}
+	mkAlg := func(algSeed int64) (core.Algorithm, *adapt.Adaptor, error) {
+		return mkAlgFor(o.algName, algSeed)
+	}
+	if o.ab != "" {
+		if o.adaptive {
+			return fmt.Errorf("-ab compares fixed configurations; -adapt is not supported")
+		}
+		if o.export != "" || o.exportTCP != "" {
+			return fmt.Errorf("-ab does not export (which side would be authoritative?)")
+		}
+		return runAB(o, mkAlgFor, def, src, thBytes)
 	}
 	if o.shards > 1 {
 		return runSharded(o, mkAlg, def, src, meta, thBytes)
@@ -410,6 +428,83 @@ func (s *exportSink) registerHealth() {
 	debugserver.RegisterHealth("export", func() (telemetry.HealthStatus, string) {
 		return s.tel.Snapshot().Health()
 	})
+}
+
+// runAB races the primary algorithm (side "a") against a second one (side
+// "b") on the same packet stream through an A/B stage graph, scoring their
+// per-interval agreement with a compare stage — the quickest way to answer
+// "would sample-and-hold have caught the same heavy hitters as the filter?"
+// on a real trace.
+func runAB(o options, mkAlgFor func(string, int64) (core.Algorithm, *adapt.Adaptor, error),
+	def flow.Definition, src trace.Source, thBytes uint64) error {
+
+	shards := o.shards
+	if shards < 1 {
+		shards = 1
+	}
+	mkCfg := func(algName string, seedBase int64) stagegraph.MeasureConfig {
+		return stagegraph.MeasureConfig{
+			Shards:          shards,
+			QueueDepth:      1024,
+			Overload:        o.overload,
+			DegradeFraction: o.degrade,
+			RestartOnPanic:  o.restart,
+			NewAlgorithm: func(shard int) (core.Algorithm, error) {
+				alg, _, err := mkAlgFor(algName, seedBase+int64(shard))
+				return alg, err
+			},
+			Definition: def,
+			Seed:       o.seed,
+		}
+	}
+	topo := stagegraph.PresetAB(mkCfg(o.algName, o.seed+1), mkCfg(o.ab, o.seed+501), o.top)
+
+	// Tap the compare stage's events; the graph supervises the tap like any
+	// other async stage, and Close drains it before collect is read.
+	var (
+		mu      sync.Mutex
+		results []stagegraph.CompareResult
+	)
+	topo.Nodes = append(topo.Nodes, stagegraph.Node{
+		Name: "tap",
+		Stage: stagegraph.NewFunc("tap",
+			[]stagegraph.Port{{Name: "in", Type: stagegraph.EventPort}}, nil,
+			func(in stagegraph.Inbound, _ stagegraph.EmitFunc) error {
+				if in.Msg.Event != nil {
+					if res, ok := in.Msg.Event.Payload.(stagegraph.CompareResult); ok {
+						mu.Lock()
+						results = append(results, res)
+						mu.Unlock()
+					}
+				}
+				return nil
+			}),
+	})
+	topo.Edges = append(topo.Edges, stagegraph.Edge{From: "compare.events", To: "tap.in"})
+
+	g, err := stagegraph.New(stagegraph.Config{Topology: topo})
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+
+	fmt.Printf("A/B device: %s (a) vs %s (b), flows by %s, threshold %d bytes (%.4f%% of capacity), %d shard(s)\n",
+		o.algName, o.ab, def.Name(), thBytes, o.threshold*100, shards)
+	n, err := trace.Replay(src, g)
+	if err != nil {
+		return err
+	}
+	g.Close() // drain the ops plane so every comparison has arrived
+
+	mu.Lock()
+	defer mu.Unlock()
+	sort.Slice(results, func(i, j int) bool { return results[i].Interval < results[j].Interval })
+	for _, r := range results {
+		fmt.Printf("interval %d: a=%d flows, b=%d flows, %d common, top-%d overlap %.0f%%, avg rel diff %.2f%%\n",
+			r.Interval, r.FlowsA, r.FlowsB, r.CommonFlows, r.K, 100*r.TopKOverlap, 100*r.AvgRelDiff)
+	}
+	fmt.Printf("processed %d packets through both sides\n", n)
+	return nil
 }
 
 // runSharded drives the trace through an RSS-style pipeline of independent

@@ -48,6 +48,40 @@ func TestRunSharded(t *testing.T) {
 	}
 }
 
+func TestRunAB(t *testing.T) {
+	o := testOptions("msf", "5-tuple", "COS", 0.05, 2)
+	o.ab = "sh"
+	o.top = 5
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	// Sharded A/B exercises the same graph with sharded measure stages.
+	o.shards = 2
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunABErrors(t *testing.T) {
+	o := testOptions("msf", "5-tuple", "COS", 0.05, 1)
+	o.ab = "bogus"
+	if err := run(o); err == nil {
+		t.Error("bad -ab algorithm accepted")
+	}
+	o = testOptions("msf", "5-tuple", "COS", 0.05, 1)
+	o.ab = "sh"
+	o.adaptive = true
+	if err := run(o); err == nil {
+		t.Error("-ab with -adapt accepted")
+	}
+	o = testOptions("msf", "5-tuple", "COS", 0.05, 1)
+	o.ab = "sh"
+	o.export = "127.0.0.1:2055"
+	if err := run(o); err == nil {
+		t.Error("-ab with -export accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run(testOptions("bogus", "5-tuple", "COS", 0.05, 1)); err == nil {
 		t.Error("bad algorithm accepted")

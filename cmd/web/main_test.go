@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/pubsub"
+	"repro/internal/stagegraph"
+)
+
+func testOptions() options {
+	return options{
+		algs: "msf", preset: "MAG", scale: 0.02, intervals: 2,
+		tick: time.Millisecond, threshold: 0.001,
+		entries: 256, stages: 2, buckets: 128, shards: 1, top: 5, seed: 1,
+	}
+}
+
+// TestBuildTopologySingle: one algorithm yields the preset shard-lane graph
+// plus a bus stage fed by the measure's reports and telemetry.
+func TestBuildTopologySingle(t *testing.T) {
+	bus, err := pubsub.New(pubsub.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := buildTopology(testOptions(), []string{"msf"}, 1000, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Nodes) != 3 || len(topo.Edges) != 3 {
+		t.Fatalf("nodes=%d edges=%d, want 3 and 3", len(topo.Nodes), len(topo.Edges))
+	}
+	g, err := stagegraph.New(stagegraph.Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	sub := bus.Subscribe(0, "reports")
+	p := flow.Packet{Size: 5000, SrcIP: 1, DstIP: 2, Proto: 6}
+	for i := 0; i < 10; i++ {
+		g.Packet(&p)
+	}
+	g.EndInterval(0)
+	select {
+	case e := <-sub.C:
+		rm, ok := e.Payload.(stagegraph.ReportMsg)
+		if !ok {
+			t.Fatalf("payload type %T", e.Payload)
+		}
+		if rm.Node != "measure" || rm.Report.Interval != 0 {
+			t.Errorf("got node %q interval %d", rm.Node, rm.Report.Interval)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no report published on bus")
+	}
+}
+
+// TestBuildTopologyAB: two algorithms yield the A/B preset with compare,
+// every report and event wired into the bus.
+func TestBuildTopologyAB(t *testing.T) {
+	bus, err := pubsub.New(pubsub.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := buildTopology(testOptions(), []string{"msf", "sh"}, 1000, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Nodes) != 5 || len(topo.Edges) != 9 {
+		t.Fatalf("nodes=%d edges=%d, want 5 and 9", len(topo.Nodes), len(topo.Edges))
+	}
+	g, err := stagegraph.New(stagegraph.Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	sub := bus.Subscribe(0, "events/compare")
+	p := flow.Packet{Size: 5000, SrcIP: 1, DstIP: 2, Proto: 6}
+	for i := 0; i < 10; i++ {
+		g.Packet(&p)
+	}
+	g.EndInterval(0)
+	select {
+	case e := <-sub.C:
+		ev, ok := e.Payload.(stagegraph.Event)
+		if !ok {
+			t.Fatalf("payload type %T", e.Payload)
+		}
+		res, ok := ev.Payload.(stagegraph.CompareResult)
+		if !ok {
+			t.Fatalf("event payload type %T", ev.Payload)
+		}
+		if res.Interval != 0 || res.NodeA != "a" || res.NodeB != "b" {
+			t.Errorf("compare result %+v", res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no compare result published on bus")
+	}
+}
+
+// TestBuildTopologyUnknownAlg: a bad algorithm name fails up front, not at
+// first packet.
+func TestBuildTopologyUnknownAlg(t *testing.T) {
+	bus, err := pubsub.New(pubsub.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildTopology(testOptions(), []string{"bogus"}, 1000, bus); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+// TestRenderPayloadTrimsReports: a report with many estimates streams as a
+// top-K view; non-report payloads pass through untouched.
+func TestRenderPayloadTrimsReports(t *testing.T) {
+	ests := make([]core.Estimate, 50)
+	for i := range ests {
+		ests[i] = core.Estimate{Key: flow.Key{Lo: uint64(i)}, Bytes: uint64(1000 - i)}
+	}
+	e := pubsub.Event{Topic: "reports", Payload: stagegraph.ReportMsg{
+		Node:   "measure",
+		Report: core.IntervalReport{Interval: 3, Estimates: ests, EntriesUsed: 50, Threshold: 77},
+	}}
+	v, ok := renderPayload(e, flow.FiveTuple{}, 5).(reportView)
+	if !ok {
+		t.Fatalf("render type %T", renderPayload(e, flow.FiveTuple{}, 5))
+	}
+	if v.Node != "measure" || v.Interval != 3 || v.Flows != 50 || v.Threshold != 77 {
+		t.Errorf("view header %+v", v)
+	}
+	if len(v.Top) != 5 || v.Top[0].Bytes != 1000 {
+		t.Errorf("top-K %+v", v.Top)
+	}
+
+	other := pubsub.Event{Topic: "events/telemetry", Payload: 42}
+	if got := renderPayload(other, flow.FiveTuple{}, 5); got != 42 {
+		t.Errorf("non-report payload rewritten: %v", got)
+	}
+}
+
+// TestServeEventsStreams: the SSE handler forwards bus events in wire
+// format and terminates when the client goes away.
+func TestServeEventsStreams(t *testing.T) {
+	bus, err := pubsub.New(pubsub.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(serveEvents(bus, flow.FiveTuple{}, 5))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req := httptest.NewRequest("GET", srv.URL, nil).WithContext(ctx)
+	req.RequestURI = ""
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	// The subscription is registered inside the handler goroutine; publish
+	// until one lands rather than racing a single publish against it.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				bus.Publish("events/compare", stagegraph.Event{Kind: "compare"})
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}()
+
+	sc := bufio.NewScanner(resp.Body)
+	var ev, data string
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			ev = strings.TrimPrefix(line, "event: ")
+		}
+		if strings.HasPrefix(line, "data: ") {
+			data = strings.TrimPrefix(line, "data: ")
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if ev != "compare" {
+		t.Errorf("event name %q, want compare", ev)
+	}
+	if !strings.Contains(data, `"seq"`) || !strings.Contains(data, `"payload"`) {
+		t.Errorf("data frame %q missing envelope", data)
+	}
+}

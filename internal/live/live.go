@@ -10,11 +10,42 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cfgerr"
 	"repro/internal/core"
 	"repro/internal/flow"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
+
+// Config configures a Runner.
+type Config struct {
+	// Consumer receives packets and interval boundaries (typically a
+	// *device.Device, *device.Multi, a pipeline or a stage graph).
+	Consumer trace.Consumer
+	// Interval is the default wall-clock interval length used when Run is
+	// called with a zero interval. Optional: zero means Run's argument is
+	// always used.
+	Interval time.Duration
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Consumer == nil {
+		return cfgerr.New("live", "Consumer", "is required")
+	}
+	if c.Interval < 0 {
+		return cfgerr.New("live", "Interval", "must not be negative, got %v", c.Interval)
+	}
+	return nil
+}
+
+// Option customizes a Runner beyond its Config.
+type Option func(*Runner)
+
+// WithClock overrides the runner's tick timestamp source (tests).
+func WithClock(now func() time.Time) Option {
+	return func(r *Runner) { r.now = now }
+}
 
 // Reporter is a consumer that accumulates interval reports; Device and
 // Pipeline both implement it.
@@ -26,20 +57,34 @@ type Reporter interface {
 // which is not otherwise safe for concurrent use. Packets may arrive from
 // any goroutine; the tick source runs in its own.
 type Runner struct {
-	mu       sync.Mutex
-	consumer trace.Consumer
-	interval int
-	packets  uint64
+	mu          sync.Mutex
+	consumer    trace.Consumer
+	intervalLen time.Duration
+	now         func() time.Time
+	interval    int
+	packets     uint64
 	// sinceTick counts packets in the interval currently open, so Run can
 	// skip closing an empty final partial interval.
 	sinceTick uint64
 	tel       telemetry.Runner
 }
 
-// NewRunner wraps a consumer (typically a *device.Device or
-// *device.Multi).
+// New validates cfg and builds a runner.
+func New(cfg Config, opts ...Option) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Runner{consumer: cfg.Consumer, intervalLen: cfg.Interval, now: time.Now}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r, nil
+}
+
+// NewRunner wraps a consumer (typically a *device.Device or *device.Multi);
+// it is the no-configuration shorthand for New(Config{Consumer: c}).
 func NewRunner(c trace.Consumer) *Runner {
-	return &Runner{consumer: c}
+	return &Runner{consumer: c, now: time.Now}
 }
 
 // Packet feeds one packet; safe for concurrent use.
@@ -60,7 +105,7 @@ func (r *Runner) Tick() int {
 	r.consumer.EndInterval(i)
 	r.interval++
 	r.sinceTick = 0
-	r.tel.ObserveTick(time.Now())
+	r.tel.ObserveTick(r.now())
 	return i
 }
 
@@ -101,8 +146,12 @@ func (r *Runner) Stats() telemetry.RunnerSnapshot {
 // Run ticks every interval of wall-clock time until the context is
 // cancelled, then closes one final partial interval — skipped when no
 // packet arrived since the last tick, so cancellation right after a
-// boundary does not append an empty trailing report.
+// boundary does not append an empty trailing report. A zero interval
+// falls back to Config.Interval.
 func (r *Runner) Run(ctx context.Context, interval time.Duration) {
+	if interval == 0 {
+		interval = r.intervalLen
+	}
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	for {

@@ -22,6 +22,58 @@ func newDev(t *testing.T) *device.Device {
 	return device.New(alg, flow.FiveTuple{}, nil)
 }
 
+func TestConfigValidate(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil Consumer accepted")
+	}
+	if _, err := New(Config{Consumer: newDev(t), Interval: -time.Second}); err == nil {
+		t.Fatal("negative Interval accepted")
+	}
+	r, err := New(Config{Consumer: newDev(t), Interval: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == nil {
+		t.Fatal("nil runner")
+	}
+}
+
+func TestNewWithClock(t *testing.T) {
+	dev := newDev(t)
+	fixed := time.Unix(1000, 0)
+	r, err := New(Config{Consumer: dev}, WithClock(func() time.Time { return fixed }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := flow.Packet{Size: 100, SrcIP: 1, DstIP: 2, Proto: 6}
+	r.Packet(&p)
+	r.Tick()
+	if got := r.Stats().LastTick; !got.Equal(fixed) {
+		t.Errorf("LastTick = %v, want %v", got, fixed)
+	}
+}
+
+func TestRunUsesConfigInterval(t *testing.T) {
+	dev := newDev(t)
+	r, err := New(Config{Consumer: dev, Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); r.Run(ctx, 0) }()
+	p := flow.Packet{Size: 100, SrcIP: 1, DstIP: 2, Proto: 6}
+	for r.Intervals() < 2 {
+		r.Packet(&p)
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-done
+	if r.Intervals() < 2 {
+		t.Errorf("intervals = %d, want >= 2", r.Intervals())
+	}
+}
+
 func TestManualTicks(t *testing.T) {
 	dev := newDev(t)
 	r := NewRunner(dev)

@@ -1,669 +1,123 @@
-// Package pipeline shards a measurement device across goroutines the way a
-// multi-queue NIC (RSS) shards packets across cores: flows are hashed to
-// shards, each shard runs its own independent algorithm instance, and
-// interval reports are merged. Because sharding is per flow, each flow is
-// measured by exactly one instance and the merged report has the same
-// per-flow guarantees (lower bounds, no false negatives at the per-shard
-// threshold) as a single instance.
-//
-// Packets are handed to lanes in batches, NIC-burst style: the producer
-// buffers up to BatchSize (key, size) pairs per lane and performs one
-// channel operation per batch instead of per packet, which amortizes the
-// channel synchronization that otherwise dominates the software hot path.
-// Batch buffers are recycled through a per-lane free list, so the
-// steady-state packet loop allocates nothing. Partial batches are flushed at
-// interval boundaries, so merged reports are bit-identical to an unbatched
-// run.
-//
-// # Overload and failure behavior
-//
-// The paper's core promise is bounded resources under worst-case traffic:
-// the device degrades gracefully instead of falling over. The pipeline
-// keeps that promise at the software layer in two ways.
-//
-// Overload: when a lane's queue is full, Config.Overload selects what the
-// producer does — Block (wait, lossless), DropNewest/DropOldest (shed a
-// whole batch, newest or oldest first), or Degrade (probabilistically
-// subsample the batch, sample-and-hold style, so estimates degrade smoothly
-// instead of whole bursts vanishing). Shedding and degradation are counted
-// per lane in the telemetry.
-//
-// Failure: every lane worker runs under a supervisor. A panic in a lane's
-// algorithm is recovered; the lane is either restarted with a fresh
-// algorithm instance (Config.RestartOnPanic) or quarantined — it keeps
-// draining its queue, counting batches as shed, and answers interval
-// flushes with an empty report. Either way EndInterval and Close always
-// terminate, and the remaining lanes keep measuring.
-//
-// This is the software analogue of the paper's observation that its
-// algorithms parallelize: the per-packet work is a few independent memory
-// references, so throughput scales with lanes.
+// Package pipeline is the fixed shard→lane measurement pipeline, kept as
+// the stable facade over the composable stage graph that now implements it
+// (internal/stagegraph). New compiles the PresetShardLane topology — one
+// source feeding one sharded measure stage — so a Pipeline runs the exact
+// engine it always did: per-flow sharding across lanes, NIC-burst batching
+// with a buffer freelist, overload policies (Block, DropNewest, DropOldest,
+// Degrade), supervised lanes with panic quarantine/restart, arena-backed
+// interval reports. Custom topologies (A/B algorithm races, per-tenant
+// branches, live ops buses) are built directly with stagegraph; this
+// package is the "just give me the paper's device, sharded" entry point.
 package pipeline
 
 import (
-	"fmt"
-	"sort"
-	"sync"
-	"sync/atomic"
-
-	"repro/internal/cfgerr"
 	"repro/internal/core"
 	"repro/internal/flow"
-	"repro/internal/hashing"
+	"repro/internal/stagegraph"
 	"repro/internal/telemetry"
 )
 
 // DefaultBatchSize is the per-lane batch size used when Config.BatchSize is
-// zero: big enough to amortize a channel operation, small enough that a
-// lane's working set of buffered keys stays cache-resident.
-const DefaultBatchSize = 64
-
-// OverloadPolicy selects the producer's behavior when a lane queue is full.
-type OverloadPolicy int
-
-const (
-	// Block waits for the lane to drain: lossless, but a slow lane
-	// backpressures the producer (and, behind it, the link). This is the
-	// default and the only policy that never loses packets.
-	Block OverloadPolicy = iota
-	// DropNewest sheds the incoming batch and keeps the queued ones: the
-	// oldest buffered traffic survives, the burst that overflowed is lost.
-	DropNewest
-	// DropOldest pops the oldest queued batch to make room for the new one:
-	// the freshest traffic survives, which keeps reports current under
-	// sustained overload.
-	DropOldest
-	// Degrade subsamples the overflowing batch instead of dropping it:
-	// each packet survives with probability Config.DegradeFraction, so —
-	// sample-and-hold style — large flows keep being observed in rough
-	// proportion while total lane work shrinks. The thinned batch is then
-	// delivered (blocking if the queue is still full).
-	Degrade
-)
-
-// String names the policy.
-func (p OverloadPolicy) String() string {
-	switch p {
-	case Block:
-		return "block"
-	case DropNewest:
-		return "drop-newest"
-	case DropOldest:
-		return "drop-oldest"
-	case Degrade:
-		return "degrade"
-	default:
-		return "unknown"
-	}
-}
-
-// OverloadPolicyByName maps the CLI spellings to policies.
-func OverloadPolicyByName(name string) (OverloadPolicy, error) {
-	switch name {
-	case "", "block":
-		return Block, nil
-	case "drop-newest":
-		return DropNewest, nil
-	case "drop-oldest":
-		return DropOldest, nil
-	case "degrade":
-		return Degrade, nil
-	default:
-		return 0, fmt.Errorf("pipeline: unknown overload policy %q (want block, drop-newest, drop-oldest, degrade)", name)
-	}
-}
+// zero.
+const DefaultBatchSize = stagegraph.DefaultBatchSize
 
 // DefaultDegradeFraction is the Degrade policy's per-packet keep
 // probability when Config.DegradeFraction is zero.
-const DefaultDegradeFraction = 0.5
+const DefaultDegradeFraction = stagegraph.DefaultDegradeFraction
 
-// Config configures a sharded pipeline.
-type Config struct {
-	// Shards is the number of parallel lanes.
-	Shards int
-	// QueueDepth is each lane's channel capacity, in batches.
-	QueueDepth int
-	// BatchSize is the number of packets buffered per lane before the batch
-	// is handed over (one channel operation per batch). Zero selects
-	// DefaultBatchSize; 1 hands over every packet individually, which is
-	// the unbatched per-packet behavior.
-	BatchSize int
-	// Overload selects what the producer does when a lane's queue is full;
-	// the zero value is Block (lossless backpressure).
-	Overload OverloadPolicy
-	// DegradeFraction is the Degrade policy's per-packet keep probability
-	// in (0, 1); zero selects DefaultDegradeFraction. Ignored by the other
-	// policies.
-	DegradeFraction float64
-	// RestartOnPanic restarts a panicking lane with a fresh algorithm from
-	// NewAlgorithm instead of quarantining it. The fresh instance starts
-	// with empty flow memory, so the lane's current interval undercounts;
-	// the lane's Restarts counter records that the report is approximate.
-	RestartOnPanic bool
-	// NewAlgorithm builds one lane's algorithm instance. Instances must be
-	// independent (separate state); shard is 0-based. With RestartOnPanic
-	// it is also called from lane worker goroutines after a panic, so it
-	// must be safe for concurrent use.
-	NewAlgorithm func(shard int) (core.Algorithm, error)
-	// Definition extracts flow keys; sharding hashes these keys.
-	Definition flow.Definition
-	// Seed seeds the shard-selection hash and the Degrade subsampler.
-	Seed int64
+// OverloadPolicy selects the producer's behavior when a lane queue is full;
+// see the stagegraph constants for each policy's semantics.
+type OverloadPolicy = stagegraph.OverloadPolicy
+
+const (
+	// Block waits for the lane to drain: lossless backpressure (default).
+	Block = stagegraph.Block
+	// DropNewest sheds the incoming batch, keeping the queued ones.
+	DropNewest = stagegraph.DropNewest
+	// DropOldest evicts the oldest queued batch so the freshest traffic
+	// survives.
+	DropOldest = stagegraph.DropOldest
+	// Degrade probabilistically subsamples the overflowing batch.
+	Degrade = stagegraph.Degrade
+)
+
+// OverloadPolicyByName maps the CLI spellings to policies.
+func OverloadPolicyByName(name string) (OverloadPolicy, error) {
+	return stagegraph.OverloadPolicyByName(name)
 }
 
-// Validate checks the configuration.
-func (c Config) Validate() error {
-	if c.Shards < 1 {
-		return cfgerr.New("pipeline", "Shards", "must be at least 1, got %d", c.Shards)
-	}
-	if c.QueueDepth < 1 {
-		return cfgerr.New("pipeline", "QueueDepth", "must be at least 1, got %d", c.QueueDepth)
-	}
-	if c.BatchSize < 0 {
-		return cfgerr.New("pipeline", "BatchSize", "must not be negative, got %d", c.BatchSize)
-	}
-	if c.Overload < Block || c.Overload > Degrade {
-		return cfgerr.New("pipeline", "Overload", "unknown policy %d", int(c.Overload))
-	}
-	if c.DegradeFraction < 0 || c.DegradeFraction >= 1 {
-		return cfgerr.New("pipeline", "DegradeFraction", "%g outside [0, 1)", c.DegradeFraction)
-	}
-	if c.NewAlgorithm == nil {
-		return cfgerr.New("pipeline", "NewAlgorithm", "is required")
-	}
-	if c.Definition == nil {
-		return cfgerr.New("pipeline", "Definition", "is required")
-	}
-	return nil
-}
+// Config configures the pipeline. It is the measure stage's configuration:
+// a pipeline is exactly one measure stage behind a source.
+type Config = stagegraph.MeasureConfig
 
-// batch is one lane's burst of packets, ready for core.ProcessBatch.
-type batch struct {
-	keys  []flow.Key
-	sizes []uint32
-}
+// Option customizes a Pipeline beyond its Config. There are currently no
+// pipeline-specific options; the parameter exists so the constructor shape
+// matches the rest of the facade ((Config, ...Option)).
+type Option func(*Pipeline)
 
-func newBatch(size int) *batch {
-	return &batch{keys: make([]flow.Key, 0, size), sizes: make([]uint32, 0, size)}
-}
-
-func (b *batch) reset() {
-	b.keys = b.keys[:0]
-	b.sizes = b.sizes[:0]
-}
-
-func (b *batch) bytes() uint64 {
-	var total uint64
-	for _, s := range b.sizes {
-		total += uint64(s)
-	}
-	return total
-}
-
-type op struct {
-	b *batch
-	// flush, when non-nil, asks the lane to close the interval and reply
-	// with its estimates.
-	flush chan []core.Estimate
-}
-
-// lane bundles one shard's channels, telemetry and algorithm. The algorithm
-// is held behind an atomic pointer because a supervised restart swaps it
-// from the lane worker goroutine while the producer may be reading
-// Threshold/EntriesUsed/Stats.
-type lane struct {
-	ch   chan op
-	free chan *batch
-	tel  *telemetry.Lane
-	alg  atomic.Pointer[core.Algorithm]
-	// rng is the producer-side xorshift state for Degrade subsampling;
-	// only the producer goroutine touches it.
-	rng uint64
-	// arena is the lane's grow-only report arena: flush replies are built
-	// into it (core.AppendEstimates) instead of a fresh slice per interval.
-	// The worker writes it only while servicing a flush op and the producer
-	// reads the reply before issuing the next flush, so the reply channel's
-	// handoff is the only synchronization needed.
-	arena []core.Estimate
-	// reply is the lane's reusable flush-reply channel (buffered, so the
-	// worker never blocks answering).
-	reply chan []core.Estimate
-}
-
-func (ln *lane) loadAlg() core.Algorithm { return *ln.alg.Load() }
-
-func (ln *lane) storeAlg(a core.Algorithm) { ln.alg.Store(&a) }
-
-// shedBatch counts b as shed and recycles its buffer.
-func (ln *lane) shedBatch(b *batch) {
-	ln.tel.ObserveShed(1, len(b.keys), b.bytes())
-	b.reset()
-	ln.free <- b
-}
-
-// xorshift64star advances the lane's subsampling RNG.
-func (ln *lane) next() uint64 {
-	x := ln.rng
-	x ^= x >> 12
-	x ^= x << 25
-	x ^= x >> 27
-	ln.rng = x
-	return x * 0x2545F4914F6CDD1D
-}
-
-// Pipeline implements trace.Consumer and trace.BatchConsumer over sharded
-// lanes. The producer side (Packet, PacketBatch, EndInterval, Close) must be
-// driven from a single goroutine, like any trace.Consumer; Stats and Health
-// may be called from any goroutine.
+// Pipeline is a sharded measurement device built from the preset shard→lane
+// stage graph. The packet-facing methods must be driven from a single
+// producer goroutine; Stats and Health are safe from any goroutine.
 type Pipeline struct {
-	cfg       Config
-	batchSize int
-	// degradeKeep is the Degrade keep probability as a uint64 comparison
-	// threshold (keep when rng <= degradeKeep).
-	degradeKeep uint64
-	// shardFn hashes flows to lanes; nil for a single-lane pipeline, whose
-	// packet path skips shard selection entirely (every flow maps to lane 0,
-	// so the hash would be pure overhead on the hot path).
-	shardFn hashing.Func
-	lanes   []*lane
-	// gather is EndInterval's reusable per-lane reply scratch, collected
-	// before the merged report is allocated at its exact final size.
-	gather [][]core.Estimate
-	// pending holds the batch currently being filled for each lane. Each
-	// lane owns QueueDepth+2 buffers total (queue + in-processing +
-	// being-filled), so a blocking receive from free can always be
-	// satisfied.
-	pending []*batch
-	wg      sync.WaitGroup
-	reports []core.IntervalReport
-	// perShard[i][s] is the number of estimates shard s contributed to
-	// interval report i.
-	perShard [][]int
-	// reportCount mirrors len(reports) for concurrent Stats readers.
-	reportCount atomic.Int64
-	closed      bool
-	// exportTel, when set, is the export path's counters, included in Stats
-	// and Health alongside the lane counters.
-	exportTel *telemetry.Export
+	g *stagegraph.Graph
+	m *stagegraph.Measure
 }
 
-// SetExportTelemetry attaches an export path's counters to the pipeline's
-// snapshots (and thereby its Health). Call before traffic flows.
-func (p *Pipeline) SetExportTelemetry(t *telemetry.Export) { p.exportTel = t }
-
-// New builds and starts a pipeline; call Close when done.
-func New(cfg Config) (*Pipeline, error) {
+// New validates cfg, compiles the preset shard→lane topology and starts its
+// lanes. On error nothing is left running.
+func New(cfg Config, opts ...Option) (*Pipeline, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	batchSize := cfg.BatchSize
-	if batchSize == 0 {
-		batchSize = DefaultBatchSize
+	g, err := stagegraph.New(stagegraph.Config{Topology: stagegraph.PresetShardLane(cfg)})
+	if err != nil {
+		return nil, err
 	}
-	keep := cfg.DegradeFraction
-	if keep == 0 {
-		keep = DefaultDegradeFraction
-	}
-	p := &Pipeline{
-		cfg:         cfg,
-		batchSize:   batchSize,
-		degradeKeep: uint64(keep * float64(^uint64(0))),
-	}
-	if cfg.Shards > 1 {
-		p.shardFn = hashing.NewTabulation(cfg.Seed).New(uint32(cfg.Shards))
-	}
-	for i := 0; i < cfg.Shards; i++ {
-		alg, err := cfg.NewAlgorithm(i)
-		if err != nil {
-			p.Close()
-			return nil, fmt.Errorf("pipeline: shard %d: %w", i, err)
-		}
-		ln := &lane{
-			ch:    make(chan op, cfg.QueueDepth),
-			free:  make(chan *batch, cfg.QueueDepth+2),
-			tel:   &telemetry.Lane{},
-			rng:   uint64(cfg.Seed)*0x9E3779B97F4A7C15 + uint64(i) + 1,
-			reply: make(chan []core.Estimate, 1),
-		}
-		for k := 0; k < cfg.QueueDepth+1; k++ {
-			ln.free <- newBatch(batchSize)
-		}
-		ln.storeAlg(alg)
-		p.lanes = append(p.lanes, ln)
-		p.pending = append(p.pending, newBatch(batchSize))
-		p.wg.Add(1)
-		go p.run(i, ln)
+	p := &Pipeline{g: g, m: g.Measure("measure")}
+	for _, opt := range opts {
+		opt(p)
 	}
 	return p, nil
 }
 
-// run is the supervised lane worker: it processes ops until the channel
-// closes, recovering panics. After a panic the lane is restarted with a
-// fresh algorithm (Config.RestartOnPanic) or quarantined — still draining
-// the queue so the producer, EndInterval and Close never block on it, but
-// shedding every batch and answering flushes with an empty report.
-func (p *Pipeline) run(shard int, ln *lane) {
-	defer p.wg.Done()
-	quarantined := false
-	for o := range ln.ch {
-		if quarantined {
-			p.shedOp(ln, o)
-			continue
-		}
-		if p.processOp(ln, o) {
-			continue
-		}
-		// The op panicked (processOp recovered, replied, recycled).
-		if p.cfg.RestartOnPanic {
-			if alg, err := p.cfg.NewAlgorithm(shard); err == nil {
-				ln.storeAlg(alg)
-				ln.tel.ObserveRestart()
-				ln.tel.SetHealth(telemetry.LaneRestarted)
-				continue
-			}
-		}
-		quarantined = true
-		ln.tel.SetHealth(telemetry.LaneQuarantined)
-	}
-}
+// Graph exposes the underlying compiled stage graph (its Stats include the
+// per-stage supervision counters).
+func (p *Pipeline) Graph() *stagegraph.Graph { return p.g }
 
-// processOp runs one op under panic recovery. On panic it counts the
-// panic, synthesizes an empty flush reply (so EndInterval never deadlocks),
-// sheds the batch (so its buffer returns to the free list and the producer
-// never starves), and reports ok=false so the supervisor reacts.
-func (p *Pipeline) processOp(ln *lane, o op) (ok bool) {
-	defer func() {
-		if r := recover(); r != nil {
-			ok = false
-			ln.tel.ObservePanic()
-			if o.flush != nil {
-				o.flush <- nil
-			}
-			if o.b != nil {
-				ln.shedBatch(o.b)
-			}
-		}
-	}()
-	if o.flush != nil {
-		ln.arena = core.AppendEstimates(ln.loadAlg(), ln.arena[:0])
-		o.flush <- ln.arena
-		return true
-	}
-	core.ProcessBatch(ln.loadAlg(), o.b.keys, o.b.sizes)
-	o.b.reset()
-	ln.free <- o.b
-	return true
-}
+// SetExportTelemetry attaches an export path's counters to the pipeline's
+// snapshots (and thereby its Health). Call before traffic flows.
+func (p *Pipeline) SetExportTelemetry(t *telemetry.Export) { p.m.SetExportTelemetry(t) }
 
-// shedOp services an op in quarantine: batches are counted as shed and
-// recycled, flushes get an empty reply.
-func (p *Pipeline) shedOp(ln *lane, o op) {
-	if o.flush != nil {
-		o.flush <- nil
-		return
-	}
-	ln.shedBatch(o.b)
-}
+// Packet feeds one packet into the graph.
+func (p *Pipeline) Packet(pkt *flow.Packet) { p.g.Packet(pkt) }
 
-// enqueue appends one packet to its lane's pending batch and hands the batch
-// over when full.
-func (p *Pipeline) enqueue(lane int, key flow.Key, size uint32) {
-	b := p.pending[lane]
-	b.keys = append(b.keys, key)
-	b.sizes = append(b.sizes, size)
-	if len(b.keys) >= p.batchSize {
-		p.flushLane(lane)
-	}
-}
+// PacketBatch feeds a burst of packets into the graph in one call.
+func (p *Pipeline) PacketBatch(pkts []flow.Packet) { p.g.PacketBatch(pkts) }
 
-// flushLane hands the lane's pending batch to its worker (a no-op when the
-// batch is empty) and replaces it with a recycled buffer. A full lane queue
-// is resolved by the configured overload policy; with Block (and Degrade,
-// which delivers its thinned batch) the wait is counted as a flush stall.
-func (p *Pipeline) flushLane(i int) {
-	b := p.pending[i]
-	if len(b.keys) == 0 {
-		return
-	}
-	ln := p.lanes[i]
-	n := len(b.keys)
-	stalled := false
-	select {
-	case ln.ch <- op{b: b}:
-	default:
-		// Queue full: the lane is saturated. Apply the overload policy.
-		switch p.cfg.Overload {
-		case Block:
-			stalled = true
-			ln.ch <- op{b: b}
-		case DropNewest:
-			ln.tel.ObserveShed(1, n, b.bytes())
-			b.reset()
-			return // keep the same buffer as pending; nothing was handed over
-		case DropOldest:
-			p.dropOldest(ln, b)
-		case Degrade:
-			stalled = true
-			var dropped int
-			var droppedBytes uint64
-			w := 0
-			for k := range b.keys {
-				if ln.next() <= p.degradeKeep {
-					b.keys[w] = b.keys[k]
-					b.sizes[w] = b.sizes[k]
-					w++
-				} else {
-					dropped++
-					droppedBytes += uint64(b.sizes[k])
-				}
-			}
-			b.keys = b.keys[:w]
-			b.sizes = b.sizes[:w]
-			ln.tel.ObserveDegraded(dropped, droppedBytes)
-			if w == 0 {
-				b.reset()
-				return // whole batch subsampled away; keep the buffer
-			}
-			n = w
-			ln.ch <- op{b: b}
-		}
-	}
-	// An empty free list means the lane has not returned a buffer yet: the
-	// producer is about to block on it — counted, like a queue-full wait,
-	// as a flush stall.
-	stalled = stalled || len(ln.free) == 0
-	p.pending[i] = <-ln.free
-	ln.tel.ObserveBatch(n, len(ln.ch), stalled)
-}
+// EndInterval flushes every lane's partial batch and merges the lanes'
+// reports into one interval report.
+func (p *Pipeline) EndInterval(interval int) { p.g.EndInterval(interval) }
 
-// dropOldest delivers b by evicting queued batches, oldest first, until the
-// send succeeds. Evicted batches are counted as shed and recycled. The
-// queue can only hold batch ops here: EndInterval waits for every flush
-// reply before the producer continues, so no flush op is ever buffered when
-// flushLane runs — the guard is belt and braces.
-func (p *Pipeline) dropOldest(ln *lane, b *batch) {
-	for {
-		select {
-		case ln.ch <- op{b: b}:
-			return
-		default:
-		}
-		select {
-		case old := <-ln.ch:
-			if old.flush != nil {
-				old.flush <- nil
-				continue
-			}
-			ln.shedBatch(old.b)
-		default:
-			// The worker drained the queue between probes; retry the send.
-		}
-	}
-}
-
-// Packet implements trace.Consumer: it hashes the packet's flow to a lane
-// and buffers it in the lane's pending batch. A single-lane pipeline skips
-// the shard hash — every flow maps to lane 0.
-func (p *Pipeline) Packet(pkt *flow.Packet) {
-	key := p.cfg.Definition.Key(pkt)
-	if p.shardFn == nil {
-		p.enqueue(0, key, pkt.Size)
-		return
-	}
-	p.enqueue(int(p.shardFn.Bucket(key)), key, pkt.Size)
-}
-
-// PacketBatch implements trace.BatchConsumer: the whole burst is keyed and
-// distributed to the per-lane batches in one pass. The single-lane path
-// appends straight into lane 0's pending batch with the batch pointer held
-// in a register — no shard hash, no per-packet pending-slot load.
-func (p *Pipeline) PacketBatch(pkts []flow.Packet) {
-	if p.shardFn == nil {
-		b := p.pending[0]
-		for i := range pkts {
-			b.keys = append(b.keys, p.cfg.Definition.Key(&pkts[i]))
-			b.sizes = append(b.sizes, pkts[i].Size)
-			if len(b.keys) >= p.batchSize {
-				p.flushLane(0)
-				b = p.pending[0]
-			}
-		}
-		return
-	}
-	for i := range pkts {
-		key := p.cfg.Definition.Key(&pkts[i])
-		p.enqueue(int(p.shardFn.Bucket(key)), key, pkts[i].Size)
-	}
-}
-
-// EndInterval implements trace.Consumer: it flushes every lane's partial
-// batch, barriers all lanes (each lane drains its queue before answering,
-// because the channel is FIFO) and merges their reports. A quarantined
-// lane answers with an empty report instead of deadlocking, so EndInterval
-// always terminates.
-func (p *Pipeline) EndInterval(interval int) {
-	// The report's Threshold and EntriesUsed describe the interval being
-	// closed, so they are captured before the flush resets per-lane state.
-	// Reading lane algorithms is safe here: EntriesUsed and Threshold only
-	// change on the lane goroutine while it processes ops, and the previous
-	// interval's flush replies ordered all of those writes before this call.
-	// (For the interval being closed the producer-side counters are exact
-	// because every batch below was flushed before the lanes answered.)
-	threshold := p.lanes[0].loadAlg().Threshold()
-	for i, ln := range p.lanes {
-		p.flushLane(i)
-		ln.ch <- op{flush: ln.reply}
-		ln.tel.ObserveFlush()
-	}
-	// Collect every lane's reply (a view of its report arena, valid until
-	// that lane's next flush) before allocating the merged report at its
-	// exact final size — the report path's only allocation besides the
-	// retained report itself.
-	r := core.IntervalReport{Interval: interval, Threshold: threshold}
-	shards := make([]int, len(p.lanes))
-	total := 0
-	p.gather = p.gather[:0]
-	for i, ln := range p.lanes {
-		ests := <-ln.reply
-		shards[i] = len(ests)
-		total += len(ests)
-		p.gather = append(p.gather, ests)
-	}
-	r.Estimates = make([]core.Estimate, 0, total)
-	for _, ests := range p.gather {
-		r.Estimates = append(r.Estimates, ests...)
-	}
-	// A lane reports one estimate per flow-memory entry, so the estimate
-	// counts sum to the flow-memory usage at the end of the interval —
-	// the same quantity a single Device records as EntriesUsed.
-	r.EntriesUsed = total
-	// Merged estimates keep the same ordering guarantee as a single
-	// device's report: descending bytes, ties by descending key.
-	sort.Slice(r.Estimates, func(i, j int) bool {
-		a, b := r.Estimates[i], r.Estimates[j]
-		if a.Bytes != b.Bytes {
-			return a.Bytes > b.Bytes
-		}
-		if a.Key.Hi != b.Key.Hi {
-			return a.Key.Hi > b.Key.Hi
-		}
-		return a.Key.Lo > b.Key.Lo
-	})
-	p.reports = append(p.reports, r)
-	p.perShard = append(p.perShard, shards)
-	p.reportCount.Add(1)
-}
-
-// Reports returns the merged interval reports. The report type and the
-// ordering of its estimates are identical to a single Device's Reports:
-// descending bytes, ties broken by descending key.
-func (p *Pipeline) Reports() []core.IntervalReport { return p.reports }
+// Reports returns the merged interval reports; estimates are ordered by
+// descending bytes, ties broken by descending key, exactly like a single
+// Device's reports.
+func (p *Pipeline) Reports() []core.IntervalReport { return p.m.Reports() }
 
 // ShardCounts returns, for each interval report, how many estimates each
-// shard contributed — the sharding diagnostic that used to live on the
-// report itself.
-func (p *Pipeline) ShardCounts() [][]int { return p.perShard }
+// shard contributed.
+func (p *Pipeline) ShardCounts() [][]int { return p.m.ShardCounts() }
 
 // EntriesUsed sums flow-memory usage across lanes. Only meaningful between
-// intervals (lanes may be mid-batch otherwise).
-func (p *Pipeline) EntriesUsed() int {
-	total := 0
-	for _, ln := range p.lanes {
-		total += ln.loadAlg().EntriesUsed()
-	}
-	return total
-}
+// intervals.
+func (p *Pipeline) EntriesUsed() int { return p.m.EntriesUsed() }
 
-// Stats returns the pipeline's live telemetry: per-lane counters (batches
-// handed over, queue high-water marks, flush stalls, shed and degraded
-// traffic, panics, restarts, health) plus each lane algorithm's own
-// counters. Safe to call from any goroutine while the pipeline is running,
-// as long as every lane algorithm is instrumented (core.Instrumented — true
-// for all the algorithms in this module); snapshots of uninstrumented lane
-// algorithms are synthesized only between intervals and are marked Stale.
-// After a supervised restart the lane's algorithm counters restart from
-// zero; the lane's Restarts counter records the discontinuity.
-func (p *Pipeline) Stats() telemetry.PipelineSnapshot {
-	s := telemetry.PipelineSnapshot{
-		Shards:  len(p.lanes),
-		Reports: int(p.reportCount.Load()),
-	}
-	for _, ln := range p.lanes {
-		s.Lanes = append(s.Lanes, ln.tel.Snapshot())
-		alg := ln.loadAlg()
-		if in, ok := alg.(core.Instrumented); ok {
-			s.Algorithms = append(s.Algorithms, in.Telemetry().Snapshot())
-		} else {
-			s.Algorithms = append(s.Algorithms, telemetry.AlgorithmSnapshot{
-				Name: alg.Name(), Stale: true,
-			})
-		}
-	}
-	if p.exportTel != nil {
-		es := p.exportTel.Snapshot()
-		s.Export = &es
-	}
-	return s
-}
+// Stats returns the pipeline's live telemetry; see
+// stagegraph.Measure.Stats. Safe from any goroutine.
+func (p *Pipeline) Stats() telemetry.PipelineSnapshot { return p.m.Stats() }
 
-// Health grades the pipeline from its telemetry; see
-// telemetry.PipelineSnapshot.Health. Safe from any goroutine.
-func (p *Pipeline) Health() (telemetry.HealthStatus, string) {
-	return p.Stats().Health()
-}
+// Health grades the pipeline from its telemetry. Safe from any goroutine.
+func (p *Pipeline) Health() (telemetry.HealthStatus, string) { return p.m.Health() }
 
 // Close flushes buffered packets, stops the lanes and waits for them to
-// drain. Quarantined lanes drain by shedding, so Close terminates even
-// after lane failures. The pipeline must not be used afterwards; Close is
-// idempotent.
-func (p *Pipeline) Close() {
-	if p.closed {
-		return
-	}
-	p.closed = true
-	for i, ln := range p.lanes {
-		p.flushLane(i)
-		close(ln.ch)
-	}
-	p.wg.Wait()
-}
+// drain. Idempotent; the pipeline must not be used afterwards.
+func (p *Pipeline) Close() { p.g.Close() }

@@ -1,0 +1,161 @@
+package pubsub
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustBus(t *testing.T, cfg Config) *Bus {
+	t.Helper()
+	b, err := New(cfg, WithClock(func() time.Time { return time.Unix(42, 0) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if _, err := New(Config{QueueDepth: -1}); err == nil {
+		t.Fatal("negative QueueDepth accepted")
+	}
+}
+
+func TestTopicMatching(t *testing.T) {
+	b := mustBus(t, Config{})
+	defer b.Close()
+	all := b.Subscribe(0)
+	exact := b.Subscribe(0, "reports")
+	prefix := b.Subscribe(0, "events/")
+	empty := b.Subscribe(0, "")
+
+	b.Publish("reports", 1)
+	b.Publish("events/compare", 2)
+	b.Publish("events/telemetry", 3)
+	b.Close()
+
+	drain := func(s *Subscription) []string {
+		var topics []string
+		for e := range s.C {
+			topics = append(topics, e.Topic)
+		}
+		return topics
+	}
+	if got := drain(all); len(got) != 3 {
+		t.Errorf("no-topic subscription got %v, want all 3", got)
+	}
+	if got := drain(exact); len(got) != 1 || got[0] != "reports" {
+		t.Errorf("exact subscription got %v", got)
+	}
+	if got := drain(prefix); len(got) != 2 {
+		t.Errorf("prefix subscription got %v, want the 2 events", got)
+	}
+	if got := drain(empty); len(got) != 3 {
+		t.Errorf("empty-pattern subscription got %v, want all 3", got)
+	}
+}
+
+func TestSequenceAndTimestamps(t *testing.T) {
+	b := mustBus(t, Config{})
+	s := b.Subscribe(0)
+	b.Publish("a", "x")
+	b.Publish("a", "y")
+	b.Close()
+	var seqs []uint64
+	for e := range s.C {
+		if !e.Time.Equal(time.Unix(42, 0)) {
+			t.Errorf("event time = %v, want injected clock", e.Time)
+		}
+		seqs = append(seqs, e.Seq)
+	}
+	if len(seqs) != 2 || seqs[0] != 1 || seqs[1] != 2 {
+		t.Errorf("sequence numbers = %v, want [1 2]", seqs)
+	}
+}
+
+// A slow subscriber loses its oldest events, keeps the newest, and the loss
+// is counted on the subscription and the bus.
+func TestOverflowDropsOldest(t *testing.T) {
+	b := mustBus(t, Config{QueueDepth: 2})
+	s := b.Subscribe(2, "t")
+	for i := 0; i < 5; i++ {
+		b.Publish("t", i)
+	}
+	if got := s.Dropped(); got != 3 {
+		t.Errorf("subscription dropped %d, want 3", got)
+	}
+	stats := b.Stats()
+	if stats.Published != 5 || stats.Delivered != 5 || stats.Dropped != 3 {
+		t.Errorf("bus stats = %+v, want published 5, delivered 5, dropped 3", stats)
+	}
+	b.Close()
+	var got []any
+	for e := range s.C {
+		got = append(got, e.Payload)
+	}
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Errorf("survivors = %v, want the newest [3 4]", got)
+	}
+}
+
+func TestCancelRemovesSubscription(t *testing.T) {
+	b := mustBus(t, Config{})
+	s := b.Subscribe(0)
+	s.Cancel()
+	s.Cancel() // idempotent
+	if _, ok := <-s.C; ok {
+		t.Fatal("cancelled subscription channel not closed")
+	}
+	b.Publish("t", 1) // must not panic on the closed channel
+	if got := b.Stats().Subscribers; got != 0 {
+		t.Errorf("subscribers = %d after cancel, want 0", got)
+	}
+}
+
+func TestSubscribeAfterClose(t *testing.T) {
+	b := mustBus(t, Config{})
+	b.Close()
+	b.Close() // idempotent
+	s := b.Subscribe(0)
+	if _, ok := <-s.C; ok {
+		t.Fatal("subscription on closed bus not immediately closed")
+	}
+	b.Publish("t", 1) // dropped, no panic
+}
+
+// Publishers racing Cancel and Close must never panic or deadlock
+// (run with -race).
+func TestConcurrentPublishCancelClose(t *testing.T) {
+	b := mustBus(t, Config{QueueDepth: 4})
+	var subs []*Subscription
+	for i := 0; i < 8; i++ {
+		subs = append(subs, b.Subscribe(4, fmt.Sprintf("t%d", i%2)))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b.Publish(fmt.Sprintf("t%d", i%2), i)
+			}
+		}(w)
+	}
+	for _, s := range subs {
+		wg.Add(1)
+		go func(s *Subscription) {
+			defer wg.Done()
+			for range s.C {
+			}
+		}(s)
+	}
+	for _, s := range subs[:4] {
+		s.Cancel()
+	}
+	b.Close()
+	wg.Wait()
+}

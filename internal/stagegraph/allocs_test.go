@@ -1,0 +1,115 @@
+//go:build !race
+
+// The race detector changes the allocator's behavior, so the allocation
+// guards only exist in non-race builds; CI runs them in a dedicated step.
+
+package stagegraph
+
+import (
+	"testing"
+
+	"repro/internal/flow"
+)
+
+// TestPresetGraphZeroAllocs asserts the compiled preset graph's steady-state
+// packet path stays allocation-free: the sink dispatch the graph adds over
+// the raw engine is interface calls only, and the engine underneath keeps
+// its recycled batch buffers. This is the graph-level twin of the pipeline
+// package's zero-alloc guards.
+func TestPresetGraphZeroAllocs(t *testing.T) {
+	g, err := New(Config{Topology: PresetShardLane(MeasureConfig{
+		Shards: 1, QueueDepth: 256, BatchSize: 64,
+		NewAlgorithm: exactAlg(4096),
+		Definition:   flow.FiveTuple{}, Seed: 1,
+	})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	pkts := make([]flow.Packet, 128)
+	for i := range pkts {
+		pkts[i] = flow.Packet{Size: 1000, SrcIP: uint32(i * 31), DstIP: 2, Proto: 6}
+	}
+	for i := 0; i < 50; i++ {
+		g.PacketBatch(pkts)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		g.PacketBatch(pkts)
+	})
+	if allocs != 0 {
+		t.Fatalf("preset graph PacketBatch allocates %.1f allocs/op, must be 0", allocs)
+	}
+}
+
+// TestTransformChainZeroAllocs extends the guard to a composed packet
+// plane: source→filter→sample→measure must also run allocation-free once
+// the transforms' grow-only scratch buffers are warm, or composing stages
+// would silently tax the hot path.
+func TestTransformChainZeroAllocs(t *testing.T) {
+	topo := Topology{
+		Nodes: []Node{
+			{Name: "src", Stage: NewSource()},
+			{Name: "filt", Stage: NewFilter(func(p *flow.Packet) bool { return p.Size > 100 })},
+			{Name: "samp", Stage: NewSample(0.9, 3)},
+			{Name: "m", Stage: NewMeasure(MeasureConfig{
+				Shards: 1, QueueDepth: 256, BatchSize: 64,
+				NewAlgorithm: exactAlg(4096),
+				Definition:   flow.FiveTuple{}, Seed: 1,
+			})},
+		},
+		Edges: []Edge{
+			{From: "src.out", To: "filt.in"},
+			{From: "filt.out", To: "samp.in"},
+			{From: "samp.out", To: "m.in"},
+		},
+	}
+	g, err := New(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	pkts := make([]flow.Packet, 128)
+	for i := range pkts {
+		pkts[i] = flow.Packet{Size: uint32(50 + i*17%1400), SrcIP: uint32(i * 31), DstIP: 2, Proto: 6}
+	}
+	for i := 0; i < 50; i++ {
+		g.PacketBatch(pkts)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		g.PacketBatch(pkts)
+	})
+	if allocs != 0 {
+		t.Fatalf("transform-chain PacketBatch allocates %.1f allocs/op, must be 0", allocs)
+	}
+}
+
+// TestGraphReportPathArenaAllocs keeps the fixed pipeline's per-interval
+// allocation budget on the graph-built preset: lane arenas and persistent
+// reply channels make the lane side free, so only the retained report
+// itself remains.
+func TestGraphReportPathArenaAllocs(t *testing.T) {
+	g, err := New(Config{Topology: PresetShardLane(MeasureConfig{
+		Shards: 4, QueueDepth: 64, BatchSize: 64,
+		NewAlgorithm: exactAlg(4096),
+		Definition:   flow.FiveTuple{}, Seed: 1,
+	})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	pkts := make([]flow.Packet, 128)
+	for i := range pkts {
+		pkts[i] = flow.Packet{Size: 1000, SrcIP: uint32(i * 31), DstIP: 2, Proto: 6}
+	}
+	g.PacketBatch(pkts)
+	g.EndInterval(0)
+	interval := 1
+	allocs := testing.AllocsPerRun(100, func() {
+		g.PacketBatch(pkts)
+		g.EndInterval(interval)
+		interval++
+	})
+	if allocs > 8 {
+		t.Fatalf("graph interval report path allocates %.1f allocs/op, budget is 8", allocs)
+	}
+}

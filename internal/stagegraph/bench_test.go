@@ -1,0 +1,100 @@
+package stagegraph
+
+import (
+	"testing"
+
+	"repro/internal/flow"
+)
+
+func benchGraph(b *testing.B, topo Topology) *Graph {
+	b.Helper()
+	g, err := New(Config{Topology: topo})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(g.Close)
+	return g
+}
+
+func benchMeasureCfg(shards int) MeasureConfig {
+	return MeasureConfig{
+		Shards: shards, QueueDepth: 256, BatchSize: 64,
+		NewAlgorithm: exactAlg(4096),
+		Definition:   flow.FiveTuple{}, Seed: 1,
+	}
+}
+
+// BenchmarkGraphPresetPerBatch is the throughput-acceptance benchmark for
+// the stage-graph refactor: the single-shard preset's batched producer
+// loop, directly comparable to the root package's
+// BenchmarkPipelineBatchedSteadyState path (which now runs through the same
+// compiled graph). ns/op is per 64-packet burst.
+func BenchmarkGraphPresetPerBatch(b *testing.B) {
+	g := benchGraph(b, PresetShardLane(benchMeasureCfg(1)))
+	pkts := make([]flow.Packet, 64)
+	for i := range pkts {
+		pkts[i] = flow.Packet{Size: 1000, SrcIP: uint32(i * 31), DstIP: 2, Proto: 6}
+	}
+	for i := 0; i < 50; i++ {
+		g.PacketBatch(pkts)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkts[0].SrcIP = uint32(i % 10000)
+		g.PacketBatch(pkts)
+	}
+	b.StopTimer()
+	g.EndInterval(0)
+}
+
+// BenchmarkGraphTransformChainPerBatch prices a composed packet plane:
+// filter and sampler stages in front of the measure.
+func BenchmarkGraphTransformChainPerBatch(b *testing.B) {
+	topo := Topology{
+		Nodes: []Node{
+			{Name: "src", Stage: NewSource()},
+			{Name: "filt", Stage: NewFilter(func(p *flow.Packet) bool { return p.Size > 100 })},
+			{Name: "m", Stage: NewMeasure(benchMeasureCfg(1))},
+		},
+		Edges: []Edge{{From: "src.out", To: "filt.in"}, {From: "filt.out", To: "m.in"}},
+	}
+	g := benchGraph(b, topo)
+	pkts := make([]flow.Packet, 64)
+	for i := range pkts {
+		pkts[i] = flow.Packet{Size: 1000, SrcIP: uint32(i * 31), DstIP: 2, Proto: 6}
+	}
+	for i := 0; i < 50; i++ {
+		g.PacketBatch(pkts)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkts[0].SrcIP = uint32(i % 10000)
+		g.PacketBatch(pkts)
+	}
+	b.StopTimer()
+	g.EndInterval(0)
+}
+
+// BenchmarkGraphABFanoutPerBatch prices racing two single-shard algorithms
+// on the same stream — the A/B topology's packet-plane cost is ideally 2×
+// the single-measure cost, nothing more.
+func BenchmarkGraphABFanoutPerBatch(b *testing.B) {
+	g := benchGraph(b, PresetAB(benchMeasureCfg(1), benchMeasureCfg(1), 10))
+	pkts := make([]flow.Packet, 64)
+	for i := range pkts {
+		pkts[i] = flow.Packet{Size: 1000, SrcIP: uint32(i * 31), DstIP: 2, Proto: 6}
+	}
+	for i := 0; i < 50; i++ {
+		g.PacketBatch(pkts)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkts[0].SrcIP = uint32(i % 10000)
+		g.PacketBatch(pkts)
+	}
+	b.StopTimer()
+	g.EndInterval(0)
+}

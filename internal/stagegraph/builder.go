@@ -1,0 +1,232 @@
+// Topology validation: everything that can be rejected before any resource
+// is created. The builder classifies stages into plane kinds, resolves and
+// type-checks edges, enforces the packet plane's tree shape and the graph's
+// acyclicity, and hands New a compiled intermediate form.
+
+package stagegraph
+
+import (
+	"strings"
+
+	"repro/internal/cfgerr"
+)
+
+type nodeKind int
+
+const (
+	kindSource nodeKind = iota
+	kindTransform
+	kindMeasure
+	kindAsync
+)
+
+type tnode struct {
+	name  string
+	stage Stage
+	kind  nodeKind
+	ins   map[string]Port
+	outs  map[string]Port
+}
+
+type asyncEdge struct {
+	fromNode, fromPort string
+	toNode, toPort     string
+}
+
+type builder struct {
+	nodes  []tnode
+	byName map[string]*tnode
+	source string
+	// packetSuccs maps a node to its packet-edge successors, in edge
+	// declaration order.
+	packetSuccs map[string][]string
+	asyncEdges  []asyncEdge
+	topoOrder   []string
+}
+
+func topoErr(format string, args ...any) error {
+	return cfgerr.New("stagegraph", "Topology", format, args...)
+}
+
+// newBuilder validates t and returns its compiled intermediate form.
+func newBuilder(t Topology) (*builder, error) {
+	b := &builder{
+		byName:      map[string]*tnode{},
+		packetSuccs: map[string][]string{},
+	}
+	names := map[string]bool{}
+	for _, n := range t.Nodes {
+		if n.Name == "" {
+			return nil, topoErr("node with empty name")
+		}
+		if strings.ContainsAny(n.Name, ". \t\n") {
+			return nil, topoErr("node name %q must not contain dots or spaces", n.Name)
+		}
+		if names[n.Name] {
+			return nil, topoErr("duplicate node name %q", n.Name)
+		}
+		names[n.Name] = true
+		if n.Stage == nil {
+			return nil, topoErr("node %q has a nil stage", n.Name)
+		}
+		var kind nodeKind
+		switch n.Stage.(type) {
+		case *SourceStage:
+			kind = kindSource
+			if b.source != "" {
+				return nil, topoErr("multiple source nodes (%q and %q); a graph has exactly one", b.source, n.Name)
+			}
+			b.source = n.Name
+		case *Measure:
+			kind = kindMeasure
+		case PacketTransform:
+			kind = kindTransform
+		case AsyncStage:
+			kind = kindAsync
+		default:
+			return nil, topoErr("node %q: stage kind %q implements none of PacketTransform, AsyncStage, *Measure, *SourceStage", n.Name, n.Stage.Kind())
+		}
+		if v, ok := n.Stage.(interface{ Validate() error }); ok {
+			if err := v.Validate(); err != nil {
+				return nil, err
+			}
+		}
+		tn := tnode{name: n.Name, stage: n.Stage, kind: kind, ins: map[string]Port{}, outs: map[string]Port{}}
+		for _, p := range n.Stage.Inputs() {
+			tn.ins[p.Name] = p
+		}
+		for _, p := range n.Stage.Outputs() {
+			tn.outs[p.Name] = p
+		}
+		b.nodes = append(b.nodes, tn)
+	}
+	for i := range b.nodes {
+		b.byName[b.nodes[i].name] = &b.nodes[i]
+	}
+	if b.source == "" {
+		return nil, topoErr("no source node (add NewSource())")
+	}
+	hasMeasure := false
+	for i := range b.nodes {
+		if b.nodes[i].kind == kindMeasure {
+			hasMeasure = true
+			break
+		}
+	}
+	if !hasMeasure {
+		return nil, topoErr("no measure node; a graph needs at least one")
+	}
+
+	// Resolve and type-check edges.
+	packetIn := map[string]int{}
+	seen := map[Edge]bool{}
+	succs := map[string][]string{} // all edges, for the cycle check
+	indeg := map[string]int{}
+	for _, e := range t.Edges {
+		if seen[e] {
+			return nil, topoErr("duplicate edge %q -> %q", e.From, e.To)
+		}
+		seen[e] = true
+		fromNode, fromPort, err := b.resolve(e.From, false)
+		if err != nil {
+			return nil, err
+		}
+		toNode, toPort, err := b.resolve(e.To, true)
+		if err != nil {
+			return nil, err
+		}
+		ft := b.byName[fromNode].outs[fromPort].Type
+		tt := b.byName[toNode].ins[toPort].Type
+		if ft != tt {
+			return nil, topoErr("edge %s.%s -> %s.%s: port type mismatch (%s -> %s)",
+				fromNode, fromPort, toNode, toPort, ft, tt)
+		}
+		succs[fromNode] = append(succs[fromNode], toNode)
+		indeg[toNode]++
+		if ft == PacketPort {
+			packetIn[toNode]++
+			if packetIn[toNode] > 1 {
+				return nil, topoErr("node %q has multiple packet inputs; the packet plane is a tree (merge on the report plane instead)", toNode)
+			}
+			b.packetSuccs[fromNode] = append(b.packetSuccs[fromNode], toNode)
+		} else {
+			b.asyncEdges = append(b.asyncEdges, asyncEdge{fromNode, fromPort, toNode, toPort})
+		}
+	}
+
+	// Packet-plane shape: every packet-consuming node is fed (in-degree is
+	// exactly 1; with acyclicity, its ancestor chain must end at the
+	// source), and every transform's output goes somewhere.
+	for i := range b.nodes {
+		tn := &b.nodes[i]
+		switch tn.kind {
+		case kindTransform, kindMeasure:
+			if packetIn[tn.name] == 0 {
+				return nil, topoErr("node %q has no packet input edge; it is unreachable from the source", tn.name)
+			}
+			if tn.kind == kindTransform && len(b.packetSuccs[tn.name]) == 0 {
+				return nil, topoErr("transform %q has no packet successors; its output would be discarded", tn.name)
+			}
+		}
+	}
+
+	// Kahn's algorithm over all edges: the whole graph must be a DAG (this
+	// also yields the close/drain order for the async plane).
+	for {
+		advanced := false
+		for i := range b.nodes {
+			name := b.nodes[i].name
+			if deg, done := indeg[name], indeg[name] < 0; done || deg != 0 {
+				continue
+			}
+			indeg[name] = -1 // visited
+			b.topoOrder = append(b.topoOrder, name)
+			for _, succ := range succs[name] {
+				indeg[succ]--
+			}
+			advanced = true
+		}
+		if !advanced {
+			break
+		}
+	}
+	if len(b.topoOrder) != len(b.nodes) {
+		var cyclic []string
+		for i := range b.nodes {
+			if indeg[b.nodes[i].name] >= 0 {
+				cyclic = append(cyclic, b.nodes[i].name)
+			}
+		}
+		return nil, topoErr("cycle involving nodes %v; the graph must be a DAG", cyclic)
+	}
+	return b, nil
+}
+
+// resolve parses an edge endpoint "node.port", filling in the port when the
+// node has exactly one (input for in=true, output otherwise).
+func (b *builder) resolve(endpoint string, in bool) (node, port string, err error) {
+	node, port = parseEndpoint(endpoint)
+	tn, ok := b.byName[node]
+	if !ok {
+		return "", "", topoErr("edge endpoint %q: unknown node %q", endpoint, node)
+	}
+	ports := tn.outs
+	dir := "output"
+	if in {
+		ports = tn.ins
+		dir = "input"
+	}
+	if port == "" {
+		if len(ports) != 1 {
+			return "", "", topoErr("edge endpoint %q: node %q has %d %s ports, name one explicitly", endpoint, node, len(ports), dir)
+		}
+		for name := range ports {
+			port = name
+		}
+		return node, port, nil
+	}
+	if _, ok := ports[port]; !ok {
+		return "", "", topoErr("edge endpoint %q: node %q has no %s port %q", endpoint, node, dir, port)
+	}
+	return node, port, nil
+}

@@ -1,0 +1,180 @@
+package stagegraph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/core/multistage"
+	"repro/internal/flow"
+	"repro/internal/hashing"
+)
+
+// refModel is an independent re-implementation of the fixed shard→lane
+// pipeline's semantics, built straight from core primitives: per-flow
+// sharding by tabulation hash, one algorithm per shard fed per packet, and
+// the same merge (concatenate, sort descending bytes, ties by descending
+// key). The differential tests below assert the compiled preset graph is
+// bit-identical to it — i.e. the stage-graph refactor preserved the
+// pre-refactor pipeline's observable behavior exactly.
+type refModel struct {
+	def     flow.Definition
+	algs    []core.Algorithm
+	shardFn hashing.Func
+	reports []core.IntervalReport
+}
+
+func newRefModel(t *testing.T, cfg MeasureConfig) *refModel {
+	t.Helper()
+	r := &refModel{def: cfg.Definition}
+	if cfg.Shards > 1 {
+		r.shardFn = hashing.NewTabulation(cfg.Seed).New(uint32(cfg.Shards))
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		alg, err := cfg.NewAlgorithm(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.algs = append(r.algs, alg)
+	}
+	return r
+}
+
+func (r *refModel) packet(p *flow.Packet) {
+	key := r.def.Key(p)
+	shard := 0
+	if r.shardFn != nil {
+		shard = int(r.shardFn.Bucket(key))
+	}
+	r.algs[shard].Process(key, p.Size)
+}
+
+func (r *refModel) endInterval(interval int) {
+	rep := core.IntervalReport{Interval: interval, Threshold: r.algs[0].Threshold()}
+	for _, alg := range r.algs {
+		rep.Estimates = append(rep.Estimates, alg.EndInterval()...)
+	}
+	rep.EntriesUsed = len(rep.Estimates)
+	sort.Slice(rep.Estimates, func(i, j int) bool {
+		a, b := rep.Estimates[i], rep.Estimates[j]
+		if a.Bytes != b.Bytes {
+			return a.Bytes > b.Bytes
+		}
+		if a.Key.Hi != b.Key.Hi {
+			return a.Key.Hi > b.Key.Hi
+		}
+		return a.Key.Lo > b.Key.Lo
+	})
+	r.reports = append(r.reports, rep)
+}
+
+// equivTrace is a deterministic heavy-tailed workload: a few heavy flows,
+// many small ones, interval boundaries not aligned to batch sizes.
+func equivTrace(n int) []flow.Packet {
+	rng := rand.New(rand.NewSource(99))
+	pkts := make([]flow.Packet, n)
+	for i := range pkts {
+		src := uint32(rng.Intn(300))
+		if rng.Intn(4) == 0 {
+			src = uint32(rng.Intn(8)) // heavy hitters
+		}
+		pkts[i] = flow.Packet{
+			SrcIP: src, DstIP: uint32(rng.Intn(3)), Proto: 6,
+			SrcPort: uint16(rng.Intn(4)),
+			Size:    uint32(40 + rng.Intn(1460)),
+		}
+	}
+	return pkts
+}
+
+func msConfig(hash string) func(int) (core.Algorithm, error) {
+	return func(shard int) (core.Algorithm, error) {
+		return multistage.New(multistage.Config{
+			Stages: 3, Buckets: 128, Entries: 4096,
+			Threshold: 20000, Conservative: true,
+			Hash: hash, Seed: int64(shard) + 21,
+		})
+	}
+}
+
+// TestPresetGraphMatchesReferenceModel is the topology-equivalence
+// differential: the preset shard→lane graph must produce bit-identical
+// interval reports and matching telemetry totals to the independent
+// reference model, across 3 hash families × batch sizes {1, 64, 1024} ×
+// shard counts {1, 4}. Run under -race in CI.
+func TestPresetGraphMatchesReferenceModel(t *testing.T) {
+	pkts := equivTrace(30000)
+	intervals := 3
+	perInterval := len(pkts) / intervals
+	for _, hash := range []string{"tabulation", "multiplyshift", "doublehash"} {
+		for _, shards := range []int{1, 4} {
+			for _, feed := range []int{1, 64, 1024} {
+				cfg := MeasureConfig{
+					Shards: shards, QueueDepth: 64,
+					NewAlgorithm: msConfig(hash),
+					Definition:   flow.FiveTuple{}, Seed: 5,
+				}
+				g, err := New(Config{Topology: PresetShardLane(cfg)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref := newRefModel(t, cfg)
+				for iv := 0; iv < intervals; iv++ {
+					chunk := pkts[iv*perInterval : (iv+1)*perInterval]
+					for off := 0; off < len(chunk); off += feed {
+						end := off + feed
+						if end > len(chunk) {
+							end = len(chunk)
+						}
+						if feed == 1 {
+							g.Packet(&chunk[off])
+						} else {
+							g.PacketBatch(chunk[off:end])
+						}
+					}
+					for i := range chunk {
+						ref.packet(&chunk[i])
+					}
+					g.EndInterval(iv)
+					ref.endInterval(iv)
+				}
+				g.Close()
+				got, want := g.Reports(), ref.reports
+				if len(got) != len(want) {
+					t.Fatalf("%s/%d-shard/feed-%d: %d reports vs %d",
+						hash, shards, feed, len(got), len(want))
+				}
+				for i := range got {
+					if !reflect.DeepEqual(got[i].Estimates, want[i].Estimates) ||
+						got[i].Interval != want[i].Interval ||
+						got[i].Threshold != want[i].Threshold ||
+						got[i].EntriesUsed != want[i].EntriesUsed {
+						t.Errorf("%s/%d-shard/feed-%d: interval %d diverges from the reference model",
+							hash, shards, feed, i)
+					}
+				}
+				// Telemetry totals: every packet fed is accounted for by the
+				// lanes — none shed, none degraded — and every lane saw all
+				// interval flushes.
+				st := g.Stats().Measures["measure"]
+				var lanePkts, shed, degraded, flushes uint64
+				for _, ln := range st.Lanes {
+					lanePkts += ln.Packets
+					shed += ln.ShedPackets
+					degraded += ln.DegradedPackets
+					flushes += ln.Intervals
+				}
+				if lanePkts != uint64(len(pkts)) || shed != 0 || degraded != 0 {
+					t.Errorf("%s/%d-shard/feed-%d: lanes saw %d packets (shed %d, degraded %d), want %d lossless",
+						hash, shards, feed, lanePkts, shed, degraded, len(pkts))
+				}
+				if flushes != uint64(shards*intervals) {
+					t.Errorf("%s/%d-shard/feed-%d: %d lane flushes, want %d",
+						hash, shards, feed, flushes, shards*intervals)
+				}
+			}
+		}
+	}
+}

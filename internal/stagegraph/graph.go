@@ -1,0 +1,655 @@
+// Package stagegraph is the composable pipeline: measurement topologies are
+// data, not code. A Topology declares named stages and typed edges; New
+// validates it (port types, DAG, packet-plane tree), compiles it and runs it.
+//
+// The graph has two planes with different performance contracts:
+//
+//   - The packet plane (PacketPort edges) is synchronous: it is compiled
+//     into a tree of direct sink calls driven by the producer goroutine, so
+//     a source→measure preset runs the exact fused hot path of the fixed
+//     pipeline it replaces — bulk-append batches, report arenas, zero
+//     allocations in steady state. Fan-out duplicates a stream (A/B racing
+//     two algorithms); fan-in is rejected at validation, which also makes
+//     interval propagation trivially exactly-once per measure.
+//
+//   - The ops plane (ReportPort/EventPort edges) is asynchronous: each
+//     AsyncStage runs on its own supervised goroutine behind a bounded
+//     queue. Delivery never blocks — a full queue sheds its oldest message
+//     (counted) — because live observers must never stall measurement; the
+//     lossless path to disk/collector is the reliable exporter, not the ops
+//     plane. Supervision generalizes the measure lanes' panic handling: a
+//     failing stage is restarted with exponential backoff and quarantined
+//     (drain + drop + count) after Config.MaxRestarts.
+package stagegraph
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/cfgerr"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/telemetry"
+)
+
+// PortType is the message type carried by a port.
+type PortType int
+
+const (
+	// PacketPort carries packet batches on the synchronous data plane.
+	PacketPort PortType = iota
+	// ReportPort carries merged interval reports (Msg.Report).
+	ReportPort
+	// EventPort carries telemetry/comparison events (Msg.Event).
+	EventPort
+)
+
+// String names the port type.
+func (t PortType) String() string {
+	switch t {
+	case PacketPort:
+		return "packets"
+	case ReportPort:
+		return "reports"
+	case EventPort:
+		return "events"
+	default:
+		return "unknown"
+	}
+}
+
+// Port is one named, typed input or output of a stage.
+type Port struct {
+	Name string
+	Type PortType
+}
+
+// Stage is a node implementation. Every stage additionally implements one of
+// the plane contracts: PacketTransform (synchronous packet plane), AsyncStage
+// (supervised ops plane), or is a *Measure or the SourceStage marker. A stage
+// may also implement Validate() error, checked during Graph construction.
+type Stage interface {
+	// Kind names the stage type ("measure", "sample", "bus", ...).
+	Kind() string
+	// Inputs and Outputs declare the stage's ports; edge endpoints must
+	// name them and edge types must match.
+	Inputs() []Port
+	Outputs() []Port
+}
+
+// PacketTransform is a synchronous packet-plane stage: Transform filters,
+// samples or rewrites a batch and returns the surviving packets. It runs on
+// the producer goroutine, so it must not block; the returned slice may alias
+// an internal grow-only scratch buffer that is overwritten by the next call
+// (downstream stages consume it before Transform returns again, never retain
+// it). A transform may also implement IntervalObserver to see interval
+// boundaries.
+type PacketTransform interface {
+	Stage
+	Transform(pkts []flow.Packet) []flow.Packet
+}
+
+// IntervalObserver is optionally implemented by packet-plane stages that
+// keep per-interval state.
+type IntervalObserver interface {
+	OnEndInterval(interval int)
+}
+
+// Msg is one ops-plane message: exactly one of Report or Event is set,
+// matching the edge's port type. Messages are shared across fan-out
+// destinations and must be treated as immutable.
+type Msg struct {
+	Report *ReportMsg
+	Event  *Event
+}
+
+// ReportMsg is an interval report tagged with the measure node that
+// produced it.
+type ReportMsg struct {
+	// Node is the producing measure node's topology name.
+	Node string `json:"node"`
+	// Report is the merged interval report.
+	Report core.IntervalReport `json:"report"`
+}
+
+// Event is a telemetry or comparison event.
+type Event struct {
+	// Node is the emitting node's topology name.
+	Node string `json:"node"`
+	// Kind tags the payload ("telemetry", "compare", ...); the bus stage
+	// publishes it under topic "events/<kind>".
+	Kind string `json:"kind"`
+	// Time is when the event was produced.
+	Time time.Time `json:"time"`
+	// Payload is the event body.
+	Payload any `json:"payload"`
+}
+
+// Inbound is one message arriving at an async stage, tagged with the input
+// port it arrived on.
+type Inbound struct {
+	Port string
+	Msg  Msg
+}
+
+// EmitFunc sends a message out of one of the emitting stage's output ports.
+// Delivery is non-blocking: full downstream queues shed their oldest message.
+type EmitFunc func(port string, msg Msg)
+
+// AsyncStage is a supervised ops-plane stage. Process handles one inbound
+// message, emitting any results; it runs on the stage's own goroutine. A
+// panic or returned error counts as a failure: the supervisor restarts the
+// stage with exponential backoff (calling Reset(), if implemented, to clear
+// state) and quarantines it after Config.MaxRestarts failures.
+type AsyncStage interface {
+	Stage
+	Process(in Inbound, emit EmitFunc) error
+}
+
+// Node binds a topology name to a stage implementation.
+type Node struct {
+	Name  string
+	Stage Stage
+}
+
+// Edge connects an output port to an input port. Endpoints are written
+// "node.port"; the ".port" may be omitted when the node has exactly one
+// output (for From) or input (for To).
+type Edge struct {
+	From string
+	To   string
+}
+
+// Topology is a declarative stage graph.
+type Topology struct {
+	Nodes []Node
+	Edges []Edge
+}
+
+// Supervision and queue defaults, used when the corresponding Config field
+// is zero.
+const (
+	DefaultAsyncQueueDepth = 64
+	DefaultMaxRestarts     = 3
+	DefaultBackoffBase     = 10 * time.Millisecond
+	DefaultBackoffMax      = time.Second
+)
+
+// Config configures a Graph.
+type Config struct {
+	// Topology is the stage graph to compile and run.
+	Topology Topology
+	// QueueDepth is each async stage's input queue capacity, in messages.
+	// Zero selects DefaultAsyncQueueDepth.
+	QueueDepth int
+	// MaxRestarts is how many supervised restarts an async stage gets
+	// before it is quarantined. Zero selects DefaultMaxRestarts.
+	MaxRestarts int
+	// BackoffBase and BackoffMax bound the exponential restart backoff
+	// (base<<n, capped). Zero selects DefaultBackoffBase/DefaultBackoffMax.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+// Validate checks the configuration (topology validation happens in New,
+// where stages are classified).
+func (c Config) Validate() error {
+	if len(c.Topology.Nodes) == 0 {
+		return cfgerr.New("stagegraph", "Topology.Nodes", "must not be empty")
+	}
+	if c.QueueDepth < 0 {
+		return cfgerr.New("stagegraph", "QueueDepth", "must not be negative, got %d", c.QueueDepth)
+	}
+	if c.MaxRestarts < 0 {
+		return cfgerr.New("stagegraph", "MaxRestarts", "must not be negative, got %d", c.MaxRestarts)
+	}
+	if c.BackoffBase < 0 {
+		return cfgerr.New("stagegraph", "BackoffBase", "must not be negative, got %v", c.BackoffBase)
+	}
+	if c.BackoffMax < 0 {
+		return cfgerr.New("stagegraph", "BackoffMax", "must not be negative, got %v", c.BackoffMax)
+	}
+	return nil
+}
+
+// Option customizes a Graph beyond its Config.
+type Option func(*Graph)
+
+// WithClock overrides the graph's event timestamp source (tests).
+func WithClock(now func() time.Time) Option {
+	return func(g *Graph) { g.now = now }
+}
+
+// packetSink is a compiled packet-plane node: direct synchronous calls on
+// the producer goroutine.
+type packetSink interface {
+	sinkPacket(p *flow.Packet)
+	sinkBatch(pkts []flow.Packet)
+	sinkEndInterval(interval int)
+	sinkClose()
+}
+
+// Measure as a compiled sink: direct delegation, one inlinable call layer.
+func (m *Measure) sinkPacket(p *flow.Packet)    { m.Packet(p) }
+func (m *Measure) sinkBatch(pkts []flow.Packet) { m.PacketBatch(pkts) }
+func (m *Measure) sinkEndInterval(interval int) { m.EndInterval(interval) }
+func (m *Measure) sinkClose()                   { m.Close() }
+
+// transformSink wraps a PacketTransform and its compiled successors.
+type transformSink struct {
+	t     PacketTransform
+	succs []packetSink
+	one   [1]flow.Packet
+}
+
+func (s *transformSink) sinkPacket(p *flow.Packet) {
+	s.one[0] = *p
+	s.forward(s.t.Transform(s.one[:1]))
+}
+
+func (s *transformSink) sinkBatch(pkts []flow.Packet) {
+	s.forward(s.t.Transform(pkts))
+}
+
+func (s *transformSink) forward(out []flow.Packet) {
+	if len(out) == 0 {
+		return
+	}
+	for _, succ := range s.succs {
+		succ.sinkBatch(out)
+	}
+}
+
+func (s *transformSink) sinkEndInterval(interval int) {
+	if obs, ok := s.t.(IntervalObserver); ok {
+		obs.OnEndInterval(interval)
+	}
+	for _, succ := range s.succs {
+		succ.sinkEndInterval(interval)
+	}
+}
+
+func (s *transformSink) sinkClose() {
+	for _, succ := range s.succs {
+		succ.sinkClose()
+	}
+}
+
+// target is one compiled ops-plane edge destination.
+type target struct {
+	n    *gnode
+	port string
+}
+
+// gnode is one compiled topology node.
+type gnode struct {
+	name  string
+	stage Stage
+	tel   *telemetry.Stage
+	// outs maps output port names to ops-plane destinations (packet edges
+	// are compiled into the sink tree instead).
+	outs map[string][]target
+	// Async runtime; nil fields for data-plane nodes.
+	async AsyncStage
+	in    chan Inbound
+	done  chan struct{}
+}
+
+// Graph is a running compiled topology. The packet-facing methods (Packet,
+// PacketBatch, EndInterval, Close) must be driven from a single producer
+// goroutine, like any trace consumer; Stats, Health and Reports of closed
+// intervals are safe from any goroutine.
+type Graph struct {
+	now         func() time.Time
+	nodes       []*gnode // declaration order
+	roots       []packetSink
+	root        packetSink // set iff the source has exactly one successor
+	primary     *Measure
+	measures    map[string]*Measure
+	asyncOrder  []*gnode // topological order, async nodes only
+	busStats    func() telemetry.BusSnapshot
+	maxRestarts int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	closing     chan struct{}
+	closed      bool
+}
+
+// New validates cfg, compiles the topology and starts it: measure lanes are
+// spun up and every async stage gets its supervised goroutine. On error
+// nothing is left running.
+func New(cfg Config, opts ...Option) (*Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Graph{
+		now:         time.Now,
+		measures:    map[string]*Measure{},
+		maxRestarts: cfg.MaxRestarts,
+		backoffBase: cfg.BackoffBase,
+		backoffMax:  cfg.BackoffMax,
+		closing:     make(chan struct{}),
+	}
+	if g.maxRestarts == 0 {
+		g.maxRestarts = DefaultMaxRestarts
+	}
+	if g.backoffBase == 0 {
+		g.backoffBase = DefaultBackoffBase
+	}
+	if g.backoffMax == 0 {
+		g.backoffMax = DefaultBackoffMax
+	}
+	queueDepth := cfg.QueueDepth
+	if queueDepth == 0 {
+		queueDepth = DefaultAsyncQueueDepth
+	}
+	for _, opt := range opts {
+		opt(g)
+	}
+	b, err := newBuilder(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	// Pure validation is done; from here on resources are created. Start
+	// the measures first (the only stages whose start can fail), cleaning
+	// up the already-started ones on error.
+	byName := map[string]*gnode{}
+	for _, tn := range b.nodes {
+		nd := &gnode{name: tn.name, stage: tn.stage, tel: &telemetry.Stage{}, outs: map[string][]target{}}
+		g.nodes = append(g.nodes, nd)
+		byName[tn.name] = nd
+	}
+	for _, tn := range b.nodes {
+		m, ok := tn.stage.(*Measure)
+		if !ok {
+			continue
+		}
+		if err := m.start(); err != nil {
+			for _, started := range g.measures {
+				started.Close()
+			}
+			return nil, err
+		}
+		g.measures[tn.name] = m
+		if g.primary == nil {
+			g.primary = m
+		}
+	}
+	// Wire the ops plane: async nodes get queues and the compiled edge
+	// destinations.
+	for _, tn := range b.nodes {
+		nd := byName[tn.name]
+		if as, ok := tn.stage.(AsyncStage); ok && tn.kind == kindAsync {
+			nd.async = as
+			nd.in = make(chan Inbound, queueDepth)
+			nd.done = make(chan struct{})
+		}
+		if bs, ok := tn.stage.(interface{ BusStats() telemetry.BusSnapshot }); ok && g.busStats == nil {
+			g.busStats = bs.BusStats
+		}
+	}
+	for _, e := range b.asyncEdges {
+		from, to := byName[e.fromNode], byName[e.toNode]
+		from.outs[e.fromPort] = append(from.outs[e.fromPort], target{n: to, port: e.toPort})
+	}
+	// Compile the packet plane into the sink tree and hook each measure's
+	// report emission into the ops plane.
+	sinks := map[string]packetSink{}
+	var compile func(name string) packetSink
+	compile = func(name string) packetSink {
+		if s, ok := sinks[name]; ok {
+			return s
+		}
+		nd := byName[name]
+		if m, ok := nd.stage.(*Measure); ok {
+			sinks[name] = m
+			return m
+		}
+		s := &transformSink{t: nd.stage.(PacketTransform)}
+		sinks[name] = s
+		for _, succ := range b.packetSuccs[name] {
+			s.succs = append(s.succs, compile(succ))
+		}
+		return s
+	}
+	for _, succ := range b.packetSuccs[b.source] {
+		g.roots = append(g.roots, compile(succ))
+	}
+	if len(g.roots) == 1 {
+		g.root = g.roots[0]
+	}
+	for _, tn := range b.nodes {
+		if m, ok := tn.stage.(*Measure); ok {
+			g.hookMeasure(byName[tn.name], m)
+		}
+	}
+	// Start the supervisors. Topological order is recorded so Close can
+	// drain producers before consumers.
+	for _, name := range b.topoOrder {
+		nd := byName[name]
+		if nd.async == nil {
+			continue
+		}
+		g.asyncOrder = append(g.asyncOrder, nd)
+		go g.runAsync(nd)
+	}
+	return g, nil
+}
+
+// hookMeasure wires a measure node's report and telemetry outputs into the
+// ops plane. With no connected outputs the hook stays nil and EndInterval
+// pays nothing — the preset source→measure graph keeps the fixed pipeline's
+// report-path allocation budget.
+func (g *Graph) hookMeasure(nd *gnode, m *Measure) {
+	reportTargets := nd.outs["reports"]
+	telTargets := nd.outs["telemetry"]
+	if len(reportTargets) == 0 && len(telTargets) == 0 {
+		return
+	}
+	m.onReport = func(r core.IntervalReport) {
+		if len(reportTargets) > 0 {
+			msg := Msg{Report: &ReportMsg{Node: nd.name, Report: r}}
+			nd.tel.ObserveOut(1)
+			for _, t := range reportTargets {
+				g.deliver(t, msg)
+			}
+		}
+		if len(telTargets) > 0 {
+			msg := Msg{Event: &Event{Node: nd.name, Kind: "telemetry", Time: g.now(), Payload: m.Stats()}}
+			nd.tel.ObserveOut(1)
+			for _, t := range telTargets {
+				g.deliver(t, msg)
+			}
+		}
+	}
+}
+
+// deliver enqueues a message on an async stage's input without blocking: a
+// full queue sheds its oldest message, counted against the receiving stage.
+func (g *Graph) deliver(t target, msg Msg) {
+	in := Inbound{Port: t.port, Msg: msg}
+	for {
+		select {
+		case t.n.in <- in:
+			t.n.tel.ObserveIn(1)
+			return
+		default:
+		}
+		select {
+		case <-t.n.in:
+			t.n.tel.ObserveDroppedInput(1)
+		default:
+			// The stage drained the queue between probes; retry the send.
+		}
+	}
+}
+
+// runAsync is an async stage's supervisor: it feeds the stage from its
+// queue, recovers failures, restarts with exponential backoff and
+// quarantines after MaxRestarts failures (still draining the queue, so
+// upstream delivery and Close never wedge).
+func (g *Graph) runAsync(nd *gnode) {
+	defer close(nd.done)
+	emit := func(port string, msg Msg) {
+		targets, ok := nd.outs[port]
+		if !ok || len(targets) == 0 {
+			nd.tel.ObserveDroppedEmit(1)
+			return
+		}
+		nd.tel.ObserveOut(1)
+		for _, t := range targets {
+			g.deliver(t, msg)
+		}
+	}
+	restarts := 0
+	quarantined := false
+	for in := range nd.in {
+		if quarantined {
+			nd.tel.ObserveDroppedInput(1)
+			continue
+		}
+		if g.processAsync(nd, in, emit) {
+			continue
+		}
+		// The message is lost: the ops plane is at-most-once by design.
+		if restarts >= g.maxRestarts {
+			quarantined = true
+			nd.tel.SetHealth(telemetry.LaneQuarantined)
+			continue
+		}
+		restarts++
+		d := g.backoffBase << (restarts - 1)
+		if d > g.backoffMax || d <= 0 {
+			d = g.backoffMax
+		}
+		timer := time.NewTimer(d)
+		select {
+		case <-timer.C:
+		case <-g.closing:
+			timer.Stop()
+		}
+		if r, ok := nd.async.(interface{ Reset() }); ok {
+			r.Reset()
+		}
+		nd.tel.ObserveRestart()
+		nd.tel.SetHealth(telemetry.LaneRestarted)
+	}
+}
+
+// processAsync runs one message through the stage under panic recovery.
+// Panics and returned errors are both supervised failures, counted on the
+// stage's Panics counter.
+func (g *Graph) processAsync(nd *gnode, in Inbound, emit EmitFunc) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ok = false
+			nd.tel.ObservePanic()
+		}
+	}()
+	if err := nd.async.Process(in, emit); err != nil {
+		nd.tel.ObservePanic()
+		return false
+	}
+	return true
+}
+
+// Packet feeds one packet into the graph's source.
+func (g *Graph) Packet(p *flow.Packet) {
+	if g.root != nil {
+		g.root.sinkPacket(p)
+		return
+	}
+	for _, r := range g.roots {
+		r.sinkPacket(p)
+	}
+}
+
+// PacketBatch feeds a burst into the graph's source. Fan-out destinations
+// all observe the same batch slice; stages only read it.
+func (g *Graph) PacketBatch(pkts []flow.Packet) {
+	if g.root != nil {
+		g.root.sinkBatch(pkts)
+		return
+	}
+	for _, r := range g.roots {
+		r.sinkBatch(pkts)
+	}
+}
+
+// EndInterval closes the measurement interval on every packet-plane path.
+// The packet plane is a tree, so each measure sees the boundary exactly
+// once; measures with connected report/telemetry outputs emit onto the ops
+// plane as part of the call.
+func (g *Graph) EndInterval(interval int) {
+	if g.root != nil {
+		g.root.sinkEndInterval(interval)
+		return
+	}
+	for _, r := range g.roots {
+		r.sinkEndInterval(interval)
+	}
+}
+
+// Reports returns the primary measure's merged interval reports (the first
+// measure node in topology order) — the same signature the fixed pipeline
+// exposed. Per-node reports are available via Measure(name).Reports().
+func (g *Graph) Reports() []core.IntervalReport { return g.primary.Reports() }
+
+// Measure returns the named measure node's engine, or nil.
+func (g *Graph) Measure(name string) *Measure { return g.measures[name] }
+
+// Stats snapshots the whole graph: per-stage supervision and message
+// counters in topology declaration order, every measure engine's full
+// pipeline snapshot, and the event bus counters when a bus stage is wired.
+// Safe from any goroutine.
+func (g *Graph) Stats() telemetry.GraphSnapshot {
+	s := telemetry.GraphSnapshot{Measures: map[string]telemetry.PipelineSnapshot{}}
+	for _, nd := range g.nodes {
+		snap := nd.tel.Snapshot()
+		snap.Name = nd.name
+		snap.Kind = nd.stage.Kind()
+		s.Stages = append(s.Stages, snap)
+	}
+	for name, m := range g.measures {
+		s.Measures[name] = m.Stats()
+	}
+	if g.busStats != nil {
+		bs := g.busStats()
+		s.Bus = &bs
+	}
+	return s
+}
+
+// Health grades the graph from its telemetry; see
+// telemetry.GraphSnapshot.Health.
+func (g *Graph) Health() (telemetry.HealthStatus, string) {
+	return g.Stats().Health()
+}
+
+// Close shuts the graph down in dependency order: the packet plane first
+// (flushing measure lanes), then each async stage's queue is closed and
+// drained in topological order, so every in-flight message is processed
+// before its consumer stops. In-progress restart backoffs are cut short.
+// Idempotent; the graph must not be used afterwards.
+func (g *Graph) Close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	close(g.closing)
+	for _, r := range g.roots {
+		r.sinkClose()
+	}
+	for _, nd := range g.asyncOrder {
+		close(nd.in)
+		<-nd.done
+	}
+}
+
+// parseEndpoint splits "node.port" (port optional).
+func parseEndpoint(s string) (node, port string) {
+	if i := strings.LastIndexByte(s, '.'); i >= 0 {
+		return s[:i], s[i+1:]
+	}
+	return s, ""
+}

@@ -1,0 +1,498 @@
+package stagegraph
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/core/sampleandhold"
+	"repro/internal/flow"
+	"repro/internal/pubsub"
+	"repro/internal/telemetry"
+)
+
+// exactAlg builds a p=1 sample-and-hold (exact tracking with ample memory),
+// so report contents are deterministic.
+func exactAlg(entries int) func(int) (core.Algorithm, error) {
+	return func(shard int) (core.Algorithm, error) {
+		return sampleandhold.New(sampleandhold.Config{
+			Entries:      entries,
+			Threshold:    10,
+			Oversampling: 10,
+			Seed:         int64(shard),
+		})
+	}
+}
+
+func measureCfg(shards int) MeasureConfig {
+	return MeasureConfig{
+		Shards:       shards,
+		QueueDepth:   16,
+		NewAlgorithm: exactAlg(4096),
+		Definition:   flow.FiveTuple{},
+		Seed:         7,
+	}
+}
+
+func pkt(src uint32, size uint32) flow.Packet {
+	return flow.Packet{SrcIP: src, DstIP: 1, Proto: 6, Size: size}
+}
+
+// collector is a test sink gathering everything delivered to it.
+type collector struct {
+	mu      sync.Mutex
+	reports []ReportMsg
+	events  []Event
+}
+
+func (c *collector) stage() Stage {
+	return NewFunc("collect",
+		[]Port{{Name: "reports", Type: ReportPort}, {Name: "events", Type: EventPort}},
+		nil,
+		func(in Inbound, _ EmitFunc) error {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			if in.Msg.Report != nil {
+				c.reports = append(c.reports, *in.Msg.Report)
+			}
+			if in.Msg.Event != nil {
+				c.events = append(c.events, *in.Msg.Event)
+			}
+			return nil
+		})
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{Topology: PresetShardLane(measureCfg(1)), QueueDepth: -1},
+		{Topology: PresetShardLane(measureCfg(1)), MaxRestarts: -1},
+		{Topology: PresetShardLane(measureCfg(1)), BackoffBase: -time.Second},
+		{Topology: PresetShardLane(measureCfg(1)), BackoffMax: -time.Second},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		} else if !strings.HasPrefix(err.Error(), "traffic: stagegraph: ") {
+			t.Errorf("bad config %d: error %q outside the cfgerr shape", i, err)
+		}
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	src := func() Node { return Node{Name: "src", Stage: NewSource()} }
+	m := func(name string) Node { return Node{Name: name, Stage: NewMeasure(measureCfg(1))} }
+	filt := func(name string) Node {
+		return Node{Name: name, Stage: NewFilter(func(*flow.Packet) bool { return true })}
+	}
+	cases := []struct {
+		name string
+		topo Topology
+		want string // substring of the error
+	}{
+		{"empty name", Topology{Nodes: []Node{{Name: "", Stage: NewSource()}}}, "empty name"},
+		{"dotted name", Topology{Nodes: []Node{{Name: "a.b", Stage: NewSource()}}}, "must not contain"},
+		{"duplicate name", Topology{Nodes: []Node{src(), {Name: "src", Stage: NewSource()}}}, "duplicate node"},
+		{"nil stage", Topology{Nodes: []Node{{Name: "x", Stage: nil}}}, "nil stage"},
+		{"two sources", Topology{Nodes: []Node{src(), {Name: "src2", Stage: NewSource()}, m("m")}}, "multiple source"},
+		{"no source", Topology{Nodes: []Node{m("m")}}, "no source"},
+		{"no measure", Topology{Nodes: []Node{src()}}, "no measure"},
+		{"bad measure config", Topology{
+			Nodes: []Node{src(), {Name: "m", Stage: NewMeasure(MeasureConfig{})}},
+			Edges: []Edge{{From: "src", To: "m"}},
+		}, "Shards"},
+		{"unknown node", Topology{
+			Nodes: []Node{src(), m("m")},
+			Edges: []Edge{{From: "nope.out", To: "m.in"}},
+		}, "unknown node"},
+		{"unknown port", Topology{
+			Nodes: []Node{src(), m("m")},
+			Edges: []Edge{{From: "src.nope", To: "m.in"}},
+		}, "no output port"},
+		{"ambiguous port", Topology{
+			Nodes: []Node{src(), m("m")},
+			Edges: []Edge{{From: "src", To: "m.in"}, {From: "m", To: "m.in"}},
+		}, "name one explicitly"},
+		{"type mismatch", Topology{
+			Nodes: []Node{src(), m("m"), {Name: "x", Stage: NewExport(func(ReportMsg) error { return nil })}},
+			Edges: []Edge{{From: "src.out", To: "m.in"}, {From: "src.out", To: "x.in"}},
+		}, "type mismatch"},
+		{"duplicate edge", Topology{
+			Nodes: []Node{src(), m("m")},
+			Edges: []Edge{{From: "src.out", To: "m.in"}, {From: "src.out", To: "m.in"}},
+		}, "duplicate edge"},
+		{"packet fan-in", Topology{
+			Nodes: []Node{src(), filt("f"), m("m")},
+			Edges: []Edge{{From: "src.out", To: "f.in"}, {From: "src.out", To: "m.in"}, {From: "f.out", To: "m.in"}},
+		}, "packet plane is a tree"},
+		{"unreachable measure", Topology{
+			Nodes: []Node{src(), m("m")},
+		}, "no packet input"},
+		{"dead transform", Topology{
+			Nodes: []Node{src(), filt("f"), m("m")},
+			Edges: []Edge{{From: "src.out", To: "f.in"}, {From: "src.out", To: "m.in"}},
+		}, "no packet successors"},
+		{"cycle", Topology{
+			Nodes: []Node{src(), m("m"),
+				{Name: "c1", Stage: NewFunc("loop", []Port{{Name: "in", Type: EventPort}}, []Port{{Name: "out", Type: EventPort}}, func(Inbound, EmitFunc) error { return nil })},
+				{Name: "c2", Stage: NewFunc("loop", []Port{{Name: "in", Type: EventPort}}, []Port{{Name: "out", Type: EventPort}}, func(Inbound, EmitFunc) error { return nil })}},
+			Edges: []Edge{{From: "src.out", To: "m.in"},
+				{From: "c1.out", To: "c2.in"}, {From: "c2.out", To: "c1.in"}},
+		}, "cycle"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := New(Config{Topology: tc.topo})
+			if err == nil {
+				g.Close()
+				t.Fatalf("invalid topology accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// The preset graph behaves like the pipeline it replaced: reports come out
+// merged, sorted, and Stats sees the traffic.
+func TestPresetShardLane(t *testing.T) {
+	g, err := New(Config{Topology: PresetShardLane(measureCfg(4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	for i := 0; i < 1000; i++ {
+		p := pkt(uint32(i%50), 100)
+		g.Packet(&p)
+	}
+	g.EndInterval(0)
+	reports := g.Reports()
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reports))
+	}
+	if got := len(reports[0].Estimates); got != 50 {
+		t.Fatalf("got %d flows, want 50", got)
+	}
+	for _, e := range reports[0].Estimates {
+		if e.Bytes != 2000 {
+			t.Errorf("flow %v: %d bytes, want 2000", e.Key, e.Bytes)
+		}
+	}
+	st := g.Stats()
+	if len(st.Stages) != 2 || len(st.Measures) != 1 {
+		t.Fatalf("snapshot has %d stages, %d measures; want 2, 1", len(st.Stages), len(st.Measures))
+	}
+	if h, reason := g.Health(); h != telemetry.HealthOK {
+		t.Errorf("health = %v (%s), want OK", h, reason)
+	}
+}
+
+// A filter branch only measures matching packets; the unfiltered branch
+// sees everything (fan-out duplicates the stream).
+func TestFilterBranch(t *testing.T) {
+	topo := Topology{
+		Nodes: []Node{
+			{Name: "src", Stage: NewSource()},
+			{Name: "tenant", Stage: NewFilter(func(p *flow.Packet) bool { return p.SrcIP < 10 })},
+			{Name: "all", Stage: NewMeasure(measureCfg(1))},
+			{Name: "tenant0", Stage: NewMeasure(measureCfg(1))},
+		},
+		Edges: []Edge{
+			{From: "src.out", To: "all.in"},
+			{From: "src.out", To: "tenant.in"},
+			{From: "tenant.out", To: "tenant0.in"},
+		},
+	}
+	g, err := New(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	var batch []flow.Packet
+	for i := 0; i < 100; i++ {
+		batch = append(batch, pkt(uint32(i), 100))
+	}
+	g.PacketBatch(batch)
+	g.EndInterval(0)
+	if got := len(g.Measure("all").Reports()[0].Estimates); got != 100 {
+		t.Errorf("unfiltered branch saw %d flows, want 100", got)
+	}
+	if got := len(g.Measure("tenant0").Reports()[0].Estimates); got != 10 {
+		t.Errorf("filtered branch saw %d flows, want 10", got)
+	}
+	// Reports() is the primary (first) measure node.
+	if got := len(g.Reports()[0].Estimates); got != 100 {
+		t.Errorf("primary Reports() saw %d flows, want the 'all' node's 100", got)
+	}
+}
+
+// The sampler is deterministic for a seed and keeps roughly the configured
+// fraction.
+func TestSampleStage(t *testing.T) {
+	run := func() int {
+		topo := Topology{
+			Nodes: []Node{
+				{Name: "src", Stage: NewSource()},
+				{Name: "samp", Stage: NewSample(0.25, 42)},
+				{Name: "m", Stage: NewMeasure(measureCfg(1))},
+			},
+			Edges: []Edge{{From: "src.out", To: "samp.in"}, {From: "samp.out", To: "m.in"}},
+		}
+		g, err := New(Config{Topology: topo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer g.Close()
+		for i := 0; i < 4000; i++ {
+			p := pkt(uint32(i), 100)
+			g.Packet(&p)
+		}
+		g.EndInterval(0)
+		return len(g.Reports()[0].Estimates)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("sampler not deterministic: %d vs %d survivors", a, b)
+	}
+	if a < 800 || a > 1200 {
+		t.Errorf("sampler kept %d of 4000 at fraction 0.25, want ~1000", a)
+	}
+}
+
+// An A/B topology fans one stream out to two measures; compare pairs their
+// reports per interval and scores agreement. With identical configurations
+// the two sides must agree perfectly.
+func TestABCompare(t *testing.T) {
+	c := &collector{}
+	topo := PresetAB(measureCfg(2), measureCfg(2), 5)
+	topo.Nodes = append(topo.Nodes, Node{Name: "tap", Stage: c.stage()})
+	topo.Edges = append(topo.Edges, Edge{From: "compare.events", To: "tap.events"})
+	g, err := New(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iv := 0; iv < 3; iv++ {
+		for i := 0; i < 500; i++ {
+			p := pkt(uint32(i%40), uint32(50+i%100))
+			g.Packet(&p)
+		}
+		g.EndInterval(iv)
+	}
+	g.Close() // drains the ops plane
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.events) != 3 {
+		t.Fatalf("got %d compare events, want 3", len(c.events))
+	}
+	for i, ev := range c.events {
+		if ev.Kind != "compare" {
+			t.Fatalf("event kind %q, want compare", ev.Kind)
+		}
+		res, ok := ev.Payload.(CompareResult)
+		if !ok {
+			t.Fatalf("payload is %T", ev.Payload)
+		}
+		if res.Interval != i {
+			t.Errorf("event %d: interval %d", i, res.Interval)
+		}
+		if res.NodeA != "a" || res.NodeB != "b" {
+			t.Errorf("nodes %q/%q, want a/b", res.NodeA, res.NodeB)
+		}
+		if res.FlowsA != 40 || res.FlowsB != 40 || res.CommonFlows != 40 {
+			t.Errorf("flows %d/%d common %d, want 40/40/40", res.FlowsA, res.FlowsB, res.CommonFlows)
+		}
+		if res.TopKOverlap != 1 || res.AvgRelDiff != 0 {
+			t.Errorf("identical configs: overlap %g relDiff %g, want 1 and 0", res.TopKOverlap, res.AvgRelDiff)
+		}
+		if res.BytesA != res.BytesB {
+			t.Errorf("bytes %d vs %d, want equal", res.BytesA, res.BytesB)
+		}
+	}
+}
+
+// The bus stage publishes reports and events onto the pubsub bus, and the
+// graph snapshot picks up the bus counters.
+func TestBusStage(t *testing.T) {
+	bus, err := pubsub.New(pubsub.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := bus.Subscribe(0, "reports", "events/")
+	topo := Topology{
+		Nodes: []Node{
+			{Name: "src", Stage: NewSource()},
+			{Name: "m", Stage: NewMeasure(measureCfg(1))},
+			{Name: "bus", Stage: NewBus(bus)},
+		},
+		Edges: []Edge{
+			{From: "src.out", To: "m.in"},
+			{From: "m.reports", To: "bus.reports"},
+			{From: "m.telemetry", To: "bus.events"},
+		},
+	}
+	g, err := New(Config{Topology: topo}, WithClock(func() time.Time { return time.Unix(9, 0) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		p := pkt(uint32(i%5), 100)
+		g.Packet(&p)
+	}
+	g.EndInterval(0)
+	g.Close()
+	if got := g.Stats().Bus; got == nil || got.Published != 2 {
+		t.Fatalf("graph bus snapshot = %+v, want 2 published", got)
+	}
+	bus.Close()
+	var reports, telem int
+	for e := range sub.C {
+		switch {
+		case e.Topic == "reports":
+			reports++
+			rm := e.Payload.(ReportMsg)
+			if rm.Node != "m" || len(rm.Report.Estimates) != 5 {
+				t.Errorf("report event %+v, want node m with 5 flows", rm)
+			}
+		case e.Topic == "events/telemetry":
+			telem++
+			ev := e.Payload.(Event)
+			if !ev.Time.Equal(time.Unix(9, 0)) {
+				t.Errorf("event time %v, want injected clock", ev.Time)
+			}
+			if _, ok := ev.Payload.(telemetry.PipelineSnapshot); !ok {
+				t.Errorf("telemetry payload is %T", ev.Payload)
+			}
+		}
+	}
+	if reports != 1 || telem != 1 {
+		t.Errorf("bus delivered %d reports, %d telemetry events; want 1 and 1", reports, telem)
+	}
+}
+
+// The export stage hands every report to its callback; Close drains
+// everything already emitted.
+func TestExportStage(t *testing.T) {
+	var mu sync.Mutex
+	var got []int
+	topo := Topology{
+		Nodes: []Node{
+			{Name: "src", Stage: NewSource()},
+			{Name: "m", Stage: NewMeasure(measureCfg(2))},
+			{Name: "exp", Stage: NewExport(func(r ReportMsg) error {
+				mu.Lock()
+				got = append(got, r.Report.Interval)
+				mu.Unlock()
+				return nil
+			})},
+		},
+		Edges: []Edge{{From: "src.out", To: "m.in"}, {From: "m.reports", To: "exp.in"}},
+	}
+	g, err := New(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iv := 0; iv < 5; iv++ {
+		for i := 0; i < 100; i++ {
+			p := pkt(uint32(i%7), 64)
+			g.Packet(&p)
+		}
+		g.EndInterval(iv)
+	}
+	g.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 5 {
+		t.Fatalf("exporter saw %d reports, want 5", len(got))
+	}
+	for i, iv := range got {
+		if iv != i {
+			t.Errorf("report %d has interval %d (order lost)", i, iv)
+		}
+	}
+}
+
+// DiscardReports keeps the engine from accumulating reports while the ops
+// plane still sees them.
+func TestDiscardReports(t *testing.T) {
+	cfg := measureCfg(1)
+	cfg.DiscardReports = true
+	c := &collector{}
+	topo := Topology{
+		Nodes: []Node{
+			{Name: "src", Stage: NewSource()},
+			{Name: "m", Stage: NewMeasure(cfg)},
+			{Name: "tap", Stage: c.stage()},
+		},
+		Edges: []Edge{{From: "src.out", To: "m.in"}, {From: "m.reports", To: "tap.reports"}},
+	}
+	g, err := New(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iv := 0; iv < 3; iv++ {
+		p := pkt(1, 100)
+		g.Packet(&p)
+		g.EndInterval(iv)
+	}
+	g.Close()
+	if got := g.Reports(); got != nil {
+		t.Errorf("DiscardReports kept %d reports in memory", len(got))
+	}
+	if got := g.Stats().Measures["m"].Reports; got != 3 {
+		t.Errorf("report counter = %d, want 3", got)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.reports) != 3 {
+		t.Errorf("tap saw %d reports, want 3", len(c.reports))
+	}
+}
+
+// TopK returns the heaviest prefix.
+func TestTopK(t *testing.T) {
+	r := core.IntervalReport{Estimates: []core.Estimate{
+		{Key: flow.Key{Lo: 1}, Bytes: 300},
+		{Key: flow.Key{Lo: 2}, Bytes: 200},
+		{Key: flow.Key{Lo: 3}, Bytes: 100},
+	}}
+	if got := TopK(r, 2); len(got) != 2 || got[0].Bytes != 300 || got[1].Bytes != 200 {
+		t.Errorf("TopK(2) = %v", got)
+	}
+	if got := TopK(r, 10); len(got) != 3 {
+		t.Errorf("TopK beyond len = %d entries", len(got))
+	}
+}
+
+func TestGraphCloseIdempotent(t *testing.T) {
+	g, err := New(Config{Topology: PresetShardLane(measureCfg(2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	g.Close()
+}
+
+// A failing measure constructor leaves nothing running.
+func TestNewFailsCleansUp(t *testing.T) {
+	calls := 0
+	cfg := measureCfg(4)
+	cfg.NewAlgorithm = func(shard int) (core.Algorithm, error) {
+		calls++
+		if shard == 2 {
+			return nil, fmt.Errorf("boom")
+		}
+		return exactAlg(16)(shard)
+	}
+	if _, err := New(Config{Topology: PresetShardLane(cfg)}); err == nil {
+		t.Fatal("constructor failure not propagated")
+	} else if !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error %q does not wrap the cause", err)
+	}
+	if calls != 3 {
+		t.Errorf("constructor called %d times, want 3 (stops at failure)", calls)
+	}
+}

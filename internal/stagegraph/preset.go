@@ -1,0 +1,41 @@
+// Preset topologies: the fixed pipelines this package replaced, expressed
+// as data.
+
+package stagegraph
+
+// PresetShardLane is the legacy fixed pipeline as a topology: one source
+// feeding one sharded measure stage ("measure"), nothing on the ops plane.
+// With no report/telemetry edges the measure's interval hook stays nil, so
+// the compiled graph runs the exact fused hot path — single-shard
+// bulk-append, report arenas, zero steady-state allocations — at the cost
+// of one sink dispatch per batch.
+func PresetShardLane(cfg MeasureConfig) Topology {
+	return Topology{
+		Nodes: []Node{
+			{Name: "src", Stage: NewSource()},
+			{Name: "measure", Stage: NewMeasure(cfg)},
+		},
+		Edges: []Edge{{From: "src.out", To: "measure.in"}},
+	}
+}
+
+// PresetAB races two algorithm configurations on the same packet stream:
+// the source fans out to measure nodes "a" and "b", whose reports meet in a
+// compare stage. Wire the compare's "events" output (and the measures'
+// "reports") to a bus or func stage to observe the outcome.
+func PresetAB(a, b MeasureConfig, topK int) Topology {
+	return Topology{
+		Nodes: []Node{
+			{Name: "src", Stage: NewSource()},
+			{Name: "a", Stage: NewMeasure(a)},
+			{Name: "b", Stage: NewMeasure(b)},
+			{Name: "compare", Stage: NewCompare(topK)},
+		},
+		Edges: []Edge{
+			{From: "src.out", To: "a.in"},
+			{From: "src.out", To: "b.in"},
+			{From: "a.reports", To: "compare.a"},
+			{From: "b.reports", To: "compare.b"},
+		},
+	}
+}

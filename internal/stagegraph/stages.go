@@ -1,0 +1,390 @@
+// The built-in stage library: the source marker, packet-plane transforms
+// (sample, filter), and ops-plane stages (export, bus, compare, func).
+
+package stagegraph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/pubsub"
+	"repro/internal/telemetry"
+)
+
+// SourceStage marks the graph's packet entry point: packets fed to
+// Graph.Packet/PacketBatch flow out of its "out" port. Every topology has
+// exactly one.
+type SourceStage struct{}
+
+// NewSource builds the source marker stage.
+func NewSource() *SourceStage { return &SourceStage{} }
+
+// Kind implements Stage.
+func (*SourceStage) Kind() string { return "source" }
+
+// Inputs implements Stage: a source has none.
+func (*SourceStage) Inputs() []Port { return nil }
+
+// Outputs implements Stage.
+func (*SourceStage) Outputs() []Port { return []Port{{Name: "out", Type: PacketPort}} }
+
+// SampleStage is a packet-plane transform that keeps each packet with a
+// fixed probability — the paper's ordinary-sampling baseline, now available
+// as a composable stage (e.g. to feed one side of an A/B comparison a
+// sampled stream). Deterministic for a given seed and packet sequence.
+type SampleStage struct {
+	keep    uint64
+	rng     uint64
+	scratch []flow.Packet
+}
+
+// NewSample builds a sampler keeping each packet with probability fraction
+// (in (0, 1]); seed fixes the drop pattern.
+func NewSample(fraction float64, seed int64) *SampleStage {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	return &SampleStage{
+		keep: uint64(fraction * float64(^uint64(0))),
+		rng:  uint64(seed)*0x9E3779B97F4A7C15 + 0x6C62272E07BB0142,
+	}
+}
+
+// Kind implements Stage.
+func (*SampleStage) Kind() string { return "sample" }
+
+// Inputs implements Stage.
+func (*SampleStage) Inputs() []Port { return []Port{{Name: "in", Type: PacketPort}} }
+
+// Outputs implements Stage.
+func (*SampleStage) Outputs() []Port { return []Port{{Name: "out", Type: PacketPort}} }
+
+// Transform implements PacketTransform. The returned slice aliases the
+// stage's grow-only scratch buffer.
+func (s *SampleStage) Transform(pkts []flow.Packet) []flow.Packet {
+	out := s.scratch[:0]
+	for i := range pkts {
+		x := s.rng
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		s.rng = x
+		if x*0x2545F4914F6CDD1D <= s.keep {
+			out = append(out, pkts[i])
+		}
+	}
+	s.scratch = out
+	return out
+}
+
+// FilterStage is a packet-plane transform that keeps packets matching a
+// predicate — per-tenant branches filter on flow attributes before their
+// measure stage.
+type FilterStage struct {
+	pred    func(*flow.Packet) bool
+	scratch []flow.Packet
+}
+
+// NewFilter builds a filter keeping packets for which pred returns true.
+// pred runs on the producer goroutine for every packet: keep it cheap.
+func NewFilter(pred func(*flow.Packet) bool) *FilterStage {
+	return &FilterStage{pred: pred}
+}
+
+// Kind implements Stage.
+func (*FilterStage) Kind() string { return "filter" }
+
+// Inputs implements Stage.
+func (*FilterStage) Inputs() []Port { return []Port{{Name: "in", Type: PacketPort}} }
+
+// Outputs implements Stage.
+func (*FilterStage) Outputs() []Port { return []Port{{Name: "out", Type: PacketPort}} }
+
+// Transform implements PacketTransform. The returned slice aliases the
+// stage's grow-only scratch buffer.
+func (f *FilterStage) Transform(pkts []flow.Packet) []flow.Packet {
+	out := f.scratch[:0]
+	for i := range pkts {
+		if f.pred(&pkts[i]) {
+			out = append(out, pkts[i])
+		}
+	}
+	f.scratch = out
+	return out
+}
+
+// ExportStage is an ops-plane sink handing each interval report to a
+// callback (a netflow exporter, a file writer, a test collector). A
+// returned error is a supervised failure: the stage is restarted with
+// backoff and eventually quarantined, never stalling the graph.
+type ExportStage struct {
+	fn func(ReportMsg) error
+}
+
+// NewExport builds an export sink around fn.
+func NewExport(fn func(ReportMsg) error) *ExportStage { return &ExportStage{fn: fn} }
+
+// Kind implements Stage.
+func (*ExportStage) Kind() string { return "export" }
+
+// Inputs implements Stage.
+func (*ExportStage) Inputs() []Port { return []Port{{Name: "in", Type: ReportPort}} }
+
+// Outputs implements Stage: an export is a sink.
+func (*ExportStage) Outputs() []Port { return nil }
+
+// Process implements AsyncStage.
+func (e *ExportStage) Process(in Inbound, _ EmitFunc) error {
+	if in.Msg.Report == nil {
+		return nil
+	}
+	return e.fn(*in.Msg.Report)
+}
+
+// BusStage publishes everything it receives onto a pubsub.Bus: reports
+// under topic "reports", events under "events/<kind>". It is the bridge
+// from a graph to live observers (the cmd/web dashboard subscribes to the
+// same bus).
+type BusStage struct {
+	bus *pubsub.Bus
+}
+
+// NewBus builds a bus-publishing stage. The bus is owned by the caller
+// (shared with subscribers) and is not closed by the graph.
+func NewBus(bus *pubsub.Bus) *BusStage { return &BusStage{bus: bus} }
+
+// Kind implements Stage.
+func (*BusStage) Kind() string { return "bus" }
+
+// Inputs implements Stage: reports and events are published on separate
+// input ports so one bus stage can serve both planes.
+func (*BusStage) Inputs() []Port {
+	return []Port{{Name: "reports", Type: ReportPort}, {Name: "events", Type: EventPort}}
+}
+
+// Outputs implements Stage: the bus's subscribers are outside the graph.
+func (*BusStage) Outputs() []Port { return nil }
+
+// Process implements AsyncStage.
+func (b *BusStage) Process(in Inbound, _ EmitFunc) error {
+	switch {
+	case in.Msg.Report != nil:
+		b.bus.Publish("reports", *in.Msg.Report)
+	case in.Msg.Event != nil:
+		b.bus.Publish("events/"+in.Msg.Event.Kind, *in.Msg.Event)
+	}
+	return nil
+}
+
+// BusStats exposes the bus counters; Graph.Stats picks them up.
+func (b *BusStage) BusStats() telemetry.BusSnapshot { return b.bus.Stats() }
+
+// CompareResult is the per-interval outcome of racing two measure nodes on
+// the same stream (an A/B accuracy comparison): how much their reports
+// agree, flow by flow and in the top K.
+type CompareResult struct {
+	Interval int    `json:"interval"`
+	NodeA    string `json:"node_a"`
+	NodeB    string `json:"node_b"`
+	// FlowsA/FlowsB are the report sizes; CommonFlows is how many flow keys
+	// appear in both.
+	FlowsA      int `json:"flows_a"`
+	FlowsB      int `json:"flows_b"`
+	CommonFlows int `json:"common_flows"`
+	// BytesA/BytesB are each report's total estimated bytes.
+	BytesA uint64 `json:"bytes_a"`
+	BytesB uint64 `json:"bytes_b"`
+	// K and TopKOverlap: fraction of A's top-K flows also in B's top K
+	// (1.0 = the two algorithms agree on the heavy hitters).
+	K           int     `json:"k"`
+	TopKOverlap float64 `json:"top_k_overlap"`
+	// AvgRelDiff is the mean relative byte-estimate difference
+	// |a-b|/max(a,b) over the common flows.
+	AvgRelDiff float64 `json:"avg_rel_diff"`
+}
+
+// CompareStage pairs interval reports arriving on its "a" and "b" inputs by
+// interval number and emits a CompareResult event ("compare") for each
+// completed pair. Unpaired intervals are held until the other side arrives;
+// a supervised restart clears them.
+type CompareStage struct {
+	k       int
+	pending map[int]ReportMsg // interval -> the side that arrived first
+	sides   map[int]string    // which port the pending report came from
+}
+
+// NewCompare builds a comparison stage scoring the top k flows (k <= 0
+// selects 10).
+func NewCompare(k int) *CompareStage {
+	if k <= 0 {
+		k = 10
+	}
+	return &CompareStage{k: k, pending: map[int]ReportMsg{}, sides: map[int]string{}}
+}
+
+// Kind implements Stage.
+func (*CompareStage) Kind() string { return "compare" }
+
+// Inputs implements Stage.
+func (*CompareStage) Inputs() []Port {
+	return []Port{{Name: "a", Type: ReportPort}, {Name: "b", Type: ReportPort}}
+}
+
+// Outputs implements Stage.
+func (*CompareStage) Outputs() []Port { return []Port{{Name: "events", Type: EventPort}} }
+
+// Reset implements the supervised-restart hook: pending pairs are dropped.
+func (c *CompareStage) Reset() {
+	c.pending = map[int]ReportMsg{}
+	c.sides = map[int]string{}
+}
+
+// Process implements AsyncStage.
+func (c *CompareStage) Process(in Inbound, emit EmitFunc) error {
+	r := in.Msg.Report
+	if r == nil {
+		return nil
+	}
+	interval := r.Report.Interval
+	other, ok := c.pending[interval]
+	if !ok {
+		c.pending[interval] = *r
+		c.sides[interval] = in.Port
+		return nil
+	}
+	if c.sides[interval] == in.Port {
+		// Same side twice (misconfigured wiring): keep the newest.
+		c.pending[interval] = *r
+		return nil
+	}
+	delete(c.pending, interval)
+	delete(c.sides, interval)
+	a, b := other, *r
+	if in.Port == "a" {
+		a, b = *r, other
+	}
+	res := compareReports(a, b, c.k)
+	emit("events", Msg{Event: &Event{Kind: "compare", Payload: res}})
+	return nil
+}
+
+// compareReports scores two reports of the same interval.
+func compareReports(a, b ReportMsg, k int) CompareResult {
+	res := CompareResult{
+		Interval: a.Report.Interval,
+		NodeA:    a.Node, NodeB: b.Node,
+		FlowsA: len(a.Report.Estimates), FlowsB: len(b.Report.Estimates),
+		K: k,
+	}
+	byKey := make(map[flow.Key]uint64, len(b.Report.Estimates))
+	for _, e := range b.Report.Estimates {
+		byKey[e.Key] = e.Bytes
+		res.BytesB += e.Bytes
+	}
+	var relSum float64
+	for _, e := range a.Report.Estimates {
+		res.BytesA += e.Bytes
+		be, ok := byKey[e.Key]
+		if !ok {
+			continue
+		}
+		res.CommonFlows++
+		if max := maxU64(e.Bytes, be); max > 0 {
+			relSum += float64(diffU64(e.Bytes, be)) / float64(max)
+		}
+	}
+	if res.CommonFlows > 0 {
+		res.AvgRelDiff = relSum / float64(res.CommonFlows)
+	}
+	// Reports are sorted descending by bytes, so the top K are the prefixes.
+	ka, kb := k, k
+	if ka > len(a.Report.Estimates) {
+		ka = len(a.Report.Estimates)
+	}
+	if kb > len(b.Report.Estimates) {
+		kb = len(b.Report.Estimates)
+	}
+	topB := make(map[flow.Key]bool, kb)
+	for _, e := range b.Report.Estimates[:kb] {
+		topB[e.Key] = true
+	}
+	overlap := 0
+	for _, e := range a.Report.Estimates[:ka] {
+		if topB[e.Key] {
+			overlap++
+		}
+	}
+	if ka > 0 {
+		res.TopKOverlap = float64(overlap) / float64(ka)
+	}
+	return res
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func diffU64(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// TopK returns a report's K heaviest estimates (reports are already sorted
+// descending by bytes). Shared by the dashboard and tests.
+func TopK(r core.IntervalReport, k int) []core.Estimate {
+	if k > len(r.Estimates) {
+		k = len(r.Estimates)
+	}
+	top := make([]core.Estimate, k)
+	copy(top, r.Estimates[:k])
+	// Defensive: keep the contract even if a caller hands an unsorted report.
+	if !sort.SliceIsSorted(top, func(i, j int) bool { return top[i].Bytes > top[j].Bytes }) {
+		sort.Slice(top, func(i, j int) bool { return top[i].Bytes > top[j].Bytes })
+	}
+	return top
+}
+
+// FuncStage adapts a closure into an AsyncStage — ad-hoc taps, test
+// collectors, custom sinks — with caller-declared ports.
+type FuncStage struct {
+	kind string
+	ins  []Port
+	outs []Port
+	fn   func(in Inbound, emit EmitFunc) error
+}
+
+// NewFunc builds a closure-backed async stage. kind is the display name;
+// ins/outs declare its ports.
+func NewFunc(kind string, ins, outs []Port, fn func(in Inbound, emit EmitFunc) error) *FuncStage {
+	return &FuncStage{kind: kind, ins: ins, outs: outs, fn: fn}
+}
+
+// Kind implements Stage.
+func (f *FuncStage) Kind() string { return f.kind }
+
+// Inputs implements Stage.
+func (f *FuncStage) Inputs() []Port { return f.ins }
+
+// Outputs implements Stage.
+func (f *FuncStage) Outputs() []Port { return f.outs }
+
+// Validate rejects a nil closure.
+func (f *FuncStage) Validate() error {
+	if f.fn == nil {
+		return fmt.Errorf("traffic: stagegraph: FuncStage %q: nil function", f.kind)
+	}
+	return nil
+}
+
+// Process implements AsyncStage.
+func (f *FuncStage) Process(in Inbound, emit EmitFunc) error { return f.fn(in, emit) }

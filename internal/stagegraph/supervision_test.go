@@ -1,0 +1,259 @@
+package stagegraph
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// faultyStage fails (panic or error) for the first n messages, then
+// processes normally; it records Reset calls.
+type faultyStage struct {
+	mu        sync.Mutex
+	failures  int
+	usePanic  bool
+	processed int
+	resets    int
+}
+
+func (f *faultyStage) Kind() string   { return "faulty" }
+func (f *faultyStage) Inputs() []Port { return []Port{{Name: "in", Type: EventPort}} }
+func (f *faultyStage) Outputs() []Port {
+	return []Port{{Name: "out", Type: EventPort}}
+}
+
+func (f *faultyStage) Reset() {
+	f.mu.Lock()
+	f.resets++
+	f.mu.Unlock()
+}
+
+func (f *faultyStage) Process(in Inbound, emit EmitFunc) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failures > 0 {
+		f.failures--
+		if f.usePanic {
+			panic("injected stage failure")
+		}
+		return fmt.Errorf("injected stage failure")
+	}
+	f.processed++
+	emit("out", in.Msg)
+	return nil
+}
+
+// supervisionGraph wires src→m (required) plus an event injector feeding
+// the faulty stage, whose output lands in a collector.
+func supervisionGraph(t *testing.T, faulty *faultyStage, cfg Config) (*Graph, *collector) {
+	t.Helper()
+	c := &collector{}
+	inject := NewFunc("inject",
+		[]Port{{Name: "in", Type: EventPort}},
+		[]Port{{Name: "out", Type: EventPort}},
+		func(in Inbound, emit EmitFunc) error {
+			emit("out", in.Msg)
+			return nil
+		})
+	cfg.Topology = Topology{
+		Nodes: []Node{
+			{Name: "src", Stage: NewSource()},
+			{Name: "m", Stage: NewMeasure(measureCfg(1))},
+			{Name: "inject", Stage: inject},
+			{Name: "faulty", Stage: faulty},
+			{Name: "tap", Stage: c.stage()},
+		},
+		Edges: []Edge{
+			{From: "src.out", To: "m.in"},
+			{From: "m.telemetry", To: "inject.in"},
+			{From: "inject.out", To: "faulty.in"},
+			{From: "faulty.out", To: "tap.events"},
+		},
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, c
+}
+
+func stageSnap(t *testing.T, g *Graph, name string) telemetry.StageSnapshot {
+	t.Helper()
+	for _, s := range g.Stats().Stages {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("no stage %q in snapshot", name)
+	return telemetry.StageSnapshot{}
+}
+
+// A stage that panics is restarted (with Reset) and keeps processing; the
+// failed messages are lost but later ones flow through.
+func TestSupervisionRestartsAfterPanic(t *testing.T) {
+	for _, usePanic := range []bool{true, false} {
+		name := "error"
+		if usePanic {
+			name = "panic"
+		}
+		t.Run(name, func(t *testing.T) {
+			f := &faultyStage{failures: 2, usePanic: usePanic}
+			g, c := supervisionGraph(t, f, Config{
+				MaxRestarts: 5,
+				BackoffBase: time.Microsecond,
+				BackoffMax:  time.Millisecond,
+			})
+			// Each EndInterval emits one telemetry event through the chain.
+			for iv := 0; iv < 6; iv++ {
+				p := pkt(1, 100)
+				g.Packet(&p)
+				g.EndInterval(iv)
+			}
+			g.Close()
+			snap := stageSnap(t, g, "faulty")
+			if snap.Panics != 2 || snap.Restarts != 2 {
+				t.Errorf("panics=%d restarts=%d, want 2 and 2", snap.Panics, snap.Restarts)
+			}
+			if snap.Health != telemetry.LaneRestarted {
+				t.Errorf("health = %v, want restarted", snap.Health)
+			}
+			f.mu.Lock()
+			if f.processed != 4 || f.resets != 2 {
+				t.Errorf("processed=%d resets=%d, want 4 and 2", f.processed, f.resets)
+			}
+			f.mu.Unlock()
+			c.mu.Lock()
+			if len(c.events) != 4 {
+				t.Errorf("tap saw %d events, want the 4 surviving", len(c.events))
+			}
+			c.mu.Unlock()
+			if h, reason := g.Health(); h != telemetry.HealthDegraded {
+				t.Errorf("graph health = %v (%s), want degraded after panics", h, reason)
+			}
+		})
+	}
+}
+
+// A stage that keeps failing is quarantined after MaxRestarts; subsequent
+// messages are dropped and counted, and the graph stays live.
+func TestSupervisionQuarantine(t *testing.T) {
+	f := &faultyStage{failures: 1 << 30, usePanic: true}
+	g, c := supervisionGraph(t, f, Config{
+		MaxRestarts: 2,
+		BackoffBase: time.Microsecond,
+		BackoffMax:  time.Millisecond,
+	})
+	for iv := 0; iv < 10; iv++ {
+		p := pkt(1, 100)
+		g.Packet(&p)
+		g.EndInterval(iv)
+	}
+	g.Close()
+	snap := stageSnap(t, g, "faulty")
+	if snap.Health != telemetry.LaneQuarantined {
+		t.Fatalf("health = %v, want quarantined", snap.Health)
+	}
+	if snap.Panics != 3 || snap.Restarts != 2 {
+		t.Errorf("panics=%d restarts=%d, want 3 failures and 2 restarts", snap.Panics, snap.Restarts)
+	}
+	// 10 messages in: 3 consumed by failures, the rest dropped in quarantine.
+	if snap.DroppedInputs != 7 {
+		t.Errorf("dropped inputs = %d, want 7", snap.DroppedInputs)
+	}
+	c.mu.Lock()
+	if len(c.events) != 0 {
+		t.Errorf("tap saw %d events from a quarantined stage", len(c.events))
+	}
+	c.mu.Unlock()
+	if h, reason := g.Health(); h != telemetry.HealthDegraded {
+		t.Errorf("graph health = %v (%s), want degraded", h, reason)
+	}
+	// Measurement itself is unaffected by the ops-plane failure.
+	if got := len(g.Reports()); got != 10 {
+		t.Errorf("got %d reports, want 10", got)
+	}
+}
+
+// A wedged stage's full queue sheds the oldest messages instead of
+// stalling the producer; the shed is counted.
+func TestAsyncQueueOverflowShedsOldest(t *testing.T) {
+	block := make(chan struct{})
+	var mu sync.Mutex
+	var seen []int
+	slow := NewFunc("slow", []Port{{Name: "in", Type: ReportPort}}, nil,
+		func(in Inbound, _ EmitFunc) error {
+			<-block
+			mu.Lock()
+			seen = append(seen, in.Msg.Report.Report.Interval)
+			mu.Unlock()
+			return nil
+		})
+	topo := Topology{
+		Nodes: []Node{
+			{Name: "src", Stage: NewSource()},
+			{Name: "m", Stage: NewMeasure(measureCfg(1))},
+			{Name: "slow", Stage: slow},
+		},
+		Edges: []Edge{{From: "src.out", To: "m.in"}, {From: "m.reports", To: "slow.in"}},
+	}
+	g, err := New(Config{Topology: topo, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 intervals against queue depth 2 and a blocked consumer: the
+	// producer must never stall (this would deadlock if delivery blocked).
+	for iv := 0; iv < 8; iv++ {
+		p := pkt(1, 100)
+		g.Packet(&p)
+		g.EndInterval(iv)
+	}
+	close(block)
+	g.Close()
+	snap := stageSnap(t, g, "slow")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen)+int(snap.DroppedInputs) != 8 {
+		t.Fatalf("seen %d + dropped %d != 8 emitted", len(seen), snap.DroppedInputs)
+	}
+	if snap.DroppedInputs == 0 {
+		t.Error("no drops recorded despite a wedged consumer")
+	}
+	// Drop-oldest: the last interval must survive.
+	if len(seen) == 0 || seen[len(seen)-1] != 7 {
+		t.Errorf("survivors %v do not end with the newest interval 7", seen)
+	}
+}
+
+// Emitting on a port with no wired destination is counted, not fatal.
+func TestEmitUnwiredPortCounted(t *testing.T) {
+	chatty := NewFunc("chatty", []Port{{Name: "in", Type: EventPort}},
+		[]Port{{Name: "out", Type: EventPort}},
+		func(in Inbound, emit EmitFunc) error {
+			emit("out", in.Msg)     // not wired
+			emit("nothere", in.Msg) // not even declared
+			return nil
+		})
+	topo := Topology{
+		Nodes: []Node{
+			{Name: "src", Stage: NewSource()},
+			{Name: "m", Stage: NewMeasure(measureCfg(1))},
+			{Name: "chatty", Stage: chatty},
+		},
+		Edges: []Edge{{From: "src.out", To: "m.in"}, {From: "m.telemetry", To: "chatty.in"}},
+	}
+	g, err := New(Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pkt(1, 100)
+	g.Packet(&p)
+	g.EndInterval(0)
+	g.Close()
+	snap := stageSnap(t, g, "chatty")
+	if snap.DroppedEmits != 2 {
+		t.Errorf("dropped emits = %d, want 2", snap.DroppedEmits)
+	}
+}

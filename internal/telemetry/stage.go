@@ -1,0 +1,144 @@
+// Stage-graph telemetry: per-stage supervision and message counters for the
+// composable pipeline (internal/stagegraph), the graph-wide snapshot that
+// aggregates them, and the event-bus counters. These follow the same rules
+// as the rest of the package: hot-path counters are lock-free atomics, any
+// goroutine may snapshot while messages flow.
+
+package telemetry
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stage holds the live counters of one stage-graph node. Data-plane writers
+// are the producer goroutine; supervision counters are written by the
+// stage's supervisor goroutine. All fields are atomics.
+type Stage struct {
+	lane Lane // reuse the lane counter block: panics, restarts, health
+
+	in           atomic.Uint64
+	out          atomic.Uint64
+	droppedIn    atomic.Uint64
+	droppedEmits atomic.Uint64
+}
+
+// ObserveIn records n messages accepted onto the stage's input queue.
+func (s *Stage) ObserveIn(n uint64) { s.in.Add(n) }
+
+// ObserveOut records n messages the stage emitted.
+func (s *Stage) ObserveOut(n uint64) { s.out.Add(n) }
+
+// ObserveDroppedInput records n messages shed because the stage's input
+// queue was full (the graph never blocks the measurement path on a slow
+// observer stage).
+func (s *Stage) ObserveDroppedInput(n uint64) { s.droppedIn.Add(n) }
+
+// ObserveDroppedEmit records n emitted messages shed because a downstream
+// stage's queue was full.
+func (s *Stage) ObserveDroppedEmit(n uint64) { s.droppedEmits.Add(n) }
+
+// ObservePanic records a recovered panic in the stage's Process.
+func (s *Stage) ObservePanic() { s.lane.ObservePanic() }
+
+// ObserveRestart records the stage resuming after a backoff restart.
+func (s *Stage) ObserveRestart() { s.lane.ObserveRestart() }
+
+// SetHealth records the stage's supervision state (LaneHealth doubles as
+// the generic stage supervision state: healthy, restarted, quarantined).
+func (s *Stage) SetHealth(h LaneHealth) { s.lane.SetHealth(h) }
+
+// Health returns the stage's supervision state.
+func (s *Stage) Health() LaneHealth { return s.lane.Health() }
+
+// Snapshot copies the stage counters.
+func (s *Stage) Snapshot() StageSnapshot {
+	ls := s.lane.Snapshot()
+	return StageSnapshot{
+		In:            s.in.Load(),
+		Out:           s.out.Load(),
+		DroppedInputs: s.droppedIn.Load(),
+		DroppedEmits:  s.droppedEmits.Load(),
+		Panics:        ls.Panics,
+		Restarts:      ls.Restarts,
+		Health:        ls.Health,
+	}
+}
+
+// StageSnapshot is a point-in-time copy of one stage-graph node's counters.
+type StageSnapshot struct {
+	// Name is the node name in the topology; Kind is the stage type
+	// ("measure", "sample", "bus", ...). Filled by the graph.
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// In and Out count messages accepted and emitted on the async plane
+	// (zero for pure data-plane stages, whose traffic is counted by the
+	// measure stages' lane telemetry).
+	In  uint64 `json:"in"`
+	Out uint64 `json:"out"`
+	// DroppedInputs counts messages shed on a full input queue;
+	// DroppedEmits counts emitted messages shed on a full downstream queue.
+	DroppedInputs uint64 `json:"dropped_inputs"`
+	DroppedEmits  uint64 `json:"dropped_emits"`
+	// Panics counts recovered Process panics; Restarts counts backoff
+	// restarts after them.
+	Panics   uint64 `json:"panics"`
+	Restarts uint64 `json:"restarts"`
+	// Health is the stage's supervision state.
+	Health LaneHealth `json:"health"`
+}
+
+// GraphSnapshot is a point-in-time copy of a stage graph: every node's stage
+// counters, plus the full pipeline snapshot of each measure node.
+type GraphSnapshot struct {
+	Stages []StageSnapshot `json:"stages"`
+	// Measures maps measure node names to their sharded-engine snapshots.
+	Measures map[string]PipelineSnapshot `json:"measures"`
+	// Bus, when the graph publishes to an event bus, is that bus's counters.
+	Bus *BusSnapshot `json:"bus,omitempty"`
+}
+
+// Health grades the graph: unhealthy when every measure node is unhealthy,
+// degraded when any measure is degraded/unhealthy or any stage is
+// quarantined, has panicked, or is shedding messages.
+func (g GraphSnapshot) Health() (HealthStatus, string) {
+	unhealthy := 0
+	for name, m := range g.Measures {
+		st, reason := m.Health()
+		if st == HealthUnhealthy {
+			unhealthy++
+			if unhealthy == len(g.Measures) {
+				return HealthUnhealthy, fmt.Sprintf("measure %q: %s", name, reason)
+			}
+		}
+	}
+	for name, m := range g.Measures {
+		if st, reason := m.Health(); st > HealthOK {
+			return HealthDegraded, fmt.Sprintf("measure %q: %s", name, reason)
+		}
+	}
+	for _, s := range g.Stages {
+		if s.Health == LaneQuarantined {
+			return HealthDegraded, fmt.Sprintf("stage %q quarantined after %d panics", s.Name, s.Panics)
+		}
+		if s.Panics > 0 {
+			return HealthDegraded, fmt.Sprintf("stage %q recovered %d panics", s.Name, s.Panics)
+		}
+		if n := s.DroppedInputs + s.DroppedEmits; n > 0 {
+			return HealthDegraded, fmt.Sprintf("stage %q shed %d messages", s.Name, n)
+		}
+	}
+	return HealthOK, ""
+}
+
+// BusSnapshot is a point-in-time copy of an event bus's counters.
+type BusSnapshot struct {
+	// Subscribers is the number of live subscriptions.
+	Subscribers int `json:"subscribers"`
+	// Published counts events offered to the bus; Delivered counts
+	// per-subscription deliveries; Dropped counts events slow subscribers
+	// lost to queue overflow.
+	Published uint64 `json:"published"`
+	Delivered uint64 `json:"delivered"`
+	Dropped   uint64 `json:"dropped"`
+}

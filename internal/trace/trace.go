@@ -210,14 +210,6 @@ func Replay(src Source, c Consumer, opts ...ReplayOption) (int, error) {
 	return packets, nil
 }
 
-// ReplayBatched streams src into c in batches of up to batchSize packets.
-//
-// Deprecated: Replay batches by default; use Replay with WithBatchSize to
-// pick a non-default batch size.
-func ReplayBatched(src Source, c Consumer, batchSize int) (int, error) {
-	return Replay(src, c, WithBatchSize(batchSize))
-}
-
 // SliceSource serves packets from a slice. It is the in-memory Source used
 // by tests and by traces loaded whole.
 type SliceSource struct {

@@ -313,21 +313,3 @@ func TestReplayProgress(t *testing.T) {
 		t.Fatalf("final progress %d, replayed %d, want %d", last, n, len(pkts))
 	}
 }
-
-// TestDeprecatedReplayBatchedWrapper: the compatibility wrapper forwards to
-// Replay with the given batch size.
-func TestDeprecatedReplayBatchedWrapper(t *testing.T) {
-	m := testMeta()
-	pkts := []flow.Packet{mkPacket(0, 1), mkPacket(time.Millisecond, 2)}
-	var br batchRecorder
-	n, err := ReplayBatched(NewSliceSource(m, pkts), &br, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if n != len(pkts) {
-		t.Fatalf("replayed %d packets, want %d", n, len(pkts))
-	}
-	if !sameEvents(br.events, replayEvents(t, pkts, m)) {
-		t.Error("wrapper event sequence diverges from Replay")
-	}
-}
