@@ -12,12 +12,15 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/adapt"
@@ -26,6 +29,7 @@ import (
 	"repro/internal/core/multistage"
 	"repro/internal/core/sampleandhold"
 	"repro/internal/debugserver"
+	"repro/internal/faultinject"
 	"repro/internal/flow"
 	"repro/internal/netflow"
 	"repro/internal/netflow/reliable"
@@ -37,32 +41,38 @@ import (
 
 // options collects the command-line configuration.
 type options struct {
-	algName    string
-	defName    string
-	threshold  float64
-	entries    int
-	maxEntries int
-	stages     int
-	buckets    int
-	hash       string
-	oversamp   float64
-	rate       int
-	adaptive   bool
-	export     string
-	exportTCP  string
-	spool      int
-	listen     string
-	shards     int
-	overload   pipeline.OverloadPolicy
-	degrade    float64
-	restart    bool
-	ab         string
-	top        int
-	seed       int64
-	preset     string
-	scale      float64
-	intervals  int
-	args       []string
+	algName     string
+	defName     string
+	threshold   float64
+	entries     int
+	maxEntries  int
+	stages      int
+	buckets     int
+	hash        string
+	oversamp    float64
+	rate        int
+	adaptive    bool
+	export      string
+	exportTCP   string
+	spool       int
+	spoolDir    string
+	fsyncName   string
+	exportID    uint64
+	exportFault string
+	drainWait   time.Duration
+	reportPause time.Duration
+	listen      string
+	shards      int
+	overload    pipeline.OverloadPolicy
+	degrade     float64
+	restart     bool
+	ab          string
+	top         int
+	seed        int64
+	preset      string
+	scale       float64
+	intervals   int
+	args        []string
 }
 
 func main() {
@@ -84,6 +94,12 @@ func main() {
 	flag.StringVar(&o.export, "export", "", "export reports as NetFlow v5 over UDP to this address (fire-and-forget baseline)")
 	flag.StringVar(&o.exportTCP, "export-tcp", "", "export reports over the spooled at-least-once TCP transport to this address")
 	flag.IntVar(&o.spool, "export-spool", 0, "reliable export spool size in frames (0 = default 1024)")
+	flag.StringVar(&o.spoolDir, "export-spool-dir", "", "back the reliable export spool with a durable journal in this directory; a restarted device replays unacked frames and skips reports already journaled")
+	flag.StringVar(&o.fsyncName, "export-fsync", "batch", "spool journal fsync policy: frame, batch, timer, none")
+	flag.Uint64Var(&o.exportID, "export-id", 0, "stable exporter ID for the reliable transport (0 = derive from wall clock; set explicitly with -export-spool-dir so restarts keep their dedup state)")
+	flag.StringVar(&o.exportFault, "export-fault", "", "inject deterministic spool disk faults, e.g. shortwrite=3,syncdelay=5ms (crash-test hook)")
+	flag.DurationVar(&o.drainWait, "export-drain", 0, "how long Close waits for spooled frames to be acked (0 = default 3s)")
+	flag.DurationVar(&o.reportPause, "report-pause", 0, "pause after each exported interval report (paces single-lane replay for crash testing)")
 	flag.StringVar(&o.listen, "listen", "", "serve /debug/vars, /debug/pprof and /healthz on this address while running")
 	flag.IntVar(&o.shards, "shards", 1, "shard the device across this many parallel lanes")
 	flag.StringVar(&overload, "overload", "block", "lane overload policy: block, drop-newest, drop-oldest, degrade (sharded runs)")
@@ -259,6 +275,9 @@ func run(o options) error {
 			r.Interval, r.Threshold, r.EntriesUsed, alg.Capacity(), len(r.Estimates))
 		printTop(r.Estimates, o.top, def, true)
 		sink.send(r)
+		if o.reportPause > 0 {
+			time.Sleep(o.reportPause)
+		}
 	}
 	if o.listen != "" {
 		debugserver.Publish("hhdevice", func() any { return dev.Stats() })
@@ -272,9 +291,28 @@ func run(o options) error {
 		}
 		fmt.Printf("debug: serving /debug/vars, /debug/pprof and /healthz on http://%s\n", addr)
 	}
-	n, err := trace.Replay(src, dev)
-	if err != nil {
+	// SIGINT/SIGTERM ends the replay at the next batch boundary; the export
+	// spool is then drained and the journal fsynced before exit, so a
+	// graceful stop loses nothing and a durable spool carries the backlog
+	// into the next start.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	interrupted := func() bool {
+		select {
+		case <-sig:
+			return true
+		default:
+			return false
+		}
+	}
+	n, err := trace.Replay(src, dev, trace.WithStop(interrupted))
+	stopped := errors.Is(err, trace.ErrStopped)
+	if err != nil && !stopped {
 		return err
+	}
+	if stopped {
+		fmt.Printf("\ninterrupted after %d packets: draining export spool\n", n)
 	}
 	mem := alg.Mem()
 	fmt.Printf("processed %d packets, %.2f memory references/packet\n", n, mem.PerPacket())
@@ -311,7 +349,16 @@ type exportSink struct {
 	tel      *telemetry.Export
 	interval time.Duration
 	addr     string
+	spoolDir string
 	closed   bool
+
+	// skip is the number of leading interval reports a previous process
+	// life already committed to the journal; replaying the same trace, the
+	// sink drops those (their frames are either already acked or sitting in
+	// the recovered backlog) so a restart cannot double-export.
+	skip      uint64
+	reports   uint64
+	unflushed int
 }
 
 // newExportSink builds the sink for o, or nil when no export is requested.
@@ -335,18 +382,46 @@ func newExportSink(o options, def flow.Definition, meta trace.Meta) (*exportSink
 		s.udp, s.addr = udp, o.export
 		return s, nil
 	}
-	tcp, err := reliable.NewExporter(reliable.ExporterConfig{
-		Addr: o.exportTCP,
+	id := o.exportID
+	if id == 0 {
 		// The ID only has to distinguish concurrent exporters at one
 		// collector; wall-clock nanoseconds (forced odd, hence non-zero) do.
-		ExporterID:  uint64(time.Now().UnixNano()) | 1,
-		SpoolFrames: o.spool,
-		Seed:        o.seed,
-	}, s.tel)
+		id = uint64(time.Now().UnixNano()) | 1
+	}
+	cfg := reliable.ExporterConfig{
+		Addr:         o.exportTCP,
+		ExporterID:   id,
+		SpoolFrames:  o.spool,
+		Seed:         o.seed,
+		DrainTimeout: o.drainWait,
+		SpoolDir:     o.spoolDir,
+	}
+	if o.spoolDir != "" {
+		pol, err := reliable.FsyncPolicyByName(o.fsyncName)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Fsync = pol
+		if o.exportFault != "" {
+			sched, err := faultinject.ParseWriterSchedule(o.exportFault)
+			if err != nil {
+				return nil, err
+			}
+			cfg.SpoolWrap = func(f reliable.SpoolFile) reliable.SpoolFile {
+				return faultinject.NewWriter(f, sched)
+			}
+		}
+	}
+	tcp, err := reliable.NewExporter(cfg, s.tel)
 	if err != nil {
 		return nil, err
 	}
-	s.tcp, s.addr = tcp, o.exportTCP
+	s.tcp, s.addr, s.spoolDir = tcp, o.exportTCP, o.spoolDir
+	if rec := tcp.Recovered(); o.spoolDir != "" && (rec.Frames > 0 || rec.LastReport > 0) {
+		s.skip = rec.LastReport
+		fmt.Printf("export: recovered %d journaled frames (%d torn records truncated, %d discarded), resuming after report %d\n",
+			rec.Frames, rec.TornRecords, rec.Discarded, rec.LastReport)
+	}
 	return s, nil
 }
 
@@ -367,11 +442,17 @@ func (s *exportSink) send(r core.IntervalReport) {
 		return
 	}
 	uptime := time.Duration(r.Interval+1) * s.interval
-	pkts := s.enc.Export(r.Estimates, uptime)
 	if s.tcp != nil {
-		s.tcp.Enqueue(pkts)
+		// Replays are deterministic from the start of the trace, so interval
+		// reports a previous life journaled (committed) are skipped rather
+		// than re-enqueued under fresh sequence numbers.
+		if s.reports++; s.reports <= s.skip {
+			return
+		}
+		s.tcp.Enqueue(s.enc.Export(r.Estimates, uptime))
 		return
 	}
+	pkts := s.enc.Export(r.Estimates, uptime)
 	var bytes uint64
 	for _, p := range pkts {
 		bytes += uint64(len(p))
@@ -397,6 +478,7 @@ func (s *exportSink) close() {
 	var err error
 	if s.tcp != nil {
 		err = s.tcp.Close()
+		s.unflushed = s.tcp.Backlog()
 	} else {
 		err = s.udp.Close()
 	}
@@ -415,6 +497,15 @@ func (s *exportSink) summary() {
 	if s.tcp != nil {
 		fmt.Printf("export: %d acked, %d redelivered, %d reconnects, %d frames dropped (spool high-water %d)\n",
 			st.Acked, st.Redelivered, st.Reconnects, st.FramesDropped, st.SpoolHighWater)
+		if s.spoolDir != "" {
+			ds := s.tcp.Durability().Snapshot()
+			fmt.Printf("journal: %d appends (%d bytes), %d fsyncs, %d rotations, %d truncations, %d errors\n",
+				ds.Appends, ds.AppendBytes, ds.Fsyncs, ds.Rotations, ds.Truncations, ds.JournalErrors)
+			fmt.Printf("drain: %d frames unflushed at exit (journaled in %s; redelivered next start)\n",
+				s.unflushed, s.spoolDir)
+		} else if s.unflushed > 0 {
+			fmt.Printf("drain: %d frames unflushed at exit (memory spool; lost)\n", s.unflushed)
+		}
 	} else if st.ExportErrors > 0 {
 		fmt.Printf("export: %d send errors, %d reports dropped\n", st.ExportErrors, st.ReportsDropped)
 	}
@@ -428,6 +519,17 @@ func (s *exportSink) registerHealth() {
 	debugserver.RegisterHealth("export", func() (telemetry.HealthStatus, string) {
 		return s.tel.Snapshot().Health()
 	})
+	if s.tcp != nil && s.spoolDir != "" {
+		debugserver.Publish("export_durability", func() any {
+			return struct {
+				Recovery reliable.RecoveryInfo     `json:"recovery"`
+				Journal  telemetry.DurableSnapshot `json:"journal"`
+			}{s.tcp.Recovered(), s.tcp.Durability().Snapshot()}
+		})
+		debugserver.RegisterHealth("export-journal", func() (telemetry.HealthStatus, string) {
+			return s.tcp.Durability().Snapshot().Health()
+		})
+	}
 }
 
 // runAB races the primary algorithm (side "a") against a second one (side
@@ -548,8 +650,20 @@ func runSharded(o options, mkAlg func(int64) (core.Algorithm, *adapt.Adaptor, er
 	}
 	fmt.Printf("sharded device: %d lanes, flows by %s, threshold %d bytes (%.4f%% of capacity), overload %s\n",
 		o.shards, def.Name(), thBytes, o.threshold*100, o.overload)
-	n, err := trace.Replay(src, pipe)
-	if err != nil {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	n, err := trace.Replay(src, pipe, trace.WithStop(func() bool {
+		select {
+		case <-sig:
+			return true
+		default:
+			return false
+		}
+	}))
+	if errors.Is(err, trace.ErrStopped) {
+		fmt.Printf("\ninterrupted after %d packets: reporting completed intervals, draining export spool\n", n)
+	} else if err != nil {
 		return err
 	}
 	shardCounts := pipe.ShardCounts()

@@ -16,6 +16,9 @@
 package main
 
 import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -27,11 +30,22 @@ import (
 	"time"
 
 	"repro/internal/debugserver"
+	"repro/internal/faultinject"
 	"repro/internal/flow"
 	"repro/internal/netflow"
 	"repro/internal/netflow/reliable"
 	"repro/internal/telemetry"
 )
+
+// stateOptions is the crash-safety configuration: where the journal lives
+// and how eagerly it reaches stable storage.
+type stateOptions struct {
+	dir        string
+	fsyncName  string
+	fault      string
+	snapEvery  time.Duration
+	totalsJSON string
+}
 
 func main() {
 	var (
@@ -41,9 +55,15 @@ func main() {
 		top       = flag.Int("top", 10, "flows to print per summary")
 		every     = flag.Duration("every", 5*time.Second, "summary period")
 		drain     = flag.Duration("drain", time.Second, "how long to drain in-flight exports on shutdown")
+		st        stateOptions
 	)
+	flag.StringVar(&st.dir, "state-dir", "", "journal reliable-transport deliveries and snapshot accumulated totals in this directory; a restarted collector recovers both (requires -listen-tcp)")
+	flag.StringVar(&st.fsyncName, "state-fsync", "batch", "state journal fsync policy: frame, batch, timer, none")
+	flag.StringVar(&st.fault, "state-fault", "", "inject deterministic journal disk faults, e.g. syncdelay=5ms (crash-test hook)")
+	flag.DurationVar(&st.snapEvery, "snapshot-every", 10*time.Second, "how often to snapshot accumulated totals and truncate the WAL (0 = only at shutdown)")
+	flag.StringVar(&st.totalsJSON, "totals-json", "", "write final per-flow byte totals as JSON to this file on graceful shutdown")
 	flag.Parse()
-	if err := run(*listen, *listenTCP, *debug, *top, *every, *drain); err != nil {
+	if err := run(*listen, *listenTCP, *debug, *top, *every, *drain, st); err != nil {
 		fmt.Fprintln(os.Stderr, "nfcollector:", err)
 		os.Exit(1)
 	}
@@ -83,6 +103,64 @@ func (a *agg) flows() int {
 	return len(a.bytes)
 }
 
+// snapshotState serializes the aggregate for the journal's snapshot record.
+// It is called under the journal mutex, so the totals it captures are
+// exactly consistent with the watermarks stored next to them.
+func (a *agg) snapshotState() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(a.bytes); err != nil {
+		return nil
+	}
+	if err := enc.Encode(a.badFrames); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+// restoreState loads a snapshot written by snapshotState. An empty blob is
+// a fresh start.
+func (a *agg) restoreState(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	dec := gob.NewDecoder(bytes.NewReader(b))
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := dec.Decode(&a.bytes); err != nil {
+		return fmt.Errorf("state snapshot: %w", err)
+	}
+	return dec.Decode(&a.badFrames)
+}
+
+// writeTotals writes the per-flow byte totals as sorted JSON — the harness's
+// ground truth for byte-exact comparison across crash schedules.
+func (a *agg) writeTotals(path string) error {
+	a.mu.Lock()
+	type entry struct {
+		Key   string `json:"key"`
+		Bytes uint64 `json:"bytes"`
+	}
+	out := struct {
+		Flows      int     `json:"flows"`
+		TotalBytes uint64  `json:"total_bytes"`
+		Entries    []entry `json:"entries"`
+	}{Flows: len(a.bytes)}
+	for r, b := range a.bytes {
+		out.Entries = append(out.Entries, entry{Key: fmt.Sprintf("%+v", r), Bytes: b})
+		out.TotalBytes += b
+	}
+	a.mu.Unlock()
+	sort.Slice(out.Entries, func(i, j int) bool { return out.Entries[i].Key < out.Entries[j].Key })
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func (a *agg) top(n int) []struct {
 	rec   netflow.V5Record
 	bytes uint64
@@ -106,8 +184,50 @@ func (a *agg) top(n int) []struct {
 	return out
 }
 
-func run(listen, listenTCP, debug string, top int, every, drain time.Duration) error {
+func run(listen, listenTCP, debug string, top int, every, drain time.Duration, st stateOptions) error {
 	a := &agg{bytes: make(map[netflow.V5Record]uint64)}
+	if st.dir != "" && listenTCP == "" {
+		return fmt.Errorf("-state-dir journals the reliable transport and requires -listen-tcp")
+	}
+
+	// With -state-dir, recover before serving: restore the last snapshot's
+	// totals, replay WAL frames past it, and seed the server's sequence
+	// state from the recovered watermarks — so the first hello after a
+	// crash is answered with an ack that never regresses.
+	var (
+		journal  *reliable.Journal
+		recovery *reliable.Recovery
+	)
+	if st.dir != "" {
+		pol, err := reliable.FsyncPolicyByName(st.fsyncName)
+		if err != nil {
+			return err
+		}
+		jcfg := reliable.JournalConfig{Dir: st.dir, Fsync: pol}
+		if st.fault != "" {
+			sched, err := faultinject.ParseWriterSchedule(st.fault)
+			if err != nil {
+				return err
+			}
+			jcfg.Wrap = func(f reliable.SpoolFile) reliable.SpoolFile {
+				return faultinject.NewWriter(f, sched)
+			}
+		}
+		journal, recovery, err = reliable.OpenJournal(jcfg, nil)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		if err := a.restoreState(recovery.State); err != nil {
+			return err
+		}
+		for _, f := range recovery.Frames {
+			a.addFrame(f.Payload)
+		}
+		fmt.Printf("state: recovered %d flows from %s (%d WAL frames replayed, %d torn records truncated)\n",
+			a.flows(), st.dir, len(recovery.Frames), recovery.TornRecords)
+	}
+
 	srv, addr, stop, err := netflow.ListenAndServe(listen, func(_ net.Addr, p *netflow.V5Packet) {
 		a.add(p)
 	})
@@ -120,7 +240,7 @@ func run(listen, listenTCP, debug string, top int, every, drain time.Duration) e
 	var rsrv *reliable.Server
 	if listenTCP != "" {
 		var raddr net.Addr
-		rsrv, raddr, err = reliable.Listen(listenTCP, reliable.ServerConfig{}, func(_, _ uint64, payload []byte) {
+		rsrv, raddr, err = reliable.Listen(listenTCP, reliable.ServerConfig{Journal: journal}, func(_, _ uint64, payload []byte) {
 			a.addFrame(payload)
 		})
 		if err != nil {
@@ -166,6 +286,21 @@ func run(listen, listenTCP, debug string, top int, every, drain time.Duration) e
 				}
 			})
 		}
+		if journal != nil {
+			rec := recovery
+			debugserver.Publish("collector_durability", func() any {
+				return struct {
+					Journal         telemetry.DurableSnapshot `json:"journal"`
+					RecoveredFrames int                       `json:"recovered_frames"`
+					TornRecords     int                       `json:"torn_records"`
+					TornBytes       int64                     `json:"torn_bytes"`
+					Watermarks      map[uint64]uint64         `json:"watermarks"`
+				}{journal.Durability().Snapshot(), len(rec.Frames), rec.TornRecords, rec.TornBytes, journal.Watermarks()}
+			})
+			debugserver.RegisterHealth("state-journal", func() (telemetry.HealthStatus, string) {
+				return journal.Durability().Snapshot().Health()
+			})
+		}
 		daddr, err := debugserver.Serve(debug)
 		if err != nil {
 			return err
@@ -180,6 +315,11 @@ func run(listen, listenTCP, debug string, top int, every, drain time.Duration) e
 			fmt.Printf("reliable: %d frames, %d delivered, %d duplicates deduped, %d gaps, %d bad frames, %d exporters\n",
 				rs.Frames, rs.Delivered, rs.Duplicates, rs.Gaps, rs.BadFrames, len(rs.PerExporter))
 		}
+		if journal != nil {
+			ds := journal.Durability().Snapshot()
+			fmt.Printf("journal: %d appends (%d bytes), %d fsyncs, %d snapshots, %d errors\n",
+				ds.Appends, ds.AppendBytes, ds.Fsyncs, ds.Snapshots, ds.JournalErrors)
+		}
 		for _, e := range a.top(top) {
 			fmt.Printf("  %12d bytes  %s\n", e.bytes, describe(e.rec))
 		}
@@ -189,20 +329,41 @@ func run(listen, listenTCP, debug string, top int, every, drain time.Duration) e
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	ticker := time.NewTicker(every)
 	defer ticker.Stop()
+	var snapC <-chan time.Time
+	if journal != nil && st.snapEvery > 0 {
+		snapTicker := time.NewTicker(st.snapEvery)
+		defer snapTicker.Stop()
+		snapC = snapTicker.C
+	}
 	for {
 		select {
 		case <-ticker.C:
 			summary(time.Now().Format("15:04:05"))
+		case <-snapC:
+			if err := journal.Snapshot(a.snapshotState); err != nil {
+				fmt.Fprintf(os.Stderr, "nfcollector: snapshot: %v\n", err)
+			}
 		case <-sig:
-			// Stop accepting, drain exports already in flight, then print
-			// everything — including the partial period a plain exit would
-			// have discarded.
+			// Stop accepting, drain exports already in flight, snapshot the
+			// final totals (truncating the WAL), then print everything —
+			// including the partial period a plain exit would have discarded.
 			fmt.Printf("\nshutting down: draining in-flight exports (up to %v)\n", drain)
 			if rsrv != nil {
 				rsrv.Shutdown(drain)
 			}
 			stop()
+			if journal != nil {
+				if err := journal.Snapshot(a.snapshotState); err != nil {
+					fmt.Fprintf(os.Stderr, "nfcollector: final snapshot: %v\n", err)
+				}
+			}
 			summary("final")
+			if st.totalsJSON != "" {
+				if err := a.writeTotals(st.totalsJSON); err != nil {
+					return fmt.Errorf("totals: %w", err)
+				}
+				fmt.Printf("totals: wrote %s\n", st.totalsJSON)
+			}
 			return nil
 		}
 	}

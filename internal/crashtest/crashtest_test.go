@@ -1,0 +1,406 @@
+// Package crashtest is a subprocess chaos harness for the durable export
+// path: it builds the real hhdevice and nfcollector binaries, SIGKILLs them
+// mid-replay — including during stretched fsync windows — restarts them
+// against the same spool and state directories, and asserts that the
+// collector's final per-flow byte totals are byte-exact against an
+// uninterrupted reference run. Zero lost bytes, zero double-counted bytes.
+package crashtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+var (
+	deviceBin    string
+	collectorBin string
+	buildErr     error
+)
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "crashtest-bin-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	deviceBin = filepath.Join(dir, "hhdevice")
+	collectorBin = filepath.Join(dir, "nfcollector")
+	for bin, pkg := range map[string]string{
+		deviceBin:    "repro/cmd/hhdevice",
+		collectorBin: "repro/cmd/nfcollector",
+	} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("go build %s: %v\n%s", pkg, err, out)
+			break
+		}
+	}
+	os.Exit(m.Run())
+}
+
+func requireBins(t *testing.T) {
+	t.Helper()
+	if buildErr != nil {
+		t.Skipf("cannot build subprocess binaries: %v", buildErr)
+	}
+}
+
+// harness timing knobs; short mode trades trace size and pacing for runtime.
+type params struct {
+	scale       float64       // preset scale factor
+	intervals   int           // preset intervals
+	reportPause time.Duration // device pacing between interval reports
+	kills       int           // SIGKILLs per scenario
+	killEvery   time.Duration // pause before each kill
+}
+
+func tuning() params {
+	if testing.Short() {
+		return params{scale: 0.01, intervals: 6, reportPause: 150 * time.Millisecond, kills: 5, killEvery: 200 * time.Millisecond}
+	}
+	return params{scale: 0.02, intervals: 8, reportPause: 300 * time.Millisecond, kills: 5, killEvery: 400 * time.Millisecond}
+}
+
+type totals struct {
+	Flows      int    `json:"flows"`
+	TotalBytes uint64 `json:"total_bytes"`
+	Entries    []struct {
+		Key   string `json:"key"`
+		Bytes uint64 `json:"bytes"`
+	} `json:"entries"`
+}
+
+func readTotals(t *testing.T, path string) totals {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("totals file: %v", err)
+	}
+	var tt totals
+	if err := json.Unmarshal(b, &tt); err != nil {
+		t.Fatalf("totals json: %v", err)
+	}
+	return tt
+}
+
+func sameTotals(a, b totals) bool {
+	if a.Flows != b.Flows || a.TotalBytes != b.TotalBytes || len(a.Entries) != len(b.Entries) {
+		return false
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func diffTotals(t *testing.T, ref, got totals) {
+	t.Helper()
+	t.Errorf("totals diverge from reference: ref %d flows / %d bytes, got %d flows / %d bytes",
+		ref.Flows, ref.TotalBytes, got.Flows, got.TotalBytes)
+	refBytes := map[string]uint64{}
+	for _, e := range ref.Entries {
+		refBytes[e.Key] = e.Bytes
+	}
+	reported := 0
+	for _, e := range got.Entries {
+		if rb, ok := refBytes[e.Key]; !ok {
+			t.Errorf("  unexpected flow %s (%d bytes)", e.Key, e.Bytes)
+		} else if rb != e.Bytes {
+			t.Errorf("  flow %s: got %d bytes, want %d", e.Key, e.Bytes, rb)
+		}
+		delete(refBytes, e.Key)
+		if reported++; reported >= 10 {
+			break
+		}
+	}
+	for f, b := range refBytes {
+		t.Errorf("  missing flow %s (%d bytes)", f, b)
+		if reported++; reported >= 10 {
+			break
+		}
+	}
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// proc wraps a subprocess with its log for post-mortem assertions.
+type proc struct {
+	cmd     *exec.Cmd
+	logPath string
+}
+
+func (p *proc) log(t *testing.T) string {
+	t.Helper()
+	b, err := os.ReadFile(p.logPath)
+	if err != nil {
+		t.Fatalf("read %s: %v", p.logPath, err)
+	}
+	return string(b)
+}
+
+func start(t *testing.T, logPath, bin string, args ...string) *proc {
+	t.Helper()
+	f, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = f
+	cmd.Stderr = f
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", bin, err)
+	}
+	return &proc{cmd: cmd, logPath: logPath}
+}
+
+// startCollector launches nfcollector and waits until the reliable TCP
+// listener accepts connections.
+func startCollector(t *testing.T, logPath, tcpAddr string, extra ...string) *proc {
+	t.Helper()
+	args := append([]string{
+		"-listen", "127.0.0.1:0",
+		"-listen-tcp", tcpAddr,
+		"-every", "1h",
+		"-drain", "2s",
+	}, extra...)
+	p := start(t, logPath, collectorBin, args...)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", tcpAddr, 200*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			return p
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("collector never listened on %s:\n%s", tcpAddr, p.log(t))
+	return nil
+}
+
+func deviceArgs(p params, tcpAddr, spoolDir string, extra ...string) []string {
+	args := []string{
+		"-preset", "COS",
+		"-scale", fmt.Sprintf("%g", p.scale),
+		"-intervals", fmt.Sprintf("%d", p.intervals),
+		"-export-tcp", tcpAddr,
+		"-export-id", "7",
+		"-export-spool-dir", spoolDir,
+		"-report-pause", p.reportPause.String(),
+	}
+	return append(args, extra...)
+}
+
+func sigkill(t *testing.T, p *proc) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	p.cmd.Wait()
+}
+
+func sigterm(t *testing.T, p *proc) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("sigterm: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown failed: %v\n%s", err, p.log(t))
+		}
+	case <-time.After(30 * time.Second):
+		p.cmd.Process.Kill()
+		t.Fatalf("graceful shutdown hung:\n%s", p.log(t))
+	}
+}
+
+// reference runs one uninterrupted device+collector cycle and returns the
+// collector's totals — the ground truth every chaos scenario must match.
+func reference(t *testing.T, p params) totals {
+	t.Helper()
+	dir := t.TempDir()
+	addr := freePort(t)
+	totalsPath := filepath.Join(dir, "totals.json")
+	col := startCollector(t, filepath.Join(dir, "collector.log"), addr,
+		"-state-dir", filepath.Join(dir, "state"),
+		"-totals-json", totalsPath)
+	// The reference run needs no pacing — nothing is going to be killed.
+	refParams := p
+	refParams.reportPause = 0
+	dev := start(t, filepath.Join(dir, "device.log"), deviceBin,
+		deviceArgs(refParams, addr, filepath.Join(dir, "spool"), "-export-drain", "30s")...)
+	if err := dev.cmd.Wait(); err != nil {
+		t.Fatalf("reference device run failed: %v\n%s", err, dev.log(t))
+	}
+	sigterm(t, col)
+	tt := readTotals(t, totalsPath)
+	if tt.Flows == 0 || tt.TotalBytes == 0 {
+		t.Fatalf("reference run produced empty totals:\n%s", col.log(t))
+	}
+	return tt
+}
+
+// flushDevice runs one final uninterrupted device life against a live
+// collector: it recovers any journaled unacked frames, replays the trace
+// (skipping reports committed by earlier lives), and drains until every
+// frame is acked. After it returns, the collector holds everything.
+func flushDevice(t *testing.T, p params, logPath, tcpAddr, spoolDir string, extra ...string) {
+	t.Helper()
+	flushParams := p
+	flushParams.reportPause = 0
+	dev := start(t, logPath, deviceBin,
+		deviceArgs(flushParams, tcpAddr, spoolDir, append([]string{"-export-drain", "60s"}, extra...)...)...)
+	done := make(chan error, 1)
+	go func() { done <- dev.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("flush device life failed: %v\n%s", err, dev.log(t))
+		}
+	case <-time.After(90 * time.Second):
+		dev.cmd.Process.Kill()
+		t.Fatalf("flush device life hung:\n%s", dev.log(t))
+	}
+	if log := dev.log(t); !strings.Contains(log, "drain: 0 frames unflushed") {
+		t.Fatalf("flush life left frames unflushed:\n%s", log)
+	}
+}
+
+// TestDeviceSIGKILL kills the device mid-replay at least five times — one of
+// the lives with a stretched fsync window so kills land during fsync — then
+// lets a final life drain. Totals must match the uninterrupted reference.
+func TestDeviceSIGKILL(t *testing.T) {
+	requireBins(t)
+	p := tuning()
+	ref := reference(t, p)
+
+	dir := t.TempDir()
+	addr := freePort(t)
+	totalsPath := filepath.Join(dir, "totals.json")
+	spoolDir := filepath.Join(dir, "spool")
+	col := startCollector(t, filepath.Join(dir, "collector.log"), addr,
+		"-state-dir", filepath.Join(dir, "state"),
+		"-totals-json", totalsPath)
+
+	for i := 0; i < p.kills; i++ {
+		extra := []string{}
+		if i%2 == 1 {
+			// Stretch every spool fsync so the SIGKILL below has a wide
+			// window to land mid-fsync (kill-during-fsync coverage).
+			extra = append(extra, "-export-fault", "syncdelay=3ms", "-export-fsync", "frame")
+		}
+		dev := start(t, filepath.Join(dir, fmt.Sprintf("device-%d.log", i)), deviceBin,
+			deviceArgs(p, addr, spoolDir, extra...)...)
+		time.Sleep(p.killEvery + time.Duration(i)*p.reportPause/2)
+		sigkill(t, dev)
+	}
+
+	flushDevice(t, p, filepath.Join(dir, "device-final.log"), addr, spoolDir)
+	sigterm(t, col)
+
+	got := readTotals(t, totalsPath)
+	if !sameTotals(ref, got) {
+		diffTotals(t, ref, got)
+	}
+}
+
+// TestCollectorSIGKILL kills the collector at least five times while a
+// single paced device run is in flight; each restarted collector recovers
+// its journal (snapshot + WAL) and re-acks without regression. Totals must
+// match the uninterrupted reference.
+func TestCollectorSIGKILL(t *testing.T) {
+	requireBins(t)
+	p := tuning()
+	ref := reference(t, p)
+
+	dir := t.TempDir()
+	addr := freePort(t)
+	totalsPath := filepath.Join(dir, "totals.json")
+	stateDir := filepath.Join(dir, "state")
+	spoolDir := filepath.Join(dir, "spool")
+
+	colArgs := func(i int) []string {
+		args := []string{
+			"-state-dir", stateDir,
+			"-totals-json", totalsPath,
+			// Snapshot aggressively so kills interleave snapshot GC with
+			// WAL replay across lives.
+			"-snapshot-every", "300ms",
+		}
+		if i%2 == 1 {
+			// Stretch journal fsyncs so kills land mid-fsync.
+			args = append(args, "-state-fault", "syncdelay=3ms", "-state-fsync", "frame")
+		}
+		return args
+	}
+
+	col := startCollector(t, filepath.Join(dir, "collector-0.log"), addr, colArgs(0)...)
+	dev := start(t, filepath.Join(dir, "device.log"), deviceBin,
+		deviceArgs(p, addr, spoolDir, "-export-drain", "60s")...)
+	devDone := make(chan error, 1)
+	go func() { devDone <- dev.cmd.Wait() }()
+
+	for i := 0; i < p.kills; i++ {
+		time.Sleep(p.killEvery)
+		sigkill(t, col)
+		col = startCollector(t, filepath.Join(dir, fmt.Sprintf("collector-%d.log", i+1)), addr, colArgs(i+1)...)
+	}
+
+	select {
+	case err := <-devDone:
+		if err != nil {
+			t.Fatalf("device run failed: %v\n%s", err, dev.log(t))
+		}
+	case <-time.After(120 * time.Second):
+		dev.cmd.Process.Kill()
+		t.Fatalf("device run hung:\n%s", dev.log(t))
+	}
+	// The device drained against the final collector life, but a kill in
+	// the ack window can leave journaled-but-unacked frames behind; a flush
+	// life redelivers them (the collector dedups re-sends by sequence).
+	flushDevice(t, p, filepath.Join(dir, "device-final.log"), addr, spoolDir)
+	sigterm(t, col)
+
+	got := readTotals(t, totalsPath)
+	if !sameTotals(ref, got) {
+		diffTotals(t, ref, got)
+	}
+
+	// Every restarted life must have actually recovered journaled state.
+	recovered := 0
+	for i := 1; i <= p.kills; i++ {
+		b, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("collector-%d.log", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(b), "state: recovered") {
+			recovered++
+		}
+	}
+	if recovered != p.kills {
+		t.Errorf("only %d/%d collector restarts logged journal recovery", recovered, p.kills)
+	}
+}

@@ -1,0 +1,168 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// File is the surface of a journal segment file the disk fault injector
+// wraps: sequential writes, fsync, close. It matches the reliable
+// transport's SpoolFile structurally, so a Writer slots straight into a
+// SpoolWrap / JournalConfig.Wrap hook.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// WriterSchedule says when the wrapped file misbehaves. Faults count calls
+// (1-based), not wall-clock time, so a given append sequence always fails
+// at the same record and tests replay identically. The zero value injects
+// nothing.
+type WriterSchedule struct {
+	// ShortWriteAt, when non-zero, makes the Nth Write persist only the
+	// first half of its buffer and return io.ErrShortWrite — the torn final
+	// record: bytes are genuinely on disk, but the record's CRC cannot
+	// match, so recovery must truncate it.
+	ShortWriteAt uint64
+	// ErrWriteAt, when non-zero, fails the Nth Write outright, persisting
+	// nothing.
+	ErrWriteAt uint64
+	// ErrSyncAt, when non-zero, fails the Nth Sync.
+	ErrSyncAt uint64
+	// SyncDelay sleeps before every fsync, widening the kill-during-fsync
+	// window for the subprocess crash harness.
+	SyncDelay time.Duration
+	// WriteDelay sleeps before every write (slow-disk model).
+	WriteDelay time.Duration
+}
+
+// Writer wraps a journal file with deterministic disk faults. It implements
+// File and io.ReaderFrom. Not safe for concurrent use — journals serialize
+// appends under their own lock.
+type Writer struct {
+	f     File
+	sched WriterSchedule
+
+	writes uint64
+	syncs  uint64
+}
+
+// NewWriter wraps f with the schedule.
+func NewWriter(f File, sched WriterSchedule) *Writer {
+	return &Writer{f: f, sched: sched}
+}
+
+// Writes and Syncs report how many calls the wrapper has seen, so tests can
+// assert a fault actually fired.
+func (w *Writer) Writes() uint64 { return w.writes }
+func (w *Writer) Syncs() uint64  { return w.syncs }
+
+// Write implements io.Writer with the scheduled faults.
+func (w *Writer) Write(p []byte) (int, error) {
+	w.writes++
+	if w.sched.WriteDelay > 0 {
+		time.Sleep(w.sched.WriteDelay)
+	}
+	if w.sched.ErrWriteAt != 0 && w.writes == w.sched.ErrWriteAt {
+		return 0, fmt.Errorf("faultinject: scheduled write error at write %d", w.writes)
+	}
+	if w.sched.ShortWriteAt != 0 && w.writes == w.sched.ShortWriteAt {
+		n, err := w.f.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, io.ErrShortWrite
+	}
+	return w.f.Write(p)
+}
+
+// ReadFrom implements io.ReaderFrom through the fault-injecting Write, so
+// copy paths hit the same schedule as direct appends.
+func (w *Writer) ReadFrom(r io.Reader) (int64, error) {
+	var total int64
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := r.Read(buf)
+		if n > 0 {
+			wn, werr := w.Write(buf[:n])
+			total += int64(wn)
+			if werr != nil {
+				return total, werr
+			}
+			if wn < n {
+				return total, io.ErrShortWrite
+			}
+		}
+		if rerr == io.EOF {
+			return total, nil
+		}
+		if rerr != nil {
+			return total, rerr
+		}
+	}
+}
+
+// Sync implements File with the scheduled faults.
+func (w *Writer) Sync() error {
+	w.syncs++
+	if w.sched.SyncDelay > 0 {
+		time.Sleep(w.sched.SyncDelay)
+	}
+	if w.sched.ErrSyncAt != 0 && w.syncs == w.sched.ErrSyncAt {
+		return fmt.Errorf("faultinject: scheduled fsync error at sync %d", w.syncs)
+	}
+	return w.f.Sync()
+}
+
+// Close closes the underlying file.
+func (w *Writer) Close() error { return w.f.Close() }
+
+// ParseWriterSchedule parses a comma-separated fault spec like
+// "syncdelay=5ms,shortwrite=3" — the command-line form the binaries expose
+// for the crash harness. Keys: shortwrite, errwrite, errsync (call
+// numbers), syncdelay, writedelay (durations). An empty spec is the zero
+// schedule.
+func ParseWriterSchedule(spec string) (WriterSchedule, error) {
+	var s WriterSchedule
+	if spec == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return s, fmt.Errorf("faultinject: bad fault %q (want key=value)", part)
+		}
+		switch k {
+		case "shortwrite", "errwrite", "errsync":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return s, fmt.Errorf("faultinject: bad %s count %q: %v", k, v, err)
+			}
+			switch k {
+			case "shortwrite":
+				s.ShortWriteAt = n
+			case "errwrite":
+				s.ErrWriteAt = n
+			case "errsync":
+				s.ErrSyncAt = n
+			}
+		case "syncdelay", "writedelay":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return s, fmt.Errorf("faultinject: bad %s duration %q: %v", k, v, err)
+			}
+			if k == "syncdelay" {
+				s.SyncDelay = d
+			} else {
+				s.WriteDelay = d
+			}
+		default:
+			return s, fmt.Errorf("faultinject: unknown fault key %q", k)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,96 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// memFile is an in-memory File for exercising the fault schedule.
+type memFile struct {
+	buf    bytes.Buffer
+	syncs  int
+	closed bool
+}
+
+func (m *memFile) Write(p []byte) (int, error) { return m.buf.Write(p) }
+func (m *memFile) Sync() error                 { m.syncs++; return nil }
+func (m *memFile) Close() error                { m.closed = true; return nil }
+
+func TestWriterShortWrite(t *testing.T) {
+	f := &memFile{}
+	w := NewWriter(f, WriterSchedule{ShortWriteAt: 2})
+
+	if n, err := w.Write([]byte("aaaa")); n != 4 || err != nil {
+		t.Fatalf("write 1: got (%d, %v), want (4, nil)", n, err)
+	}
+	n, err := w.Write([]byte("bbbb"))
+	if n != 2 || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("write 2: got (%d, %v), want (2, ErrShortWrite)", n, err)
+	}
+	// The torn half is genuinely on disk — that is the point.
+	if got := f.buf.String(); got != "aaaabb" {
+		t.Fatalf("persisted %q, want %q", got, "aaaabb")
+	}
+	if w.Writes() != 2 {
+		t.Fatalf("Writes() = %d, want 2", w.Writes())
+	}
+}
+
+func TestWriterErrWriteAndSync(t *testing.T) {
+	f := &memFile{}
+	w := NewWriter(f, WriterSchedule{ErrWriteAt: 1, ErrSyncAt: 2})
+
+	if n, err := w.Write([]byte("x")); n != 0 || err == nil {
+		t.Fatalf("write 1: got (%d, %v), want scheduled error", n, err)
+	}
+	if f.buf.Len() != 0 {
+		t.Fatalf("failed write persisted %d bytes", f.buf.Len())
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := w.Sync(); err == nil {
+		t.Fatal("sync 2: want scheduled error")
+	}
+	if f.syncs != 1 {
+		t.Fatalf("underlying syncs = %d, want 1 (faulted sync must not reach disk)", f.syncs)
+	}
+	if err := w.Close(); err != nil || !f.closed {
+		t.Fatalf("close: err=%v closed=%v", err, f.closed)
+	}
+}
+
+func TestWriterReadFrom(t *testing.T) {
+	f := &memFile{}
+	w := NewWriter(f, WriterSchedule{})
+	n, err := w.ReadFrom(strings.NewReader("hello journal"))
+	if err != nil || n != 13 {
+		t.Fatalf("ReadFrom: got (%d, %v), want (13, nil)", n, err)
+	}
+	if got := f.buf.String(); got != "hello journal" {
+		t.Fatalf("persisted %q", got)
+	}
+}
+
+func TestParseWriterSchedule(t *testing.T) {
+	s, err := ParseWriterSchedule("syncdelay=5ms,shortwrite=3,errsync=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := WriterSchedule{ShortWriteAt: 3, ErrSyncAt: 7, SyncDelay: 5 * time.Millisecond}
+	if s != want {
+		t.Fatalf("got %+v, want %+v", s, want)
+	}
+	if s, err := ParseWriterSchedule(""); err != nil || s != (WriterSchedule{}) {
+		t.Fatalf("empty spec: got (%+v, %v)", s, err)
+	}
+	for _, bad := range []string{"nope=1", "shortwrite=x", "syncdelay=fast", "loose"} {
+		if _, err := ParseWriterSchedule(bad); err == nil {
+			t.Errorf("spec %q: want error", bad)
+		}
+	}
+}

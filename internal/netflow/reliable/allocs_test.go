@@ -35,3 +35,33 @@ func TestEnqueueSteadyStateZeroAllocs(t *testing.T) {
 		t.Errorf("Enqueue allocates %.1f times per interval, want 0", allocs)
 	}
 }
+
+// TestDurableEnqueueSteadyStateZeroAllocs guards the same path with the
+// disk spool journaling every frame: the record is assembled in the
+// writer's grow-only scratch buffer and written with one syscall, so adding
+// durability must not add allocations to the per-interval hot path.
+func TestDurableEnqueueSteadyStateZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting is not meaningful in -short smoke runs")
+	}
+	cfg := fastConfig("127.0.0.1:1") // reserved port: dial fails, exporter backs off
+	cfg.SpoolFrames = 8
+	cfg.SpoolDir = t.TempDir()
+	cfg.BackoffMin = time.Hour
+	cfg.BackoffMax = time.Hour
+	cfg.DrainTimeout = time.Millisecond
+	exp, err := NewExporter(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+
+	pkts := mkPkts(3, "steady")
+	exp.Enqueue(pkts) // warm the scratch buffer
+	if allocs := testing.AllocsPerRun(1000, func() { exp.Enqueue(pkts) }); allocs != 0 {
+		t.Errorf("durable Enqueue allocates %.1f times per interval, want 0", allocs)
+	}
+	if ds := exp.Durability().Snapshot(); ds.JournalErrors != 0 || ds.Appends == 0 {
+		t.Fatalf("journal unhealthy during alloc run: %+v", ds)
+	}
+}

@@ -1,0 +1,55 @@
+package reliable
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkDurableEnqueue measures what each fsync policy costs on the
+// device's per-interval hot path: one Enqueue of a three-frame report with
+// the disk spool journaling every frame. "off" is the in-memory baseline
+// (no SpoolDir); the other lanes differ only in when the journal calls
+// fsync. This is the number EXPERIMENTS.md quotes for the durability tax.
+func BenchmarkDurableEnqueue(b *testing.B) {
+	policies := []struct {
+		name string
+		dir  bool
+		pol  FsyncPolicy
+	}{
+		{"off", false, FsyncNone},
+		{"none", true, FsyncNone},
+		{"timer", true, FsyncTimer},
+		{"batch", true, FsyncPerBatch},
+		{"frame", true, FsyncPerFrame},
+	}
+	pkts := mkPkts(3, "bench")
+	var payload int
+	for _, p := range pkts {
+		payload += len(p)
+	}
+	for _, pc := range policies {
+		b.Run(pc.name, func(b *testing.B) {
+			cfg := fastConfig("127.0.0.1:1") // reserved port: dial fails, exporter backs off
+			cfg.SpoolFrames = 8
+			cfg.BackoffMin = time.Hour
+			cfg.BackoffMax = time.Hour
+			cfg.DrainTimeout = time.Millisecond
+			if pc.dir {
+				cfg.SpoolDir = b.TempDir()
+				cfg.Fsync = pc.pol
+			}
+			exp, err := NewExporter(cfg, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer exp.Close()
+			exp.Enqueue(pkts) // warm the scratch buffer
+			b.SetBytes(int64(payload))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				exp.Enqueue(pkts)
+			}
+		})
+	}
+}

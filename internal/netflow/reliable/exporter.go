@@ -37,6 +37,29 @@ type ExporterConfig struct {
 	DrainTimeout time.Duration
 	// Seed seeds the backoff jitter (default 1), keeping tests determinate.
 	Seed int64
+
+	// SpoolDir, when set, backs the ring with a durable on-disk journal:
+	// frames are CRC-framed into append-only segment files before the
+	// sender can see them, cumulative acks are journaled too, and a
+	// restarted exporter replays the unacknowledged backlog under its
+	// original sequence numbers — so a SIGKILL loses nothing the fsync
+	// policy promised to keep. Empty (the default) keeps the PR 4 behavior:
+	// memory-only spool, process death loses unacked frames.
+	SpoolDir string
+	// Fsync is the journal's fsync policy (default FsyncPerBatch: one
+	// fsync per Enqueue). See FsyncPolicy for the trade-offs.
+	Fsync FsyncPolicy
+	// FsyncInterval is the FsyncTimer cadence (default 100ms).
+	FsyncInterval time.Duration
+	// SpoolSegmentBytes rotates journal segments past this size (default
+	// 4 MiB); acked segments are deleted whole.
+	SpoolSegmentBytes int64
+	// SpoolMaxBytes caps the journal's disk footprint (default 256 MiB);
+	// past it the oldest closed segment is shed, DropOldest on disk.
+	SpoolMaxBytes int64
+	// SpoolWrap, when set, wraps each opened segment file — the
+	// fault-injection seam for crash and disk-fault tests.
+	SpoolWrap func(SpoolFile) SpoolFile
 }
 
 // Validate checks the configuration.
@@ -50,6 +73,15 @@ func (c ExporterConfig) Validate() error {
 	if c.SpoolFrames < 0 {
 		return cfgerr.New("netflow/reliable", "SpoolFrames", "must not be negative, got %d", c.SpoolFrames)
 	}
+	if c.Fsync < FsyncPerBatch || c.Fsync > FsyncNone {
+		return cfgerr.New("netflow/reliable", "Fsync", "unknown policy %d", int(c.Fsync))
+	}
+	if c.SpoolSegmentBytes < 0 {
+		return cfgerr.New("netflow/reliable", "SpoolSegmentBytes", "must not be negative, got %d", c.SpoolSegmentBytes)
+	}
+	if c.SpoolMaxBytes < 0 {
+		return cfgerr.New("netflow/reliable", "SpoolMaxBytes", "must not be negative, got %d", c.SpoolMaxBytes)
+	}
 	for _, d := range []struct {
 		name string
 		v    time.Duration
@@ -59,6 +91,7 @@ func (c ExporterConfig) Validate() error {
 		{"BackoffMin", c.BackoffMin},
 		{"BackoffMax", c.BackoffMax},
 		{"DrainTimeout", c.DrainTimeout},
+		{"FsyncInterval", c.FsyncInterval},
 	} {
 		if d.v < 0 {
 			return cfgerr.New("netflow/reliable", d.name, "must not be negative, got %v", d.v)
@@ -100,6 +133,15 @@ func (c ExporterConfig) withDefaults() ExporterConfig {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.FsyncInterval == 0 {
+		c.FsyncInterval = 100 * time.Millisecond
+	}
+	if c.SpoolSegmentBytes == 0 {
+		c.SpoolSegmentBytes = 4 << 20
+	}
+	if c.SpoolMaxBytes == 0 {
+		c.SpoolMaxBytes = 256 << 20
+	}
 	return c
 }
 
@@ -123,8 +165,11 @@ type spooled struct {
 type Exporter struct {
 	cfg ExporterConfig
 	tel *telemetry.Export
+	dur *telemetry.Durable
 
 	mu       sync.Mutex
+	disk     *diskSpool // nil without SpoolDir
+	rec      RecoveryInfo
 	cond     *sync.Cond
 	spool    []spooled
 	head     int // ring index of the oldest unacknowledged frame
@@ -149,6 +194,13 @@ type Exporter struct {
 // wait for a connection: a collector that is down at start-up is just the
 // first outage to ride out. tel may be nil, in which case the exporter
 // keeps private counters.
+//
+// With SpoolDir set, the constructor first recovers the on-disk journal:
+// torn tails are truncated, the unacknowledged backlog is reloaded into the
+// ring (newest SpoolFrames frames if the journal outgrew it), and the
+// sequence counter, cumulative-ack watermark and report counter resume
+// where the previous process durably left off — Recovered() reports what
+// was found.
 func NewExporter(cfg ExporterConfig, tel *telemetry.Export) (*Exporter, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -156,13 +208,52 @@ func NewExporter(cfg ExporterConfig, tel *telemetry.Export) (*Exporter, error) {
 	if tel == nil {
 		tel = new(telemetry.Export)
 	}
+	cfg = cfg.withDefaults()
 	e := &Exporter{
-		cfg:   cfg.withDefaults(),
+		cfg:   cfg,
 		tel:   tel,
+		dur:   new(telemetry.Durable),
 		stop:  make(chan struct{}),
-		spool: make([]spooled, cfg.withDefaults().SpoolFrames),
+		spool: make([]spooled, cfg.SpoolFrames),
 	}
 	e.cond = sync.NewCond(&e.mu)
+
+	if cfg.SpoolDir != "" {
+		disk, rec, err := openDiskSpool(cfg.SpoolDir, cfg.Fsync, cfg.FsyncInterval,
+			cfg.SpoolSegmentBytes, cfg.SpoolMaxBytes, cfg.SpoolWrap, e.dur)
+		if err != nil {
+			return nil, err
+		}
+		e.disk = disk
+		frames := rec.frames
+		discarded := 0
+		if len(frames) > cfg.SpoolFrames {
+			// The journal held more backlog than the ring: DropOldest, the
+			// same policy the live ring applies under overload.
+			discarded = len(frames) - cfg.SpoolFrames
+			frames = frames[discarded:]
+		}
+		var recBytes uint64
+		for i, f := range frames {
+			e.spool[i] = spooled{seq: f.seq, report: f.report, pkt: f.pkt}
+			recBytes += uint64(len(f.pkt))
+		}
+		e.count = len(frames)
+		e.nextSeq = rec.nextSeq
+		e.lastAck = rec.lastAck
+		e.reportID = rec.lastReport
+		e.rec = RecoveryInfo{
+			Frames:      len(frames),
+			Discarded:   discarded,
+			LastReport:  rec.lastReport,
+			NextSeq:     rec.nextSeq,
+			LastAck:     rec.lastAck,
+			TornRecords: rec.torn,
+		}
+		e.dur.ObserveRecovery(len(frames), recBytes, rec.torn, rec.tornBytes, discarded)
+		tel.SetSpoolDepth(e.count)
+	}
+
 	e.wg.Add(1)
 	go e.run()
 	return e, nil
@@ -170,6 +261,34 @@ func NewExporter(cfg ExporterConfig, tel *telemetry.Export) (*Exporter, error) {
 
 // Telemetry returns the exporter's counters.
 func (e *Exporter) Telemetry() *telemetry.Export { return e.tel }
+
+// Durability returns the disk spool's journal counters (all zero when the
+// exporter runs memory-only).
+func (e *Exporter) Durability() *telemetry.Durable { return e.dur }
+
+// RecoveryInfo summarizes what a durable exporter restored at startup.
+type RecoveryInfo struct {
+	// Frames is the number of unacknowledged frames reloaded into the ring;
+	// Discarded counts journaled frames dropped because the ring is smaller
+	// than the recovered backlog.
+	Frames    int `json:"frames"`
+	Discarded int `json:"discarded"`
+	// LastReport is the highest report id whose frames were all journaled —
+	// a deterministic producer resumes enqueueing at LastReport+1.
+	LastReport uint64 `json:"last_report"`
+	// NextSeq and LastAck are the resumed sequence counter and cumulative
+	// ack watermark.
+	NextSeq uint64 `json:"next_seq"`
+	LastAck uint64 `json:"last_ack"`
+	// TornRecords counts half-written or corrupt records truncated from the
+	// journal tail (expected after a SIGKILL mid-write, never after a clean
+	// shutdown).
+	TornRecords int `json:"torn_records"`
+}
+
+// Recovered reports the startup recovery outcome (zero value when SpoolDir
+// is unset or the journal was empty).
+func (e *Exporter) Recovered() RecoveryInfo { return e.rec }
 
 // Enqueue spools one interval's encoded export packets for delivery. It
 // never blocks on the network; when the spool is full, the oldest spooled
@@ -195,6 +314,12 @@ func (e *Exporter) Enqueue(pkts [][]byte) {
 	}
 	e.reportID++
 	for _, p := range pkts {
+		if e.disk != nil {
+			// Journal before the ring insert; the frame becomes visible to
+			// the sender only at unlock, after the report's commit record,
+			// so recovery never resurrects a half-journaled report.
+			e.disk.appendData(e.nextSeq+1, e.reportID, p)
+		}
 		if e.count == len(e.spool) {
 			old := &e.spool[e.head]
 			if old.report != e.lastDrop {
@@ -212,6 +337,9 @@ func (e *Exporter) Enqueue(pkts [][]byte) {
 		e.nextSeq++
 		e.spool[(e.head+e.count)%len(e.spool)] = spooled{seq: e.nextSeq, report: e.reportID, pkt: p}
 		e.count++
+	}
+	if e.disk != nil {
+		e.disk.appendCommit(e.reportID)
 	}
 	depth := e.count
 	e.mu.Unlock()
@@ -269,12 +397,18 @@ func (e *Exporter) Close() error {
 		conn.Close()
 	}
 	e.wg.Wait()
+	var diskErr error
+	if e.disk != nil {
+		// Sender and ack reader have exited; flush the journal so the next
+		// process recovers exactly the frames left undelivered here.
+		diskErr = e.disk.close()
+	}
 	if remaining > 0 {
 		e.tel.ObserveFramesDropped(uint64(remaining))
 		e.tel.ObserveReportDropped()
 		return fmt.Errorf("netflow/reliable: %d frames undelivered at close", remaining)
 	}
-	return nil
+	return diskErr
 }
 
 // run is the background sender: connect (with backoff), replay the
@@ -446,6 +580,12 @@ func (e *Exporter) applyAck(ack uint64) {
 	e.mu.Lock()
 	if ack > e.lastAck {
 		e.lastAck = ack
+		if e.disk != nil {
+			// Durable before destructive: the ack record is fsynced before
+			// appendAck deletes the segments it covers, so a crash can never
+			// rewind lastAck below sequences already handed out.
+			e.disk.appendAck(ack)
+		}
 	}
 	for e.count > 0 && e.spool[e.head].seq <= ack {
 		e.spool[e.head].pkt = nil

@@ -76,8 +76,8 @@ func TestExporterConfigValidate(t *testing.T) {
 		t.Fatalf("good config rejected: %v", err)
 	}
 	bad := []ExporterConfig{
-		{},                           // no addr
-		{Addr: "x"},                  // no exporter ID
+		{},          // no addr
+		{Addr: "x"}, // no exporter ID
 		{Addr: "x", ExporterID: 1, SpoolFrames: -1},
 		{Addr: "x", ExporterID: 1, SendTimeout: -time.Second},
 		{Addr: "x", ExporterID: 1, BackoffMin: time.Minute, BackoffMax: time.Second},

@@ -19,6 +19,14 @@ type ServerConfig struct {
 	// reading acks is disconnected rather than allowed to wedge the
 	// connection's goroutine — the slow-client backpressure bound.
 	AckTimeout time.Duration
+	// Journal, when set, makes delivery crash-safe: each frame is appended
+	// to the write-ahead log (and fsynced per the journal's policy) in the
+	// same critical section that runs the handler, before the ack is
+	// written — so every acked frame is recoverable. The server also seeds
+	// its per-exporter sequence state from the journal's recovered
+	// watermarks, so a restarted collector neither regresses its acks nor
+	// re-counts replayed frames.
+	Journal *Journal
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -103,6 +111,14 @@ func NewServer(ln net.Listener, cfg ServerConfig, handler func(exporter, seq uin
 		ln:        ln,
 		conns:     make(map[net.Conn]struct{}),
 		exporters: make(map[uint64]*exporterState),
+	}
+	if j := s.cfg.Journal; j != nil {
+		// Resume sequence state where durable state ends: frames below the
+		// watermark are journaled (snapshot or WAL), so redeliveries of them
+		// classify as duplicates instead of being counted twice.
+		for id, next := range j.Watermarks() {
+			s.exporters[id] = &exporterState{next: next}
+		}
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -203,7 +219,15 @@ func (s *Server) serveConn(conn net.Conn) {
 				st.gaps += f.seq - expected
 				s.gaps.Add(f.seq - expected)
 			}
-			if s.handler != nil {
+			if j := s.cfg.Journal; j != nil {
+				// WAL append happens-before the handler's aggregation, and
+				// both precede the ack below: acked ⇒ journaled ⇒ recoverable.
+				j.Deliver(hello.exporter, f.seq, f.payload, func() {
+					if s.handler != nil {
+						s.handler(hello.exporter, f.seq, f.payload)
+					}
+				})
+			} else if s.handler != nil {
 				s.handler(hello.exporter, f.seq, f.payload)
 			}
 			st.next = f.seq + 1

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Durable holds the live counters of one durable journal — the disk-backed
+// export spool on the device, or the collector's write-ahead log. Writers
+// are the journal's owner (the exporter's Enqueue/ack paths, the server's
+// delivery path); all fields are atomics, so any goroutine may Snapshot
+// while records are being appended.
+type Durable struct {
+	appends      atomic.Uint64
+	appendBytes  atomic.Uint64
+	fsyncs       atomic.Uint64
+	rotations    atomic.Uint64
+	truncations  atomic.Uint64
+	snapshots    atomic.Uint64
+	errors       atomic.Uint64
+	recoveries   atomic.Uint64
+	tornRecords  atomic.Uint64
+	tornBytes    atomic.Uint64
+	recFrames    atomic.Uint64
+	recBytes     atomic.Uint64
+	recDiscarded atomic.Uint64
+}
+
+// ObserveAppend records one record of n bytes appended to the journal.
+func (d *Durable) ObserveAppend(n int) {
+	d.appends.Add(1)
+	d.appendBytes.Add(uint64(n))
+}
+
+// ObserveFsync records one fsync of the journal.
+func (d *Durable) ObserveFsync() { d.fsyncs.Add(1) }
+
+// ObserveRotation records one segment rotation.
+func (d *Durable) ObserveRotation() { d.rotations.Add(1) }
+
+// ObserveTruncation records n whole segments deleted because the cumulative
+// ack (or a snapshot) made every record in them redundant.
+func (d *Durable) ObserveTruncation(n int) { d.truncations.Add(uint64(n)) }
+
+// ObserveSnapshot records one state snapshot written.
+func (d *Durable) ObserveSnapshot() { d.snapshots.Add(1) }
+
+// ObserveError records a journal I/O error; after one the journal is
+// typically disabled and the process runs on memory alone.
+func (d *Durable) ObserveError() { d.errors.Add(1) }
+
+// ObserveRecovery records the outcome of one startup recovery scan: frames
+// restored (totaling bytes), torn or corrupt records truncated from the
+// tail (tornBytes bytes discarded), and recovered frames discarded because
+// they no longer fit the in-memory window.
+func (d *Durable) ObserveRecovery(frames int, bytes uint64, torn int, tornBytes int64, discarded int) {
+	d.recoveries.Add(1)
+	d.recFrames.Add(uint64(frames))
+	d.recBytes.Add(bytes)
+	d.tornRecords.Add(uint64(torn))
+	d.tornBytes.Add(uint64(tornBytes))
+	d.recDiscarded.Add(uint64(discarded))
+}
+
+// Snapshot copies the durability counters.
+func (d *Durable) Snapshot() DurableSnapshot {
+	return DurableSnapshot{
+		Appends:           d.appends.Load(),
+		AppendBytes:       d.appendBytes.Load(),
+		Fsyncs:            d.fsyncs.Load(),
+		Rotations:         d.rotations.Load(),
+		Truncations:       d.truncations.Load(),
+		Snapshots:         d.snapshots.Load(),
+		JournalErrors:     d.errors.Load(),
+		Recoveries:        d.recoveries.Load(),
+		TornRecords:       d.tornRecords.Load(),
+		TornBytes:         d.tornBytes.Load(),
+		RecoveredFrames:   d.recFrames.Load(),
+		RecoveredBytes:    d.recBytes.Load(),
+		RecoveryDiscarded: d.recDiscarded.Load(),
+	}
+}
+
+// DurableSnapshot is a point-in-time copy of one journal's counters.
+type DurableSnapshot struct {
+	// Appends counts records appended; AppendBytes their encoded size.
+	Appends     uint64 `json:"appends"`
+	AppendBytes uint64 `json:"append_bytes"`
+	// Fsyncs counts fsync calls (the knob the fsync policy turns).
+	Fsyncs uint64 `json:"fsyncs"`
+	// Rotations counts segment files opened after the first.
+	Rotations uint64 `json:"rotations"`
+	// Truncations counts whole segments deleted once acks or snapshots made
+	// them redundant.
+	Truncations uint64 `json:"truncations"`
+	// Snapshots counts state snapshots written (collector journal only).
+	Snapshots uint64 `json:"snapshots"`
+	// JournalErrors counts disk failures; after one the journal is disabled
+	// and durability is lost until restart.
+	JournalErrors uint64 `json:"journal_errors"`
+	// Recoveries counts startup recovery scans (1 after a restart).
+	Recoveries uint64 `json:"recoveries"`
+	// TornRecords and TornBytes count corrupt or half-written records
+	// detected by CRC at recovery and truncated away — expected after a
+	// crash mid-write, impossible after a clean shutdown.
+	TornRecords uint64 `json:"torn_records"`
+	TornBytes   uint64 `json:"torn_bytes"`
+	// RecoveredFrames/RecoveredBytes count journaled frames restored into
+	// memory at startup; RecoveryDiscarded counts recovered frames dropped
+	// because the in-memory window was smaller than the journal backlog.
+	RecoveredFrames   uint64 `json:"recovered_frames"`
+	RecoveredBytes    uint64 `json:"recovered_bytes"`
+	RecoveryDiscarded uint64 `json:"recovery_discarded"`
+}
+
+// Health grades the journal: degraded on any disk error (the process keeps
+// serving from memory, but a crash now loses state). Torn records are not a
+// degradation — they are the journal doing its job after a kill.
+func (s DurableSnapshot) Health() (HealthStatus, string) {
+	if s.JournalErrors > 0 {
+		return HealthDegraded, fmt.Sprintf("%d journal I/O errors; durability lost until restart", s.JournalErrors)
+	}
+	return HealthOK, ""
+}

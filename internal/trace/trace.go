@@ -107,6 +107,7 @@ type ReplayOption func(*replayOptions)
 type replayOptions struct {
 	batchSize int
 	progress  func(packets int)
+	stop      func() bool
 }
 
 // WithBatchSize sets the delivery batch size. n <= 0 selects
@@ -127,6 +128,18 @@ func WithBatchSize(n int) ReplayOption {
 // replay down by exactly its own cost.
 func WithProgress(fn func(packets int)) ReplayOption {
 	return func(o *replayOptions) { o.progress = fn }
+}
+
+// ErrStopped is returned by Replay when a WithStop hook ended the replay
+// early — an orderly interruption (a drain signal), not a trace failure.
+var ErrStopped = fmt.Errorf("trace: replay stopped")
+
+// WithStop registers a hook polled at batch boundaries; when it returns
+// true, Replay flushes the packets already buffered and returns ErrStopped
+// without closing the remaining intervals. The device's signal handler uses
+// it to stop consuming mid-trace and drain what was already measured.
+func WithStop(fn func() bool) ReplayOption {
+	return func(o *replayOptions) { o.stop = fn }
 }
 
 // Replay streams src into c, detecting measurement-interval boundaries from
@@ -170,6 +183,9 @@ func Replay(src Source, c Consumer, opts ...ReplayOption) (int, error) {
 	}
 	cur := 0
 	for {
+		if o.stop != nil && len(buf) == 0 && o.stop() {
+			return packets, ErrStopped
+		}
 		p, err := src.Next()
 		if err == io.EOF {
 			break

@@ -201,6 +201,14 @@ func WithBatchSize(n int) ReplayOption { return trace.WithBatchSize(n) }
 // after every delivered batch and once at the end of the replay.
 func WithProgress(fn func(packets int)) ReplayOption { return trace.WithProgress(fn) }
 
+// WithStop registers a hook polled at batch boundaries; when it returns
+// true, Replay returns ErrReplayStopped — the orderly way for a signal
+// handler to end a replay mid-trace and drain what was already measured.
+func WithStop(fn func() bool) ReplayOption { return trace.WithStop(fn) }
+
+// ErrReplayStopped is returned by Replay when a WithStop hook ended it early.
+var ErrReplayStopped = trace.ErrStopped
+
 // Replay streams a trace into a consumer (typically a *Device or a
 // *Pipeline), calling EndInterval at each measurement interval boundary,
 // and returns the number of packets replayed. Packets are delivered in
