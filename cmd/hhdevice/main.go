@@ -60,6 +60,9 @@ type options struct {
 	exportID    uint64
 	exportFault string
 	drainWait   time.Duration
+	heartbeat   time.Duration
+	pauseWait   time.Duration
+	highWater   float64
 	reportPause time.Duration
 	listen      string
 	shards      int
@@ -99,6 +102,9 @@ func main() {
 	flag.Uint64Var(&o.exportID, "export-id", 0, "stable exporter ID for the reliable transport (0 = derive from wall clock; set explicitly with -export-spool-dir so restarts keep their dedup state)")
 	flag.StringVar(&o.exportFault, "export-fault", "", "inject deterministic spool disk faults, e.g. shortwrite=3,syncdelay=5ms (crash-test hook)")
 	flag.DurationVar(&o.drainWait, "export-drain", 0, "how long Close waits for spooled frames to be acked (0 = default 3s)")
+	flag.DurationVar(&o.heartbeat, "export-heartbeat", 0, "heartbeat interval on an idle reliable TCP connection so the collector's liveness check keeps it (0 = default 10s, negative disables)")
+	flag.DurationVar(&o.pauseWait, "export-pause-timeout", 0, "re-dial if the collector holds the connection paused longer than this (0 = default 30s, negative disables)")
+	flag.Float64Var(&o.highWater, "export-highwater", 0, "spool occupancy fraction that raises backpressure on the measurement path (0 = default 0.75)")
 	flag.DurationVar(&o.reportPause, "report-pause", 0, "pause after each exported interval report (paces single-lane replay for crash testing)")
 	flag.StringVar(&o.listen, "listen", "", "serve /debug/vars, /debug/pprof and /healthz on this address while running")
 	flag.IntVar(&o.shards, "shards", 1, "shard the device across this many parallel lanes")
@@ -389,12 +395,15 @@ func newExportSink(o options, def flow.Definition, meta trace.Meta) (*exportSink
 		id = uint64(time.Now().UnixNano()) | 1
 	}
 	cfg := reliable.ExporterConfig{
-		Addr:         o.exportTCP,
-		ExporterID:   id,
-		SpoolFrames:  o.spool,
-		Seed:         o.seed,
-		DrainTimeout: o.drainWait,
-		SpoolDir:     o.spoolDir,
+		Addr:              o.exportTCP,
+		ExporterID:        id,
+		SpoolFrames:       o.spool,
+		Seed:              o.seed,
+		DrainTimeout:      o.drainWait,
+		SpoolDir:          o.spoolDir,
+		HeartbeatInterval: o.heartbeat,
+		PauseTimeout:      o.pauseWait,
+		SpoolHighWater:    o.highWater,
 	}
 	if o.spoolDir != "" {
 		pol, err := reliable.FsyncPolicyByName(o.fsyncName)
@@ -432,6 +441,13 @@ func (s *exportSink) telemetry() *telemetry.Export {
 		return nil
 	}
 	return s.tel
+}
+
+// overloaded reports export-spool backpressure — the reliable spool above
+// its high-water mark. A nil sink or a fire-and-forget UDP sink is never
+// overloaded.
+func (s *exportSink) overloaded() bool {
+	return s != nil && s.tcp != nil && s.tcp.Overloaded()
 }
 
 // send encodes and ships one interval report. Failures are counted in
@@ -638,6 +654,10 @@ func runSharded(o options, mkAlg func(int64) (core.Algorithm, *adapt.Adaptor, er
 	}
 	defer sink.close()
 	pipe.SetExportTelemetry(sink.telemetry())
+	// Export-path backpressure closes the loop from collector to packet
+	// path: a spool above its high-water mark makes the Degrade policy thin
+	// batches at the measurement input.
+	pipe.SetPressure(sink.overloaded)
 	if o.listen != "" {
 		debugserver.Publish("hhdevice", func() any { return pipe.Stats() })
 		debugserver.RegisterHealth("pipeline", pipe.Health)

@@ -55,15 +55,20 @@ func main() {
 		top       = flag.Int("top", 10, "flows to print per summary")
 		every     = flag.Duration("every", 5*time.Second, "summary period")
 		drain     = flag.Duration("drain", time.Second, "how long to drain in-flight exports on shutdown")
+		tcp       reliable.ServerConfig
 		st        stateOptions
 	)
+	flag.DurationVar(&tcp.HandshakeTimeout, "tcp-handshake-timeout", 0, "drop reliable-transport connections that never send hello within this (0 = default 10s, negative disables)")
+	flag.DurationVar(&tcp.IdleTimeout, "tcp-idle-timeout", 0, "evict reliable-transport connections silent — no frames, no heartbeats — for this long (0 = default 90s, negative disables)")
+	flag.IntVar(&tcp.MaxExporters, "tcp-max-exporters", 0, "refuse reliable-transport connections beyond this many concurrent exporters (0 = unlimited)")
+	flag.IntVar(&tcp.InflightBudgetBytes, "tcp-inflight-budget", 0, "per-connection queued-byte budget before the collector pauses an exporter (0 = default 1 MiB)")
 	flag.StringVar(&st.dir, "state-dir", "", "journal reliable-transport deliveries and snapshot accumulated totals in this directory; a restarted collector recovers both (requires -listen-tcp)")
 	flag.StringVar(&st.fsyncName, "state-fsync", "batch", "state journal fsync policy: frame, batch, timer, none")
 	flag.StringVar(&st.fault, "state-fault", "", "inject deterministic journal disk faults, e.g. syncdelay=5ms (crash-test hook)")
 	flag.DurationVar(&st.snapEvery, "snapshot-every", 10*time.Second, "how often to snapshot accumulated totals and truncate the WAL (0 = only at shutdown)")
 	flag.StringVar(&st.totalsJSON, "totals-json", "", "write final per-flow byte totals as JSON to this file on graceful shutdown")
 	flag.Parse()
-	if err := run(*listen, *listenTCP, *debug, *top, *every, *drain, st); err != nil {
+	if err := run(*listen, *listenTCP, *debug, *top, *every, *drain, tcp, st); err != nil {
 		fmt.Fprintln(os.Stderr, "nfcollector:", err)
 		os.Exit(1)
 	}
@@ -184,7 +189,7 @@ func (a *agg) top(n int) []struct {
 	return out
 }
 
-func run(listen, listenTCP, debug string, top int, every, drain time.Duration, st stateOptions) error {
+func run(listen, listenTCP, debug string, top int, every, drain time.Duration, tcp reliable.ServerConfig, st stateOptions) error {
 	a := &agg{bytes: make(map[netflow.V5Record]uint64)}
 	if st.dir != "" && listenTCP == "" {
 		return fmt.Errorf("-state-dir journals the reliable transport and requires -listen-tcp")
@@ -240,7 +245,8 @@ func run(listen, listenTCP, debug string, top int, every, drain time.Duration, s
 	var rsrv *reliable.Server
 	if listenTCP != "" {
 		var raddr net.Addr
-		rsrv, raddr, err = reliable.Listen(listenTCP, reliable.ServerConfig{Journal: journal}, func(_, _ uint64, payload []byte) {
+		tcp.Journal = journal
+		rsrv, raddr, err = reliable.Listen(listenTCP, tcp, func(_, _ uint64, payload []byte) {
 			a.addFrame(payload)
 		})
 		if err != nil {
@@ -281,6 +287,14 @@ func run(listen, listenTCP, debug string, top int, every, drain time.Duration, s
 					return telemetry.HealthDegraded, fmt.Sprintf("%d bad frames", st.BadFrames)
 				case st.Gaps > 0:
 					return telemetry.HealthDegraded, fmt.Sprintf("%d frames lost to exporter spool overflow", st.Gaps)
+				case st.PausedConnections > 0:
+					return telemetry.HealthDegraded, fmt.Sprintf("%d exporters paused over the inflight budget", st.PausedConnections)
+				case st.Evicted > 0:
+					return telemetry.HealthDegraded, fmt.Sprintf("%d silent exporters evicted", st.Evicted)
+				case st.Rejected > 0:
+					return telemetry.HealthDegraded, fmt.Sprintf("%d connections refused over the exporter cap", st.Rejected)
+				case st.HandshakeTimeouts > 0:
+					return telemetry.HealthDegraded, fmt.Sprintf("%d connections never completed the handshake", st.HandshakeTimeouts)
 				default:
 					return telemetry.HealthOK, ""
 				}
@@ -314,6 +328,10 @@ func run(listen, listenTCP, debug string, top int, every, drain time.Duration, s
 			rs := rsrv.Stats()
 			fmt.Printf("reliable: %d frames, %d delivered, %d duplicates deduped, %d gaps, %d bad frames, %d exporters\n",
 				rs.Frames, rs.Delivered, rs.Duplicates, rs.Gaps, rs.BadFrames, len(rs.PerExporter))
+			if rs.Heartbeats+rs.Evicted+rs.HandshakeTimeouts+rs.Rejected+rs.PausesSent > 0 {
+				fmt.Printf("liveness: %d heartbeats, %d evicted, %d handshake timeouts, %d rejected, %d pauses / %d resumes (%d paused now)\n",
+					rs.Heartbeats, rs.Evicted, rs.HandshakeTimeouts, rs.Rejected, rs.PausesSent, rs.ResumesSent, rs.PausedConnections)
+			}
 		}
 		if journal != nil {
 			ds := journal.Durability().Snapshot()

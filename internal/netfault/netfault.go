@@ -1,0 +1,432 @@
+// Package netfault is the network counterpart of internal/faultinject: a
+// deterministic in-process TCP chaos proxy for torturing the reliable
+// export transport. Where faultinject wraps a journal file with scheduled
+// disk faults, netfault sits between an exporter and its collector and
+// injects link faults — latency, jitter, bandwidth caps, byte corruption,
+// connection resets, asymmetric partitions and link flapping — so the
+// chaos suite can prove the transport's accounting stays byte-exact
+// through a hostile network, not just a crashing process.
+//
+// Faults follow the faultinject idiom: byte-counted or seeded, never
+// wall-clock-scheduled, so a fault always lands at the same point in the
+// byte stream and a failing test replays identically. Corruption flips one
+// byte every CorruptEveryBytes forwarded bytes; resets fire after an exact
+// per-connection byte count; partitions stall bytes while keeping the TCP
+// connection established (the nastiest real-world shape: the socket looks
+// healthy, the data goes nowhere — only application-level liveness can
+// detect it). A partition stalls rather than discards because TCP cannot
+// lose bytes from the middle of a live stream: data written during the
+// partition sits in kernel buffers and is delivered intact on heal, unless
+// the sender's own timeouts kill the connection first.
+package netfault
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Direction names one side of the proxied link.
+type Direction int
+
+const (
+	// Up is client→server (exporter→collector: hello, data, heartbeats).
+	Up Direction = iota
+	// Down is server→client (collector→exporter: acks, pause/resume).
+	Down
+)
+
+// String renders the direction.
+func (d Direction) String() string {
+	if d == Up {
+		return "up"
+	}
+	return "down"
+}
+
+// LinkConfig is the fault schedule for one direction of the link. The zero
+// value forwards bytes untouched.
+type LinkConfig struct {
+	// Latency delays each forwarded chunk; Jitter adds a seeded-uniform
+	// extra in [0, Jitter).
+	Latency time.Duration
+	Jitter  time.Duration
+	// BandwidthBytesPerSec paces forwarding to this rate (0 = unlimited).
+	BandwidthBytesPerSec int64
+	// CorruptEveryBytes flips one byte (XOR 0xff) every Nth forwarded byte,
+	// counted across the direction's whole lifetime (0 = never). The
+	// transport's frame CRC must catch every flip.
+	CorruptEveryBytes int64
+	// ResetAfterBytes severs a connection after forwarding this many bytes
+	// in this direction (0 = never). Each proxied connection gets its own
+	// count, so every long-enough connection dies at the same offset.
+	ResetAfterBytes int64
+	// Drop stalls this direction — bytes stay unread in the kernel buffer
+	// while the connection looks established — an asymmetric partition.
+	// On heal the stalled bytes flow again; nothing is spliced out of the
+	// stream, because TCP cannot lose mid-stream bytes on a live socket.
+	Drop bool
+}
+
+// ParseLink parses a comma-separated fault spec like
+// "latency=2ms,jitter=1ms,bw=65536,corrupt=4096,reset=1000000,drop" — the
+// command-line form, mirroring faultinject.ParseWriterSchedule. An empty
+// spec is the zero config.
+func ParseLink(spec string) (LinkConfig, error) {
+	var c LinkConfig
+	if spec == "" {
+		return c, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "drop" {
+			c.Drop = true
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return c, fmt.Errorf("netfault: bad fault %q (want key=value or drop)", part)
+		}
+		switch k {
+		case "latency", "jitter":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return c, fmt.Errorf("netfault: bad %s duration %q: %v", k, v, err)
+			}
+			if k == "latency" {
+				c.Latency = d
+			} else {
+				c.Jitter = d
+			}
+		case "bw", "corrupt", "reset":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return c, fmt.Errorf("netfault: bad %s byte count %q: %v", k, v, err)
+			}
+			switch k {
+			case "bw":
+				c.BandwidthBytesPerSec = n
+			case "corrupt":
+				c.CorruptEveryBytes = n
+			case "reset":
+				c.ResetAfterBytes = n
+			}
+		default:
+			return c, fmt.Errorf("netfault: unknown fault key %q", k)
+		}
+	}
+	return c, nil
+}
+
+// Stats counts what the proxy has done to the traffic.
+type Stats struct {
+	// Accepted counts proxied connections; RejectedDown counts connections
+	// refused because the link was flapped down.
+	Accepted     uint64 `json:"accepted"`
+	RejectedDown uint64 `json:"rejected_down"`
+	// ForwardedBytes counts bytes actually delivered (both directions);
+	// Stalls counts pipe entries into a partition stall.
+	ForwardedBytes uint64 `json:"forwarded_bytes"`
+	Stalls         uint64 `json:"stalls"`
+	// CorruptedBytes counts bytes flipped in flight; Resets counts
+	// connections severed by ResetAfterBytes.
+	CorruptedBytes uint64 `json:"corrupted_bytes"`
+	Resets         uint64 `json:"resets"`
+}
+
+// Proxy is one faulty TCP link: it listens on a loopback port and forwards
+// each accepted connection to the target, applying each direction's fault
+// schedule. Reconfiguration (SetLink, SetDown) applies to traffic still in
+// flight, so a test can flap and partition a live link mid-stream.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	seed   int64
+
+	up, down atomic.Pointer[LinkConfig]
+	isDown   atomic.Bool
+
+	accepted     atomic.Uint64
+	rejectedDown atomic.Uint64
+	forwarded    atomic.Uint64
+	stalls       atomic.Uint64
+	corrupted    atomic.Uint64
+	resets       atomic.Uint64
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New starts a proxy in front of target (a host:port) listening on a fresh
+// loopback port. seed drives the jitter; the same seed and byte streams
+// replay the same faults.
+func New(target string, up, down LinkConfig, seed int64) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		ln:     ln,
+		target: target,
+		seed:   seed,
+		conns:  make(map[net.Conn]struct{}),
+		stop:   make(chan struct{}),
+	}
+	p.up.Store(&up)
+	p.down.Store(&down)
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — the address clients dial
+// instead of the target.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetLink replaces one direction's fault schedule; in-flight connections
+// pick it up on their next chunk.
+func (p *Proxy) SetLink(dir Direction, cfg LinkConfig) {
+	if dir == Up {
+		p.up.Store(&cfg)
+	} else {
+		p.down.Store(&cfg)
+	}
+}
+
+// Link returns one direction's current fault schedule.
+func (p *Proxy) Link(dir Direction) LinkConfig {
+	if dir == Up {
+		return *p.up.Load()
+	}
+	return *p.down.Load()
+}
+
+// SetDown flaps the link: down severs every proxied connection and refuses
+// new ones (dial succeeds at the TCP layer, then the socket closes — the
+// shape of a crashed middlebox); up restores service for new connections.
+// isDown is flipped under the same lock that registers connections, so a
+// connection being set up concurrently either sees the flap or is severed
+// by it — none slip through.
+func (p *Proxy) SetDown(down bool) {
+	p.mu.Lock()
+	p.isDown.Store(down)
+	if down {
+		for c := range p.conns {
+			c.Close()
+		}
+	}
+	p.mu.Unlock()
+}
+
+// Stats returns a snapshot of the fault counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Accepted:       p.accepted.Load(),
+		RejectedDown:   p.rejectedDown.Load(),
+		ForwardedBytes: p.forwarded.Load(),
+		Stalls:         p.stalls.Load(),
+		CorruptedBytes: p.corrupted.Load(),
+		Resets:         p.resets.Load(),
+	}
+}
+
+// Close severs every proxied connection and stops listening.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.stop)
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for connID := int64(0); ; connID++ {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if p.isDown.Load() {
+			client.Close()
+			p.rejectedDown.Add(1)
+			continue
+		}
+		server, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		switch p.track(client, server) {
+		case trackClosed:
+			return
+		case trackDown:
+			continue
+		}
+		p.accepted.Add(1)
+		p.wg.Add(2)
+		// Each direction gets its own seeded RNG so jitter replays per
+		// (seed, connection, direction) regardless of goroutine timing.
+		go p.pipe(server, client, Up, connID)
+		go p.pipe(client, server, Down, connID)
+	}
+}
+
+type trackResult int
+
+const (
+	trackOK trackResult = iota
+	trackDown
+	trackClosed
+)
+
+// track registers the connection pair, unless the proxy has closed or the
+// link flapped down while the target dial was in flight — the down
+// re-check under p.mu closes the race with SetDown, which flips isDown
+// under the same lock.
+func (p *Proxy) track(client, server net.Conn) trackResult {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		client.Close()
+		server.Close()
+		return trackClosed
+	}
+	if p.isDown.Load() {
+		client.Close()
+		server.Close()
+		p.rejectedDown.Add(1)
+		return trackDown
+	}
+	p.conns[client] = struct{}{}
+	p.conns[server] = struct{}{}
+	return trackOK
+}
+
+func (p *Proxy) untrack(client, server net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, client)
+	delete(p.conns, server)
+	p.mu.Unlock()
+	client.Close()
+	server.Close()
+}
+
+// pipe forwards one direction of one connection through the fault
+// schedule. Either side failing (or a scheduled reset) severs both.
+func (p *Proxy) pipe(dst, src net.Conn, dir Direction, connID int64) {
+	defer p.wg.Done()
+	defer p.untrack(dst, src)
+	rng := rand.New(rand.NewSource(p.seed ^ connID<<8 ^ int64(dir)))
+	buf := make([]byte, 4096)
+	var (
+		sent      int64 // bytes forwarded on this connection, this direction
+		corruptAt int64 // global byte counter for the corruption cadence
+	)
+	stalled := false
+	for {
+		// Asymmetric partition: stall instead of read. Bytes pile up in the
+		// sender's kernel buffers exactly as they would behind a real
+		// blackholing link — delivered intact on heal, or the sender's own
+		// timeouts give up on the connection first.
+		for p.linkPtr(dir).Load().Drop {
+			if !stalled {
+				stalled = true
+				p.stalls.Add(1)
+			}
+			if !p.sleep(2 * time.Millisecond) {
+				return
+			}
+		}
+		stalled = false
+		n, err := src.Read(buf)
+		if n > 0 {
+			cfg := p.linkPtr(dir).Load()
+			chunk := buf[:n]
+			if d := chaosDelay(cfg, rng); d > 0 && !p.sleep(d) {
+				return
+			}
+			if cfg.CorruptEveryBytes > 0 {
+				for i := range chunk {
+					corruptAt++
+					if corruptAt%cfg.CorruptEveryBytes == 0 {
+						chunk[i] ^= 0xff
+						p.corrupted.Add(1)
+					}
+				}
+			}
+			if cfg.ResetAfterBytes > 0 && sent+int64(len(chunk)) > cfg.ResetAfterBytes {
+				// Forward exactly up to the reset point, then sever.
+				cut := cfg.ResetAfterBytes - sent
+				if cut > 0 {
+					dst.Write(chunk[:cut]) //nolint:errcheck // severing anyway
+					p.forwarded.Add(uint64(cut))
+				}
+				p.resets.Add(1)
+				return
+			}
+			if _, werr := dst.Write(chunk); werr != nil {
+				return
+			}
+			sent += int64(len(chunk))
+			p.forwarded.Add(uint64(len(chunk)))
+			if bps := cfg.BandwidthBytesPerSec; bps > 0 {
+				d := time.Duration(int64(len(chunk)) * int64(time.Second) / bps)
+				if !p.sleep(d) {
+					return
+				}
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (p *Proxy) linkPtr(dir Direction) *atomic.Pointer[LinkConfig] {
+	if dir == Up {
+		return &p.up
+	}
+	return &p.down
+}
+
+// chaosDelay computes the latency+jitter delay for one chunk.
+func chaosDelay(cfg *LinkConfig, rng *rand.Rand) time.Duration {
+	d := cfg.Latency
+	if cfg.Jitter > 0 {
+		d += time.Duration(rng.Int63n(int64(cfg.Jitter)))
+	}
+	return d
+}
+
+// sleep waits d unless the proxy closes first.
+func (p *Proxy) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-p.stop:
+		return false
+	}
+}

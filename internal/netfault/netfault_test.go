@@ -1,0 +1,266 @@
+package netfault
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes everything back.
+func echoServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer c.Close()
+				io.Copy(c, c) //nolint:errcheck // test echo
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close(); wg.Wait() }
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCleanForwarding(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, LinkConfig{}, LinkConfig{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	defer c.Close()
+	msg := []byte("through the clean proxy")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echoed %q, want %q", got, msg)
+	}
+	st := p.Stats()
+	if st.Accepted != 1 || st.ForwardedBytes < uint64(2*len(msg)) || st.CorruptedBytes != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCorruptionCadenceIsExact(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	// Flip every 10th upstream byte; downstream is clean, so the echo shows
+	// exactly the upstream damage.
+	p, err := New(addr, LinkConfig{CorruptEveryBytes: 10}, LinkConfig{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	defer c.Close()
+	msg := make([]byte, 100) // zeros: a flipped byte reads 0xff
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		wantFlip := (i+1)%10 == 0
+		if flipped := b == 0xff; flipped != wantFlip {
+			t.Fatalf("byte %d = %#x, flipped=%v want %v", i, b, flipped, wantFlip)
+		}
+	}
+	if st := p.Stats(); st.CorruptedBytes != 10 {
+		t.Errorf("CorruptedBytes = %d, want 10", st.CorruptedBytes)
+	}
+}
+
+func TestResetAfterBytes(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, LinkConfig{ResetAfterBytes: 64}, LinkConfig{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	defer c.Close()
+	c.Write(make([]byte, 200)) //nolint:errcheck // the reset may race the write
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := io.Copy(io.Discard, c) // read until the reset severs the echo
+	if err == nil && n > 64 {
+		t.Fatalf("echoed %d bytes past the 64-byte reset point", n)
+	}
+	if st := p.Stats(); st.Resets != 1 {
+		t.Errorf("Resets = %d, want 1", st.Resets)
+	}
+}
+
+func TestPartitionStallsBytesKeepsConnection(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, LinkConfig{Drop: true}, LinkConfig{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	defer c.Close()
+	if _, err := c.Write([]byte("held.")); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing comes back — the upstream bytes are stalled — but the socket
+	// stays open: the read times out rather than seeing EOF.
+	c.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("partitioned link delivered bytes")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("partitioned connection died (%v), want an open, silent socket", err)
+	}
+	// Heal the partition: the stalled bytes arrive intact (TCP never loses
+	// mid-stream bytes on a live connection), then later bytes flow.
+	p.SetLink(Up, LinkConfig{})
+	if _, err := c.Write([]byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 10)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil || string(got) != "held.alive" {
+		t.Fatalf("healed link: %q, %v", got, err)
+	}
+	if st := p.Stats(); st.Stalls == 0 {
+		t.Error("Stalls = 0, want at least one stall window")
+	}
+}
+
+func TestFlapSeversAndRejects(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, LinkConfig{}, LinkConfig{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	defer c.Close()
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	p.SetDown(true)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.Copy(io.Discard, c); err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			t.Fatal("flapped-down link left the old connection alive")
+		}
+	}
+	// New connections are accepted at the TCP layer then severed.
+	c2 := dialProxy(t, p)
+	defer c2.Close()
+	c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c2.Read(make([]byte, 1)); err == nil {
+		t.Fatal("flapped-down link served a new connection")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Stats().RejectedDown == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st := p.Stats(); st.RejectedDown == 0 {
+		t.Errorf("RejectedDown = 0 after dialing a down link")
+	}
+
+	// Back up: service restores for fresh connections.
+	p.SetDown(false)
+	c3 := dialProxy(t, p)
+	defer c3.Close()
+	if _, err := c3.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2)
+	c3.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c3, got); err != nil || string(got) != "ok" {
+		t.Fatalf("restored link: %q, %v", got, err)
+	}
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, LinkConfig{Latency: 50 * time.Millisecond}, LinkConfig{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := dialProxy(t, p)
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if rtt := time.Since(start); rtt < 50*time.Millisecond {
+		t.Errorf("round trip %v beat the 50ms injected latency", rtt)
+	}
+}
+
+func TestParseLink(t *testing.T) {
+	c, err := ParseLink("latency=2ms,jitter=1ms,bw=65536,corrupt=4096,reset=1000000,drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := LinkConfig{
+		Latency: 2 * time.Millisecond, Jitter: time.Millisecond,
+		BandwidthBytesPerSec: 65536, CorruptEveryBytes: 4096,
+		ResetAfterBytes: 1000000, Drop: true,
+	}
+	if c != want {
+		t.Errorf("parsed %+v, want %+v", c, want)
+	}
+	if c, err := ParseLink(""); err != nil || c != (LinkConfig{}) {
+		t.Errorf("empty spec: %+v, %v", c, err)
+	}
+	for _, bad := range []string{"latency", "latency=xx", "bw=abc", "nope=1"} {
+		if _, err := ParseLink(bad); err == nil {
+			t.Errorf("bad spec %q accepted", bad)
+		}
+	}
+}

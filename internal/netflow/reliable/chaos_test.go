@@ -183,8 +183,7 @@ func TestCorruptedFrameDropsConnectionNotServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	wire := appendHello(nil, 13, 0)
-	good := appendDataHeader(nil, 1, 4)
-	good = append(good, "ok!!"...)
+	good := appendDataFrame(nil, 1, []byte("ok!!"))
 	// Corrupt the data frame's bytes — header, length prefix, payload,
 	// whatever the seed hits — and splice it after a valid hello.
 	wire = append(wire, faultinject.Corrupt(good, 3, 6)...)

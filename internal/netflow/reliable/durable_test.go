@@ -446,3 +446,97 @@ func TestDurableSpoolDiskCap(t *testing.T) {
 		t.Fatalf("recovered next seq = %d, want 32 (shedding must not rewind sequences)", rec.NextSeq)
 	}
 }
+
+// TestRingWrapJournalRecoveryReplaysSurvivors pins the interaction between
+// the in-memory ring's DropOldest eviction and the disk journal under a
+// sustained multi-segment outage: the ring wraps and sheds its oldest
+// frames while the journal retains every committed frame across several
+// segments. Recovery must reload exactly the frames that survived the
+// ring — the newest SpoolFrames — count the rest as discarded, and the
+// restarted exporter must deliver exactly those survivors, with the hole
+// accounted as a sequence gap at the collector, never double-counted.
+func TestRingWrapJournalRecoveryReplaysSurvivors(t *testing.T) {
+	const (
+		ring    = 8
+		reports = 40
+	)
+	dir := t.TempDir()
+
+	cfg := durableConfig("127.0.0.1:1", dir) // reserved port: nothing acks
+	cfg.SpoolFrames = ring
+	cfg.SpoolSegmentBytes = 256 // a handful of frames per segment
+	cfg.DrainTimeout = time.Millisecond
+	exp, err := NewExporter(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= reports; i++ {
+		exp.Enqueue(mkPkts(1, fmt.Sprintf("rep%02d", i)))
+	}
+	if ts := exp.Telemetry().Snapshot(); ts.FramesDropped != reports-ring {
+		t.Fatalf("ring evicted %d frames, want %d", ts.FramesDropped, reports-ring)
+	}
+	exp.Close() //nolint:errcheck // undelivered-at-close is the point
+
+	// The outage really spanned segments: the journal retained the evicted
+	// frames across several files.
+	segs, err := filepath.Glob(filepath.Join(dir, "spool-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("journal used %d segments, want a multi-segment outage (>= 3)", len(segs))
+	}
+
+	snk := &sink{}
+	srv, addr, err := Listen("127.0.0.1:0", ServerConfig{}, snk.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cfg2 := durableConfig(addr.String(), dir)
+	cfg2.SpoolFrames = ring
+	cfg2.SpoolSegmentBytes = 256
+	exp2, err := NewExporter(cfg2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := exp2.Recovered()
+	if rec.Frames != ring || rec.Discarded != reports-ring || rec.NextSeq != reports || rec.LastAck != 0 {
+		t.Fatalf("recovery = %+v, want %d survivors, %d discarded, seq %d, ack 0",
+			rec, ring, reports-ring, reports)
+	}
+
+	// Exactly the survivors arrive — the newest ring's worth, in order,
+	// under their original sequence numbers.
+	waitFor(t, "survivors delivered", func() bool { return len(snk.got()) == ring })
+	want := make([]string, 0, ring)
+	for i := reports - ring + 1; i <= reports; i++ {
+		want = append(want, fmt.Sprintf("rep%02d-0", i))
+	}
+	if got := snk.got(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	waitFor(t, "survivors acked", func() bool { return exp2.Backlog() == 0 })
+	st := srv.Stats()
+	es := st.PerExporter[7]
+	if st.Duplicates != 0 || es.Gaps != uint64(reports-ring) {
+		t.Fatalf("stats = %+v, want 0 duplicates and the %d evicted frames as gaps", st, reports-ring)
+	}
+	if err := exp2.Close(); err != nil {
+		t.Fatalf("clean close: %v", err)
+	}
+
+	// A third life finds nothing left to replay: the ack journal covers the
+	// survivors and the discarded hole alike.
+	exp3, err := NewExporter(cfg2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp3.Close()
+	rec = exp3.Recovered()
+	if rec.Frames != 0 || rec.Discarded != 0 || rec.LastAck != reports {
+		t.Fatalf("third-life recovery = %+v, want empty backlog at ack %d", rec, reports)
+	}
+}

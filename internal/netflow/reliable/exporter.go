@@ -37,6 +37,25 @@ type ExporterConfig struct {
 	DrainTimeout time.Duration
 	// Seed seeds the backoff jitter (default 1), keeping tests determinate.
 	Seed int64
+	// HeartbeatInterval is how often the exporter sends a liveness frame on
+	// an established connection (default 10s; negative disables). Heartbeats
+	// are what let the collector evict dead peers by idle timeout without
+	// evicting merely quiet ones, so the interval must sit well inside the
+	// collector's IdleTimeout.
+	HeartbeatInterval time.Duration
+	// PauseTimeout bounds how long the exporter stays paused by collector
+	// backpressure before tearing the connection down and re-dialing
+	// (default 30s; negative disables). A collector that pauses and then
+	// wedges looks exactly like a dead one; reconnecting re-enters its
+	// admission and flow control from scratch.
+	PauseTimeout time.Duration
+	// SpoolHighWater and SpoolLowWater are spool-occupancy fractions
+	// (defaults 0.75 and 0.50) bounding the pressure hysteresis: above high
+	// water the exporter reports overload pressure (Overloaded returns true
+	// and the telemetry gauge trips, which a device wires into its Degrade
+	// overload policy); pressure clears once occupancy falls to low water.
+	SpoolHighWater float64
+	SpoolLowWater  float64
 
 	// SpoolDir, when set, backs the ring with a durable on-disk journal:
 	// frames are CRC-framed into append-only segment files before the
@@ -81,6 +100,15 @@ func (c ExporterConfig) Validate() error {
 	}
 	if c.SpoolMaxBytes < 0 {
 		return cfgerr.New("netflow/reliable", "SpoolMaxBytes", "must not be negative, got %d", c.SpoolMaxBytes)
+	}
+	if c.SpoolHighWater < 0 || c.SpoolHighWater > 1 {
+		return cfgerr.New("netflow/reliable", "SpoolHighWater", "must be in [0, 1], got %v", c.SpoolHighWater)
+	}
+	if c.SpoolLowWater < 0 || c.SpoolLowWater > 1 {
+		return cfgerr.New("netflow/reliable", "SpoolLowWater", "must be in [0, 1], got %v", c.SpoolLowWater)
+	}
+	if c.SpoolHighWater != 0 && c.SpoolLowWater != 0 && c.SpoolLowWater > c.SpoolHighWater {
+		return cfgerr.New("netflow/reliable", "SpoolLowWater", "%v exceeds SpoolHighWater %v", c.SpoolLowWater, c.SpoolHighWater)
 	}
 	for _, d := range []struct {
 		name string
@@ -142,6 +170,21 @@ func (c ExporterConfig) withDefaults() ExporterConfig {
 	if c.SpoolMaxBytes == 0 {
 		c.SpoolMaxBytes = 256 << 20
 	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 10 * time.Second
+	}
+	if c.PauseTimeout == 0 {
+		c.PauseTimeout = 30 * time.Second
+	}
+	if c.SpoolHighWater == 0 {
+		c.SpoolHighWater = 0.75
+	}
+	if c.SpoolLowWater == 0 {
+		c.SpoolLowWater = 0.5
+	}
+	if c.SpoolLowWater > c.SpoolHighWater {
+		c.SpoolLowWater = c.SpoolHighWater
+	}
 	return c
 }
 
@@ -185,6 +228,13 @@ type Exporter struct {
 	dialed   bool
 	closed   bool // Close called: reject new frames, drain
 	aborted  bool // drain over: sender must exit now
+	paused   bool // collector sent pause; sender waits, Enqueue keeps spooling
+	pausedAt time.Time
+
+	// wmu serializes writes on the live connection between the sender (data
+	// frames) and the heartbeat goroutine (control frames); interleaving
+	// them would corrupt the stream.
+	wmu sync.Mutex
 
 	stop chan struct{} // closed by Close to interrupt backoff sleeps
 	wg   sync.WaitGroup
@@ -252,6 +302,7 @@ func NewExporter(cfg ExporterConfig, tel *telemetry.Export) (*Exporter, error) {
 		}
 		e.dur.ObserveRecovery(len(frames), recBytes, rec.torn, rec.tornBytes, discarded)
 		tel.SetSpoolDepth(e.count)
+		e.updatePressure(e.count)
 	}
 
 	e.wg.Add(1)
@@ -345,6 +396,7 @@ func (e *Exporter) Enqueue(pkts [][]byte) {
 	e.mu.Unlock()
 	e.cond.Broadcast()
 	e.tel.SetSpoolDepth(depth)
+	e.updatePressure(depth)
 	if droppedFrames > 0 {
 		e.tel.ObserveFramesDropped(droppedFrames)
 	}
@@ -478,8 +530,10 @@ func jitter(rng *rand.Rand, d time.Duration) time.Duration {
 }
 
 // serveConn drives one connection: hello, then stream spooled frames while
-// a reader goroutine applies the collector's cumulative acks. It returns
-// when the connection fails or the exporter drains and closes.
+// a reader goroutine applies the collector's cumulative acks and
+// pause/resume backpressure, and a heartbeat goroutine keeps the collector
+// convinced this exporter is alive (and bounds how long a pause may last).
+// It returns when the connection fails or the exporter drains and closes.
 func (e *Exporter) serveConn(conn net.Conn) {
 	e.mu.Lock()
 	if e.aborted {
@@ -489,6 +543,7 @@ func (e *Exporter) serveConn(conn net.Conn) {
 	}
 	e.conn = conn
 	e.connErr = nil
+	e.paused = false // backpressure is per-connection state
 	// Frames written on the previous connection but never acked rewind into
 	// the unsent window; when rewritten they are counted as redeliveries
 	// (seq <= maxSent).
@@ -501,7 +556,7 @@ func (e *Exporter) serveConn(conn net.Conn) {
 	e.mu.Unlock()
 
 	conn.SetWriteDeadline(time.Now().Add(e.cfg.SendTimeout))
-	var hdr [lenBytes + 1 + 16]byte
+	var hdr [lenBytes + 1 + 16 + crcBytes]byte
 	if _, err := conn.Write(appendHello(hdr[:0], e.cfg.ExporterID, lastAck)); err != nil {
 		e.tel.ObserveSendError()
 		e.detach(conn)
@@ -514,19 +569,44 @@ func (e *Exporter) serveConn(conn net.Conn) {
 		var buf []byte
 		for {
 			f, err := readFrame(conn, &buf, DefaultMaxFrameBytes)
-			if err != nil {
-				e.mu.Lock()
-				if e.connErr == nil {
-					e.connErr = err
+			if err == nil {
+				switch f.typ {
+				case frameAck:
+					e.applyAck(f.seq)
+					continue
+				case framePause:
+					e.mu.Lock()
+					e.paused = true
+					e.pausedAt = time.Now()
+					e.mu.Unlock()
+					e.tel.ObservePause()
+					continue
+				case frameResume:
+					e.mu.Lock()
+					e.paused = false
+					e.mu.Unlock()
+					e.tel.ObserveResume()
+					e.cond.Broadcast()
+					continue
+				default:
+					err = fmt.Errorf("netflow/reliable: unexpected frame %q from collector", f.typ)
 				}
-				e.mu.Unlock()
-				e.cond.Broadcast()
-				return
 			}
-			if f.typ == frameAck {
-				e.applyAck(f.seq)
+			e.mu.Lock()
+			if e.connErr == nil {
+				e.connErr = err
 			}
+			e.mu.Unlock()
+			e.cond.Broadcast()
+			return
 		}
+	}()
+
+	hbDone := make(chan struct{})
+	hbStop := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		e.heartbeatLoop(conn, hbStop)
 	}()
 
 	e.mu.Lock()
@@ -537,7 +617,11 @@ func (e *Exporter) serveConn(conn net.Conn) {
 		if e.closed && e.count == 0 {
 			break
 		}
-		if e.sent == e.count {
+		if e.sent == e.count || e.paused {
+			// Nothing sendable, or the collector asked for silence. Paused,
+			// the sender parks here while Enqueue keeps feeding the spool —
+			// overload lives in the ring (bounded, DropOldest) instead of in
+			// the collector's memory.
 			e.cond.Wait()
 			continue
 		}
@@ -549,11 +633,18 @@ func (e *Exporter) serveConn(conn net.Conn) {
 		}
 		e.mu.Unlock()
 
+		e.wmu.Lock()
 		conn.SetWriteDeadline(time.Now().Add(e.cfg.SendTimeout))
-		_, err := conn.Write(appendDataHeader(hdr[:0], fr.seq, len(fr.pkt)))
+		h := appendDataHeader(hdr[:0], fr.seq, len(fr.pkt))
+		_, err := conn.Write(h)
 		if err == nil {
 			_, err = conn.Write(fr.pkt)
 		}
+		if err == nil {
+			var tb [crcBytes]byte
+			_, err = conn.Write(dataTrailer(tb[:0], h, fr.pkt))
+		}
+		e.wmu.Unlock()
 		if err != nil {
 			e.tel.ObserveSendError()
 			e.mu.Lock()
@@ -569,9 +660,66 @@ func (e *Exporter) serveConn(conn net.Conn) {
 		e.mu.Lock()
 	}
 	e.conn = nil
+	e.paused = false
 	e.mu.Unlock()
+	e.tel.SetPaused(false)
 	conn.Close()
+	close(hbStop)
 	<-readerDone
+	<-hbDone
+}
+
+// heartbeatLoop periodically writes a heartbeat frame on conn so the
+// collector's idle timeout never evicts a merely quiet exporter, and
+// enforces PauseTimeout: a collector that paused this connection and then
+// went silent past the bound is indistinguishable from a dead one, so the
+// connection is torn down and re-dialed. Exits when stop closes or a write
+// fails (the connection is dying anyway).
+func (e *Exporter) heartbeatLoop(conn net.Conn, stop <-chan struct{}) {
+	interval := e.cfg.HeartbeatInterval
+	if interval <= 0 {
+		if e.cfg.PauseTimeout <= 0 {
+			return
+		}
+		interval = e.cfg.PauseTimeout / 4
+		if interval <= 0 {
+			interval = time.Millisecond
+		}
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var buf [lenBytes + 1 + crcBytes]byte
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		if e.cfg.PauseTimeout > 0 {
+			e.mu.Lock()
+			expired := e.paused && time.Since(e.pausedAt) > e.cfg.PauseTimeout
+			if expired && e.connErr == nil {
+				e.connErr = fmt.Errorf("netflow/reliable: paused longer than %v", e.cfg.PauseTimeout)
+			}
+			e.mu.Unlock()
+			if expired {
+				e.cond.Broadcast()
+				conn.Close()
+				return
+			}
+		}
+		if e.cfg.HeartbeatInterval <= 0 {
+			continue
+		}
+		e.wmu.Lock()
+		conn.SetWriteDeadline(time.Now().Add(e.cfg.SendTimeout))
+		_, err := conn.Write(appendControl(buf[:0], frameHeartbeat))
+		e.wmu.Unlock()
+		if err != nil {
+			return
+		}
+		e.tel.ObserveHeartbeat()
+	}
 }
 
 // applyAck releases every spooled frame covered by the cumulative ack.
@@ -601,9 +749,30 @@ func (e *Exporter) applyAck(ack uint64) {
 	if n > 0 {
 		e.tel.ObserveAcked(n)
 		e.tel.SetSpoolDepth(depth)
+		e.updatePressure(depth)
 		e.cond.Broadcast()
 	}
 }
+
+// updatePressure refreshes the overload-pressure gauge from the spool
+// occupancy: set above the high-water mark, cleared at the low-water mark,
+// held in between (hysteresis, so the device's Degrade wiring does not
+// flap around one threshold).
+func (e *Exporter) updatePressure(depth int) {
+	occ := float64(depth) / float64(len(e.spool))
+	if occ >= e.cfg.SpoolHighWater {
+		e.tel.SetPressure(true)
+	} else if occ <= e.cfg.SpoolLowWater {
+		e.tel.SetPressure(false)
+	}
+}
+
+// Overloaded reports whether spool occupancy is above the high-water mark
+// (with hysteresis down to the low-water mark) — the signal a device wires
+// into its Degrade overload policy so measurement thins gracefully while
+// the export path is backed up, instead of the ring silently shedding the
+// oldest frames.
+func (e *Exporter) Overloaded() bool { return e.tel.Pressure() }
 
 // detach clears the live connection and closes it.
 func (e *Exporter) detach(conn net.Conn) {

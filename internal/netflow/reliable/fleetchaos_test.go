@@ -1,0 +1,587 @@
+package reliable
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netfault"
+)
+
+// fleetChaosDuration is how long the fleet chaos runs: 8s by default, 2.5s
+// under -short, or NETFAULT_CHAOS_DURATION (a Go duration) — the dedicated
+// CI job sets 60s for the sustained soak.
+func fleetChaosDuration(t *testing.T) time.Duration {
+	if spec := os.Getenv("NETFAULT_CHAOS_DURATION"); spec != "" {
+		d, err := time.ParseDuration(spec)
+		if err != nil {
+			t.Fatalf("NETFAULT_CHAOS_DURATION %q: %v", spec, err)
+		}
+		return d
+	}
+	if testing.Short() {
+		return 2500 * time.Millisecond
+	}
+	return 8 * time.Second
+}
+
+// chaosPayload is the deterministic frame body for (exporter, seq): the
+// exporter assigns sequences in enqueue order starting at 1, so both the
+// producer and the verifying handler can compute it independently, and a
+// single corrupted-but-acked byte anywhere shows up as a mismatch.
+func chaosPayload(exporter, seq uint64) []byte {
+	return []byte(fmt.Sprintf("exporter=%d seq=%d %s", exporter, seq,
+		"................................................................"))
+}
+
+// fleetSink verifies every delivered frame against the deterministic
+// payload and records per-exporter delivery exactly-once.
+type fleetSink struct {
+	delay time.Duration
+
+	mu        sync.Mutex
+	seen      map[uint64]map[uint64]bool // exporter -> seq -> delivered
+	doubles   int
+	mismatch  int
+	delivered int
+}
+
+func newFleetSink(delay time.Duration) *fleetSink {
+	return &fleetSink{delay: delay, seen: make(map[uint64]map[uint64]bool)}
+}
+
+func (s *fleetSink) handle(exporter, seq uint64, payload []byte) {
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	ok := bytes.Equal(payload, chaosPayload(exporter, seq))
+	s.mu.Lock()
+	m := s.seen[exporter]
+	if m == nil {
+		m = make(map[uint64]bool)
+		s.seen[exporter] = m
+	}
+	if m[seq] {
+		s.doubles++
+	}
+	m[seq] = true
+	if !ok {
+		s.mismatch++
+	}
+	s.delivered++
+	s.mu.Unlock()
+}
+
+// missing returns how many of seqs 1..n the sink never saw for exporter.
+func (s *fleetSink) missing(exporter, n uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lost := 0
+	for seq := uint64(1); seq <= n; seq++ {
+		if !s.seen[exporter][seq] {
+			lost++
+		}
+	}
+	return lost
+}
+
+func waitForDeadline(t *testing.T, what string, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestFleetChaosByteExact is the acceptance chaos suite: 8 exporters, each
+// behind its own netfault proxy, run for a sustained window while the
+// proxies corrupt bytes, reset connections mid-stream, flap the link down,
+// and asymmetrically partition each direction. A ninth peer completes the
+// handshake and then goes silent, and a tenth connects without ever
+// sending hello. At the end the network heals, every exporter drains, and
+// the run must be byte-exact: every (exporter, seq) delivered exactly once
+// with its original bytes — zero lost, zero double-counted — with spool
+// growth bounded (no overflow, so no gaps) and both silent peers evicted
+// within their timeouts.
+func TestFleetChaosByteExact(t *testing.T) {
+	const nExporters = 8
+	duration := fleetChaosDuration(t)
+
+	sink := newFleetSink(100 * time.Microsecond)
+	srv, addr, err := Listen("127.0.0.1:0", ServerConfig{
+		HandshakeTimeout:    500 * time.Millisecond,
+		IdleTimeout:         1 * time.Second,
+		AckTimeout:          2 * time.Second,
+		InflightBudgetBytes: 64 << 10,
+	}, sink.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// One proxy per exporter: per-link fault streams stay deterministic in
+	// byte terms no matter how goroutines interleave across links.
+	proxies := make([]*netfault.Proxy, nExporters)
+	exporters := make([]*Exporter, nExporters)
+	for i := range proxies {
+		// Corruption and resets both kill connections, and both counters are
+		// per-connection — whichever offset is lower always wins. Split the
+		// fleet so each fault actually fires somewhere.
+		up := netfault.LinkConfig{
+			Latency: 200 * time.Microsecond,
+			Jitter:  300 * time.Microsecond,
+		}
+		if i%2 == 0 {
+			up.ResetAfterBytes = 12 << 10
+		} else {
+			up.CorruptEveryBytes = 12 << 10
+		}
+		down := netfault.LinkConfig{CorruptEveryBytes: 8 << 10}
+		p, err := netfault.New(addr.String(), up, down, int64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		proxies[i] = p
+
+		cfg := ExporterConfig{
+			Addr:              p.Addr(),
+			ExporterID:        uint64(i + 1),
+			SpoolFrames:       4096,
+			DialTimeout:       time.Second,
+			SendTimeout:       time.Second,
+			BackoffMin:        2 * time.Millisecond,
+			BackoffMax:        50 * time.Millisecond,
+			DrainTimeout:      10 * time.Second,
+			HeartbeatInterval: 150 * time.Millisecond,
+			PauseTimeout:      5 * time.Second,
+			Seed:              int64(i + 1),
+		}
+		exp, err := NewExporter(cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exporters[i] = exp
+	}
+
+	// The silent ninth peer: valid hello, then nothing — not even
+	// heartbeats. The idle timeout must evict it.
+	silent, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	if _, err := silent.Write(appendHello(nil, 999, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// The tenth peer never even says hello; the handshake timeout drops it.
+	mute, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mute.Close()
+
+	// Producers: each exporter enqueues one deterministic frame per report
+	// at a steady cadence for the duration.
+	stop := make(chan struct{})
+	var producers sync.WaitGroup
+	counts := make([]uint64, nExporters)
+	for i := range exporters {
+		producers.Add(1)
+		go func(i int) {
+			defer producers.Done()
+			exporter := uint64(i + 1)
+			ticker := time.NewTicker(4 * time.Millisecond)
+			defer ticker.Stop()
+			var seq uint64
+			for {
+				select {
+				case <-stop:
+					counts[i] = seq
+					return
+				case <-ticker.C:
+					seq++
+					exporters[i].Enqueue([][]byte{chaosPayload(exporter, seq)})
+				}
+			}
+		}(i)
+	}
+
+	// Chaos drivers: each proxy cycles through flaps and asymmetric
+	// partitions on its own staggered schedule while corruption and resets
+	// run continuously underneath.
+	var chaos sync.WaitGroup
+	for i, p := range proxies {
+		chaos.Add(1)
+		go func(i int, p *netfault.Proxy) {
+			defer chaos.Done()
+			period := 900*time.Millisecond + time.Duration(i)*110*time.Millisecond
+			ticker := time.NewTicker(period)
+			defer ticker.Stop()
+			phase := 0
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+				}
+				switch phase % 3 {
+				case 0: // flap: hard down, then back
+					p.SetDown(true)
+					select {
+					case <-stop:
+						p.SetDown(false)
+						return
+					case <-time.After(150 * time.Millisecond):
+					}
+					p.SetDown(false)
+				case 1: // partition the exporter->collector direction
+					up := p.Link(netfault.Up)
+					up.Drop = true
+					p.SetLink(netfault.Up, up)
+					select {
+					case <-stop:
+					case <-time.After(200 * time.Millisecond):
+					}
+					up.Drop = false
+					p.SetLink(netfault.Up, up)
+				case 2: // partition the ack direction
+					down := p.Link(netfault.Down)
+					down.Drop = true
+					p.SetLink(netfault.Down, down)
+					select {
+					case <-stop:
+					case <-time.After(200 * time.Millisecond):
+					}
+					down.Drop = false
+					p.SetLink(netfault.Down, down)
+				}
+				phase++
+			}
+		}(i, p)
+	}
+
+	// Both freeloaders must be gone well before the soak ends.
+	waitForDeadline(t, "handshake timeout on the mute peer", 5*time.Second,
+		func() bool { return srv.Stats().HandshakeTimeouts >= 1 })
+	waitForDeadline(t, "idle eviction of the silent peer", 5*time.Second,
+		func() bool { return srv.Stats().Evicted >= 1 })
+
+	time.Sleep(duration)
+	close(stop)
+	producers.Wait()
+	chaos.Wait()
+
+	// Heal every link and let the fleet drain.
+	for _, p := range proxies {
+		p.SetDown(false)
+		p.SetLink(netfault.Up, netfault.LinkConfig{})
+		p.SetLink(netfault.Down, netfault.LinkConfig{})
+	}
+	for i, exp := range exporters {
+		deadline := time.Now().Add(30 * time.Second)
+		for exp.Backlog() != 0 && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if bl := exp.Backlog(); bl != 0 {
+			t.Fatalf("exporter %d never drained: backlog=%d telemetry=%+v server=%+v proxy=%+v",
+				i+1, bl, exp.Telemetry().Snapshot(), srv.Stats(), proxies[i].Stats())
+		}
+	}
+
+	// Byte-exactness: every enqueued frame delivered exactly once, bytes
+	// intact, across every exporter.
+	var total uint64
+	for i, exp := range exporters {
+		exporter := uint64(i + 1)
+		n := counts[i]
+		total += n
+		if n == 0 {
+			t.Fatalf("exporter %d enqueued nothing — the chaos schedule starved the producer", exporter)
+		}
+		if lost := sink.missing(exporter, n); lost != 0 {
+			t.Errorf("exporter %d: %d of %d frames lost", exporter, lost, n)
+		}
+		ts := exp.Telemetry().Snapshot()
+		if ts.FramesDropped != 0 {
+			t.Errorf("exporter %d dropped %d frames (spool overflow — growth was not bounded)", exporter, ts.FramesDropped)
+		}
+		if ts.SpoolHighWater >= 4096 {
+			t.Errorf("exporter %d spool high water %d reached capacity", exporter, ts.SpoolHighWater)
+		}
+		if ts.Reconnects == 0 {
+			t.Errorf("exporter %d never reconnected — the chaos did not bite", exporter)
+		}
+		if err := exp.Close(); err != nil {
+			t.Errorf("exporter %d close: %v", exporter, err)
+		}
+	}
+	sink.mu.Lock()
+	doubles, mismatch, delivered := sink.doubles, sink.mismatch, sink.delivered
+	sink.mu.Unlock()
+	if doubles != 0 {
+		t.Errorf("%d frames double-delivered", doubles)
+	}
+	if mismatch != 0 {
+		t.Errorf("%d frames delivered with corrupted bytes (CRC must prevent this)", mismatch)
+	}
+	if uint64(delivered) != total {
+		t.Errorf("delivered %d frames, want exactly %d", delivered, total)
+	}
+
+	st := srv.Stats()
+	if st.Gaps != 0 {
+		t.Errorf("server counted %d gaps — frames were shed", st.Gaps)
+	}
+	if st.BadFrames == 0 {
+		t.Error("no bad frames seen — the corrupting proxy did nothing")
+	}
+	if st.Heartbeats == 0 {
+		t.Error("no heartbeats received")
+	}
+	var corrupted, resets uint64
+	for _, p := range proxies {
+		ps := p.Stats()
+		corrupted += ps.CorruptedBytes
+		resets += ps.Resets
+	}
+	if corrupted == 0 {
+		t.Error("proxies corrupted nothing — the fault schedule is dead")
+	}
+	if resets == 0 {
+		t.Error("proxies reset nothing — the fault schedule is dead")
+	}
+	t.Logf("fleet chaos: %d frames byte-exact through %d corrupted bytes, %d resets, %d reconnect-causing bad frames, %d evictions (duration %v)",
+		total, corrupted, resets, st.BadFrames, st.Evicted, duration)
+}
+
+// TestInflightBudgetPausesAndResumes pins the backpressure protocol: a
+// slow handler with a tiny inflight budget must make the server emit pause
+// (and later resume) frames, the exporter must honor them (sender parked,
+// spool still accepting), and everything must still be delivered exactly
+// once.
+func TestInflightBudgetPausesAndResumes(t *testing.T) {
+	s := &sink{delay: 5 * time.Millisecond}
+	srv, addr, err := Listen("127.0.0.1:0", ServerConfig{
+		InflightBudgetBytes: 2048,
+	}, s.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cfg := fastConfig(addr.String())
+	cfg.SpoolFrames = 512
+	cfg.DrainTimeout = 20 * time.Second
+	exp, err := NewExporter(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 frames of 256 bytes: 50 KiB against a 2 KiB budget with a slow
+	// handler — the reader must outpace the worker and trip the pause.
+	frame := bytes.Repeat([]byte("x"), 256)
+	for i := 0; i < 10; i++ {
+		pkts := make([][]byte, 20)
+		for j := range pkts {
+			pkts[j] = frame
+		}
+		exp.Enqueue(pkts)
+	}
+	waitFor(t, "pause emitted", func() bool { return srv.Stats().PausesSent > 0 })
+	waitFor(t, "pause observed by exporter", func() bool {
+		return exp.Telemetry().Snapshot().Pauses > 0
+	})
+	// While paused the exporter still accepts new frames — spooling, not
+	// blocking.
+	exp.Enqueue([][]byte{frame})
+
+	if err := exp.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	st := srv.Stats()
+	if st.Delivered != 201 || st.Duplicates != 0 {
+		t.Errorf("delivered %d (%d duplicates), want 201 exactly once", st.Delivered, st.Duplicates)
+	}
+	if st.ResumesSent == 0 {
+		t.Error("server never resumed")
+	}
+	if st.PausedConnections != 0 {
+		t.Errorf("paused gauge stuck at %d after drain", st.PausedConnections)
+	}
+	ts := exp.Telemetry().Snapshot()
+	if ts.Resumes == 0 {
+		t.Error("exporter never saw a resume")
+	}
+	if ts.Paused {
+		t.Error("exporter paused gauge stuck after close")
+	}
+}
+
+// TestHandshakeTimeoutRegression pins the satellite fix: a client that
+// connects and never sends hello must be dropped within the handshake
+// timeout and counted, not hold its goroutine forever.
+func TestHandshakeTimeoutRegression(t *testing.T) {
+	srv, addr, err := Listen("127.0.0.1:0", ServerConfig{
+		HandshakeTimeout: 50 * time.Millisecond,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	waitFor(t, "handshake timeout", func() bool {
+		return srv.Stats().HandshakeTimeouts == 1
+	})
+	// The connection slot is actually released, not just counted.
+	waitFor(t, "connection slot released", func() bool {
+		return srv.Stats().ActiveConnections == 0
+	})
+	// A peer that sent nothing is a liveness event, not corruption: the
+	// timeout must not masquerade as a bad frame.
+	if bad := srv.Stats().BadFrames; bad != 0 {
+		t.Fatalf("silent handshake timeout counted %d bad frames", bad)
+	}
+}
+
+// TestIdleEvictionAndHeartbeatKeepalive pins both halves of liveness: an
+// exporter heartbeating inside the idle timeout stays connected while
+// completely quiet, and a peer that stops heartbeating is evicted.
+func TestIdleEvictionAndHeartbeatKeepalive(t *testing.T) {
+	srv, addr, err := Listen("127.0.0.1:0", ServerConfig{
+		IdleTimeout: 150 * time.Millisecond,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Heartbeating exporter with nothing to send: must survive several idle
+	// windows. (Enqueue one frame so the sender dials at all.)
+	cfg := fastConfig(addr.String())
+	cfg.HeartbeatInterval = 30 * time.Millisecond
+	exp, err := NewExporter(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	exp.Enqueue(mkPkts(1, "hb"))
+	waitFor(t, "delivery", func() bool { return srv.Stats().Delivered == 1 })
+	time.Sleep(600 * time.Millisecond) // four idle windows of silence
+	st := srv.Stats()
+	if st.Evicted != 0 {
+		t.Fatalf("heartbeating exporter evicted (%d)", st.Evicted)
+	}
+	if st.ActiveConnections != 1 {
+		t.Fatalf("heartbeating exporter lost its connection (%d active)", st.ActiveConnections)
+	}
+	if st.Heartbeats == 0 {
+		t.Fatal("no heartbeats recorded")
+	}
+	if exp.Telemetry().Snapshot().Heartbeats == 0 {
+		t.Fatal("exporter counted no heartbeats")
+	}
+
+	// A raw peer that hellos and then falls silent is evicted.
+	silent, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	if _, err := silent.Write(appendHello(nil, 555, 0)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "silent peer evicted", func() bool { return srv.Stats().Evicted == 1 })
+}
+
+// TestMaxExportersAdmissionCap pins admission control: connections past
+// the cap are refused and counted, and a slot freed by a disconnect is
+// reusable.
+func TestMaxExportersAdmissionCap(t *testing.T) {
+	srv, addr, err := Listen("127.0.0.1:0", ServerConfig{MaxExporters: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	first, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	if _, err := first.Write(appendHello(nil, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first admitted", func() bool { return srv.Stats().ActiveConnections == 1 })
+
+	second, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	waitFor(t, "second rejected", func() bool { return srv.Stats().Rejected == 1 })
+	second.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := second.Read(make([]byte, 1)); err == nil {
+		t.Fatal("rejected connection still served")
+	}
+
+	// Freeing the slot lets a new peer in.
+	first.Close()
+	waitFor(t, "slot released", func() bool { return srv.Stats().ActiveConnections == 0 })
+	third, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer third.Close()
+	if _, err := third.Write(appendHello(nil, 3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "third admitted", func() bool { return srv.Stats().ActiveConnections == 1 })
+}
+
+// TestFrameSizeDropCounter pins the satellite fix: a hostile or corrupted
+// length prefix surfaces under its own named counter, not just a dead
+// connection.
+func TestFrameSizeDropCounter(t *testing.T) {
+	srv, addr, err := Listen("127.0.0.1:0", ServerConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Oversized length prefix after a valid handshake.
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	wire := appendHello(nil, 77, 0)
+	wire = append(wire, 0xff, 0xff, 0xff, 0xff)
+	if _, err := conn.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "oversized frame counted", func() bool { return srv.Stats().FrameSizeDrops == 1 })
+
+	// Zero-length prefix in place of the hello.
+	conn2, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Write([]byte{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "zero-length frame counted", func() bool { return srv.Stats().FrameSizeDrops == 2 })
+}

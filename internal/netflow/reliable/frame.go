@@ -20,38 +20,81 @@
 // frame's sequence number and an aggregator that outlives server instances
 // skips sequences it has already folded in.
 //
-// Wire format: every frame is a 4-byte big-endian length (of everything
-// that follows), one type byte, and a type-specific body.
+// Liveness and flow control are explicit, not inherited from TCP: the
+// exporter heartbeats so a collector can tell a quiet peer from a dead one
+// (and evict the dead one instead of pinning a goroutine forever), and the
+// collector sends pause/resume frames when a connection's undelivered
+// backlog crosses its inflight-byte budget, so an overloaded station pushes
+// back in the protocol instead of letting socket buffers fill arbitrarily.
 //
-//	hello  'H'  uint64 exporter ID, uint64 acked — first frame on every
-//	            connection; acked is the highest cumulative ack the
-//	            exporter has seen, so a restarted collector (fresh
-//	            sequence state) knows frames at or below it were already
-//	            delivered to its predecessor and are not a gap
-//	data   'D'  uint64 seq, payload    — one encoded NetFlow v5 packet
-//	ack    'A'  uint64 seq             — cumulative: all seqs <= seq received
+// Wire format: every frame is a 4-byte big-endian length (of everything
+// that follows), one type byte, a type-specific body, and a trailing
+// CRC-32 (IEEE) of the type byte and body. The checksum is what lets the
+// network chaos suite promise byte-exact accounting through corrupting
+// links: a frame damaged in flight fails its CRC, the connection is
+// dropped without an ack, and the exporter redelivers the original bytes.
+//
+//	hello     'H'  uint64 exporter ID, uint64 acked — first frame on every
+//	               connection; acked is the highest cumulative ack the
+//	               exporter has seen, so a restarted collector (fresh
+//	               sequence state) knows frames at or below it were already
+//	               delivered to its predecessor and are not a gap
+//	data      'D'  uint64 seq, payload    — one encoded NetFlow v5 packet
+//	ack       'A'  uint64 seq             — cumulative: all seqs <= seq received
+//	heartbeat 'B'  empty — exporter→collector liveness while idle or paused
+//	pause     'P'  empty — collector→exporter: stop sending data frames
+//	resume    'R'  empty — collector→exporter: sending may continue
 package reliable
 
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
 const (
-	frameHello = 'H'
-	frameData  = 'D'
-	frameAck   = 'A'
+	frameHello     = 'H'
+	frameData      = 'D'
+	frameAck       = 'A'
+	frameHeartbeat = 'B'
+	framePause     = 'P'
+	frameResume    = 'R'
 
-	// lenBytes is the length prefix; the length covers the type byte and
-	// body but not itself.
+	// lenBytes is the length prefix; the length covers the type byte, body
+	// and CRC trailer but not itself. crcBytes is the trailer.
 	lenBytes = 4
+	crcBytes = 4
 
 	// DefaultMaxFrameBytes bounds a frame body so a corrupted length prefix
 	// cannot make the reader allocate gigabytes. A v5 export packet is at
 	// most 1464 bytes; the generous cap leaves room for future payloads.
 	DefaultMaxFrameBytes = 1 << 20
 )
+
+// frameSizeError is a length prefix outside [1+crcBytes, maxFrame] — the
+// signature of a corrupted or hostile length prefix (a zero-length or
+// oversized frame). The server surfaces these under their own counter so a
+// link damaging length prefixes is visible, instead of the connection just
+// dying silently.
+type frameSizeError struct {
+	n, max int
+}
+
+func (e *frameSizeError) Error() string {
+	return fmt.Sprintf("netflow/reliable: frame length %d outside [%d, %d]", e.n, 1+crcBytes, e.max)
+}
+
+// errFrameCRC marks a frame whose trailer did not match its contents: bytes
+// were damaged in flight (or the stream desynchronized). Never acked, so
+// the exporter's redelivery closes the hole.
+type frameCRCError struct {
+	want, got uint32
+}
+
+func (e *frameCRCError) Error() string {
+	return fmt.Sprintf("netflow/reliable: frame CRC %#08x, want %#08x", e.got, e.want)
+}
 
 // frame is one decoded frame. The payload aliases the reader's buffer and
 // is only valid until the next readFrame call.
@@ -63,27 +106,65 @@ type frame struct {
 	payload  []byte // data: encoded v5 packet
 }
 
+// appendCRC seals a frame whose length prefix starts at dst[start]: the
+// trailer is the CRC of everything after the 4-byte length.
+func appendCRC(dst []byte, start int) []byte {
+	sum := crc32.ChecksumIEEE(dst[start+lenBytes:])
+	return binary.BigEndian.AppendUint32(dst, sum)
+}
+
 // appendHello encodes a hello frame onto dst.
 func appendHello(dst []byte, exporter, acked uint64) []byte {
-	dst = binary.BigEndian.AppendUint32(dst, 1+16)
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint32(dst, 1+16+crcBytes)
 	dst = append(dst, frameHello)
 	dst = binary.BigEndian.AppendUint64(dst, exporter)
-	return binary.BigEndian.AppendUint64(dst, acked)
+	dst = binary.BigEndian.AppendUint64(dst, acked)
+	return appendCRC(dst, start)
 }
 
 // appendDataHeader encodes the length prefix, type and sequence of a data
-// frame whose payload (written separately) is payloadLen bytes.
+// frame whose payload (written separately) is payloadLen bytes. The caller
+// must follow the payload with the trailer from dataTrailer.
 func appendDataHeader(dst []byte, seq uint64, payloadLen int) []byte {
-	dst = binary.BigEndian.AppendUint32(dst, uint32(1+8+payloadLen))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(1+8+payloadLen+crcBytes))
 	dst = append(dst, frameData)
 	return binary.BigEndian.AppendUint64(dst, seq)
 }
 
+// dataTrailer computes a data frame's CRC trailer from its header (as built
+// by appendDataHeader, length prefix included) and payload, without
+// concatenating them.
+func dataTrailer(trailer []byte, hdr, payload []byte) []byte {
+	sum := crc32.ChecksumIEEE(hdr[lenBytes:])
+	sum = crc32.Update(sum, crc32.IEEETable, payload)
+	return binary.BigEndian.AppendUint32(trailer, sum)
+}
+
+// appendDataFrame encodes a whole data frame (header, payload, trailer).
+func appendDataFrame(dst []byte, seq uint64, payload []byte) []byte {
+	start := len(dst)
+	dst = appendDataHeader(dst, seq, len(payload))
+	dst = append(dst, payload...)
+	return appendCRC(dst, start)
+}
+
 // appendAck encodes a cumulative ack frame onto dst.
 func appendAck(dst []byte, seq uint64) []byte {
-	dst = binary.BigEndian.AppendUint32(dst, 1+8)
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint32(dst, 1+8+crcBytes)
 	dst = append(dst, frameAck)
-	return binary.BigEndian.AppendUint64(dst, seq)
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	return appendCRC(dst, start)
+}
+
+// appendControl encodes a bodyless control frame (heartbeat, pause, resume)
+// onto dst.
+func appendControl(dst []byte, typ byte) []byte {
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint32(dst, 1+crcBytes)
+	dst = append(dst, typ)
+	return appendCRC(dst, start)
 }
 
 // readFrame reads one frame from r, growing *buf as needed; the returned
@@ -94,8 +175,8 @@ func readFrame(r io.Reader, buf *[]byte, maxFrame int) (frame, error) {
 		return frame{}, err
 	}
 	n := int(binary.BigEndian.Uint32(hdr[:]))
-	if n < 1 || n > maxFrame {
-		return frame{}, fmt.Errorf("netflow/reliable: frame length %d outside [1, %d]", n, maxFrame)
+	if n < 1+crcBytes || n > maxFrame {
+		return frame{}, &frameSizeError{n: n, max: maxFrame}
 	}
 	if cap(*buf) < n {
 		*buf = make([]byte, n)
@@ -107,25 +188,34 @@ func readFrame(r io.Reader, buf *[]byte, maxFrame int) (frame, error) {
 		}
 		return frame{}, err
 	}
+	want := binary.BigEndian.Uint32(body[n-crcBytes:])
+	if got := crc32.ChecksumIEEE(body[:n-crcBytes]); got != want {
+		return frame{}, &frameCRCError{want: want, got: got}
+	}
+	body = body[:n-crcBytes]
 	f := frame{typ: body[0]}
 	switch f.typ {
 	case frameHello:
-		if n != 1+16 {
-			return frame{}, fmt.Errorf("netflow/reliable: hello frame of %d bytes, want %d", n, 1+16)
+		if len(body) != 1+16 {
+			return frame{}, fmt.Errorf("netflow/reliable: hello frame of %d bytes, want %d", len(body), 1+16)
 		}
 		f.exporter = binary.BigEndian.Uint64(body[1:9])
 		f.acked = binary.BigEndian.Uint64(body[9:17])
 	case frameData:
-		if n < 1+8 {
-			return frame{}, fmt.Errorf("netflow/reliable: data frame of %d bytes too short", n)
+		if len(body) < 1+8 {
+			return frame{}, fmt.Errorf("netflow/reliable: data frame of %d bytes too short", len(body))
 		}
 		f.seq = binary.BigEndian.Uint64(body[1:9])
 		f.payload = body[9:]
 	case frameAck:
-		if n != 1+8 {
-			return frame{}, fmt.Errorf("netflow/reliable: ack frame of %d bytes, want %d", n, 1+8)
+		if len(body) != 1+8 {
+			return frame{}, fmt.Errorf("netflow/reliable: ack frame of %d bytes, want %d", len(body), 1+8)
 		}
 		f.seq = binary.BigEndian.Uint64(body[1:9])
+	case frameHeartbeat, framePause, frameResume:
+		if len(body) != 1 {
+			return frame{}, fmt.Errorf("netflow/reliable: control frame %q of %d bytes, want 1", f.typ, len(body))
+		}
 	default:
 		return frame{}, fmt.Errorf("netflow/reliable: unknown frame type %#x", f.typ)
 	}

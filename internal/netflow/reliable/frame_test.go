@@ -2,6 +2,7 @@ package reliable
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 )
@@ -10,9 +11,11 @@ func TestFrameRoundTrip(t *testing.T) {
 	var wire []byte
 	wire = appendHello(wire, 0xdeadbeef, 17)
 	payload := []byte("one encoded v5 packet")
-	wire = appendDataHeader(wire, 42, len(payload))
-	wire = append(wire, payload...)
+	wire = appendDataFrame(wire, 42, payload)
 	wire = appendAck(wire, 41)
+	wire = appendControl(wire, frameHeartbeat)
+	wire = appendControl(wire, framePause)
+	wire = appendControl(wire, frameResume)
 
 	r := bytes.NewReader(wire)
 	var buf []byte
@@ -29,13 +32,32 @@ func TestFrameRoundTrip(t *testing.T) {
 	if err != nil || f.typ != frameAck || f.seq != 41 {
 		t.Fatalf("ack = %+v, %v", f, err)
 	}
+	for _, want := range []byte{frameHeartbeat, framePause, frameResume} {
+		f, err = readFrame(r, &buf, DefaultMaxFrameBytes)
+		if err != nil || f.typ != want {
+			t.Fatalf("control %q = %+v, %v", want, f, err)
+		}
+	}
 	if _, err = readFrame(r, &buf, DefaultMaxFrameBytes); err != io.EOF {
 		t.Fatalf("past end: %v, want io.EOF", err)
 	}
 }
 
+func TestFrameDataTrailerMatchesWholeFrame(t *testing.T) {
+	// The exporter's streaming send path builds header, payload and trailer
+	// separately; the result must be byte-identical to appendDataFrame.
+	payload := []byte("streamed payload")
+	whole := appendDataFrame(nil, 9, payload)
+
+	hdr := appendDataHeader(nil, 9, len(payload))
+	streamed := append(append(append([]byte(nil), hdr...), payload...), dataTrailer(nil, hdr, payload)...)
+	if !bytes.Equal(whole, streamed) {
+		t.Fatalf("streamed frame %x != whole frame %x", streamed, whole)
+	}
+}
+
 func TestFrameEmptyDataPayload(t *testing.T) {
-	wire := appendDataHeader(nil, 7, 0)
+	wire := appendDataFrame(nil, 7, nil)
 	var buf []byte
 	f, err := readFrame(bytes.NewReader(wire), &buf, DefaultMaxFrameBytes)
 	if err != nil || f.typ != frameData || f.seq != 7 || len(f.payload) != 0 {
@@ -48,17 +70,33 @@ func TestFrameRejectsBadInput(t *testing.T) {
 	cases := map[string][]byte{
 		"zero length":       {0, 0, 0, 0},
 		"oversized length":  {0xff, 0xff, 0xff, 0xff, frameData},
-		"unknown type":      {0, 0, 0, 1, 'Z'},
-		"short hello":       {0, 0, 0, 2, frameHello, 1},
-		"short data":        {0, 0, 0, 5, frameData, 0, 0, 0, 0},
-		"short ack":         {0, 0, 0, 3, frameAck, 0, 0},
+		"under minimum":     {0, 0, 0, 3, frameAck, 0, 0},
 		"truncated mid-len": {0, 0},
+		"truncated body":    {0, 0, 0, 30, frameData, 1, 2, 3},
 	}
+	// Frames with valid CRCs but bodies the type-specific parser rejects.
+	cases["unknown type"] = appendControl(nil, 'Z')
+	shortHello := appendAck(nil, 5) // ack-shaped body re-labelled as hello
+	shortHello[lenBytes] = frameHello
+	shortHello = shortHello[:len(shortHello)-crcBytes]
+	cases["short hello"] = appendCRC(shortHello, 0)
+	shortData := appendControl(nil, frameData) // bodyless data frame: no seq
+	cases["short data"] = shortData
 	// A hello whose length prefix claims one junk byte more than the body
-	// format allows.
+	// format allows (CRC recomputed so only the length check can reject it).
 	long := appendHello(nil, 1, 0)
-	long[3]++ // body length 18 instead of 17
-	cases["long hello"] = append(long, 0xee)
+	long = long[:len(long)-crcBytes]
+	long[3]++ // one extra body byte
+	long = append(long, 0xee)
+	cases["long hello"] = appendCRC(long, 0)
+	// A bit flipped in flight: the CRC trailer must catch it.
+	flipped := appendDataFrame(nil, 3, []byte("payload"))
+	flipped[lenBytes+1+8] ^= 0x01
+	cases["corrupted payload"] = flipped
+	flippedCRC := appendAck(nil, 12)
+	flippedCRC[len(flippedCRC)-1] ^= 0x80
+	cases["corrupted trailer"] = flippedCRC
+
 	for name, wire := range cases {
 		if _, err := readFrame(bytes.NewReader(wire), &buf, DefaultMaxFrameBytes); err == nil {
 			t.Errorf("%s accepted", name)
@@ -66,9 +104,34 @@ func TestFrameRejectsBadInput(t *testing.T) {
 	}
 }
 
+func TestFrameSizeErrorIsNamed(t *testing.T) {
+	// Oversized and zero-length prefixes surface as *frameSizeError so the
+	// server can count them under their own telemetry counter.
+	var buf []byte
+	for _, wire := range [][]byte{
+		{0, 0, 0, 0},
+		{0xff, 0xff, 0xff, 0xff},
+		{0, 0, 0, 4, frameAck, 0, 0},
+	} {
+		_, err := readFrame(bytes.NewReader(wire), &buf, DefaultMaxFrameBytes)
+		var fse *frameSizeError
+		if !errors.As(err, &fse) {
+			t.Errorf("wire %v: error %v is not a frameSizeError", wire, err)
+		}
+	}
+	// A CRC failure is a different named error: corruption, not a hostile
+	// length prefix.
+	bad := appendAck(nil, 1)
+	bad[len(bad)-1] ^= 0xff
+	_, err := readFrame(bytes.NewReader(bad), &buf, DefaultMaxFrameBytes)
+	var fce *frameCRCError
+	if !errors.As(err, &fce) {
+		t.Errorf("corrupted frame: error %v is not a frameCRCError", err)
+	}
+}
+
 func TestFrameHonorsMaxFrame(t *testing.T) {
-	payload := make([]byte, 100)
-	wire := append(appendDataHeader(nil, 1, len(payload)), payload...)
+	wire := appendDataFrame(nil, 1, make([]byte, 100))
 	var buf []byte
 	if _, err := readFrame(bytes.NewReader(wire), &buf, 64); err == nil {
 		t.Error("frame over maxFrame accepted")
@@ -76,4 +139,50 @@ func TestFrameHonorsMaxFrame(t *testing.T) {
 	if _, err := readFrame(bytes.NewReader(wire), &buf, 1024); err != nil {
 		t.Errorf("frame under maxFrame rejected: %v", err)
 	}
+}
+
+// FuzzReadFrame throws arbitrary byte streams at the frame reader: it must
+// never panic, never allocate past maxFrame, and on success re-encoding the
+// decoded frame must reproduce the input prefix (the codec is its own
+// inverse).
+func FuzzReadFrame(f *testing.F) {
+	f.Add(appendHello(nil, 0xdeadbeef, 17))
+	f.Add(appendDataFrame(nil, 42, []byte("one encoded v5 packet")))
+	f.Add(appendDataFrame(nil, 7, nil))
+	f.Add(appendAck(nil, 41))
+	f.Add(appendControl(nil, frameHeartbeat))
+	f.Add(appendControl(nil, framePause))
+	f.Add(appendControl(nil, frameResume))
+	// Regression seeds: shapes that previously only died as anonymous
+	// connection errors.
+	f.Add([]byte{0, 0, 0, 0})                      // zero length
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'D'})     // oversized length
+	f.Add([]byte{0, 0, 0, 5, 'D', 0, 0, 0, 0})     // truncated data
+	f.Add([]byte{0, 0, 0, 30, 'D', 1, 2, 3})       // length past body
+	f.Add(append(appendAck(nil, 3), 0, 0, 0, 255)) // trailing garbage length
+
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		var buf []byte
+		const maxFrame = 1 << 16
+		fr, err := readFrame(bytes.NewReader(wire), &buf, maxFrame)
+		if err != nil {
+			return
+		}
+		var again []byte
+		switch fr.typ {
+		case frameHello:
+			again = appendHello(nil, fr.exporter, fr.acked)
+		case frameData:
+			again = appendDataFrame(nil, fr.seq, fr.payload)
+		case frameAck:
+			again = appendAck(nil, fr.seq)
+		case frameHeartbeat, framePause, frameResume:
+			again = appendControl(nil, fr.typ)
+		default:
+			t.Fatalf("decoded unknown type %#x", fr.typ)
+		}
+		if len(again) > len(wire) || !bytes.Equal(again, wire[:len(again)]) {
+			t.Fatalf("re-encoding %+v gave %x, want prefix of %x", fr, again, wire)
+		}
+	})
 }

@@ -15,10 +15,30 @@ type ServerConfig struct {
 	// DefaultMaxFrameBytes); a corrupted length prefix past it drops the
 	// connection instead of allocating.
 	MaxFrameBytes int
-	// AckTimeout bounds each ack write (default 5s). An exporter that stops
-	// reading acks is disconnected rather than allowed to wedge the
-	// connection's goroutine — the slow-client backpressure bound.
+	// AckTimeout bounds each ack/pause/resume write (default 5s). An
+	// exporter that stops reading is disconnected rather than allowed to
+	// wedge the connection's goroutine — the slow-client backpressure bound.
 	AckTimeout time.Duration
+	// HandshakeTimeout bounds the wait for the hello frame (default 10s). A
+	// client that connects and never speaks used to pin a goroutine and a
+	// connection slot forever; now it is dropped and counted.
+	HandshakeTimeout time.Duration
+	// IdleTimeout evicts a connection that sends nothing — no data, no
+	// heartbeat — for this long (default 90s; negative disables). Exporters
+	// heartbeat well inside it, so only dead or partitioned peers trip it.
+	IdleTimeout time.Duration
+	// MaxExporters caps concurrently connected exporters (0 = unlimited).
+	// Connections past the cap are closed immediately and counted as
+	// rejected — admission control so a misconfigured fleet cannot pile
+	// unbounded goroutines onto one collector.
+	MaxExporters int
+	// InflightBudgetBytes bounds each connection's received-but-unprocessed
+	// payload bytes (default 1 MiB). Past it the server sends a pause frame;
+	// once the backlog drains to half the budget it sends resume. The
+	// exporter keeps spooling while paused, so overload moves to the
+	// device's ring (which has an eviction policy) instead of growing
+	// unbounded here.
+	InflightBudgetBytes int
 	// Journal, when set, makes delivery crash-safe: each frame is appended
 	// to the write-ahead log (and fsynced per the journal's policy) in the
 	// same critical section that runs the handler, before the ack is
@@ -36,6 +56,15 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.AckTimeout == 0 {
 		c.AckTimeout = 5 * time.Second
 	}
+	if c.HandshakeTimeout == 0 {
+		c.HandshakeTimeout = 10 * time.Second
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 90 * time.Second
+	}
+	if c.InflightBudgetBytes == 0 {
+		c.InflightBudgetBytes = 1 << 20
+	}
 	return c
 }
 
@@ -52,15 +81,43 @@ type exporterState struct {
 	gaps       uint64
 }
 
+// srvFrame is one data frame queued between a connection's reader and its
+// delivery worker; the payload is an owned copy.
+type srvFrame struct {
+	seq     uint64
+	payload []byte
+}
+
+// srvConn is one accepted connection's shared state. The reader goroutine
+// enqueues frames and sends pause when the queued backlog breaches the
+// inflight budget; the worker dequeues, delivers and acks, and sends
+// resume once the backlog halves. writeMu serializes all writes (acks from
+// the worker, pause/resume from either side) and guards paused.
+type srvConn struct {
+	conn        net.Conn
+	queue       chan srvFrame
+	queuedBytes atomic.Int64
+
+	writeMu sync.Mutex
+	paused  bool
+	dead    bool // a control write failed: stop writing, let the reader die
+}
+
 // Server is the collection-station side: it accepts reliable-exporter
 // connections, dedups frames by per-exporter sequence, hands each frame's
 // payload to the handler exactly once per server lifetime, and
 // acknowledges cumulatively after the handler returns — so a report is
 // only acked once it has actually been aggregated, and a crash between
-// receive and ack costs nothing but a redelivery. Backpressure is
-// structural: one frame is read, handled and acked at a time per
-// connection, so a slow handler slows the exporter's ack stream (filling
-// its spool) instead of buffering unboundedly here.
+// receive and ack costs nothing but a redelivery.
+//
+// Liveness and flow control are explicit. Every connection must produce a
+// hello within the handshake timeout and then at least a heartbeat within
+// the idle timeout, or it is evicted — a silent peer cannot pin a goroutine
+// or a connection slot. Each connection's received-but-undelivered bytes
+// are bounded by the inflight budget: past it the server sends a pause
+// frame (the exporter stops replaying but keeps spooling) and resumes once
+// the worker has drained the backlog to half the budget. An admission cap
+// bounds the total number of connected exporters.
 //
 // Across a server crash and restart the transport is at-least-once: a
 // frame handled just before the crash whose ack never reached the exporter
@@ -73,19 +130,28 @@ type Server struct {
 	handler func(exporter, seq uint64, payload []byte)
 	ln      net.Listener
 
-	frames     atomic.Uint64
-	dataBytes  atomic.Uint64
-	delivered  atomic.Uint64
-	duplicates atomic.Uint64
-	gaps       atomic.Uint64
-	badFrames  atomic.Uint64
-	accepted   atomic.Uint64
+	frames            atomic.Uint64
+	dataBytes         atomic.Uint64
+	delivered         atomic.Uint64
+	duplicates        atomic.Uint64
+	gaps              atomic.Uint64
+	badFrames         atomic.Uint64
+	accepted          atomic.Uint64
+	heartbeats        atomic.Uint64
+	handshakeTimeouts atomic.Uint64
+	evicted           atomic.Uint64
+	rejected          atomic.Uint64
+	frameSizeDrops    atomic.Uint64
+	pausesSent        atomic.Uint64
+	resumesSent       atomic.Uint64
+	pausedConns       atomic.Int64
 
 	mu        sync.Mutex
 	conns     map[net.Conn]struct{}
 	exporters map[uint64]*exporterState
 	closed    bool
-	deadline  time.Time // non-zero while draining: read deadline for conns
+	aborted   atomic.Bool // Close (not Shutdown): workers discard their queues
+	deadline  time.Time   // non-zero while draining: read deadline for conns
 
 	wg sync.WaitGroup
 }
@@ -141,6 +207,16 @@ func (s *Server) acceptLoop() {
 			conn.Close()
 			return
 		}
+		if s.cfg.MaxExporters > 0 && len(s.conns) >= s.cfg.MaxExporters {
+			// Admission control: over the cap the connection is refused
+			// outright. The exporter keeps spooling and retrying with
+			// backoff, which is exactly the behavior it has during any
+			// collector outage.
+			s.mu.Unlock()
+			conn.Close()
+			s.rejected.Add(1)
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		if !s.deadline.IsZero() {
 			conn.SetReadDeadline(s.deadline)
@@ -149,6 +225,31 @@ func (s *Server) acceptLoop() {
 		s.accepted.Add(1)
 		s.wg.Add(1)
 		go s.serveConn(conn)
+	}
+}
+
+// draining reports whether Shutdown has set a global drain deadline (which
+// per-frame idle re-arming must not override).
+func (s *Server) draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.deadline.IsZero()
+}
+
+// armReadDeadline sets conn's read deadline d from now, unless a drain
+// deadline is active (Shutdown's takes precedence — checked under the same
+// lock Shutdown holds while setting it, so the two can never interleave
+// into an idle deadline outliving the drain) or d is negative (disabled).
+func (s *Server) armReadDeadline(conn net.Conn, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.deadline.IsZero() {
+		return
+	}
+	if d > 0 {
+		conn.SetReadDeadline(time.Now().Add(d))
+	} else {
+		conn.SetReadDeadline(time.Time{})
 	}
 }
 
@@ -161,10 +262,19 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.wg.Done()
 	}()
 
+	// Handshake: the hello must arrive within its timeout — a connection
+	// that never speaks is dropped instead of pinning this goroutine.
+	s.armReadDeadline(conn, s.cfg.HandshakeTimeout)
 	var buf []byte
 	hello, err := readFrame(conn, &buf, s.cfg.MaxFrameBytes)
 	if err != nil || hello.typ != frameHello {
-		s.badFrames.Add(1)
+		// A peer that times out or disconnects without sending anything is
+		// a liveness event, not a corrupt one — only undecodable bytes or a
+		// decodable-but-wrong first frame count as bad.
+		if err == nil || !isCleanClose(err) {
+			s.badFrames.Add(1)
+		}
+		s.classifyReadError(err, true)
 		return
 	}
 	st := s.exporterState(hello.exporter)
@@ -180,26 +290,103 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	st.mu.Unlock()
 
-	var ackBuf [lenBytes + 1 + 8]byte
+	// Reader/worker split: the reader keeps the socket drained (so pause
+	// frames and idle deadlines stay meaningful) while the worker delivers,
+	// journals and acks. The queue bounds frames; the byte budget bounds
+	// payload and triggers pause/resume.
+	c := &srvConn{conn: conn, queue: make(chan srvFrame, 256)}
+	var workerDone sync.WaitGroup
+	workerDone.Add(1)
+	go func() {
+		defer workerDone.Done()
+		s.deliverLoop(c, hello.exporter, st)
+	}()
+	defer func() {
+		close(c.queue)
+		workerDone.Wait()
+		c.writeMu.Lock()
+		if c.paused {
+			c.paused = false
+			s.pausedConns.Add(-1)
+		}
+		c.writeMu.Unlock()
+	}()
+
 	for {
+		s.armReadDeadline(conn, s.cfg.IdleTimeout)
 		f, err := readFrame(conn, &buf, s.cfg.MaxFrameBytes)
 		if err != nil {
 			// Either way the connection is done — the exporter reconnects
 			// and redelivers, and dedup absorbs the overlap — but only
 			// corruption counts as a bad frame: a clean close between
 			// frames (EOF), a severed socket, or a drain deadline expiring
-			// is normal lifecycle.
+			// is normal lifecycle. An idle timeout outside a drain is an
+			// eviction: the peer went silent past the liveness bound.
 			if !isCleanClose(err) {
 				s.badFrames.Add(1)
 			}
+			s.classifyReadError(err, false)
 			return
 		}
-		if f.typ != frameData {
+		switch f.typ {
+		case frameHeartbeat:
+			// Liveness only: re-arms the idle deadline on the next loop.
+			s.heartbeats.Add(1)
+			continue
+		case frameData:
+		default:
 			s.badFrames.Add(1)
 			return
 		}
 		s.frames.Add(1)
 		s.dataBytes.Add(uint64(len(f.payload)))
+
+		// The payload aliases the read buffer; the worker needs its own copy.
+		qf := srvFrame{seq: f.seq, payload: append([]byte(nil), f.payload...)}
+		queued := c.queuedBytes.Add(int64(len(qf.payload)))
+		if int(queued) > s.cfg.InflightBudgetBytes {
+			s.pause(c)
+		}
+		c.queue <- qf
+	}
+}
+
+// classifyReadError files a connection-ending read error under the right
+// liveness counter: handshake timeouts, idle evictions, and corrupted
+// length prefixes each get their own so an operator can tell a hostile
+// network from a dead fleet.
+func (s *Server) classifyReadError(err error, handshake bool) {
+	if err == nil {
+		return
+	}
+	var fse *frameSizeError
+	if errors.As(err, &fse) {
+		s.frameSizeDrops.Add(1)
+		return
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() && !s.draining() {
+		if handshake {
+			s.handshakeTimeouts.Add(1)
+		} else {
+			s.evicted.Add(1)
+		}
+	}
+}
+
+// deliverLoop is a connection's worker: it dequeues frames in order,
+// classifies them against the exporter's sequence state, journals and
+// delivers the fresh ones, writes the cumulative ack, and lifts the pause
+// once the queued backlog halves. On a hard Close it discards the rest of
+// its queue — those frames were never acked, so the exporter redelivers
+// them and dedup keeps the accounting exact.
+func (s *Server) deliverLoop(c *srvConn, exporter uint64, st *exporterState) {
+	var ackBuf [lenBytes + 1 + 8 + crcBytes]byte
+	for f := range c.queue {
+		queued := c.queuedBytes.Add(-int64(len(f.payload)))
+		if s.aborted.Load() {
+			continue
+		}
 
 		st.mu.Lock()
 		expected := st.next
@@ -222,13 +409,13 @@ func (s *Server) serveConn(conn net.Conn) {
 			if j := s.cfg.Journal; j != nil {
 				// WAL append happens-before the handler's aggregation, and
 				// both precede the ack below: acked ⇒ journaled ⇒ recoverable.
-				j.Deliver(hello.exporter, f.seq, f.payload, func() {
+				j.Deliver(exporter, f.seq, f.payload, func() {
 					if s.handler != nil {
-						s.handler(hello.exporter, f.seq, f.payload)
+						s.handler(exporter, f.seq, f.payload)
 					}
 				})
 			} else if s.handler != nil {
-				s.handler(hello.exporter, f.seq, f.payload)
+				s.handler(exporter, f.seq, f.payload)
 			}
 			st.next = f.seq + 1
 			st.delivered++
@@ -237,11 +424,56 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		st.mu.Unlock()
 
-		conn.SetWriteDeadline(time.Now().Add(s.cfg.AckTimeout))
-		if _, err := conn.Write(appendAck(ackBuf[:0], ack)); err != nil {
-			return
+		c.writeMu.Lock()
+		if !c.dead {
+			c.conn.SetWriteDeadline(time.Now().Add(s.cfg.AckTimeout))
+			if _, err := c.conn.Write(appendAck(ackBuf[:0], ack)); err != nil {
+				c.dead = true
+				c.conn.Close() // unblocks the reader; frames past here redeliver
+			}
 		}
+		if c.paused && int(queued) <= s.cfg.InflightBudgetBytes/2 {
+			s.resumeLocked(c)
+		}
+		c.writeMu.Unlock()
 	}
+}
+
+// pause sends a pause frame if the connection is not already paused.
+func (s *Server) pause(c *srvConn) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.paused || c.dead {
+		return
+	}
+	var buf [lenBytes + 1 + crcBytes]byte
+	c.conn.SetWriteDeadline(time.Now().Add(s.cfg.AckTimeout))
+	if _, err := c.conn.Write(appendControl(buf[:0], framePause)); err != nil {
+		c.dead = true
+		c.conn.Close()
+		return
+	}
+	c.paused = true
+	s.pausesSent.Add(1)
+	s.pausedConns.Add(1)
+}
+
+// resumeLocked sends a resume frame; the caller holds c.writeMu and has
+// checked c.paused.
+func (s *Server) resumeLocked(c *srvConn) {
+	if c.dead {
+		return
+	}
+	var buf [lenBytes + 1 + crcBytes]byte
+	c.conn.SetWriteDeadline(time.Now().Add(s.cfg.AckTimeout))
+	if _, err := c.conn.Write(appendControl(buf[:0], frameResume)); err != nil {
+		c.dead = true
+		c.conn.Close()
+		return
+	}
+	c.paused = false
+	s.resumesSent.Add(1)
+	s.pausedConns.Add(-1)
 }
 
 // isCleanClose reports whether a read error is normal connection lifecycle
@@ -272,6 +504,7 @@ func (s *Server) exporterState(id uint64) *exporterState {
 // collector crash.
 func (s *Server) Close() error {
 	err := s.ln.Close()
+	s.aborted.Store(true)
 	s.mu.Lock()
 	s.closed = true
 	for c := range s.conns {
@@ -285,7 +518,9 @@ func (s *Server) Close() error {
 // Shutdown stops accepting, then lets each connection keep delivering
 // frames already in flight for up to timeout before severing it — the
 // graceful drain for SIGTERM: reports the kernel has already accepted are
-// aggregated and acked rather than discarded.
+// aggregated and acked rather than discarded. Queued frames each worker
+// has already received are delivered even after the read deadline severs
+// their connection.
 func (s *Server) Shutdown(timeout time.Duration) error {
 	err := s.ln.Close()
 	deadline := time.Now().Add(timeout)
@@ -326,6 +561,24 @@ type Stats struct {
 	// BadFrames counts connections dropped on undecodable or out-of-
 	// protocol frames.
 	BadFrames uint64 `json:"bad_frames"`
+	// FrameSizeDrops counts connections dropped on an out-of-range length
+	// prefix (zero-length or oversized) — the signature of a corrupted or
+	// hostile length prefix, broken out of BadFrames so it is visible.
+	FrameSizeDrops uint64 `json:"frame_size_drops"`
+	// Heartbeats counts liveness frames received.
+	Heartbeats uint64 `json:"heartbeats"`
+	// HandshakeTimeouts counts connections dropped for never sending hello;
+	// Evicted counts established connections dropped for exceeding the idle
+	// timeout; Rejected counts connections refused by the MaxExporters
+	// admission cap.
+	HandshakeTimeouts uint64 `json:"handshake_timeouts"`
+	Evicted           uint64 `json:"evicted"`
+	Rejected          uint64 `json:"rejected"`
+	// PausesSent and ResumesSent count backpressure frames emitted;
+	// PausedConnections is the number of connections currently paused.
+	PausesSent        uint64 `json:"pauses_sent"`
+	ResumesSent       uint64 `json:"resumes_sent"`
+	PausedConnections int    `json:"paused_connections"`
 	// Connections counts accepted connections; ActiveConnections the ones
 	// currently open.
 	Connections       uint64 `json:"connections"`
@@ -337,14 +590,22 @@ type Stats struct {
 // Stats returns a snapshot of the collection statistics.
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Frames:      s.frames.Load(),
-		Bytes:       s.dataBytes.Load(),
-		Delivered:   s.delivered.Load(),
-		Duplicates:  s.duplicates.Load(),
-		Gaps:        s.gaps.Load(),
-		BadFrames:   s.badFrames.Load(),
-		Connections: s.accepted.Load(),
-		PerExporter: make(map[uint64]ExporterStats),
+		Frames:            s.frames.Load(),
+		Bytes:             s.dataBytes.Load(),
+		Delivered:         s.delivered.Load(),
+		Duplicates:        s.duplicates.Load(),
+		Gaps:              s.gaps.Load(),
+		BadFrames:         s.badFrames.Load(),
+		FrameSizeDrops:    s.frameSizeDrops.Load(),
+		Heartbeats:        s.heartbeats.Load(),
+		HandshakeTimeouts: s.handshakeTimeouts.Load(),
+		Evicted:           s.evicted.Load(),
+		Rejected:          s.rejected.Load(),
+		PausesSent:        s.pausesSent.Load(),
+		ResumesSent:       s.resumesSent.Load(),
+		PausedConnections: int(s.pausedConns.Load()),
+		Connections:       s.accepted.Load(),
+		PerExporter:       make(map[uint64]ExporterStats),
 	}
 	s.mu.Lock()
 	st.ActiveConnections = len(s.conns)

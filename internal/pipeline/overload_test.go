@@ -296,3 +296,69 @@ func TestOverloadPolicyByName(t *testing.T) {
 		t.Fatal("unknown name accepted")
 	}
 }
+
+// TestPressureDegradesWithoutQueueOverflow: export-path backpressure (the
+// reliable spool above its high-water mark) must make the Degrade policy
+// thin batches at the measurement input even when the lane queues are
+// empty — and must be ignored by every other policy.
+func TestPressureDegradesWithoutQueueOverflow(t *testing.T) {
+	build := func(policy OverloadPolicy, pressure bool) *Pipeline {
+		t.Helper()
+		sh, err := sampleandhold.New(sampleandhold.Config{
+			Entries: 1 << 12, Threshold: 10, Oversampling: 10, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := New(Config{
+			// QueueDepth exceeds the total batch count, so the lane queue can
+			// never fill: any degradation is the pressure probe's doing.
+			Shards: 1, QueueDepth: 256, BatchSize: 4,
+			Overload: policy, DegradeFraction: 0.5,
+			NewAlgorithm: func(int) (core.Algorithm, error) { return sh, nil },
+			Definition:   flow.FiveTuple{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.SetPressure(func() bool { return pressure })
+		return p
+	}
+
+	// Pressure high, fast lane: batches are thinned, nothing is shed, and
+	// accounting stays exact.
+	p := build(Degrade, true)
+	const fed = 200 * 4
+	feedBatches(p, 0, 199)
+	p.EndInterval(0)
+	p.Close()
+	l := p.Stats().Lanes[0]
+	if l.DegradedPackets == 0 {
+		t.Fatal("no degradation despite export-path pressure")
+	}
+	if l.ShedPackets != 0 {
+		t.Fatalf("pressure shed %d packets; it must thin, not shed", l.ShedPackets)
+	}
+	if l.Packets+l.DegradedPackets != fed {
+		t.Fatalf("conservation: %d delivered + %d degraded != %d fed",
+			l.Packets, l.DegradedPackets, fed)
+	}
+
+	// Pressure released: nothing is degraded.
+	p = build(Degrade, false)
+	feedBatches(p, 0, 199)
+	p.EndInterval(0)
+	p.Close()
+	if l := p.Stats().Lanes[0]; l.DegradedPackets != 0 {
+		t.Fatalf("degraded %d packets with pressure released", l.DegradedPackets)
+	}
+
+	// Pressure high under Block: the probe is Degrade-only.
+	p = build(Block, true)
+	feedBatches(p, 0, 199)
+	p.EndInterval(0)
+	p.Close()
+	if l := p.Stats().Lanes[0]; l.DegradedPackets != 0 || l.Packets != fed {
+		t.Fatalf("Block policy consulted the pressure probe: %+v", l)
+	}
+}

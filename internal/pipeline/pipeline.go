@@ -84,6 +84,10 @@ func New(cfg Config, opts ...Option) (*Pipeline, error) {
 // per-stage supervision counters).
 func (p *Pipeline) Graph() *stagegraph.Graph { return p.g }
 
+// SetPressure installs the export-path overload probe consulted by the
+// Degrade policy (typically Exporter.Overloaded). Must be set before Run.
+func (p *Pipeline) SetPressure(f func() bool) { p.m.SetPressure(f) }
+
 // SetExportTelemetry attaches an export path's counters to the pipeline's
 // snapshots (and thereby its Health). Call before traffic flows.
 func (p *Pipeline) SetExportTelemetry(t *telemetry.Export) { p.m.SetExportTelemetry(t) }

@@ -285,6 +285,12 @@ type Measure struct {
 	// exportTel, when set, is the export path's counters, included in Stats
 	// and Health alongside the lane counters.
 	exportTel *telemetry.Export
+	// pressure, when set, reports export-path overload (the device spool
+	// above its high-water mark). Under the Degrade policy the producer
+	// subsamples every batch while pressure holds, shedding load at the
+	// measurement input — where the paper's sampling semantics make the
+	// loss unbiased — instead of letting the spool shed whole reports.
+	pressure func() bool
 }
 
 // NewMeasure builds an inert measure stage; the configuration is validated
@@ -292,6 +298,11 @@ type Measure struct {
 func NewMeasure(cfg MeasureConfig) *Measure {
 	return &Measure{cfg: cfg}
 }
+
+// SetPressure installs the export-path overload probe consulted by the
+// Degrade policy (typically Exporter.Overloaded via the pipeline facade).
+// Must be set before the stage starts.
+func (m *Measure) SetPressure(f func() bool) { m.pressure = f }
 
 // Kind implements Stage.
 func (m *Measure) Kind() string { return "measure" }
@@ -450,6 +461,15 @@ func (m *Measure) flushLane(i int) {
 		return
 	}
 	ln := m.lanes[i]
+	// Export-path backpressure: while the spool sits above its high-water
+	// mark, the Degrade policy thins every batch at the input — the lane
+	// queue being momentarily empty doesn't mean downstream has capacity.
+	if m.cfg.Overload == Degrade && m.pressure != nil && m.pressure() {
+		if m.degradeBatch(ln, b) == 0 {
+			b.reset()
+			return
+		}
+	}
 	n := len(b.keys)
 	stalled := false
 	select {
@@ -468,27 +488,11 @@ func (m *Measure) flushLane(i int) {
 			m.dropOldest(ln, b)
 		case Degrade:
 			stalled = true
-			var dropped int
-			var droppedBytes uint64
-			w := 0
-			for k := range b.keys {
-				if ln.next() <= m.degradeKeep {
-					b.keys[w] = b.keys[k]
-					b.sizes[w] = b.sizes[k]
-					w++
-				} else {
-					dropped++
-					droppedBytes += uint64(b.sizes[k])
-				}
-			}
-			b.keys = b.keys[:w]
-			b.sizes = b.sizes[:w]
-			ln.tel.ObserveDegraded(dropped, droppedBytes)
-			if w == 0 {
+			if m.degradeBatch(ln, b) == 0 {
 				b.reset()
 				return // whole batch subsampled away; keep the buffer
 			}
-			n = w
+			n = len(b.keys)
 			ln.ch <- op{b: b}
 		}
 	}
@@ -498,6 +502,28 @@ func (m *Measure) flushLane(i int) {
 	stalled = stalled || len(ln.free) == 0
 	m.pending[i] = <-ln.free
 	ln.tel.ObserveBatch(n, len(ln.ch), stalled)
+}
+
+// degradeBatch subsamples b in place with the lane's RNG at the configured
+// keep probability, counts the loss, and returns how many packets survive.
+func (m *Measure) degradeBatch(ln *lane, b *batch) int {
+	var dropped int
+	var droppedBytes uint64
+	w := 0
+	for k := range b.keys {
+		if ln.next() <= m.degradeKeep {
+			b.keys[w] = b.keys[k]
+			b.sizes[w] = b.sizes[k]
+			w++
+		} else {
+			dropped++
+			droppedBytes += uint64(b.sizes[k])
+		}
+	}
+	b.keys = b.keys[:w]
+	b.sizes = b.sizes[:w]
+	ln.tel.ObserveDegraded(dropped, droppedBytes)
+	return w
 }
 
 // dropOldest delivers b by evicting queued batches, oldest first, until the

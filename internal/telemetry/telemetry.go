@@ -504,6 +504,12 @@ type Export struct {
 	reportsDropped atomic.Uint64
 	spoolDepth     atomic.Int64
 	spoolHWM       atomic.Uint64
+	heartbeats     atomic.Uint64
+	pauses         atomic.Uint64
+	resumes        atomic.Uint64
+	paused         atomic.Bool
+	pressureEvents atomic.Uint64
+	pressure       atomic.Bool
 }
 
 // ObserveReport records one interval report handed to the export path as
@@ -546,6 +552,40 @@ func (e *Export) SetSpoolDepth(n int) {
 	}
 }
 
+// ObserveHeartbeat records one liveness frame sent to the collector.
+func (e *Export) ObserveHeartbeat() { e.heartbeats.Add(1) }
+
+// ObservePause records a pause frame from the collector and flips the
+// paused gauge; ObserveResume records the matching resume.
+func (e *Export) ObservePause() {
+	e.pauses.Add(1)
+	e.paused.Store(true)
+}
+
+// ObserveResume records a resume frame from the collector.
+func (e *Export) ObserveResume() {
+	e.resumes.Add(1)
+	e.paused.Store(false)
+}
+
+// SetPaused overrides the paused gauge (connection teardown clears it
+// without a resume frame).
+func (e *Export) SetPaused(v bool) { e.paused.Store(v) }
+
+// SetPressure records spool-occupancy pressure transitions: v true when
+// occupancy crossed the high-water mark, false when it fell back below the
+// low-water mark. Each onset counts as one pressure event.
+func (e *Export) SetPressure(v bool) {
+	if v && !e.pressure.Swap(true) {
+		e.pressureEvents.Add(1)
+	} else if !v {
+		e.pressure.Store(false)
+	}
+}
+
+// Pressure reports whether the spool is above its high-water mark.
+func (e *Export) Pressure() bool { return e.pressure.Load() }
+
 // Snapshot copies the export counters.
 func (e *Export) Snapshot() ExportSnapshot {
 	return ExportSnapshot{
@@ -561,6 +601,12 @@ func (e *Export) Snapshot() ExportSnapshot {
 		ReportsDropped: e.reportsDropped.Load(),
 		SpoolDepth:     int(e.spoolDepth.Load()),
 		SpoolHighWater: e.spoolHWM.Load(),
+		Heartbeats:     e.heartbeats.Load(),
+		Pauses:         e.pauses.Load(),
+		Resumes:        e.resumes.Load(),
+		Paused:         e.paused.Load(),
+		PressureEvents: e.pressureEvents.Load(),
+		Pressure:       e.pressure.Load(),
 	}
 }
 
@@ -592,6 +638,18 @@ type ExportSnapshot struct {
 	// deepest it has been.
 	SpoolDepth     int    `json:"spool_depth"`
 	SpoolHighWater uint64 `json:"spool_high_water"`
+	// Heartbeats counts liveness frames sent to the collector.
+	Heartbeats uint64 `json:"heartbeats"`
+	// Pauses and Resumes count backpressure frames received from the
+	// collector; Paused is true while a pause is in effect.
+	Pauses  uint64 `json:"pauses"`
+	Resumes uint64 `json:"resumes"`
+	Paused  bool   `json:"paused"`
+	// PressureEvents counts spool occupancy crossings of the high-water
+	// mark; Pressure is true while occupancy is above it (it clears at the
+	// low-water mark — hysteresis, so the gauge does not flap).
+	PressureEvents uint64 `json:"pressure_events"`
+	Pressure       bool   `json:"pressure"`
 }
 
 // Backlog returns the number of frames accepted but not yet confirmed
@@ -617,6 +675,9 @@ func (s ExportSnapshot) Health() (HealthStatus, string) {
 	}
 	if s.ExportErrors > 0 {
 		return HealthDegraded, fmt.Sprintf("%d export errors", s.ExportErrors)
+	}
+	if s.Pressure {
+		return HealthDegraded, fmt.Sprintf("spool above high-water mark (depth %d)", s.SpoolDepth)
 	}
 	return HealthOK, ""
 }
