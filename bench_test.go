@@ -268,10 +268,23 @@ func BenchmarkReplayBatched(b *testing.B) {
 // single-core deployment shape: one lane (shard selection skipped on the
 // producer), the doublehash family (one base hash per packet serving the
 // filter stages and the flow memory probe), and 256-packet bursts so
-// channel handoffs amortize further than the 4-lane default.
+// ring handoffs amortize further than the 4-lane default.
 func BenchmarkReplayBatchedSingleShard(b *testing.B) {
 	benchReplayPipeline(b, 1, "doublehash", 256, 256)
 }
+
+// BenchmarkPipelineShardsN is the shard-scaling curve: the same replay at
+// 1, 2, 4 and 8 lanes with identical per-lane configuration, so the ratio
+// of the pkts/s metrics is the pipeline's parallel speedup. On a
+// multi-core box 4 shards should clear 2.5× the single-shard rate (the
+// SPSC handoff and fused shard partitioning keep the producer off the
+// critical path); on a single-CPU box the lanes time-slice and the curve is
+// flat — compare pkts/s, not ns/op, and read EXPERIMENTS.md for the
+// recorded curve.
+func BenchmarkPipelineShards1(b *testing.B) { benchReplayPipeline(b, 1, "doublehash", 256, 256) }
+func BenchmarkPipelineShards2(b *testing.B) { benchReplayPipeline(b, 2, "doublehash", 256, 256) }
+func BenchmarkPipelineShards4(b *testing.B) { benchReplayPipeline(b, 4, "doublehash", 256, 256) }
+func BenchmarkPipelineShards8(b *testing.B) { benchReplayPipeline(b, 8, "doublehash", 256, 256) }
 
 // BenchmarkPipelineBatchedSteadyState measures the steady-state producer
 // loop of the batched pipeline: per-op cost of Packet into lane buffers with

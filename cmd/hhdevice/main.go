@@ -31,6 +31,7 @@ import (
 	"repro/internal/debugserver"
 	"repro/internal/faultinject"
 	"repro/internal/flow"
+	"repro/internal/hw"
 	"repro/internal/netflow"
 	"repro/internal/netflow/reliable"
 	"repro/internal/pipeline"
@@ -107,7 +108,7 @@ func main() {
 	flag.Float64Var(&o.highWater, "export-highwater", 0, "spool occupancy fraction that raises backpressure on the measurement path (0 = default 0.75)")
 	flag.DurationVar(&o.reportPause, "report-pause", 0, "pause after each exported interval report (paces single-lane replay for crash testing)")
 	flag.StringVar(&o.listen, "listen", "", "serve /debug/vars, /debug/pprof and /healthz on this address while running")
-	flag.IntVar(&o.shards, "shards", 1, "shard the device across this many parallel lanes")
+	flag.IntVar(&o.shards, "shards", 0, "shard the device across this many parallel lanes (0 = auto: one lane per spare core, probed from the host topology)")
 	flag.StringVar(&overload, "overload", "block", "lane overload policy: block, drop-newest, drop-oldest, degrade (sharded runs)")
 	flag.Float64Var(&o.degrade, "degrade-fraction", 0, "per-packet keep probability for -overload degrade (0 = default)")
 	flag.BoolVar(&o.restart, "restart-lanes", false, "restart a panicking lane with a fresh algorithm instead of quarantining it")
@@ -126,6 +127,21 @@ func main() {
 		os.Exit(1)
 	}
 	o.overload = policy
+	if o.shards == 0 {
+		// Auto-shard from the host topology: one lane per spare core.
+		// Threshold adaptation is per lane and only meaningful single-lane,
+		// so -adapt pins the auto answer to 1.
+		if o.adaptive {
+			o.shards = 1
+		} else {
+			topo := hw.Probe()
+			o.shards = topo.DefaultShards()
+			if o.shards > 1 {
+				fmt.Printf("auto-sharding: %d lanes (%d CPUs, GOMAXPROCS %d); pin with -shards\n",
+					o.shards, topo.NumCPU, topo.GOMAXPROCS)
+			}
+		}
+	}
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "hhdevice:", err)
 		os.Exit(1)

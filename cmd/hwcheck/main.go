@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/hw"
 )
@@ -34,6 +35,10 @@ func main() {
 	if err := run(*stages, *sram); err != nil {
 		fmt.Fprintln(os.Stderr, "hwcheck:", err)
 		os.Exit(1)
+	}
+	fmt.Printf("\nhost topology (feeds hhdevice's -shards auto default):\n")
+	for _, line := range strings.Split(hw.Probe().String(), "\n") {
+		fmt.Printf("  %s\n", line)
 	}
 	if *mem {
 		runMem(*memBytes)

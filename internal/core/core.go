@@ -80,6 +80,36 @@ func ProcessBatch(alg Algorithm, keys []flow.Key, sizes []uint32) {
 	}
 }
 
+// HashBatchAlgorithm is a BatchAlgorithm whose batch kernel can consume a
+// per-packet key hash computed upstream instead of rehashing every key. The
+// sharded pipeline computes one hash per packet to pick each packet's shard;
+// lanes running a HashBatchAlgorithm whose KeyHash matches the producer's
+// get that hash delivered with the batch, so across the whole pipeline each
+// key is hashed exactly once.
+type HashBatchAlgorithm interface {
+	BatchAlgorithm
+	// KeyHash returns the per-packet hash the kernel derives its flow
+	// memory probes from — the function an upstream caller must have used:
+	// ProcessBatchHash requires hashes[i] == KeyHash(keys[i]).
+	KeyHash(k flow.Key) uint64
+	// ProcessBatchHash is ProcessBatch with the per-packet key hashes
+	// supplied by the caller. It must be observably equivalent to
+	// ProcessBatch on the same keys and sizes.
+	ProcessBatchHash(hashes []uint64, keys []flow.Key, sizes []uint32)
+}
+
+// ProcessBatchHash feeds a batch with caller-computed key hashes to alg,
+// using the hash-reusing fast path when the algorithm has one and falling
+// back to ProcessBatch otherwise. hashes[i] must equal alg.KeyHash(keys[i])
+// when alg implements HashBatchAlgorithm.
+func ProcessBatchHash(alg Algorithm, hashes []uint64, keys []flow.Key, sizes []uint32) {
+	if h, ok := alg.(HashBatchAlgorithm); ok {
+		h.ProcessBatchHash(hashes, keys, sizes)
+		return
+	}
+	ProcessBatch(alg, keys, sizes)
+}
+
 // ReportAppender is implemented by algorithms that can build their interval
 // report into caller-owned memory: AppendEstimates is EndInterval with the
 // destination supplied. It appends the interval's estimates to dst, performs

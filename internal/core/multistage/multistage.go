@@ -73,6 +73,14 @@ type Config struct {
 	Hash string
 	// Seed seeds the hash functions.
 	Seed int64
+	// PrefetchTiles is the fused batch kernel's prefetch distance in tiles
+	// of 32 packets: tile i+PrefetchTiles is hashed (its counter and flow
+	// memory lines pulled toward the caches) while tile i is being
+	// updated, so a table bigger than L2 hides its DRAM latency behind
+	// useful work. Zero selects DefaultPrefetchTiles; -1 disables the
+	// lookahead (each tile hashed immediately before its update — the
+	// right setting for tiny L1-resident tables); at most MaxPrefetchTiles.
+	PrefetchTiles int
 }
 
 // Validate checks the configuration.
@@ -98,6 +106,9 @@ func (c Config) Validate() error {
 	if c.Correction && c.Serial {
 		return cfgerr.New("multistage", "Correction", "only defined for parallel filters")
 	}
+	if c.PrefetchTiles < -1 || c.PrefetchTiles > MaxPrefetchTiles {
+		return cfgerr.New("multistage", "PrefetchTiles", "must be in [-1, %d], got %d", MaxPrefetchTiles, c.PrefetchTiles)
+	}
 	return nil
 }
 
@@ -113,12 +124,18 @@ type Filter struct {
 	// buckets is the per-stage width b; stage i's counters start at i·b.
 	buckets uint32
 	hashes  []hashing.Func
+	// tileHashers[i] is hashes[i]'s whole-tile fast path, resolved once at
+	// construction; nil entries fall back to per-packet Bucket calls.
+	tileHashers []hashing.TileHasher
 	// deriver, when non-nil, derives all d stage buckets from ONE base
 	// hash per packet (Kirsch–Mitzenmacher double hashing); nil for
 	// families that hash each stage separately.
 	deriver hashing.Deriver
-	cost    memmodel.Counter
-	tel     telemetry.Algorithm
+	// lookahead is the fused kernel's prefetch distance in tiles, resolved
+	// from Config.PrefetchTiles (0 after resolution means no lookahead).
+	lookahead int
+	cost      memmodel.Counter
+	tel       telemetry.Algorithm
 
 	// dropped counts flows that passed the filter but found the flow
 	// memory full; threshold adaptation keeps this near zero.
@@ -148,6 +165,19 @@ type Filter struct {
 // enough that the hash phase keeps many independent misses in flight.
 const fusedTile = 32
 
+// DefaultPrefetchTiles is the fused kernel's default prefetch distance
+// (Config.PrefetchTiles zero): hash tile i+2 while updating tile i. The
+// cmd/experiments prefetch sweep across table sizes {L2-resident, 4×L2,
+// 64×L2} picks this as the all-around sweet spot — far enough ahead that a
+// DRAM-resident table's lines arrive before their update, near enough that
+// the prefetched lines are not evicted again under cache pressure.
+const DefaultPrefetchTiles = 2
+
+// MaxPrefetchTiles bounds the configurable prefetch distance: beyond 8
+// tiles (256 packets) the prefetched footprint itself starts thrashing L1
+// and the lookahead turns into cache pollution.
+const MaxPrefetchTiles = 8
+
 // New creates a multistage filter.
 func New(cfg Config) (*Filter, error) {
 	if err := cfg.Validate(); err != nil {
@@ -170,10 +200,20 @@ func New(cfg Config) (*Filter, error) {
 		hashes:   make([]hashing.Func, cfg.Stages),
 		idx:      make([]uint32, cfg.Stages),
 	}
+	f.tileHashers = make([]hashing.TileHasher, cfg.Stages)
 	for i := range f.hashes {
 		f.hashes[i] = family.New(uint32(cfg.Buckets))
+		f.tileHashers[i], _ = f.hashes[i].(hashing.TileHasher)
 	}
 	f.deriver = hashing.DeriverFor(f.hashes)
+	switch cfg.PrefetchTiles {
+	case 0:
+		f.lookahead = DefaultPrefetchTiles
+	case -1:
+		f.lookahead = 0
+	default:
+		f.lookahead = cfg.PrefetchTiles
+	}
 	f.tel.Init(f.Name(), capacity, cfg.Threshold)
 	return f, nil
 }
@@ -240,13 +280,44 @@ func (f *Filter) Process(key flow.Key, size uint32) {
 // kernel: the batch streams through in tiles of fusedTile packets, each tile
 // running a hash phase — stage buckets and the flow memory probe hash
 // computed per packet, the counter lines and home flow memory slots warmed
-// with prefetching loads — immediately followed by an update phase that runs
-// the filter and flow memory logic against L1-resident lines. Each packet's
-// buckets and flow slot are touched once per batch; the key is hashed once
-// (the doublehash deriver's base hash doubles as the flow memory probe
-// hash). Memory-reference accounting is accumulated locally and folded into
-// the filter's counter with a single Add.
+// with prefetching loads — software-pipelined ahead of an update phase that
+// runs the filter and flow memory logic against cache-resident lines. The
+// hash phase runs Config.PrefetchTiles tiles ahead of the update phase, so
+// with a DRAM-resident table the prefetching loads of tile i+k are in
+// flight while tile i's updates execute. Each packet's buckets and flow
+// slot are touched once per batch; the key is hashed once (the doublehash
+// deriver's base hash doubles as the flow memory probe hash).
+// Memory-reference accounting is accumulated locally and folded into the
+// filter's counter with a single Add.
 func (f *Filter) ProcessBatch(keys []flow.Key, sizes []uint32) {
+	f.processBatchFused(nil, keys, sizes)
+}
+
+// KeyHash implements core.HashBatchAlgorithm: the per-packet hash the
+// fused kernel probes the flow memory with. With a doublehash deriver that
+// is the deriver's base hash, not flowmem.Hash — upstream hash forwarding
+// keys off this distinction.
+func (f *Filter) KeyHash(k flow.Key) uint64 { return f.keyHash(k) }
+
+// ProcessBatchHash implements core.HashBatchAlgorithm: ProcessBatch with
+// the per-packet flow memory probe hashes supplied by the caller
+// (hashes[i] must equal KeyHash(keys[i])). The deriver path ignores the
+// supplied hashes — its base hash also yields the stage buckets, so it is
+// computed in the kernel regardless — and remains bit-identical to
+// ProcessBatch either way.
+func (f *Filter) ProcessBatchHash(hashes []uint64, keys []flow.Key, sizes []uint32) {
+	if f.deriver != nil {
+		f.processBatchFused(nil, keys, sizes)
+		return
+	}
+	f.processBatchFused(hashes, keys, sizes)
+}
+
+// processBatchFused is the fused kernel behind ProcessBatch and
+// ProcessBatchHash; ext, when non-nil, holds caller-computed flow memory
+// probe hashes (flowmem.Hash of each key) that the hash phase consumes
+// instead of rehashing.
+func (f *Filter) processBatchFused(ext []uint64, keys []flow.Key, sizes []uint32) {
 	n := len(keys)
 	if n == 0 {
 		return
@@ -258,9 +329,21 @@ func (f *Filter) ProcessBatch(keys []flow.Key, sizes []uint32) {
 	var cost memmodel.Counter
 	cost.Packets = uint64(n)
 	var bytes uint64
+	// Software pipeline: hash (and prefetch) the first lookahead tiles,
+	// then keep the hash phase lookahead tiles ahead of the update phase.
+	ht := 0
+	for i := 0; i < f.lookahead && ht < n; i++ {
+		end := min(ht+fusedTile, n)
+		f.hashTile(ext, keys, bidx, bh, ht, end)
+		ht = end
+	}
 	for t := 0; t < n; t += fusedTile {
+		if ht < n {
+			end := min(ht+fusedTile, n)
+			f.hashTile(ext, keys, bidx, bh, ht, end)
+			ht = end
+		}
 		end := min(t+fusedTile, n)
-		f.hashTile(keys[t:end], bidx[t*d:end*d], bh[t:end])
 		for j := t; j < end; j++ {
 			bytes += uint64(sizes[j])
 			f.process(keys[j], sizes[j], bh[j], bidx[j*d:j*d+d], &cost)
@@ -282,20 +365,23 @@ func (f *Filter) growScratch(n, d int) {
 	}
 }
 
-// hashTile runs the fused kernel's hash phase over one tile: it fills each
-// packet's flat counter offsets (bidx) and flow memory probe hash (bh), and
-// issues the prefetching loads that pull the counter lines and home flow
-// memory slots toward L1 while later packets are still being hashed. The
-// loads are independent, so their misses overlap — the memory-level
-// parallelism a one-packet-at-a-time pass cannot reach.
-func (f *Filter) hashTile(keys []flow.Key, bidx []uint32, bh []uint64) {
+// / hashTile runs the fused kernel's hash phase over the packets in [lo, hi):
+// it fills each packet's flat counter offsets (bidx, packet-major with
+// stride d) and flow memory probe hash (bh), and issues the prefetching
+// loads that pull the counter lines and home flow memory slots toward the
+// cache while the update phase is still lookahead tiles behind. The loads
+// are independent, so their misses overlap — the memory-level parallelism a
+// one-packet-at-a-time pass cannot reach. ext, when non-nil, supplies the
+// flow memory probe hashes (flowmem.Hash per key) already computed by the
+// caller.
+func (f *Filter) hashTile(ext []uint64, keys []flow.Key, bidx []uint32, bh []uint64, lo, hi int) {
 	d := len(f.hashes)
 	counters := f.counters
 	var sink uint64
 	if f.deriver != nil {
 		// One base hash per packet yields the flow memory probe hash and
 		// all d stage buckets, written as one contiguous run.
-		for j := range keys {
+		for j := lo; j < hi; j++ {
 			row := bidx[j*d : j*d+d : j*d+d]
 			h := f.deriver.DeriveBase(keys[j], row)
 			bh[j] = h
@@ -309,20 +395,36 @@ func (f *Filter) hashTile(keys []flow.Key, bidx []uint32, bh []uint64) {
 		}
 	} else {
 		// Per-stage hashing keeps each stage's hash tables hot while the
-		// tile streams through them.
+		// tile streams through them. Stages that can hash a whole tile in
+		// one call (TileHasher) write the strided offsets themselves; the
+		// counter-warming loads then run as a separate sweep.
 		base := uint32(0)
 		for i, h := range f.hashes {
-			for j := range keys {
-				o := base + h.Bucket(keys[j])
-				bidx[j*d+i] = o
-				sink += counters[o]
+			if th := f.tileHashers[i]; th != nil {
+				th.BucketTile(keys[lo:hi], bidx[lo*d+i:], d, base)
+			} else {
+				for j := lo; j < hi; j++ {
+					bidx[j*d+i] = base + h.Bucket(keys[j])
+				}
 			}
 			base += f.buckets
 		}
-		for j := range keys {
-			h := flowmem.Hash(keys[j])
-			bh[j] = h
-			f.mem.Prefetch(h)
+		for j := lo; j < hi; j++ {
+			for i := 0; i < d; i++ {
+				sink += counters[bidx[j*d+i]]
+			}
+		}
+		if ext != nil {
+			for j := lo; j < hi; j++ {
+				bh[j] = ext[j]
+				f.mem.Prefetch(ext[j])
+			}
+		} else {
+			for j := lo; j < hi; j++ {
+				h := flowmem.Hash(keys[j])
+				bh[j] = h
+				f.mem.Prefetch(h)
+			}
 		}
 	}
 	f.prefetchSink += sink

@@ -52,6 +52,14 @@ type Config struct {
 	// estimate (Section 4.1.1). It reduces the expected error but forfeits
 	// the lower-bound property that makes estimates safe for billing.
 	Correction bool
+	// PrefetchTiles is the fused kernel's software-pipeline depth: the hash
+	// phase (and its prefetching loads) runs this many tiles ahead of the
+	// update phase, hiding table misses behind useful work when the flow
+	// memory outgrows cache. 0 selects DefaultPrefetchTiles, -1 disables the
+	// lookahead (hash and update the same tile back to back), and values up
+	// to MaxPrefetchTiles pipeline deeper. Any setting is bit-identical to
+	// any other; only memory-latency overlap changes.
+	PrefetchTiles int
 	// Seed seeds the sampling randomness.
 	Seed int64
 }
@@ -73,6 +81,9 @@ func (c Config) Validate() error {
 	if c.EarlyRemoval < 0 || c.EarlyRemoval >= 1 {
 		return cfgerr.New("sampleandhold", "EarlyRemoval", "%g out of [0, 1)", c.EarlyRemoval)
 	}
+	if c.PrefetchTiles < -1 || c.PrefetchTiles > MaxPrefetchTiles {
+		return cfgerr.New("sampleandhold", "PrefetchTiles", "%d out of [-1, %d]", c.PrefetchTiles, MaxPrefetchTiles)
+	}
 	return nil
 }
 
@@ -91,6 +102,9 @@ type SampleAndHold struct {
 	// probe hash, computed once in the fused kernel's hash phase and
 	// reused for prefetch, lookup and insert.
 	batchHash []uint64
+	// lookahead is the resolved software-pipeline depth in tiles (from
+	// Config.PrefetchTiles).
+	lookahead int
 }
 
 // fusedTile is the number of packets per hash→prefetch→update tile of the
@@ -98,6 +112,19 @@ type SampleAndHold struct {
 // stay L1-resident between the hash phase and the update phase, large
 // enough that the hash phase keeps many independent misses in flight.
 const fusedTile = 32
+
+// DefaultPrefetchTiles is the software-pipeline depth used when
+// Config.PrefetchTiles is zero: the hash phase runs two tiles (2×fusedTile
+// packets) ahead of the update phase — deep enough to cover a DRAM miss
+// issued at hash time with a full tile of update work, shallow enough that
+// the in-flight tiles' lines survive in L1/L2. Chosen by the prefetch
+// distance sweep in EXPERIMENTS.md.
+const DefaultPrefetchTiles = 2
+
+// MaxPrefetchTiles bounds Config.PrefetchTiles; beyond this depth the
+// prefetched lines start being evicted before the update phase reaches
+// them, so deeper pipelines only waste bandwidth.
+const MaxPrefetchTiles = 8
 
 // New creates a sample-and-hold instance.
 func New(cfg Config) (*SampleAndHold, error) {
@@ -115,6 +142,14 @@ func New(cfg Config) (*SampleAndHold, error) {
 	}
 	s.setProbability()
 	s.skip = s.nextSkip()
+	switch cfg.PrefetchTiles {
+	case 0:
+		s.lookahead = DefaultPrefetchTiles
+	case -1:
+		s.lookahead = 0
+	default:
+		s.lookahead = cfg.PrefetchTiles
+	}
 	s.tel.Init(s.Name(), capacity, cfg.Threshold)
 	return s, nil
 }
@@ -181,13 +216,49 @@ func (s *SampleAndHold) processOne(key flow.Key, size uint32) {
 // ProcessBatch implements core.BatchAlgorithm with the fused kernel: the
 // batch streams through in tiles of fusedTile packets, a hash phase
 // computing each packet's flow memory probe hash once and warming its home
-// slot's cache lines with prefetching loads, then an update phase running
-// the lookup/sample/insert logic against L1-resident lines with the skip
+// slot's cache lines with prefetching loads, software-pipelined
+// Config.PrefetchTiles tiles ahead of an update phase running the
+// lookup/sample/insert logic against cache-resident lines with the skip
 // state held in a register. The memory-reference accounting for the whole
 // batch is folded into the cost counter with a single Add, and the sampling
 // draws consume the RNG in exactly the order the per-packet path would, so
 // the two paths produce identical estimates.
 func (s *SampleAndHold) ProcessBatch(keys []flow.Key, sizes []uint32) {
+	s.processBatchFused(nil, keys, sizes)
+}
+
+// KeyHash implements core.HashBatchAlgorithm: the fused kernel probes the
+// flow memory with flowmem.Hash, so upstream hash forwarding applies.
+func (s *SampleAndHold) KeyHash(k flow.Key) uint64 { return flowmem.Hash(k) }
+
+// ProcessBatchHash implements core.HashBatchAlgorithm: ProcessBatch with
+// the per-packet flow memory probe hashes supplied by the caller
+// (hashes[i] must equal KeyHash(keys[i])).
+func (s *SampleAndHold) ProcessBatchHash(hashes []uint64, keys []flow.Key, sizes []uint32) {
+	s.processBatchFused(hashes, keys, sizes)
+}
+
+// hashAHTile fills bh for the packets in [lo, hi) — from ext when the
+// caller already computed the hashes, otherwise by hashing — and issues the
+// prefetching loads for their home flow memory slots.
+func (s *SampleAndHold) hashAHTile(ext []uint64, keys []flow.Key, bh []uint64, lo, hi int) {
+	if ext != nil {
+		for j := lo; j < hi; j++ {
+			bh[j] = ext[j]
+			s.mem.Prefetch(ext[j])
+		}
+		return
+	}
+	for j := lo; j < hi; j++ {
+		h := flowmem.Hash(keys[j])
+		bh[j] = h
+		s.mem.Prefetch(h)
+	}
+}
+
+// processBatchFused is the fused kernel behind ProcessBatch and
+// ProcessBatchHash; ext, when non-nil, holds caller-computed probe hashes.
+func (s *SampleAndHold) processBatchFused(ext []uint64, keys []flow.Key, sizes []uint32) {
 	n := len(keys)
 	if cap(s.batchHash) < n {
 		s.batchHash = make([]uint64, n)
@@ -195,13 +266,21 @@ func (s *SampleAndHold) ProcessBatch(keys []flow.Key, sizes []uint32) {
 	bh := s.batchHash[:n]
 	var reads, writes, bytes, passes uint64
 	skip := s.skip
+	// Software pipeline: hash (and prefetch) the first lookahead tiles,
+	// then keep the hash phase lookahead tiles ahead of the update phase.
+	ht := 0
+	for i := 0; i < s.lookahead && ht < n; i++ {
+		end := min(ht+fusedTile, n)
+		s.hashAHTile(ext, keys, bh, ht, end)
+		ht = end
+	}
 	for t := 0; t < n; t += fusedTile {
-		end := min(t+fusedTile, n)
-		for j := t; j < end; j++ {
-			h := flowmem.Hash(keys[j])
-			bh[j] = h
-			s.mem.Prefetch(h)
+		if ht < n {
+			end := min(ht+fusedTile, n)
+			s.hashAHTile(ext, keys, bh, ht, end)
+			ht = end
 		}
+		end := min(t+fusedTile, n)
 		for j := t; j < end; j++ {
 			key := keys[j]
 			size := sizes[j]

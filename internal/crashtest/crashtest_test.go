@@ -200,6 +200,10 @@ func startCollector(t *testing.T, logPath, tcpAddr string, extra ...string) *pro
 
 func deviceArgs(p params, tcpAddr, spoolDir string, extra ...string) []string {
 	args := []string{
+		// Pin single-lane: the crash assertions below compare byte-exact
+		// report streams across restarts, and the -shards auto default
+		// would vary the stream's shard merge with the CI box's core count.
+		"-shards", "1",
 		"-preset", "COS",
 		"-scale", fmt.Sprintf("%g", p.scale),
 		"-intervals", fmt.Sprintf("%d", p.intervals),

@@ -1,0 +1,168 @@
+package experiments
+
+// The prefetch-distance sweep: how far ahead should the fused batch
+// kernel's hash phase run? Tile i+k is hashed (and its counter lines and
+// flow memory slots prefetched) while tile i is updated; k=0 (no lookahead)
+// only overlaps misses within one tile, larger k hides more of a
+// DRAM-resident table's latency behind useful work — until the prefetched
+// lines are evicted before the update phase reaches them. The answer
+// depends on where the table lives, so the sweep runs three table sizes
+// anchored to the host's measured L2: L2-resident, 4×L2 (LLC-resident on
+// most parts) and 64×L2 (DRAM-resident). DefaultPrefetchTiles was chosen
+// from this sweep; re-run it with `experiments prefetch` when porting to a
+// new microarchitecture.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/core/multistage"
+	"repro/internal/flow"
+	"repro/internal/hw"
+)
+
+// PrefetchPoint is one (table size, prefetch distance) cell of the sweep.
+type PrefetchPoint struct {
+	// Tiles is the Config.PrefetchTiles value (-1 = no lookahead).
+	Tiles int
+	// NsPerPacket is the measured fused-kernel cost.
+	NsPerPacket float64
+}
+
+// PrefetchSeries is the sweep at one flow-memory size.
+type PrefetchSeries struct {
+	// Label names the size class relative to L2.
+	Label string
+	// Entries is the flow memory capacity swept.
+	Entries int
+	// TableBytes is the approximate resident size of the flow memory.
+	TableBytes int
+	Points     []PrefetchPoint
+}
+
+// PrefetchResult is the whole sweep plus the topology it ran on.
+type PrefetchResult struct {
+	Topology hw.Topology
+	Series   []PrefetchSeries
+}
+
+// Format renders the sweep as one table per size class.
+func (r PrefetchResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Prefetch distance sweep (fused multistage kernel, ns/pkt)\n")
+	fmt.Fprintf(&b, "host L2: %d KiB\n", r.Topology.L2Bytes>>10)
+	fmt.Fprintf(&b, "%-26s", "table size")
+	if len(r.Series) > 0 {
+		for _, p := range r.Series[0].Points {
+			label := fmt.Sprintf("k=%d", p.Tiles)
+			if p.Tiles == -1 {
+				label = "k=off"
+			}
+			fmt.Fprintf(&b, " %9s", label)
+		}
+	}
+	b.WriteByte('\n')
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "%-26s", fmt.Sprintf("%s (%d KiB)", s.Label, s.TableBytes>>10))
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, " %9.1f", p.NsPerPacket)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// prefetchFlowBytes approximates the flow memory's resident bytes for a
+// capacity: slots are rounded to a power of two at 2/3 load, each slot is a
+// 32-byte entry plus a control byte.
+func prefetchFlowBytes(entries int) int {
+	slots := 1
+	for slots < entries+entries/2 {
+		slots <<= 1
+	}
+	return slots * 33
+}
+
+// prefetchEntriesFor picks a flow-memory capacity whose resident size lands
+// near the target bytes.
+func prefetchEntriesFor(target int) int {
+	entries := 1024
+	for prefetchFlowBytes(entries*2) <= target {
+		entries *= 2
+	}
+	return entries
+}
+
+// PrefetchSweep measures the fused multistage kernel at prefetch distances
+// k ∈ {off, 1, 2, 4, 8} across the three table size classes. Options.Scale
+// scales the packet count (not the table sizes — the sizes are the point).
+func PrefetchSweep(o Options) (PrefetchResult, error) {
+	o = o.withDefaults()
+	topo := hw.Probe()
+	l2 := topo.L2Bytes
+	if l2 == 0 {
+		l2 = 1 << 20 // unknown host: assume 1 MiB and say so via Topology
+	}
+	res := PrefetchResult{Topology: topo}
+	classes := []struct {
+		label string
+		bytes int
+	}{
+		{"L2-resident", l2 / 2},
+		{"4xL2", 4 * l2},
+		{"64xL2", 64 * l2},
+	}
+	packets := int(4_000_000 * o.Scale)
+	if packets < 200_000 {
+		packets = 200_000
+	}
+	const batch = 256
+	keys := make([]flow.Key, batch)
+	sizes := make([]uint32, batch)
+	for i := range sizes {
+		sizes[i] = 1000
+	}
+	for _, c := range classes {
+		entries := prefetchEntriesFor(c.bytes)
+		s := PrefetchSeries{Label: c.label, Entries: entries, TableBytes: prefetchFlowBytes(entries)}
+		for _, k := range []int{-1, 1, 2, 4, 8} {
+			alg, err := multistage.New(multistage.Config{
+				Stages: 4, Buckets: 4096,
+				Entries:       entries,
+				Threshold:     1, // every flow qualifies: the table fills, the sweep measures a full table
+				Hash:          "doublehash",
+				Seed:          11,
+				PrefetchTiles: k,
+			})
+			if err != nil {
+				return PrefetchResult{}, err
+			}
+			// Fill the table so updates touch resident entries spread over
+			// the whole size class, then time steady-state batches.
+			rng := uint64(99)
+			fill := func(n int) {
+				for done := 0; done < n; done += batch {
+					for j := range keys {
+						rng ^= rng << 13
+						rng ^= rng >> 7
+						rng ^= rng << 17
+						keys[j] = flow.Key{Hi: rng % uint64(entries), Lo: 1}
+					}
+					core.ProcessBatch(alg, keys, sizes)
+				}
+			}
+			fill(entries * 2)
+			start := time.Now()
+			fill(packets)
+			elapsed := time.Since(start)
+			s.Points = append(s.Points, PrefetchPoint{
+				Tiles:       k,
+				NsPerPacket: float64(elapsed.Nanoseconds()) / float64((packets+batch-1)/batch*batch),
+			})
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}

@@ -1,0 +1,212 @@
+package hw
+
+// Host topology probe. The sharded pipeline's throughput depends on two
+// host facts the paper's hardware model takes as givens: how many cores can
+// run lane workers, and how much cache each lane's working set can occupy
+// before batches start streaming from DRAM. Probe reads both — from sysfs
+// where the OS exposes them, by timing where it does not — and
+// DefaultShards turns them into the shard-count heuristic hhdevice uses
+// when the operator does not pin -shards.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// readSysfsInt reads a sysfs file holding a bare integer; 0 on any failure.
+func readSysfsInt(path string) int {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// readSysfsSize reads a sysfs size file ("512K", "4M", plain bytes);
+// 0 on any failure.
+func readSysfsSize(path string) int {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	s := strings.TrimSpace(string(b))
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "G")
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0
+	}
+	return n * mult
+}
+
+// Topology describes the host as seen by the sharded pipeline.
+type Topology struct {
+	// NumCPU is the number of logical CPUs (runtime.NumCPU).
+	NumCPU int
+	// GOMAXPROCS is the scheduler's current parallelism limit; lane workers
+	// beyond it time-slice instead of running in parallel.
+	GOMAXPROCS int
+	// CacheLineBytes is the coherency line size.
+	CacheLineBytes int
+	// L2Bytes is the per-core L2 cache size. Read from sysfs when
+	// available, otherwise estimated with a timing probe (see estimateL2);
+	// zero only if both fail.
+	L2Bytes int
+	// L2Measured reports whether L2Bytes came from the timing probe rather
+	// than sysfs.
+	L2Measured bool
+}
+
+// Probe reads the host topology. The sysfs paths resolve on Linux; on other
+// platforms (or stripped-down containers) the L2 size falls back to a
+// timing estimate costing a few tens of milliseconds.
+func Probe() Topology {
+	t := Topology{
+		NumCPU:         runtime.NumCPU(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		CacheLineBytes: CacheLineSize(),
+	}
+	if size := sysfsCacheBytes(2); size > 0 {
+		t.L2Bytes = size
+	} else if size := estimateL2(); size > 0 {
+		t.L2Bytes = size
+		t.L2Measured = true
+	}
+	return t
+}
+
+// sysfsCacheBytes returns the size of the cpu0 cache at the given level (L2
+// is usually index2, but the index↔level mapping varies, so every index is
+// checked), or 0 when sysfs is unavailable.
+func sysfsCacheBytes(level int) int {
+	matches, _ := filepath.Glob("/sys/devices/system/cpu/cpu0/cache/index*/level")
+	for _, levelPath := range matches {
+		if readSysfsInt(levelPath) != level {
+			continue
+		}
+		// size is "512K" / "4M" style.
+		if n := readSysfsSize(filepath.Join(filepath.Dir(levelPath), "size")); n > 0 {
+			return n
+		}
+	}
+	return 0
+}
+
+// estimateL2 locates the L2 capacity by timing dependent pointer chases at
+// doubling working-set sizes: while the set fits in L2 each step costs a
+// few cycles, and the first size whose per-step latency is more than twice
+// the smallest observed latency has spilled a level. The previous size is
+// reported as the capacity estimate. Coarse (power-of-two resolution) but
+// dependency-free, and only consulted when sysfs is not available.
+func estimateL2() int {
+	line := CacheLineSize()
+	stride := line / 8
+	if stride < 1 {
+		stride = 1
+	}
+	baseline := 0.0
+	prev := 0
+	for size := 64 << 10; size <= 32<<20; size <<= 1 {
+		ns := chaseNsPerLoad(size, stride)
+		if baseline == 0 || ns < baseline {
+			baseline = ns
+		}
+		if ns > 2*baseline && prev > 0 {
+			return prev
+		}
+		prev = size
+	}
+	return 0
+}
+
+// chaseNsPerLoad walks a Sattolo cycle over line-spaced slots of a buffer of
+// size bytes and returns the nanoseconds per dependent load.
+func chaseNsPerLoad(size, stride int) float64 {
+	n := size / 8
+	slots := n / stride
+	if slots < 2 {
+		return 0
+	}
+	buf := make([]uint64, n)
+	// Deterministic Sattolo shuffle so the probe never allocates an RNG.
+	perm := make([]int, slots)
+	for i := range perm {
+		perm[i] = i
+	}
+	seed := uint64(0x9E3779B97F4A7C15)
+	for i := slots - 1; i > 0; i-- {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		j := int(seed % uint64(i))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i, p := range perm {
+		next := perm[(i+1)%len(perm)]
+		buf[p*stride] = uint64(next * stride)
+	}
+	steps := 1 << 16
+	idx := uint64(perm[0] * stride)
+	// Warm lap so the timed lap measures residency, not page faults.
+	for i := 0; i < slots; i++ {
+		idx = buf[idx]
+	}
+	start := time.Now()
+	for i := 0; i < steps; i++ {
+		idx = buf[idx]
+	}
+	d := time.Since(start)
+	benchSink += idx
+	return float64(d.Nanoseconds()) / float64(steps)
+}
+
+// DefaultShards is the shard-count heuristic for a host with this topology:
+// one lane per schedulable CPU with one core reserved for the producer
+// (which keys, hashes and partitions every packet), clamped to [1, 8] —
+// beyond 8 lanes the merge and flush fan-in costs outgrow the parallel
+// gain for the table sizes this module targets. On a single-CPU host the
+// answer is 1: extra lanes only add handoff work to a time-sliced core.
+func (t Topology) DefaultShards() int {
+	cpus := t.GOMAXPROCS
+	if t.NumCPU < cpus {
+		cpus = t.NumCPU
+	}
+	shards := cpus - 1
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > 8 {
+		shards = 8
+	}
+	return shards
+}
+
+// String formats the topology one fact per line, hwcheck-style.
+func (t Topology) String() string {
+	l2 := "unknown"
+	if t.L2Bytes > 0 {
+		src := "sysfs"
+		if t.L2Measured {
+			src = "timing estimate"
+		}
+		l2 = fmt.Sprintf("%d KiB (%s)", t.L2Bytes>>10, src)
+	}
+	return fmt.Sprintf("cpus: %d (GOMAXPROCS %d)\ncache line: %d B\nL2: %s\nrecommended shards: %d",
+		t.NumCPU, t.GOMAXPROCS, t.CacheLineBytes, l2, t.DefaultShards())
+}

@@ -1,0 +1,40 @@
+package hw
+
+import "testing"
+
+func TestProbeSane(t *testing.T) {
+	topo := Probe()
+	if topo.NumCPU < 1 || topo.GOMAXPROCS < 1 {
+		t.Fatalf("impossible CPU counts: %+v", topo)
+	}
+	if topo.CacheLineBytes < 8 || topo.CacheLineBytes > 1024 {
+		t.Errorf("implausible cache line: %d", topo.CacheLineBytes)
+	}
+	if topo.L2Bytes < 0 || (topo.L2Bytes > 0 && topo.L2Bytes < 16<<10) {
+		t.Errorf("implausible L2: %d", topo.L2Bytes)
+	}
+	if s := topo.String(); s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestDefaultShardsHeuristic(t *testing.T) {
+	cases := []struct {
+		cpus, procs, want int
+	}{
+		{1, 1, 1}, // single CPU: never oversubscribe
+		{2, 2, 1}, // reserve a core for the producer
+		{4, 4, 3},
+		{8, 8, 7},
+		{16, 16, 8}, // clamped
+		{64, 64, 8},
+		{8, 2, 1}, // GOMAXPROCS wins when it is the binding limit
+		{2, 8, 1}, // and NumCPU when it is
+	}
+	for _, c := range cases {
+		topo := Topology{NumCPU: c.cpus, GOMAXPROCS: c.procs}
+		if got := topo.DefaultShards(); got != c.want {
+			t.Errorf("cpus=%d procs=%d: shards %d, want %d", c.cpus, c.procs, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+//go:build !race
+
+package spsc
+
+import "testing"
+
+// TestHandoffZeroAllocs guards the steady-state handoff: pushes, pops and
+// steals must not allocate (the CI alloc-guard step runs this).
+func TestHandoffZeroAllocs(t *testing.T) {
+	r := New[*int](8)
+	v := new(int)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.TryPush(v)
+		r.TryPush(v)
+		r.Steal()
+		r.TryPop()
+	})
+	if allocs != 0 {
+		t.Fatalf("handoff allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -83,6 +83,76 @@ func TestTransformChainZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestMultiShardPacketBatchZeroAllocs is the sharded twin of the preset
+// guard: at 4 shards the producer partitions every burst into per-shard
+// sub-batches (grow-only scratch) and forwards the per-packet key hash with
+// each batch (exactAlg is sample-and-hold, whose kernel consumes forwarded
+// hashes). Partitioning, hash forwarding and the SPSC handoff must all be
+// allocation-free across mixed burst sizes.
+func TestMultiShardPacketBatchZeroAllocs(t *testing.T) {
+	g, err := New(Config{Topology: PresetShardLane(MeasureConfig{
+		Shards: 4, QueueDepth: 256, BatchSize: 64,
+		NewAlgorithm: exactAlg(4096),
+		Definition:   flow.FiveTuple{}, Seed: 1,
+	})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	const maxBurst = 200
+	pkts := make([]flow.Packet, maxBurst)
+	for i := range pkts {
+		pkts[i] = flow.Packet{Size: 1000, SrcIP: uint32(i * 31), DstIP: 2, Proto: 6}
+	}
+	for i := 0; i < 50; i++ {
+		g.PacketBatch(pkts)
+	}
+	mixed := []int{maxBurst, 3, 150, 1, 64, 199, 7, maxBurst, 33}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		n := mixed[i%len(mixed)]
+		i++
+		g.PacketBatch(pkts[:n])
+	})
+	if allocs != 0 {
+		t.Fatalf("4-shard PacketBatch allocates %.1f allocs/op, must be 0", allocs)
+	}
+}
+
+// TestDiscardReportsIntervalZeroAllocs asserts the strongest report-path
+// guarantee: with DiscardReports set and nothing subscribed to the reports
+// port, closing an interval at 4 shards is completely allocation-free —
+// lane replies land in per-lane arenas, the gather list and shard counts
+// are reusable scratch, and the merged estimates build into the merge
+// arena.
+func TestDiscardReportsIntervalZeroAllocs(t *testing.T) {
+	g, err := New(Config{Topology: PresetShardLane(MeasureConfig{
+		Shards: 4, QueueDepth: 64, BatchSize: 64,
+		NewAlgorithm: exactAlg(4096),
+		Definition:   flow.FiveTuple{}, Seed: 1,
+		DiscardReports: true,
+	})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	pkts := make([]flow.Packet, 128)
+	for i := range pkts {
+		pkts[i] = flow.Packet{Size: 1000, SrcIP: uint32(i * 31), DstIP: 2, Proto: 6}
+	}
+	g.PacketBatch(pkts)
+	g.EndInterval(0)
+	interval := 1
+	allocs := testing.AllocsPerRun(100, func() {
+		g.PacketBatch(pkts)
+		g.EndInterval(interval)
+		interval++
+	})
+	if allocs != 0 {
+		t.Fatalf("discard-reports interval path allocates %.1f allocs/op, must be 0", allocs)
+	}
+}
+
 // TestGraphReportPathArenaAllocs keeps the fixed pipeline's per-interval
 // allocation budget on the graph-built preset: lane arenas and persistent
 // reply channels make the lane side free, so only the retained report

@@ -8,11 +8,19 @@
 // threshold) as a single instance.
 //
 // Packets are handed to lanes in batches, NIC-burst style: the producer
-// buffers up to BatchSize (key, size) pairs per lane and performs one
-// channel operation per batch instead of per packet. Batch buffers are
-// recycled through a per-lane free list, so the steady-state packet loop
-// allocates nothing. Partial batches are flushed at interval boundaries, so
-// merged reports are bit-identical to an unbatched run.
+// buffers up to BatchSize (key, size) pairs per lane and hands the batch to
+// the lane worker over a bounded SPSC ring (internal/spsc) — the handoff is
+// one slice write plus one atomic release-store, no lock and no scheduler
+// wake while both sides are busy. Batch buffers are recycled through a
+// second, reverse-direction SPSC ring per lane, so the steady-state packet
+// loop allocates nothing. A multi-shard burst is first partitioned into
+// per-shard sub-batches in grow-only scratch — the shard is picked from the
+// same per-packet key hash the lanes' fused kernels probe their flow memory
+// with, so sharding adds one cheap remix per packet instead of a second
+// hash pass, and the hashes ride along with the batch for lanes that can
+// consume them (core.HashBatchAlgorithm). Partial batches are flushed at
+// interval boundaries, so merged reports are bit-identical to an unbatched
+// run.
 //
 // Overload: when a lane's queue is full, MeasureConfig.Overload selects what
 // the producer does — Block (wait, lossless), DropNewest/DropOldest (shed a
@@ -26,20 +34,21 @@ package stagegraph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/cfgerr"
 	"repro/internal/core"
+	"repro/internal/core/flowmem"
 	"repro/internal/flow"
-	"repro/internal/hashing"
+	"repro/internal/spsc"
 	"repro/internal/telemetry"
 )
 
 // DefaultBatchSize is the per-lane batch size used when
-// MeasureConfig.BatchSize is zero: big enough to amortize a channel
-// operation, small enough that a lane's working set of buffered keys stays
+// MeasureConfig.BatchSize is zero: big enough to amortize a ring handoff,
+// small enough that a lane's working set of buffered keys stays
 // cache-resident.
 const DefaultBatchSize = 64
 
@@ -106,10 +115,10 @@ const DefaultDegradeFraction = 0.5
 type MeasureConfig struct {
 	// Shards is the number of parallel lanes.
 	Shards int
-	// QueueDepth is each lane's channel capacity, in batches.
+	// QueueDepth is each lane's ring capacity, in batches.
 	QueueDepth int
 	// BatchSize is the number of packets buffered per lane before the batch
-	// is handed over (one channel operation per batch). Zero selects
+	// is handed over (one ring operation per batch). Zero selects
 	// DefaultBatchSize; 1 hands over every packet individually, which is
 	// the unbatched per-packet behavior.
 	BatchSize int
@@ -132,7 +141,9 @@ type MeasureConfig struct {
 	NewAlgorithm func(shard int) (core.Algorithm, error)
 	// Definition extracts flow keys; sharding hashes these keys.
 	Definition flow.Definition
-	// Seed seeds the shard-selection hash and the Degrade subsampler.
+	// Seed seeds the Degrade subsampler. Shard selection is derived from
+	// the packet's flow-memory key hash (see shardOf) and is not seeded:
+	// it is a fixed, deterministic function of the flow key.
 	Seed int64
 	// DiscardReports stops the stage from accumulating interval reports in
 	// memory; reports still flow to the stage's "reports" output port. Set
@@ -167,19 +178,42 @@ func (c MeasureConfig) Validate() error {
 	return nil
 }
 
-// batch is one lane's burst of packets, ready for core.ProcessBatch.
+// shardOf maps a packet's flow-memory key hash to a lane. The hash is put
+// through a full avalanche remix before the range reduction so the shard
+// index draws on bits independent of the ones the lane's own structures
+// consume — flowmem indexes with the low bits of the same hash, and the
+// filter families fold their (differently computed) hashes through the high
+// bits. Without the remix each lane's flows would concentrate in a slice of
+// its hash table, inflating collisions.
+func shardOf(h uint64, shards uint32) int {
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int((h >> 32) * uint64(shards) >> 32)
+}
+
+// batch is one lane's burst of packets, ready for core.ProcessBatch. When
+// the engine forwards key hashes (see Measure.forwardHashes), hashes[i]
+// carries flowmem.Hash(keys[i]) so the lane's kernel skips rehashing.
 type batch struct {
-	keys  []flow.Key
-	sizes []uint32
+	keys   []flow.Key
+	sizes  []uint32
+	hashes []uint64
 }
 
 func newBatch(size int) *batch {
-	return &batch{keys: make([]flow.Key, 0, size), sizes: make([]uint32, 0, size)}
+	return &batch{
+		keys:   make([]flow.Key, 0, size),
+		sizes:  make([]uint32, 0, size),
+		hashes: make([]uint64, 0, size),
+	}
 }
 
 func (b *batch) reset() {
 	b.keys = b.keys[:0]
 	b.sizes = b.sizes[:0]
+	b.hashes = b.hashes[:0]
 }
 
 func (b *batch) bytes() uint64 {
@@ -197,18 +231,27 @@ type op struct {
 	flush chan []core.Estimate
 }
 
-// lane bundles one shard's channels, telemetry and algorithm. The algorithm
+// lane bundles one shard's rings, telemetry and algorithm. The algorithm
 // is held behind an atomic pointer because a supervised restart swaps it
 // from the lane worker goroutine while the producer may be reading
 // Threshold/EntriesUsed/Stats.
 type lane struct {
-	ch   chan op
-	free chan *batch
+	// ring carries ops producer→worker; free carries recycled batch
+	// buffers worker→producer. Both are strictly single-producer/
+	// single-consumer: the only cross-role touch is the producer stealing
+	// the oldest op under DropOldest, which the ring's head CAS arbitrates.
+	ring *spsc.Ring[op]
+	free *spsc.Ring[*batch]
 	tel  *telemetry.Lane
 	alg  atomic.Pointer[core.Algorithm]
 	// rng is the producer-side xorshift state for Degrade subsampling;
 	// only the producer goroutine touches it.
 	rng uint64
+	// spare is the producer-owned stack of buffers reclaimed from batches
+	// the producer itself evicted (DropOldest): they cannot go back through
+	// the free ring — the worker is that ring's only producer — so the
+	// producer keeps them and reuses them before popping the free ring.
+	spare []*batch
 	// arena is the lane's grow-only report arena: flush replies are built
 	// into it (core.AppendEstimates) instead of a fresh slice per interval.
 	// The worker writes it only while servicing a flush op and the producer
@@ -224,11 +267,12 @@ func (ln *lane) loadAlg() core.Algorithm { return *ln.alg.Load() }
 
 func (ln *lane) storeAlg(a core.Algorithm) { ln.alg.Store(&a) }
 
-// shedBatch counts b as shed and recycles its buffer.
+// shedBatch counts b as shed and recycles its buffer; worker side only (the
+// free ring's producer role).
 func (ln *lane) shedBatch(b *batch) {
 	ln.tel.ObserveShed(1, len(b.keys), b.bytes())
 	b.reset()
-	ln.free <- b
+	ln.free.Push(b)
 }
 
 // xorshift64star advances the lane's subsampling RNG.
@@ -239,6 +283,15 @@ func (ln *lane) next() uint64 {
 	x ^= x >> 27
 	ln.rng = x
 	return x * 0x2545F4914F6CDD1D
+}
+
+// shardScratch is one shard's grow-only partition scratch: a burst is
+// split into these sub-batches before handoff, so the per-packet loop only
+// appends and the per-lane pending batches receive bulk copies.
+type shardScratch struct {
+	keys   []flow.Key
+	sizes  []uint32
+	hashes []uint64
 }
 
 // Measure is the stage-graph node wrapping the sharded lane engine. It has
@@ -257,24 +310,39 @@ type Measure struct {
 	// degradeKeep is the Degrade keep probability as a uint64 comparison
 	// threshold (keep when rng <= degradeKeep).
 	degradeKeep uint64
-	// shardFn hashes flows to lanes; nil for a single-lane engine, whose
-	// packet path skips shard selection entirely (every flow maps to lane 0,
-	// so the hash would be pure overhead on the hot path).
-	shardFn hashing.Func
-	lanes   []*lane
+	// shards mirrors cfg.Shards; 1 selects the single-lane packet path,
+	// which skips shard selection entirely (every flow maps to lane 0, so
+	// the hash would be pure overhead on the hot path).
+	shards uint32
+	// forwardHashes records whether the lanes' algorithms consume the
+	// producer's per-packet key hash (core.HashBatchAlgorithm with KeyHash
+	// == flowmem.Hash): if so the multi-shard path ships the hashes with
+	// each batch and the lane kernels never rehash — one hash per packet
+	// across the whole pipeline.
+	forwardHashes bool
+	lanes         []*lane
+	// scratch is the per-shard partition scratch for PacketBatch.
+	scratch []shardScratch
 	// gather is EndInterval's reusable per-lane reply scratch, collected
 	// before the merged report is allocated at its exact final size.
 	gather [][]core.Estimate
 	// pending holds the batch currently being filled for each lane. Each
 	// lane owns QueueDepth+2 buffers total (queue + in-processing +
-	// being-filled), so a blocking receive from free can always be
-	// satisfied.
+	// being-filled), so a blocking pop from free can always be satisfied.
 	pending []*batch
 	wg      sync.WaitGroup
 	reports []core.IntervalReport
 	// perShard[i][s] is the number of estimates shard s contributed to
 	// interval report i.
 	perShard [][]int
+	// shardScratch is the per-interval shard-count scratch, reused across
+	// intervals and copied out only when reports are retained.
+	shardCounts []int
+	// mergeArena is the merged-estimate arena used when reports are
+	// discarded and nothing subscribes to them — the one case where the
+	// estimates cannot outlive the next interval, so the report path runs
+	// allocation-free.
+	mergeArena []core.Estimate
 	// reportCount mirrors the number of produced reports for concurrent
 	// Stats readers (and keeps counting when DiscardReports is set).
 	reportCount atomic.Int64
@@ -323,6 +391,35 @@ func (m *Measure) Validate() error { return m.cfg.Validate() }
 // snapshots (and thereby its Health). Call before traffic flows.
 func (m *Measure) SetExportTelemetry(t *telemetry.Export) { m.exportTel = t }
 
+// hashProbeKeys are arbitrary fixed keys used to verify that a lane
+// algorithm's KeyHash is flowmem.Hash before the producer forwards its
+// hashes: four 64-bit matches by coincidence is not a realistic failure
+// mode, a mismatched custom algorithm is.
+var hashProbeKeys = [4]flow.Key{
+	{Hi: 0, Lo: 0},
+	{Hi: 0x0123456789abcdef, Lo: 0xfedcba9876543210},
+	{Hi: ^uint64(0), Lo: 0x5555555555555555},
+	{Hi: 0x1, Lo: 0x8000000000000000},
+}
+
+// canForwardHashes reports whether alg's batch kernel consumes exactly the
+// per-packet hash the producer computes for shard selection
+// (flowmem.Hash). Algorithms whose kernels derive their own probe hash —
+// the doublehash filter — keep hashing in the lane; the producer's remix
+// is still the only shard-selection cost.
+func canForwardHashes(alg core.Algorithm) bool {
+	hb, ok := alg.(core.HashBatchAlgorithm)
+	if !ok {
+		return false
+	}
+	for _, k := range hashProbeKeys {
+		if hb.KeyHash(k) != flowmem.Hash(k) {
+			return false
+		}
+	}
+	return true
+}
+
 // start validates the configuration and spins up the lanes; it is called by
 // the Graph coordinator (exactly once). On error every lane already started
 // is shut down.
@@ -344,24 +441,30 @@ func (m *Measure) start() error {
 		keep = DefaultDegradeFraction
 	}
 	m.degradeKeep = uint64(keep * float64(^uint64(0)))
+	m.shards = uint32(cfg.Shards)
 	if cfg.Shards > 1 {
-		m.shardFn = hashing.NewTabulation(cfg.Seed).New(uint32(cfg.Shards))
+		m.scratch = make([]shardScratch, cfg.Shards)
 	}
+	m.shardCounts = make([]int, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
 		alg, err := cfg.NewAlgorithm(i)
 		if err != nil {
 			m.Close()
 			return fmt.Errorf("stagegraph: measure shard %d: %w", i, err)
 		}
+		if i == 0 {
+			m.forwardHashes = cfg.Shards > 1 && canForwardHashes(alg)
+		}
 		ln := &lane{
-			ch:    make(chan op, cfg.QueueDepth),
-			free:  make(chan *batch, cfg.QueueDepth+2),
+			ring:  spsc.New[op](cfg.QueueDepth),
+			free:  spsc.New[*batch](cfg.QueueDepth + 2),
 			tel:   &telemetry.Lane{},
 			rng:   uint64(cfg.Seed)*0x9E3779B97F4A7C15 + uint64(i) + 1,
+			spare: make([]*batch, 0, 4),
 			reply: make(chan []core.Estimate, 1),
 		}
 		for k := 0; k < cfg.QueueDepth+1; k++ {
-			ln.free <- newBatch(m.batchSize)
+			ln.free.TryPush(newBatch(m.batchSize))
 		}
 		ln.storeAlg(alg)
 		m.lanes = append(m.lanes, ln)
@@ -372,15 +475,20 @@ func (m *Measure) start() error {
 	return nil
 }
 
-// run is the supervised lane worker: it processes ops until the channel
-// closes, recovering panics. After a panic the lane is restarted with a
-// fresh algorithm (MeasureConfig.RestartOnPanic) or quarantined — still
-// draining the queue so the producer, EndInterval and Close never block on
-// it, but shedding every batch and answering flushes with an empty report.
+// run is the supervised lane worker: it processes ops until the ring is
+// closed and drained, recovering panics. After a panic the lane is
+// restarted with a fresh algorithm (MeasureConfig.RestartOnPanic) or
+// quarantined — still draining the queue so the producer, EndInterval and
+// Close never block on it, but shedding every batch and answering flushes
+// with an empty report.
 func (m *Measure) run(shard int, ln *lane) {
 	defer m.wg.Done()
 	quarantined := false
-	for o := range ln.ch {
+	for {
+		o, ok := ln.ring.Pop()
+		if !ok {
+			return
+		}
 		if quarantined {
 			m.shedOp(ln, o)
 			continue
@@ -404,7 +512,7 @@ func (m *Measure) run(shard int, ln *lane) {
 
 // processOp runs one op under panic recovery. On panic it counts the
 // panic, synthesizes an empty flush reply (so EndInterval never deadlocks),
-// sheds the batch (so its buffer returns to the free list and the producer
+// sheds the batch (so its buffer returns to the free ring and the producer
 // never starves), and reports ok=false so the supervisor reacts.
 func (m *Measure) processOp(ln *lane, o op) (ok bool) {
 	defer func() {
@@ -424,9 +532,13 @@ func (m *Measure) processOp(ln *lane, o op) (ok bool) {
 		o.flush <- ln.arena
 		return true
 	}
-	core.ProcessBatch(ln.loadAlg(), o.b.keys, o.b.sizes)
+	if len(o.b.hashes) == len(o.b.keys) && len(o.b.keys) > 0 {
+		core.ProcessBatchHash(ln.loadAlg(), o.b.hashes, o.b.keys, o.b.sizes)
+	} else {
+		core.ProcessBatch(ln.loadAlg(), o.b.keys, o.b.sizes)
+	}
 	o.b.reset()
-	ln.free <- o.b
+	ln.free.Push(o.b)
 	return true
 }
 
@@ -440,12 +552,15 @@ func (m *Measure) shedOp(ln *lane, o op) {
 	ln.shedBatch(o.b)
 }
 
-// enqueue appends one packet to its lane's pending batch and hands the batch
-// over when full.
-func (m *Measure) enqueue(lane int, key flow.Key, size uint32) {
+// enqueue appends one packet (with its key hash, when forwarding) to its
+// lane's pending batch and hands the batch over when full.
+func (m *Measure) enqueue(lane int, key flow.Key, size uint32, hash uint64) {
 	b := m.pending[lane]
 	b.keys = append(b.keys, key)
 	b.sizes = append(b.sizes, size)
+	if m.forwardHashes {
+		b.hashes = append(b.hashes, hash)
+	}
 	if len(b.keys) >= m.batchSize {
 		m.flushLane(lane)
 	}
@@ -472,14 +587,12 @@ func (m *Measure) flushLane(i int) {
 	}
 	n := len(b.keys)
 	stalled := false
-	select {
-	case ln.ch <- op{b: b}:
-	default:
+	if !ln.ring.TryPush(op{b: b}) {
 		// Queue full: the lane is saturated. Apply the overload policy.
 		switch m.cfg.Overload {
 		case Block:
 			stalled = true
-			ln.ch <- op{b: b}
+			ln.ring.Push(op{b: b})
 		case DropNewest:
 			ln.tel.ObserveShed(1, n, b.bytes())
 			b.reset()
@@ -493,15 +606,22 @@ func (m *Measure) flushLane(i int) {
 				return // whole batch subsampled away; keep the buffer
 			}
 			n = len(b.keys)
-			ln.ch <- op{b: b}
+			ln.ring.Push(op{b: b})
 		}
 	}
-	// An empty free list means the lane has not returned a buffer yet: the
-	// producer is about to block on it — counted, like a queue-full wait,
-	// as a flush stall.
-	stalled = stalled || len(ln.free) == 0
-	m.pending[i] = <-ln.free
-	ln.tel.ObserveBatch(n, len(ln.ch), stalled)
+	// Replace the pending buffer: producer-reclaimed spares first, then the
+	// free ring. An empty free ring means the lane has not returned a
+	// buffer yet: the producer is about to block on it — counted, like a
+	// queue-full wait, as a flush stall.
+	if k := len(ln.spare); k > 0 {
+		m.pending[i] = ln.spare[k-1]
+		ln.spare = ln.spare[:k-1]
+	} else {
+		stalled = stalled || ln.free.Len() == 0
+		nb, _ := ln.free.Pop()
+		m.pending[i] = nb
+	}
+	ln.tel.ObserveBatch(n, ln.ring.Len(), stalled)
 }
 
 // degradeBatch subsamples b in place with the lane's RNG at the configured
@@ -509,11 +629,15 @@ func (m *Measure) flushLane(i int) {
 func (m *Measure) degradeBatch(ln *lane, b *batch) int {
 	var dropped int
 	var droppedBytes uint64
+	withHashes := len(b.hashes) == len(b.keys)
 	w := 0
 	for k := range b.keys {
 		if ln.next() <= m.degradeKeep {
 			b.keys[w] = b.keys[k]
 			b.sizes[w] = b.sizes[k]
+			if withHashes {
+				b.hashes[w] = b.hashes[k]
+			}
 			w++
 		} else {
 			dropped++
@@ -522,32 +646,35 @@ func (m *Measure) degradeBatch(ln *lane, b *batch) int {
 	}
 	b.keys = b.keys[:w]
 	b.sizes = b.sizes[:w]
+	if withHashes {
+		b.hashes = b.hashes[:w]
+	}
 	ln.tel.ObserveDegraded(dropped, droppedBytes)
 	return w
 }
 
 // dropOldest delivers b by evicting queued batches, oldest first, until the
-// send succeeds. Evicted batches are counted as shed and recycled. The
-// queue can only hold batch ops here: EndInterval waits for every flush
-// reply before the producer continues, so no flush op is ever buffered when
-// flushLane runs — the guard is belt and braces.
+// push succeeds. The eviction is the ring's Steal — a head CAS the consumer
+// also contends on, so whichever side wins, the batch is consumed exactly
+// once. Evicted batches are counted as shed; their buffers stay with the
+// producer (the spare stack) because the free ring's producer role belongs
+// to the worker. The queue can only hold batch ops here: EndInterval waits
+// for every flush reply before the producer continues, so no flush op is
+// ever buffered when flushLane runs — the guard is belt and braces.
 func (m *Measure) dropOldest(ln *lane, b *batch) {
-	for {
-		select {
-		case ln.ch <- op{b: b}:
-			return
-		default:
-		}
-		select {
-		case old := <-ln.ch:
-			if old.flush != nil {
-				old.flush <- nil
-				continue
-			}
-			ln.shedBatch(old.b)
-		default:
+	for !ln.ring.TryPush(op{b: b}) {
+		old, ok := ln.ring.Steal()
+		if !ok {
 			// The worker drained the queue between probes; retry the send.
+			continue
 		}
+		if old.flush != nil {
+			old.flush <- nil
+			continue
+		}
+		ln.tel.ObserveShed(1, len(old.b.keys), old.b.bytes())
+		old.b.reset()
+		ln.spare = append(ln.spare, old.b)
 	}
 }
 
@@ -556,19 +683,23 @@ func (m *Measure) dropOldest(ln *lane, b *batch) {
 // maps to lane 0.
 func (m *Measure) Packet(pkt *flow.Packet) {
 	key := m.cfg.Definition.Key(pkt)
-	if m.shardFn == nil {
-		m.enqueue(0, key, pkt.Size)
+	if m.shards == 1 {
+		m.enqueue(0, key, pkt.Size, 0)
 		return
 	}
-	m.enqueue(int(m.shardFn.Bucket(key)), key, pkt.Size)
+	h := flowmem.Hash(key)
+	m.enqueue(shardOf(h, m.shards), key, pkt.Size, h)
 }
 
-// PacketBatch keys and distributes a whole burst to the per-lane batches in
-// one pass. The single-lane path appends straight into lane 0's pending
-// batch with the batch pointer held in a register — no shard hash, no
-// per-packet pending-slot load.
+// PacketBatch keys and distributes a whole burst to the per-lane batches.
+// The single-lane path appends straight into lane 0's pending batch with
+// the batch pointer held in a register — no shard hash, no per-packet
+// pending-slot load. The multi-shard path partitions the burst into
+// per-shard sub-batches in grow-only scratch — one key hash per packet
+// picks the shard and, for lanes that consume it, doubles as the flow
+// memory probe hash — and then bulk-appends each sub-batch to its lane.
 func (m *Measure) PacketBatch(pkts []flow.Packet) {
-	if m.shardFn == nil {
+	if m.shards == 1 {
 		b := m.pending[0]
 		for i := range pkts {
 			b.keys = append(b.keys, m.cfg.Definition.Key(&pkts[i]))
@@ -580,14 +711,60 @@ func (m *Measure) PacketBatch(pkts []flow.Packet) {
 		}
 		return
 	}
+	def := m.cfg.Definition
+	forward := m.forwardHashes
+	scratch := m.scratch
+	for s := range scratch {
+		sc := &scratch[s]
+		sc.keys = sc.keys[:0]
+		sc.sizes = sc.sizes[:0]
+		sc.hashes = sc.hashes[:0]
+	}
 	for i := range pkts {
-		key := m.cfg.Definition.Key(&pkts[i])
-		m.enqueue(int(m.shardFn.Bucket(key)), key, pkts[i].Size)
+		key := def.Key(&pkts[i])
+		h := flowmem.Hash(key)
+		sc := &scratch[shardOf(h, m.shards)]
+		sc.keys = append(sc.keys, key)
+		sc.sizes = append(sc.sizes, pkts[i].Size)
+		if forward {
+			sc.hashes = append(sc.hashes, h)
+		}
+	}
+	for s := range scratch {
+		if len(scratch[s].keys) > 0 {
+			m.appendShard(s, &scratch[s])
+		}
+	}
+}
+
+// appendShard bulk-appends one shard's partitioned sub-batch to its lane's
+// pending batch, handing over full batches as they fill.
+func (m *Measure) appendShard(i int, sc *shardScratch) {
+	keys, sizes, hashes := sc.keys, sc.sizes, sc.hashes
+	forward := m.forwardHashes
+	b := m.pending[i]
+	for len(keys) > 0 {
+		n := m.batchSize - len(b.keys)
+		if n > len(keys) {
+			n = len(keys)
+		}
+		b.keys = append(b.keys, keys[:n]...)
+		b.sizes = append(b.sizes, sizes[:n]...)
+		keys = keys[n:]
+		sizes = sizes[n:]
+		if forward {
+			b.hashes = append(b.hashes, hashes[:n]...)
+			hashes = hashes[n:]
+		}
+		if len(b.keys) >= m.batchSize {
+			m.flushLane(i)
+			b = m.pending[i]
+		}
 	}
 }
 
 // EndInterval flushes every lane's partial batch, barriers all lanes (each
-// lane drains its queue before answering, because the channel is FIFO) and
+// lane drains its queue before answering, because the ring is FIFO) and
 // merges their reports. A quarantined lane answers with an empty report
 // instead of deadlocking, so EndInterval always terminates.
 func (m *Measure) EndInterval(interval int) {
@@ -601,24 +778,30 @@ func (m *Measure) EndInterval(interval int) {
 	threshold := m.lanes[0].loadAlg().Threshold()
 	for i, ln := range m.lanes {
 		m.flushLane(i)
-		ln.ch <- op{flush: ln.reply}
+		ln.ring.Push(op{flush: ln.reply})
 		ln.tel.ObserveFlush()
 	}
 	// Collect every lane's reply (a view of its report arena, valid until
-	// that lane's next flush) before allocating the merged report at its
-	// exact final size — the report path's only allocation besides the
-	// retained report itself.
+	// that lane's next flush) before sizing the merged report — the shard
+	// counts land in reusable scratch and are copied out only if retained.
 	r := core.IntervalReport{Interval: interval, Threshold: threshold}
-	shards := make([]int, len(m.lanes))
 	total := 0
 	m.gather = m.gather[:0]
 	for i, ln := range m.lanes {
 		ests := <-ln.reply
-		shards[i] = len(ests)
+		m.shardCounts[i] = len(ests)
 		total += len(ests)
 		m.gather = append(m.gather, ests)
 	}
-	r.Estimates = make([]core.Estimate, 0, total)
+	// The merged estimates are built into the exact-size retained slice
+	// when reports are kept or subscribed to; with nobody downstream they
+	// are built into a grow-only arena instead, making the whole interval
+	// close allocation-free.
+	if m.cfg.DiscardReports && m.onReport == nil {
+		r.Estimates = m.mergeArena[:0]
+	} else {
+		r.Estimates = make([]core.Estimate, 0, total)
+	}
 	for _, ests := range m.gather {
 		r.Estimates = append(r.Estimates, ests...)
 	}
@@ -628,23 +811,43 @@ func (m *Measure) EndInterval(interval int) {
 	r.EntriesUsed = total
 	// Merged estimates keep the same ordering guarantee as a single
 	// device's report: descending bytes, ties by descending key.
-	sort.Slice(r.Estimates, func(i, j int) bool {
-		a, b := r.Estimates[i], r.Estimates[j]
-		if a.Bytes != b.Bytes {
-			return a.Bytes > b.Bytes
-		}
-		if a.Key.Hi != b.Key.Hi {
-			return a.Key.Hi > b.Key.Hi
-		}
-		return a.Key.Lo > b.Key.Lo
-	})
+	slices.SortFunc(r.Estimates, compareEstimates)
+	if m.cfg.DiscardReports && m.onReport == nil {
+		m.mergeArena = r.Estimates[:0]
+	}
 	if !m.cfg.DiscardReports {
 		m.reports = append(m.reports, r)
-		m.perShard = append(m.perShard, shards)
+		m.perShard = append(m.perShard, slices.Clone(m.shardCounts))
 	}
 	m.reportCount.Add(1)
 	if m.onReport != nil {
 		m.onReport(r)
+	}
+}
+
+// compareEstimates orders merged estimates by descending bytes, ties broken
+// by descending key — the same guarantee a single Device's report gives.
+// A named comparison function keeps the sort allocation-free (a sort.Slice
+// closure costs reflection and captures on every interval).
+func compareEstimates(a, b core.Estimate) int {
+	switch {
+	case a.Bytes != b.Bytes:
+		if a.Bytes > b.Bytes {
+			return -1
+		}
+		return 1
+	case a.Key.Hi != b.Key.Hi:
+		if a.Key.Hi > b.Key.Hi {
+			return -1
+		}
+		return 1
+	case a.Key.Lo != b.Key.Lo:
+		if a.Key.Lo > b.Key.Lo {
+			return -1
+		}
+		return 1
+	default:
+		return 0
 	}
 }
 
@@ -717,7 +920,7 @@ func (m *Measure) Close() {
 	m.closed = true
 	for i, ln := range m.lanes {
 		m.flushLane(i)
-		close(ln.ch)
+		ln.ring.Close()
 	}
 	m.wg.Wait()
 }
